@@ -1,0 +1,20 @@
+//! # clickinc-apps — the evaluated INC applications as ready-made scenarios
+//!
+//! The paper's evaluation revolves around three applications (KVS, MLAgg with
+//! its sparse-gradient extension, and DQAcc) deployed over the Fig. 11
+//! emulation topology and the Fig. 12 testbed.  This crate packages those
+//! applications and workloads so the benches, examples and integration tests
+//! share one definition of every experiment:
+//!
+//! * [`fig13`] — the five network configurations of Fig. 13 (DPDK baseline,
+//!   smartNIC only, one switch, two switches, switch + smartNIC) with the
+//!   sparse-gradient workload;
+//! * [`multiuser`] — the six program instances and traffic endpoints of
+//!   Table 3, the seven-instance sequence of Table 5, and the
+//!   add/remove sequence of Table 6.
+
+pub mod fig13;
+pub mod multiuser;
+
+pub use fig13::{fig13_configurations, Fig13Case};
+pub use multiuser::{table3_requests, table5_requests, table6_steps, Table6Step};

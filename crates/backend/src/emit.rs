@@ -1,0 +1,113 @@
+//! Shared emission helpers for all backends.
+
+use clickinc_ir::{AluOp, Guard, OpCode, Operand, Value};
+
+/// Render an operand in a C-like surface syntax shared by all targets.
+pub fn operand(op: &Operand) -> String {
+    match op {
+        Operand::Var(v) => sanitize(v),
+        Operand::Header(h) => format!("hdr.inc.{}", sanitize(h)),
+        Operand::Meta(m) => format!("meta.{}", sanitize(m)),
+        Operand::Const(Value::Int(v)) => format!("{v}"),
+        Operand::Const(Value::Float(v)) => format!("{v}"),
+        Operand::Const(Value::Bool(b)) => format!("{}", *b as u8),
+        Operand::Const(Value::Bytes(b)) => format!("0x{}", hex(b)),
+        Operand::Const(Value::None) => "INC_NONE".to_string(),
+    }
+}
+
+/// Make an IR name a legal C/P4 identifier (`$t3` → `t3`, `x.5` → `x_5`).
+pub fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    while out.starts_with('_') && out.len() > 1 {
+        out.remove(0);
+    }
+    if out.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+        out.insert(0, 'v');
+    }
+    out
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Render a guard as a C-like boolean expression.
+pub fn guard_expr(guard: &Guard) -> String {
+    if guard.is_always() {
+        return "true".to_string();
+    }
+    guard
+        .all
+        .iter()
+        .map(|p| format!("({} {} {})", operand(&p.lhs), p.op, operand(&p.rhs)))
+        .collect::<Vec<_>>()
+        .join(" && ")
+}
+
+/// Render the right-hand side expression of a compute opcode, if it has one.
+pub fn compute_expr(op: &OpCode) -> Option<(String, String)> {
+    match op {
+        OpCode::Assign { dest, src } => Some((sanitize(dest), operand(src))),
+        OpCode::Alu { dest, op, lhs, rhs, .. } => {
+            let expr = match op {
+                AluOp::Min => format!("min({}, {})", operand(lhs), operand(rhs)),
+                AluOp::Max => format!("max({}, {})", operand(lhs), operand(rhs)),
+                AluOp::Slice => format!("slice({}, {})", operand(lhs), operand(rhs)),
+                _ => format!("{} {} {}", operand(lhs), op, operand(rhs)),
+            };
+            Some((sanitize(dest), expr))
+        }
+        OpCode::Cmp { dest, op, lhs, rhs } => {
+            Some((sanitize(dest), format!("{} {} {}", operand(lhs), op, operand(rhs))))
+        }
+        _ => None,
+    }
+}
+
+/// Join index operands as a comma-separated argument list.
+pub fn args(ops: &[Operand]) -> String {
+    ops.iter().map(operand).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clickinc_ir::{CmpOp, Predicate};
+
+    #[test]
+    fn operands_render() {
+        assert_eq!(operand(&Operand::var("$t3")), "t3");
+        assert_eq!(operand(&Operand::var("x.5")), "x_5");
+        assert_eq!(operand(&Operand::hdr("key")), "hdr.inc.key");
+        assert_eq!(operand(&Operand::int(7)), "7");
+        assert_eq!(operand(&Operand::Const(Value::None)), "INC_NONE");
+    }
+
+    #[test]
+    fn sanitize_produces_identifiers() {
+        assert_eq!(sanitize("$t0"), "t0");
+        assert_eq!(sanitize("kvs_0_cache"), "kvs_0_cache");
+        assert_eq!(sanitize("3bad"), "v3bad");
+        assert!(!sanitize("a.b.c").contains('.'));
+    }
+
+    #[test]
+    fn guards_and_exprs_render() {
+        let g = Guard::single(Predicate::new(Operand::var("c"), CmpOp::Ne, Operand::int(0)));
+        assert_eq!(guard_expr(&g), "(c != 0)");
+        assert_eq!(guard_expr(&Guard::always()), "true");
+        let alu = OpCode::Alu {
+            dest: "x".into(),
+            op: AluOp::Add,
+            lhs: Operand::var("a"),
+            rhs: Operand::int(1),
+            float: false,
+        };
+        assert_eq!(compute_expr(&alu), Some(("x".into(), "a + 1".into())));
+        assert_eq!(compute_expr(&OpCode::Drop), None);
+    }
+}

@@ -1,0 +1,98 @@
+//! # clickinc-backend — device-specific code generation
+//!
+//! After synthesis, every device holds one merged IR image.  The backend
+//! translates that image into the device's native language (paper §7.1:
+//! "covering the target DSL of P4-16, NPL, Micro-C, and Verilog HDL"):
+//!
+//! * [`p4`] — P4-16/TNA for Tofino and Tofino2;
+//! * [`npl`] — NPL for Trident4;
+//! * [`microc`] — Micro-C for the Netronome NFP smartNICs;
+//! * [`hls`] — HLS C++ for the Xilinx FPGA smartNICs / accelerator cards.
+//!
+//! The generated sources are *structurally* faithful (headers, parsers,
+//! registers/tables, match-action or run-to-completion bodies, per-user
+//! isolation guards) so they can stand in for vendor-toolchain inputs in the
+//! lines-of-code comparison (Table 1) and serve as human-readable deployment
+//! artifacts; they are not meant to be fed to the (closed) vendor compilers —
+//! the emulator executes the IR image directly instead.
+
+mod emit;
+pub mod hls;
+pub mod microc;
+pub mod npl;
+pub mod p4;
+
+use clickinc_device::DeviceKind;
+use clickinc_ir::IrProgram;
+
+/// A generated device program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProgram {
+    /// Target device family.
+    pub kind: DeviceKind,
+    /// Target language name.
+    pub language: &'static str,
+    /// Generated source text.
+    pub source: String,
+}
+
+impl DeviceProgram {
+    /// Lines of code of the generated program (counted as in Table 1).
+    pub fn lines_of_code(&self) -> usize {
+        self.source
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with('#'))
+            .count()
+    }
+}
+
+/// Generate the device program for `image` on a device of kind `kind`.
+pub fn generate(kind: DeviceKind, image: &IrProgram) -> DeviceProgram {
+    let source = match kind {
+        DeviceKind::Tofino | DeviceKind::Tofino2 => p4::generate(image),
+        DeviceKind::Trident4 => npl::generate(image),
+        DeviceKind::NfpSmartNic => microc::generate(image),
+        DeviceKind::FpgaSmartNic | DeviceKind::FpgaAccelerator => hls::generate(image),
+        DeviceKind::Server => format!("// DPDK host program stub for `{}`\n", image.name),
+    };
+    DeviceProgram { kind, language: kind.target_language(), source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clickinc_frontend::compile_source;
+    use clickinc_lang::templates::{kvs_template, KvsParams};
+
+    fn kvs_image() -> IrProgram {
+        let t = kvs_template("kvs_0", KvsParams::default());
+        compile_source("kvs_0", &t.source).unwrap()
+    }
+
+    #[test]
+    fn every_backend_emits_nonempty_source() {
+        let image = kvs_image();
+        for kind in DeviceKind::PROGRAMMABLE {
+            let prog = generate(kind, &image);
+            assert!(prog.lines_of_code() > 20, "{kind} backend produced {} LoC", prog.lines_of_code());
+            assert_eq!(prog.language, kind.target_language());
+        }
+    }
+
+    #[test]
+    fn generated_p4_is_an_order_of_magnitude_longer_than_clickinc_source() {
+        // Table 1: P4-16 KVS is ~35x the ClickINC source; our generated code
+        // must preserve that order-of-magnitude gap.
+        let t = kvs_template("kvs_0", KvsParams::default());
+        let clickinc_loc = clickinc_lang::lines_of_code(&t.source);
+        let image = compile_source("kvs_0", &t.source).unwrap();
+        let p4 = generate(DeviceKind::Tofino, &image);
+        assert!(
+            p4.lines_of_code() > 3 * clickinc_loc,
+            "P4 {} LoC vs ClickINC {} LoC",
+            p4.lines_of_code(),
+            clickinc_loc
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 14 — placement (compile) time versus the number of devices, with and
+//! without block construction, with and without pruning, DP vs SMT-style.
+
+use clickinc_blockdag::{build_block_dag, BlockConfig};
+use clickinc_frontend::compile_source;
+use clickinc_lang::templates::{mlagg_template, MlAggParams};
+use clickinc_placement::{place, place_smt, PlacementConfig, PlacementNetwork, ResourceLedger, SmtConfig};
+use clickinc_topology::{reduce_for_traffic, Topology};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let source =
+        mlagg_template("mlagg", MlAggParams { dims: 12, ..Default::default() }).source;
+    let ir = compile_source("mlagg", &source).expect("compiles");
+    let dag_blocks = build_block_dag(&ir, &BlockConfig::default());
+    let dag_noblocks =
+        build_block_dag(&ir, &BlockConfig { enable_merging: false, ..Default::default() });
+
+    println!("== Fig. 14(a,b): DP placement time vs number of devices (MLAgg) ==");
+    println!(
+        "{:>8} {:>18} {:>18} {:>18} {:>18}",
+        "devices", "DP block+prune", "DP block no-prune", "DP no-block prune", "DP no-block no-prune"
+    );
+    for devices in [1usize, 2, 4, 7, 10] {
+        let topo = Topology::chain(devices, clickinc_device::DeviceKind::Tofino);
+        let servers = topo.servers();
+        let reduced = reduce_for_traffic(&topo, &[servers[0]], servers[1], &[]);
+        let net = PlacementNetwork::from_reduced(&topo, &reduced, &ResourceLedger::new());
+        let time = |dag, pruning| {
+            let cfg = PlacementConfig { enable_pruning: pruning, ..Default::default() };
+            let start = Instant::now();
+            let _ = place(&ir, dag, &net, &cfg);
+            start.elapsed()
+        };
+        println!(
+            "{:>8} {:>18.2?} {:>18.2?} {:>18.2?} {:>18.2?}",
+            devices,
+            time(&dag_blocks, true),
+            time(&dag_blocks, false),
+            time(&dag_noblocks, true),
+            time(&dag_noblocks, false),
+        );
+    }
+
+    println!();
+    println!("== Fig. 14(c): SMT-style solver time vs number of devices ==");
+    println!("{:>8} {:>16} {:>16} {:>16}", "devices", "SMT block", "SMT w/o block", "nodes (block)");
+    for devices in [1usize, 2, 3, 4] {
+        let topo = Topology::chain(devices, clickinc_device::DeviceKind::Tofino);
+        let servers = topo.servers();
+        let reduced = reduce_for_traffic(&topo, &[servers[0]], servers[1], &[]);
+        let net = PlacementNetwork::from_reduced(&topo, &reduced, &ResourceLedger::new());
+        let cfg = SmtConfig { time_limit: Duration::from_secs(20), ..Default::default() };
+        let start = Instant::now();
+        let with_block = place_smt(&ir, &dag_blocks, &net, &cfg);
+        let t_block = start.elapsed();
+        let start = Instant::now();
+        let _ = place_smt(&ir, &dag_noblocks, &net, &cfg);
+        let t_noblock = start.elapsed();
+        let nodes = with_block.map(|(_, s)| s.nodes_explored).unwrap_or(0);
+        println!("{devices:>8} {t_block:>16.2?} {t_noblock:>16.2?} {nodes:>16}");
+    }
+    println!("(paper: the DP time grows linearly with device count; the SMT time grows exponentially)");
+}

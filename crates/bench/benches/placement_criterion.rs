@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks for the hot compiler paths: frontend lowering,
+//! block-DAG construction and DP placement.  These complement the table/figure
+//! harnesses with statistically robust timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use clickinc_blockdag::{build_block_dag, BlockConfig};
+use clickinc_frontend::compile_source;
+use clickinc_lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggParams};
+use clickinc_placement::{place, PlacementConfig, PlacementNetwork, ResourceLedger};
+use clickinc_topology::{reduce_for_traffic, Topology};
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let kvs = kvs_template("kvs", KvsParams::default()).source;
+    let mlagg = mlagg_template("mlagg", MlAggParams::default()).source;
+    c.bench_function("frontend/compile_kvs", |b| {
+        b.iter(|| compile_source("kvs", black_box(&kvs)).unwrap())
+    });
+    c.bench_function("frontend/compile_mlagg", |b| {
+        b.iter(|| compile_source("mlagg", black_box(&mlagg)).unwrap())
+    });
+}
+
+fn bench_blockdag(c: &mut Criterion) {
+    let ir = compile_source("mlagg", &mlagg_template("mlagg", MlAggParams::default()).source).unwrap();
+    c.bench_function("blockdag/build_mlagg", |b| {
+        b.iter(|| build_block_dag(black_box(&ir), &BlockConfig::default()))
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let ir = compile_source("kvs", &kvs_template("kvs", KvsParams::default()).source).unwrap();
+    let dag = build_block_dag(&ir, &BlockConfig::default());
+    let topo = Topology::chain(4, clickinc_device::DeviceKind::Tofino);
+    let servers = topo.servers();
+    let reduced = reduce_for_traffic(&topo, &[servers[0]], servers[1], &[]);
+    let net = PlacementNetwork::from_reduced(&topo, &reduced, &ResourceLedger::new());
+    c.bench_function("placement/dp_kvs_chain4", |b| {
+        b.iter(|| place(black_box(&ir), &dag, &net, &PlacementConfig::default()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_frontend, bench_blockdag, bench_placement
+}
+criterion_main!(benches);

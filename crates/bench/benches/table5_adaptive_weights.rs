@@ -1,0 +1,48 @@
+//! Table 5 — placement of seven program instances along pod0(a) → pod2(b) with
+//! fixed vs adaptive objective weights.
+
+use clickinc::Controller;
+use clickinc_apps::table5_requests;
+use clickinc_topology::Topology;
+
+fn run(label: &str, mut controller: Controller) {
+    println!("-- {label} weights --");
+    println!("{:<8} {:<46} {:>12}", "Program", "Devices (instructions)", "Remaining r");
+    for request in table5_requests() {
+        let user = request.user.clone();
+        match controller.deploy(request) {
+            Ok(d) => {
+                let detail: Vec<String> = d
+                    .plan
+                    .assignments
+                    .iter()
+                    .filter(|a| !a.is_empty())
+                    .map(|a| format!("{}({})", a.device, a.instrs.len()))
+                    .collect();
+                println!(
+                    "{:<8} {:<46} {:>12.3}",
+                    user,
+                    truncate(&detail.join(":"), 46),
+                    controller.remaining_resource_ratio()
+                );
+            }
+            Err(_) => println!("{user:<8} {:<46} {:>12.3}", "/ (cannot be placed)", controller.remaining_resource_ratio()),
+        }
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}
+
+fn main() {
+    println!("== Table 5: placement results with fixed vs adaptive weights ==");
+    run("fixed", Controller::new(Topology::emulation_topology_all_tofino()).with_fixed_weights());
+    println!();
+    run("adaptive", Controller::new(Topology::emulation_topology_all_tofino()));
+    println!("(paper: adaptive weights concentrate later programs on fewer devices, letting MLAgg2 still fit)");
+}

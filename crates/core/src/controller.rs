@@ -1,0 +1,437 @@
+//! The ClickINC controller: compile → place → synthesize → deploy, with
+//! dynamic (incremental) add/remove and multi-tenant resource accounting.
+
+use crate::request::ServiceRequest;
+use clickinc_backend::DeviceProgram;
+use clickinc_blockdag::{build_block_dag, BlockConfig, BlockDag};
+use clickinc_emulator::DevicePlane;
+use clickinc_frontend::{CompileOptions, Frontend, FrontendError};
+use clickinc_ir::IrProgram;
+use clickinc_placement::{
+    place, PlacementConfig, PlacementError, PlacementNetwork, PlacementPlan, ResourceLedger,
+    Weights,
+};
+use clickinc_synthesis::{
+    add_user_program, assign_steps, base_program, isolate_user_program, remove_user_program,
+    DeploymentDelta, StepAssignment,
+};
+use clickinc_synthesis::incremental::DeviceImages;
+use clickinc_topology::{reduce_for_traffic, NodeId, Topology};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the controller.
+#[derive(Debug)]
+pub enum ControllerError {
+    /// The user id is already deployed.
+    DuplicateUser(String),
+    /// The user id is not deployed (for removal).
+    UnknownUser(String),
+    /// A named server does not exist in the topology.
+    UnknownHost(String),
+    /// Compilation failed.
+    Compile(FrontendError),
+    /// Placement failed.
+    Placement(PlacementError),
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerError::DuplicateUser(u) => write!(f, "user `{u}` already has a deployed program"),
+            ControllerError::UnknownUser(u) => write!(f, "user `{u}` has no deployed program"),
+            ControllerError::UnknownHost(h) => write!(f, "host `{h}` does not exist in the topology"),
+            ControllerError::Compile(e) => write!(f, "compilation failed: {e}"),
+            ControllerError::Placement(e) => write!(f, "placement failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+impl From<FrontendError> for ControllerError {
+    fn from(e: FrontendError) -> Self {
+        ControllerError::Compile(e)
+    }
+}
+
+impl From<PlacementError> for ControllerError {
+    fn from(e: PlacementError) -> Self {
+        ControllerError::Placement(e)
+    }
+}
+
+/// Everything produced by one successful deployment.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The user id.
+    pub user: String,
+    /// The isolated IR program.
+    pub program: IrProgram,
+    /// The block DAG used for placement.
+    pub dag: BlockDag,
+    /// The placement plan.
+    pub plan: PlacementPlan,
+    /// Step numbers assigned to the blocks.
+    pub steps: StepAssignment,
+    /// What the deployment touched (devices / co-resident programs / pods).
+    pub delta: DeploymentDelta,
+    /// Generated device-language programs, one per physical device touched.
+    pub device_programs: BTreeMap<NodeId, DeviceProgram>,
+    /// End-to-end compile + place + synthesize latency.
+    pub elapsed: Duration,
+}
+
+/// The ClickINC controller (paper Fig. 2): owns the topology, the per-device
+/// resource ledger, the running device images, and the emulated data planes.
+pub struct Controller {
+    topology: Topology,
+    ledger: ResourceLedger,
+    images: DeviceImages,
+    planes: BTreeMap<NodeId, DevicePlane>,
+    deployments: BTreeMap<String, Deployment>,
+    next_user_id: i64,
+    frontend: Frontend,
+    block_config: BlockConfig,
+    use_adaptive_weights: bool,
+}
+
+impl Controller {
+    /// Create a controller managing the given topology.
+    pub fn new(topology: Topology) -> Controller {
+        let mut planes = BTreeMap::new();
+        for node in topology.nodes() {
+            if node.tier.is_network_device() && node.kind != clickinc_device::DeviceKind::Server {
+                planes.insert(node.id, DevicePlane::new(&node.name, node.kind.model()));
+            }
+        }
+        Controller {
+            topology,
+            ledger: ResourceLedger::new(),
+            images: DeviceImages::default(),
+            planes,
+            deployments: BTreeMap::new(),
+            next_user_id: 1,
+            frontend: Frontend::new(),
+            block_config: BlockConfig::default(),
+            use_adaptive_weights: true,
+        }
+    }
+
+    /// Use fixed instead of adaptive objective weights (the Table 5 ablation).
+    pub fn with_fixed_weights(mut self) -> Controller {
+        self.use_adaptive_weights = false;
+        self
+    }
+
+    /// The managed topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Ids of the users with an active deployment.
+    pub fn active_users(&self) -> Vec<&str> {
+        self.deployments.keys().map(String::as_str).collect()
+    }
+
+    /// A previously created deployment.
+    pub fn deployment(&self, user: &str) -> Option<&Deployment> {
+        self.deployments.get(user)
+    }
+
+    /// The emulated data plane of one device (to drive traffic through it).
+    pub fn plane(&self, node: NodeId) -> Option<&DevicePlane> {
+        self.planes.get(&node)
+    }
+
+    /// Mutable access to a device plane (e.g. for control-plane table setup or
+    /// to run traffic).
+    pub fn plane_mut(&mut self, node: NodeId) -> Option<&mut DevicePlane> {
+        self.planes.get_mut(&node)
+    }
+
+    /// Fraction of network-wide resources still free.
+    pub fn remaining_resource_ratio(&self) -> f64 {
+        self.ledger.remaining_ratio(&self.topology)
+    }
+
+    /// Compile a request's source without deploying it (step ii of the
+    /// workflow); exposed for the productivity experiments.
+    pub fn compile(&self, request: &ServiceRequest) -> Result<IrProgram, ControllerError> {
+        let ir = self.frontend.compile_source(
+            &request.user,
+            &request.source,
+            &CompileOptions::default(),
+        )?;
+        Ok(ir)
+    }
+
+    /// Deploy a program: compile, isolate, place, synthesize and install.
+    pub fn deploy(&mut self, request: ServiceRequest) -> Result<&Deployment, ControllerError> {
+        let started = Instant::now();
+        if self.deployments.contains_key(&request.user) {
+            return Err(ControllerError::DuplicateUser(request.user));
+        }
+        // resolve endpoints
+        let sources: Result<Vec<NodeId>, ControllerError> = request
+            .sources
+            .iter()
+            .map(|s| {
+                self.topology.find(s).ok_or_else(|| ControllerError::UnknownHost(s.clone()))
+            })
+            .collect();
+        let sources = sources?;
+        let dst = self
+            .topology
+            .find(&request.destination)
+            .ok_or_else(|| ControllerError::UnknownHost(request.destination.clone()))?;
+
+        // compile + isolate
+        let ir = self.compile(&request)?;
+        let user_numeric_id = self.next_user_id;
+        let isolated = isolate_user_program(&ir, &request.user, user_numeric_id);
+
+        // block DAG + reduced topology + placement
+        let dag = build_block_dag(&isolated, &self.block_config);
+        let reduced = reduce_for_traffic(&self.topology, &sources, dst, &request.traffic_weights);
+        let net = PlacementNetwork::from_reduced(&self.topology, &reduced, &self.ledger);
+        let weights = if self.use_adaptive_weights {
+            Weights::adaptive(self.ledger.remaining_ratio(&self.topology))
+        } else {
+            Weights::fixed()
+        };
+        let plan = place(&isolated, &dag, &net, &PlacementConfig { weights, enable_pruning: true })?;
+
+        // book resources
+        for assignment in plan.assignments.iter().filter(|a| !a.is_empty()) {
+            for member in &assignment.members {
+                self.ledger.consume(*member, assignment.demand);
+            }
+        }
+
+        // synthesize with the base program and install on the data planes
+        let base = base_program();
+        let pod_of: BTreeMap<NodeId, Option<usize>> =
+            self.topology.nodes().iter().map(|n| (n.id, n.pod)).collect();
+        let delta = add_user_program(&mut self.images, &base, &isolated, &plan, &pod_of);
+        let steps = assign_steps(&dag, &plan);
+        let mut device_programs = BTreeMap::new();
+        for assignment in plan.assignments.iter().filter(|a| !a.is_empty()) {
+            let mut snippet = IrProgram::new(request.user.clone());
+            snippet.headers = isolated.headers.clone();
+            snippet.objects = isolated
+                .objects
+                .iter()
+                .filter(|o| {
+                    assignment
+                        .instrs
+                        .iter()
+                        .any(|&i| isolated.instructions[i].object() == Some(o.name.as_str()))
+                })
+                .cloned()
+                .collect();
+            snippet.instructions =
+                assignment.instrs.iter().map(|&i| isolated.instructions[i].clone()).collect();
+            for member in &assignment.members {
+                if let Some(plane) = self.planes.get_mut(member) {
+                    plane.install(snippet.clone());
+                }
+                if let Some(image) = self.images.images.get(member) {
+                    let kind = self.topology.node(*member).kind;
+                    device_programs.insert(*member, clickinc_backend::generate(kind, image));
+                }
+            }
+        }
+
+        self.next_user_id += 1;
+        let deployment = Deployment {
+            user: request.user.clone(),
+            program: isolated,
+            dag,
+            plan,
+            steps,
+            delta,
+            device_programs,
+            elapsed: started.elapsed(),
+        };
+        self.deployments.insert(request.user.clone(), deployment);
+        Ok(self.deployments.get(&request.user).expect("just inserted"))
+    }
+
+    /// Remove a previously deployed program (lazy removal + resource release).
+    pub fn remove(&mut self, user: &str) -> Result<DeploymentDelta, ControllerError> {
+        let deployment = self
+            .deployments
+            .remove(user)
+            .ok_or_else(|| ControllerError::UnknownUser(user.to_string()))?;
+        for assignment in deployment.plan.assignments.iter().filter(|a| !a.is_empty()) {
+            for member in &assignment.members {
+                self.ledger.release(*member, assignment.demand);
+            }
+        }
+        let pod_of: BTreeMap<NodeId, Option<usize>> =
+            self.topology.nodes().iter().map(|n| (n.id, n.pod)).collect();
+        let delta = remove_user_program(&mut self.images, user, &pod_of);
+        Ok(delta)
+    }
+
+    /// The physical devices hosting a user's snippets (for scenario wiring).
+    pub fn devices_of(&self, user: &str) -> Vec<NodeId> {
+        self.deployments
+            .get(user)
+            .map(|d| {
+                d.plan
+                    .assignments
+                    .iter()
+                    .filter(|a| !a.is_empty())
+                    .flat_map(|a| a.members.iter().copied())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clickinc_lang::templates::{
+        count_min_sketch, dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams,
+        MlAggParams,
+    };
+
+    fn controller() -> Controller {
+        Controller::new(Topology::emulation_topology_all_tofino())
+    }
+
+    #[test]
+    fn deploy_compiles_places_and_installs() {
+        let mut c = controller();
+        let t = kvs_template("kvs0", KvsParams { cache_depth: 2000, ..Default::default() });
+        let request = ServiceRequest::from_template(t, &["pod0a", "pod1a"], "pod2b");
+        let ratio_before = c.remaining_resource_ratio();
+        let deployment = c.deploy(request).expect("kvs deploys");
+        assert_eq!(deployment.user, "kvs0");
+        assert!(!deployment.plan.devices_used().is_empty());
+        assert!(!deployment.device_programs.is_empty());
+        assert!(deployment.delta.device_count() > 0);
+        assert!(deployment.elapsed < Duration::from_secs(30));
+        let devices = c.devices_of("kvs0");
+        assert!(!devices.is_empty());
+        // the snippets are installed on the emulated planes
+        assert!(devices.iter().any(|d| c.plane(*d).map(|p| p.has_program()).unwrap_or(false)));
+        // resources were booked
+        assert!(c.remaining_resource_ratio() <= ratio_before);
+        assert_eq!(c.active_users(), vec!["kvs0"]);
+    }
+
+    #[test]
+    fn duplicate_users_and_unknown_hosts_are_rejected() {
+        let mut c = controller();
+        let t = count_min_sketch("cms0", 3, 512);
+        c.deploy(ServiceRequest::from_template(t.clone(), &["pod0a"], "pod2b")).unwrap();
+        let dup = c.deploy(ServiceRequest::from_template(t, &["pod0a"], "pod2b"));
+        assert!(matches!(dup.unwrap_err(), ControllerError::DuplicateUser(_)));
+        let bad = c.deploy(ServiceRequest::new("x", "forward()\n", &["nowhere"], "pod2b"));
+        assert!(matches!(bad.unwrap_err(), ControllerError::UnknownHost(_)));
+        let bad_dst = c.deploy(ServiceRequest::new("y", "forward()\n", &["pod0a"], "mars"));
+        assert!(matches!(bad_dst.unwrap_err(), ControllerError::UnknownHost(_)));
+    }
+
+    #[test]
+    fn compile_errors_are_reported() {
+        let mut c = controller();
+        let r = ServiceRequest::new("bad", "x = undefined_thing(1)\n", &["pod0a"], "pod2b");
+        assert!(matches!(c.deploy(r).unwrap_err(), ControllerError::Compile(_)));
+    }
+
+    #[test]
+    fn multiple_tenants_coexist_and_release_resources_on_removal() {
+        let mut c = controller();
+        c.deploy(ServiceRequest::from_template(
+            kvs_template("kvs0", KvsParams { cache_depth: 2000, ..Default::default() }),
+            &["pod0a", "pod1a"],
+            "pod2b",
+        ))
+        .unwrap();
+        let after_first = c.remaining_resource_ratio();
+        c.deploy(ServiceRequest::from_template(
+            dqacc_template("dq0", DqAccParams { depth: 2000, ways: 4 }),
+            &["pod0b"],
+            "pod2b",
+        ))
+        .unwrap();
+        c.deploy(ServiceRequest::from_template(
+            mlagg_template("agg0", MlAggParams { dims: 8, num_aggregators: 1024, ..Default::default() }),
+            &["pod1a", "pod1b"],
+            "pod2a",
+        ))
+        .unwrap();
+        assert_eq!(c.active_users().len(), 3);
+        let after_three = c.remaining_resource_ratio();
+        assert!(after_three <= after_first);
+
+        let delta = c.remove("dq0").expect("removal succeeds");
+        assert!(delta.device_count() > 0);
+        assert_eq!(c.active_users().len(), 2);
+        assert!(c.remaining_resource_ratio() >= after_three);
+        assert!(matches!(c.remove("dq0").unwrap_err(), ControllerError::UnknownUser(_)));
+    }
+
+    #[test]
+    fn deployed_mlagg_actually_aggregates_on_the_emulated_plane() {
+        use clickinc_emulator::packet::gradient_packet;
+        use clickinc_emulator::PacketAction;
+        let mut c = controller();
+        let dims = 4usize;
+        let workers = 2usize;
+        c.deploy(ServiceRequest::from_template(
+            mlagg_template("agg0", MlAggParams {
+                dims: dims as u32,
+                num_workers: workers as u32,
+                num_aggregators: 256,
+                ..Default::default()
+            }),
+            &["pod0a", "pod1a"],
+            "pod2b",
+        ))
+        .unwrap();
+        // find a device that hosts the aggregation state
+        let devices = c.devices_of("agg0");
+        let user_id = 1; // first deployment gets numeric id 1
+        let mut completed = false;
+        'outer: for device in devices {
+            // replay the workload against a clone of that plane
+            let Some(plane) = c.plane(device) else { continue };
+            if !plane.has_program() {
+                continue;
+            }
+            let mut plane = plane.clone();
+            for w in 0..workers {
+                let mut pkt =
+                    gradient_packet("w", "ps", user_id, 1, w, dims, &[1, 2, 3, 4]);
+                let outcome = plane.process(&mut pkt);
+                if outcome.action == PacketAction::Back {
+                    assert_eq!(pkt.inc.get("data_0"), clickinc_ir::Value::Int(2));
+                    completed = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(completed, "some device on the path completed the aggregation");
+    }
+
+    #[test]
+    fn doc_example_compiles() {
+        // mirrors the crate-level doc example
+        let topo = Topology::emulation_topology_all_tofino();
+        let mut controller = Controller::new(topo);
+        let request = ServiceRequest::from_template(
+            count_min_sketch("cms_demo", 3, 1024),
+            &["pod0a"],
+            "pod2b",
+        );
+        let deployment = controller.deploy(request).expect("cms deploys");
+        assert!(!deployment.plan.devices_used().is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! # clickinc — In-network Computing as a Service
+//!
+//! This crate is the user-facing facade of the ClickINC reproduction: the
+//! [`Controller`] implements the four-step workflow of paper §3.2 —
+//!
+//! 1. **write** a user program in the Python-style ClickINC language (or
+//!    instantiate a provider template from a configuration profile);
+//! 2. **compile** it to the platform-independent IR (`clickinc-frontend`);
+//! 3. **place** it over the (reduced) topology with the DP algorithm
+//!    (`clickinc-placement`), respecting the resources already consumed by
+//!    other tenants;
+//! 4. **deploy** it: isolate the user's state, synthesize it with the base
+//!    program on every target device, generate device-language programs
+//!    (`clickinc-backend`) and install the snippets on the emulated data plane
+//!    (`clickinc-emulator`).
+//!
+//! Programs can be added and removed dynamically; the controller keeps the
+//! per-device resource ledger and the running images so that later requests are
+//! compiled incrementally (paper §6 / §7.5).
+//!
+//! ```
+//! use clickinc::{Controller, ServiceRequest};
+//! use clickinc_topology::Topology;
+//!
+//! let topo = Topology::emulation_topology_all_tofino();
+//! let mut controller = Controller::new(topo);
+//! let request = ServiceRequest::from_template(
+//!     clickinc_lang::templates::count_min_sketch("cms_demo", 3, 1024),
+//!     &["pod0a"],
+//!     "pod2b",
+//! );
+//! let deployment = controller.deploy(request).expect("cms deploys");
+//! assert!(!deployment.plan.devices_used().is_empty());
+//! ```
+
+mod controller;
+mod request;
+
+pub use controller::{Controller, ControllerError, Deployment};
+pub use request::ServiceRequest;
+
+// Re-export the subsystem crates under stable names so downstream users need a
+// single dependency.
+pub use clickinc_backend as backend;
+pub use clickinc_blockdag as blockdag;
+pub use clickinc_device as device;
+pub use clickinc_emulator as emulator;
+pub use clickinc_frontend as frontend;
+pub use clickinc_ir as ir;
+pub use clickinc_lang as lang;
+pub use clickinc_placement as placement;
+pub use clickinc_synthesis as synthesis;
+pub use clickinc_topology as topology;

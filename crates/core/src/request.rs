@@ -1,0 +1,81 @@
+//! INC service requests.
+
+use clickinc_lang::templates::Template;
+use clickinc_lang::Profile;
+
+/// A request to deploy one INC program for one user.
+#[derive(Debug, Clone)]
+pub struct ServiceRequest {
+    /// User / program id (must be unique among active programs).
+    pub user: String,
+    /// ClickINC source of the program.
+    pub source: String,
+    /// Names of the client/worker servers generating the traffic.
+    pub sources: Vec<String>,
+    /// Name of the destination server.
+    pub destination: String,
+    /// Optional per-source traffic weights (packets per second).
+    pub traffic_weights: Vec<f64>,
+    /// Optional configuration profile (used for reporting; the template
+    /// parameters are already baked into `source`).
+    pub profile: Option<Profile>,
+}
+
+impl ServiceRequest {
+    /// Build a request from raw ClickINC source.
+    pub fn new(
+        user: impl Into<String>,
+        source: impl Into<String>,
+        sources: &[&str],
+        destination: &str,
+    ) -> ServiceRequest {
+        ServiceRequest {
+            user: user.into(),
+            source: source.into(),
+            sources: sources.iter().map(|s| s.to_string()).collect(),
+            destination: destination.to_string(),
+            traffic_weights: Vec::new(),
+            profile: None,
+        }
+    }
+
+    /// Build a request from an instantiated template.
+    pub fn from_template(template: Template, sources: &[&str], destination: &str) -> ServiceRequest {
+        ServiceRequest::new(template.name.clone(), template.source, sources, destination)
+    }
+
+    /// Attach per-source traffic weights (builder style).
+    pub fn with_weights(mut self, weights: Vec<f64>) -> ServiceRequest {
+        self.traffic_weights = weights;
+        self
+    }
+
+    /// Attach the originating profile (builder style).
+    pub fn with_profile(mut self, profile: Profile) -> ServiceRequest {
+        self.profile = Some(profile);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clickinc_lang::templates::{kvs_template, KvsParams};
+
+    #[test]
+    fn request_builders() {
+        let r = ServiceRequest::new("u1", "forward()\n", &["a", "b"], "c")
+            .with_weights(vec![1.0, 2.0]);
+        assert_eq!(r.user, "u1");
+        assert_eq!(r.sources, vec!["a", "b"]);
+        assert_eq!(r.traffic_weights, vec![1.0, 2.0]);
+        assert!(r.profile.is_none());
+
+        let t = kvs_template("kvs_0", KvsParams::default());
+        let r = ServiceRequest::from_template(t, &["pod0a"], "pod2b")
+            .with_profile(clickinc_lang::profile::example_kvs_profile());
+        assert_eq!(r.user, "kvs_0");
+        assert!(r.source.contains("cache"));
+        assert!(r.profile.is_some());
+    }
+}

@@ -1,0 +1,318 @@
+//! Resource demand of instructions and blocks on a given device.
+//!
+//! The chip-specific constraint systems of Appendix E boil down, for the
+//! purpose of placement, to "how many units of each resource does this piece of
+//! the program consume on this device".  This module computes that demand:
+//!
+//! * compute resources (ALUs, SALUs, hash units, gateway slots, instruction
+//!   slots) are charged per instruction;
+//! * memory resources (SRAM/TCAM blocks, match-action table slots, FPGA
+//!   BRAM/LUT) are charged per *distinct object* referenced by the block, since
+//!   an object is materialized once per device regardless of how many
+//!   instructions touch it;
+//! * PHV bits are charged per distinct temporary variable defined by the block
+//!   (those are the values that must be carried between stages / devices).
+
+use crate::model::{Architecture, DeviceKind, DeviceModel};
+use clickinc_ir::{
+    classify_instruction, CapabilityClass, Instruction, IrProgram, ObjectKind, OpCode, Resource,
+    ResourceVector,
+};
+use std::collections::BTreeSet;
+
+/// SRAM block capacity in bits (Tofino-style 128 kb blocks).
+const SRAM_BLOCK_BITS: f64 = 128.0 * 1024.0;
+/// TCAM block capacity in bits (44 b × 2048 entries).
+const TCAM_BLOCK_BITS: f64 = 44.0 * 2048.0;
+/// FPGA BRAM block capacity in bits (36 kb).
+const BRAM_BLOCK_BITS: f64 = 36.0 * 1024.0;
+
+/// Demand of a single instruction on `device`, *excluding* object memory
+/// (memory is accounted per distinct object by [`block_demand`]).
+pub fn instruction_demand(
+    device: &DeviceModel,
+    program: &IrProgram,
+    instr: &Instruction,
+) -> ResourceVector {
+    let mut v = ResourceVector::zero();
+    let class = classify_instruction(instr, &program.objects);
+    let rtc = device.arch == Architecture::Rtc;
+    let fpga = matches!(device.kind, DeviceKind::FpgaSmartNic | DeviceKind::FpgaAccelerator);
+    // LUT/DSP fabric only exists on FPGA devices; charging it elsewhere would
+    // spuriously violate the zero capacity of ASIC/NFP models.
+    let fab = if fpga { 1.0 } else { 0.0 };
+
+    // every instruction consumes a generic instruction slot (dominant on RTC)
+    v[Resource::InstrSlots] += 1.0;
+
+    match &instr.op {
+        OpCode::Alu { float, .. } => {
+            v[Resource::StatelessAlus] += 1.0;
+            if *float || class == CapabilityClass::Bic {
+                // complex arithmetic maps to DSPs on FPGAs and extra micro-ops on NFP
+                v[Resource::Dsp] += fab * 2.0;
+                if rtc {
+                    v[Resource::InstrSlots] += 3.0;
+                }
+            }
+            v[Resource::Lut] += fab * 64.0;
+        }
+        OpCode::Assign { .. } | OpCode::SetHeader { .. } | OpCode::Cmp { .. } => {
+            v[Resource::StatelessAlus] += 1.0;
+            v[Resource::Lut] += fab * 32.0;
+        }
+        OpCode::Hash { .. } | OpCode::Checksum { .. } | OpCode::RandInt { .. } => {
+            v[Resource::HashUnits] += 1.0;
+            v[Resource::Lut] += fab * 256.0;
+        }
+        OpCode::ReadState { .. }
+        | OpCode::WriteState { .. }
+        | OpCode::CountState { .. }
+        | OpCode::DeleteState { .. }
+        | OpCode::ClearState { .. } => {
+            // stateful ALU for register-style objects, a table slot for tables
+            let is_table = instr
+                .object()
+                .and_then(|o| program.object(o))
+                .map(|o| matches!(o.kind, ObjectKind::Table { .. }))
+                .unwrap_or(false);
+            if is_table {
+                v[Resource::TableSlots] += 1.0;
+                v[Resource::HashUnits] += 1.0;
+            } else {
+                v[Resource::StatefulAlus] += 1.0;
+            }
+            v[Resource::Lut] += fab * 128.0;
+            if rtc {
+                v[Resource::InstrSlots] += 2.0;
+            }
+        }
+        OpCode::Crypto { .. } => {
+            v[Resource::Dsp] += fab * 8.0;
+            v[Resource::Lut] += fab * 4096.0;
+            v[Resource::InstrSlots] += 16.0;
+        }
+        OpCode::Drop | OpCode::Forward | OpCode::NoOp => {
+            v[Resource::StatelessAlus] += 0.1;
+        }
+        OpCode::Back { updates } | OpCode::Mirror { updates } => {
+            v[Resource::StatelessAlus] += 1.0 + updates.len() as f64 * 0.5;
+            v[Resource::Lut] += fab * 64.0;
+        }
+        OpCode::Multicast { .. } | OpCode::CopyTo { .. } => {
+            v[Resource::StatelessAlus] += 1.0;
+            v[Resource::Lut] += fab * 64.0;
+        }
+    }
+
+    // predication consumes gateway resources (one per guarded instruction,
+    // Appendix E.1 "Other Constraints")
+    if instr.guard.is_some() {
+        v[Resource::GatewaySlots] += 1.0;
+    }
+    // a defined temporary occupies PHV space so it can flow to later stages
+    if instr.dest().is_some() {
+        v[Resource::PhvBits] += 32.0;
+    }
+    v
+}
+
+/// Memory demand of one object on `device`.
+pub fn object_demand(device: &DeviceModel, kind: &ObjectKind) -> ResourceVector {
+    let mut v = ResourceVector::zero();
+    let bits = kind.storage_bits() as f64;
+    let fpga = matches!(device.kind, DeviceKind::FpgaSmartNic | DeviceKind::FpgaAccelerator);
+    let fab = if fpga { 1.0 } else { 0.0 };
+    match kind {
+        ObjectKind::Table { match_kind, .. } => {
+            v[Resource::TableSlots] += 1.0;
+            match match_kind {
+                clickinc_ir::MatchKind::Ternary | clickinc_ir::MatchKind::Lpm => {
+                    v[Resource::TcamBlocks] += (bits / TCAM_BLOCK_BITS).ceil().max(1.0);
+                    // ternary tables also need SRAM for the action data
+                    v[Resource::SramBlocks] += (bits / (2.0 * SRAM_BLOCK_BITS)).ceil().max(1.0);
+                }
+                _ => {
+                    // exact match keeps ~90% SRAM utilization for hash collisions
+                    v[Resource::SramBlocks] += (bits / (0.9 * SRAM_BLOCK_BITS)).ceil().max(1.0);
+                    v[Resource::HashUnits] += 1.0;
+                }
+            }
+        }
+        ObjectKind::Array { .. } | ObjectKind::Seq { .. } | ObjectKind::Sketch { .. } => {
+            v[Resource::SramBlocks] += (bits / SRAM_BLOCK_BITS).ceil().max(1.0);
+            v[Resource::StatefulAlus] += match kind {
+                ObjectKind::Sketch { rows, .. } => *rows as f64,
+                _ => 1.0,
+            };
+        }
+        ObjectKind::Hash { .. } => {
+            v[Resource::HashUnits] += 1.0;
+        }
+        ObjectKind::Crypto { .. } => {
+            v[Resource::Lut] += fab * 8192.0;
+            v[Resource::Dsp] += fab * 16.0;
+        }
+    }
+    // FPGA devices back the same storage with BRAM
+    if fpga {
+        v[Resource::Bram] += (bits / BRAM_BLOCK_BITS).ceil();
+    }
+    v
+}
+
+/// Total demand of a set of instructions (a block or a whole snippet) on
+/// `device`: per-instruction compute plus per-distinct-object memory.
+pub fn block_demand(device: &DeviceModel, program: &IrProgram, instrs: &[usize]) -> ResourceVector {
+    let mut v = ResourceVector::zero();
+    let mut objects_seen: BTreeSet<&str> = BTreeSet::new();
+    for &idx in instrs {
+        let instr = &program.instructions[idx];
+        v += instruction_demand(device, program, instr);
+        if let Some(obj) = instr.object() {
+            if objects_seen.insert(obj) {
+                if let Some(decl) = program.object(obj) {
+                    v += object_demand(device, &decl.kind);
+                }
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clickinc_ir::{AluOp, MatchKind, Operand, ProgramBuilder, SketchKind};
+
+    fn kvs_like() -> IrProgram {
+        let mut b = ProgramBuilder::new("kvs");
+        b.table("cache", MatchKind::Exact, 128, 512, 5000, false);
+        b.sketch("cms", SketchKind::CountMin, 3, 1024, 32);
+        b.hash_fn("h", clickinc_ir::HashAlgo::Crc16, Some(5000));
+        b.get("vals", "cache", vec![Operand::hdr("key")]);
+        b.count(Some("c"), "cms", vec![Operand::hdr("key")], Operand::int(1));
+        b.hash("i", "h", vec![Operand::hdr("key")]);
+        b.alu("x", AluOp::Add, Operand::var("c"), Operand::int(1));
+        b.forward();
+        b.build()
+    }
+
+    #[test]
+    fn table_memory_is_charged_once_per_object() {
+        let p = kvs_like();
+        let dev = DeviceModel::tofino();
+        let one_read = block_demand(&dev, &p, &[0]);
+        // two reads of the same table must not double the SRAM blocks
+        let mut p2 = p.clone();
+        let extra = clickinc_ir::Instruction::new(100, OpCode::ReadState {
+            dest: "vals2".into(),
+            object: "cache".into(),
+            index: vec![Operand::hdr("key")],
+        });
+        p2.instructions.push(extra);
+        let two_reads = block_demand(&dev, &p2, &[0, 5]);
+        assert_eq!(one_read[Resource::SramBlocks], two_reads[Resource::SramBlocks]);
+        assert!(two_reads[Resource::TableSlots] > one_read[Resource::TableSlots]);
+    }
+
+    #[test]
+    fn exact_tables_use_sram_ternary_use_tcam() {
+        let dev = DeviceModel::tofino();
+        let exact = object_demand(&dev, &ObjectKind::Table {
+            match_kind: MatchKind::Exact,
+            key_width: 128,
+            value_width: 512,
+            depth: 5000,
+            stateful: false,
+        });
+        assert!(exact[Resource::SramBlocks] >= 1.0);
+        assert_eq!(exact[Resource::TcamBlocks], 0.0);
+        let tern = object_demand(&dev, &ObjectKind::Table {
+            match_kind: MatchKind::Ternary,
+            key_width: 32,
+            value_width: 8,
+            depth: 2048,
+            stateful: false,
+        });
+        assert!(tern[Resource::TcamBlocks] >= 1.0);
+    }
+
+    #[test]
+    fn sketch_demands_one_salu_per_row() {
+        let dev = DeviceModel::tofino();
+        let cms = object_demand(&dev, &ObjectKind::Sketch {
+            kind: SketchKind::CountMin,
+            rows: 3,
+            cols: 65536,
+            width: 32,
+        });
+        assert_eq!(cms[Resource::StatefulAlus], 3.0);
+        assert!(cms[Resource::SramBlocks] >= 48.0, "3 * 64K * 32b = 48 blocks");
+    }
+
+    #[test]
+    fn fpga_charges_bram_for_memory() {
+        let fpga = DeviceModel::fpga_accelerator();
+        let tofino = DeviceModel::tofino();
+        let arr = ObjectKind::Array { rows: 1, size: 100_000, width: 32 };
+        assert!(object_demand(&fpga, &arr)[Resource::Bram] > 0.0);
+        assert_eq!(object_demand(&tofino, &arr)[Resource::Bram], 0.0);
+    }
+
+    #[test]
+    fn guarded_instructions_consume_gateways() {
+        let p = kvs_like();
+        let dev = DeviceModel::tofino();
+        let mut guarded = p.instructions[3].clone();
+        guarded.guard = Some(clickinc_ir::Guard::single(clickinc_ir::Predicate::new(
+            Operand::var("c"),
+            clickinc_ir::CmpOp::Ne,
+            Operand::int(0),
+        )));
+        let d_plain = instruction_demand(&dev, &p, &p.instructions[3]);
+        let d_guarded = instruction_demand(&dev, &p, &guarded);
+        assert_eq!(d_plain[Resource::GatewaySlots], 0.0);
+        assert_eq!(d_guarded[Resource::GatewaySlots], 1.0);
+    }
+
+    #[test]
+    fn rtc_devices_charge_more_instruction_slots_for_state() {
+        let p = kvs_like();
+        let nfp = DeviceModel::nfp_smartnic();
+        let tofino = DeviceModel::tofino();
+        let d_nfp = instruction_demand(&nfp, &p, &p.instructions[1]);
+        let d_tof = instruction_demand(&tofino, &p, &p.instructions[1]);
+        assert!(d_nfp[Resource::InstrSlots] > d_tof[Resource::InstrSlots]);
+    }
+
+    #[test]
+    fn whole_program_fits_a_tofino_but_not_a_server() {
+        let p = kvs_like();
+        let all: Vec<usize> = (0..p.len()).collect();
+        let tofino = DeviceModel::tofino();
+        let demand = block_demand(&tofino, &p, &all);
+        assert!(demand.fits_within(&tofino.total_capacity()));
+        let server = DeviceModel::server();
+        let sdemand = block_demand(&server, &p, &all);
+        assert!(!sdemand.fits_within(&server.total_capacity()));
+    }
+
+    #[test]
+    fn crypto_and_float_demand_dsp() {
+        let mut b = ProgramBuilder::new("c");
+        b.object("enc", ObjectKind::Crypto { algo: clickinc_ir::CryptoAlgo::Aes });
+        b.emit(OpCode::Crypto {
+            dest: "e".into(),
+            object: "enc".into(),
+            input: Operand::hdr("key"),
+            encrypt: true,
+        });
+        b.falu("f", AluOp::Mul, Operand::hdr("a"), Operand::hdr("b"));
+        let p = b.build();
+        let fpga = DeviceModel::fpga_smartnic();
+        let d = block_demand(&fpga, &p, &[0, 1]);
+        assert!(d[Resource::Dsp] > 0.0);
+        assert!(d[Resource::Lut] > 0.0);
+    }
+}

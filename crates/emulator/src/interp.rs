@@ -1,0 +1,561 @@
+//! The data-plane interpreter: executes IR images/snippets on packets.
+
+use crate::packet::Packet;
+use crate::state::ObjectStore;
+use clickinc_device::DeviceModel;
+use clickinc_ir::{AluOp, CmpOp, Guard, IrProgram, OpCode, Operand, Value};
+use std::collections::BTreeMap;
+
+/// What happens to the packet after the device processed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketAction {
+    /// Continue along the normal forwarding path.
+    Forward,
+    /// Consumed / dropped by the device (e.g. aggregated or filtered).
+    Drop,
+    /// Bounced back towards the sender (e.g. a cache hit reply or a completed
+    /// aggregation result).
+    Back,
+}
+
+/// Result of processing one packet on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// The resulting action.
+    pub action: PacketAction,
+    /// Copies mirrored to the CPU / monitoring session.
+    pub mirrored: Vec<Packet>,
+    /// Processing latency contributed by this device in nanoseconds.
+    pub latency_ns: f64,
+    /// Number of IR instructions whose guard held (i.e. actually executed).
+    pub instructions_executed: usize,
+}
+
+/// One emulated device data plane: the installed IR snippets, their stateful
+/// objects, and the device model used for latency accounting.
+#[derive(Debug, Clone)]
+pub struct DevicePlane {
+    /// Device name (topology node name).
+    pub name: String,
+    /// The device model (for latency and line-rate accounting).
+    pub model: DeviceModel,
+    /// Installed program snippets, executed in installation order.
+    snippets: Vec<IrProgram>,
+    /// Stateful object storage shared by all snippets on this device.
+    store: ObjectStore,
+    /// Total packets processed.
+    pub packets_processed: u64,
+    /// Total instructions executed.
+    pub instructions_executed: u64,
+    /// Temporaries exported into the packet's Param field for downstream
+    /// devices (set from the synthesizer's Param analysis; empty = nothing is
+    /// carried).
+    pub param_exports: Vec<String>,
+}
+
+impl DevicePlane {
+    /// Create an empty device plane.
+    pub fn new(name: &str, model: DeviceModel) -> DevicePlane {
+        DevicePlane {
+            name: name.to_string(),
+            model,
+            snippets: Vec::new(),
+            store: ObjectStore::new(),
+            packets_processed: 0,
+            instructions_executed: 0,
+            param_exports: Vec::new(),
+        }
+    }
+
+    /// Configure which temporaries are exported into the Param field after
+    /// processing (from [`clickinc-synthesis`]'s `param_field_bits`).
+    pub fn set_param_exports(&mut self, vars: Vec<String>) {
+        self.param_exports = vars;
+    }
+
+    /// Install a program snippet (declares its objects).
+    pub fn install(&mut self, snippet: IrProgram) {
+        for obj in &snippet.objects {
+            self.store.declare(obj);
+        }
+        self.snippets.push(snippet);
+    }
+
+    /// Whether any snippet is installed.
+    pub fn has_program(&self) -> bool {
+        !self.snippets.is_empty()
+    }
+
+    /// Direct (control-plane) access to the object store, used to pre-populate
+    /// tables such as the KVS cache.
+    pub fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+
+    /// Read-only access to the object store (assertions in tests).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Process a packet through every installed snippet.
+    pub fn process(&mut self, pkt: &mut Packet) -> ExecOutcome {
+        self.packets_processed += 1;
+        let mut action = PacketAction::Forward;
+        let mut mirrored = Vec::new();
+        let mut executed = 0usize;
+        let mut env: BTreeMap<String, Value> = BTreeMap::new();
+
+        let snippets = self.snippets.clone();
+        for snippet in &snippets {
+            for instr in &snippet.instructions {
+                let guard_ok = instr
+                    .guard
+                    .as_ref()
+                    .map(|g| self.eval_guard(g, &env, pkt))
+                    .unwrap_or(true);
+                if !guard_ok {
+                    continue;
+                }
+                executed += 1;
+                self.execute(&instr.op, &mut env, pkt, &mut action, &mut mirrored);
+            }
+        }
+        // export the configured temporaries into the Param field so downstream
+        // devices can continue the computation (paper §6, Param field)
+        if action == PacketAction::Forward {
+            for var in &self.param_exports {
+                if let Some(value) = env.get(var) {
+                    pkt.inc.param.insert(var.clone(), value.clone());
+                }
+            }
+        }
+        self.instructions_executed += executed as u64;
+        let latency_ns =
+            self.model.base_latency_ns + self.model.per_instr_latency_ns * executed as f64;
+        ExecOutcome { action, mirrored, latency_ns, instructions_executed: executed }
+    }
+
+    fn eval_operand(&self, op: &Operand, env: &BTreeMap<String, Value>, pkt: &Packet) -> Value {
+        match op {
+            Operand::Const(v) => v.clone(),
+            Operand::Var(name) => env
+                .get(name)
+                .cloned()
+                .or_else(|| pkt.inc.param.get(name).cloned())
+                .unwrap_or(Value::None),
+            Operand::Header(field) => pkt.inc.get(field),
+            Operand::Meta(field) => match field.as_str() {
+                "inc_user" => Value::Int(pkt.inc.user),
+                "step" => Value::Int(pkt.inc.step),
+                _ => Value::None,
+            },
+        }
+    }
+
+    fn eval_guard(&self, guard: &Guard, env: &BTreeMap<String, Value>, pkt: &Packet) -> bool {
+        guard.all.iter().all(|p| {
+            let lhs = self.eval_operand(&p.lhs, env, pkt);
+            let rhs = self.eval_operand(&p.rhs, env, pkt);
+            compare(&lhs, p.op, &rhs)
+        })
+    }
+
+    fn execute(
+        &mut self,
+        op: &OpCode,
+        env: &mut BTreeMap<String, Value>,
+        pkt: &mut Packet,
+        action: &mut PacketAction,
+        mirrored: &mut Vec<Packet>,
+    ) {
+        match op {
+            OpCode::Assign { dest, src } => {
+                let v = self.eval_operand(src, env, pkt);
+                env.insert(dest.clone(), v);
+            }
+            OpCode::Alu { dest, op, lhs, rhs, float } => {
+                let a = self.eval_operand(lhs, env, pkt);
+                let b = self.eval_operand(rhs, env, pkt);
+                env.insert(dest.clone(), alu(*op, &a, &b, *float));
+            }
+            OpCode::Cmp { dest, op, lhs, rhs } => {
+                let a = self.eval_operand(lhs, env, pkt);
+                let b = self.eval_operand(rhs, env, pkt);
+                env.insert(dest.clone(), Value::Bool(compare(&a, *op, &b)));
+            }
+            OpCode::Hash { dest, object, keys } => {
+                let key_values: Vec<Value> =
+                    keys.iter().map(|k| self.eval_operand(k, env, pkt)).collect();
+                env.insert(dest.clone(), Value::Int(self.store.hash(object, &key_values)));
+            }
+            OpCode::ReadState { dest, object, index } => {
+                let v = self.read_state(object, index, env, pkt);
+                env.insert(dest.clone(), v);
+            }
+            OpCode::WriteState { object, index, value } => {
+                let values: Vec<Value> =
+                    value.iter().map(|v| self.eval_operand(v, env, pkt)).collect();
+                self.write_state(object, index, values, env, pkt);
+            }
+            OpCode::CountState { dest, object, index, delta } => {
+                let d = self.eval_operand(delta, env, pkt).as_int().unwrap_or(1);
+                let result = self.count_state(object, index, d, env, pkt);
+                if let Some(dest) = dest {
+                    env.insert(dest.clone(), Value::Int(result));
+                }
+            }
+            OpCode::ClearState { object } => self.store.clear(object),
+            OpCode::DeleteState { object, index } => {
+                let keys: Vec<Value> =
+                    index.iter().map(|i| self.eval_operand(i, env, pkt)).collect();
+                self.store.delete(object, &keys);
+            }
+            OpCode::Drop => *action = PacketAction::Drop,
+            OpCode::Forward => {
+                if *action != PacketAction::Back {
+                    *action = PacketAction::Forward;
+                }
+            }
+            OpCode::Back { updates } => {
+                for (field, value) in updates {
+                    let v = self.eval_operand(value, env, pkt);
+                    pkt.inc.set(field, v);
+                }
+                *action = PacketAction::Back;
+            }
+            OpCode::Mirror { updates } => {
+                let mut copy = pkt.clone();
+                for (field, value) in updates {
+                    let v = self.eval_operand(value, env, pkt);
+                    copy.inc.set(field, v);
+                }
+                mirrored.push(copy);
+            }
+            OpCode::Multicast { .. } => {
+                // modelled as a mirror to the multicast engine
+                mirrored.push(pkt.clone());
+            }
+            OpCode::CopyTo { .. } => {
+                // report-to-CPU: modelled as a mirrored digest
+                mirrored.push(pkt.clone());
+            }
+            OpCode::SetHeader { field, value } => {
+                let v = self.eval_operand(value, env, pkt);
+                pkt.inc.set(field, v);
+            }
+            OpCode::Crypto { dest, input, .. } => {
+                let v = self.eval_operand(input, env, pkt).as_int().unwrap_or(0);
+                env.insert(dest.clone(), Value::Int(v ^ 0x5a5a_5a5a));
+            }
+            OpCode::RandInt { dest, bound } => {
+                let b = self.eval_operand(bound, env, pkt).as_int().unwrap_or(i64::MAX).max(1);
+                let r = (self.packets_processed as i64).wrapping_mul(6364136223846793005) % b;
+                env.insert(dest.clone(), Value::Int(r.abs()));
+            }
+            OpCode::Checksum { dest, inputs } => {
+                let sum: i64 = inputs
+                    .iter()
+                    .map(|i| self.eval_operand(i, env, pkt).as_int().unwrap_or(0))
+                    .sum();
+                env.insert(dest.clone(), Value::Int(sum & 0xffff));
+            }
+            OpCode::NoOp => {}
+        }
+    }
+
+    fn object_kind(&self, snippet_obj: &str) -> Option<clickinc_ir::ObjectKind> {
+        for snippet in &self.snippets {
+            if let Some(decl) = snippet.object(snippet_obj) {
+                return Some(decl.kind.clone());
+            }
+        }
+        None
+    }
+
+    fn read_state(
+        &self,
+        object: &str,
+        index: &[Operand],
+        env: &BTreeMap<String, Value>,
+        pkt: &Packet,
+    ) -> Value {
+        let idx: Vec<Value> = index.iter().map(|i| self.eval_operand(i, env, pkt)).collect();
+        match self.object_kind(object) {
+            Some(clickinc_ir::ObjectKind::Table { .. }) => self.store.table_get(object, &idx),
+            Some(clickinc_ir::ObjectKind::Sketch { .. }) => {
+                Value::Int(self.store.sketch_estimate(object, idx.first().unwrap_or(&Value::None)))
+            }
+            Some(clickinc_ir::ObjectKind::Hash { .. }) => Value::Int(self.store.hash(object, &idx)),
+            _ => {
+                let (row, cell) = row_and_cell(&idx);
+                Value::Int(self.store.array_read(object, row, cell))
+            }
+        }
+    }
+
+    fn write_state(
+        &mut self,
+        object: &str,
+        index: &[Operand],
+        values: Vec<Value>,
+        env: &BTreeMap<String, Value>,
+        pkt: &Packet,
+    ) {
+        let idx: Vec<Value> = index.iter().map(|i| self.eval_operand(i, env, pkt)).collect();
+        match self.object_kind(object) {
+            Some(clickinc_ir::ObjectKind::Table { .. }) => {
+                self.store.table_write(object, &idx, values);
+            }
+            Some(clickinc_ir::ObjectKind::Sketch { .. }) => {
+                let delta = values.first().and_then(Value::as_int).unwrap_or(1);
+                self.store.sketch_count(object, idx.first().unwrap_or(&Value::None), delta);
+            }
+            _ => {
+                let (row, cell) = row_and_cell(&idx);
+                let v = values.first().and_then(Value::as_int).unwrap_or(0);
+                self.store.array_write(object, row, cell, v);
+            }
+        }
+    }
+
+    fn count_state(
+        &mut self,
+        object: &str,
+        index: &[Operand],
+        delta: i64,
+        env: &BTreeMap<String, Value>,
+        pkt: &Packet,
+    ) -> i64 {
+        let idx: Vec<Value> = index.iter().map(|i| self.eval_operand(i, env, pkt)).collect();
+        match self.object_kind(object) {
+            Some(clickinc_ir::ObjectKind::Sketch { .. }) => {
+                self.store.sketch_count(object, idx.first().unwrap_or(&Value::None), delta)
+            }
+            _ => {
+                let (row, cell) = row_and_cell(&idx);
+                self.store.array_add(object, row, cell, delta)
+            }
+        }
+    }
+}
+
+fn row_and_cell(idx: &[Value]) -> (u32, u32) {
+    match idx.len() {
+        0 => (0, 0),
+        1 => (0, idx[0].as_int().unwrap_or(0).unsigned_abs() as u32),
+        _ => (
+            idx[0].as_int().unwrap_or(0).unsigned_abs() as u32,
+            idx[1].as_int().unwrap_or(0).unsigned_abs() as u32,
+        ),
+    }
+}
+
+fn compare(a: &Value, op: CmpOp, b: &Value) -> bool {
+    match (a, b) {
+        (Value::None, Value::None) => matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge),
+        (Value::None, _) | (_, Value::None) => matches!(op, CmpOp::Ne),
+        _ => {
+            let (x, y) = (a.as_int().unwrap_or(0), b.as_int().unwrap_or(0));
+            op.eval_int(x, y)
+        }
+    }
+}
+
+fn alu(op: AluOp, a: &Value, b: &Value, float: bool) -> Value {
+    if float {
+        let (x, y) = (a.as_float().unwrap_or(0.0), b.as_float().unwrap_or(0.0));
+        let r = match op {
+            AluOp::Add => x + y,
+            AluOp::Sub => x - y,
+            AluOp::Mul => x * y,
+            AluOp::Div => {
+                if y == 0.0 {
+                    0.0
+                } else {
+                    x / y
+                }
+            }
+            AluOp::Min => x.min(y),
+            AluOp::Max => x.max(y),
+            _ => x,
+        };
+        return Value::Float(r);
+    }
+    let (x, y) = (a.as_int().unwrap_or(0), b.as_int().unwrap_or(0));
+    let r = match op {
+        AluOp::Add => x.wrapping_add(y),
+        AluOp::Sub => x.wrapping_sub(y),
+        AluOp::Mul => x.wrapping_mul(y),
+        AluOp::Div => {
+            if y == 0 {
+                0
+            } else {
+                x / y
+            }
+        }
+        AluOp::Mod => {
+            if y == 0 {
+                0
+            } else {
+                x % y
+            }
+        }
+        AluOp::And => x & y,
+        AluOp::Or => x | y,
+        AluOp::Xor => x ^ y,
+        AluOp::Shl => x.wrapping_shl(y as u32),
+        AluOp::Shr => x.wrapping_shr(y as u32),
+        AluOp::Min => x.min(y),
+        AluOp::Max => x.max(y),
+        AluOp::Slice => {
+            let hi = (y >> 8) & 0xff;
+            let lo = y & 0xff;
+            (x >> lo) & ((1 << (hi - lo + 1).clamp(1, 63)) - 1)
+        }
+    };
+    Value::Int(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{gradient_packet, kvs_request};
+    use clickinc_frontend::compile_source;
+    use clickinc_lang::templates::{
+        count_min_sketch, dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams,
+        MlAggParams,
+    };
+
+    fn plane_with(name: &str, source: &str) -> DevicePlane {
+        let ir = compile_source(name, source).unwrap();
+        let mut plane = DevicePlane::new("SW0", DeviceModel::tofino());
+        plane.install(ir);
+        plane
+    }
+
+    #[test]
+    fn mlagg_aggregates_gradients_in_network() {
+        let dims = 4usize;
+        let workers = 3usize;
+        let t = mlagg_template("mlagg", MlAggParams {
+            dims: dims as u32,
+            num_workers: workers as u32,
+            num_aggregators: 64,
+            ..Default::default()
+        });
+        let mut plane = plane_with("mlagg", &t.source);
+        let mut result: Option<Packet> = None;
+        for w in 0..workers {
+            let values: Vec<i64> = (0..dims).map(|d| (w as i64 + 1) * 10 + d as i64).collect();
+            let mut pkt = gradient_packet("w", "ps", 0, 7, w, dims, &values);
+            let outcome = plane.process(&mut pkt);
+            if w + 1 < workers {
+                assert_eq!(outcome.action, PacketAction::Drop, "worker {w} should be absorbed");
+            } else {
+                assert_eq!(outcome.action, PacketAction::Back, "last worker releases the result");
+                result = Some(pkt);
+            }
+        }
+        let result = result.expect("aggregation result produced");
+        for d in 0..dims {
+            let expected: i64 = (0..workers as i64).map(|w| (w + 1) * 10 + d as i64).sum();
+            assert_eq!(
+                result.inc.get(&format!("data_{d}")),
+                Value::Int(expected),
+                "dimension {d} aggregated incorrectly"
+            );
+        }
+        assert!(plane.instructions_executed > 0);
+    }
+
+    #[test]
+    fn mlagg_ignores_duplicate_worker_contributions() {
+        let t = mlagg_template("mlagg", MlAggParams {
+            dims: 2,
+            num_workers: 2,
+            num_aggregators: 16,
+            ..Default::default()
+        });
+        let mut plane = plane_with("mlagg", &t.source);
+        let mut first = gradient_packet("w", "ps", 0, 3, 0, 2, &[5, 5]);
+        plane.process(&mut first);
+        // the same worker retransmits: bitmap check must not double-count
+        let mut dup = gradient_packet("w", "ps", 0, 3, 0, 2, &[5, 5]);
+        let outcome = plane.process(&mut dup);
+        assert_eq!(outcome.action, PacketAction::Forward, "duplicate falls through to the PS");
+        let mut second = gradient_packet("w", "ps", 0, 3, 1, 2, &[7, 7]);
+        let done = plane.process(&mut second);
+        assert_eq!(done.action, PacketAction::Back);
+        assert_eq!(second.inc.get("data_0"), Value::Int(12));
+    }
+
+    #[test]
+    fn kvs_cache_hit_bounces_and_miss_counts_in_the_sketch() {
+        let t = kvs_template("kvs", KvsParams { cache_depth: 128, ..Default::default() });
+        let mut plane = plane_with("kvs", &t.source);
+        // control plane installs a hot key
+        plane.store_mut().table_write("cache", &[Value::Int(42)], vec![Value::Int(4242)]);
+
+        let mut hit = kvs_request("c", "s", 0, 42);
+        let outcome = plane.process(&mut hit);
+        assert_eq!(outcome.action, PacketAction::Back, "cache hit replies from the switch");
+        assert_eq!(hit.inc.get("vals"), Value::Int(4242));
+        assert_eq!(hit.inc.get("op"), Value::Int(2), "op rewritten to REPLY");
+
+        let mut miss = kvs_request("c", "s", 0, 7);
+        let outcome = plane.process(&mut miss);
+        assert_eq!(outcome.action, PacketAction::Forward, "miss goes to the server");
+        assert!(plane.store().sketch_estimate("cms", &Value::Int(7)) >= 1);
+    }
+
+    #[test]
+    fn dqacc_filters_duplicate_values() {
+        let t = dqacc_template("dq", DqAccParams { depth: 64, ways: 4 });
+        let mut plane = plane_with("dq", &t.source);
+        let mut mk = |v: i64| {
+            let mut fields = std::collections::BTreeMap::new();
+            fields.insert("value".to_string(), Value::Int(v));
+            Packet::new("c", "db", 0, fields)
+        };
+        let mut first = mk(9);
+        assert_eq!(plane.process(&mut first).action, PacketAction::Forward);
+        let mut dup = mk(9);
+        assert_eq!(plane.process(&mut dup).action, PacketAction::Drop, "duplicate filtered");
+        let mut other = mk(10);
+        assert_eq!(plane.process(&mut other).action, PacketAction::Forward);
+    }
+
+    #[test]
+    fn cms_module_counts_every_packet() {
+        let t = count_min_sketch("cms", 3, 256);
+        let mut plane = plane_with("cms", &t.source);
+        for _ in 0..10 {
+            let mut pkt = kvs_request("c", "s", 0, 5);
+            plane.process(&mut pkt);
+        }
+        assert!(plane.store().sketch_estimate("mem", &Value::Int(5)) >= 10);
+    }
+
+    #[test]
+    fn latency_scales_with_instructions_executed() {
+        let t = count_min_sketch("cms", 3, 256);
+        let mut plane = plane_with("cms", &t.source);
+        let mut pkt = kvs_request("c", "s", 0, 1);
+        let outcome = plane.process(&mut pkt);
+        assert!(outcome.latency_ns > plane.model.base_latency_ns);
+        let empty = DevicePlane::new("SW1", DeviceModel::tofino());
+        assert!(!empty.has_program());
+    }
+
+    #[test]
+    fn sparse_deletion_reduces_wire_size_downstream() {
+        // a tiny program that removes two vector fields
+        let src = "del(hdr.data[0])\ndel(hdr.data[1])\nforward()\n";
+        let mut plane = plane_with("sparse", src);
+        let mut pkt = gradient_packet("w", "ps", 0, 1, 0, 4, &[0, 0, 3, 4]);
+        let before = pkt.wire_bytes();
+        let outcome = plane.process(&mut pkt);
+        assert_eq!(outcome.action, PacketAction::Forward);
+        assert!(pkt.wire_bytes() < before, "deleted fields shrink the packet");
+    }
+}

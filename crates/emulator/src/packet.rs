@@ -1,0 +1,161 @@
+//! Packets and the ClickINC INC header.
+
+use clickinc_ir::Value;
+use std::collections::BTreeMap;
+
+/// The generic internal INC header maintained by the INC layer on end hosts
+/// (paper §4.1 "Transparent Network"): the user id used for traffic isolation,
+/// the step number used to coordinate replicated blocks, the Param field
+/// carrying cross-device temporaries, and the application fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IncHeader {
+    /// Numeric id of the owning user program.
+    pub user: i64,
+    /// Current step number (advanced by devices as blocks execute).
+    pub step: i64,
+    /// Cross-device temporaries (variable name → value).
+    pub param: BTreeMap<String, Value>,
+    /// Application header fields (e.g. `key`, `seq`, `data_0` …).  A field set
+    /// to [`Value::None`] is treated as removed from the wire format (the
+    /// sparse-block deletion of Fig. 7) and does not count towards the packet
+    /// size.
+    pub fields: BTreeMap<String, Value>,
+}
+
+impl IncHeader {
+    /// Read a field (removed / absent fields read as [`Value::None`]).
+    pub fn get(&self, field: &str) -> Value {
+        self.fields.get(field).cloned().unwrap_or(Value::None)
+    }
+
+    /// Set a field.
+    pub fn set(&mut self, field: &str, value: Value) {
+        self.fields.insert(field.to_string(), value);
+    }
+
+    /// Number of live (non-removed) application fields.
+    pub fn live_fields(&self) -> usize {
+        self.fields.values().filter(|v| !v.is_none()).count()
+    }
+}
+
+/// A packet travelling through the emulated network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Source host name.
+    pub src: String,
+    /// Destination host name.
+    pub dst: String,
+    /// The INC header.
+    pub inc: IncHeader,
+    /// Base encapsulation bytes (Ethernet + IPv4 + UDP).
+    pub base_bytes: usize,
+    /// Bytes per live application field.
+    pub bytes_per_field: usize,
+}
+
+impl Packet {
+    /// Standard encapsulation overhead: 14 (Ethernet) + 20 (IPv4) + 8 (UDP) +
+    /// 8 (INC header: user, step, param length).
+    pub const BASE_BYTES: usize = 14 + 20 + 8 + 8;
+
+    /// Create a packet for a user program with the given application fields.
+    pub fn new(src: &str, dst: &str, user: i64, fields: BTreeMap<String, Value>) -> Packet {
+        Packet {
+            src: src.to_string(),
+            dst: dst.to_string(),
+            inc: IncHeader { user, step: 0, param: BTreeMap::new(), fields },
+            base_bytes: Packet::BASE_BYTES,
+            bytes_per_field: 4,
+        }
+    }
+
+    /// Current wire size in bytes: encapsulation + live fields + Param field.
+    pub fn wire_bytes(&self) -> usize {
+        self.base_bytes
+            + self.inc.live_fields() * self.bytes_per_field
+            + self.inc.param.len() * 4
+    }
+
+    /// Swap source and destination (the `back()` primitive).
+    pub fn bounce(&mut self) {
+        std::mem::swap(&mut self.src, &mut self.dst);
+    }
+}
+
+/// Build a gradient packet for the MLAgg workload: a sequence number, worker
+/// bitmap and `dims` data fields, of which a `sparsity` fraction of
+/// `block_size`-sized blocks are all zero.
+pub fn gradient_packet(
+    src: &str,
+    dst: &str,
+    user: i64,
+    seq: i64,
+    worker: usize,
+    dims: usize,
+    values: &[i64],
+) -> Packet {
+    let mut fields = BTreeMap::new();
+    fields.insert("op".to_string(), Value::Int(0));
+    fields.insert("seq".to_string(), Value::Int(seq));
+    fields.insert("bitmap".to_string(), Value::Int(1 << worker));
+    fields.insert("overflow".to_string(), Value::Int(0));
+    for d in 0..dims {
+        fields.insert(format!("data_{d}"), Value::Int(values.get(d).copied().unwrap_or(0)));
+    }
+    Packet::new(src, dst, user, fields)
+}
+
+/// Build a KVS request packet.
+pub fn kvs_request(src: &str, dst: &str, user: i64, key: i64) -> Packet {
+    let mut fields = BTreeMap::new();
+    fields.insert("op".to_string(), Value::Int(1));
+    fields.insert("key".to_string(), Value::Int(key));
+    fields.insert("vals".to_string(), Value::None);
+    Packet::new(src, dst, user, fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_tracks_live_fields() {
+        let mut p = gradient_packet("w0", "ps", 1, 7, 0, 4, &[1, 2, 3, 4]);
+        let before = p.wire_bytes();
+        // deleting two sparse fields shrinks the packet
+        p.inc.set("data_2", Value::None);
+        p.inc.set("data_3", Value::None);
+        assert_eq!(p.wire_bytes(), before - 2 * p.bytes_per_field);
+        assert!(p.wire_bytes() >= Packet::BASE_BYTES);
+    }
+
+    #[test]
+    fn header_get_set_roundtrip() {
+        let mut h = IncHeader::default();
+        assert_eq!(h.get("missing"), Value::None);
+        h.set("seq", Value::Int(9));
+        assert_eq!(h.get("seq"), Value::Int(9));
+        assert_eq!(h.live_fields(), 1);
+        h.set("seq", Value::None);
+        assert_eq!(h.live_fields(), 0);
+    }
+
+    #[test]
+    fn bounce_swaps_endpoints() {
+        let mut p = kvs_request("client", "server", 2, 42);
+        p.bounce();
+        assert_eq!(p.src, "server");
+        assert_eq!(p.dst, "client");
+        assert_eq!(p.inc.get("key"), Value::Int(42));
+    }
+
+    #[test]
+    fn gradient_packet_carries_bitmap_and_data() {
+        let p = gradient_packet("w1", "ps", 3, 5, 1, 3, &[10, 0, 30]);
+        assert_eq!(p.inc.get("bitmap"), Value::Int(2));
+        assert_eq!(p.inc.get("data_0"), Value::Int(10));
+        assert_eq!(p.inc.get("data_2"), Value::Int(30));
+        assert_eq!(p.inc.get("seq"), Value::Int(5));
+    }
+}

@@ -1,0 +1,321 @@
+//! Runtime storage for the stateful INC objects.
+
+use clickinc_ir::{ObjectDecl, ObjectKind, SketchKind, Value};
+use std::collections::BTreeMap;
+
+/// Hash function used by sketches and hash objects: a small xorshift-based
+/// mixer seeded per row so the rows are independent.
+fn mix(seed: u64, value: u64) -> u64 {
+    let mut x = value ^ (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+fn value_key(v: &Value) -> u64 {
+    match v {
+        Value::Int(i) => *i as u64,
+        Value::Float(f) => f.to_bits(),
+        Value::Bool(b) => u64::from(*b),
+        Value::Bytes(b) => b.iter().fold(1469598103934665603u64, |h, byte| {
+            (h ^ u64::from(*byte)).wrapping_mul(1099511628211)
+        }),
+        Value::None => u64::MAX,
+    }
+}
+
+/// Runtime instance of one object.
+#[derive(Debug, Clone)]
+enum ObjectState {
+    Array { rows: u32, size: u32, cells: BTreeMap<(u32, u32), i64> },
+    Seq { size: u32, cells: BTreeMap<u32, i64> },
+    Sketch { kind: SketchKind, rows: u32, cols: u32, counters: Vec<Vec<i64>> },
+    Table { entries: BTreeMap<u64, Vec<Value>> },
+    Hash { modulus: Option<u32> },
+    Crypto,
+}
+
+/// The object store of one device.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    objects: BTreeMap<String, ObjectState>,
+}
+
+impl ObjectStore {
+    /// Create an empty store.
+    pub fn new() -> ObjectStore {
+        ObjectStore::default()
+    }
+
+    /// Declare (instantiate) an object.  Re-declaring an existing object keeps
+    /// its current contents (idempotent deployment).
+    pub fn declare(&mut self, decl: &ObjectDecl) {
+        if self.objects.contains_key(&decl.name) {
+            return;
+        }
+        let state = match &decl.kind {
+            ObjectKind::Array { rows, size, .. } => {
+                ObjectState::Array { rows: *rows, size: *size, cells: BTreeMap::new() }
+            }
+            ObjectKind::Seq { size, .. } => ObjectState::Seq { size: *size, cells: BTreeMap::new() },
+            ObjectKind::Sketch { kind, rows, cols, .. } => ObjectState::Sketch {
+                kind: *kind,
+                rows: *rows,
+                cols: *cols,
+                counters: vec![vec![0; *cols as usize]; *rows as usize],
+            },
+            ObjectKind::Table { .. } => ObjectState::Table { entries: BTreeMap::new() },
+            ObjectKind::Hash { modulus, .. } => ObjectState::Hash { modulus: *modulus },
+            ObjectKind::Crypto { .. } => ObjectState::Crypto,
+        };
+        self.objects.insert(decl.name.clone(), state);
+    }
+
+    /// Whether the object exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.objects.contains_key(name)
+    }
+
+    /// Read an array/sequence cell (missing cells read as 0).
+    pub fn array_read(&self, name: &str, row: u32, index: u32) -> i64 {
+        match self.objects.get(name) {
+            Some(ObjectState::Array { cells, size, .. }) => {
+                cells.get(&(row, index % (*size).max(1))).copied().unwrap_or(0)
+            }
+            Some(ObjectState::Seq { cells, size }) => {
+                cells.get(&(index % (*size).max(1))).copied().unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Write an array/sequence cell.
+    pub fn array_write(&mut self, name: &str, row: u32, index: u32, value: i64) {
+        match self.objects.get_mut(name) {
+            Some(ObjectState::Array { cells, size, .. }) => {
+                cells.insert((row, index % (*size).max(1)), value);
+            }
+            Some(ObjectState::Seq { cells, size }) => {
+                cells.insert(index % (*size).max(1), value);
+            }
+            _ => {}
+        }
+    }
+
+    /// Increment an array/sequence cell and return the post-increment value.
+    pub fn array_add(&mut self, name: &str, row: u32, index: u32, delta: i64) -> i64 {
+        let new = self.array_read(name, row, index) + delta;
+        self.array_write(name, row, index, new);
+        new
+    }
+
+    /// Hash a key with a declared hash object.
+    pub fn hash(&self, name: &str, keys: &[Value]) -> i64 {
+        let seed = name.bytes().fold(7u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+        let mut acc = seed;
+        for k in keys {
+            acc = mix(acc, value_key(k));
+        }
+        let modulus = match self.objects.get(name) {
+            Some(ObjectState::Hash { modulus }) => *modulus,
+            _ => None,
+        };
+        match modulus {
+            Some(m) if m > 0 => (acc % u64::from(m)) as i64,
+            _ => (acc & 0xffff) as i64,
+        }
+    }
+
+    /// Count-min / Bloom update keyed by an arbitrary value; returns the new
+    /// minimum estimate (CMS) or 1 (Bloom).
+    pub fn sketch_count(&mut self, name: &str, key: &Value, delta: i64) -> i64 {
+        let k = value_key(key);
+        if let Some(ObjectState::Sketch { kind, rows, cols, counters }) = self.objects.get_mut(name) {
+            let mut min = i64::MAX;
+            for row in 0..*rows {
+                let col = (mix(u64::from(row) + 1, k) % u64::from(*cols)) as usize;
+                let cell = &mut counters[row as usize][col];
+                match kind {
+                    SketchKind::CountMin => *cell += delta,
+                    SketchKind::Bloom => *cell = 1,
+                }
+                min = min.min(*cell);
+            }
+            min
+        } else {
+            0
+        }
+    }
+
+    /// Count-min estimate / Bloom membership for a key.
+    pub fn sketch_estimate(&self, name: &str, key: &Value) -> i64 {
+        let k = value_key(key);
+        if let Some(ObjectState::Sketch { rows, cols, counters, .. }) = self.objects.get(name) {
+            let mut min = i64::MAX;
+            for row in 0..*rows {
+                let col = (mix(u64::from(row) + 1, k) % u64::from(*cols)) as usize;
+                min = min.min(counters[row as usize][col]);
+            }
+            if min == i64::MAX {
+                0
+            } else {
+                min
+            }
+        } else {
+            0
+        }
+    }
+
+    /// Look a key up in a table; `Value::None` on miss.
+    pub fn table_get(&self, name: &str, key: &[Value]) -> Value {
+        let k = key.iter().fold(0u64, |acc, v| mix(acc + 1, value_key(v)));
+        match self.objects.get(name) {
+            Some(ObjectState::Table { entries }) => entries
+                .get(&k)
+                .map(|v| v.first().cloned().unwrap_or(Value::None))
+                .unwrap_or(Value::None),
+            _ => Value::None,
+        }
+    }
+
+    /// Insert / overwrite a table entry (used both by data-plane writes on
+    /// devices that allow them and by the emulated control plane).
+    pub fn table_write(&mut self, name: &str, key: &[Value], value: Vec<Value>) {
+        let k = key.iter().fold(0u64, |acc, v| mix(acc + 1, value_key(v)));
+        if let Some(ObjectState::Table { entries }) = self.objects.get_mut(name) {
+            entries.insert(k, value);
+        }
+    }
+
+    /// Delete a table entry or reset an array cell.
+    pub fn delete(&mut self, name: &str, key: &[Value]) {
+        match self.objects.get_mut(name) {
+            Some(ObjectState::Table { entries }) => {
+                let k = key.iter().fold(0u64, |acc, v| mix(acc + 1, value_key(v)));
+                entries.remove(&k);
+            }
+            Some(ObjectState::Array { .. }) | Some(ObjectState::Seq { .. }) => {
+                let row = key.first().and_then(Value::as_int).unwrap_or(0) as u32;
+                let idx = key.get(1).and_then(Value::as_int).unwrap_or(0) as u32;
+                if key.len() >= 2 {
+                    self.array_write(name, row, idx, 0);
+                } else {
+                    self.array_write(name, 0, row, 0);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Clear an object entirely.
+    pub fn clear(&mut self, name: &str) {
+        if let Some(state) = self.objects.get_mut(name) {
+            match state {
+                ObjectState::Array { cells, .. } => cells.clear(),
+                ObjectState::Seq { cells, .. } => cells.clear(),
+                ObjectState::Sketch { counters, .. } => {
+                    for row in counters {
+                        row.iter_mut().for_each(|c| *c = 0);
+                    }
+                }
+                ObjectState::Table { entries } => entries.clear(),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(name: &str, kind: ObjectKind) -> ObjectStore {
+        let mut s = ObjectStore::new();
+        s.declare(&ObjectDecl::new(name, kind));
+        s
+    }
+
+    #[test]
+    fn array_read_write_add_and_wraparound() {
+        let mut s = store_with("a", ObjectKind::Array { rows: 2, size: 8, width: 32 });
+        assert_eq!(s.array_read("a", 0, 3), 0);
+        s.array_write("a", 0, 3, 42);
+        assert_eq!(s.array_read("a", 0, 3), 42);
+        assert_eq!(s.array_read("a", 1, 3), 0, "rows are independent");
+        assert_eq!(s.array_add("a", 0, 3, 8), 50);
+        // indices wrap modulo the declared size
+        assert_eq!(s.array_read("a", 0, 11), 50);
+        s.clear("a");
+        assert_eq!(s.array_read("a", 0, 3), 0);
+    }
+
+    #[test]
+    fn table_hit_miss_write_delete() {
+        let mut s = store_with("t", ObjectKind::Table {
+            match_kind: clickinc_ir::MatchKind::Exact,
+            key_width: 32,
+            value_width: 32,
+            depth: 16,
+            stateful: false,
+        });
+        let key = [Value::Int(7)];
+        assert_eq!(s.table_get("t", &key), Value::None);
+        s.table_write("t", &key, vec![Value::Int(99)]);
+        assert_eq!(s.table_get("t", &key), Value::Int(99));
+        assert_eq!(s.table_get("t", &[Value::Int(8)]), Value::None);
+        s.delete("t", &key);
+        assert_eq!(s.table_get("t", &key), Value::None);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_respects_modulus() {
+        let s = store_with("h", ObjectKind::Hash {
+            algo: clickinc_ir::HashAlgo::Crc16,
+            modulus: Some(100),
+        });
+        let a = s.hash("h", &[Value::Int(5)]);
+        let b = s.hash("h", &[Value::Int(5)]);
+        assert_eq!(a, b);
+        assert!(a >= 0 && a < 100);
+        assert_ne!(s.hash("h", &[Value::Int(5)]), s.hash("h", &[Value::Int(6)]));
+    }
+
+    #[test]
+    fn cms_counts_and_bloom_membership() {
+        let mut s = store_with("cms", ObjectKind::Sketch {
+            kind: SketchKind::CountMin,
+            rows: 3,
+            cols: 128,
+            width: 32,
+        });
+        for _ in 0..5 {
+            s.sketch_count("cms", &Value::Int(7), 1);
+        }
+        assert!(s.sketch_estimate("cms", &Value::Int(7)) >= 5);
+        assert_eq!(s.sketch_estimate("cms", &Value::Int(12345)), 0);
+
+        let mut bf = store_with("bf", ObjectKind::Sketch {
+            kind: SketchKind::Bloom,
+            rows: 2,
+            cols: 256,
+            width: 1,
+        });
+        bf.sketch_count("bf", &Value::Bytes(vec![1, 2, 3]), 1);
+        assert!(bf.sketch_estimate("bf", &Value::Bytes(vec![1, 2, 3])) > 0);
+    }
+
+    #[test]
+    fn redeclaration_preserves_contents() {
+        let decl = ObjectDecl::new("a", ObjectKind::Array { rows: 1, size: 4, width: 32 });
+        let mut s = ObjectStore::new();
+        s.declare(&decl);
+        s.array_write("a", 0, 1, 5);
+        s.declare(&decl);
+        assert_eq!(s.array_read("a", 0, 1), 5);
+        assert!(s.contains("a"));
+        assert!(!s.contains("b"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Frontend error type.
+
+use clickinc_lang::LangError;
+use std::fmt;
+
+/// Errors raised while lowering a ClickINC program to IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// Lexer/parser error in the source program.
+    Lang(LangError),
+    /// A `for` loop whose trip count is not a compile-time constant
+    /// (the paper reports this as an error, §4.2 pass 2).
+    NonConstantLoop {
+        /// The loop variable.
+        var: String,
+    },
+    /// A name was used before being defined.
+    UndefinedName(String),
+    /// A call to an unknown function / module.
+    UnknownCall(String),
+    /// An object was used in a way incompatible with its kind.
+    BadObjectUse {
+        /// The object name.
+        object: String,
+        /// Description of the misuse.
+        reason: String,
+    },
+    /// A construct that the ClickINC language does not support on the data
+    /// plane (e.g. `while` loops, recursion, non-constant indexing).
+    Unsupported(String),
+    /// Wrong arguments to a constructor, primitive or builtin.
+    BadArguments {
+        /// The callee.
+        callee: String,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Lang(e) => write!(f, "{e}"),
+            FrontendError::NonConstantLoop { var } => {
+                write!(f, "loop over `{var}` does not have a constant trip count")
+            }
+            FrontendError::UndefinedName(n) => write!(f, "use of undefined name `{n}`"),
+            FrontendError::UnknownCall(n) => write!(f, "call to unknown function `{n}`"),
+            FrontendError::BadObjectUse { object, reason } => {
+                write!(f, "invalid use of object `{object}`: {reason}")
+            }
+            FrontendError::Unsupported(what) => write!(f, "unsupported construct: {what}"),
+            FrontendError::BadArguments { callee, reason } => {
+                write!(f, "bad arguments to `{callee}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<LangError> for FrontendError {
+    fn from(e: LangError) -> Self {
+        FrontendError::Lang(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = FrontendError::NonConstantLoop { var: "i".into() };
+        assert!(e.to_string().contains('i'));
+        let e = FrontendError::UnknownCall("mystery".into());
+        assert!(e.to_string().contains("mystery"));
+        let e = FrontendError::BadArguments { callee: "Array".into(), reason: "missing size".into() };
+        assert!(e.to_string().contains("Array"));
+    }
+
+    #[test]
+    fn lang_errors_convert() {
+        let e: FrontendError = LangError::Semantic("oops".into()).into();
+        assert!(matches!(e, FrontendError::Lang(_)));
+    }
+}

@@ -1,0 +1,362 @@
+//! Device capability classes (paper Table 9) and functional units (Table 8).
+//!
+//! Every IR instruction is assigned one of the 13 capability classes.  A device
+//! model advertises the subset of classes it supports; the placement algorithm
+//! prunes any device that cannot execute a block's classes (paper §5.4,
+//! "Placement Constraints and Pruning", constraint 3).
+
+use crate::instr::{Instruction, OpCode};
+use crate::object::{MatchKind, ObjectDecl, ObjectKind};
+use std::fmt;
+
+/// The 13 instruction classes of paper Table 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CapabilityClass {
+    /// Integer addition/subtraction, bit & logical operations, slicing.
+    Bin,
+    /// Integer multiplication, division, modulus.
+    Bic,
+    /// Floating-point and other complex arithmetic.
+    Bca,
+    /// Stateful array operations (register read/write/increment).
+    Bso,
+    /// Stateless exact-match table lookup.
+    Bem,
+    /// Stateful exact-match table (data-plane writable).
+    Bsem,
+    /// Stateless ternary / LPM match table.
+    Bnem,
+    /// Stateful ternary / LPM match table.
+    Bsnem,
+    /// Direct-match (index) table.
+    Bdm,
+    /// Basic packet functions: drop, send/forward, copyTo.
+    Bbpf,
+    /// Advanced packet functions: mirror, multicast.
+    Bapf,
+    /// Auxiliary functions: hash (CRC family), checksum, random.
+    Baf,
+    /// Cryptographic functions: encryption / decryption.
+    Bcf,
+}
+
+impl CapabilityClass {
+    /// All classes, in Table 9 order.
+    pub const ALL: [CapabilityClass; 13] = [
+        CapabilityClass::Bin,
+        CapabilityClass::Bic,
+        CapabilityClass::Bca,
+        CapabilityClass::Bso,
+        CapabilityClass::Bem,
+        CapabilityClass::Bsem,
+        CapabilityClass::Bnem,
+        CapabilityClass::Bsnem,
+        CapabilityClass::Bdm,
+        CapabilityClass::Bbpf,
+        CapabilityClass::Bapf,
+        CapabilityClass::Baf,
+        CapabilityClass::Bcf,
+    ];
+
+    /// Whether this class involves per-packet mutable device state.
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, CapabilityClass::Bso | CapabilityClass::Bsem | CapabilityClass::Bsnem)
+    }
+}
+
+impl fmt::Display for CapabilityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CapabilityClass::Bin => "BIN",
+            CapabilityClass::Bic => "BIC",
+            CapabilityClass::Bca => "BCA",
+            CapabilityClass::Bso => "BSO",
+            CapabilityClass::Bem => "BEM",
+            CapabilityClass::Bsem => "BSEM",
+            CapabilityClass::Bnem => "BNEM",
+            CapabilityClass::Bsnem => "BSNEM",
+            CapabilityClass::Bdm => "BDM",
+            CapabilityClass::Bbpf => "BBPF",
+            CapabilityClass::Bapf => "BAPF",
+            CapabilityClass::Baf => "BAF",
+            CapabilityClass::Bcf => "BCF",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Basic functional units of paper Table 8, used by backends and device models to
+/// map instructions onto chip primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FunctionalUnit {
+    /// `_ram` — 1-D memory accessed by index.
+    Ram,
+    /// `_cam` — content-addressable memory.
+    Cam,
+    /// `_tcam` — ternary CAM.
+    Tcam,
+    /// `_emt` — stateless exact-match table.
+    Emt,
+    /// `_semt` — stateful exact-match table.
+    Semt,
+    /// `_tmt` — stateless ternary-match table.
+    Tmt,
+    /// `_stmt` — stateful ternary-match table.
+    Stmt,
+    /// `_lpmt` — longest-prefix-match table.
+    Lpmt,
+    /// `_randint` — integer random value.
+    RandInt,
+    /// `_crc` — CRC hashing.
+    Crc,
+    /// `_identity` — identity hashing (Tofino only).
+    Identity,
+    /// `_aes` — AES crypto (FPGA only).
+    Aes,
+    /// `_ecs` — ECS crypto (NFP only).
+    Ecs,
+    /// `_checksum` — csum16.
+    Checksum,
+    /// `_mirror` — packet mirroring.
+    Mirror,
+    /// `_multicast` — packet multicast.
+    Multicast,
+    /// Plain ALU (not in Table 8 because it is implicit on all devices).
+    Alu,
+}
+
+/// Classify a single instruction into its capability class.
+///
+/// Table-referencing instructions need the object declarations to distinguish
+/// exact/ternary/direct match and stateless/stateful tables; `objects` is searched
+/// by name.  Unknown objects conservatively classify as [`CapabilityClass::Bso`].
+pub fn classify_instruction(instr: &Instruction, objects: &[ObjectDecl]) -> CapabilityClass {
+    let find = |name: &str| objects.iter().find(|o| o.name == name).map(|o| &o.kind);
+    match &instr.op {
+        OpCode::Assign { .. } | OpCode::Cmp { .. } | OpCode::SetHeader { .. } | OpCode::NoOp => {
+            CapabilityClass::Bin
+        }
+        OpCode::Alu { op, float, .. } => {
+            if *float {
+                CapabilityClass::Bca
+            } else if op.is_complex_int() {
+                CapabilityClass::Bic
+            } else {
+                CapabilityClass::Bin
+            }
+        }
+        OpCode::Hash { .. } | OpCode::RandInt { .. } | OpCode::Checksum { .. } => {
+            CapabilityClass::Baf
+        }
+        OpCode::Crypto { .. } => CapabilityClass::Bcf,
+        OpCode::Drop | OpCode::Forward | OpCode::Back { .. } | OpCode::CopyTo { .. } => {
+            CapabilityClass::Bbpf
+        }
+        OpCode::Mirror { .. } | OpCode::Multicast { .. } => CapabilityClass::Bapf,
+        OpCode::ReadState { object, .. } => match find(object) {
+            Some(ObjectKind::Table { match_kind, stateful, .. }) => {
+                table_class(*match_kind, *stateful)
+            }
+            Some(ObjectKind::Hash { .. }) => CapabilityClass::Baf,
+            Some(ObjectKind::Crypto { .. }) => CapabilityClass::Bcf,
+            Some(_) | None => CapabilityClass::Bso,
+        },
+        OpCode::WriteState { object, .. }
+        | OpCode::CountState { object, .. }
+        | OpCode::ClearState { object }
+        | OpCode::DeleteState { object, .. } => match find(object) {
+            Some(ObjectKind::Table { match_kind, .. }) => table_class(*match_kind, true),
+            Some(_) | None => CapabilityClass::Bso,
+        },
+    }
+}
+
+fn table_class(match_kind: MatchKind, stateful: bool) -> CapabilityClass {
+    match (match_kind, stateful) {
+        (MatchKind::Exact, false) => CapabilityClass::Bem,
+        (MatchKind::Exact, true) => CapabilityClass::Bsem,
+        (MatchKind::Ternary | MatchKind::Lpm, false) => CapabilityClass::Bnem,
+        (MatchKind::Ternary | MatchKind::Lpm, true) => CapabilityClass::Bsnem,
+        (MatchKind::Index, _) => CapabilityClass::Bdm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Instruction, OpCode, Operand};
+    use crate::object::{HashAlgo, ObjectDecl, ObjectKind, SketchKind};
+
+    fn objects() -> Vec<ObjectDecl> {
+        vec![
+            ObjectDecl::new("cache", ObjectKind::Table {
+                match_kind: MatchKind::Exact,
+                key_width: 128,
+                value_width: 512,
+                depth: 5000,
+                stateful: false,
+            }),
+            ObjectDecl::new("acl", ObjectKind::Table {
+                match_kind: MatchKind::Ternary,
+                key_width: 32,
+                value_width: 8,
+                depth: 100,
+                stateful: false,
+            }),
+            ObjectDecl::new("route", ObjectKind::Table {
+                match_kind: MatchKind::Lpm,
+                key_width: 32,
+                value_width: 16,
+                depth: 1000,
+                stateful: false,
+            }),
+            ObjectDecl::new("mirror_sess", ObjectKind::Table {
+                match_kind: MatchKind::Index,
+                key_width: 8,
+                value_width: 16,
+                depth: 16,
+                stateful: false,
+            }),
+            ObjectDecl::new("flowtab", ObjectKind::Table {
+                match_kind: MatchKind::Exact,
+                key_width: 64,
+                value_width: 32,
+                depth: 1024,
+                stateful: true,
+            }),
+            ObjectDecl::new("agg", ObjectKind::Array { rows: 1, size: 5000, width: 32 }),
+            ObjectDecl::new("cms", ObjectKind::Sketch {
+                kind: SketchKind::CountMin,
+                rows: 3,
+                cols: 1024,
+                width: 32,
+            }),
+            ObjectDecl::new("h", ObjectKind::Hash { algo: HashAlgo::Crc16, modulus: None }),
+            ObjectDecl::new("enc", ObjectKind::Crypto { algo: crate::object::CryptoAlgo::Aes }),
+        ]
+    }
+
+    fn classify(op: OpCode) -> CapabilityClass {
+        classify_instruction(&Instruction::new(0, op), &objects())
+    }
+
+    #[test]
+    fn arithmetic_classes() {
+        let add = OpCode::Alu {
+            dest: "x".into(),
+            op: AluOp::Add,
+            lhs: Operand::var("a"),
+            rhs: Operand::int(1),
+            float: false,
+        };
+        assert_eq!(classify(add), CapabilityClass::Bin);
+        let mul = OpCode::Alu {
+            dest: "x".into(),
+            op: AluOp::Mul,
+            lhs: Operand::var("a"),
+            rhs: Operand::int(3),
+            float: false,
+        };
+        assert_eq!(classify(mul), CapabilityClass::Bic);
+        let fadd = OpCode::Alu {
+            dest: "x".into(),
+            op: AluOp::Add,
+            lhs: Operand::var("a"),
+            rhs: Operand::var("b"),
+            float: true,
+        };
+        assert_eq!(classify(fadd), CapabilityClass::Bca);
+    }
+
+    #[test]
+    fn table_classes_follow_match_kind_and_statefulness() {
+        let read = |obj: &str| OpCode::ReadState {
+            dest: "v".into(),
+            object: obj.into(),
+            index: vec![Operand::hdr("key")],
+        };
+        assert_eq!(classify(read("cache")), CapabilityClass::Bem);
+        assert_eq!(classify(read("acl")), CapabilityClass::Bnem);
+        assert_eq!(classify(read("route")), CapabilityClass::Bnem);
+        assert_eq!(classify(read("mirror_sess")), CapabilityClass::Bdm);
+        assert_eq!(classify(read("flowtab")), CapabilityClass::Bsem);
+        assert_eq!(classify(read("agg")), CapabilityClass::Bso);
+        assert_eq!(classify(read("cms")), CapabilityClass::Bso);
+        // reads of hash / crypto objects are function evaluations
+        assert_eq!(classify(read("h")), CapabilityClass::Baf);
+        assert_eq!(classify(read("enc")), CapabilityClass::Bcf);
+    }
+
+    #[test]
+    fn writing_a_stateless_table_makes_it_stateful_class() {
+        let wr = OpCode::WriteState {
+            object: "cache".into(),
+            index: vec![Operand::hdr("key")],
+            value: vec![Operand::hdr("vals")],
+        };
+        assert_eq!(classify(wr), CapabilityClass::Bsem);
+        let wr_tern = OpCode::WriteState {
+            object: "acl".into(),
+            index: vec![Operand::hdr("key")],
+            value: vec![Operand::int(1)],
+        };
+        assert_eq!(classify(wr_tern), CapabilityClass::Bsnem);
+    }
+
+    #[test]
+    fn packet_and_aux_function_classes() {
+        assert_eq!(classify(OpCode::Drop), CapabilityClass::Bbpf);
+        assert_eq!(classify(OpCode::Forward), CapabilityClass::Bbpf);
+        assert_eq!(classify(OpCode::Mirror { updates: vec![] }), CapabilityClass::Bapf);
+        assert_eq!(
+            classify(OpCode::Multicast { group: Operand::int(1) }),
+            CapabilityClass::Bapf
+        );
+        assert_eq!(
+            classify(OpCode::Hash { dest: "i".into(), object: "h".into(), keys: vec![] }),
+            CapabilityClass::Baf
+        );
+        assert_eq!(
+            classify(OpCode::Checksum { dest: "c".into(), inputs: vec![] }),
+            CapabilityClass::Baf
+        );
+        assert_eq!(
+            classify(OpCode::Crypto {
+                dest: "e".into(),
+                object: "enc".into(),
+                input: Operand::hdr("key"),
+                encrypt: true
+            }),
+            CapabilityClass::Bcf
+        );
+        assert_eq!(classify(OpCode::NoOp), CapabilityClass::Bin);
+    }
+
+    #[test]
+    fn unknown_object_defaults_to_stateful_array() {
+        let read = OpCode::ReadState {
+            dest: "v".into(),
+            object: "nonexistent".into(),
+            index: vec![],
+        };
+        assert_eq!(classify(read), CapabilityClass::Bso);
+    }
+
+    #[test]
+    fn stateful_class_flag() {
+        assert!(CapabilityClass::Bso.is_stateful());
+        assert!(CapabilityClass::Bsem.is_stateful());
+        assert!(CapabilityClass::Bsnem.is_stateful());
+        assert!(!CapabilityClass::Bem.is_stateful());
+        assert!(!CapabilityClass::Bin.is_stateful());
+    }
+
+    #[test]
+    fn all_classes_unique_and_displayable() {
+        let mut names: Vec<String> =
+            CapabilityClass::ALL.iter().map(|c| c.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+}

@@ -1,0 +1,396 @@
+//! Read/write-set extraction and dependency-edge computation.
+//!
+//! Paper §5.2, Step 1: "If an instruction *i* reads a variable whose value is
+//! written by a previous instruction *j*, *i* depends on *j*. [...] All
+//! instructions that write or read the same state are mutually dependent."
+//! This module computes both flavours of edges over an instruction slice.
+
+use crate::instr::{Guard, Instruction, OpCode, Operand};
+use crate::object::ObjectDecl;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The variables/fields read and written by an instruction, plus the stateful
+/// objects it touches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReadWriteSet {
+    /// Temporary variables read.
+    pub reads_vars: BTreeSet<String>,
+    /// Header / metadata fields read.
+    pub reads_fields: BTreeSet<String>,
+    /// Temporary variable written (SSA: at most one).
+    pub writes_var: Option<String>,
+    /// Header / metadata fields written.
+    pub writes_fields: BTreeSet<String>,
+    /// Stateful objects accessed (read or write).
+    pub state_objects: BTreeSet<String>,
+}
+
+impl ReadWriteSet {
+    /// Extract the read/write set of a single instruction.
+    ///
+    /// Objects that are *not* stateful (Hash, Crypto, stateless tables) are not
+    /// recorded in `state_objects`; `objects` supplies that distinction.  If the
+    /// referenced object cannot be found it is conservatively treated as stateful.
+    pub fn of(instr: &Instruction, objects: &[ObjectDecl]) -> ReadWriteSet {
+        let mut set = ReadWriteSet::default();
+        if let Some(guard) = &instr.guard {
+            set.collect_guard(guard);
+        }
+        set.collect_op(&instr.op);
+        // Filter out stateless function objects from the state set.
+        set.state_objects.retain(|name| {
+            objects
+                .iter()
+                .find(|o| &o.name == name)
+                .map(|o| o.kind.is_stateful())
+                .unwrap_or(true)
+        });
+        // Multi-row register arrays addressed with a *constant* row index are a
+        // collection of independent register arrays: accesses to different rows
+        // carry no mutual state dependency, which is what lets the placement
+        // engine split e.g. the MLAgg parameter vector across devices.  The
+        // state key is refined to `object#row<k>` in that case.
+        set.refine_array_rows(instr, objects);
+        set
+    }
+
+    fn refine_array_rows(&mut self, instr: &Instruction, objects: &[ObjectDecl]) {
+        use crate::object::ObjectKind;
+        let obj_name = match instr.op.object() {
+            Some(o) => o.to_string(),
+            None => return,
+        };
+        let is_multirow_array = objects
+            .iter()
+            .find(|o| o.name == obj_name)
+            .map(|o| matches!(o.kind, ObjectKind::Array { rows, .. } if rows > 1))
+            .unwrap_or(false);
+        if !is_multirow_array || !self.state_objects.contains(&obj_name) {
+            return;
+        }
+        let first_index = match &instr.op {
+            OpCode::ReadState { index, .. }
+            | OpCode::WriteState { index, .. }
+            | OpCode::CountState { index, .. }
+            | OpCode::DeleteState { index, .. } => index.first(),
+            _ => None,
+        };
+        if let Some(Operand::Const(crate::types::Value::Int(row))) = first_index {
+            self.state_objects.remove(&obj_name);
+            self.state_objects.insert(format!("{obj_name}#row{row}"));
+        }
+    }
+
+    fn collect_guard(&mut self, guard: &Guard) {
+        for p in &guard.all {
+            self.read_operand(&p.lhs);
+            self.read_operand(&p.rhs);
+        }
+    }
+
+    fn read_operand(&mut self, op: &Operand) {
+        match op {
+            Operand::Var(v) => {
+                self.reads_vars.insert(v.clone());
+            }
+            Operand::Header(h) | Operand::Meta(h) => {
+                self.reads_fields.insert(h.clone());
+            }
+            Operand::Const(_) => {}
+        }
+    }
+
+    fn read_operands(&mut self, ops: &[Operand]) {
+        for op in ops {
+            self.read_operand(op);
+        }
+    }
+
+    fn collect_op(&mut self, op: &OpCode) {
+        match op {
+            OpCode::Assign { dest, src } => {
+                self.read_operand(src);
+                self.writes_var = Some(dest.clone());
+            }
+            OpCode::Alu { dest, lhs, rhs, .. } => {
+                self.read_operand(lhs);
+                self.read_operand(rhs);
+                self.writes_var = Some(dest.clone());
+            }
+            OpCode::Cmp { dest, lhs, rhs, .. } => {
+                self.read_operand(lhs);
+                self.read_operand(rhs);
+                self.writes_var = Some(dest.clone());
+            }
+            OpCode::Hash { dest, object, keys } => {
+                self.read_operands(keys);
+                self.writes_var = Some(dest.clone());
+                // hash objects are pure functions; recorded then filtered by `of`
+                self.state_objects.insert(object.clone());
+            }
+            OpCode::ReadState { dest, object, index } => {
+                self.read_operands(index);
+                self.writes_var = Some(dest.clone());
+                self.state_objects.insert(object.clone());
+            }
+            OpCode::WriteState { object, index, value } => {
+                self.read_operands(index);
+                self.read_operands(value);
+                self.state_objects.insert(object.clone());
+            }
+            OpCode::CountState { dest, object, index, delta } => {
+                self.read_operands(index);
+                self.read_operand(delta);
+                self.writes_var = dest.clone();
+                self.state_objects.insert(object.clone());
+            }
+            OpCode::ClearState { object } => {
+                self.state_objects.insert(object.clone());
+            }
+            OpCode::DeleteState { object, index } => {
+                self.read_operands(index);
+                self.state_objects.insert(object.clone());
+            }
+            OpCode::Drop | OpCode::Forward | OpCode::NoOp => {}
+            OpCode::Back { updates } | OpCode::Mirror { updates } => {
+                for (field, value) in updates {
+                    self.read_operand(value);
+                    self.writes_fields.insert(field.clone());
+                }
+            }
+            OpCode::Multicast { group } => {
+                self.read_operand(group);
+            }
+            OpCode::CopyTo { values, .. } => {
+                self.read_operands(values);
+            }
+            OpCode::SetHeader { field, value } => {
+                self.read_operand(value);
+                self.writes_fields.insert(field.clone());
+            }
+            OpCode::Crypto { dest, object, input, .. } => {
+                self.read_operand(input);
+                self.writes_var = Some(dest.clone());
+                self.state_objects.insert(object.clone());
+            }
+            OpCode::RandInt { dest, bound } => {
+                self.read_operand(bound);
+                self.writes_var = Some(dest.clone());
+            }
+            OpCode::Checksum { dest, inputs } => {
+                self.read_operands(inputs);
+                self.writes_var = Some(dest.clone());
+            }
+        }
+    }
+}
+
+/// The kind of dependency between two instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependencyKind {
+    /// True data dependency: the later instruction reads a variable or header
+    /// field written by the earlier one.
+    Data,
+    /// State-sharing dependency: both instructions access the same stateful
+    /// object; per the paper they are *mutually* dependent and must co-locate.
+    State,
+}
+
+/// Compute dependency edges over a slice of instructions.
+///
+/// Returns `(from, to, kind)` triples over instruction *indices* (not ids):
+///
+/// * a [`DependencyKind::Data`] edge from the defining instruction to each later
+///   instruction reading the defined variable or written header field;
+/// * a pair of [`DependencyKind::State`] edges (both directions) between every
+///   pair of instructions sharing a stateful object, reflecting the paper's
+///   "mutually dependent" rule (these are what the block builder later collapses
+///   into a single block).
+pub fn dependency_edges(
+    instructions: &[Instruction],
+    objects: &[ObjectDecl],
+) -> Vec<(usize, usize, DependencyKind)> {
+    let sets: Vec<ReadWriteSet> =
+        instructions.iter().map(|i| ReadWriteSet::of(i, objects)).collect();
+    let mut edges = Vec::new();
+
+    // variable/field definition sites
+    let mut var_defs: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut field_defs: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, set) in sets.iter().enumerate() {
+        if let Some(v) = &set.writes_var {
+            var_defs.entry(v.as_str()).or_default().push(idx);
+        }
+        for fld in &set.writes_fields {
+            field_defs.entry(fld.as_str()).or_default().push(idx);
+        }
+    }
+
+    for (idx, set) in sets.iter().enumerate() {
+        for v in &set.reads_vars {
+            if let Some(defs) = var_defs.get(v.as_str()) {
+                // last definition strictly before this instruction
+                if let Some(&def) = defs.iter().filter(|d| **d < idx).next_back() {
+                    edges.push((def, idx, DependencyKind::Data));
+                }
+            }
+        }
+        for fld in &set.reads_fields {
+            if let Some(defs) = field_defs.get(fld.as_str()) {
+                if let Some(&def) = defs.iter().filter(|d| **d < idx).next_back() {
+                    edges.push((def, idx, DependencyKind::Data));
+                }
+            }
+        }
+    }
+
+    // state-sharing (mutual) dependencies
+    let mut by_object: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, set) in sets.iter().enumerate() {
+        for obj in &set.state_objects {
+            by_object.entry(obj.as_str()).or_default().push(idx);
+        }
+    }
+    for idxs in by_object.values() {
+        for i in 0..idxs.len() {
+            for j in (i + 1)..idxs.len() {
+                edges.push((idxs[i], idxs[j], DependencyKind::State));
+                edges.push((idxs[j], idxs[i], DependencyKind::State));
+            }
+        }
+    }
+
+    edges.sort_by_key(|(a, b, k)| (*a, *b, *k == DependencyKind::State));
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, CmpOp, Predicate};
+    use crate::object::{HashAlgo, ObjectKind};
+
+    fn objs() -> Vec<ObjectDecl> {
+        vec![
+            ObjectDecl::new("agg", ObjectKind::Array { rows: 1, size: 16, width: 32 }),
+            ObjectDecl::new("h", ObjectKind::Hash { algo: HashAlgo::Crc16, modulus: Some(16) }),
+        ]
+    }
+
+    fn prog() -> Vec<Instruction> {
+        vec![
+            // i0: idx = hash(h, hdr.seq)
+            Instruction::new(0, OpCode::Hash {
+                dest: "idx".into(),
+                object: "h".into(),
+                keys: vec![Operand::hdr("seq")],
+            }),
+            // i1: cur = get(agg, idx)
+            Instruction::new(1, OpCode::ReadState {
+                dest: "cur".into(),
+                object: "agg".into(),
+                index: vec![Operand::var("idx")],
+            }),
+            // i2: new = cur + hdr.data
+            Instruction::new(2, OpCode::Alu {
+                dest: "new".into(),
+                op: AluOp::Add,
+                lhs: Operand::var("cur"),
+                rhs: Operand::hdr("data"),
+                float: false,
+            }),
+            // i3: write(agg, idx, new)
+            Instruction::new(3, OpCode::WriteState {
+                object: "agg".into(),
+                index: vec![Operand::var("idx")],
+                value: vec![Operand::var("new")],
+            }),
+            // i4: (new > 0) ? fwd
+            Instruction::guarded(
+                4,
+                OpCode::Forward,
+                Guard::single(Predicate::new(Operand::var("new"), CmpOp::Gt, Operand::int(0))),
+            ),
+        ]
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let p = prog();
+        let o = objs();
+        let s0 = ReadWriteSet::of(&p[0], &o);
+        assert_eq!(s0.writes_var.as_deref(), Some("idx"));
+        assert!(s0.reads_fields.contains("seq"));
+        assert!(s0.state_objects.is_empty(), "hash objects are pure functions");
+
+        let s1 = ReadWriteSet::of(&p[1], &o);
+        assert!(s1.reads_vars.contains("idx"));
+        assert!(s1.state_objects.contains("agg"));
+
+        let s3 = ReadWriteSet::of(&p[3], &o);
+        assert!(s3.writes_var.is_none());
+        assert!(s3.reads_vars.contains("new"));
+        assert!(s3.state_objects.contains("agg"));
+
+        let s4 = ReadWriteSet::of(&p[4], &o);
+        assert!(s4.reads_vars.contains("new"), "guard operands are reads");
+    }
+
+    #[test]
+    fn data_dependencies_follow_def_use() {
+        let edges = dependency_edges(&prog(), &objs());
+        assert!(edges.contains(&(0, 1, DependencyKind::Data)), "idx def -> use");
+        assert!(edges.contains(&(1, 2, DependencyKind::Data)), "cur def -> use");
+        assert!(edges.contains(&(2, 3, DependencyKind::Data)), "new def -> use");
+        assert!(edges.contains(&(2, 4, DependencyKind::Data)), "guard read of new");
+        assert!(!edges.contains(&(0, 2, DependencyKind::Data)));
+    }
+
+    #[test]
+    fn state_sharing_is_mutual() {
+        let edges = dependency_edges(&prog(), &objs());
+        assert!(edges.contains(&(1, 3, DependencyKind::State)));
+        assert!(edges.contains(&(3, 1, DependencyKind::State)));
+    }
+
+    #[test]
+    fn header_write_then_read_is_a_dependency() {
+        let instrs = vec![
+            Instruction::new(0, OpCode::SetHeader {
+                field: "bitmap".into(),
+                value: Operand::int(3),
+            }),
+            Instruction::new(1, OpCode::Assign {
+                dest: "b".into(),
+                src: Operand::hdr("bitmap"),
+            }),
+        ];
+        let edges = dependency_edges(&instrs, &[]);
+        assert!(edges.contains(&(0, 1, DependencyKind::Data)));
+    }
+
+    #[test]
+    fn unknown_object_treated_as_stateful() {
+        let instrs = vec![
+            Instruction::new(0, OpCode::ReadState {
+                dest: "a".into(),
+                object: "mystery".into(),
+                index: vec![],
+            }),
+            Instruction::new(1, OpCode::ClearState { object: "mystery".into() }),
+        ];
+        let edges = dependency_edges(&instrs, &[]);
+        assert!(edges.contains(&(0, 1, DependencyKind::State)));
+        assert!(edges.contains(&(1, 0, DependencyKind::State)));
+    }
+
+    #[test]
+    fn independent_instructions_have_no_edges() {
+        let instrs = vec![
+            Instruction::new(0, OpCode::Assign { dest: "a".into(), src: Operand::int(1) }),
+            Instruction::new(1, OpCode::Assign { dest: "b".into(), src: Operand::int(2) }),
+        ];
+        assert!(dependency_edges(&instrs, &[]).is_empty());
+    }
+}

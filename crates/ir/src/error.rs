@@ -1,0 +1,95 @@
+//! Error type for IR construction and validation.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating an [`crate::IrProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// An instruction references a stateful object that was never declared.
+    UnknownObject {
+        /// Name of the missing object.
+        object: String,
+        /// Index of the offending instruction in the program.
+        instr: usize,
+    },
+    /// An instruction reads a variable that is never written and is not a
+    /// header field or declared constant.
+    UndefinedVariable {
+        /// The variable name.
+        var: String,
+        /// Index of the offending instruction in the program.
+        instr: usize,
+    },
+    /// A variable is assigned more than once after SSA conversion.
+    DuplicateAssignment {
+        /// The variable name.
+        var: String,
+    },
+    /// Two object declarations share the same name.
+    DuplicateObject {
+        /// The duplicated object name.
+        object: String,
+    },
+    /// An object is used in a way incompatible with its kind (e.g. a `Hash`
+    /// object used as the target of a `WriteState`).
+    ObjectKindMismatch {
+        /// Name of the object.
+        object: String,
+        /// What the instruction attempted to do.
+        usage: String,
+    },
+    /// The program is empty.
+    EmptyProgram,
+    /// Generic invariant violation with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownObject { object, instr } => {
+                write!(f, "instruction {instr} references undeclared object `{object}`")
+            }
+            IrError::UndefinedVariable { var, instr } => {
+                write!(f, "instruction {instr} reads undefined variable `{var}`")
+            }
+            IrError::DuplicateAssignment { var } => {
+                write!(f, "variable `{var}` assigned more than once in SSA form")
+            }
+            IrError::DuplicateObject { object } => {
+                write!(f, "object `{object}` declared more than once")
+            }
+            IrError::ObjectKindMismatch { object, usage } => {
+                write!(f, "object `{object}` cannot be used for {usage}")
+            }
+            IrError::EmptyProgram => write!(f, "IR program contains no instructions"),
+            IrError::Invalid(msg) => write!(f, "invalid IR: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_identifiers() {
+        let e = IrError::UnknownObject { object: "cms".into(), instr: 3 };
+        assert!(e.to_string().contains("cms"));
+        assert!(e.to_string().contains('3'));
+
+        let e = IrError::UndefinedVariable { var: "idx".into(), instr: 1 };
+        assert!(e.to_string().contains("idx"));
+
+        let e = IrError::DuplicateObject { object: "cache".into() };
+        assert!(e.to_string().contains("cache"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&IrError::EmptyProgram);
+    }
+}

@@ -1,0 +1,684 @@
+//! The IR instruction set (paper Fig. 17).
+//!
+//! An IR program is a straight-line sequence of optionally *guarded* instructions:
+//! the frontend converts `if/else` branches into ternary/predicated form
+//! (`condition ? instr`, paper §4.2 pass 3), so there is no control-flow transfer
+//! in the IR — a property required by pipeline devices where a packet traverses
+//! the stages exactly once.
+
+use crate::types::Value;
+use std::fmt;
+
+/// Stable identifier of an instruction within a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstrId(pub u32);
+
+impl fmt::Display for InstrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// An operand of an instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A (temporary) variable, in SSA form after the frontend.
+    Var(String),
+    /// A literal constant.
+    Const(Value),
+    /// A packet header field, e.g. `hdr.key`.
+    Header(String),
+    /// Per-packet metadata maintained by the INC layer (e.g. `meta.step`).
+    Meta(String),
+}
+
+impl Operand {
+    /// Convenience constructor for integer constants.
+    pub fn int(v: i64) -> Operand {
+        Operand::Const(Value::Int(v))
+    }
+
+    /// Convenience constructor for variables.
+    pub fn var(name: impl Into<String>) -> Operand {
+        Operand::Var(name.into())
+    }
+
+    /// Convenience constructor for header fields.
+    pub fn hdr(name: impl Into<String>) -> Operand {
+        Operand::Header(name.into())
+    }
+
+    /// Name read by this operand, if it is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Operand::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether the operand is a compile-time constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Operand::Const(_))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Var(v) => write!(f, "{v}"),
+            Operand::Const(c) => write!(f, "{c}"),
+            Operand::Header(h) => write!(f, "hdr.{h}"),
+            Operand::Meta(m) => write!(f, "meta.{m}"),
+        }
+    }
+}
+
+/// Arithmetic / bit operations (`calc` in Fig. 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Integer or float addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (class BIC for integers, BCA for floats).
+    Mul,
+    /// Division (class BIC / BCA).
+    Div,
+    /// Modulus (class BIC).
+    Mod,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift by a constant.
+    Shl,
+    /// Right shift by a constant.
+    Shr,
+    /// Minimum of two operands.
+    Min,
+    /// Maximum of two operands.
+    Max,
+    /// Bit-slice extraction (`slice()` in Table 7); the rhs encodes `(hi<<8)|lo`.
+    Slice,
+}
+
+impl AluOp {
+    /// Whether the operation belongs to the "complex integer" class BIC rather
+    /// than the basic class BIN (paper Table 9).
+    pub fn is_complex_int(&self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Div | AluOp::Mod)
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "+",
+            AluOp::Sub => "-",
+            AluOp::Mul => "*",
+            AluOp::Div => "/",
+            AluOp::Mod => "%",
+            AluOp::And => "&",
+            AluOp::Or => "|",
+            AluOp::Xor => "^",
+            AluOp::Shl => "<<",
+            AluOp::Shr => ">>",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+            AluOp::Slice => "slice",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Comparison operators (`compare` in Fig. 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on two integers.
+    pub fn eval_int(&self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// The comparison with swapped operands (`a op b  ==  b op.swap() a`).
+    pub fn swapped(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation of the comparison.
+    pub fn negated(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single atomic predicate `lhs op rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left operand.
+    pub lhs: Operand,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Operand,
+}
+
+impl Predicate {
+    /// Construct a predicate.
+    pub fn new(lhs: Operand, op: CmpOp, rhs: Operand) -> Self {
+        Predicate { lhs, op, rhs }
+    }
+
+    /// The negated predicate.
+    pub fn negated(&self) -> Predicate {
+        Predicate { lhs: self.lhs.clone(), op: self.op.negated(), rhs: self.rhs.clone() }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A guard: conjunction of predicates that must all hold for the guarded
+/// instruction to execute (nested `if`s flatten into a conjunction).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Guard {
+    /// All predicates must be true.
+    pub all: Vec<Predicate>,
+}
+
+impl Guard {
+    /// The empty (always-true) guard.
+    pub fn always() -> Guard {
+        Guard { all: Vec::new() }
+    }
+
+    /// A guard with a single predicate.
+    pub fn single(p: Predicate) -> Guard {
+        Guard { all: vec![p] }
+    }
+
+    /// Conjoin another predicate.
+    pub fn and(mut self, p: Predicate) -> Guard {
+        self.all.push(p);
+        self
+    }
+
+    /// Whether the guard is trivially true.
+    pub fn is_always(&self) -> bool {
+        self.all.is_empty()
+    }
+
+    /// Total bit width of the operands referenced by the guard; Tofino limits the
+    /// width a gateway can evaluate in one stage (Appendix E.1).
+    pub fn operand_count(&self) -> usize {
+        self.all.len() * 2
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.all.is_empty() {
+            return write!(f, "true");
+        }
+        let parts: Vec<String> = self.all.iter().map(|p| p.to_string()).collect();
+        write!(f, "{}", parts.join(" && "))
+    }
+}
+
+/// The operation performed by an instruction.
+///
+/// The variants cover the declaration-free "operation" half of the IR syntax in
+/// Fig. 17; object declarations live in [`crate::ObjectDecl`] and are kept in the
+/// program header rather than in the instruction stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpCode {
+    /// `dest = src` — plain move/copy.
+    Assign {
+        /// Destination variable.
+        dest: String,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dest = lhs op rhs` — arithmetic / bit operation.
+    Alu {
+        /// Destination variable.
+        dest: String,
+        /// Operation.
+        op: AluOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// Whether the operation is on floating-point values (class BCA).
+        float: bool,
+    },
+    /// `dest = (lhs cmp rhs)` — comparison producing a boolean.
+    Cmp {
+        /// Destination variable.
+        dest: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dest = hash(key...)` using a declared [`crate::ObjectKind::Hash`] object.
+    Hash {
+        /// Destination variable.
+        dest: String,
+        /// Name of the hash object.
+        object: String,
+        /// Key operands.
+        keys: Vec<Operand>,
+    },
+    /// `dest = get(object, index/key)` — read from an Array/Seq/Sketch/Table.
+    ReadState {
+        /// Destination variable.
+        dest: String,
+        /// Name of the object.
+        object: String,
+        /// Index (arrays/seq/sketch row) or key (tables).
+        index: Vec<Operand>,
+    },
+    /// `write(object, index/key, value)` — write into a stateful object.
+    WriteState {
+        /// Name of the object.
+        object: String,
+        /// Index or key operands.
+        index: Vec<Operand>,
+        /// Value operands.
+        value: Vec<Operand>,
+    },
+    /// `dest = count(object, index, delta)` — read-modify-write increment, the
+    /// primitive behind counters and Count-Min sketches.
+    CountState {
+        /// Destination variable receiving the post-increment value (optional).
+        dest: Option<String>,
+        /// Name of the object.
+        object: String,
+        /// Index operands.
+        index: Vec<Operand>,
+        /// Increment.
+        delta: Operand,
+    },
+    /// `clear(object)` — reset an object (control-plane assisted on ASICs).
+    ClearState {
+        /// Name of the object.
+        object: String,
+    },
+    /// `del(object, index)` — invalidate one entry of a stateful object.
+    DeleteState {
+        /// Name of the object.
+        object: String,
+        /// Index operands.
+        index: Vec<Operand>,
+    },
+    /// `drop()` — drop the packet.
+    Drop,
+    /// `fwd()` / `forward(hdr)` — forward the packet along its normal route.
+    Forward,
+    /// `back(hdr={...})` — swap src/dst and send the packet back to its sender,
+    /// optionally rewriting header fields.
+    Back {
+        /// Header field rewrites applied before bouncing the packet.
+        updates: Vec<(String, Operand)>,
+    },
+    /// `mirror(hdr={...})` — clone the packet to the CPU / a mirror session.
+    Mirror {
+        /// Header field rewrites applied to the mirrored copy.
+        updates: Vec<(String, Operand)>,
+    },
+    /// `multicast(group)` — replicate the packet to a multicast group.
+    Multicast {
+        /// Multicast group id.
+        group: Operand,
+    },
+    /// `copyto(target, value)` — copy data to an out-of-band target (e.g. `"CPU"`).
+    CopyTo {
+        /// Target name.
+        target: String,
+        /// Values copied.
+        values: Vec<Operand>,
+    },
+    /// `hdr.field = value` — header rewrite.
+    SetHeader {
+        /// Header field name.
+        field: String,
+        /// New value.
+        value: Operand,
+    },
+    /// `dest = encrypt/decrypt(object, input)` using a Crypto object.
+    Crypto {
+        /// Destination variable.
+        dest: String,
+        /// Name of the crypto object.
+        object: String,
+        /// Input operand.
+        input: Operand,
+        /// True for encryption, false for decryption.
+        encrypt: bool,
+    },
+    /// `dest = randint(bound)` — random integer (class BAF, `_randint`).
+    RandInt {
+        /// Destination variable.
+        dest: String,
+        /// Exclusive upper bound.
+        bound: Operand,
+    },
+    /// `dest = checksum(inputs...)` — csum16 computation.
+    Checksum {
+        /// Destination variable.
+        dest: String,
+        /// Inputs folded into the checksum.
+        inputs: Vec<Operand>,
+    },
+    /// A no-op, used as a placeholder when instructions are lazily removed
+    /// (paper §6, lazy enforcement of program removal).
+    NoOp,
+}
+
+impl OpCode {
+    /// The variable written by this operation, if any.
+    pub fn dest(&self) -> Option<&str> {
+        match self {
+            OpCode::Assign { dest, .. }
+            | OpCode::Alu { dest, .. }
+            | OpCode::Cmp { dest, .. }
+            | OpCode::Hash { dest, .. }
+            | OpCode::ReadState { dest, .. }
+            | OpCode::Crypto { dest, .. }
+            | OpCode::RandInt { dest, .. }
+            | OpCode::Checksum { dest, .. } => Some(dest),
+            OpCode::CountState { dest, .. } => dest.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// The stateful/functional object referenced by this operation, if any.
+    pub fn object(&self) -> Option<&str> {
+        match self {
+            OpCode::Hash { object, .. }
+            | OpCode::ReadState { object, .. }
+            | OpCode::WriteState { object, .. }
+            | OpCode::CountState { object, .. }
+            | OpCode::ClearState { object }
+            | OpCode::DeleteState { object, .. }
+            | OpCode::Crypto { object, .. } => Some(object),
+            _ => None,
+        }
+    }
+
+    /// Whether the operation has packet-level side effects (drop/forward/etc.).
+    pub fn is_packet_action(&self) -> bool {
+        matches!(
+            self,
+            OpCode::Drop
+                | OpCode::Forward
+                | OpCode::Back { .. }
+                | OpCode::Mirror { .. }
+                | OpCode::Multicast { .. }
+                | OpCode::CopyTo { .. }
+        )
+    }
+
+    /// Short mnemonic used in dumps and by the backends.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            OpCode::Assign { .. } => "mov",
+            OpCode::Alu { .. } => "alu",
+            OpCode::Cmp { .. } => "cmp",
+            OpCode::Hash { .. } => "hash",
+            OpCode::ReadState { .. } => "get",
+            OpCode::WriteState { .. } => "write",
+            OpCode::CountState { .. } => "count",
+            OpCode::ClearState { .. } => "clear",
+            OpCode::DeleteState { .. } => "del",
+            OpCode::Drop => "drop",
+            OpCode::Forward => "fwd",
+            OpCode::Back { .. } => "back",
+            OpCode::Mirror { .. } => "mirror",
+            OpCode::Multicast { .. } => "mcast",
+            OpCode::CopyTo { .. } => "copyto",
+            OpCode::SetHeader { .. } => "sethdr",
+            OpCode::Crypto { .. } => "crypto",
+            OpCode::RandInt { .. } => "randint",
+            OpCode::Checksum { .. } => "csum",
+            OpCode::NoOp => "nop",
+        }
+    }
+}
+
+/// A single IR instruction: an operation, an optional guard, and the annotation
+/// metadata used for multi-user incremental compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// Stable identifier.
+    pub id: InstrId,
+    /// The operation.
+    pub op: OpCode,
+    /// Optional guard (predicated execution).
+    pub guard: Option<Guard>,
+    /// Owning user program annotations (paper §6, "annotation-based method").
+    /// Empty for instructions belonging solely to the operator's base program.
+    /// Shared instructions carry every owning user.
+    pub owners: Vec<String>,
+}
+
+impl Instruction {
+    /// Create an unguarded instruction.
+    pub fn new(id: u32, op: OpCode) -> Instruction {
+        Instruction { id: InstrId(id), op, guard: None, owners: Vec::new() }
+    }
+
+    /// Create a guarded instruction.
+    pub fn guarded(id: u32, op: OpCode, guard: Guard) -> Instruction {
+        let guard = if guard.is_always() { None } else { Some(guard) };
+        Instruction { id: InstrId(id), op, guard, owners: Vec::new() }
+    }
+
+    /// Attach an owner annotation (builder style).
+    pub fn with_owner(mut self, owner: impl Into<String>) -> Instruction {
+        self.owners.push(owner.into());
+        self
+    }
+
+    /// Whether the instruction belongs (only) to the operator's base program.
+    pub fn is_base(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// The destination variable written, if any.
+    pub fn dest(&self) -> Option<&str> {
+        self.op.dest()
+    }
+
+    /// The object referenced, if any.
+    pub fn object(&self) -> Option<&str> {
+        self.op.object()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = &self.guard {
+            write!(f, "[{}] ({}) ? {}", self.id, g, self.op.mnemonic())
+        } else {
+            write!(f, "[{}] {}", self.id, self.op.mnemonic())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alu(dest: &str) -> OpCode {
+        OpCode::Alu {
+            dest: dest.into(),
+            op: AluOp::Add,
+            lhs: Operand::var("a"),
+            rhs: Operand::int(1),
+            float: false,
+        }
+    }
+
+    #[test]
+    fn operand_helpers() {
+        assert_eq!(Operand::int(3), Operand::Const(Value::Int(3)));
+        assert_eq!(Operand::var("x").as_var(), Some("x"));
+        assert_eq!(Operand::hdr("key").as_var(), None);
+        assert!(Operand::int(1).is_const());
+        assert!(!Operand::var("x").is_const());
+        assert_eq!(Operand::hdr("key").to_string(), "hdr.key");
+        assert_eq!(Operand::Meta("step".into()).to_string(), "meta.step");
+    }
+
+    #[test]
+    fn cmp_eval_and_negation() {
+        assert!(CmpOp::Lt.eval_int(1, 2));
+        assert!(!CmpOp::Lt.eval_int(2, 2));
+        assert!(CmpOp::Ge.eval_int(2, 2));
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.negated(), CmpOp::Ne);
+        assert_eq!(CmpOp::Le.swapped(), CmpOp::Ge);
+        // negation is an involution
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.negated().negated(), op);
+            assert_eq!(op.swapped().swapped(), op);
+        }
+    }
+
+    #[test]
+    fn alu_complexity_classes() {
+        assert!(AluOp::Mul.is_complex_int());
+        assert!(AluOp::Mod.is_complex_int());
+        assert!(!AluOp::Add.is_complex_int());
+        assert!(!AluOp::Xor.is_complex_int());
+    }
+
+    #[test]
+    fn guard_construction_and_display() {
+        let g = Guard::single(Predicate::new(Operand::hdr("op"), CmpOp::Eq, Operand::int(1)))
+            .and(Predicate::new(Operand::var("valid"), CmpOp::Ne, Operand::int(0)));
+        assert_eq!(g.all.len(), 2);
+        assert!(!g.is_always());
+        assert_eq!(g.operand_count(), 4);
+        assert_eq!(g.to_string(), "hdr.op == 1 && valid != 0");
+        assert_eq!(Guard::always().to_string(), "true");
+        assert!(Guard::always().is_always());
+    }
+
+    #[test]
+    fn predicate_negation() {
+        let p = Predicate::new(Operand::var("x"), CmpOp::Lt, Operand::int(10));
+        assert_eq!(p.negated().op, CmpOp::Ge);
+        assert_eq!(p.negated().negated(), p);
+    }
+
+    #[test]
+    fn opcode_dest_and_object_extraction() {
+        assert_eq!(alu("x").dest(), Some("x"));
+        let read = OpCode::ReadState {
+            dest: "v".into(),
+            object: "cache".into(),
+            index: vec![Operand::hdr("key")],
+        };
+        assert_eq!(read.dest(), Some("v"));
+        assert_eq!(read.object(), Some("cache"));
+        assert_eq!(OpCode::Drop.dest(), None);
+        assert!(OpCode::Drop.is_packet_action());
+        assert!(!alu("x").is_packet_action());
+        let cnt = OpCode::CountState {
+            dest: None,
+            object: "cms".into(),
+            index: vec![Operand::var("i")],
+            delta: Operand::int(1),
+        };
+        assert_eq!(cnt.dest(), None);
+        assert_eq!(cnt.object(), Some("cms"));
+    }
+
+    #[test]
+    fn guarded_instruction_drops_trivial_guard() {
+        let i = Instruction::guarded(0, OpCode::Drop, Guard::always());
+        assert!(i.guard.is_none());
+        let i = Instruction::guarded(
+            1,
+            OpCode::Drop,
+            Guard::single(Predicate::new(Operand::var("x"), CmpOp::Eq, Operand::int(0))),
+        );
+        assert!(i.guard.is_some());
+    }
+
+    #[test]
+    fn ownership_annotations() {
+        let i = Instruction::new(0, OpCode::Forward);
+        assert!(i.is_base());
+        let i = i.with_owner("kvs_0");
+        assert!(!i.is_base());
+        assert_eq!(i.owners, vec!["kvs_0".to_string()]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Instruction::new(4, OpCode::Forward);
+        assert_eq!(i.to_string(), "[i4] fwd");
+        let g = Guard::single(Predicate::new(Operand::var("x"), CmpOp::Gt, Operand::int(0)));
+        let i = Instruction::guarded(5, OpCode::Drop, g);
+        assert_eq!(i.to_string(), "[i5] (x > 0) ? drop");
+    }
+}

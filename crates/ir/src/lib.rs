@@ -1,0 +1,44 @@
+//! # clickinc-ir — the platform-independent intermediate representation
+//!
+//! This crate implements the ClickINC IR described in §4.2 and Appendix A.4 of the
+//! paper: a flat, sequentially-executed instruction set (no `goto`/`jump`) that the
+//! compiler frontend lowers ClickINC programs into, that the placement engine
+//! distributes over heterogeneous devices, and that the backends translate into
+//! device-specific programs.
+//!
+//! The main pieces are:
+//!
+//! * [`types`] — value types, widths and runtime values shared with the emulator.
+//! * [`object`] — declarations of the stateful INC objects (Array, Table, Sketch,
+//!   Seq, Hash, Crypto) that instructions operate on (paper Fig. 5 "Object").
+//! * [`instr`] — the instruction set itself (paper Fig. 17) including guards
+//!   (predicated execution, the result of the frontend's if-conversion).
+//! * [`capability`] — the 13 device-capability classes of Table 9 and the
+//!   functional-unit list of Table 8, plus the classifier that assigns a class to
+//!   every instruction.
+//! * [`resource`] — the generic resource-demand vector used by the device models.
+//! * [`program`] — the [`IrProgram`] container with validation and queries.
+//! * [`deps`] — read/write-set extraction and dependency-edge computation
+//!   (including the mutual dependency of all instructions sharing a stateful
+//!   object, paper §5.2 step 1).
+//! * [`builder`] — an ergonomic builder used by the templates, tests and examples.
+
+pub mod builder;
+pub mod capability;
+pub mod deps;
+pub mod error;
+pub mod instr;
+pub mod object;
+pub mod program;
+pub mod resource;
+pub mod types;
+
+pub use builder::ProgramBuilder;
+pub use capability::{classify_instruction, CapabilityClass, FunctionalUnit};
+pub use deps::{dependency_edges, DependencyKind, ReadWriteSet};
+pub use error::IrError;
+pub use instr::{AluOp, CmpOp, Guard, Instruction, InstrId, OpCode, Operand, Predicate};
+pub use object::{CryptoAlgo, HashAlgo, MatchKind, ObjectDecl, ObjectKind, SketchKind};
+pub use program::{HeaderFieldDecl, IrProgram};
+pub use resource::{Resource, ResourceVector};
+pub use types::{Value, ValueType};

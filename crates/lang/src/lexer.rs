@@ -1,0 +1,407 @@
+//! Tokenizer with Python-style significant indentation.
+//!
+//! The lexer converts raw source into a token stream with explicit `Newline`,
+//! `Indent` and `Dedent` tokens, following the same strategy CPython uses: a
+//! stack of indentation widths, one `Indent` pushed per deeper block, one
+//! `Dedent` per popped level.  Blank lines and comment-only lines produce no
+//! tokens.  Brackets suppress newlines so call arguments may span lines.
+
+use crate::error::{LangError, Span};
+use crate::token::{Token, TokenKind};
+
+/// The ClickINC lexer.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    indent_stack: Vec<usize>,
+    bracket_depth: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `source`.
+    pub fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            indent_stack: vec![0],
+            bracket_depth: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    /// Tokenize the whole input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LangError> {
+        loop {
+            if self.at_line_start() && self.bracket_depth == 0 {
+                self.handle_indentation()?;
+            }
+            if self.pos >= self.src.len() {
+                break;
+            }
+            let ch = self.peek();
+            match ch {
+                b'\n' => {
+                    self.advance();
+                    if self.bracket_depth == 0 {
+                        // collapse consecutive newlines
+                        if !matches!(
+                            self.tokens.last().map(|t| &t.kind),
+                            Some(TokenKind::Newline) | Some(TokenKind::Indent) | None
+                        ) {
+                            self.push(TokenKind::Newline);
+                        }
+                    }
+                    self.line += 1;
+                    self.col = 1;
+                }
+                b' ' | b'\t' | b'\r' => {
+                    self.advance();
+                }
+                b'#' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.advance();
+                    }
+                }
+                b'"' | b'\'' => self.lex_string(ch)?,
+                b'0'..=b'9' => self.lex_number(),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+                _ => self.lex_operator()?,
+            }
+        }
+        // final newline + dedents
+        if !matches!(
+            self.tokens.last().map(|t| &t.kind),
+            Some(TokenKind::Newline) | Some(TokenKind::Dedent) | None
+        ) {
+            self.push(TokenKind::Newline);
+        }
+        while self.indent_stack.len() > 1 {
+            self.indent_stack.pop();
+            self.push(TokenKind::Dedent);
+        }
+        self.push(TokenKind::Eof);
+        Ok(self.tokens)
+    }
+
+    fn at_line_start(&self) -> bool {
+        self.col == 1
+    }
+
+    fn handle_indentation(&mut self) -> Result<(), LangError> {
+        // Measure leading whitespace of the next non-blank, non-comment line.
+        loop {
+            let line_start = self.pos;
+            let mut width = 0usize;
+            let mut p = self.pos;
+            while p < self.src.len() && (self.src[p] == b' ' || self.src[p] == b'\t') {
+                width += if self.src[p] == b'\t' { 4 } else { 1 };
+                p += 1;
+            }
+            if p >= self.src.len() {
+                self.pos = p;
+                self.col += p - line_start;
+                return Ok(());
+            }
+            match self.src[p] {
+                b'\n' => {
+                    // blank line: skip entirely
+                    self.pos = p + 1;
+                    self.line += 1;
+                    self.col = 1;
+                    continue;
+                }
+                b'#' => {
+                    // comment-only line: skip to end of line
+                    while p < self.src.len() && self.src[p] != b'\n' {
+                        p += 1;
+                    }
+                    self.pos = if p < self.src.len() { p + 1 } else { p };
+                    if p < self.src.len() {
+                        self.line += 1;
+                    }
+                    self.col = 1;
+                    continue;
+                }
+                _ => {
+                    self.pos = p;
+                    self.col = width + 1;
+                    let current = *self.indent_stack.last().expect("non-empty indent stack");
+                    if width > current {
+                        self.indent_stack.push(width);
+                        self.push(TokenKind::Indent);
+                    } else if width < current {
+                        while *self.indent_stack.last().expect("non-empty") > width {
+                            self.indent_stack.pop();
+                            self.push(TokenKind::Dedent);
+                        }
+                        if *self.indent_stack.last().expect("non-empty") != width {
+                            return Err(LangError::BadIndentation {
+                                span: Span::new(self.line, 1),
+                            });
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        self.src[self.pos]
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+        self.col += 1;
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        let span = self.span();
+        self.tokens.push(Token::new(kind, span));
+    }
+
+    fn lex_string(&mut self, quote: u8) -> Result<(), LangError> {
+        let start = self.span();
+        self.advance();
+        let begin = self.pos;
+        while self.pos < self.src.len() && self.peek() != quote && self.peek() != b'\n' {
+            self.advance();
+        }
+        if self.pos >= self.src.len() || self.peek() != quote {
+            return Err(LangError::UnterminatedString { span: start });
+        }
+        let text = String::from_utf8_lossy(&self.src[begin..self.pos]).into_owned();
+        self.advance();
+        self.tokens.push(Token::new(TokenKind::Str(text), start));
+        Ok(())
+    }
+
+    fn lex_number(&mut self) {
+        let start = self.span();
+        let begin = self.pos;
+        let mut is_float = false;
+        while self.pos < self.src.len() {
+            match self.peek() {
+                b'0'..=b'9' | b'_' => self.advance(),
+                b'x' | b'X' if self.pos == begin + 1 && self.src[begin] == b'0' => self.advance(),
+                b'a'..=b'f' | b'A'..=b'F'
+                    if self.src[begin] == b'0'
+                        && begin + 1 < self.src.len()
+                        && (self.src[begin + 1] | 0x20) == b'x' =>
+                {
+                    self.advance()
+                }
+                b'.' if !is_float
+                    && self.peek_at(1).map(|c| c.is_ascii_digit()).unwrap_or(false) =>
+                {
+                    is_float = true;
+                    self.advance();
+                }
+                _ => break,
+            }
+        }
+        let text: String = String::from_utf8_lossy(&self.src[begin..self.pos]).replace('_', "");
+        let kind = if is_float {
+            TokenKind::Float(text.parse().unwrap_or(0.0))
+        } else if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+            TokenKind::Int(i64::from_str_radix(hex, 16).unwrap_or(0))
+        } else {
+            TokenKind::Int(text.parse().unwrap_or(0))
+        };
+        self.tokens.push(Token::new(kind, start));
+    }
+
+    fn lex_ident(&mut self) {
+        let start = self.span();
+        let begin = self.pos;
+        while self.pos < self.src.len()
+            && (self.peek().is_ascii_alphanumeric() || self.peek() == b'_')
+        {
+            self.advance();
+        }
+        let text = String::from_utf8_lossy(&self.src[begin..self.pos]).into_owned();
+        let kind = TokenKind::keyword(&text).unwrap_or(TokenKind::Ident(text));
+        self.tokens.push(Token::new(kind, start));
+    }
+
+    fn lex_operator(&mut self) -> Result<(), LangError> {
+        let start = self.span();
+        let ch = self.peek();
+        let next = self.peek_at(1);
+        let (kind, len) = match (ch, next) {
+            (b'*', Some(b'*')) => (TokenKind::StarStar, 2),
+            (b'/', Some(b'/')) => (TokenKind::SlashSlash, 2),
+            (b'=', Some(b'=')) => (TokenKind::EqEq, 2),
+            (b'!', Some(b'=')) => (TokenKind::NotEq, 2),
+            (b'<', Some(b'=')) => (TokenKind::Le, 2),
+            (b'>', Some(b'=')) => (TokenKind::Ge, 2),
+            (b'<', Some(b'<')) => (TokenKind::Shl, 2),
+            (b'>', Some(b'>')) => (TokenKind::Shr, 2),
+            (b'+', Some(b'=')) => (TokenKind::PlusAssign, 2),
+            (b'-', Some(b'=')) => (TokenKind::MinusAssign, 2),
+            (b'+', _) => (TokenKind::Plus, 1),
+            (b'-', _) => (TokenKind::Minus, 1),
+            (b'*', _) => (TokenKind::Star, 1),
+            (b'/', _) => (TokenKind::Slash, 1),
+            (b'%', _) => (TokenKind::Percent, 1),
+            (b'=', _) => (TokenKind::Assign, 1),
+            (b'<', _) => (TokenKind::Lt, 1),
+            (b'>', _) => (TokenKind::Gt, 1),
+            (b'&', _) => (TokenKind::Amp, 1),
+            (b'|', _) => (TokenKind::Pipe, 1),
+            (b'^', _) => (TokenKind::Caret, 1),
+            (b'~', _) => (TokenKind::Tilde, 1),
+            (b'(', _) => (TokenKind::LParen, 1),
+            (b')', _) => (TokenKind::RParen, 1),
+            (b'[', _) => (TokenKind::LBracket, 1),
+            (b']', _) => (TokenKind::RBracket, 1),
+            (b'{', _) => (TokenKind::LBrace, 1),
+            (b'}', _) => (TokenKind::RBrace, 1),
+            (b',', _) => (TokenKind::Comma, 1),
+            (b':', _) => (TokenKind::Colon, 1),
+            (b'.', _) => (TokenKind::Dot, 1),
+            _ => {
+                return Err(LangError::UnexpectedChar { ch: ch as char, span: start });
+            }
+        };
+        match kind {
+            TokenKind::LParen | TokenKind::LBracket | TokenKind::LBrace => {
+                self.bracket_depth += 1
+            }
+            TokenKind::RParen | TokenKind::RBracket | TokenKind::RBrace => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1)
+            }
+            _ => {}
+        }
+        for _ in 0..len {
+            self.advance();
+        }
+        self.tokens.push(Token::new(kind, start));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        let k = kinds("x = 1 + 2\n");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Int(1),
+                TokenKind::Plus,
+                TokenKind::Int(2),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_produces_indent_dedent() {
+        let k = kinds("if x > 0:\n    y = 1\nz = 2\n");
+        assert!(k.contains(&TokenKind::Indent));
+        assert!(k.contains(&TokenKind::Dedent));
+        let indent_pos = k.iter().position(|t| *t == TokenKind::Indent).unwrap();
+        let dedent_pos = k.iter().position(|t| *t == TokenKind::Dedent).unwrap();
+        assert!(indent_pos < dedent_pos);
+    }
+
+    #[test]
+    fn nested_blocks_close_with_multiple_dedents() {
+        let k = kinds("for i in range(3):\n    if i > 0:\n        x = i\n");
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_do_not_affect_indentation() {
+        let k = kinds("if x:\n    a = 1\n\n    # comment\n    b = 2\n");
+        let dedents = k.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(dedents, 1);
+        let indents = k.iter().filter(|t| **t == TokenKind::Indent).count();
+        assert_eq!(indents, 1);
+    }
+
+    #[test]
+    fn newlines_inside_brackets_are_suppressed() {
+        let k = kinds("mem = Array(row=3,\n    size=65536,\n    w=32)\n");
+        let newlines = k.iter().filter(|t| **t == TokenKind::Newline).count();
+        assert_eq!(newlines, 1);
+        assert!(!k.contains(&TokenKind::Indent));
+    }
+
+    #[test]
+    fn strings_numbers_and_hex() {
+        let k = kinds("f = Hash(type=\"crc_16\", key=hdr.key)\nn = 0xff\npi = 3.5\n");
+        assert!(k.contains(&TokenKind::Str("crc_16".into())));
+        assert!(k.contains(&TokenKind::Int(255)));
+        assert!(k.contains(&TokenKind::Float(3.5)));
+        assert!(k.contains(&TokenKind::Dot));
+    }
+
+    #[test]
+    fn keywords_and_operators() {
+        let k = kinds("for i in range(3):\n    vals += 1\n    if a != b and c <= d:\n        drop()\n");
+        assert!(k.contains(&TokenKind::For));
+        assert!(k.contains(&TokenKind::In));
+        assert!(k.contains(&TokenKind::PlusAssign));
+        assert!(k.contains(&TokenKind::NotEq));
+        assert!(k.contains(&TokenKind::And));
+        assert!(k.contains(&TokenKind::Le));
+    }
+
+    #[test]
+    fn bad_indentation_is_reported() {
+        let err = Lexer::new("if x:\n        a = 1\n    b = 2\n").tokenize().unwrap_err();
+        assert!(matches!(err, LangError::BadIndentation { .. }));
+    }
+
+    #[test]
+    fn unterminated_string_is_reported() {
+        let err = Lexer::new("s = \"oops\n").tokenize().unwrap_err();
+        assert!(matches!(err, LangError::UnterminatedString { .. }));
+    }
+
+    #[test]
+    fn unexpected_character_is_reported() {
+        let err = Lexer::new("x = $\n").tokenize().unwrap_err();
+        assert!(matches!(err, LangError::UnexpectedChar { ch: '$', .. }));
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_tolerated() {
+        let k = kinds("x = 1");
+        assert_eq!(k.last(), Some(&TokenKind::Eof));
+        assert!(k.contains(&TokenKind::Newline));
+    }
+
+    #[test]
+    fn shift_operators_lex_before_comparison() {
+        let k = kinds("a = b << 2\nc = d >> 3\n");
+        assert!(k.contains(&TokenKind::Shl));
+        assert!(k.contains(&TokenKind::Shr));
+    }
+}

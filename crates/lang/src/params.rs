@@ -1,0 +1,202 @@
+//! Learning-based template parameter setting (paper Appendix A.3, Eq. 4).
+//!
+//! The OBI abstraction hides devices from users, so a user cannot reasonably
+//! choose resource-related parameters (cache depth, sketch width, aggregator
+//! count).  ClickINC therefore "maintains historical records of given parameter
+//! x and the performance y, and learns the performance estimation function
+//! y = f(x)"; when a profile arrives with performance requirements, it searches
+//! for the cheapest x whose estimated performance satisfies them.
+//!
+//! This module reproduces that mechanism end to end:
+//!
+//! 1. [`HistoryRecord`]s pair a parameter value with an observed performance
+//!    metric (the emulator and benches can append real observations; the unit
+//!    tests and the default model seed synthetic observations that follow the
+//!    analytic behaviour of a Zipf-served cache / count-min sketch);
+//! 2. [`PerformanceModel`] fits `y ≈ 1 − exp(−k·x/scale)` — a saturating curve
+//!    capturing "more resource → diminishing performance gain" — by stochastic
+//!    gradient descent on the records;
+//! 3. [`recommend_parameter`] solves Eq. 4: minimize the resource consumption
+//!    `g(x) = x` subject to every performance constraint `f_i(x) ≥ y_i`, by a
+//!    monotone bisection over the fitted curve.
+
+/// One observation: parameter value `x` (e.g. cache entries) and achieved
+/// performance `y` in `[0, 1]` (e.g. hit ratio).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistoryRecord {
+    /// Parameter value.
+    pub x: f64,
+    /// Observed performance metric, normalized to `[0, 1]`.
+    pub y: f64,
+}
+
+/// A fitted saturating performance curve `y = 1 − exp(−k·x / scale)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerformanceModel {
+    /// Fitted rate constant.
+    pub k: f64,
+    /// Normalization scale (fixed to the largest observed x).
+    pub scale: f64,
+    /// Mean squared error on the training records after fitting.
+    pub mse: f64,
+}
+
+impl PerformanceModel {
+    /// Fit the model to history records with SGD.
+    ///
+    /// Returns `None` when fewer than two records are available.
+    pub fn fit(records: &[HistoryRecord]) -> Option<PerformanceModel> {
+        if records.len() < 2 {
+            return None;
+        }
+        let scale = records.iter().map(|r| r.x).fold(f64::MIN, f64::max).max(1.0);
+        let mut k: f64 = 1.0;
+        let lr = 0.5;
+        for epoch in 0..2000 {
+            let mut grad = 0.0;
+            for r in records {
+                let xn = r.x / scale;
+                let pred = 1.0 - (-k * xn).exp();
+                let err = pred - r.y;
+                // d pred / d k = xn * exp(-k*xn)
+                grad += 2.0 * err * xn * (-k * xn).exp();
+            }
+            grad /= records.len() as f64;
+            k -= lr * grad * (1.0 / (1.0 + epoch as f64 * 0.001));
+            if !k.is_finite() || k <= 1e-6 {
+                k = 1e-6;
+            }
+        }
+        let mse = records
+            .iter()
+            .map(|r| {
+                let pred = 1.0 - (-k * r.x / scale).exp();
+                (pred - r.y).powi(2)
+            })
+            .sum::<f64>()
+            / records.len() as f64;
+        Some(PerformanceModel { k, scale, mse })
+    }
+
+    /// Predicted performance for parameter value `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        (1.0 - (-self.k * x / self.scale).exp()).clamp(0.0, 1.0)
+    }
+
+    /// Smallest `x` whose predicted performance reaches `target`
+    /// (∞ if the model saturates below the target).
+    pub fn min_x_for(&self, target: f64) -> f64 {
+        if target >= 1.0 {
+            return f64::INFINITY;
+        }
+        if target <= 0.0 {
+            return 0.0;
+        }
+        // invert y = 1 - exp(-k x / scale)
+        -(1.0 - target).ln() * self.scale / self.k
+    }
+}
+
+/// Synthetic history for a Zipf(α≈0.99)-served cache: hit ratio grows with
+/// cache size following a saturating law.  Used to seed the model when no real
+/// observations exist yet (the paper's "pre-learned empirical estimation").
+pub fn synthetic_cache_history(max_entries: u32, samples: usize) -> Vec<HistoryRecord> {
+    let mut records = Vec::with_capacity(samples);
+    for i in 1..=samples {
+        let x = max_entries as f64 * i as f64 / samples as f64;
+        // empirical saturating hit-rate curve for a skewed workload
+        let y = 1.0 - (-3.0 * x / max_entries as f64).exp();
+        records.push(HistoryRecord { x, y });
+    }
+    records
+}
+
+/// A single performance requirement: metric `f(x)` must reach `target`, where
+/// the metric is estimated by `model`.
+#[derive(Debug, Clone, Copy)]
+pub struct Requirement {
+    /// The fitted estimator for this metric.
+    pub model: PerformanceModel,
+    /// Required minimum value of the metric.
+    pub target: f64,
+}
+
+/// Solve Eq. 4: find the minimum parameter value satisfying every requirement,
+/// clamped to `[min_x, max_x]`.  Returns `None` if even `max_x` cannot satisfy
+/// all requirements.
+pub fn recommend_parameter(requirements: &[Requirement], min_x: f64, max_x: f64) -> Option<f64> {
+    let mut needed = min_x;
+    for req in requirements {
+        let x = req.model.min_x_for(req.target);
+        if !x.is_finite() {
+            return None;
+        }
+        needed = needed.max(x);
+    }
+    if needed > max_x {
+        None
+    } else {
+        Some(needed.max(min_x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_fits_a_saturating_curve() {
+        let history = synthetic_cache_history(100_000, 40);
+        let model = PerformanceModel::fit(&history).unwrap();
+        assert!(model.mse < 0.01, "mse = {}", model.mse);
+        // monotone increasing
+        assert!(model.predict(10_000.0) < model.predict(50_000.0));
+        assert!(model.predict(200_000.0) <= 1.0);
+        assert!(model.predict(0.0) >= 0.0);
+    }
+
+    #[test]
+    fn fitting_requires_at_least_two_records() {
+        assert!(PerformanceModel::fit(&[]).is_none());
+        assert!(PerformanceModel::fit(&[HistoryRecord { x: 1.0, y: 0.5 }]).is_none());
+    }
+
+    #[test]
+    fn inverse_lookup_matches_prediction() {
+        let history = synthetic_cache_history(100_000, 40);
+        let model = PerformanceModel::fit(&history).unwrap();
+        let x = model.min_x_for(0.7);
+        assert!(x.is_finite());
+        let y = model.predict(x);
+        assert!((y - 0.7).abs() < 0.02, "predict(min_x_for(0.7)) = {y}");
+        assert_eq!(model.min_x_for(0.0), 0.0);
+        assert!(model.min_x_for(1.0).is_infinite());
+    }
+
+    #[test]
+    fn recommendation_picks_the_binding_constraint() {
+        let history = synthetic_cache_history(100_000, 40);
+        let model = PerformanceModel::fit(&history).unwrap();
+        let reqs = [
+            Requirement { model, target: 0.5 },
+            Requirement { model, target: 0.9 },
+        ];
+        let x = recommend_parameter(&reqs, 1000.0, 200_000.0).unwrap();
+        // the 0.9 target dominates
+        assert!((model.predict(x) - 0.9).abs() < 0.02);
+        // lower bound respected
+        let easy = [Requirement { model, target: 0.0001 }];
+        assert_eq!(recommend_parameter(&easy, 1000.0, 200_000.0), Some(1000.0));
+    }
+
+    #[test]
+    fn infeasible_requirements_are_reported() {
+        let history = synthetic_cache_history(1000, 20);
+        let model = PerformanceModel::fit(&history).unwrap();
+        // target beyond what even max_x can reach
+        let reqs = [Requirement { model, target: 0.99999 }];
+        assert_eq!(recommend_parameter(&reqs, 10.0, 2000.0), None);
+        let impossible = [Requirement { model, target: 1.0 }];
+        assert_eq!(recommend_parameter(&impossible, 10.0, 1e12), None);
+    }
+}

@@ -1,0 +1,282 @@
+//! Configuration profiles (paper Fig. 6 and Table 10).
+//!
+//! A user instantiating a template supplies a profile with four fields:
+//!
+//! * **app** — the template id (`"KVS"`, `"MLAgg"`, `"DQAcc"`, ...);
+//! * **performance** — the application-level performance requirements (an
+//!   objective such as `max 0.7·hit + 0.3·acc` plus content constraints such as
+//!   a minimum cache depth);
+//! * **traffic frequency** — the per-client upper bound on query rate;
+//! * **packet format** — the standard network encapsulation plus the
+//!   application header fields and their widths.
+//!
+//! Profiles are JSON documents; this module parses them into typed structs and
+//! offers builders for programmatic construction (used by the examples and
+//! benches).
+
+use crate::error::LangError;
+use clickinc_ir::ValueType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Weighted objective over named performance metrics, e.g.
+/// `max 0.7*hit + 0.3*acc`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PerformanceSpec {
+    /// Metric name → weight in the maximized objective.
+    #[serde(default)]
+    pub objective: BTreeMap<String, f64>,
+    /// Named scalar constraints (metric name → minimum value), e.g.
+    /// `depth >= 1000`.
+    #[serde(default)]
+    pub min_constraints: BTreeMap<String, f64>,
+    /// Named boolean options, e.g. `is_sparse: false`, `is_convert: true`.
+    #[serde(default)]
+    pub flags: BTreeMap<String, bool>,
+}
+
+impl PerformanceSpec {
+    /// Objective weight of a metric (0 if absent).
+    pub fn weight(&self, metric: &str) -> f64 {
+        self.objective.get(metric).copied().unwrap_or(0.0)
+    }
+
+    /// Lower-bound constraint of a metric, if any.
+    pub fn min_of(&self, metric: &str) -> Option<f64> {
+        self.min_constraints.get(metric).copied()
+    }
+
+    /// Whether a boolean flag is set.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.get(name).copied().unwrap_or(false)
+    }
+}
+
+/// Per-client traffic upper bound in packets per second.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TrafficSpec {
+    /// Client id → packets per second.
+    #[serde(default)]
+    pub clients_pps: BTreeMap<String, u64>,
+}
+
+impl TrafficSpec {
+    /// Aggregate offered load over all clients (packets per second).
+    pub fn total_pps(&self) -> u64 {
+        self.clients_pps.values().sum()
+    }
+}
+
+/// Packet format declaration: the standard encapsulation below the application
+/// header (e.g. `ethernet/ipv4/udp`) and the application header fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PacketFormat {
+    /// Encapsulation stack, lowest first, e.g. `"ethernet/ipv4/udp"`.
+    #[serde(default)]
+    pub network: String,
+    /// Application header fields: name → width descriptor (`"bit_128"`, ...).
+    #[serde(default)]
+    pub fields: BTreeMap<String, String>,
+}
+
+impl PacketFormat {
+    /// Parse a width descriptor such as `bit_128` or `bit<32>` into a
+    /// [`ValueType`].
+    pub fn parse_width(descriptor: &str) -> Option<ValueType> {
+        let d = descriptor.trim().to_ascii_lowercase();
+        if d == "float" {
+            return Some(ValueType::Float);
+        }
+        if d == "int" {
+            return Some(ValueType::Int);
+        }
+        if d == "bool" {
+            return Some(ValueType::Bool);
+        }
+        let digits: String = d.chars().filter(|c| c.is_ascii_digit()).collect();
+        digits.parse::<u16>().ok().map(ValueType::Bit)
+    }
+
+    /// Resolved `(field, type)` pairs, skipping fields with unknown descriptors.
+    pub fn typed_fields(&self) -> Vec<(String, ValueType)> {
+        self.fields
+            .iter()
+            .filter_map(|(name, desc)| Self::parse_width(desc).map(|t| (name.clone(), t)))
+            .collect()
+    }
+
+    /// Total application header length in bits.
+    pub fn header_bits(&self) -> u32 {
+        self.typed_fields().iter().map(|(_, t)| u32::from(t.width_bits())).sum()
+    }
+}
+
+/// A full configuration profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Profile {
+    /// Template id (`"KVS"`, `"MLAgg"`, `"DQAcc"`, ...).
+    pub app: String,
+    /// Performance requirements.
+    #[serde(default)]
+    pub performance: PerformanceSpec,
+    /// Traffic distribution.
+    #[serde(default)]
+    pub traffic: TrafficSpec,
+    /// Packet format.
+    #[serde(default)]
+    pub packet_format: PacketFormat,
+}
+
+impl Profile {
+    /// Start building a profile for an application.
+    pub fn for_app(app: impl Into<String>) -> ProfileBuilder {
+        ProfileBuilder { profile: Profile { app: app.into(), ..Profile::default() } }
+    }
+
+    /// Parse a profile from its JSON representation.
+    pub fn from_json(json: &str) -> Result<Profile, LangError> {
+        serde_json::from_str(json).map_err(|e| LangError::BadProfile(e.to_string()))
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// Builder for [`Profile`].
+#[derive(Debug, Clone)]
+pub struct ProfileBuilder {
+    profile: Profile,
+}
+
+impl ProfileBuilder {
+    /// Add an objective weight.
+    pub fn objective(mut self, metric: &str, weight: f64) -> Self {
+        self.profile.performance.objective.insert(metric.to_string(), weight);
+        self
+    }
+
+    /// Add a minimum constraint.
+    pub fn min(mut self, metric: &str, value: f64) -> Self {
+        self.profile.performance.min_constraints.insert(metric.to_string(), value);
+        self
+    }
+
+    /// Set a boolean flag.
+    pub fn flag(mut self, name: &str, value: bool) -> Self {
+        self.profile.performance.flags.insert(name.to_string(), value);
+        self
+    }
+
+    /// Add a client with its traffic bound (packets per second).
+    pub fn client(mut self, id: &str, pps: u64) -> Self {
+        self.profile.traffic.clients_pps.insert(id.to_string(), pps);
+        self
+    }
+
+    /// Set the encapsulation stack.
+    pub fn network(mut self, stack: &str) -> Self {
+        self.profile.packet_format.network = stack.to_string();
+        self
+    }
+
+    /// Add an application header field.
+    pub fn field(mut self, name: &str, descriptor: &str) -> Self {
+        self.profile.packet_format.fields.insert(name.to_string(), descriptor.to_string());
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Profile {
+        self.profile
+    }
+}
+
+/// The KVS profile of paper Fig. 6, used as a default by the KVS template and
+/// the examples.
+pub fn example_kvs_profile() -> Profile {
+    Profile::for_app("KVS")
+        .objective("hit", 0.7)
+        .objective("acc", 0.3)
+        .min("content", 1000.0)
+        .client("c1", 10_000_000)
+        .client("c2", 20_000_000)
+        .network("ethernet/ipv4/udp")
+        .field("key", "bit_128")
+        .field("value_0", "bit_32")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_through_json() {
+        let p = example_kvs_profile();
+        let json = p.to_json();
+        let back = Profile::from_json(&json).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(back.app, "KVS");
+        assert_eq!(back.performance.weight("hit"), 0.7);
+        assert_eq!(back.performance.weight("acc"), 0.3);
+        assert_eq!(back.performance.min_of("content"), Some(1000.0));
+        assert_eq!(back.traffic.total_pps(), 30_000_000);
+    }
+
+    #[test]
+    fn parses_a_handwritten_json_profile() {
+        let json = r#"{
+            "app": "MLAgg",
+            "performance": {
+                "objective": {},
+                "min_constraints": {"precision_dec": 3.0, "depth": 500.0},
+                "flags": {"is_sparse": true}
+            },
+            "traffic": {"clients_pps": {"w0": 1000, "w1": 1000}},
+            "packet_format": {
+                "network": "ethernet/ipv4/udp",
+                "fields": {"seq": "bit_32", "data": "bit_32", "bitmap": "bit_8"}
+            }
+        }"#;
+        let p = Profile::from_json(json).unwrap();
+        assert_eq!(p.app, "MLAgg");
+        assert!(p.performance.flag("is_sparse"));
+        assert!(!p.performance.flag("is_convert"));
+        assert_eq!(p.performance.min_of("depth"), Some(500.0));
+        assert_eq!(p.packet_format.header_bits(), 32 + 32 + 8);
+    }
+
+    #[test]
+    fn missing_sections_default() {
+        let p = Profile::from_json(r#"{"app": "DQAcc"}"#).unwrap();
+        assert_eq!(p.app, "DQAcc");
+        assert_eq!(p.traffic.total_pps(), 0);
+        assert!(p.packet_format.fields.is_empty());
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        let err = Profile::from_json("not json at all").unwrap_err();
+        assert!(matches!(err, LangError::BadProfile(_)));
+    }
+
+    #[test]
+    fn width_descriptors_parse() {
+        assert_eq!(PacketFormat::parse_width("bit_128"), Some(ValueType::Bit(128)));
+        assert_eq!(PacketFormat::parse_width("bit<32>"), Some(ValueType::Bit(32)));
+        assert_eq!(PacketFormat::parse_width("float"), Some(ValueType::Float));
+        assert_eq!(PacketFormat::parse_width("bool"), Some(ValueType::Bool));
+        assert_eq!(PacketFormat::parse_width("int"), Some(ValueType::Int));
+        assert_eq!(PacketFormat::parse_width("mystery"), None);
+    }
+
+    #[test]
+    fn typed_fields_skip_unparseable() {
+        let mut pf = PacketFormat::default();
+        pf.fields.insert("key".into(), "bit_128".into());
+        pf.fields.insert("weird".into(), "???".into());
+        assert_eq!(pf.typed_fields().len(), 1);
+    }
+}

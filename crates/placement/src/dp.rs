@@ -1,0 +1,502 @@
+//! The placement dynamic program (paper Algorithm 1 + Eq. 2).
+//!
+//! The block DAG is linearized in step order; along every source-to-destination
+//! path the blocks must appear as contiguous segments in that order (the
+//! sequential-execution invariant of §5.1).  The DP therefore decides, for
+//! every device of the reduced topology, which contiguous *prefix extension*
+//! of the block sequence it hosts:
+//!
+//! * on the client-side sub-tree, `H[u][k]` is the best gain of placing the
+//!   first `k` blocks within the subtree rooted at `u`, where `u` itself hosts
+//!   a suffix `[j..k)` of that prefix and every child branch independently
+//!   hosts the first `j` blocks (replication across equal-cost branches);
+//! * on the server-side chain, `S[i][k]` is the best gain of placing the
+//!   remaining blocks `[k..n)` on devices `i..`;
+//! * the two are joined at the root, and a plan exists only if some `k` lets
+//!   both sides succeed (full coverage — every path executes the whole
+//!   program).
+//!
+//! Pruning (§5.4): device capability and resource violations yield `-∞` and cut
+//! the branch; segment feasibility is monotone in segment length, so the inner
+//! loop stops at the first infeasible extension.  Disabling pruning (the
+//! Fig. 14(b) ablation) evaluates every combination.
+
+use crate::intra::{allocate_stages, StageAllocation};
+use crate::network::{PlacementDevice, PlacementNetwork};
+use crate::objective::{cut_costs, Weights};
+use crate::plan::{Assignment, PlacementError, PlacementPlan};
+use clickinc_blockdag::{BlockDag, BlockId};
+use clickinc_ir::IrProgram;
+use std::time::Instant;
+
+/// Configuration of the DP placement.
+#[derive(Debug, Clone)]
+pub struct PlacementConfig {
+    /// Objective weights (adaptive by default).
+    pub weights: Weights,
+    /// Whether to apply the §5.4 pruning rules (disabled only for the Fig. 14
+    /// ablation).
+    pub enable_pruning: bool,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig { weights: Weights::default(), enable_pruning: true }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Choice {
+    gain: f64,
+    split: usize,
+    alloc: StageAllocation,
+}
+
+/// Place `program` (already grouped into `dag`) onto `net`.
+pub fn place(
+    program: &IrProgram,
+    dag: &BlockDag,
+    net: &PlacementNetwork,
+    config: &PlacementConfig,
+) -> Result<PlacementPlan, PlacementError> {
+    let start = Instant::now();
+    if program.is_empty() || dag.is_empty() {
+        return Err(PlacementError::EmptyProgram);
+    }
+    if net.is_empty() {
+        return Err(PlacementError::EmptyNetwork);
+    }
+    let order = dag.blocks_by_step();
+    let n = order.len();
+    let cuts = cut_costs(program, dag, &order);
+    let cap_norm = net.total_available().total().max(1.0);
+    let w = config.weights;
+
+    let seg_instrs = |j: usize, k: usize| -> Vec<usize> {
+        let mut v: Vec<usize> =
+            order[j..k].iter().flat_map(|b| dag.blocks()[*b].instrs.clone()).collect();
+        v.sort_unstable();
+        v
+    };
+    let seg_eval = |dev: &PlacementDevice, j: usize, k: usize| -> Option<(f64, StageAllocation)> {
+        if j == k {
+            return Some((0.0, StageAllocation::empty()));
+        }
+        if config.enable_pruning {
+            // capability pre-check: −∞ without running the stage allocator
+            for b in &order[j..k] {
+                if !dev.supports_all(dag.blocks()[*b].classes.iter()) {
+                    return None;
+                }
+            }
+        }
+        let instrs = seg_instrs(j, k);
+        let alloc = allocate_stages(dev, program, &instrs)?;
+        let rnorm = alloc.demand.scaled(dev.replication() as f64).total() / cap_norm;
+        Some((-w.resource * rnorm, alloc))
+    };
+
+    // ---- client-side sub-tree DP (bottom-up) ---------------------------------
+    let n_client = net.client.len();
+    let mut tables: Vec<Vec<Option<Choice>>> = vec![Vec::new(); n_client];
+    // post-order: children before parents
+    let postorder = postorder_of(net);
+    for &u in &postorder {
+        let device = &net.client[u];
+        let children = &net.client_children[u];
+        let mut table: Vec<Option<Choice>> = vec![None; n + 1];
+        for k in 0..=n {
+            let mut best: Option<Choice> = None;
+            // j runs from k down to 0 so the segment grows monotonically and the
+            // pruned loop can stop at the first infeasible extension
+            for j in (0..=k).rev() {
+                if children.is_empty() && j != 0 {
+                    continue;
+                }
+                let mut child_sum = 0.0;
+                let mut children_ok = true;
+                for &c in children {
+                    match &tables[c][j] {
+                        Some(choice) => {
+                            child_sum += choice.gain;
+                            // charge the child → parent Param transfer
+                            child_sum -= w.comm * cuts[j];
+                        }
+                        None => {
+                            children_ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !children_ok {
+                    continue;
+                }
+                match seg_eval(device, j, k) {
+                    Some((seg_gain, alloc)) => {
+                        let gain = child_sum + seg_gain;
+                        if best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
+                            best = Some(Choice { gain, split: j, alloc });
+                        }
+                    }
+                    None => {
+                        if config.enable_pruning {
+                            // a longer segment (smaller j) cannot become feasible
+                            break;
+                        }
+                    }
+                }
+            }
+            table[k] = best;
+        }
+        tables[u] = table;
+    }
+
+    // ---- server-side chain DP -------------------------------------------------
+    let m = net.server.len();
+    // server_tables[i][k]: best gain for blocks [k..n) on devices i.., plus the
+    // chosen end of device i's segment.
+    let mut server_tables: Vec<Vec<Option<Choice>>> = vec![vec![None; n + 1]; m + 1];
+    server_tables[m][n] = Some(Choice { gain: 0.0, split: n, alloc: StageAllocation::empty() });
+    for i in (0..m).rev() {
+        for k in 0..=n {
+            let mut best: Option<Choice> = None;
+            for mid in k..=n {
+                let tail = match &server_tables[i + 1][mid] {
+                    Some(t) => t.gain,
+                    None => continue,
+                };
+                match seg_eval(&net.server[i], k, mid) {
+                    Some((seg_gain, alloc)) => {
+                        // boundary between device i and i+1 sits at `mid`
+                        let boundary = if mid < n { w.comm * cuts[mid] } else { 0.0 };
+                        let gain = seg_gain + tail - boundary;
+                        if best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
+                            best = Some(Choice { gain, split: mid, alloc });
+                        }
+                    }
+                    None => {
+                        if config.enable_pruning {
+                            break;
+                        }
+                    }
+                }
+            }
+            server_tables[i][k] = best;
+        }
+    }
+
+    // ---- join at the root -------------------------------------------------------
+    let root_table = &tables[net.client_root];
+    let mut best_total: Option<(f64, usize)> = None;
+    for k in 0..=n {
+        let client = match &root_table[k] {
+            Some(c) => c.gain,
+            None => continue,
+        };
+        let server = if m == 0 {
+            if k == n {
+                0.0
+            } else {
+                continue;
+            }
+        } else {
+            match &server_tables[0][k] {
+                Some(s) => s.gain,
+                None => continue,
+            }
+        };
+        let boundary = if m > 0 && k < n && k > 0 { w.comm * cuts[k] } else { 0.0 };
+        let total = client + server - boundary + w.traffic * 1.0;
+        if best_total.map(|(g, _)| total > g).unwrap_or(true) {
+            best_total = Some((total, k));
+        }
+    }
+    let (gain, split_k) = best_total.ok_or(PlacementError::NoFeasiblePlacement)?;
+
+    // ---- reconstruct assignments ----------------------------------------------
+    let mut assignments: Vec<Assignment> = Vec::new();
+    let mut comm_cost = 0.0;
+    // client side: walk the tree from the root downwards
+    let mut stack = vec![(net.client_root, split_k)];
+    while let Some((u, k)) = stack.pop() {
+        let choice = tables[u][k].as_ref().expect("reconstruction follows feasible choices");
+        let j = choice.split;
+        assignments.push(make_assignment(
+            &net.client[u],
+            dag,
+            &order,
+            j,
+            k,
+            &choice.alloc,
+        ));
+        for &c in &net.client_children[u] {
+            if j > 0 && j < n {
+                comm_cost += cuts[j];
+            }
+            stack.push((c, j));
+        }
+    }
+    // order client assignments by step range so the plan reads in traffic order
+    assignments.sort_by_key(|a| a.step_range.0);
+    assignments.reverse();
+    assignments.sort_by_key(|a| a.step_range.0);
+    // server side
+    if m > 0 && split_k < n && split_k > 0 {
+        comm_cost += cuts[split_k];
+    }
+    let mut k = split_k;
+    for i in 0..m {
+        let choice = server_tables[i][k].as_ref().expect("feasible server choice");
+        let mid = choice.split;
+        assignments.push(make_assignment(&net.server[i], dag, &order, k, mid, &choice.alloc));
+        if mid < n && i + 1 < m {
+            comm_cost += cuts[mid];
+        }
+        k = mid;
+    }
+
+    let resource_cost = assignments
+        .iter()
+        .map(|a| a.demand.scaled(a.members.len().max(1) as f64).total())
+        .sum::<f64>()
+        / cap_norm;
+
+    Ok(PlacementPlan {
+        program: program.name.clone(),
+        assignments,
+        gain,
+        traffic_served: 1.0,
+        resource_cost,
+        comm_cost,
+        weights: w,
+        solve_time: start.elapsed(),
+    })
+}
+
+fn make_assignment(
+    device: &PlacementDevice,
+    dag: &BlockDag,
+    order: &[usize],
+    j: usize,
+    k: usize,
+    alloc: &StageAllocation,
+) -> Assignment {
+    let blocks: Vec<BlockId> = order[j..k].iter().map(|b| dag.blocks()[*b].id).collect();
+    let mut instrs: Vec<usize> =
+        order[j..k].iter().flat_map(|b| dag.blocks()[*b].instrs.clone()).collect();
+    instrs.sort_unstable();
+    Assignment {
+        device: device.name.clone(),
+        members: device.members.clone(),
+        kind: device.kind,
+        blocks,
+        instrs,
+        stage_of: alloc.stage_of.clone(),
+        stages_used: alloc.stages_used,
+        demand: alloc.demand,
+        step_range: (j, k),
+    }
+}
+
+fn postorder_of(net: &PlacementNetwork) -> Vec<usize> {
+    let mut order = Vec::with_capacity(net.client.len());
+    let mut visited = vec![false; net.client.len()];
+    fn visit(u: usize, net: &PlacementNetwork, visited: &mut [bool], order: &mut Vec<usize>) {
+        if visited[u] {
+            return;
+        }
+        visited[u] = true;
+        for &c in &net.client_children[u] {
+            visit(c, net, visited, order);
+        }
+        order.push(u);
+    }
+    visit(net.client_root, net, &mut visited, &mut order);
+    // include any disconnected client nodes defensively
+    for u in 0..net.client.len() {
+        visit(u, net, &mut visited, &mut order);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ResourceLedger;
+    use clickinc_blockdag::{build_block_dag, BlockConfig};
+    use clickinc_device::DeviceKind;
+    use clickinc_frontend::compile_source;
+    use clickinc_lang::templates::{
+        dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams, MlAggParams,
+    };
+    use clickinc_topology::{reduce_for_traffic, Topology};
+
+    fn network(topo: &Topology, sources: &[&str], dst: &str) -> PlacementNetwork {
+        let src_ids: Vec<_> = sources.iter().map(|s| topo.find(s).unwrap()).collect();
+        let dst_id = topo.find(dst).unwrap();
+        let reduced = reduce_for_traffic(topo, &src_ids, dst_id, &[]);
+        PlacementNetwork::from_reduced(topo, &reduced, &ResourceLedger::new())
+    }
+
+    fn chain_network(n: usize, kind: DeviceKind) -> (Topology, PlacementNetwork) {
+        let topo = Topology::chain(n, kind);
+        let net = network(&topo, &["client"], "server");
+        (topo, net)
+    }
+
+    fn compile(name: &str, source: &str) -> (IrProgram, BlockDag) {
+        let ir = compile_source(name, source).unwrap();
+        let dag = build_block_dag(&ir, &BlockConfig::default());
+        (ir, dag)
+    }
+
+    #[test]
+    fn kvs_places_on_a_tofino_chain() {
+        let t = kvs_template("kvs", KvsParams::default());
+        let (ir, dag) = compile("kvs", &t.source);
+        let (_, net) = chain_network(4, DeviceKind::Tofino);
+        let plan = place(&ir, &dag, &net, &PlacementConfig::default()).expect("kvs placeable");
+        plan.assert_valid(&ir, &dag, &net);
+        assert_eq!(plan.traffic_served, 1.0);
+        assert!(plan.total_instructions() >= ir.len());
+        assert!(!plan.devices_used().is_empty());
+        assert!(plan.gain <= 0.5, "gain is bounded by the traffic term");
+    }
+
+    #[test]
+    fn mlagg_and_dqacc_place_on_chains() {
+        for (name, source) in [
+            ("mlagg", mlagg_template("mlagg", MlAggParams { dims: 8, ..Default::default() }).source),
+            ("dqacc", dqacc_template("dqacc", DqAccParams { depth: 2000, ways: 4 }).source),
+        ] {
+            let (ir, dag) = compile(name, &source);
+            let (_, net) = chain_network(4, DeviceKind::Tofino);
+            let plan = place(&ir, &dag, &net, &PlacementConfig::default())
+                .unwrap_or_else(|e| panic!("{name} should place: {e}"));
+            plan.assert_valid(&ir, &dag, &net);
+        }
+    }
+
+    #[test]
+    fn float_mlagg_cannot_place_on_tofino_only() {
+        let t = mlagg_template("mlagg_f", MlAggParams { dims: 4, is_float: true, ..Default::default() });
+        let (ir, dag) = compile("mlagg_f", &t.source);
+        let (_, net) = chain_network(4, DeviceKind::Tofino);
+        assert_eq!(
+            place(&ir, &dag, &net, &PlacementConfig::default()).unwrap_err(),
+            PlacementError::NoFeasiblePlacement
+        );
+        // ... but an FPGA NIC chain can host it
+        let (_, fpga_net) = chain_network(2, DeviceKind::FpgaSmartNic);
+        assert!(place(&ir, &dag, &net_or(&fpga_net), &PlacementConfig::default()).is_ok());
+    }
+
+    fn net_or(net: &PlacementNetwork) -> PlacementNetwork {
+        net.clone()
+    }
+
+    #[test]
+    fn large_programs_split_across_devices() {
+        // a KVS with a cache too big for one Tofino must span several switches
+        let t = kvs_template("kvs_big", KvsParams { cache_depth: 300_000, ..Default::default() });
+        let (ir, dag) = compile("kvs_big", &t.source);
+        let (_, net1) = chain_network(1, DeviceKind::Tofino);
+        let single = place(&ir, &dag, &net1, &PlacementConfig::default());
+        assert!(single.is_err(), "a 300K-entry cache cannot fit one Tofino");
+        let (_, net4) = chain_network(4, DeviceKind::Tofino);
+        let multi = place(&ir, &dag, &net4, &PlacementConfig::default());
+        // the cache is a single stateful block, so it still cannot be split; it
+        // must fail on homogeneous small switches too.
+        assert!(multi.is_err());
+        // on an FPGA accelerator (much more memory) it fits
+        let (_, fpga) = chain_network(1, DeviceKind::FpgaAccelerator);
+        assert!(place(&ir, &dag, &fpga, &PlacementConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn multi_path_fat_tree_replicates_blocks_on_branches() {
+        let t = mlagg_template("mlagg", MlAggParams { dims: 4, num_aggregators: 512, ..Default::default() });
+        let (ir, dag) = compile("mlagg", &t.source);
+        let topo = Topology::device_equal_fat_tree(4, DeviceKind::Tofino);
+        let net = network(&topo, &["pod0_s0", "pod1_s0"], "pod2_s0");
+        let plan = place(&ir, &dag, &net, &PlacementConfig::default()).expect("places");
+        plan.assert_valid(&ir, &dag, &net);
+        // both client branches exist in the network
+        assert_eq!(net.client_leaves().len(), 2);
+    }
+
+    #[test]
+    fn empty_program_and_network_errors() {
+        let t = kvs_template("kvs", KvsParams::default());
+        let (ir, dag) = compile("kvs", &t.source);
+        let (_, net) = chain_network(2, DeviceKind::Tofino);
+        let empty = IrProgram::new("empty");
+        let empty_dag = build_block_dag(&empty, &BlockConfig::default());
+        assert_eq!(
+            place(&empty, &empty_dag, &net, &PlacementConfig::default()).unwrap_err(),
+            PlacementError::EmptyProgram
+        );
+        let empty_net = PlacementNetwork {
+            client: Vec::new(),
+            client_children: Vec::new(),
+            client_root: 0,
+            server: Vec::new(),
+        };
+        assert_eq!(
+            place(&ir, &dag, &empty_net, &PlacementConfig::default()).unwrap_err(),
+            PlacementError::EmptyNetwork
+        );
+    }
+
+    #[test]
+    fn pruning_does_not_change_the_result() {
+        let t = dqacc_template("dqacc", DqAccParams { depth: 2000, ways: 4 });
+        let (ir, dag) = compile("dqacc", &t.source);
+        let (_, net) = chain_network(3, DeviceKind::Tofino);
+        let pruned = place(&ir, &dag, &net, &PlacementConfig::default()).unwrap();
+        let unpruned = place(
+            &ir,
+            &dag,
+            &net,
+            &PlacementConfig { enable_pruning: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!((pruned.gain - unpruned.gain).abs() < 1e-9);
+        assert_eq!(pruned.devices_used().len(), unpruned.devices_used().len());
+    }
+
+    #[test]
+    fn heterogeneous_emulation_topology_hosts_kvs() {
+        let t = kvs_template("kvs0", KvsParams::default());
+        let (ir, dag) = compile("kvs0", &t.source);
+        let topo = Topology::emulation_topology();
+        let net = network(&topo, &["pod0a", "pod1a"], "pod2b");
+        let plan = place(&ir, &dag, &net, &PlacementConfig::default()).expect("kvs places");
+        plan.assert_valid(&ir, &dag, &net);
+    }
+
+    #[test]
+    fn adaptive_weights_prefer_fewer_devices_under_pressure() {
+        let t = dqacc_template("dq", DqAccParams { depth: 1000, ways: 2 });
+        let (ir, dag) = compile("dq", &t.source);
+        let (_, net) = chain_network(4, DeviceKind::Tofino);
+        // plenty of resources: communication dominates, so the plan concentrates
+        let relaxed = place(
+            &ir,
+            &dag,
+            &net,
+            &PlacementConfig { weights: Weights::adaptive(1.0), ..Default::default() },
+        )
+        .unwrap();
+        // scarce resources: the resource term dominates; the plan should never
+        // use more devices than the relaxed one needs
+        let pressured = place(
+            &ir,
+            &dag,
+            &net,
+            &PlacementConfig { weights: Weights::adaptive(0.05), ..Default::default() },
+        )
+        .unwrap();
+        assert!(pressured.devices_used().len() <= relaxed.devices_used().len() + 1);
+    }
+}

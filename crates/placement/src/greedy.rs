@@ -1,0 +1,143 @@
+//! Greedy single-device / single-path baseline.
+//!
+//! The naïve strategies discussed in §5.1 — "greedily choosing a single path
+//! cannot utilize the multi-path resources; simply replicating the program on
+//! all paths could lead to device overload" — are represented here by the
+//! simplest of them: walk the devices along one path in traffic order and put
+//! the whole remaining program on the first device where it fits, falling back
+//! to splitting off the largest feasible prefix when it does not.  Tests and
+//! benches use it as the quality floor the DP must meet or beat.
+
+use crate::intra::allocate_stages;
+use crate::network::PlacementNetwork;
+use crate::objective::{cut_costs, Weights};
+use crate::plan::{Assignment, PlacementError, PlacementPlan};
+use clickinc_blockdag::{BlockDag, BlockId};
+use clickinc_ir::IrProgram;
+use std::time::Instant;
+
+/// Place the program greedily along the first client branch.
+pub fn place_greedy(
+    program: &IrProgram,
+    dag: &BlockDag,
+    net: &PlacementNetwork,
+) -> Result<PlacementPlan, PlacementError> {
+    let start = Instant::now();
+    if program.is_empty() || dag.is_empty() {
+        return Err(PlacementError::EmptyProgram);
+    }
+    if net.is_empty() {
+        return Err(PlacementError::EmptyNetwork);
+    }
+    let order = dag.blocks_by_step();
+    let n = order.len();
+    let cuts = cut_costs(program, dag, &order);
+    let weights = Weights::default();
+    let cap_norm = net.total_available().total().max(1.0);
+
+    let leaf = *net.client_leaves().first().unwrap_or(&net.client_root);
+    let path: Vec<_> = net.path_through(leaf).into_iter().cloned().collect();
+
+    let mut assignments = Vec::new();
+    let mut placed = 0usize;
+    let mut comm_cost = 0.0;
+    for device in &path {
+        if placed == n {
+            break;
+        }
+        // largest feasible extension on this device
+        let mut best: Option<(usize, crate::intra::StageAllocation)> = None;
+        for k in (placed + 1..=n).rev() {
+            let instrs: Vec<usize> = order[placed..k]
+                .iter()
+                .flat_map(|b| dag.blocks()[*b].instrs.clone())
+                .collect();
+            if let Some(alloc) = allocate_stages(device, program, &instrs) {
+                best = Some((k, alloc));
+                break;
+            }
+        }
+        if let Some((k, alloc)) = best {
+            let blocks: Vec<BlockId> =
+                order[placed..k].iter().map(|b| dag.blocks()[*b].id).collect();
+            let mut instrs: Vec<usize> =
+                order[placed..k].iter().flat_map(|b| dag.blocks()[*b].instrs.clone()).collect();
+            instrs.sort_unstable();
+            assignments.push(Assignment {
+                device: device.name.clone(),
+                members: device.members.clone(),
+                kind: device.kind,
+                blocks,
+                instrs,
+                stage_of: alloc.stage_of.clone(),
+                stages_used: alloc.stages_used,
+                demand: alloc.demand,
+                step_range: (placed, k),
+            });
+            if k < n {
+                comm_cost += cuts[k];
+            }
+            placed = k;
+        }
+    }
+    if placed != n {
+        return Err(PlacementError::NoFeasiblePlacement);
+    }
+    let resource_cost = assignments
+        .iter()
+        .map(|a: &Assignment| a.demand.scaled(a.members.len().max(1) as f64).total())
+        .sum::<f64>()
+        / cap_norm;
+    let gain = weights.traffic - weights.resource * resource_cost - weights.comm * comm_cost;
+    Ok(PlacementPlan {
+        program: program.name.clone(),
+        assignments,
+        gain,
+        traffic_served: 1.0,
+        resource_cost,
+        comm_cost,
+        weights,
+        solve_time: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ResourceLedger;
+    use clickinc_blockdag::{build_block_dag, BlockConfig};
+    use clickinc_device::DeviceKind;
+    use clickinc_frontend::compile_source;
+    use clickinc_lang::templates::{kvs_template, KvsParams};
+    use clickinc_topology::{reduce_for_traffic, Topology};
+
+    fn chain_net(n: usize) -> PlacementNetwork {
+        let topo = Topology::chain(n, DeviceKind::Tofino);
+        let servers = topo.servers();
+        let reduced = reduce_for_traffic(&topo, &[servers[0]], servers[1], &[]);
+        PlacementNetwork::from_reduced(&topo, &reduced, &ResourceLedger::new())
+    }
+
+    #[test]
+    fn greedy_places_kvs_mostly_on_the_first_device() {
+        let t = kvs_template("kvs", KvsParams::default());
+        let ir = compile_source("kvs", &t.source).unwrap();
+        let dag = build_block_dag(&ir, &BlockConfig::default());
+        let net = chain_net(3);
+        let plan = place_greedy(&ir, &dag, &net).expect("greedy places kvs");
+        assert_eq!(plan.traffic_served, 1.0);
+        assert!(!plan.devices_used().is_empty());
+        // the first device takes the biggest share
+        let per_device = plan.instructions_per_device();
+        assert!(per_device[0] >= *per_device.last().unwrap());
+    }
+
+    #[test]
+    fn greedy_fails_when_nothing_fits() {
+        let t = kvs_template("kvs", KvsParams { cache_depth: 500_000, ..Default::default() });
+        let ir = compile_source("kvs", &t.source).unwrap();
+        let dag = build_block_dag(&ir, &BlockConfig::default());
+        let net = chain_net(2);
+        assert_eq!(place_greedy(&ir, &dag, &net).unwrap_err(), PlacementError::NoFeasiblePlacement);
+    }
+}

@@ -1,0 +1,262 @@
+//! Intra-device instruction allocation (paper Algorithm 2).
+//!
+//! Given one device and the instructions of the blocks assigned to it, decide
+//! whether they fit and, for pipeline devices, which stage each instruction
+//! occupies.  The allocation must respect:
+//!
+//! * **capability** — every instruction's class must be supported by the device
+//!   (or its bypass accelerator);
+//! * **dependencies** — on a pipeline, an instruction must sit in a strictly
+//!   later stage than the instructions it depends on (packets never flow
+//!   backwards; recirculation is not allowed, Appendix D);
+//! * **resources** — per-stage resource capacities (pipeline) or the aggregate
+//!   capacity (RTC / hybrid devices), netted against what previous tenants
+//!   already consumed.
+//!
+//! The paper's Algorithm 2 enumerates instruction subsets with dominance
+//! pruning; because the frontend produces SSA straight-line code, a greedy
+//! earliest-stage assignment over a topological order achieves the same compact
+//! placements (each stage is filled before the next is opened) and is what we
+//! implement here.
+
+use crate::network::PlacementDevice;
+use clickinc_device::{instruction_demand, Architecture};
+use clickinc_ir::{classify_instruction, DependencyKind, IrProgram, ResourceVector};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The result of allocating a set of instructions onto one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageAllocation {
+    /// Stage index assigned to each instruction (instruction index → stage).
+    /// RTC devices place everything in stage 0.
+    pub stage_of: BTreeMap<usize, usize>,
+    /// Number of stages actually used.
+    pub stages_used: usize,
+    /// Total resource demand of the allocation (per physical device).
+    pub demand: ResourceVector,
+}
+
+impl StageAllocation {
+    /// An empty allocation.
+    pub fn empty() -> StageAllocation {
+        StageAllocation { stage_of: BTreeMap::new(), stages_used: 0, demand: ResourceVector::zero() }
+    }
+
+    /// Number of instructions allocated.
+    pub fn len(&self) -> usize {
+        self.stage_of.len()
+    }
+
+    /// Whether nothing was allocated.
+    pub fn is_empty(&self) -> bool {
+        self.stage_of.is_empty()
+    }
+}
+
+/// Try to allocate `instrs` (indices into `program`) onto `device`.
+///
+/// Returns `None` if the device cannot execute them (capability violation) or
+/// they do not fit (stage or resource exhaustion).
+pub fn allocate_stages(
+    device: &PlacementDevice,
+    program: &IrProgram,
+    instrs: &[usize],
+) -> Option<StageAllocation> {
+    if instrs.is_empty() {
+        return Some(StageAllocation::empty());
+    }
+    // capability check (constraint 3 of §5.4)
+    for &i in instrs {
+        let class = classify_instruction(&program.instructions[i], &program.objects);
+        if !device.supports(class) {
+            return None;
+        }
+    }
+
+    let model = &device.model;
+    let assigned: BTreeSet<usize> = instrs.iter().copied().collect();
+    // dependencies restricted to the assigned set
+    let deps = program.dependencies();
+    let mut preds: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (a, b, kind) in &deps {
+        if *kind == DependencyKind::Data && assigned.contains(a) && assigned.contains(b) {
+            preds.entry(*b).or_default().push(*a);
+        }
+    }
+
+    // aggregate resource feasibility first (cheap reject, also the only check
+    // for RTC devices)
+    let total_demand = clickinc_device::block_demand(model, program, instrs);
+    if !total_demand.fits_within(&device.available) {
+        return None;
+    }
+
+    let stages = match model.arch {
+        Architecture::Rtc => 1,
+        _ => model.stages(),
+    };
+    if stages == 1 {
+        let stage_of = instrs.iter().map(|&i| (i, 0usize)).collect();
+        return Some(StageAllocation { stage_of, stages_used: 1, demand: total_demand });
+    }
+
+    // per-stage budget: total availability spread evenly over the stages (the
+    // ledger tracks device-level consumption; assuming earlier tenants were
+    // packed compactly this is the faithful per-stage view)
+    let per_stage_budget = device.available.scaled(1.0 / stages as f64);
+
+    // greedy earliest-stage placement over program order (which is a valid
+    // topological order of the SSA data dependencies)
+    // Per-stage packing only tracks the compute-side resources; object memory
+    // (SRAM/TCAM/BRAM) physically spreads across stages on real chips and is
+    // therefore checked once at device level by the aggregate test above.
+    let mut order: Vec<usize> = instrs.to_vec();
+    order.sort_unstable();
+    let mut stage_of: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut stage_use: Vec<ResourceVector> = vec![ResourceVector::zero(); stages];
+
+    for &i in &order {
+        let instr = &program.instructions[i];
+        let demand = instruction_demand(model, program, instr);
+        let min_stage = preds
+            .get(&i)
+            .map(|ps| ps.iter().map(|p| stage_of.get(p).map(|s| s + 1).unwrap_or(0)).max().unwrap_or(0))
+            .unwrap_or(0);
+        let mut placed = false;
+        for s in min_stage..stages {
+            let mut candidate = stage_use[s];
+            candidate += demand;
+            if candidate.fits_within(&per_stage_budget) {
+                stage_use[s] = candidate;
+                stage_of.insert(i, s);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return None;
+        }
+    }
+
+    let stages_used = stage_of.values().copied().max().map(|s| s + 1).unwrap_or(0);
+    Some(StageAllocation { stage_of, stages_used, demand: total_demand })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{PlacementNetwork, ResourceLedger};
+    use clickinc_device::DeviceKind;
+    use clickinc_ir::{AluOp, Operand, ProgramBuilder};
+    use clickinc_topology::{reduce_for_traffic, Topology};
+
+    fn single_device(kind: DeviceKind) -> PlacementDevice {
+        let topo = Topology::chain(1, kind);
+        let servers = topo.servers();
+        let reduced = reduce_for_traffic(&topo, &[servers[0]], servers[1], &[]);
+        let net = PlacementNetwork::from_reduced(&topo, &reduced, &ResourceLedger::new());
+        net.client[0].clone()
+    }
+
+    fn chain_program(n: usize) -> IrProgram {
+        let mut b = ProgramBuilder::new("chain");
+        let mut prev: Option<String> = None;
+        for i in 0..n {
+            let v = format!("v{i}");
+            let lhs = prev.clone().map(Operand::var).unwrap_or_else(|| Operand::hdr("x"));
+            b.alu(&v, AluOp::Add, lhs, Operand::int(1));
+            prev = Some(v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn dependent_instructions_occupy_increasing_stages() {
+        let dev = single_device(DeviceKind::Tofino);
+        let program = chain_program(5);
+        let instrs: Vec<usize> = (0..5).collect();
+        let alloc = allocate_stages(&dev, &program, &instrs).expect("fits");
+        assert_eq!(alloc.stages_used, 5, "a 5-long dependency chain needs 5 stages");
+        for i in 1..5 {
+            assert!(alloc.stage_of[&i] > alloc.stage_of[&(i - 1)]);
+        }
+        assert_eq!(alloc.len(), 5);
+    }
+
+    #[test]
+    fn independent_instructions_share_a_stage() {
+        let dev = single_device(DeviceKind::Tofino);
+        let mut b = ProgramBuilder::new("indep");
+        for i in 0..4 {
+            b.alu(&format!("v{i}"), AluOp::Add, Operand::hdr("x"), Operand::int(i));
+        }
+        let program = b.build();
+        let alloc = allocate_stages(&dev, &program, &[0, 1, 2, 3]).expect("fits");
+        assert_eq!(alloc.stages_used, 1);
+    }
+
+    #[test]
+    fn chain_longer_than_pipeline_is_rejected() {
+        let dev = single_device(DeviceKind::Tofino);
+        let program = chain_program(dev.model.stages() + 3);
+        let instrs: Vec<usize> = (0..program.len()).collect();
+        assert!(allocate_stages(&dev, &program, &instrs).is_none());
+    }
+
+    #[test]
+    fn rtc_devices_ignore_stage_ordering() {
+        let dev = single_device(DeviceKind::NfpSmartNic);
+        let program = chain_program(40);
+        let instrs: Vec<usize> = (0..program.len()).collect();
+        let alloc = allocate_stages(&dev, &program, &instrs).expect("NFP runs long chains");
+        assert_eq!(alloc.stages_used, 1);
+        assert!(alloc.stage_of.values().all(|s| *s == 0));
+    }
+
+    #[test]
+    fn capability_violations_are_rejected() {
+        let dev = single_device(DeviceKind::Tofino);
+        let mut b = ProgramBuilder::new("float");
+        b.falu("f", AluOp::Mul, Operand::hdr("a"), Operand::hdr("b"));
+        let program = b.build();
+        assert!(allocate_stages(&dev, &program, &[0]).is_none(), "Tofino cannot run floats");
+        let fpga = single_device(DeviceKind::FpgaSmartNic);
+        assert!(allocate_stages(&fpga, &program, &[0]).is_some());
+    }
+
+    #[test]
+    fn oversized_state_is_rejected() {
+        let dev = single_device(DeviceKind::Tofino);
+        let mut b = ProgramBuilder::new("huge");
+        // far beyond a Tofino's SRAM (hundreds of MB)
+        b.array("huge", 64, 1_000_000, 128);
+        b.get("v", "huge", vec![Operand::hdr("k")]);
+        let program = b.build();
+        assert!(allocate_stages(&dev, &program, &[0]).is_none());
+    }
+
+    #[test]
+    fn empty_allocation_is_trivially_ok() {
+        let dev = single_device(DeviceKind::Tofino);
+        let program = chain_program(1);
+        let alloc = allocate_stages(&dev, &program, &[]).unwrap();
+        assert!(alloc.is_empty());
+        assert_eq!(alloc.stages_used, 0);
+        assert!(alloc.demand.is_zero());
+    }
+
+    #[test]
+    fn bypass_accelerator_unlocks_unsupported_classes() {
+        // a TD4 with an FPGA bypass (as on Agg4/Agg5 of the emulation topology)
+        let topo = Topology::emulation_topology();
+        let src = topo.find("pod0a").unwrap();
+        let dst = topo.find("pod2b").unwrap();
+        let reduced = reduce_for_traffic(&topo, &[src], dst, &[]);
+        let net = PlacementNetwork::from_reduced(&topo, &reduced, &ResourceLedger::new());
+        let agg = net.server.iter().find(|d| d.bypass.is_some()).expect("bypass agg");
+        let mut b = ProgramBuilder::new("float");
+        b.falu("f", AluOp::Add, Operand::hdr("a"), Operand::hdr("b"));
+        let program = b.build();
+        assert!(allocate_stages(agg, &program, &[0]).is_some());
+    }
+}

@@ -1,0 +1,380 @@
+//! Annotation-based incremental compilation (paper §6 "Incremental Compilation
+//! for Dynamic Program Merge & Removal" and §7.5).
+//!
+//! Each device's running image is a synthesized IR program whose instructions
+//! carry owner annotations.  Adding a user program touches only the devices the
+//! new program was placed on; removing one strips its annotations and deletes
+//! the instructions (and objects) that no longer have an owner — lazily, so the
+//! other tenants' traffic is never interrupted.  [`DeploymentDelta`] records
+//! which devices, co-resident INC programs and traffic (pods) each operation
+//! affected, which is exactly what Table 6 reports.
+
+use crate::merge::merge_programs;
+use crate::base::BaseProgram;
+use clickinc_ir::{IrProgram, OpCode};
+use clickinc_placement::PlacementPlan;
+use clickinc_topology::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The set of running device images, keyed by physical device.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceImages {
+    /// Device → synthesized IR image.
+    pub images: BTreeMap<NodeId, IrProgram>,
+}
+
+/// What a deployment / removal operation touched (the Table 6 metrics).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeploymentDelta {
+    /// Devices whose image changed.
+    pub affected_devices: BTreeSet<NodeId>,
+    /// Other users' programs co-resident on the affected devices.
+    pub affected_programs: BTreeSet<String>,
+    /// Pods whose traffic crosses an affected device (a proxy for "affected
+    /// traffic" in Table 6).
+    pub affected_pods: BTreeSet<usize>,
+}
+
+impl DeploymentDelta {
+    /// Number of affected devices.
+    pub fn device_count(&self) -> usize {
+        self.affected_devices.len()
+    }
+
+    /// Number of affected co-resident INC programs.
+    pub fn program_count(&self) -> usize {
+        self.affected_programs.len()
+    }
+
+    /// Number of affected pods.
+    pub fn pod_count(&self) -> usize {
+        self.affected_pods.len()
+    }
+}
+
+/// Incrementally add a placed, isolated user program to the running images.
+///
+/// `pod_of` maps physical devices to their pod (for the affected-traffic
+/// metric).  Only devices that received a snippet are rebuilt.
+pub fn add_user_program(
+    images: &mut DeviceImages,
+    base: &BaseProgram,
+    user_program: &IrProgram,
+    plan: &PlacementPlan,
+    pod_of: &BTreeMap<NodeId, Option<usize>>,
+) -> DeploymentDelta {
+    let mut delta = DeploymentDelta::default();
+    for assignment in plan.assignments.iter().filter(|a| !a.is_empty()) {
+        // the snippet: the subset of the user program assigned to this device
+        let mut snippet = IrProgram::new(user_program.name.clone());
+        snippet.headers = user_program.headers.clone();
+        let needed_objects: BTreeSet<&str> = assignment
+            .instrs
+            .iter()
+            .filter_map(|&i| user_program.instructions[i].object())
+            .collect();
+        snippet.objects = user_program
+            .objects
+            .iter()
+            .filter(|o| needed_objects.contains(o.name.as_str()))
+            .cloned()
+            .collect();
+        snippet.instructions = assignment
+            .instrs
+            .iter()
+            .map(|&i| user_program.instructions[i].clone())
+            .collect();
+
+        for &member in &assignment.members {
+            delta.affected_devices.insert(member);
+            if let Some(Some(pod)) = pod_of.get(&member) {
+                delta.affected_pods.insert(*pod);
+            }
+            // existing tenants on this device are affected only in the sense of
+            // sharing the device; incremental merge does not recompile them, but
+            // Table 6 counts co-residents whose *image* is rebuilt.  With
+            // incremental merge the image is extended in place, so co-residents
+            // are NOT counted here (that is the difference from monolithic).
+            let entry = images
+                .images
+                .entry(member)
+                .or_insert_with(|| merge_programs(base, &[]));
+            extend_image(entry, &snippet);
+        }
+    }
+    delta
+}
+
+/// Monolithic (non-incremental) deployment of the same program: every device
+/// that runs *any* INC program is resynthesized from scratch, so all
+/// co-resident programs and all traffic crossing those devices are affected.
+/// Used as the comparison baseline of Table 6.
+pub fn add_user_program_monolithic(
+    images: &mut DeviceImages,
+    base: &BaseProgram,
+    user_program: &IrProgram,
+    plan: &PlacementPlan,
+    pod_of: &BTreeMap<NodeId, Option<usize>>,
+) -> DeploymentDelta {
+    // first do the same placement-driven extension...
+    let mut delta = add_user_program(images, base, user_program, plan, pod_of);
+    // ...but a monolithic rebuild additionally recompiles every device that
+    // already hosts any user program, affecting those programs and their pods.
+    let target_devices: BTreeSet<NodeId> = plan
+        .assignments
+        .iter()
+        .filter(|a| !a.is_empty())
+        .flat_map(|a| a.members.iter().copied())
+        .collect();
+    for (device, image) in &images.images {
+        let owners = image.owners();
+        if owners.is_empty() {
+            continue;
+        }
+        let shares_program_with_target = target_devices.contains(device)
+            || owners.contains(&user_program.name)
+            || images
+                .images
+                .iter()
+                .filter(|(d, _)| target_devices.contains(d))
+                .any(|(_, img)| !img.owners().is_disjoint(&owners));
+        if shares_program_with_target {
+            delta.affected_devices.insert(*device);
+            if let Some(Some(pod)) = pod_of.get(device) {
+                delta.affected_pods.insert(*pod);
+            }
+            for o in owners {
+                if o != user_program.name {
+                    delta.affected_programs.insert(o);
+                }
+            }
+        }
+    }
+    delta
+}
+
+/// Remove a user program from every image (lazy removal): its annotations are
+/// stripped, orphaned instructions become `NoOp`s (cleaned up on the next
+/// deployment), and its objects are released.
+pub fn remove_user_program(
+    images: &mut DeviceImages,
+    user: &str,
+    pod_of: &BTreeMap<NodeId, Option<usize>>,
+) -> DeploymentDelta {
+    let mut delta = DeploymentDelta::default();
+    for (device, image) in images.images.iter_mut() {
+        let mut touched = false;
+        for instr in &mut image.instructions {
+            let before = instr.owners.len();
+            instr.owners.retain(|o| o != user);
+            if instr.owners.len() != before {
+                touched = true;
+                if instr.owners.is_empty() && !instr.is_base_instruction_marker() {
+                    instr.op = OpCode::NoOp;
+                }
+            }
+        }
+        let objs_before = image.objects.len();
+        image.objects.retain(|o| o.owner.as_deref() != Some(user));
+        if image.objects.len() != objs_before {
+            touched = true;
+        }
+        if touched {
+            delta.affected_devices.insert(*device);
+            if let Some(Some(pod)) = pod_of.get(device) {
+                delta.affected_pods.insert(*pod);
+            }
+            for other in image.owners() {
+                if other != user {
+                    delta.affected_programs.insert(other);
+                }
+            }
+        }
+    }
+    delta
+}
+
+/// Extend an existing device image with a new snippet (incremental merge):
+/// the snippet is inserted before the base tail so the forwarding decision
+/// still runs last.
+fn extend_image(image: &mut IrProgram, snippet: &IrProgram) {
+    for obj in &snippet.objects {
+        if image.object(&obj.name).is_none() {
+            image.objects.push(obj.clone());
+        }
+    }
+    for hdr in &snippet.headers {
+        if !image.headers.iter().any(|h| h.name == hdr.name) {
+            image.headers.push(hdr.clone());
+        }
+    }
+    // find the start of the base tail: the last run of base-owned instructions
+    let tail_start = image
+        .instructions
+        .iter()
+        .rposition(|i| !i.is_base())
+        .map(|p| p + 1)
+        .unwrap_or_else(|| {
+            // no user instructions yet: insert before the trailing forward/count
+            image
+                .instructions
+                .iter()
+                .position(|i| matches!(i.op, OpCode::ReadState { .. } | OpCode::Forward))
+                .unwrap_or(image.instructions.len())
+        });
+    let mut new_instrs = snippet.instructions.clone();
+    let mut all = Vec::with_capacity(image.instructions.len() + new_instrs.len());
+    all.extend_from_slice(&image.instructions[..tail_start]);
+    all.append(&mut new_instrs);
+    all.extend_from_slice(&image.instructions[tail_start..]);
+    for (idx, instr) in all.iter_mut().enumerate() {
+        instr.id = clickinc_ir::InstrId(idx as u32);
+    }
+    image.instructions = all;
+}
+
+/// Helper trait: the operator's own instructions are never removed by user
+/// revocation, even though they carry no owner annotation.
+trait BaseMarker {
+    fn is_base_instruction_marker(&self) -> bool;
+}
+
+impl BaseMarker for clickinc_ir::Instruction {
+    fn is_base_instruction_marker(&self) -> bool {
+        // base instructions never carried an owner in the first place; by the
+        // time removal runs, an instruction that *lost* its last owner is a user
+        // instruction, so this marker is only true for instructions that always
+        // were owner-less — which `remove_user_program` never reaches because it
+        // only touches instructions whose owner set changed.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::base_program;
+    use crate::isolation::isolate_user_program;
+    use clickinc_blockdag::{build_block_dag, BlockConfig};
+    use clickinc_device::DeviceKind;
+    use clickinc_frontend::compile_source;
+    use clickinc_lang::templates::{count_min_sketch, kvs_template, KvsParams};
+    use clickinc_placement::{place, PlacementConfig, PlacementNetwork, ResourceLedger};
+    use clickinc_topology::{reduce_for_traffic, Topology};
+
+    struct Setup {
+        topo: Topology,
+        pod_of: BTreeMap<NodeId, Option<usize>>,
+    }
+
+    fn setup() -> Setup {
+        let topo = Topology::emulation_topology_all_tofino();
+        let pod_of = topo.nodes().iter().map(|n| (n.id, n.pod)).collect();
+        Setup { topo, pod_of }
+    }
+
+    fn place_user(setup: &Setup, name: &str, id: i64, sources: &[&str], dst: &str) -> (IrProgram, PlacementPlan) {
+        let t = if name.starts_with("kvs") {
+            kvs_template(name, KvsParams { cache_depth: 2000, ..Default::default() })
+        } else {
+            count_min_sketch(name, 3, 2048)
+        };
+        let ir = compile_source(name, &t.source).unwrap();
+        let isolated = isolate_user_program(&ir, name, id);
+        let dag = build_block_dag(&isolated, &BlockConfig::default());
+        let srcs: Vec<NodeId> = sources.iter().map(|s| setup.topo.find(s).unwrap()).collect();
+        let dst_id = setup.topo.find(dst).unwrap();
+        let reduced = reduce_for_traffic(&setup.topo, &srcs, dst_id, &[]);
+        let net = PlacementNetwork::from_reduced(&setup.topo, &reduced, &ResourceLedger::new());
+        let plan = place(&isolated, &dag, &net, &PlacementConfig::default()).unwrap();
+        (isolated, plan)
+    }
+
+    #[test]
+    fn incremental_add_touches_only_the_placed_devices() {
+        let s = setup();
+        let base = base_program();
+        let mut images = DeviceImages::default();
+        let (prog, plan) = place_user(&s, "kvs0", 1, &["pod0a", "pod1a"], "pod2b");
+        let delta = add_user_program(&mut images, &base, &prog, &plan, &s.pod_of);
+        assert!(!delta.affected_devices.is_empty());
+        assert_eq!(delta.program_count(), 0, "no other tenant is affected");
+        // every touched image validates and contains the user's state
+        for device in &delta.affected_devices {
+            let image = &images.images[device];
+            assert!(image.validate().is_ok(), "{}", image.dump());
+        }
+        assert!(delta.device_count() <= s.topo.programmable_devices().len());
+    }
+
+    #[test]
+    fn second_tenant_does_not_disturb_the_first_incrementally() {
+        let s = setup();
+        let base = base_program();
+        let mut images = DeviceImages::default();
+        let (p1, plan1) = place_user(&s, "kvs0", 1, &["pod0a"], "pod2b");
+        add_user_program(&mut images, &base, &p1, &plan1, &s.pod_of);
+        let images_snapshot: BTreeMap<NodeId, usize> =
+            images.images.iter().map(|(d, img)| (*d, img.len())).collect();
+
+        let (p2, plan2) = place_user(&s, "cms1", 2, &["pod1a"], "pod2a");
+        let delta2 = add_user_program(&mut images, &base, &p2, &plan2, &s.pod_of);
+        // devices that only host kvs0 keep the exact same image length
+        for (device, len_before) in &images_snapshot {
+            if !delta2.affected_devices.contains(device) {
+                assert_eq!(images.images[device].len(), *len_before);
+            }
+        }
+    }
+
+    #[test]
+    fn monolithic_add_affects_more_than_incremental() {
+        let s = setup();
+        let base = base_program();
+
+        // incremental world
+        let mut inc_images = DeviceImages::default();
+        let (p1, plan1) = place_user(&s, "kvs0", 1, &["pod0a", "pod1a"], "pod2b");
+        add_user_program(&mut inc_images, &base, &p1, &plan1, &s.pod_of);
+        let (p2, plan2) = place_user(&s, "cms1", 2, &["pod0a", "pod1a"], "pod2b");
+        let inc_delta = add_user_program(&mut inc_images, &base, &p2, &plan2, &s.pod_of);
+
+        // monolithic world (same programs, same plans)
+        let mut mono_images = DeviceImages::default();
+        add_user_program(&mut mono_images, &base, &p1, &plan1, &s.pod_of);
+        let mono_delta =
+            add_user_program_monolithic(&mut mono_images, &base, &p2, &plan2, &s.pod_of);
+
+        assert!(mono_delta.device_count() >= inc_delta.device_count());
+        assert!(mono_delta.program_count() >= inc_delta.program_count());
+        assert!(mono_delta.pod_count() >= inc_delta.pod_count());
+        assert!(
+            mono_delta.program_count() > 0,
+            "monolithic redeployment recompiles the co-resident program"
+        );
+    }
+
+    #[test]
+    fn removal_strips_annotations_and_leaves_others_running() {
+        let s = setup();
+        let base = base_program();
+        let mut images = DeviceImages::default();
+        let (p1, plan1) = place_user(&s, "kvs0", 1, &["pod0a"], "pod2b");
+        let (p2, plan2) = place_user(&s, "cms1", 2, &["pod0a"], "pod2b");
+        add_user_program(&mut images, &base, &p1, &plan1, &s.pod_of);
+        add_user_program(&mut images, &base, &p2, &plan2, &s.pod_of);
+
+        let delta = remove_user_program(&mut images, "kvs0", &s.pod_of);
+        assert!(!delta.affected_devices.is_empty());
+        for image in images.images.values() {
+            // kvs0 is gone (its instructions are NoOps and its objects removed)
+            assert!(!image.owners().contains("kvs0"));
+            assert!(image.object("kvs0_cache").is_none());
+            // cms1's state survives wherever it was placed
+        }
+        assert!(images.images.values().any(|img| img.owners().contains("cms1")));
+        // removing a non-existent user is a no-op
+        let empty = remove_user_program(&mut images, "ghost", &s.pod_of);
+        assert_eq!(empty.device_count(), 0);
+    }
+}

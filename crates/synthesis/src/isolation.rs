@@ -1,0 +1,242 @@
+//! User isolation: renaming and traffic filtering (paper §6 "Compiler Backend").
+//!
+//! "ClickINC first isolates user programs from each other and the base program.
+//! It renames variables in the user programs, so that after compilation their
+//! programs access isolated memory regions [...] Then it adds a user ID match to
+//! filter out the user's traffic for its own program."
+
+use clickinc_ir::{CmpOp, Guard, IrProgram, OpCode, Operand, Predicate};
+
+/// Rewrite a user program so every object, temporary variable and owner
+/// annotation is prefixed with the user id, and every instruction is guarded by
+/// a match on the user's INC header id (`meta.inc_user == user_numeric_id`).
+///
+/// Returns the isolated program; the original is not modified.
+pub fn isolate_user_program(program: &IrProgram, user: &str, user_numeric_id: i64) -> IrProgram {
+    let prefix = format!("{user}_");
+    let rename_var = |v: &str| -> String {
+        if v.starts_with(&prefix) {
+            v.to_string()
+        } else {
+            format!("{prefix}{v}")
+        }
+    };
+    let rename_obj = rename_var;
+
+    let mut out = IrProgram::new(user);
+    out.headers = program.headers.clone();
+    out.objects = program
+        .objects
+        .iter()
+        .map(|o| {
+            let mut o = o.clone();
+            o.name = rename_obj(&o.name);
+            o.owner = Some(user.to_string());
+            o
+        })
+        .collect();
+
+    let user_match =
+        Predicate::new(Operand::Meta("inc_user".into()), CmpOp::Eq, Operand::int(user_numeric_id));
+
+    out.instructions = program
+        .instructions
+        .iter()
+        .map(|instr| {
+            let mut instr = instr.clone();
+            rewrite_opcode(&mut instr.op, &rename_var);
+            if let Some(guard) = &mut instr.guard {
+                for p in &mut guard.all {
+                    rewrite_operand(&mut p.lhs, &rename_var);
+                    rewrite_operand(&mut p.rhs, &rename_var);
+                }
+            }
+            // prepend the user-ID match so only this user's traffic triggers the
+            // snippet
+            let mut guard = instr.guard.take().unwrap_or_default();
+            guard.all.insert(0, user_match.clone());
+            instr.guard = Some(guard);
+            instr.owners = vec![user.to_string()];
+            instr
+        })
+        .collect();
+    out
+}
+
+fn rewrite_operand(op: &mut Operand, rename: &impl Fn(&str) -> String) {
+    if let Operand::Var(v) = op {
+        *v = rename(v);
+    }
+}
+
+fn rewrite_operands(ops: &mut [Operand], rename: &impl Fn(&str) -> String) {
+    for op in ops {
+        rewrite_operand(op, rename);
+    }
+}
+
+fn rewrite_opcode(op: &mut OpCode, rename: &impl Fn(&str) -> String) {
+    match op {
+        OpCode::Assign { dest, src } => {
+            *dest = rename(dest);
+            rewrite_operand(src, rename);
+        }
+        OpCode::Alu { dest, lhs, rhs, .. } => {
+            *dest = rename(dest);
+            rewrite_operand(lhs, rename);
+            rewrite_operand(rhs, rename);
+        }
+        OpCode::Cmp { dest, lhs, rhs, .. } => {
+            *dest = rename(dest);
+            rewrite_operand(lhs, rename);
+            rewrite_operand(rhs, rename);
+        }
+        OpCode::Hash { dest, object, keys } => {
+            *dest = rename(dest);
+            *object = rename(object);
+            rewrite_operands(keys, rename);
+        }
+        OpCode::ReadState { dest, object, index } => {
+            *dest = rename(dest);
+            *object = rename(object);
+            rewrite_operands(index, rename);
+        }
+        OpCode::WriteState { object, index, value } => {
+            *object = rename(object);
+            rewrite_operands(index, rename);
+            rewrite_operands(value, rename);
+        }
+        OpCode::CountState { dest, object, index, delta } => {
+            if let Some(d) = dest {
+                *d = rename(d);
+            }
+            *object = rename(object);
+            rewrite_operands(index, rename);
+            rewrite_operand(delta, rename);
+        }
+        OpCode::ClearState { object } => *object = rename(object),
+        OpCode::DeleteState { object, index } => {
+            *object = rename(object);
+            rewrite_operands(index, rename);
+        }
+        OpCode::Crypto { dest, object, input, .. } => {
+            *dest = rename(dest);
+            *object = rename(object);
+            rewrite_operand(input, rename);
+        }
+        OpCode::RandInt { dest, bound } => {
+            *dest = rename(dest);
+            rewrite_operand(bound, rename);
+        }
+        OpCode::Checksum { dest, inputs } => {
+            *dest = rename(dest);
+            rewrite_operands(inputs, rename);
+        }
+        OpCode::Back { updates } | OpCode::Mirror { updates } => {
+            for (_, v) in updates {
+                rewrite_operand(v, rename);
+            }
+        }
+        OpCode::Multicast { group } => rewrite_operand(group, rename),
+        OpCode::CopyTo { values, .. } => rewrite_operands(values, rename),
+        OpCode::SetHeader { value, .. } => rewrite_operand(value, rename),
+        OpCode::Drop | OpCode::Forward | OpCode::NoOp => {}
+    }
+}
+
+/// Convenience: the user-ID guard alone (used by the backends when emitting the
+/// `if (INC_<n>_hdr.isValid())` style traffic filter).
+pub fn user_guard(user_numeric_id: i64) -> Guard {
+    Guard::single(Predicate::new(
+        Operand::Meta("inc_user".into()),
+        CmpOp::Eq,
+        Operand::int(user_numeric_id),
+    ))
+}
+
+/// Rename helper exposed for tests and the incremental module.
+pub fn is_owned_name(name: &str, user: &str) -> bool {
+    name.starts_with(&format!("{user}_"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clickinc_frontend::compile_source;
+    use clickinc_lang::templates::{count_min_sketch, kvs_template, KvsParams};
+
+    fn cms_ir(name: &str) -> IrProgram {
+        let t = count_min_sketch(name, 3, 1024);
+        compile_source(name, &t.source).unwrap()
+    }
+
+    #[test]
+    fn two_instances_of_the_same_template_do_not_share_state() {
+        // the §2.2 example: two users deploy the same CMS; naive splicing would
+        // make both count into the same memory
+        let a = isolate_user_program(&cms_ir("cms"), "userA", 1);
+        let b = isolate_user_program(&cms_ir("cms"), "userB", 2);
+        let a_objects: Vec<&str> = a.objects.iter().map(|o| o.name.as_str()).collect();
+        let b_objects: Vec<&str> = b.objects.iter().map(|o| o.name.as_str()).collect();
+        for obj in &a_objects {
+            assert!(!b_objects.contains(obj), "object {obj} shared between users");
+            assert!(is_owned_name(obj, "userA"));
+        }
+        // variables are disjoint too
+        let a_vars: std::collections::BTreeSet<_> =
+            a.read_write_sets().iter().filter_map(|s| s.writes_var.clone()).collect();
+        let b_vars: std::collections::BTreeSet<_> =
+            b.read_write_sets().iter().filter_map(|s| s.writes_var.clone()).collect();
+        assert!(a_vars.is_disjoint(&b_vars));
+    }
+
+    #[test]
+    fn isolated_programs_still_validate() {
+        let isolated = isolate_user_program(&cms_ir("cms"), "kvs_0", 7);
+        assert!(isolated.validate().is_ok(), "{}", isolated.dump());
+        assert_eq!(isolated.name, "kvs_0");
+        assert!(isolated.owners().contains("kvs_0"));
+    }
+
+    #[test]
+    fn every_instruction_gets_the_user_id_match() {
+        let isolated = isolate_user_program(&cms_ir("cms"), "u", 42);
+        for instr in &isolated.instructions {
+            let guard = instr.guard.as_ref().expect("every instruction guarded");
+            let first = &guard.all[0];
+            assert_eq!(first.lhs, Operand::Meta("inc_user".into()));
+            assert_eq!(first.rhs, Operand::int(42));
+        }
+    }
+
+    #[test]
+    fn existing_guards_are_preserved_after_the_user_match() {
+        let t = kvs_template("kvs", KvsParams::default());
+        let ir = compile_source("kvs", &t.source).unwrap();
+        let guarded_before =
+            ir.instructions.iter().filter(|i| i.guard.is_some()).count();
+        let isolated = isolate_user_program(&ir, "kvs_0", 3);
+        for (orig, new) in ir.instructions.iter().zip(&isolated.instructions) {
+            let new_len = new.guard.as_ref().unwrap().all.len();
+            let orig_len = orig.guard.as_ref().map(|g| g.all.len()).unwrap_or(0);
+            assert_eq!(new_len, orig_len + 1);
+        }
+        assert!(guarded_before > 0);
+    }
+
+    #[test]
+    fn renaming_is_idempotent() {
+        let once = isolate_user_program(&cms_ir("cms"), "u1", 1);
+        let twice = isolate_user_program(&once, "u1", 1);
+        let names_once: Vec<_> = once.objects.iter().map(|o| o.name.clone()).collect();
+        let names_twice: Vec<_> = twice.objects.iter().map(|o| o.name.clone()).collect();
+        assert_eq!(names_once, names_twice, "no double prefixing");
+    }
+
+    #[test]
+    fn user_guard_shape() {
+        let g = user_guard(9);
+        assert_eq!(g.all.len(), 1);
+        assert_eq!(g.all[0].op, CmpOp::Eq);
+    }
+}

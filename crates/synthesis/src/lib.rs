@@ -1,0 +1,38 @@
+//! # clickinc-synthesis — merging user programs with the base program
+//!
+//! Every device runs an operator-deployed *base program* (packet validation,
+//! forwarding, telemetry).  ClickINC synthesizes the user snippets that
+//! placement assigned to a device with that base program into one executable
+//! (paper §6):
+//!
+//! * [`isolation`] — per-user renaming of variables and objects plus the
+//!   user-ID traffic match so that two tenants deploying the same template never
+//!   share state or see each other's data (the Count-Min-Sketch collision
+//!   example of §2.2);
+//! * [`base`] — a representative operator base program (parse / validate /
+//!   forward) split into the *head* (functions the user snippets depend on,
+//!   e.g. integrity checks) and the *tail* (functions that depend on the user
+//!   snippets, e.g. the forwarding decision);
+//! * [`merge`] — header-parse-tree merging and pipeline/RTC program merging
+//!   (Fig. 10 / Algorithm 4): user snippets are spliced between the base head
+//!   and tail, as early as possible;
+//! * [`refine`] — the runtime data-plane refinement: step numbers for (possibly
+//!   replicated) blocks and the `Param` field carrying shared temporaries
+//!   between devices;
+//! * [`incremental`] — the annotation-based incremental compilation: adding a
+//!   user program annotates the instructions it contributes; removing one
+//!   strips its annotation and lazily deletes instructions that no longer have
+//!   any owner, without touching the other tenants (Table 6's comparison
+//!   against monolithic redeployment).
+
+pub mod base;
+pub mod incremental;
+pub mod isolation;
+pub mod merge;
+pub mod refine;
+
+pub use base::base_program;
+pub use incremental::{add_user_program, remove_user_program, DeploymentDelta};
+pub use isolation::isolate_user_program;
+pub use merge::{merge_parse_trees, merge_programs, ParseTree};
+pub use refine::{assign_steps, param_field_bits, StepAssignment};

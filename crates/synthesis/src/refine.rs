@@ -1,0 +1,178 @@
+//! Runtime data-plane refinement (paper §6 "Refine Runtime Data Plane").
+//!
+//! Two refinements make distributed execution transparent to the user:
+//!
+//! 1. **Step numbers** — every block gets a step number; the packet carries a
+//!    `step` field that devices compare against their own blocks' steps, so that
+//!    replicated blocks along a path execute exactly once and a packet that
+//!    already passed a step skips it (which also provides the transient-failure
+//!    bypass described in the paper);
+//! 2. **Param field** — temporaries defined on one device and read on a
+//!    downstream device are carried in the packet's `Param` field; this module
+//!    computes which variables must be carried over each boundary and how many
+//!    bits the field needs.
+
+use clickinc_blockdag::BlockDag;
+use clickinc_ir::IrProgram;
+use clickinc_placement::PlacementPlan;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Step numbers assigned to the blocks of one placed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StepAssignment {
+    /// Step of every block (by block index).
+    pub step_of_block: BTreeMap<usize, usize>,
+    /// For every device (by assignment index in the plan): the steps it hosts.
+    pub steps_of_device: Vec<Vec<usize>>,
+    /// Highest step number in use.
+    pub max_step: usize,
+}
+
+/// Assign step numbers to the blocks of a placement plan.
+///
+/// The step of a block is its position in the global block order; all replicas
+/// of the block (the same block placed on several EC members or appearing on
+/// several branches) share the step, which is exactly what lets the runtime
+/// "match the packet step field with its own block's step".
+pub fn assign_steps(dag: &BlockDag, plan: &PlacementPlan) -> StepAssignment {
+    let order = dag.blocks_by_step();
+    let mut step_of_block = BTreeMap::new();
+    for (step, block) in order.iter().enumerate() {
+        step_of_block.insert(*block, step);
+    }
+    let mut steps_of_device = Vec::with_capacity(plan.assignments.len());
+    let mut max_step = 0;
+    for assignment in &plan.assignments {
+        let mut steps: Vec<usize> = assignment
+            .blocks
+            .iter()
+            .filter_map(|b| step_of_block.get(&b.0).copied())
+            .collect();
+        steps.sort_unstable();
+        if let Some(&m) = steps.last() {
+            max_step = max_step.max(m);
+        }
+        steps_of_device.push(steps);
+    }
+    StepAssignment { step_of_block, steps_of_device, max_step }
+}
+
+/// The variables that must be carried in the `Param` field across each device
+/// boundary of the plan, and the total field width in bits (32 bits per
+/// temporary, matching the frontend's SSA temporaries).
+pub fn param_field_bits(program: &IrProgram, dag: &BlockDag, plan: &PlacementPlan) -> (BTreeMap<String, Vec<String>>, u32) {
+    let sets = program.read_write_sets();
+    let order = dag.blocks_by_step();
+    // which position in the order does each block occupy
+    let pos_of: BTreeMap<usize, usize> =
+        order.iter().enumerate().map(|(p, b)| (*b, p)).collect();
+
+    let mut per_boundary: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut all_carried: BTreeSet<String> = BTreeSet::new();
+
+    for assignment in &plan.assignments {
+        if assignment.is_empty() {
+            continue;
+        }
+        let here: BTreeSet<usize> = assignment.blocks.iter().map(|b| b.0).collect();
+        let here_end = assignment
+            .blocks
+            .iter()
+            .filter_map(|b| pos_of.get(&b.0))
+            .max()
+            .copied()
+            .unwrap_or(0);
+        // variables defined here and read by any later block not on this device
+        let mut carried: BTreeSet<String> = BTreeSet::new();
+        for &block in &here {
+            for &instr in &dag.blocks()[block].instrs {
+                if let Some(def) = &sets[instr].writes_var {
+                    for (later_pos, later_block) in order.iter().enumerate().skip(here_end + 1) {
+                        if here.contains(later_block) {
+                            continue;
+                        }
+                        let _ = later_pos;
+                        let reads_it = dag.blocks()[*later_block]
+                            .instrs
+                            .iter()
+                            .any(|&i| sets[i].reads_vars.contains(def));
+                        if reads_it {
+                            carried.insert(def.clone());
+                        }
+                    }
+                }
+            }
+        }
+        if !carried.is_empty() {
+            all_carried.extend(carried.iter().cloned());
+            per_boundary.insert(assignment.device.clone(), carried.into_iter().collect());
+        }
+    }
+    let bits = all_carried.len() as u32 * 32;
+    (per_boundary, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clickinc_blockdag::{build_block_dag, BlockConfig};
+    use clickinc_device::DeviceKind;
+    use clickinc_frontend::compile_source;
+    use clickinc_lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggParams};
+    use clickinc_placement::{place, PlacementConfig, PlacementNetwork, ResourceLedger};
+    use clickinc_topology::{reduce_for_traffic, Topology};
+
+    fn plan_on_chain(source: &str, name: &str, n: usize) -> (IrProgram, BlockDag, PlacementPlan) {
+        let ir = compile_source(name, source).unwrap();
+        let dag = build_block_dag(&ir, &BlockConfig::default());
+        let topo = Topology::chain(n, DeviceKind::Tofino);
+        let servers = topo.servers();
+        let reduced = reduce_for_traffic(&topo, &[servers[0]], servers[1], &[]);
+        let net = PlacementNetwork::from_reduced(&topo, &reduced, &ResourceLedger::new());
+        let plan = place(&ir, &dag, &net, &PlacementConfig::default()).unwrap();
+        (ir, dag, plan)
+    }
+
+    #[test]
+    fn steps_cover_every_block_exactly_once_in_order() {
+        let t = kvs_template("kvs", KvsParams::default());
+        let (_, dag, plan) = plan_on_chain(&t.source, "kvs", 3);
+        let steps = assign_steps(&dag, &plan);
+        assert_eq!(steps.step_of_block.len(), dag.len());
+        // steps are 0..n-1 with no gaps
+        let mut values: Vec<usize> = steps.step_of_block.values().copied().collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..dag.len()).collect::<Vec<_>>());
+        assert_eq!(steps.max_step, dag.len() - 1);
+        // per-device steps are contiguous ranges in traffic order
+        let nonempty: Vec<&Vec<usize>> =
+            steps.steps_of_device.iter().filter(|s| !s.is_empty()).collect();
+        for window in nonempty.windows(2) {
+            let end_prev = *window[0].last().unwrap();
+            let start_next = *window[1].first().unwrap();
+            assert!(start_next > end_prev, "later devices host later steps");
+        }
+    }
+
+    #[test]
+    fn param_field_covers_cross_device_temporaries() {
+        let t = mlagg_template("mlagg", MlAggParams { dims: 8, ..Default::default() });
+        let (ir, dag, plan) = plan_on_chain(&t.source, "mlagg", 2);
+        let (per_boundary, bits) = param_field_bits(&ir, &dag, &plan);
+        // if the plan splits the program across devices, some temporaries cross
+        if plan.devices_used().len() > 1 {
+            assert_eq!(bits as usize, per_boundary.values().flatten().collect::<BTreeSet<_>>().len() * 32);
+        } else {
+            assert_eq!(bits, per_boundary.values().flatten().count() as u32 * 32);
+        }
+    }
+
+    #[test]
+    fn single_device_plans_need_no_param_field() {
+        let t = kvs_template("kvs", KvsParams { cache_depth: 100, ..Default::default() });
+        let (ir, dag, plan) = plan_on_chain(&t.source, "kvs", 1);
+        let (per_boundary, bits) = param_field_bits(&ir, &dag, &plan);
+        assert!(per_boundary.is_empty(), "{per_boundary:?}");
+        assert_eq!(bits, 0);
+    }
+}

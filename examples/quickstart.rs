@@ -1,0 +1,56 @@
+//! Quickstart: write a ClickINC program, deploy it with the controller, and
+//! inspect what the toolchain produced.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use clickinc::{Controller, ServiceRequest};
+use clickinc::topology::Topology;
+
+fn main() {
+    // The count-min-sketch module program of the paper's Fig. 1, written in the
+    // Python-style ClickINC language.
+    let source = "\
+mem = Sketch(type=\"count-min\", rows=3, cols=65536, w=32)
+vals = list()
+for i in range(3):
+    vals.append(count(mem, hdr.key, 1))
+relt = min(vals)
+hdr.estimate = relt
+forward()
+";
+    println!("=== ClickINC quickstart ===\n");
+    println!("user program ({} LoC):\n{source}", clickinc::lang::lines_of_code(source));
+
+    // Manage the paper's Fig. 11 emulation topology.
+    let topology = Topology::emulation_topology();
+    let mut controller = Controller::new(topology);
+
+    // Deploy the program for traffic from pod0(a) to pod2(b).
+    let request = ServiceRequest::new("heavyhitter_0", source, &["pod0a"], "pod2b");
+    let deployment = controller.deploy(request).expect("deployment succeeds").clone();
+
+    println!("compiled to {} IR instructions", deployment.program.len());
+    println!("grouped into {} blocks", deployment.dag.len());
+    println!("placement gain: {:.4} (solve time {:.2?})", deployment.plan.gain, deployment.plan.solve_time);
+    for assignment in deployment.plan.assignments.iter().filter(|a| !a.is_empty()) {
+        println!(
+            "  -> {}: {} instructions in {} pipeline stages (steps {}..{})",
+            assignment.device,
+            assignment.instrs.len(),
+            assignment.stages_used,
+            assignment.step_range.0,
+            assignment.step_range.1,
+        );
+    }
+    println!("\ngenerated device programs:");
+    for (node, program) in &deployment.device_programs {
+        println!(
+            "  {} ({}): {} lines of {}",
+            controller.topology().node(*node).name,
+            controller.topology().node(*node).kind,
+            program.lines_of_code(),
+            program.language
+        );
+    }
+    println!("\nremaining network resources: {:.1}%", controller.remaining_resource_ratio() * 100.0);
+}

@@ -1,0 +1,2 @@
+//! Workspace umbrella crate: see the `clickinc` crate for the public API.
+pub use clickinc;

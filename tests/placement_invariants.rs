@@ -1,0 +1,78 @@
+//! Cross-crate property tests on placement invariants: whatever the program and
+//! topology, a plan produced by the DP respects the constraint system and the
+//! equivalence-class reduction does not change feasibility.
+
+use clickinc_blockdag::{build_block_dag, BlockConfig};
+use clickinc_device::DeviceKind;
+use clickinc_frontend::compile_source;
+use clickinc_lang::templates::{dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams, MlAggParams};
+use clickinc_placement::{place, PlacementConfig, PlacementNetwork, ResourceLedger};
+use clickinc_topology::{reduce_for_traffic, Topology};
+use proptest::prelude::*;
+
+fn template_source(which: u8, size: u32) -> (String, String) {
+    match which % 3 {
+        0 => (
+            "kvs".to_string(),
+            kvs_template("kvs", KvsParams { cache_depth: 500 + size, ..Default::default() }).source,
+        ),
+        1 => (
+            "mlagg".to_string(),
+            mlagg_template("mlagg", MlAggParams {
+                dims: 4 + (size % 12),
+                num_aggregators: 256 + size,
+                ..Default::default()
+            })
+            .source,
+        ),
+        _ => (
+            "dqacc".to_string(),
+            dqacc_template("dqacc", DqAccParams { depth: 500 + size, ways: 2 + (size % 3) }).source,
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any template, any parameterization, any chain length: if the DP returns a
+    /// plan, the plan passes every structural check (coverage, capabilities,
+    /// resources, block/instruction consistency).
+    #[test]
+    fn plans_always_satisfy_the_constraint_system(which in 0u8..3, size in 0u32..4000, devices in 1usize..5) {
+        let (name, source) = template_source(which, size);
+        let ir = compile_source(&name, &source).unwrap();
+        let dag = build_block_dag(&ir, &BlockConfig::default());
+        let topo = Topology::chain(devices, DeviceKind::Tofino);
+        let servers = topo.servers();
+        let reduced = reduce_for_traffic(&topo, &[servers[0]], servers[1], &[]);
+        let net = PlacementNetwork::from_reduced(&topo, &reduced, &ResourceLedger::new());
+        if let Ok(plan) = place(&ir, &dag, &net, &PlacementConfig::default()) {
+            plan.assert_valid(&ir, &dag, &net);
+            prop_assert!(plan.gain <= 0.5 + 1e-9);
+            prop_assert!(plan.resource_cost >= 0.0);
+        }
+    }
+
+    /// Feasibility on a fat-tree is monotone in device capability: if a program
+    /// places on an all-Tofino fat-tree, it also places when every switch is the
+    /// larger Tofino2.
+    #[test]
+    fn bigger_devices_never_hurt_feasibility(which in 0u8..3, size in 0u32..2000) {
+        let (name, source) = template_source(which, size);
+        let ir = compile_source(&name, &source).unwrap();
+        let dag = build_block_dag(&ir, &BlockConfig::default());
+        let mk_net = |kind: DeviceKind| {
+            let topo = Topology::device_equal_fat_tree(4, kind);
+            let s0 = topo.find("pod0_s0").unwrap();
+            let dst = topo.find("pod2_s0").unwrap();
+            let reduced = reduce_for_traffic(&topo, &[s0], dst, &[]);
+            PlacementNetwork::from_reduced(&topo, &reduced, &ResourceLedger::new())
+        };
+        let small = place(&ir, &dag, &mk_net(DeviceKind::Tofino), &PlacementConfig::default());
+        let big = place(&ir, &dag, &mk_net(DeviceKind::Tofino2), &PlacementConfig::default());
+        if small.is_ok() {
+            prop_assert!(big.is_ok(), "upgrade to Tofino2 must not break feasibility");
+        }
+    }
+}
