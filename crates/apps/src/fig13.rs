@@ -60,6 +60,7 @@ pub fn fig13_configurations(workers: usize, rounds: usize, dims: usize) -> Vec<F
         sparsity: 0.5,
         block_size: 8,
         seed: 17,
+        ..Default::default()
     };
     let w = workers as u32;
     let d = dims as u32;

@@ -10,7 +10,10 @@ fn kvs(name: &str, depth: u32) -> clickinc_lang::templates::Template {
 }
 
 fn mlagg(name: &str, dims: u32, is_float: bool) -> clickinc_lang::templates::Template {
-    mlagg_template(name, MlAggParams { dims, num_aggregators: 2048, is_float, ..Default::default() })
+    mlagg_template(
+        name,
+        MlAggParams { dims, num_aggregators: 2048, is_float, ..Default::default() },
+    )
 }
 
 fn dqacc(name: &str, depth: u32) -> clickinc_lang::templates::Template {
@@ -112,9 +115,8 @@ mod tests {
         let mut controller = Controller::new(Topology::emulation_topology_all_tofino());
         for request in table3_requests() {
             let user = request.user.clone();
-            let deployment = controller
-                .deploy(request)
-                .unwrap_or_else(|e| panic!("{user} should deploy: {e}"));
+            let deployment =
+                controller.deploy(request).unwrap_or_else(|e| panic!("{user} should deploy: {e}"));
             assert!(!deployment.plan.devices_used().is_empty());
             assert!(deployment.plan.solve_time.as_secs_f64() < 10.0, "paper: < 10 s for all six");
         }

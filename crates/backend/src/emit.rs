@@ -18,10 +18,8 @@ pub fn operand(op: &Operand) -> String {
 
 /// Make an IR name a legal C/P4 identifier (`$t3` → `t3`, `x.5` → `x_5`).
 pub fn sanitize(name: &str) -> String {
-    let mut out: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect();
+    let mut out: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
     while out.starts_with('_') && out.len() > 1 {
         out.remove(0);
     }

@@ -16,7 +16,12 @@ pub fn generate(image: &IrProgram) -> String {
     let _ = writeln!(out, "    ap_uint<16> step;");
     let _ = writeln!(out, "    ap_uint<32> param;");
     for field in &image.headers {
-        let _ = writeln!(out, "    ap_uint<{}> {};", field.ty.width_bits().max(1), sanitize(&field.name));
+        let _ = writeln!(
+            out,
+            "    ap_uint<{}> {};",
+            field.ty.width_bits().max(1),
+            sanitize(&field.name)
+        );
     }
     let _ = writeln!(out, "    bool drop;");
     let _ = writeln!(out, "}};");
@@ -27,11 +32,13 @@ pub fn generate(image: &IrProgram) -> String {
         match &obj.kind {
             ObjectKind::Array { rows, size, width } => {
                 let _ = writeln!(out, "static ap_uint<{width}> {name}[{rows}][{size}];");
-                let _ = writeln!(out, "#pragma HLS BIND_STORAGE variable={name} type=ram_2p impl=uram");
+                let _ =
+                    writeln!(out, "#pragma HLS BIND_STORAGE variable={name} type=ram_2p impl=uram");
             }
             ObjectKind::Sketch { rows, cols, width, .. } => {
                 let _ = writeln!(out, "static ap_uint<{width}> {name}[{rows}][{cols}];");
-                let _ = writeln!(out, "#pragma HLS BIND_STORAGE variable={name} type=ram_2p impl=bram");
+                let _ =
+                    writeln!(out, "#pragma HLS BIND_STORAGE variable={name} type=ram_2p impl=bram");
             }
             ObjectKind::Seq { size, width } => {
                 let _ = writeln!(out, "static ap_uint<{width}> {name}[{size}];");
@@ -39,13 +46,21 @@ pub fn generate(image: &IrProgram) -> String {
             ObjectKind::Table { key_width, value_width, depth, .. } => {
                 let _ = writeln!(out, "struct {name}_entry {{ ap_uint<{key_width}> key; ap_uint<{value_width}> value; bool valid; }};");
                 let _ = writeln!(out, "static {name}_entry {name}[{depth}];");
-                let _ = writeln!(out, "#pragma HLS BIND_STORAGE variable={name} type=ram_2p impl=uram");
+                let _ =
+                    writeln!(out, "#pragma HLS BIND_STORAGE variable={name} type=ram_2p impl=uram");
             }
             ObjectKind::Hash { algo, .. } => {
-                let _ = writeln!(out, "// hash `{name}`: crc{} implemented in fabric", algo.output_bits());
+                let _ = writeln!(
+                    out,
+                    "// hash `{name}`: crc{} implemented in fabric",
+                    algo.output_bits()
+                );
             }
             ObjectKind::Crypto { algo } => {
-                let _ = writeln!(out, "// crypto `{name}`: {algo:?} core instantiated from the Vitis library");
+                let _ = writeln!(
+                    out,
+                    "// crypto `{name}`: {algo:?} core instantiated from the Vitis library"
+                );
             }
         }
     }
@@ -73,7 +88,11 @@ pub fn generate(image: &IrProgram) -> String {
         let line = instruction_line(instr);
         match &instr.guard {
             Some(g) => {
-                let _ = writeln!(out, "    if ({}) {{ {line} }}", guard_expr(g).replace("hdr.inc.", "pkt."));
+                let _ = writeln!(
+                    out,
+                    "    if ({}) {{ {line} }}",
+                    guard_expr(g).replace("hdr.inc.", "pkt.")
+                );
             }
             None => {
                 let _ = writeln!(out, "    {line}");
@@ -136,7 +155,10 @@ mod tests {
 
     #[test]
     fn float_mlagg_hls_has_pipeline_pragma_and_uram_storage() {
-        let t = mlagg_template("mlagg_f", MlAggParams { dims: 4, is_float: true, num_aggregators: 256, ..Default::default() });
+        let t = mlagg_template(
+            "mlagg_f",
+            MlAggParams { dims: 4, is_float: true, num_aggregators: 256, ..Default::default() },
+        );
         let ir = compile_source("mlagg_f", &t.source).unwrap();
         let hls = generate(&ir);
         assert!(hls.contains("#pragma HLS PIPELINE II=1"));

@@ -75,7 +75,11 @@ mod tests {
         let image = kvs_image();
         for kind in DeviceKind::PROGRAMMABLE {
             let prog = generate(kind, &image);
-            assert!(prog.lines_of_code() > 20, "{kind} backend produced {} LoC", prog.lines_of_code());
+            assert!(
+                prog.lines_of_code() > 20,
+                "{kind} backend produced {} LoC",
+                prog.lines_of_code()
+            );
             assert_eq!(prog.language, kind.target_language());
         }
     }

@@ -69,7 +69,11 @@ pub fn generate(image: &IrProgram) -> String {
     }
     out.push('\n');
 
-    let _ = writeln!(out, "int pif_plugin_{}(EXTRACTED_HEADERS_T *headers, MATCH_DATA_T *match) {{", sanitize(&image.name));
+    let _ = writeln!(
+        out,
+        "int pif_plugin_{}(EXTRACTED_HEADERS_T *headers, MATCH_DATA_T *match) {{",
+        sanitize(&image.name)
+    );
     let _ = writeln!(out, "    struct inc_header *hdr = pif_plugin_hdr_get_inc(headers);");
     let mut declared = std::collections::BTreeSet::new();
     for instr in &image.instructions {
@@ -105,7 +109,12 @@ fn instruction_line(instr: &clickinc_ir::Instruction) -> String {
             format!("{} = crc_32({}); /* {} */", sanitize(dest), args(keys), sanitize(object))
         }
         OpCode::ReadState { dest, object, index } => {
-            format!("{} = {}[{}];", sanitize(dest), sanitize(object), args(index).replace(", ", "]["))
+            format!(
+                "{} = {}[{}];",
+                sanitize(dest),
+                sanitize(object),
+                args(index).replace(", ", "][")
+            )
         }
         OpCode::WriteState { object, index, value } => {
             format!("{}[{}] = {};", sanitize(object), args(index).replace(", ", "]["), args(value))
@@ -125,7 +134,9 @@ fn instruction_line(instr: &clickinc_ir::Instruction) -> String {
                 None => format!("{}[{}] += {};", sanitize(object), idx, operand(delta)),
             }
         }
-        OpCode::ClearState { object } => format!("memset({}, 0, sizeof({}));", sanitize(object), sanitize(object)),
+        OpCode::ClearState { object } => {
+            format!("memset({}, 0, sizeof({}));", sanitize(object), sanitize(object))
+        }
         OpCode::DeleteState { object, index } => {
             format!("{}[{}] = 0;", sanitize(object), args(index).replace(", ", "]["))
         }
@@ -134,8 +145,12 @@ fn instruction_line(instr: &clickinc_ir::Instruction) -> String {
         OpCode::Back { .. } => "swap_and_return(headers);".to_string(),
         OpCode::Mirror { .. } => "mirror_to_host(headers);".to_string(),
         OpCode::Multicast { group } => format!("multicast(headers, {});", operand(group)),
-        OpCode::CopyTo { target, values } => format!("copy_to_{}({});", sanitize(target), args(values)),
-        OpCode::SetHeader { field, value } => format!("hdr->{} = {};", sanitize(field), operand(value)),
+        OpCode::CopyTo { target, values } => {
+            format!("copy_to_{}({});", sanitize(target), args(values))
+        }
+        OpCode::SetHeader { field, value } => {
+            format!("hdr->{} = {};", sanitize(field), operand(value))
+        }
         OpCode::NoOp => "/* removed */".to_string(),
         other => format!("/* {} */", other.mnemonic()),
     }
@@ -149,7 +164,10 @@ mod tests {
 
     #[test]
     fn mlagg_microc_uses_hierarchical_memory_and_plugin_entry() {
-        let t = mlagg_template("mlagg", MlAggParams { dims: 4, num_aggregators: 128, ..Default::default() });
+        let t = mlagg_template(
+            "mlagg",
+            MlAggParams { dims: 4, num_aggregators: 128, ..Default::default() },
+        );
         let ir = compile_source("mlagg", &t.source).unwrap();
         let c = generate(&ir);
         assert!(c.contains("__declspec(imem shared)"));

@@ -18,7 +18,8 @@ pub fn generate(image: &IrProgram) -> String {
     let _ = writeln!(out, "        step : 16;");
     let _ = writeln!(out, "        param : 32;");
     for field in &image.headers {
-        let _ = writeln!(out, "        {} : {};", sanitize(&field.name), field.ty.width_bits().max(1));
+        let _ =
+            writeln!(out, "        {} : {};", sanitize(&field.name), field.ty.width_bits().max(1));
     }
     let _ = writeln!(out, "    }}");
     let _ = writeln!(out, "}}");
@@ -56,7 +57,8 @@ pub fn generate(image: &IrProgram) -> String {
                 let _ = writeln!(out, "flex_state {name} {{ entries : {size}; width : {width}; }}");
             }
             ObjectKind::Hash { algo, .. } => {
-                let _ = writeln!(out, "hash_unit {name} {{ algorithm : crc{}; }}", algo.output_bits());
+                let _ =
+                    writeln!(out, "hash_unit {name} {{ algorithm : crc{}; }}", algo.output_bits());
             }
             ObjectKind::Crypto { .. } => {
                 let _ = writeln!(out, "// crypto object `{name}` is not supported on TD4");

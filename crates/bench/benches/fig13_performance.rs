@@ -21,6 +21,8 @@ fn main() {
             report.aggregation_correct
         );
     }
-    println!("(paper Fig. 13a ordering: DPDK < SmartNIC < 1 Switch < 2 Switches < 1 Switch+SmartNIC;");
+    println!(
+        "(paper Fig. 13a ordering: DPDK < SmartNIC < 1 Switch < 2 Switches < 1 Switch+SmartNIC;"
+    );
     println!(" paper Fig. 13b: switch latency ≈ 400-800 ns, smartNIC paths ≈ 1-1.5 µs)");
 }

@@ -4,13 +4,14 @@
 use clickinc_blockdag::{build_block_dag, BlockConfig};
 use clickinc_frontend::compile_source;
 use clickinc_lang::templates::{mlagg_template, MlAggParams};
-use clickinc_placement::{place, place_smt, PlacementConfig, PlacementNetwork, ResourceLedger, SmtConfig};
+use clickinc_placement::{
+    place, place_smt, PlacementConfig, PlacementNetwork, ResourceLedger, SmtConfig,
+};
 use clickinc_topology::{reduce_for_traffic, Topology};
 use std::time::{Duration, Instant};
 
 fn main() {
-    let source =
-        mlagg_template("mlagg", MlAggParams { dims: 12, ..Default::default() }).source;
+    let source = mlagg_template("mlagg", MlAggParams { dims: 12, ..Default::default() }).source;
     let ir = compile_source("mlagg", &source).expect("compiles");
     let dag_blocks = build_block_dag(&ir, &BlockConfig::default());
     let dag_noblocks =
@@ -19,7 +20,11 @@ fn main() {
     println!("== Fig. 14(a,b): DP placement time vs number of devices (MLAgg) ==");
     println!(
         "{:>8} {:>18} {:>18} {:>18} {:>18}",
-        "devices", "DP block+prune", "DP block no-prune", "DP no-block prune", "DP no-block no-prune"
+        "devices",
+        "DP block+prune",
+        "DP block no-prune",
+        "DP no-block prune",
+        "DP no-block no-prune"
     );
     for devices in [1usize, 2, 4, 7, 10] {
         let topo = Topology::chain(devices, clickinc_device::DeviceKind::Tofino);
@@ -44,7 +49,10 @@ fn main() {
 
     println!();
     println!("== Fig. 14(c): SMT-style solver time vs number of devices ==");
-    println!("{:>8} {:>16} {:>16} {:>16}", "devices", "SMT block", "SMT w/o block", "nodes (block)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "devices", "SMT block", "SMT w/o block", "nodes (block)"
+    );
     for devices in [1usize, 2, 3, 4] {
         let topo = Topology::chain(devices, clickinc_device::DeviceKind::Tofino);
         let servers = topo.servers();
@@ -60,5 +68,7 @@ fn main() {
         let nodes = with_block.map(|(_, s)| s.nodes_explored).unwrap_or(0);
         println!("{devices:>8} {t_block:>16.2?} {t_noblock:>16.2?} {nodes:>16}");
     }
-    println!("(paper: the DP time grows linearly with device count; the SMT time grows exponentially)");
+    println!(
+        "(paper: the DP time grows linearly with device count; the SMT time grows exponentially)"
+    );
 }

@@ -2,12 +2,12 @@
 //! block-DAG construction and DP placement.  These complement the table/figure
 //! harnesses with statistically robust timings.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use clickinc_blockdag::{build_block_dag, BlockConfig};
 use clickinc_frontend::compile_source;
 use clickinc_lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggParams};
 use clickinc_placement::{place, PlacementConfig, PlacementNetwork, ResourceLedger};
 use clickinc_topology::{reduce_for_traffic, Topology};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_frontend(c: &mut Criterion) {
@@ -22,7 +22,8 @@ fn bench_frontend(c: &mut Criterion) {
 }
 
 fn bench_blockdag(c: &mut Criterion) {
-    let ir = compile_source("mlagg", &mlagg_template("mlagg", MlAggParams::default()).source).unwrap();
+    let ir =
+        compile_source("mlagg", &mlagg_template("mlagg", MlAggParams::default()).source).unwrap();
     c.bench_function("blockdag/build_mlagg", |b| {
         b.iter(|| build_block_dag(black_box(&ir), &BlockConfig::default()))
     });

@@ -4,7 +4,9 @@
 use clickinc_backend::generate;
 use clickinc_device::DeviceKind;
 use clickinc_frontend::compile_source;
-use clickinc_lang::templates::{dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams, MlAggParams};
+use clickinc_lang::templates::{
+    dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams, MlAggParams,
+};
 
 fn main() {
     println!("== Table 1: Lines of Code (ClickINC vs device-level programs) ==");
@@ -14,12 +16,7 @@ fn main() {
     );
     let apps = [
         ("KVS", kvs_template("kvs", KvsParams::default()).source, "16/571", "125/202"),
-        (
-            "MLAgg",
-            mlagg_template("mlagg", MlAggParams::default()).source,
-            "56/1564",
-            "232/233",
-        ),
+        ("MLAgg", mlagg_template("mlagg", MlAggParams::default()).source, "56/1564", "232/233"),
         ("DQAcc", dqacc_template("dqacc", DqAccParams::default()).source, "13/403", "243/138"),
     ];
     for (name, source, paper_ours, paper_theirs) in apps {

@@ -7,7 +7,9 @@
 //! milliseconds, not hours.
 
 use clickinc_frontend::compile_source;
-use clickinc_lang::templates::{dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams, MlAggParams};
+use clickinc_lang::templates::{
+    dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams, MlAggParams,
+};
 use std::time::Instant;
 
 fn main() {

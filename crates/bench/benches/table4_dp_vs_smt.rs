@@ -3,8 +3,12 @@
 
 use clickinc_blockdag::{build_block_dag, BlockConfig};
 use clickinc_frontend::compile_source;
-use clickinc_lang::templates::{dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams, MlAggParams};
-use clickinc_placement::{place, place_smt, PlacementConfig, PlacementNetwork, ResourceLedger, SmtConfig};
+use clickinc_lang::templates::{
+    dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams, MlAggParams,
+};
+use clickinc_placement::{
+    place, place_smt, PlacementConfig, PlacementNetwork, ResourceLedger, SmtConfig,
+};
 use clickinc_topology::{reduce_for_traffic, Topology};
 use std::time::Duration;
 

@@ -26,7 +26,11 @@ fn run(label: &str, mut controller: Controller) {
                     controller.remaining_resource_ratio()
                 );
             }
-            Err(_) => println!("{user:<8} {:<46} {:>12.3}", "/ (cannot be placed)", controller.remaining_resource_ratio()),
+            Err(_) => println!(
+                "{user:<8} {:<46} {:>12.3}",
+                "/ (cannot be placed)",
+                controller.remaining_resource_ratio()
+            ),
         }
     }
 }

@@ -179,9 +179,8 @@ fn merge_round(
         }
     }
     // prefer same-layer merges, then smaller combined size
-    candidates.sort_by_key(|&(a, b)| {
-        (levels[a] != levels[b], members[a].len() + members[b].len(), a, b)
-    });
+    candidates
+        .sort_by_key(|&(a, b)| (levels[a] != levels[b], members[a].len() + members[b].len(), a, b));
 
     for (a, b) in candidates {
         // try the merge and keep it if the DAG stays acyclic
@@ -230,11 +229,8 @@ fn apply_merge(
     merged.extend(members[gone].iter().copied());
     merged.sort_unstable();
     new_members[remap[keep]] = merged;
-    let mut new_edges: Vec<(usize, usize)> = edges
-        .iter()
-        .map(|&(x, y)| (remap[x], remap[y]))
-        .filter(|(x, y)| x != y)
-        .collect();
+    let mut new_edges: Vec<(usize, usize)> =
+        edges.iter().map(|&(x, y)| (remap[x], remap[y])).filter(|(x, y)| x != y).collect();
     new_edges.sort_unstable();
     new_edges.dedup();
     (new_members, new_edges)
@@ -327,10 +323,7 @@ mod tests {
         let dag = build_block_dag(&program, &BlockConfig::default());
         // get (1) and write (3) touch the same array and must share a block
         let block_of = |instr: usize| {
-            dag.blocks()
-                .iter()
-                .position(|b| b.instrs.contains(&instr))
-                .expect("covered")
+            dag.blocks().iter().position(|b| b.instrs.contains(&instr)).expect("covered")
         };
         assert_eq!(block_of(1), block_of(3));
         assert!(dag.blocks()[block_of(1)].stateful);
@@ -377,10 +370,8 @@ mod tests {
     fn disabling_merging_keeps_fine_granularity() {
         let program = aggregator_program();
         let merged = build_block_dag(&program, &BlockConfig::default());
-        let unmerged = build_block_dag(
-            &program,
-            &BlockConfig { enable_merging: false, ..Default::default() },
-        );
+        let unmerged =
+            build_block_dag(&program, &BlockConfig { enable_merging: false, ..Default::default() });
         assert!(unmerged.len() >= merged.len());
         assert_eq!(unmerged.total_instructions(), program.len());
     }
@@ -395,7 +386,8 @@ mod tests {
         let cfg = BlockConfig { max_block_instrs: 1, ..Default::default() };
         let dag = build_block_dag(&program, &cfg);
         assert_eq!(dag.len(), 3);
-        let steps: Vec<usize> = dag.blocks_by_step().iter().map(|&i| dag.blocks()[i].step).collect();
+        let steps: Vec<usize> =
+            dag.blocks_by_step().iter().map(|&i| dag.blocks()[i].step).collect();
         assert_eq!(steps, vec![0, 1, 2]);
     }
 

@@ -109,8 +109,7 @@ impl BlockDag {
     /// Kahn topological order; `None` if the graph has a cycle.
     pub fn topological_order(&self) -> Option<Vec<usize>> {
         let mut deg = self.in_degrees();
-        let mut queue: Vec<usize> =
-            (0..self.blocks.len()).filter(|b| deg[*b] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.blocks.len()).filter(|b| deg[*b] == 0).collect();
         let mut order = Vec::with_capacity(self.blocks.len());
         while let Some(b) = queue.pop() {
             order.push(b);
@@ -219,13 +218,7 @@ mod tests {
     use super::*;
 
     fn block(id: usize, instrs: Vec<usize>) -> Block {
-        Block {
-            id: BlockId(id),
-            instrs,
-            classes: BTreeSet::new(),
-            step: 0,
-            stateful: false,
-        }
+        Block { id: BlockId(id), instrs, classes: BTreeSet::new(), step: 0, stateful: false }
     }
 
     fn diamond() -> BlockDag {
@@ -260,10 +253,7 @@ mod tests {
 
     #[test]
     fn cycle_is_detected() {
-        let dag = BlockDag::new(
-            vec![block(0, vec![0]), block(1, vec![1])],
-            vec![(0, 1), (1, 0)],
-        );
+        let dag = BlockDag::new(vec![block(0, vec![0]), block(1, vec![1])], vec![(0, 1), (1, 0)]);
         assert!(dag.topological_order().is_none());
         assert!(!dag.is_partition_legal());
     }
@@ -280,10 +270,8 @@ mod tests {
 
     #[test]
     fn new_dedups_and_removes_self_edges() {
-        let dag = BlockDag::new(
-            vec![block(0, vec![0]), block(1, vec![1])],
-            vec![(0, 1), (0, 1), (1, 1)],
-        );
+        let dag =
+            BlockDag::new(vec![block(0, vec![0]), block(1, vec![1])], vec![(0, 1), (0, 1), (1, 1)]);
         assert_eq!(dag.edges(), &[(0, 1)]);
     }
 

@@ -44,23 +44,24 @@ mod proptests {
             let var = format!("v{i}");
             match byte % 4 {
                 0 => {
-                    let lhs = last_var
-                        .clone()
-                        .map(Operand::var)
-                        .unwrap_or_else(|| Operand::hdr("x"));
+                    let lhs =
+                        last_var.clone().map(Operand::var).unwrap_or_else(|| Operand::hdr("x"));
                     b.alu(&var, AluOp::Add, lhs, Operand::int(i64::from(*byte)));
                 }
                 1 => {
                     b.get(&var, "s0", vec![Operand::int(i64::from(*byte % 64))]);
                 }
                 2 => {
-                    b.count(Some(&var), "s1", vec![Operand::int(i64::from(*byte % 64))], Operand::int(1));
+                    b.count(
+                        Some(&var),
+                        "s1",
+                        vec![Operand::int(i64::from(*byte % 64))],
+                        Operand::int(1),
+                    );
                 }
                 _ => {
-                    let value = last_var
-                        .clone()
-                        .map(Operand::var)
-                        .unwrap_or_else(|| Operand::int(1));
+                    let value =
+                        last_var.clone().map(Operand::var).unwrap_or_else(|| Operand::int(1));
                     b.write("s0", vec![Operand::int(i64::from(*byte % 64))], vec![value]);
                     b.assign(&var, Operand::int(i64::from(*byte)));
                 }

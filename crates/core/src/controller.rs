@@ -11,11 +11,11 @@ use clickinc_placement::{
     place, PlacementConfig, PlacementError, PlacementNetwork, PlacementPlan, ResourceLedger,
     Weights,
 };
+use clickinc_synthesis::incremental::DeviceImages;
 use clickinc_synthesis::{
     add_user_program, assign_steps, base_program, isolate_user_program, remove_user_program,
     DeploymentDelta, StepAssignment,
 };
-use clickinc_synthesis::incremental::DeviceImages;
 use clickinc_topology::{reduce_for_traffic, NodeId, Topology};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -39,9 +39,13 @@ pub enum ControllerError {
 impl fmt::Display for ControllerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ControllerError::DuplicateUser(u) => write!(f, "user `{u}` already has a deployed program"),
+            ControllerError::DuplicateUser(u) => {
+                write!(f, "user `{u}` already has a deployed program")
+            }
             ControllerError::UnknownUser(u) => write!(f, "user `{u}` has no deployed program"),
-            ControllerError::UnknownHost(h) => write!(f, "host `{h}` does not exist in the topology"),
+            ControllerError::UnknownHost(h) => {
+                write!(f, "host `{h}` does not exist in the topology")
+            }
             ControllerError::Compile(e) => write!(f, "compilation failed: {e}"),
             ControllerError::Placement(e) => write!(f, "placement failed: {e}"),
         }
@@ -67,6 +71,9 @@ impl From<PlacementError> for ControllerError {
 pub struct Deployment {
     /// The user id.
     pub user: String,
+    /// Numeric user id matched by the isolation guard (`meta.inc_user`);
+    /// traffic must carry this id in its INC header to reach the program.
+    pub numeric_id: i64,
     /// The isolated IR program.
     pub program: IrProgram,
     /// The block DAG used for placement.
@@ -135,7 +142,12 @@ impl Controller {
         self.deployments.keys().map(String::as_str).collect()
     }
 
-    /// A previously created deployment.
+    /// The numeric id the isolation guard of a user's program matches on.
+    pub fn numeric_id_of(&self, user: &str) -> Option<i64> {
+        self.deployments.get(user).map(|d| d.numeric_id)
+    }
+
+    /// The deployment record of an active user program.
     pub fn deployment(&self, user: &str) -> Option<&Deployment> {
         self.deployments.get(user)
     }
@@ -177,9 +189,7 @@ impl Controller {
         let sources: Result<Vec<NodeId>, ControllerError> = request
             .sources
             .iter()
-            .map(|s| {
-                self.topology.find(s).ok_or_else(|| ControllerError::UnknownHost(s.clone()))
-            })
+            .map(|s| self.topology.find(s).ok_or_else(|| ControllerError::UnknownHost(s.clone())))
             .collect();
         let sources = sources?;
         let dst = self
@@ -201,7 +211,8 @@ impl Controller {
         } else {
             Weights::fixed()
         };
-        let plan = place(&isolated, &dag, &net, &PlacementConfig { weights, enable_pruning: true })?;
+        let plan =
+            place(&isolated, &dag, &net, &PlacementConfig { weights, enable_pruning: true })?;
 
         // book resources
         for assignment in plan.assignments.iter().filter(|a| !a.is_empty()) {
@@ -247,6 +258,7 @@ impl Controller {
         self.next_user_id += 1;
         let deployment = Deployment {
             user: request.user.clone(),
+            numeric_id: user_numeric_id,
             program: isolated,
             dag,
             plan,
@@ -362,7 +374,10 @@ mod tests {
         ))
         .unwrap();
         c.deploy(ServiceRequest::from_template(
-            mlagg_template("agg0", MlAggParams { dims: 8, num_aggregators: 1024, ..Default::default() }),
+            mlagg_template(
+                "agg0",
+                MlAggParams { dims: 8, num_aggregators: 1024, ..Default::default() },
+            ),
             &["pod1a", "pod1b"],
             "pod2a",
         ))
@@ -386,12 +401,15 @@ mod tests {
         let dims = 4usize;
         let workers = 2usize;
         c.deploy(ServiceRequest::from_template(
-            mlagg_template("agg0", MlAggParams {
-                dims: dims as u32,
-                num_workers: workers as u32,
-                num_aggregators: 256,
-                ..Default::default()
-            }),
+            mlagg_template(
+                "agg0",
+                MlAggParams {
+                    dims: dims as u32,
+                    num_workers: workers as u32,
+                    num_aggregators: 256,
+                    ..Default::default()
+                },
+            ),
             &["pod0a", "pod1a"],
             "pod2b",
         ))
@@ -408,8 +426,7 @@ mod tests {
             }
             let mut plane = plane.clone();
             for w in 0..workers {
-                let mut pkt =
-                    gradient_packet("w", "ps", user_id, 1, w, dims, &[1, 2, 3, 4]);
+                let mut pkt = gradient_packet("w", "ps", user_id, 1, w, dims, &[1, 2, 3, 4]);
                 let outcome = plane.process(&mut pkt);
                 if outcome.action == PacketAction::Back {
                     assert_eq!(pkt.inc.get("data_0"), clickinc_ir::Value::Int(2));

@@ -40,7 +40,11 @@ impl ServiceRequest {
     }
 
     /// Build a request from an instantiated template.
-    pub fn from_template(template: Template, sources: &[&str], destination: &str) -> ServiceRequest {
+    pub fn from_template(
+        template: Template,
+        sources: &[&str],
+        destination: &str,
+    ) -> ServiceRequest {
         ServiceRequest::new(template.name.clone(), template.source, sources, destination)
     }
 
@@ -64,8 +68,8 @@ mod tests {
 
     #[test]
     fn request_builders() {
-        let r = ServiceRequest::new("u1", "forward()\n", &["a", "b"], "c")
-            .with_weights(vec![1.0, 2.0]);
+        let r =
+            ServiceRequest::new("u1", "forward()\n", &["a", "b"], "c").with_weights(vec![1.0, 2.0]);
         assert_eq!(r.user, "u1");
         assert_eq!(r.sources, vec!["a", "b"]);
         assert_eq!(r.traffic_weights, vec![1.0, 2.0]);

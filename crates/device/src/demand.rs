@@ -205,11 +205,14 @@ mod tests {
         let one_read = block_demand(&dev, &p, &[0]);
         // two reads of the same table must not double the SRAM blocks
         let mut p2 = p.clone();
-        let extra = clickinc_ir::Instruction::new(100, OpCode::ReadState {
-            dest: "vals2".into(),
-            object: "cache".into(),
-            index: vec![Operand::hdr("key")],
-        });
+        let extra = clickinc_ir::Instruction::new(
+            100,
+            OpCode::ReadState {
+                dest: "vals2".into(),
+                object: "cache".into(),
+                index: vec![Operand::hdr("key")],
+            },
+        );
         p2.instructions.push(extra);
         let two_reads = block_demand(&dev, &p2, &[0, 5]);
         assert_eq!(one_read[Resource::SramBlocks], two_reads[Resource::SramBlocks]);
@@ -219,34 +222,38 @@ mod tests {
     #[test]
     fn exact_tables_use_sram_ternary_use_tcam() {
         let dev = DeviceModel::tofino();
-        let exact = object_demand(&dev, &ObjectKind::Table {
-            match_kind: MatchKind::Exact,
-            key_width: 128,
-            value_width: 512,
-            depth: 5000,
-            stateful: false,
-        });
+        let exact = object_demand(
+            &dev,
+            &ObjectKind::Table {
+                match_kind: MatchKind::Exact,
+                key_width: 128,
+                value_width: 512,
+                depth: 5000,
+                stateful: false,
+            },
+        );
         assert!(exact[Resource::SramBlocks] >= 1.0);
         assert_eq!(exact[Resource::TcamBlocks], 0.0);
-        let tern = object_demand(&dev, &ObjectKind::Table {
-            match_kind: MatchKind::Ternary,
-            key_width: 32,
-            value_width: 8,
-            depth: 2048,
-            stateful: false,
-        });
+        let tern = object_demand(
+            &dev,
+            &ObjectKind::Table {
+                match_kind: MatchKind::Ternary,
+                key_width: 32,
+                value_width: 8,
+                depth: 2048,
+                stateful: false,
+            },
+        );
         assert!(tern[Resource::TcamBlocks] >= 1.0);
     }
 
     #[test]
     fn sketch_demands_one_salu_per_row() {
         let dev = DeviceModel::tofino();
-        let cms = object_demand(&dev, &ObjectKind::Sketch {
-            kind: SketchKind::CountMin,
-            rows: 3,
-            cols: 65536,
-            width: 32,
-        });
+        let cms = object_demand(
+            &dev,
+            &ObjectKind::Sketch { kind: SketchKind::CountMin, rows: 3, cols: 65536, width: 32 },
+        );
         assert_eq!(cms[Resource::StatefulAlus], 3.0);
         assert!(cms[Resource::SramBlocks] >= 48.0, "3 * 64K * 32b = 48 blocks");
     }

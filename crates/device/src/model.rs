@@ -405,8 +405,10 @@ mod tests {
         }
         assert!(f.supports_all(CapabilityClass::ALL.iter()));
         let acc = DeviceModel::fpga_accelerator();
-        assert!(acc.total_capacity()[clickinc_ir::Resource::Bram]
-            > f.total_capacity()[clickinc_ir::Resource::Bram]);
+        assert!(
+            acc.total_capacity()[clickinc_ir::Resource::Bram]
+                > f.total_capacity()[clickinc_ir::Resource::Bram]
+        );
     }
 
     #[test]

@@ -108,11 +108,8 @@ impl DevicePlane {
         let snippets = self.snippets.clone();
         for snippet in &snippets {
             for instr in &snippet.instructions {
-                let guard_ok = instr
-                    .guard
-                    .as_ref()
-                    .map(|g| self.eval_guard(g, &env, pkt))
-                    .unwrap_or(true);
+                let guard_ok =
+                    instr.guard.as_ref().map(|g| self.eval_guard(g, &env, pkt)).unwrap_or(true);
                 if !guard_ok {
                     continue;
                 }
@@ -437,12 +434,15 @@ mod tests {
     fn mlagg_aggregates_gradients_in_network() {
         let dims = 4usize;
         let workers = 3usize;
-        let t = mlagg_template("mlagg", MlAggParams {
-            dims: dims as u32,
-            num_workers: workers as u32,
-            num_aggregators: 64,
-            ..Default::default()
-        });
+        let t = mlagg_template(
+            "mlagg",
+            MlAggParams {
+                dims: dims as u32,
+                num_workers: workers as u32,
+                num_aggregators: 64,
+                ..Default::default()
+            },
+        );
         let mut plane = plane_with("mlagg", &t.source);
         let mut result: Option<Packet> = None;
         for w in 0..workers {
@@ -470,12 +470,10 @@ mod tests {
 
     #[test]
     fn mlagg_ignores_duplicate_worker_contributions() {
-        let t = mlagg_template("mlagg", MlAggParams {
-            dims: 2,
-            num_workers: 2,
-            num_aggregators: 16,
-            ..Default::default()
-        });
+        let t = mlagg_template(
+            "mlagg",
+            MlAggParams { dims: 2, num_workers: 2, num_aggregators: 16, ..Default::default() },
+        );
         let mut plane = plane_with("mlagg", &t.source);
         let mut first = gradient_packet("w", "ps", 0, 3, 0, 2, &[5, 5]);
         plane.process(&mut first);

@@ -72,9 +72,7 @@ impl Packet {
 
     /// Current wire size in bytes: encapsulation + live fields + Param field.
     pub fn wire_bytes(&self) -> usize {
-        self.base_bytes
-            + self.inc.live_fields() * self.bytes_per_field
-            + self.inc.param.len() * 4
+        self.base_bytes + self.inc.live_fields() * self.bytes_per_field + self.inc.param.len() * 4
     }
 
     /// Swap source and destination (the `back()` primitive).

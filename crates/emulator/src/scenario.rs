@@ -52,11 +52,24 @@ pub struct AggregationConfig {
     pub block_size: usize,
     /// RNG seed (deterministic workloads for reproducibility).
     pub seed: u64,
+    /// Numeric user id carried in the INC header. Programs installed directly
+    /// on a plane accept any id (0); controller deployments are guarded and
+    /// only process traffic carrying their assigned id
+    /// (`Controller::numeric_id_of`).
+    pub user: i64,
 }
 
 impl Default for AggregationConfig {
     fn default() -> Self {
-        AggregationConfig { workers: 4, rounds: 200, dims: 32, sparsity: 0.5, block_size: 8, seed: 7 }
+        AggregationConfig {
+            workers: 4,
+            rounds: 200,
+            dims: 32,
+            sparsity: 0.5,
+            block_size: 8,
+            seed: 7,
+            user: 0,
+        }
     }
 }
 
@@ -108,7 +121,15 @@ pub fn run_aggregation_scenario(
             for (d, v) in values.iter().enumerate() {
                 *truth.entry((round, d)).or_insert(0) += v;
             }
-            let mut pkt = gradient_packet("worker", "ps", 0, round as i64, worker, config.dims, &values);
+            let mut pkt = gradient_packet(
+                "worker",
+                "ps",
+                config.user,
+                round as i64,
+                worker,
+                config.dims,
+                &values,
+            );
             packets_sent += 1;
 
             let mut delivered = true;
@@ -160,9 +181,8 @@ pub fn run_aggregation_scenario(
     for ((round, d), v) in host_partial {
         *aggregated.entry((round, d)).or_insert(0) += v;
     }
-    let aggregation_correct = truth
-        .iter()
-        .all(|(k, v)| aggregated.get(k).copied().unwrap_or(0) == *v);
+    let aggregation_correct =
+        truth.iter().all(|(k, v)| aggregated.get(k).copied().unwrap_or(0) == *v);
 
     // Timing model.  Switches and smartNICs process at line rate, so the
     // completion time of one training iteration is bounded by
@@ -241,11 +261,28 @@ pub struct KvsConfig {
     pub skew: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Numeric user id carried in the INC header (see
+    /// [`AggregationConfig::user`]).
+    pub user: i64,
+    /// Exact name of the cache table to pre-populate. `None` targets every
+    /// table named `cache` or `*_cache` on the path — fine for single-tenant
+    /// setups, but when tenants share a hop name the table explicitly
+    /// (isolation renames `cache` to `<user>_cache`) so another tenant's
+    /// state is never touched.
+    pub cache_table: Option<String>,
 }
 
 impl Default for KvsConfig {
     fn default() -> Self {
-        KvsConfig { requests: 2000, keys: 1000, cached_keys: 64, skew: 1.1, seed: 11 }
+        KvsConfig {
+            requests: 2000,
+            keys: 1000,
+            cached_keys: 64,
+            skew: 1.1,
+            seed: 11,
+            user: 0,
+            cache_table: None,
+        }
     }
 }
 
@@ -268,11 +305,27 @@ pub struct KvsReport {
 pub fn run_kvs_scenario(setup: &mut NetworkSetup, config: &KvsConfig) -> KvsReport {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let value_of = |key: i64| key * 1000 + 7;
-    // populate the in-network cache on whichever hop hosts the KVS table
+    // Populate the in-network cache on whichever hop hosts the KVS table.
     for hop in setup.hops.iter_mut() {
-        if hop.has_program() {
+        if !hop.has_program() {
+            continue;
+        }
+        let caches: Vec<String> = hop
+            .store()
+            .table_names()
+            .into_iter()
+            .filter(|n| match &config.cache_table {
+                Some(wanted) => n == wanted,
+                None => n == "cache" || n.ends_with("_cache"),
+            })
+            .collect();
+        for table in caches {
             for key in 0..config.cached_keys as i64 {
-                hop.store_mut().table_write("cache", &[Value::Int(key)], vec![Value::Int(value_of(key))]);
+                hop.store_mut().table_write(
+                    &table,
+                    &[Value::Int(key)],
+                    vec![Value::Int(value_of(key))],
+                );
             }
         }
     }
@@ -297,7 +350,7 @@ pub fn run_kvs_scenario(setup: &mut NetworkSetup, config: &KvsConfig) -> KvsRepo
             }
             pick -= w;
         }
-        let mut pkt = kvs_request("client", "server", 0, key as i64);
+        let mut pkt = kvs_request("client", "server", config.user, key as i64);
         let mut latency = 0.0;
         let mut answered_in_network = false;
         for hop in setup.hops.iter_mut() {
@@ -349,12 +402,10 @@ mod tests {
     };
 
     fn mlagg_plane(dims: u32, workers: u32) -> DevicePlane {
-        let t = mlagg_template("mlagg", MlAggParams {
-            dims,
-            num_workers: workers,
-            num_aggregators: 4096,
-            ..Default::default()
-        });
+        let t = mlagg_template(
+            "mlagg",
+            MlAggParams { dims, num_workers: workers, num_aggregators: 4096, ..Default::default() },
+        );
         let ir = compile_source("mlagg", &t.source).unwrap();
         let mut p = DevicePlane::new("SW0", DeviceModel::tofino());
         p.install(ir);
@@ -383,7 +434,15 @@ mod tests {
     }
 
     fn cfg(dims: usize, workers: usize) -> AggregationConfig {
-        AggregationConfig { workers, rounds: 50, dims, sparsity: 0.5, block_size: 8, seed: 3 }
+        AggregationConfig {
+            workers,
+            rounds: 50,
+            dims,
+            sparsity: 0.5,
+            block_size: 8,
+            seed: 3,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -454,7 +513,11 @@ mod tests {
         let mut setup = NetworkSetup::new(vec![plane]);
         let report = run_kvs_scenario(&mut setup, &KvsConfig::default());
         assert!(report.replies_correct);
-        assert!(report.hit_ratio > 0.3, "skewed workload should hit the cache: {}", report.hit_ratio);
+        assert!(
+            report.hit_ratio > 0.3,
+            "skewed workload should hit the cache: {}",
+            report.hit_ratio
+        );
         assert!(report.server_requests < 2000);
 
         // without a cache everything reaches the server and latency rises

@@ -60,7 +60,9 @@ impl ObjectStore {
             ObjectKind::Array { rows, size, .. } => {
                 ObjectState::Array { rows: *rows, size: *size, cells: BTreeMap::new() }
             }
-            ObjectKind::Seq { size, .. } => ObjectState::Seq { size: *size, cells: BTreeMap::new() },
+            ObjectKind::Seq { size, .. } => {
+                ObjectState::Seq { size: *size, cells: BTreeMap::new() }
+            }
             ObjectKind::Sketch { kind, rows, cols, .. } => ObjectState::Sketch {
                 kind: *kind,
                 rows: *rows,
@@ -79,11 +81,22 @@ impl ObjectStore {
         self.objects.contains_key(name)
     }
 
-    /// Read an array/sequence cell (missing cells read as 0).
+    /// Names of all declared table objects (control-plane enumeration, e.g.
+    /// to pre-populate caches whose names were rewritten by isolation).
+    pub fn table_names(&self) -> Vec<String> {
+        self.objects
+            .iter()
+            .filter(|(_, state)| matches!(state, ObjectState::Table { .. }))
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Read an array/sequence cell (missing cells read as 0).  Row and index
+    /// wrap at the declared bounds, mirroring the hardware's address masking.
     pub fn array_read(&self, name: &str, row: u32, index: u32) -> i64 {
         match self.objects.get(name) {
-            Some(ObjectState::Array { cells, size, .. }) => {
-                cells.get(&(row, index % (*size).max(1))).copied().unwrap_or(0)
+            Some(ObjectState::Array { cells, rows, size }) => {
+                cells.get(&(row % (*rows).max(1), index % (*size).max(1))).copied().unwrap_or(0)
             }
             Some(ObjectState::Seq { cells, size }) => {
                 cells.get(&(index % (*size).max(1))).copied().unwrap_or(0)
@@ -95,8 +108,8 @@ impl ObjectStore {
     /// Write an array/sequence cell.
     pub fn array_write(&mut self, name: &str, row: u32, index: u32, value: i64) {
         match self.objects.get_mut(name) {
-            Some(ObjectState::Array { cells, size, .. }) => {
-                cells.insert((row, index % (*size).max(1)), value);
+            Some(ObjectState::Array { cells, rows, size }) => {
+                cells.insert((row % (*rows).max(1), index % (*size).max(1)), value);
             }
             Some(ObjectState::Seq { cells, size }) => {
                 cells.insert(index % (*size).max(1), value);
@@ -133,7 +146,8 @@ impl ObjectStore {
     /// minimum estimate (CMS) or 1 (Bloom).
     pub fn sketch_count(&mut self, name: &str, key: &Value, delta: i64) -> i64 {
         let k = value_key(key);
-        if let Some(ObjectState::Sketch { kind, rows, cols, counters }) = self.objects.get_mut(name) {
+        if let Some(ObjectState::Sketch { kind, rows, cols, counters }) = self.objects.get_mut(name)
+        {
             let mut min = i64::MAX;
             for row in 0..*rows {
                 let col = (mix(u64::from(row) + 1, k) % u64::from(*cols)) as usize;
@@ -254,13 +268,16 @@ mod tests {
 
     #[test]
     fn table_hit_miss_write_delete() {
-        let mut s = store_with("t", ObjectKind::Table {
-            match_kind: clickinc_ir::MatchKind::Exact,
-            key_width: 32,
-            value_width: 32,
-            depth: 16,
-            stateful: false,
-        });
+        let mut s = store_with(
+            "t",
+            ObjectKind::Table {
+                match_kind: clickinc_ir::MatchKind::Exact,
+                key_width: 32,
+                value_width: 32,
+                depth: 16,
+                stateful: false,
+            },
+        );
         let key = [Value::Int(7)];
         assert_eq!(s.table_get("t", &key), Value::None);
         s.table_write("t", &key, vec![Value::Int(99)]);
@@ -272,10 +289,10 @@ mod tests {
 
     #[test]
     fn hash_is_deterministic_and_respects_modulus() {
-        let s = store_with("h", ObjectKind::Hash {
-            algo: clickinc_ir::HashAlgo::Crc16,
-            modulus: Some(100),
-        });
+        let s = store_with(
+            "h",
+            ObjectKind::Hash { algo: clickinc_ir::HashAlgo::Crc16, modulus: Some(100) },
+        );
         let a = s.hash("h", &[Value::Int(5)]);
         let b = s.hash("h", &[Value::Int(5)]);
         assert_eq!(a, b);
@@ -285,24 +302,20 @@ mod tests {
 
     #[test]
     fn cms_counts_and_bloom_membership() {
-        let mut s = store_with("cms", ObjectKind::Sketch {
-            kind: SketchKind::CountMin,
-            rows: 3,
-            cols: 128,
-            width: 32,
-        });
+        let mut s = store_with(
+            "cms",
+            ObjectKind::Sketch { kind: SketchKind::CountMin, rows: 3, cols: 128, width: 32 },
+        );
         for _ in 0..5 {
             s.sketch_count("cms", &Value::Int(7), 1);
         }
         assert!(s.sketch_estimate("cms", &Value::Int(7)) >= 5);
         assert_eq!(s.sketch_estimate("cms", &Value::Int(12345)), 0);
 
-        let mut bf = store_with("bf", ObjectKind::Sketch {
-            kind: SketchKind::Bloom,
-            rows: 2,
-            cols: 256,
-            width: 1,
-        });
+        let mut bf = store_with(
+            "bf",
+            ObjectKind::Sketch { kind: SketchKind::Bloom, rows: 2, cols: 256, width: 1 },
+        );
         bf.sketch_count("bf", &Value::Bytes(vec![1, 2, 3]), 1);
         assert!(bf.sketch_estimate("bf", &Value::Bytes(vec![1, 2, 3])) > 0);
     }

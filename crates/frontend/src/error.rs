@@ -75,7 +75,8 @@ mod tests {
         assert!(e.to_string().contains('i'));
         let e = FrontendError::UnknownCall("mystery".into());
         assert!(e.to_string().contains("mystery"));
-        let e = FrontendError::BadArguments { callee: "Array".into(), reason: "missing size".into() };
+        let e =
+            FrontendError::BadArguments { callee: "Array".into(), reason: "missing size".into() };
         assert!(e.to_string().contains("Array"));
     }
 

@@ -52,9 +52,6 @@ mod tests {
 
     #[test]
     fn reports_parse_errors() {
-        assert!(matches!(
-            compile_source("p", "if x\n    y = 1\n"),
-            Err(FrontendError::Lang(_))
-        ));
+        assert!(matches!(compile_source("p", "if x\n    y = 1\n"), Err(FrontendError::Lang(_))));
     }
 }

@@ -14,9 +14,7 @@ use clickinc_ir::{
 };
 use clickinc_lang::ast::{BinOp, BoolOp, Expr, Stmt, UnaryOp};
 use clickinc_lang::templates::{mlagg_template, MlAggParams};
-use clickinc_lang::{
-    BuiltinFn, ModuleLibrary, ObjectCtor, PrimitiveKind, Program,
-};
+use clickinc_lang::{BuiltinFn, ModuleLibrary, ObjectCtor, PrimitiveKind, Program};
 use std::collections::BTreeMap;
 
 /// Options controlling compilation.
@@ -233,12 +231,8 @@ impl<'a> Lowerer<'a> {
     }
 
     fn header_field(&mut self, field: &str) -> Operand {
-        let bits = self
-            .opts
-            .header_widths
-            .get(field)
-            .copied()
-            .unwrap_or(self.opts.default_field_bits);
+        let bits =
+            self.opts.header_widths.get(field).copied().unwrap_or(self.opts.default_field_bits);
         self.headers.entry(field.to_string()).or_insert(bits);
         Operand::hdr(field)
     }
@@ -287,11 +281,9 @@ impl<'a> Lowerer<'a> {
             Stmt::If { cond, body, orelse } => self.lower_if(cond, body, orelse),
             Stmt::For { var, iter, body } => self.lower_for(var, iter, body),
             Stmt::Return(value) => {
-                let slot = self
-                    .ret_slots
-                    .last()
-                    .cloned()
-                    .ok_or_else(|| FrontendError::Unsupported("`return` outside a function".into()))?;
+                let slot = self.ret_slots.last().cloned().ok_or_else(|| {
+                    FrontendError::Unsupported("`return` outside a function".into())
+                })?;
                 let lowered = match value {
                     Some(e) => self.lower_expr(e)?,
                     None => Lowered::NoneVal,
@@ -479,7 +471,12 @@ impl<'a> Lowerer<'a> {
         Ok(())
     }
 
-    fn lower_if(&mut self, cond: &Expr, body: &[Stmt], orelse: &[Stmt]) -> Result<(), FrontendError> {
+    fn lower_if(
+        &mut self,
+        cond: &Expr,
+        body: &[Stmt],
+        orelse: &[Stmt],
+    ) -> Result<(), FrontendError> {
         let c = self.lower_expr(cond)?;
         // Constant condition: lower only the taken branch.
         if let Some(v) = c.const_int() {
@@ -571,7 +568,8 @@ impl<'a> Lowerer<'a> {
             Some(("range", args, _)) => {
                 let consts: Option<Vec<i64>> =
                     args.iter().map(|a| self.lower_expr(a).ok()?.const_int()).collect();
-                let consts = consts.ok_or(FrontendError::NonConstantLoop { var: var.to_string() })?;
+                let consts =
+                    consts.ok_or(FrontendError::NonConstantLoop { var: var.to_string() })?;
                 match consts.as_slice() {
                     [stop] => (0..*stop).collect(),
                     [start, stop] => (*start..*stop).collect(),
@@ -670,10 +668,9 @@ impl<'a> Lowerer<'a> {
             let idx = self.lower_expr(index)?.const_int().ok_or_else(|| {
                 FrontendError::Unsupported("list indices must be compile-time constants".into())
             })?;
-            return items
-                .get(idx as usize)
-                .cloned()
-                .ok_or_else(|| FrontendError::Unsupported(format!("list index {idx} out of range")));
+            return items.get(idx as usize).cloned().ok_or_else(|| {
+                FrontendError::Unsupported(format!("list index {idx} out of range"))
+            });
         }
         Err(FrontendError::Unsupported("indexing is only supported on hdr fields and lists".into()))
     }
@@ -837,7 +834,9 @@ impl<'a> Lowerer<'a> {
                     return self.lower_primitive(PrimitiveKind::Get, &full, kwargs);
                 }
             }
-            return Err(FrontendError::Unsupported(format!("method call `{attr}` is not supported")));
+            return Err(FrontendError::Unsupported(format!(
+                "method call `{attr}` is not supported"
+            )));
         }
 
         let name = match func {
@@ -963,10 +962,8 @@ impl<'a> Lowerer<'a> {
             args.iter().map(|a| self.lower_expr(a)).collect();
         let lowered_args = lowered_args?;
         // bind parameters in a child scope; restore shadowed names afterwards
-        let saved: Vec<(String, Option<EnvEntry>)> = params
-            .iter()
-            .map(|p| (p.clone(), self.env.get(p).cloned()))
-            .collect();
+        let saved: Vec<(String, Option<EnvEntry>)> =
+            params.iter().map(|p| (p.clone(), self.env.get(p).cloned())).collect();
         for (p, v) in params.iter().zip(lowered_args) {
             self.set_value(p, v);
         }
@@ -1039,8 +1036,11 @@ impl<'a> Lowerer<'a> {
                 self.emit(OpCode::CopyTo { target, values: values? });
                 Ok(Lowered::NoneVal)
             }
-            PrimitiveKind::Get | PrimitiveKind::Write | PrimitiveKind::Count
-            | PrimitiveKind::Clear | PrimitiveKind::Del => self.lower_state_primitive(prim, args),
+            PrimitiveKind::Get
+            | PrimitiveKind::Write
+            | PrimitiveKind::Count
+            | PrimitiveKind::Clear
+            | PrimitiveKind::Del => self.lower_state_primitive(prim, args),
         }
     }
 
@@ -1093,10 +1093,7 @@ impl<'a> Lowerer<'a> {
             if let Some(first) = args.first() {
                 if let Some(field) = self.header_target_field(first)? {
                     self.header_field(&field);
-                    self.emit(OpCode::SetHeader {
-                        field,
-                        value: Operand::Const(Value::None),
-                    });
+                    self.emit(OpCode::SetHeader { field, value: Operand::Const(Value::None) });
                     return Ok(Lowered::NoneVal);
                 }
             }
@@ -1118,11 +1115,8 @@ impl<'a> Lowerer<'a> {
                 })
             }
         };
-        let rest: Result<Vec<Operand>, _> = args
-            .iter()
-            .skip(1)
-            .map(|e| self.lower_expr(e).and_then(|l| l.to_operand()))
-            .collect();
+        let rest: Result<Vec<Operand>, _> =
+            args.iter().skip(1).map(|e| self.lower_expr(e).and_then(|l| l.to_operand())).collect();
         let rest = rest?;
         let is_hash = matches!(self.object_kind(&object), Some(ObjectKind::Hash { .. }));
         match prim {
@@ -1156,12 +1150,7 @@ impl<'a> Lowerer<'a> {
                     None => (Vec::new(), Operand::int(1)),
                 };
                 let dest = self.fresh_tmp();
-                self.emit(OpCode::CountState {
-                    dest: Some(dest.clone()),
-                    object,
-                    index,
-                    delta,
-                });
+                self.emit(OpCode::CountState { dest: Some(dest.clone()), object, index, delta });
                 Ok(Lowered::Op(Operand::var(dest)))
             }
             PrimitiveKind::Clear => {
@@ -1187,7 +1176,10 @@ impl<'a> Lowerer<'a> {
         // single list argument expands to its elements for reductions
         if lowered.len() == 1 {
             if let Lowered::List(items) = &lowered[0] {
-                if matches!(builtin, BuiltinFn::Min | BuiltinFn::Max | BuiltinFn::Sum | BuiltinFn::Len) {
+                if matches!(
+                    builtin,
+                    BuiltinFn::Min | BuiltinFn::Max | BuiltinFn::Sum | BuiltinFn::Len
+                ) {
                     lowered = items.clone();
                     if matches!(builtin, BuiltinFn::Len) {
                         return Ok(Lowered::Const(lowered.len() as i64));
@@ -1244,28 +1236,24 @@ impl<'a> Lowerer<'a> {
                 let a = lowered.first().and_then(Lowered::const_int);
                 let b = lowered.get(1).and_then(Lowered::const_int);
                 match (a, b) {
-                    (Some(a), Some(b)) if b >= 0 => {
-                        Ok(Lowered::Const(a.pow(b.min(62) as u32)))
-                    }
+                    (Some(a), Some(b)) if b >= 0 => Ok(Lowered::Const(a.pow(b.min(62) as u32))),
                     _ => Err(FrontendError::Unsupported(
                         "pow() requires compile-time constant arguments".into(),
                     )),
                 }
             }
-            BuiltinFn::Round | BuiltinFn::Ceil | BuiltinFn::Floor => {
-                match lowered.first() {
-                    Some(Lowered::ConstF(v)) => Ok(Lowered::Const(match builtin {
-                        BuiltinFn::Ceil => v.ceil() as i64,
-                        BuiltinFn::Floor => v.floor() as i64,
-                        _ => v.round() as i64,
-                    })),
-                    Some(v) => Ok(v.clone()),
-                    None => Err(FrontendError::BadArguments {
-                        callee: name.to_string(),
-                        reason: "expected one argument".into(),
-                    }),
-                }
-            }
+            BuiltinFn::Round | BuiltinFn::Ceil | BuiltinFn::Floor => match lowered.first() {
+                Some(Lowered::ConstF(v)) => Ok(Lowered::Const(match builtin {
+                    BuiltinFn::Ceil => v.ceil() as i64,
+                    BuiltinFn::Floor => v.floor() as i64,
+                    _ => v.round() as i64,
+                })),
+                Some(v) => Ok(v.clone()),
+                None => Err(FrontendError::BadArguments {
+                    callee: name.to_string(),
+                    reason: "expected one argument".into(),
+                }),
+            },
             BuiltinFn::Sqrt => match lowered.first().and_then(Lowered::const_int) {
                 Some(v) if v >= 0 => Ok(Lowered::Const((v as f64).sqrt() as i64)),
                 _ => Err(FrontendError::Unsupported(
@@ -1373,9 +1361,7 @@ mod tests {
     };
 
     fn compile(src: &str) -> IrProgram {
-        Frontend::new()
-            .compile_source("test", src, &CompileOptions::default())
-            .expect("compiles")
+        Frontend::new().compile_source("test", src, &CompileOptions::default()).expect("compiles")
     }
 
     #[test]
@@ -1392,7 +1378,8 @@ mod tests {
 
     #[test]
     fn if_conversion_produces_guarded_instructions_and_phi() {
-        let ir = compile("x = 0\nif hdr.op == 1:\n    x = 5\nelse:\n    x = 7\ny = x + 1\nforward()\n");
+        let ir =
+            compile("x = 0\nif hdr.op == 1:\n    x = 5\nelse:\n    x = 7\ny = x + 1\nforward()\n");
         assert!(ir.validate().is_ok());
         // there must be at least: cmp, two guarded phi assigns, the add, forward
         let guarded = ir.instructions.iter().filter(|i| i.guard.is_some()).count();
@@ -1411,14 +1398,9 @@ mod tests {
 
     #[test]
     fn nested_ifs_conjoin_guards() {
-        let ir = compile(
-            "if hdr.a == 1:\n    if hdr.b == 2:\n        drop()\nforward()\n",
-        );
-        let drop = ir
-            .instructions
-            .iter()
-            .find(|i| matches!(i.op, OpCode::Drop))
-            .expect("drop present");
+        let ir = compile("if hdr.a == 1:\n    if hdr.b == 2:\n        drop()\nforward()\n");
+        let drop =
+            ir.instructions.iter().find(|i| matches!(i.op, OpCode::Drop)).expect("drop present");
         assert_eq!(drop.guard.as_ref().unwrap().all.len(), 2, "{}", ir.dump());
     }
 
@@ -1434,11 +1416,8 @@ mod tests {
         let ir = compile(
             "acc = Array(row=1, size=16, w=32)\nfor i in range(4):\n    count(acc, i, 1)\nforward()\n",
         );
-        let counts = ir
-            .instructions
-            .iter()
-            .filter(|i| matches!(i.op, OpCode::CountState { .. }))
-            .count();
+        let counts =
+            ir.instructions.iter().filter(|i| matches!(i.op, OpCode::CountState { .. })).count();
         assert_eq!(counts, 4);
     }
 
@@ -1488,16 +1467,12 @@ forward()
     #[test]
     fn count_min_sketch_example_compiles_like_fig1() {
         let t = count_min_sketch("cms", 3, 65536);
-        let ir = Frontend::new()
-            .compile_source("cms", &t.source, &CompileOptions::default())
-            .unwrap();
+        let ir =
+            Frontend::new().compile_source("cms", &t.source, &CompileOptions::default()).unwrap();
         assert!(ir.validate().is_ok());
         // 3 counts (one per row) folded through min
-        let counts = ir
-            .instructions
-            .iter()
-            .filter(|i| matches!(i.op, OpCode::CountState { .. }))
-            .count();
+        let counts =
+            ir.instructions.iter().filter(|i| matches!(i.op, OpCode::CountState { .. })).count();
         assert_eq!(counts, 3);
         let mins = ir
             .instructions
@@ -1511,9 +1486,8 @@ forward()
     #[test]
     fn kvs_template_compiles_and_validates() {
         let t = kvs_template("kvs_0", KvsParams::default());
-        let ir = Frontend::new()
-            .compile_source("kvs_0", &t.source, &CompileOptions::default())
-            .unwrap();
+        let ir =
+            Frontend::new().compile_source("kvs_0", &t.source, &CompileOptions::default()).unwrap();
         assert!(ir.validate().is_ok(), "{}", ir.dump());
         let caps = ir.required_capabilities();
         assert!(caps.contains(&CapabilityClass::Bem) || caps.contains(&CapabilityClass::Bsem));
@@ -1571,10 +1545,10 @@ forward()
             .unwrap();
         assert!(ir.validate().is_ok());
         // the sparse detection writes None into header fields (block deletion)
-        assert!(ir
-            .instructions
-            .iter()
-            .any(|i| matches!(&i.op, OpCode::SetHeader { value: Operand::Const(Value::None), .. })));
+        assert!(ir.instructions.iter().any(|i| matches!(
+            &i.op,
+            OpCode::SetHeader { value: Operand::Const(Value::None), .. }
+        )));
         // and the MLAgg template body was inlined (aggregator arrays exist)
         assert!(ir.object("agg_data_t").is_some());
         assert!(ir.len() > 40);

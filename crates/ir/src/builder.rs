@@ -61,7 +61,14 @@ impl ProgramBuilder {
     }
 
     /// Declare a sketch object.
-    pub fn sketch(&mut self, name: &str, kind: SketchKind, rows: u32, cols: u32, width: u16) -> &mut Self {
+    pub fn sketch(
+        &mut self,
+        name: &str,
+        kind: SketchKind,
+        rows: u32,
+        cols: u32,
+        width: u16,
+    ) -> &mut Self {
         self.object(name, ObjectKind::Sketch { kind, rows, cols, width })
     }
 
@@ -149,7 +156,13 @@ impl ProgramBuilder {
     }
 
     /// `dest = count(object, index, delta)`.
-    pub fn count(&mut self, dest: Option<&str>, object: &str, index: Vec<Operand>, delta: Operand) -> &mut Self {
+    pub fn count(
+        &mut self,
+        dest: Option<&str>,
+        object: &str,
+        index: Vec<Operand>,
+        delta: Operand,
+    ) -> &mut Self {
         self.emit(OpCode::CountState {
             dest: dest.map(str::to_string),
             object: object.into(),

@@ -189,48 +189,61 @@ mod tests {
 
     fn objects() -> Vec<ObjectDecl> {
         vec![
-            ObjectDecl::new("cache", ObjectKind::Table {
-                match_kind: MatchKind::Exact,
-                key_width: 128,
-                value_width: 512,
-                depth: 5000,
-                stateful: false,
-            }),
-            ObjectDecl::new("acl", ObjectKind::Table {
-                match_kind: MatchKind::Ternary,
-                key_width: 32,
-                value_width: 8,
-                depth: 100,
-                stateful: false,
-            }),
-            ObjectDecl::new("route", ObjectKind::Table {
-                match_kind: MatchKind::Lpm,
-                key_width: 32,
-                value_width: 16,
-                depth: 1000,
-                stateful: false,
-            }),
-            ObjectDecl::new("mirror_sess", ObjectKind::Table {
-                match_kind: MatchKind::Index,
-                key_width: 8,
-                value_width: 16,
-                depth: 16,
-                stateful: false,
-            }),
-            ObjectDecl::new("flowtab", ObjectKind::Table {
-                match_kind: MatchKind::Exact,
-                key_width: 64,
-                value_width: 32,
-                depth: 1024,
-                stateful: true,
-            }),
+            ObjectDecl::new(
+                "cache",
+                ObjectKind::Table {
+                    match_kind: MatchKind::Exact,
+                    key_width: 128,
+                    value_width: 512,
+                    depth: 5000,
+                    stateful: false,
+                },
+            ),
+            ObjectDecl::new(
+                "acl",
+                ObjectKind::Table {
+                    match_kind: MatchKind::Ternary,
+                    key_width: 32,
+                    value_width: 8,
+                    depth: 100,
+                    stateful: false,
+                },
+            ),
+            ObjectDecl::new(
+                "route",
+                ObjectKind::Table {
+                    match_kind: MatchKind::Lpm,
+                    key_width: 32,
+                    value_width: 16,
+                    depth: 1000,
+                    stateful: false,
+                },
+            ),
+            ObjectDecl::new(
+                "mirror_sess",
+                ObjectKind::Table {
+                    match_kind: MatchKind::Index,
+                    key_width: 8,
+                    value_width: 16,
+                    depth: 16,
+                    stateful: false,
+                },
+            ),
+            ObjectDecl::new(
+                "flowtab",
+                ObjectKind::Table {
+                    match_kind: MatchKind::Exact,
+                    key_width: 64,
+                    value_width: 32,
+                    depth: 1024,
+                    stateful: true,
+                },
+            ),
             ObjectDecl::new("agg", ObjectKind::Array { rows: 1, size: 5000, width: 32 }),
-            ObjectDecl::new("cms", ObjectKind::Sketch {
-                kind: SketchKind::CountMin,
-                rows: 3,
-                cols: 1024,
-                width: 32,
-            }),
+            ObjectDecl::new(
+                "cms",
+                ObjectKind::Sketch { kind: SketchKind::CountMin, rows: 3, cols: 1024, width: 32 },
+            ),
             ObjectDecl::new("h", ObjectKind::Hash { algo: HashAlgo::Crc16, modulus: None }),
             ObjectDecl::new("enc", ObjectKind::Crypto { algo: crate::object::CryptoAlgo::Aes }),
         ]
@@ -308,10 +321,7 @@ mod tests {
         assert_eq!(classify(OpCode::Drop), CapabilityClass::Bbpf);
         assert_eq!(classify(OpCode::Forward), CapabilityClass::Bbpf);
         assert_eq!(classify(OpCode::Mirror { updates: vec![] }), CapabilityClass::Bapf);
-        assert_eq!(
-            classify(OpCode::Multicast { group: Operand::int(1) }),
-            CapabilityClass::Bapf
-        );
+        assert_eq!(classify(OpCode::Multicast { group: Operand::int(1) }), CapabilityClass::Bapf);
         assert_eq!(
             classify(OpCode::Hash { dest: "i".into(), object: "h".into(), keys: vec![] }),
             CapabilityClass::Baf
@@ -334,11 +344,8 @@ mod tests {
 
     #[test]
     fn unknown_object_defaults_to_stateful_array() {
-        let read = OpCode::ReadState {
-            dest: "v".into(),
-            object: "nonexistent".into(),
-            index: vec![],
-        };
+        let read =
+            OpCode::ReadState { dest: "v".into(), object: "nonexistent".into(), index: vec![] };
         assert_eq!(classify(read), CapabilityClass::Bso);
     }
 
@@ -353,8 +360,7 @@ mod tests {
 
     #[test]
     fn all_classes_unique_and_displayable() {
-        let mut names: Vec<String> =
-            CapabilityClass::ALL.iter().map(|c| c.to_string()).collect();
+        let mut names: Vec<String> = CapabilityClass::ALL.iter().map(|c| c.to_string()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 13);

@@ -39,11 +39,7 @@ impl ReadWriteSet {
         set.collect_op(&instr.op);
         // Filter out stateless function objects from the state set.
         set.state_objects.retain(|name| {
-            objects
-                .iter()
-                .find(|o| &o.name == name)
-                .map(|o| o.kind.is_stateful())
-                .unwrap_or(true)
+            objects.iter().find(|o| &o.name == name).map(|o| o.kind.is_stateful()).unwrap_or(true)
         });
         // Multi-row register arrays addressed with a *constant* row index are a
         // collection of independent register arrays: accesses to different rows
@@ -281,31 +277,43 @@ mod tests {
     fn prog() -> Vec<Instruction> {
         vec![
             // i0: idx = hash(h, hdr.seq)
-            Instruction::new(0, OpCode::Hash {
-                dest: "idx".into(),
-                object: "h".into(),
-                keys: vec![Operand::hdr("seq")],
-            }),
+            Instruction::new(
+                0,
+                OpCode::Hash {
+                    dest: "idx".into(),
+                    object: "h".into(),
+                    keys: vec![Operand::hdr("seq")],
+                },
+            ),
             // i1: cur = get(agg, idx)
-            Instruction::new(1, OpCode::ReadState {
-                dest: "cur".into(),
-                object: "agg".into(),
-                index: vec![Operand::var("idx")],
-            }),
+            Instruction::new(
+                1,
+                OpCode::ReadState {
+                    dest: "cur".into(),
+                    object: "agg".into(),
+                    index: vec![Operand::var("idx")],
+                },
+            ),
             // i2: new = cur + hdr.data
-            Instruction::new(2, OpCode::Alu {
-                dest: "new".into(),
-                op: AluOp::Add,
-                lhs: Operand::var("cur"),
-                rhs: Operand::hdr("data"),
-                float: false,
-            }),
+            Instruction::new(
+                2,
+                OpCode::Alu {
+                    dest: "new".into(),
+                    op: AluOp::Add,
+                    lhs: Operand::var("cur"),
+                    rhs: Operand::hdr("data"),
+                    float: false,
+                },
+            ),
             // i3: write(agg, idx, new)
-            Instruction::new(3, OpCode::WriteState {
-                object: "agg".into(),
-                index: vec![Operand::var("idx")],
-                value: vec![Operand::var("new")],
-            }),
+            Instruction::new(
+                3,
+                OpCode::WriteState {
+                    object: "agg".into(),
+                    index: vec![Operand::var("idx")],
+                    value: vec![Operand::var("new")],
+                },
+            ),
             // i4: (new > 0) ? fwd
             Instruction::guarded(
                 4,
@@ -357,14 +365,11 @@ mod tests {
     #[test]
     fn header_write_then_read_is_a_dependency() {
         let instrs = vec![
-            Instruction::new(0, OpCode::SetHeader {
-                field: "bitmap".into(),
-                value: Operand::int(3),
-            }),
-            Instruction::new(1, OpCode::Assign {
-                dest: "b".into(),
-                src: Operand::hdr("bitmap"),
-            }),
+            Instruction::new(
+                0,
+                OpCode::SetHeader { field: "bitmap".into(), value: Operand::int(3) },
+            ),
+            Instruction::new(1, OpCode::Assign { dest: "b".into(), src: Operand::hdr("bitmap") }),
         ];
         let edges = dependency_edges(&instrs, &[]);
         assert!(edges.contains(&(0, 1, DependencyKind::Data)));
@@ -373,11 +378,10 @@ mod tests {
     #[test]
     fn unknown_object_treated_as_stateful() {
         let instrs = vec![
-            Instruction::new(0, OpCode::ReadState {
-                dest: "a".into(),
-                object: "mystery".into(),
-                index: vec![],
-            }),
+            Instruction::new(
+                0,
+                OpCode::ReadState { dest: "a".into(), object: "mystery".into(), index: vec![] },
+            ),
             Instruction::new(1, OpCode::ClearState { object: "mystery".into() }),
         ];
         let edges = dependency_edges(&instrs, &[]);

@@ -37,7 +37,7 @@ pub use builder::ProgramBuilder;
 pub use capability::{classify_instruction, CapabilityClass, FunctionalUnit};
 pub use deps::{dependency_edges, DependencyKind, ReadWriteSet};
 pub use error::IrError;
-pub use instr::{AluOp, CmpOp, Guard, Instruction, InstrId, OpCode, Operand, Predicate};
+pub use instr::{AluOp, CmpOp, Guard, InstrId, Instruction, OpCode, Operand, Predicate};
 pub use object::{CryptoAlgo, HashAlgo, MatchKind, ObjectDecl, ObjectKind, SketchKind};
 pub use program::{HeaderFieldDecl, IrProgram};
 pub use resource::{Resource, ResourceVector};

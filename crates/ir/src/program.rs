@@ -66,10 +66,7 @@ impl IrProgram {
 
     /// Classify every instruction (paper Table 9), in program order.
     pub fn capability_classes(&self) -> Vec<CapabilityClass> {
-        self.instructions
-            .iter()
-            .map(|i| classify_instruction(i, &self.objects))
-            .collect()
+        self.instructions.iter().map(|i| classify_instruction(i, &self.objects)).collect()
     }
 
     /// The set of distinct capability classes required by the program.
@@ -84,10 +81,7 @@ impl IrProgram {
 
     /// Read/write set of every instruction, in program order.
     pub fn read_write_sets(&self) -> Vec<ReadWriteSet> {
-        self.instructions
-            .iter()
-            .map(|i| ReadWriteSet::of(i, &self.objects))
-            .collect()
+        self.instructions.iter().map(|i| ReadWriteSet::of(i, &self.objects)).collect()
     }
 
     /// The longest chain length in the data-dependency DAG (the "dependency"
@@ -220,40 +214,48 @@ mod tests {
 
     fn sample() -> IrProgram {
         let mut p = IrProgram::new("test");
-        p.objects.push(ObjectDecl::new("agg", ObjectKind::Array {
-            rows: 1,
-            size: 64,
-            width: 32,
-        }));
-        p.objects.push(ObjectDecl::new("h", ObjectKind::Hash {
-            algo: HashAlgo::Crc16,
-            modulus: Some(64),
-        }));
+        p.objects.push(ObjectDecl::new("agg", ObjectKind::Array { rows: 1, size: 64, width: 32 }));
+        p.objects.push(ObjectDecl::new(
+            "h",
+            ObjectKind::Hash { algo: HashAlgo::Crc16, modulus: Some(64) },
+        ));
         p.headers.push(HeaderFieldDecl::new("seq", ValueType::Bit(32)));
         p.headers.push(HeaderFieldDecl::new("data", ValueType::Bit(32)));
         p.instructions = vec![
-            Instruction::new(0, OpCode::Hash {
-                dest: "idx".into(),
-                object: "h".into(),
-                keys: vec![Operand::hdr("seq")],
-            }),
-            Instruction::new(1, OpCode::ReadState {
-                dest: "cur".into(),
-                object: "agg".into(),
-                index: vec![Operand::var("idx")],
-            }),
-            Instruction::new(2, OpCode::Alu {
-                dest: "sum".into(),
-                op: AluOp::Add,
-                lhs: Operand::var("cur"),
-                rhs: Operand::hdr("data"),
-                float: false,
-            }),
-            Instruction::new(3, OpCode::WriteState {
-                object: "agg".into(),
-                index: vec![Operand::var("idx")],
-                value: vec![Operand::var("sum")],
-            }),
+            Instruction::new(
+                0,
+                OpCode::Hash {
+                    dest: "idx".into(),
+                    object: "h".into(),
+                    keys: vec![Operand::hdr("seq")],
+                },
+            ),
+            Instruction::new(
+                1,
+                OpCode::ReadState {
+                    dest: "cur".into(),
+                    object: "agg".into(),
+                    index: vec![Operand::var("idx")],
+                },
+            ),
+            Instruction::new(
+                2,
+                OpCode::Alu {
+                    dest: "sum".into(),
+                    op: AluOp::Add,
+                    lhs: Operand::var("cur"),
+                    rhs: Operand::hdr("data"),
+                    float: false,
+                },
+            ),
+            Instruction::new(
+                3,
+                OpCode::WriteState {
+                    object: "agg".into(),
+                    index: vec![Operand::var("idx")],
+                    value: vec![Operand::var("sum")],
+                },
+            ),
             Instruction::new(4, OpCode::Forward),
         ];
         p
@@ -292,10 +294,7 @@ mod tests {
     #[test]
     fn duplicate_assignment_rejected() {
         let mut p = sample();
-        let dup = Instruction::new(5, OpCode::Assign {
-            dest: "sum".into(),
-            src: Operand::int(0),
-        });
+        let dup = Instruction::new(5, OpCode::Assign { dest: "sum".into(), src: Operand::int(0) });
         p.instructions.push(dup);
         match p.validate() {
             Err(IrError::DuplicateAssignment { var }) => assert_eq!(var, "sum"),

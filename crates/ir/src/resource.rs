@@ -128,10 +128,7 @@ impl ResourceVector {
 
     /// Whether every dimension of `self` fits within `capacity`.
     pub fn fits_within(&self, capacity: &ResourceVector) -> bool {
-        self.values
-            .iter()
-            .zip(capacity.values.iter())
-            .all(|(d, c)| *d <= *c + 1e-9)
+        self.values.iter().zip(capacity.values.iter()).all(|(d, c)| *d <= *c + 1e-9)
     }
 
     /// Whether the vector is (numerically) all zeros.
@@ -260,15 +257,12 @@ mod tests {
 
     #[test]
     fn indexing_and_builders() {
-        let v = ResourceVector::zero()
-            .with(Resource::SramBlocks, 4.0)
-            .with(Resource::HashUnits, 1.0);
+        let v =
+            ResourceVector::zero().with(Resource::SramBlocks, 4.0).with(Resource::HashUnits, 1.0);
         assert_eq!(v[Resource::SramBlocks], 4.0);
         assert_eq!(v[Resource::TcamBlocks], 0.0);
-        let w = ResourceVector::from_pairs(&[
-            (Resource::SramBlocks, 2.0),
-            (Resource::SramBlocks, 2.0),
-        ]);
+        let w =
+            ResourceVector::from_pairs(&[(Resource::SramBlocks, 2.0), (Resource::SramBlocks, 2.0)]);
         assert_eq!(w[Resource::SramBlocks], 4.0);
     }
 
@@ -294,9 +288,8 @@ mod tests {
 
     #[test]
     fn fits_within_capacity() {
-        let cap = ResourceVector::zero()
-            .with(Resource::SramBlocks, 10.0)
-            .with(Resource::TcamBlocks, 2.0);
+        let cap =
+            ResourceVector::zero().with(Resource::SramBlocks, 10.0).with(Resource::TcamBlocks, 2.0);
         let ok = ResourceVector::zero().with(Resource::SramBlocks, 10.0);
         let bad = ResourceVector::zero().with(Resource::TcamBlocks, 3.0);
         assert!(ok.fits_within(&cap));

@@ -278,9 +278,7 @@ impl<'a> Lexer<'a> {
             }
         };
         match kind {
-            TokenKind::LParen | TokenKind::LBracket | TokenKind::LBrace => {
-                self.bracket_depth += 1
-            }
+            TokenKind::LParen | TokenKind::LBracket | TokenKind::LBrace => self.bracket_depth += 1,
             TokenKind::RParen | TokenKind::RBracket | TokenKind::RBrace => {
                 self.bracket_depth = self.bracket_depth.saturating_sub(1)
             }
@@ -364,7 +362,8 @@ mod tests {
 
     #[test]
     fn keywords_and_operators() {
-        let k = kinds("for i in range(3):\n    vals += 1\n    if a != b and c <= d:\n        drop()\n");
+        let k =
+            kinds("for i in range(3):\n    vals += 1\n    if a != b and c <= d:\n        drop()\n");
         assert!(k.contains(&TokenKind::For));
         assert!(k.contains(&TokenKind::In));
         assert!(k.contains(&TokenKind::PlusAssign));

@@ -177,10 +177,7 @@ mod tests {
     fn recommendation_picks_the_binding_constraint() {
         let history = synthetic_cache_history(100_000, 40);
         let model = PerformanceModel::fit(&history).unwrap();
-        let reqs = [
-            Requirement { model, target: 0.5 },
-            Requirement { model, target: 0.9 },
-        ];
+        let reqs = [Requirement { model, target: 0.5 }, Requirement { model, target: 0.9 }];
         let x = recommend_parameter(&reqs, 1000.0, 200_000.0).unwrap();
         // the 0.9 target dominates
         assert!((model.predict(x) - 0.9).abs() < 0.02);

@@ -538,9 +538,8 @@ mod tests {
 
     #[test]
     fn parses_if_elif_else() {
-        let p = parse(
-            "if hdr.op == 1:\n    x = 1\nelif hdr.op == 2:\n    x = 2\nelse:\n    x = 3\n",
-        );
+        let p =
+            parse("if hdr.op == 1:\n    x = 1\nelif hdr.op == 2:\n    x = 2\nelse:\n    x = 3\n");
         match &p.stmts[0] {
             Stmt::If { cond, body, orelse } => {
                 assert!(matches!(cond, Expr::Compare { .. }));

@@ -81,12 +81,15 @@ impl Template {
             "MLAgg" => {
                 let depth = profile.performance.min_of("depth").unwrap_or(5000.0) as u32;
                 let dims = profile.performance.min_of("dims").unwrap_or(24.0) as u32;
-                Some(mlagg_template(name, MlAggParams {
-                    num_aggregators: depth,
-                    dims,
-                    is_float: profile.performance.flag("is_float"),
-                    ..MlAggParams::default()
-                }))
+                Some(mlagg_template(
+                    name,
+                    MlAggParams {
+                        num_aggregators: depth,
+                        dims,
+                        is_float: profile.performance.flag("is_float"),
+                        ..MlAggParams::default()
+                    },
+                ))
             }
             "DQAcc" => {
                 let depth = profile.performance.min_of("c_depth").unwrap_or(5000.0) as u32;
@@ -144,10 +147,7 @@ pub fn kvs_template(name: &str, p: KvsParams) -> Template {
         32 * p.value_dims,
         p.cache_depth
     ));
-    src.push_str(&format!(
-        "hits = Array(row=1, size={}, w=32)\n",
-        p.cache_depth
-    ));
+    src.push_str(&format!("hits = Array(row=1, size={}, w=32)\n", p.cache_depth));
     src.push_str(&format!(
         "cms = Sketch(type=\"count-min\", rows={}, cols={}, w=32)\n",
         p.cms_rows, p.cms_cols
@@ -156,10 +156,7 @@ pub fn kvs_template(name: &str, p: KvsParams) -> Template {
         "bf = Sketch(type=\"bloom-filter\", rows=1, cols={}, w=1)\n",
         p.bloom_bits
     ));
-    src.push_str(&format!(
-        "hidx = Hash(type=\"crc_16\", key=hdr.key, ceil={})\n",
-        p.cache_depth
-    ));
+    src.push_str(&format!("hidx = Hash(type=\"crc_16\", key=hdr.key, ceil={})\n", p.cache_depth));
     src.push_str("if hdr.op == REQUEST:\n");
     src.push_str("    vals = get(cache, hdr.key)\n");
     src.push_str("    if vals != None:\n");
@@ -227,10 +224,7 @@ pub fn mlagg_template(name: &str, p: MlAggParams) -> Template {
         "bitmap_t = Array(row=1, size={}, w={})\n",
         p.num_aggregators, p.num_workers
     ));
-    src.push_str(&format!(
-        "agg_data_t = Array(row={dims}, size={}, w=32)\n",
-        p.num_aggregators
-    ));
+    src.push_str(&format!("agg_data_t = Array(row={dims}, size={}, w=32)\n", p.num_aggregators));
     src.push_str(&format!("valid_t = Array(row=1, size={}, w=1)\n", p.num_aggregators));
     src.push_str(&format!(
         "hash_f = Hash(type=\"crc_16\", key=hdr.seq, ceil={})\n",
@@ -322,10 +316,7 @@ pub fn dqacc_template(name: &str, p: DqAccParams) -> Template {
     src.push_str(&format!("WAYS = {}\n", p.ways));
     src.push_str(&format!("cache = Array(row={}, size={}, w=32)\n", p.ways, p.depth));
     src.push_str(&format!("roller = Array(row=1, size={}, w=8)\n", p.depth));
-    src.push_str(&format!(
-        "hidx = Hash(type=\"crc_16\", key=hdr.value, ceil={})\n",
-        p.depth
-    ));
+    src.push_str(&format!("hidx = Hash(type=\"crc_16\", key=hdr.value, ceil={})\n", p.depth));
     src.push_str("slot = get(hidx, hdr.value)\n");
     src.push_str("found = 0\n");
     for w in 0..p.ways {
@@ -371,12 +362,13 @@ pub fn count_min_sketch(name: &str, rows: u32, cols: u32) -> Template {
 /// dense remainder to an MLAgg template instance.
 ///
 /// `block_num * block_size` must equal the MLAgg `dims` parameter.
-pub fn mlagg_sparse_user(name: &str, mlagg: MlAggParams, block_num: u32, block_size: u32) -> Template {
-    assert_eq!(
-        block_num * block_size,
-        mlagg.dims,
-        "sparse blocks must tile the parameter vector"
-    );
+pub fn mlagg_sparse_user(
+    name: &str,
+    mlagg: MlAggParams,
+    block_num: u32,
+    block_size: u32,
+) -> Template {
+    assert_eq!(block_num * block_size, mlagg.dims, "sparse blocks must tile the parameter vector");
     let mut src = String::new();
     src.push_str(&format!(
         "agg = MLAgg(row={}, dim={}, workers={}, is_convert={})\n",
@@ -419,7 +411,8 @@ mod tests {
         parse(&kvs.source).expect("KVS parses");
         let mlagg = mlagg_template("mlagg_0", MlAggParams::default());
         parse(&mlagg.source).expect("MLAgg parses");
-        let mlagg_f = mlagg_template("mlagg_f", MlAggParams { is_float: true, ..Default::default() });
+        let mlagg_f =
+            mlagg_template("mlagg_f", MlAggParams { is_float: true, ..Default::default() });
         parse(&mlagg_f.source).expect("float MLAgg parses");
         let dqacc = dqacc_template("dqacc_0", DqAccParams::default());
         parse(&dqacc.source).expect("DQAcc parses");

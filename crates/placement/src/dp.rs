@@ -221,14 +221,7 @@ pub fn place(
     while let Some((u, k)) = stack.pop() {
         let choice = tables[u][k].as_ref().expect("reconstruction follows feasible choices");
         let j = choice.split;
-        assignments.push(make_assignment(
-            &net.client[u],
-            dag,
-            &order,
-            j,
-            k,
-            &choice.alloc,
-        ));
+        assignments.push(make_assignment(&net.client[u], dag, &order, j, k, &choice.alloc));
         for &c in &net.client_children[u] {
             if j > 0 && j < n {
                 comm_cost += cuts[j];
@@ -366,7 +359,10 @@ mod tests {
     #[test]
     fn mlagg_and_dqacc_place_on_chains() {
         for (name, source) in [
-            ("mlagg", mlagg_template("mlagg", MlAggParams { dims: 8, ..Default::default() }).source),
+            (
+                "mlagg",
+                mlagg_template("mlagg", MlAggParams { dims: 8, ..Default::default() }).source,
+            ),
             ("dqacc", dqacc_template("dqacc", DqAccParams { depth: 2000, ways: 4 }).source),
         ] {
             let (ir, dag) = compile(name, &source);
@@ -379,7 +375,10 @@ mod tests {
 
     #[test]
     fn float_mlagg_cannot_place_on_tofino_only() {
-        let t = mlagg_template("mlagg_f", MlAggParams { dims: 4, is_float: true, ..Default::default() });
+        let t = mlagg_template(
+            "mlagg_f",
+            MlAggParams { dims: 4, is_float: true, ..Default::default() },
+        );
         let (ir, dag) = compile("mlagg_f", &t.source);
         let (_, net) = chain_network(4, DeviceKind::Tofino);
         assert_eq!(
@@ -415,7 +414,10 @@ mod tests {
 
     #[test]
     fn multi_path_fat_tree_replicates_blocks_on_branches() {
-        let t = mlagg_template("mlagg", MlAggParams { dims: 4, num_aggregators: 512, ..Default::default() });
+        let t = mlagg_template(
+            "mlagg",
+            MlAggParams { dims: 4, num_aggregators: 512, ..Default::default() },
+        );
         let (ir, dag) = compile("mlagg", &t.source);
         let topo = Topology::device_equal_fat_tree(4, DeviceKind::Tofino);
         let net = network(&topo, &["pod0_s0", "pod1_s0"], "pod2_s0");

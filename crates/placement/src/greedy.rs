@@ -48,10 +48,8 @@ pub fn place_greedy(
         // largest feasible extension on this device
         let mut best: Option<(usize, crate::intra::StageAllocation)> = None;
         for k in (placed + 1..=n).rev() {
-            let instrs: Vec<usize> = order[placed..k]
-                .iter()
-                .flat_map(|b| dag.blocks()[*b].instrs.clone())
-                .collect();
+            let instrs: Vec<usize> =
+                order[placed..k].iter().flat_map(|b| dag.blocks()[*b].instrs.clone()).collect();
             if let Some(alloc) = allocate_stages(device, program, &instrs) {
                 best = Some((k, alloc));
                 break;

@@ -39,7 +39,11 @@ pub struct StageAllocation {
 impl StageAllocation {
     /// An empty allocation.
     pub fn empty() -> StageAllocation {
-        StageAllocation { stage_of: BTreeMap::new(), stages_used: 0, demand: ResourceVector::zero() }
+        StageAllocation {
+            stage_of: BTreeMap::new(),
+            stages_used: 0,
+            demand: ResourceVector::zero(),
+        }
     }
 
     /// Number of instructions allocated.
@@ -120,7 +124,9 @@ pub fn allocate_stages(
         let demand = instruction_demand(model, program, instr);
         let min_stage = preds
             .get(&i)
-            .map(|ps| ps.iter().map(|p| stage_of.get(p).map(|s| s + 1).unwrap_or(0)).max().unwrap_or(0))
+            .map(|ps| {
+                ps.iter().map(|p| stage_of.get(p).map(|s| s + 1).unwrap_or(0)).max().unwrap_or(0)
+            })
             .unwrap_or(0);
         let mut placed = false;
         for s in min_stage..stages {

@@ -62,15 +62,19 @@ mod proptests {
             let v = format!("v{i}");
             match byte % 3 {
                 0 => {
-                    let lhs =
-                        prev.clone().map(Operand::var).unwrap_or_else(|| Operand::hdr("seq"));
+                    let lhs = prev.clone().map(Operand::var).unwrap_or_else(|| Operand::hdr("seq"));
                     b.alu(&v, AluOp::Add, lhs, Operand::int(i64::from(*byte)));
                 }
                 1 => {
                     b.hash(&v, "h", vec![Operand::hdr("seq")]);
                 }
                 _ => {
-                    b.count(Some(&v), "state", vec![Operand::int(i64::from(*byte))], Operand::int(1));
+                    b.count(
+                        Some(&v),
+                        "state",
+                        vec![Operand::int(i64::from(*byte))],
+                        Operand::int(1),
+                    );
                 }
             }
             prev = Some(v);

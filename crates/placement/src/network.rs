@@ -84,7 +84,11 @@ pub struct PlacementDevice {
 
 impl PlacementDevice {
     /// Build from a reduced-topology EC node and the ledger.
-    fn from_reduced(topo: &Topology, node: &clickinc_topology::ReducedNode, ledger: &ResourceLedger) -> PlacementDevice {
+    fn from_reduced(
+        topo: &Topology,
+        node: &clickinc_topology::ReducedNode,
+        ledger: &ResourceLedger,
+    ) -> PlacementDevice {
         let model = node.kind.model();
         let bypass = node.bypass.map(|k| k.model());
         // EC members are symmetric; the usable capacity is bounded by the most
@@ -166,24 +170,13 @@ impl PlacementNetwork {
         reduced: &ReducedTopology,
         ledger: &ResourceLedger,
     ) -> PlacementNetwork {
-        let client: Vec<PlacementDevice> = reduced
-            .client
-            .iter()
-            .map(|n| PlacementDevice::from_reduced(topo, n, ledger))
-            .collect();
+        let client: Vec<PlacementDevice> =
+            reduced.client.iter().map(|n| PlacementDevice::from_reduced(topo, n, ledger)).collect();
         let client_children: Vec<Vec<usize>> =
             reduced.client.iter().map(|n| n.children.clone()).collect();
-        let server: Vec<PlacementDevice> = reduced
-            .server
-            .iter()
-            .map(|n| PlacementDevice::from_reduced(topo, n, ledger))
-            .collect();
-        PlacementNetwork {
-            client,
-            client_children,
-            client_root: reduced.client_root,
-            server,
-        }
+        let server: Vec<PlacementDevice> =
+            reduced.server.iter().map(|n| PlacementDevice::from_reduced(topo, n, ledger)).collect();
+        PlacementNetwork { client, client_children, client_root: reduced.client_root, server }
     }
 
     /// All devices: client tree first, then the server chain.
@@ -225,9 +218,7 @@ impl PlacementNetwork {
 
     /// Indices of the client-tree leaves.
     pub fn client_leaves(&self) -> Vec<usize> {
-        (0..self.client.len())
-            .filter(|i| self.client_children[*i].is_empty())
-            .collect()
+        (0..self.client.len()).filter(|i| self.client_children[*i].is_empty()).collect()
     }
 
     /// Total free capacity across all devices (used for normalizing h_r).
@@ -308,11 +299,7 @@ mod tests {
         let dst = topo.find("pod2b").unwrap();
         let reduced = reduce_for_traffic(&topo, &[src], dst, &[]);
         let net = PlacementNetwork::from_reduced(&topo, &reduced, &ResourceLedger::new());
-        let dst_agg = net
-            .server
-            .iter()
-            .find(|d| d.tier == Tier::Agg)
-            .expect("server-side agg EC");
+        let dst_agg = net.server.iter().find(|d| d.tier == Tier::Agg).expect("server-side agg EC");
         assert!(dst_agg.bypass.is_some());
         // the TD4 base model cannot do floating point, the attached FPGA can
         assert!(dst_agg.supports(clickinc_ir::CapabilityClass::Bca));

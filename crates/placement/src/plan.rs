@@ -120,11 +120,7 @@ pub struct PlacementPlan {
 impl PlacementPlan {
     /// Names of the devices that received at least one instruction.
     pub fn devices_used(&self) -> Vec<&str> {
-        self.assignments
-            .iter()
-            .filter(|a| !a.is_empty())
-            .map(|a| a.device.as_str())
-            .collect()
+        self.assignments.iter().filter(|a| !a.is_empty()).map(|a| a.device.as_str()).collect()
     }
 
     /// Instruction counts per non-empty device, in traffic order
@@ -140,11 +136,7 @@ impl PlacementPlan {
     /// Stage counts per non-empty device, in traffic order
     /// (the "stages" column of Table 4).
     pub fn stages_per_device(&self) -> Vec<usize> {
-        self.assignments
-            .iter()
-            .filter(|a| !a.is_empty())
-            .map(|a| a.stages_used)
-            .collect()
+        self.assignments.iter().filter(|a| !a.is_empty()).map(|a| a.stages_used).collect()
     }
 
     /// Total instructions placed (counting each snippet once, not per replica).
@@ -199,11 +191,8 @@ impl PlacementPlan {
                 a.device
             );
             // blocks and instruction lists agree
-            let mut expected: Vec<usize> = a
-                .blocks
-                .iter()
-                .flat_map(|b| dag.blocks()[b.0].instrs.clone())
-                .collect();
+            let mut expected: Vec<usize> =
+                a.blocks.iter().flat_map(|b| dag.blocks()[b.0].instrs.clone()).collect();
             expected.sort_unstable();
             let mut actual = a.instrs.clone();
             actual.sort_unstable();
@@ -212,8 +201,7 @@ impl PlacementPlan {
         // full coverage: every block appears on every path from a client leaf
         let order = dag.blocks_by_step();
         for leaf in net.client_leaves() {
-            let path: Vec<String> =
-                net.path_through(leaf).iter().map(|d| d.name.clone()).collect();
+            let path: Vec<String> = net.path_through(leaf).iter().map(|d| d.name.clone()).collect();
             let mut covered: Vec<usize> = Vec::new();
             for device in &path {
                 for a in self.assignments.iter().filter(|a| &a.device == device) {
@@ -224,10 +212,7 @@ impl PlacementPlan {
             covered.dedup();
             let mut expected: Vec<usize> = order.clone();
             expected.sort_unstable();
-            assert_eq!(
-                covered, expected,
-                "path through leaf {leaf} does not cover every block"
-            );
+            assert_eq!(covered, expected, "path through leaf {leaf} does not cover every block");
         }
     }
 }
@@ -237,7 +222,11 @@ impl fmt::Display for PlacementPlan {
         writeln!(
             f,
             "placement of `{}`: gain={:.4} (h_t={:.2}, h_r={:.4}, h_p={:.4}), {:?}",
-            self.program, self.gain, self.traffic_served, self.resource_cost, self.comm_cost,
+            self.program,
+            self.gain,
+            self.traffic_served,
+            self.resource_cost,
+            self.comm_cost,
             self.solve_time
         )?;
         for a in self.assignments.iter().filter(|a| !a.is_empty()) {

@@ -41,7 +41,11 @@ pub struct SmtConfig {
 
 impl Default for SmtConfig {
     fn default() -> Self {
-        SmtConfig { weights: Weights::default(), time_limit: Duration::from_secs(120), optimize: true }
+        SmtConfig {
+            weights: Weights::default(),
+            time_limit: Duration::from_secs(120),
+            optimize: true,
+        }
     }
 }
 
@@ -112,10 +116,8 @@ pub fn place_smt(
         } else {
             let blocks: Vec<BlockId> =
                 blocks_here.iter().map(|&p| dag.blocks()[order[p]].id).collect();
-            let mut instrs: Vec<usize> = blocks_here
-                .iter()
-                .flat_map(|&p| dag.blocks()[order[p]].instrs.clone())
-                .collect();
+            let mut instrs: Vec<usize> =
+                blocks_here.iter().flat_map(|&p| dag.blocks()[order[p]].instrs.clone()).collect();
             instrs.sort_unstable();
             let alloc = allocate_stages(device, program, &instrs)
                 .expect("feasible assignments re-allocate successfully");
@@ -231,8 +233,9 @@ impl<'a> Search<'a> {
             }
             match allocate_stages(&self.devices[dev], self.program, &instrs) {
                 Some(alloc) => {
-                    resource_cost += alloc.demand.scaled(self.devices[dev].replication() as f64).total()
-                        / self.cap_norm;
+                    resource_cost +=
+                        alloc.demand.scaled(self.devices[dev].replication() as f64).total()
+                            / self.cap_norm;
                 }
                 None => return,
             }
@@ -317,13 +320,9 @@ mod tests {
         let dag = build_block_dag(&ir, &BlockConfig::default());
         let net = chain_net(3);
         let (opt, opt_stats) = place_smt(&ir, &dag, &net, &SmtConfig::default()).unwrap();
-        let (first, first_stats) = place_smt(
-            &ir,
-            &dag,
-            &net,
-            &SmtConfig { optimize: false, ..Default::default() },
-        )
-        .unwrap();
+        let (first, first_stats) =
+            place_smt(&ir, &dag, &net, &SmtConfig { optimize: false, ..Default::default() })
+                .unwrap();
         assert!(first_stats.nodes_explored <= opt_stats.nodes_explored);
         assert!(opt.gain >= first.gain - 1e-9);
     }

@@ -45,30 +45,19 @@ pub fn base_program() -> BaseProgram {
     head.cmp("valid_eth", CmpOp::Eq, Operand::hdr("ethertype"), Operand::int(0x0800));
     head.cmp("valid_ip", CmpOp::Eq, Operand::hdr("ip_version"), Operand::int(4));
     head.cmp("ttl_ok", CmpOp::Gt, Operand::hdr("ip_ttl"), Operand::int(0));
-    head.guarded(
-        Predicate::new(Operand::var("valid_eth"), CmpOp::Eq, Operand::int(0)),
-        |b| {
-            b.drop_packet();
-        },
-    );
-    head.guarded(
-        Predicate::new(Operand::var("ttl_ok"), CmpOp::Eq, Operand::int(0)),
-        |b| {
-            b.drop_packet();
-        },
-    );
+    head.guarded(Predicate::new(Operand::var("valid_eth"), CmpOp::Eq, Operand::int(0)), |b| {
+        b.drop_packet();
+    });
+    head.guarded(Predicate::new(Operand::var("ttl_ok"), CmpOp::Eq, Operand::int(0)), |b| {
+        b.drop_packet();
+    });
     let head = head.build();
 
     let mut tail = ProgramBuilder::new("base_tail");
     tail.table("ipv4_lpm", clickinc_ir::MatchKind::Lpm, 32, 16, 1024, false);
     tail.array("port_counters", 1, 256, 64);
     tail.get("egress_port", "ipv4_lpm", vec![Operand::hdr("ip_dst")]);
-    tail.alu(
-        "new_ttl",
-        clickinc_ir::AluOp::Sub,
-        Operand::hdr("ip_ttl"),
-        Operand::int(1),
-    );
+    tail.alu("new_ttl", clickinc_ir::AluOp::Sub, Operand::hdr("ip_ttl"), Operand::int(1));
     tail.set_header("ip_ttl", Operand::var("new_ttl"));
     tail.count(None, "port_counters", vec![Operand::var("egress_port")], Operand::int(1));
     tail.forward();
@@ -101,11 +90,7 @@ mod tests {
     #[test]
     fn head_validates_tail_forwards() {
         let base = base_program();
-        assert!(base
-            .head
-            .instructions
-            .iter()
-            .any(|i| matches!(i.op, clickinc_ir::OpCode::Drop)));
+        assert!(base.head.instructions.iter().any(|i| matches!(i.op, clickinc_ir::OpCode::Drop)));
         assert!(base
             .tail
             .instructions

@@ -9,8 +9,8 @@
 //! which devices, co-resident INC programs and traffic (pods) each operation
 //! affected, which is exactly what Table 6 reports.
 
-use crate::merge::merge_programs;
 use crate::base::BaseProgram;
+use crate::merge::merge_programs;
 use clickinc_ir::{IrProgram, OpCode};
 use clickinc_placement::PlacementPlan;
 use clickinc_topology::NodeId;
@@ -79,11 +79,8 @@ pub fn add_user_program(
             .filter(|o| needed_objects.contains(o.name.as_str()))
             .cloned()
             .collect();
-        snippet.instructions = assignment
-            .instrs
-            .iter()
-            .map(|&i| user_program.instructions[i].clone())
-            .collect();
+        snippet.instructions =
+            assignment.instrs.iter().map(|&i| user_program.instructions[i].clone()).collect();
 
         for &member in &assignment.members {
             delta.affected_devices.insert(member);
@@ -95,10 +92,7 @@ pub fn add_user_program(
             // Table 6 counts co-residents whose *image* is rebuilt.  With
             // incremental merge the image is extended in place, so co-residents
             // are NOT counted here (that is the difference from monolithic).
-            let entry = images
-                .images
-                .entry(member)
-                .or_insert_with(|| merge_programs(base, &[]));
+            let entry = images.images.entry(member).or_insert_with(|| merge_programs(base, &[]));
             extend_image(entry, &snippet);
         }
     }
@@ -209,12 +203,8 @@ fn extend_image(image: &mut IrProgram, snippet: &IrProgram) {
         }
     }
     // find the start of the base tail: the last run of base-owned instructions
-    let tail_start = image
-        .instructions
-        .iter()
-        .rposition(|i| !i.is_base())
-        .map(|p| p + 1)
-        .unwrap_or_else(|| {
+    let tail_start =
+        image.instructions.iter().rposition(|i| !i.is_base()).map(|p| p + 1).unwrap_or_else(|| {
             // no user instructions yet: insert before the trailing forward/count
             image
                 .instructions
@@ -273,7 +263,13 @@ mod tests {
         Setup { topo, pod_of }
     }
 
-    fn place_user(setup: &Setup, name: &str, id: i64, sources: &[&str], dst: &str) -> (IrProgram, PlacementPlan) {
+    fn place_user(
+        setup: &Setup,
+        name: &str,
+        id: i64,
+        sources: &[&str],
+        dst: &str,
+    ) -> (IrProgram, PlacementPlan) {
         let t = if name.starts_with("kvs") {
             kvs_template(name, KvsParams { cache_depth: 2000, ..Default::default() })
         } else {

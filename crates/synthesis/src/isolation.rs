@@ -213,8 +213,7 @@ mod tests {
     fn existing_guards_are_preserved_after_the_user_match() {
         let t = kvs_template("kvs", KvsParams::default());
         let ir = compile_source("kvs", &t.source).unwrap();
-        let guarded_before =
-            ir.instructions.iter().filter(|i| i.guard.is_some()).count();
+        let guarded_before = ir.instructions.iter().filter(|i| i.guard.is_some()).count();
         let isolated = isolate_user_program(&ir, "kvs_0", 3);
         for (orig, new) in ir.instructions.iter().zip(&isolated.instructions) {
             let new_len = new.guard.as_ref().unwrap().all.len();

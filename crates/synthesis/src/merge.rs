@@ -27,9 +27,7 @@ impl ParseTree {
 
     /// Add a state; no-op if it already exists (the owner annotation is added).
     pub fn add_state(&mut self, name: &str, parent: Option<&str>, owner: Option<&str>) {
-        self.parents
-            .entry(name.to_string())
-            .or_insert_with(|| parent.map(str::to_string));
+        self.parents.entry(name.to_string()).or_insert_with(|| parent.map(str::to_string));
         let owners = self.owners.entry(name.to_string()).or_default();
         if let Some(o) = owner {
             if !owners.contains(&o.to_string()) {
@@ -183,11 +181,7 @@ mod tests {
             .iter()
             .position(|i| !i.is_base())
             .expect("user instructions present");
-        let last_user = image
-            .instructions
-            .iter()
-            .rposition(|i| !i.is_base())
-            .unwrap();
+        let last_user = image.instructions.iter().rposition(|i| !i.is_base()).unwrap();
         assert!(first_user >= base.head.len());
         assert!(last_user < image.len() - base.tail.len());
         // instruction ids are renumbered consecutively
@@ -203,7 +197,10 @@ mod tests {
         let b = user_ir("user_b", 2);
         let image = merge_programs(&base, &[a.clone(), b.clone()]);
         assert!(image.validate().is_ok());
-        assert_eq!(image.objects.len(), base.tail.objects.len() + a.objects.len() + b.objects.len());
+        assert_eq!(
+            image.objects.len(),
+            base.tail.objects.len() + a.objects.len() + b.objects.len()
+        );
         let owners = image.owners();
         assert!(owners.contains("user_a") && owners.contains("user_b"));
     }

@@ -43,11 +43,8 @@ pub fn assign_steps(dag: &BlockDag, plan: &PlacementPlan) -> StepAssignment {
     let mut steps_of_device = Vec::with_capacity(plan.assignments.len());
     let mut max_step = 0;
     for assignment in &plan.assignments {
-        let mut steps: Vec<usize> = assignment
-            .blocks
-            .iter()
-            .filter_map(|b| step_of_block.get(&b.0).copied())
-            .collect();
+        let mut steps: Vec<usize> =
+            assignment.blocks.iter().filter_map(|b| step_of_block.get(&b.0).copied()).collect();
         steps.sort_unstable();
         if let Some(&m) = steps.last() {
             max_step = max_step.max(m);
@@ -60,12 +57,15 @@ pub fn assign_steps(dag: &BlockDag, plan: &PlacementPlan) -> StepAssignment {
 /// The variables that must be carried in the `Param` field across each device
 /// boundary of the plan, and the total field width in bits (32 bits per
 /// temporary, matching the frontend's SSA temporaries).
-pub fn param_field_bits(program: &IrProgram, dag: &BlockDag, plan: &PlacementPlan) -> (BTreeMap<String, Vec<String>>, u32) {
+pub fn param_field_bits(
+    program: &IrProgram,
+    dag: &BlockDag,
+    plan: &PlacementPlan,
+) -> (BTreeMap<String, Vec<String>>, u32) {
     let sets = program.read_write_sets();
     let order = dag.blocks_by_step();
     // which position in the order does each block occupy
-    let pos_of: BTreeMap<usize, usize> =
-        order.iter().enumerate().map(|(p, b)| (*b, p)).collect();
+    let pos_of: BTreeMap<usize, usize> = order.iter().enumerate().map(|(p, b)| (*b, p)).collect();
 
     let mut per_boundary: BTreeMap<String, Vec<String>> = BTreeMap::new();
     let mut all_carried: BTreeSet<String> = BTreeSet::new();
@@ -75,13 +75,8 @@ pub fn param_field_bits(program: &IrProgram, dag: &BlockDag, plan: &PlacementPla
             continue;
         }
         let here: BTreeSet<usize> = assignment.blocks.iter().map(|b| b.0).collect();
-        let here_end = assignment
-            .blocks
-            .iter()
-            .filter_map(|b| pos_of.get(&b.0))
-            .max()
-            .copied()
-            .unwrap_or(0);
+        let here_end =
+            assignment.blocks.iter().filter_map(|b| pos_of.get(&b.0)).max().copied().unwrap_or(0);
         // variables defined here and read by any later block not on this device
         let mut carried: BTreeSet<String> = BTreeSet::new();
         for &block in &here {
@@ -161,7 +156,10 @@ mod tests {
         let (per_boundary, bits) = param_field_bits(&ir, &dag, &plan);
         // if the plan splits the program across devices, some temporaries cross
         if plan.devices_used().len() > 1 {
-            assert_eq!(bits as usize, per_boundary.values().flatten().collect::<BTreeSet<_>>().len() * 32);
+            assert_eq!(
+                bits as usize,
+                per_boundary.values().flatten().collect::<BTreeSet<_>>().len() * 32
+            );
         } else {
             assert_eq!(bits, per_boundary.values().flatten().count() as u32 * 32);
         }

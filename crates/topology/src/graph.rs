@@ -287,9 +287,8 @@ impl Topology {
         kind: DeviceKind,
     ) -> Topology {
         let mut t = Topology::new();
-        let spine_ids: Vec<NodeId> = (0..spines)
-            .map(|i| t.add_node(format!("Spine{i}"), Tier::Core, None, kind))
-            .collect();
+        let spine_ids: Vec<NodeId> =
+            (0..spines).map(|i| t.add_node(format!("Spine{i}"), Tier::Core, None, kind)).collect();
         for l in 0..leaves {
             let leaf = t.add_node(format!("Leaf{l}"), Tier::ToR, Some(l), kind);
             for s in &spine_ids {
@@ -363,12 +362,8 @@ impl Topology {
                 };
                 match nic_kind {
                     Some(kind) => {
-                        let nic = t.add_node(
-                            format!("nic_pod{pod}{suffix}"),
-                            Tier::Nic,
-                            Some(pod),
-                            kind,
-                        );
+                        let nic =
+                            t.add_node(format!("nic_pod{pod}{suffix}"), Tier::Nic, Some(pod), kind);
                         t.add_link(*tor, nic);
                         t.add_link(nic, server);
                     }

@@ -86,10 +86,7 @@ pub fn path_peak_tier(topo: &Topology, path: &[NodeId]) -> Option<Tier> {
 /// The programmable devices along a path (everything except the endpoint
 /// servers), in path order.
 pub fn programmable_hops(topo: &Topology, path: &[NodeId]) -> Vec<NodeId> {
-    path.iter()
-        .copied()
-        .filter(|n| topo.node(*n).tier.is_network_device())
-        .collect()
+    path.iter().copied().filter(|n| topo.node(*n).tier.is_network_device()).collect()
 }
 
 #[cfg(test)]

@@ -46,8 +46,7 @@ pub struct ReducedNode {
 impl ReducedNode {
     /// A printable label, e.g. `agg[Agg0,Agg1]`.
     pub fn label(&self, topo: &Topology) -> String {
-        let names: Vec<&str> =
-            self.members.iter().map(|m| topo.node(*m).name.as_str()).collect();
+        let names: Vec<&str> = self.members.iter().map(|m| topo.node(*m).name.as_str()).collect();
         format!("{}[{}]", self.tier, names.join(","))
     }
 }
@@ -106,11 +105,8 @@ pub fn reduce_for_traffic(
     weights: &[f64],
 ) -> ReducedTopology {
     assert!(!sources.is_empty(), "at least one traffic source is required");
-    let total_weight: f64 = if weights.len() == sources.len() {
-        weights.iter().sum()
-    } else {
-        sources.len() as f64
-    };
+    let total_weight: f64 =
+        if weights.len() == sources.len() { weights.iter().sum() } else { sources.len() as f64 };
     let weight_of = |i: usize| -> f64 {
         let w = if weights.len() == sources.len() { weights[i] } else { 1.0 };
         w / total_weight
@@ -143,16 +139,10 @@ pub fn reduce_for_traffic(
         let mut client_seen: BTreeMap<EcKey, Vec<NodeId>> = BTreeMap::new();
         let mut server_seen: Vec<(EcKey, Vec<NodeId>)> = Vec::new();
         let reference = &paths[0];
-        let peak_level = reference
-            .iter()
-            .map(|n| topo.node(*n).tier.level())
-            .max()
-            .unwrap_or(0);
+        let peak_level = reference.iter().map(|n| topo.node(*n).tier.level()).max().unwrap_or(0);
         for path in &paths {
-            let peak_pos = path
-                .iter()
-                .position(|n| topo.node(*n).tier.level() == peak_level)
-                .unwrap_or(0);
+            let peak_pos =
+                path.iter().position(|n| topo.node(*n).tier.level() == peak_level).unwrap_or(0);
             for (pos, node_id) in path.iter().enumerate() {
                 let node = topo.node(*node_id);
                 if !node.tier.is_network_device() {
@@ -201,22 +191,19 @@ pub fn reduce_for_traffic(
     }
 
     // ---- build the client-side sub-tree arena -------------------------------
-    let make_node = |topo: &Topology,
-                     members: &[NodeId],
-                     tier: Tier,
-                     pod: Option<usize>,
-                     traffic: f64| {
-        let first = topo.node(members[0]);
-        ReducedNode {
-            members: members.to_vec(),
-            kind: first.kind,
-            bypass: first.bypass,
-            tier,
-            pod,
-            children: Vec::new(),
-            traffic: traffic.min(1.0),
-        }
-    };
+    let make_node =
+        |topo: &Topology, members: &[NodeId], tier: Tier, pod: Option<usize>, traffic: f64| {
+            let first = topo.node(members[0]);
+            ReducedNode {
+                members: members.to_vec(),
+                kind: first.kind,
+                bypass: first.bypass,
+                tier,
+                pod,
+                children: Vec::new(),
+                traffic: traffic.min(1.0),
+            }
+        };
 
     let mut client: Vec<ReducedNode> = Vec::new();
     let mut index_of: BTreeMap<EcKey, usize> = BTreeMap::new();
@@ -249,26 +236,15 @@ pub fn reduce_for_traffic(
         }
     }
     // the root is the EC at the path peak (distance 0)
-    let client_root = keys
-        .iter()
-        .min_by_key(|(dist, _, _)| *dist)
-        .map(|k| index_of[k])
-        .unwrap_or(0);
+    let client_root =
+        keys.iter().min_by_key(|(dist, _, _)| *dist).map(|k| index_of[k]).unwrap_or(0);
 
     // ---- server-side chain ----------------------------------------------------
     let mut server_order = server_order;
     server_order.sort_by_key(|(dist, _, _)| *dist);
     let server: Vec<ReducedNode> = server_order
         .iter()
-        .map(|key| {
-            make_node(
-                topo,
-                &server_acc.members[key],
-                key.1,
-                key.2,
-                server_acc.traffic[key],
-            )
-        })
+        .map(|key| make_node(topo, &server_acc.members[key], key.1, key.2, server_acc.traffic[key]))
         .collect();
 
     ReducedTopology { client, client_root, server }
@@ -327,11 +303,8 @@ mod tests {
         let s1 = topo.find("pod1_s0").unwrap();
         let dst = topo.find("pod2_s0").unwrap();
         let reduced = reduce_for_traffic(&topo, &[s0, s1], dst, &[3.0, 1.0]);
-        let pod0_agg = reduced
-            .client
-            .iter()
-            .find(|n| n.tier == Tier::Agg && n.pod == Some(0))
-            .unwrap();
+        let pod0_agg =
+            reduced.client.iter().find(|n| n.tier == Tier::Agg && n.pod == Some(0)).unwrap();
         assert!((pod0_agg.traffic - 0.75).abs() < 1e-9);
     }
 
@@ -353,8 +326,10 @@ mod tests {
         let dst = topo.find("pod2b").unwrap();
         let reduced = reduce_for_traffic(&topo, &[src], dst, &[]);
         // the source-side NIC EC appears as a leaf
-        assert!(reduced.client.iter().any(|n| n.tier == Tier::Nic
-            && n.kind == DeviceKind::NfpSmartNic));
+        assert!(reduced
+            .client
+            .iter()
+            .any(|n| n.tier == Tier::Nic && n.kind == DeviceKind::NfpSmartNic));
         // destination Agg EC (pod 2) carries the bypass FPGA annotation
         let dst_agg = reduced.server.iter().find(|n| n.tier == Tier::Agg).unwrap();
         assert_eq!(dst_agg.bypass, Some(DeviceKind::FpgaAccelerator));

@@ -8,7 +8,9 @@ use clickinc_apps::fig13_configurations;
 use clickinc_emulator::run_aggregation_scenario;
 
 fn main() {
-    println!("=== Sparse gradient aggregation (Fig. 7 program) across Fig. 13 configurations ===\n");
+    println!(
+        "=== Sparse gradient aggregation (Fig. 7 program) across Fig. 13 configurations ===\n"
+    );
     println!(
         "{:<20} {:>15} {:>18} {:>17}",
         "Configuration", "Goodput (Gbps)", "INC latency (ns)", "Server packets"

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use clickinc::{Controller, ServiceRequest};
 use clickinc::topology::Topology;
+use clickinc::{Controller, ServiceRequest};
 
 fn main() {
     // The count-min-sketch module program of the paper's Fig. 1, written in the
@@ -31,7 +31,10 @@ forward()
 
     println!("compiled to {} IR instructions", deployment.program.len());
     println!("grouped into {} blocks", deployment.dag.len());
-    println!("placement gain: {:.4} (solve time {:.2?})", deployment.plan.gain, deployment.plan.solve_time);
+    println!(
+        "placement gain: {:.4} (solve time {:.2?})",
+        deployment.plan.gain, deployment.plan.solve_time
+    );
     for assignment in deployment.plan.assignments.iter().filter(|a| !a.is_empty()) {
         println!(
             "  -> {}: {} instructions in {} pipeline stages (steps {}..{})",
@@ -52,5 +55,8 @@ forward()
             program.language
         );
     }
-    println!("\nremaining network resources: {:.1}%", controller.remaining_resource_ratio() * 100.0);
+    println!(
+        "\nremaining network resources: {:.1}%",
+        controller.remaining_resource_ratio() * 100.0
+    );
 }

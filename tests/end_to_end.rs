@@ -21,7 +21,10 @@ fn full_pipeline_for_all_three_applications_on_the_emulation_topology() {
             "pod2b",
         ),
         ServiceRequest::from_template(
-            mlagg_template("mlagg_0", MlAggParams { dims: 8, num_aggregators: 1024, ..Default::default() }),
+            mlagg_template(
+                "mlagg_0",
+                MlAggParams { dims: 8, num_aggregators: 1024, ..Default::default() },
+            ),
             &["pod0b", "pod1b"],
             "pod2a",
         ),
@@ -61,7 +64,7 @@ fn deployed_kvs_serves_cache_hits_from_the_network() {
             "pod2b",
         ))
         .unwrap();
-    let user_numeric = 1;
+    let user_numeric = d.numeric_id;
     let devices: Vec<_> = d
         .plan
         .assignments
@@ -76,9 +79,7 @@ fn deployed_kvs_serves_cache_hits_from_the_network() {
         if !plane.store().contains("kvs_0_cache") {
             continue;
         }
-        plane
-            .store_mut()
-            .table_write("kvs_0_cache", &[Value::Int(5)], vec![Value::Int(5005)]);
+        plane.store_mut().table_write("kvs_0_cache", &[Value::Int(5)], vec![Value::Int(5005)]);
         let mut pkt = kvs_request("pod0a", "pod2b", user_numeric, 5);
         let outcome = plane.process(&mut pkt);
         assert_eq!(outcome.action, PacketAction::Back);
@@ -114,7 +115,8 @@ fn sparse_mlagg_user_program_deploys_and_aggregates_end_to_end() {
         let mut plane = plane.clone();
         let mut sums = vec![0i64; dims as usize];
         for w in 0..workers {
-            let values: Vec<i64> = (0..dims as i64).map(|x| if x < 4 { 0 } else { x + 1 }).collect();
+            let values: Vec<i64> =
+                (0..dims as i64).map(|x| if x < 4 { 0 } else { x + 1 }).collect();
             for (i, v) in values.iter().enumerate() {
                 sums[i] += v;
             }

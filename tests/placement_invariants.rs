@@ -5,7 +5,9 @@
 use clickinc_blockdag::{build_block_dag, BlockConfig};
 use clickinc_device::DeviceKind;
 use clickinc_frontend::compile_source;
-use clickinc_lang::templates::{dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams, MlAggParams};
+use clickinc_lang::templates::{
+    dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams, MlAggParams,
+};
 use clickinc_placement::{place, PlacementConfig, PlacementNetwork, ResourceLedger};
 use clickinc_topology::{reduce_for_traffic, Topology};
 use proptest::prelude::*;
@@ -18,11 +20,14 @@ fn template_source(which: u8, size: u32) -> (String, String) {
         ),
         1 => (
             "mlagg".to_string(),
-            mlagg_template("mlagg", MlAggParams {
-                dims: 4 + (size % 12),
-                num_aggregators: 256 + size,
-                ..Default::default()
-            })
+            mlagg_template(
+                "mlagg",
+                MlAggParams {
+                    dims: 4 + (size % 12),
+                    num_aggregators: 256 + size,
+                    ..Default::default()
+                },
+            )
             .source,
         ),
         _ => (

@@ -1,0 +1,127 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Provides the criterion 0.5 entry points the workspace uses —
+//! `Criterion::bench_function`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!` and `black_box` — with plain wall-clock timing (median
+//! of `sample_size` samples) instead of criterion's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        b.samples.sort();
+        let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or_default();
+        let (lo, hi) = (
+            b.samples.first().copied().unwrap_or_default(),
+            b.samples.last().copied().unwrap_or_default(),
+        );
+        println!("{id:<40} time: [{} {} {}]", fmt_ns(lo), fmt_ns(median), fmt_ns(hi));
+        self
+    }
+}
+
+pub struct Bencher {
+    /// Per-iteration time of each sample, in nanoseconds.
+    samples: Vec<u64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // warm-up, and calibrate how many iterations fill ~1ms
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let total = start.elapsed().as_nanos() as u64;
+            self.samples.push(total / iters);
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.2} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion 0.5's
+/// two invocation forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + black_box(3u64)))
+            .bench_function("smoke/count", |b| {
+                b.iter(|| {
+                    runs += 1;
+                    runs
+                })
+            });
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Supports plain non-generic structs with named fields. The only container
+//! attribute understood is none; the only field attribute understood is
+//! `#[serde(default)]` (a missing field takes `Default::default()` instead of
+//! erroring). This covers everything the workspace derives.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+/// Parse `struct Name { fields... }` out of the derive input. Returns the
+/// struct name and its named fields.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<Field>), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut name = None;
+    let mut body = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "struct" {
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected struct name".into()),
+                }
+                // Find the brace-delimited body; anything between the name and
+                // the body (generics, where clauses) is unsupported.
+                for tok in &tokens[i + 2..] {
+                    match tok {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            body = Some(g.stream());
+                            break;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            return Err("generic structs are not supported".into());
+                        }
+                        _ => {}
+                    }
+                }
+                break;
+            }
+        }
+        i += 1;
+    }
+    let name = name.ok_or("derive input is not a struct")?;
+    let body = body.ok_or("only structs with named fields are supported")?;
+
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut has_default = false;
+        // leading attributes (`#[...]`), including doc comments
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                let attr = g.stream().to_string();
+                if attr.starts_with("serde") && attr.contains("default") {
+                    has_default = true;
+                }
+                i += 2;
+            } else {
+                return Err("malformed attribute".into());
+            }
+        }
+        // optional visibility
+        if let Some(TokenTree::Ident(id)) = toks.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let field_name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{field_name}`")),
+        }
+        // skip the type: consume until a comma at angle-bracket depth 0
+        let mut depth = 0i32;
+        while let Some(tok) = toks.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name: field_name, has_default });
+    }
+    Ok((name, fields))
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(p) => p,
+        Err(e) => return error(&e),
+    };
+    let mut inserts = String::new();
+    for f in &fields {
+        inserts.push_str(&format!(
+            "__m.insert({:?}.to_string(), ::serde::Serialize::serialize_value(&self.{}));\n",
+            f.name, f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 let mut __m = ::std::collections::BTreeMap::new();\n\
+                 {inserts}\
+                 ::serde::Value::Obj(__m)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_struct(input) {
+        Ok(p) => p,
+        Err(e) => return error(&e),
+    };
+    let mut inits = String::new();
+    for f in &fields {
+        let missing = if f.has_default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::custom({:?}))",
+                format!("missing field `{}`", f.name)
+            )
+        };
+        inits.push_str(&format!(
+            "{}: match __obj.get({:?}) {{\n\
+                 ::std::option::Option::Some(__f) => ::serde::Deserialize::deserialize_value(__f)?,\n\
+                 ::std::option::Option::None => {missing},\n\
+             }},\n",
+            f.name, f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let __obj = match __v {{\n\
+                     ::serde::Value::Obj(__m) => __m,\n\
+                     _ => return ::std::result::Result::Err(::serde::DeError::custom(\n\
+                         concat!(\"expected object for \", stringify!({name})))),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
