@@ -1,0 +1,129 @@
+//! runtime_throughput — packets/sec through the sharded traffic engine.
+//!
+//! Eight co-resident MLAgg tenants share one ToR device.  With one shard,
+//! every packet walks all eight tenants' guarded instruction streams on a
+//! single worker; with N shards the tenants (and their state) are
+//! partitioned, so each worker scans only its own residents — the
+//! architectural win of tenant sharding, on top of thread parallelism on
+//! multi-core hosts.  Results are written to `BENCH_runtime.json` so the
+//! repo's performance trajectory accumulates across PRs.
+
+use clickinc::TenantHop;
+use clickinc_device::DeviceModel;
+use clickinc_frontend::compile_source;
+use clickinc_lang::templates::{mlagg_template, MlAggParams};
+use clickinc_runtime::workload::{MixedWorkload, MlAggWorkload, MlAggWorkloadConfig, Workload};
+use clickinc_runtime::{EngineConfig, TrafficEngine};
+use clickinc_synthesis::isolate_user_program;
+use serde::Serialize;
+use std::time::Instant;
+
+const TENANTS: usize = 8;
+const ROUNDS: usize = 1500;
+const WORKERS: usize = 4;
+const DIMS: u32 = 16;
+
+#[derive(Serialize)]
+struct ShardResult {
+    shards: usize,
+    elapsed_ms: f64,
+    packets_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    tenants: usize,
+    packets: usize,
+    results: Vec<ShardResult>,
+    speedup_best_vs_one_shard: f64,
+}
+
+fn tenant_hops(name: &str, id: i64) -> Vec<TenantHop> {
+    let t = mlagg_template(
+        name,
+        MlAggParams {
+            dims: DIMS,
+            num_workers: WORKERS as u32,
+            num_aggregators: 4096,
+            ..Default::default()
+        },
+    );
+    let ir = compile_source(name, &t.source).expect("template compiles");
+    vec![TenantHop {
+        device: "tor0".to_string(),
+        model: DeviceModel::tofino(),
+        snippets: vec![isolate_user_program(&ir, name, id)],
+    }]
+}
+
+fn run_once(shards: usize) -> (f64, usize) {
+    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 256 });
+    let handle = engine.handle();
+    let mut parts: Vec<Box<dyn Workload>> = Vec::new();
+    for i in 0..TENANTS {
+        let name = format!("tenant{i}");
+        let id = i as i64 + 1;
+        handle.add_tenant(&name, tenant_hops(&name, id));
+        parts.push(Box::new(MlAggWorkload::new(MlAggWorkloadConfig {
+            tenant: name,
+            user_id: id,
+            workers: WORKERS,
+            rounds: ROUNDS,
+            dims: DIMS as usize,
+            sparsity: 0.5,
+            block_size: 8,
+            rate_pps: 100_000_000.0,
+            seed: 42 + i as u64,
+        })));
+    }
+    let mut mixed = MixedWorkload::new(parts);
+
+    let start = Instant::now();
+    let sent = handle.run_workload(&mut mixed, usize::MAX, 256);
+    handle.flush();
+    let elapsed = start.elapsed().as_secs_f64();
+    let outcome = engine.finish();
+    let completed: u64 = outcome.telemetry.tenants.values().map(|t| t.completed).sum();
+    assert_eq!(completed as usize, sent, "every packet completes");
+    (elapsed, sent)
+}
+
+fn main() {
+    println!("== runtime_throughput: {TENANTS} co-resident MLAgg tenants, 1 vs N shards ==");
+    println!("{:>8} {:>12} {:>16}", "shards", "elapsed", "packets/sec");
+    let mut results = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        // best of two runs to shave scheduler noise
+        let (mut elapsed, mut packets) = run_once(shards);
+        let (e2, p2) = run_once(shards);
+        if e2 < elapsed {
+            elapsed = e2;
+            packets = p2;
+        }
+        let pps = packets as f64 / elapsed.max(1e-9);
+        println!("{shards:>8} {:>10.1}ms {pps:>16.0}", elapsed * 1e3);
+        results.push(ShardResult { shards, elapsed_ms: elapsed * 1e3, packets_per_sec: pps });
+    }
+
+    let one = results[0].packets_per_sec;
+    let best = results.iter().map(|r| r.packets_per_sec).fold(0.0f64, f64::max);
+    let speedup = best / one.max(1e-9);
+    println!(
+        "best N-shard throughput is {speedup:.2}x the 1-shard baseline ({})",
+        if speedup > 1.0 { "sharding wins" } else { "REGRESSION" }
+    );
+
+    let report = BenchReport {
+        bench: "runtime_throughput".to_string(),
+        tenants: TENANTS,
+        packets: TENANTS * ROUNDS * WORKERS,
+        results,
+        speedup_best_vs_one_shard: speedup,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    // write at the workspace root regardless of the bench's cwd
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    std::fs::write(path, &json).expect("BENCH_runtime.json written");
+    println!("wrote BENCH_runtime.json");
+}

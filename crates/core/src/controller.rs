@@ -1,6 +1,7 @@
 //! The ClickINC controller: compile → place → synthesize → deploy, with
 //! dynamic (incremental) add/remove and multi-tenant resource accounting.
 
+use crate::reconfigure::{ReconfigureEvent, ReconfigureHook, TenantHop};
 use crate::request::ServiceRequest;
 use clickinc_backend::DeviceProgram;
 use clickinc_blockdag::{build_block_dag, BlockConfig, BlockDag};
@@ -86,6 +87,10 @@ pub struct Deployment {
     pub delta: DeploymentDelta,
     /// Generated device-language programs, one per physical device touched.
     pub device_programs: BTreeMap<NodeId, DeviceProgram>,
+    /// The IR snippets installed on each device's data plane, in install
+    /// order — the material a serving runtime needs to mirror this deployment
+    /// onto its own sharded planes.
+    pub snippets: BTreeMap<NodeId, Vec<IrProgram>>,
     /// End-to-end compile + place + synthesize latency.
     pub elapsed: Duration,
 }
@@ -102,6 +107,7 @@ pub struct Controller {
     frontend: Frontend,
     block_config: BlockConfig,
     use_adaptive_weights: bool,
+    hooks: Vec<ReconfigureHook>,
 }
 
 impl Controller {
@@ -123,7 +129,54 @@ impl Controller {
             frontend: Frontend::new(),
             block_config: BlockConfig::default(),
             use_adaptive_weights: true,
+            hooks: Vec::new(),
         }
+    }
+
+    /// Register a live-reconfiguration hook, called after every successful
+    /// [`deploy`](Controller::deploy) and [`remove`](Controller::remove) with
+    /// the corresponding [`ReconfigureEvent`].  Hooks run in registration
+    /// order; a serving runtime uses this to mirror tenant changes onto its
+    /// sharded data planes while traffic keeps flowing.
+    pub fn add_reconfigure_hook(&mut self, hook: ReconfigureHook) {
+        self.hooks.push(hook);
+    }
+
+    fn fire(&mut self, event: ReconfigureEvent) {
+        // take the hooks out so they may re-enter accessors on `self`
+        let mut hooks = std::mem::take(&mut self.hooks);
+        for hook in &mut hooks {
+            hook(&event);
+        }
+        self.hooks = hooks;
+    }
+
+    /// The programmable hops of a user's deployment in traffic order, with
+    /// the installed snippets — what a serving runtime replays onto its own
+    /// planes.  Empty if the user has no deployment.
+    pub fn tenant_hops(&self, user: &str) -> Vec<TenantHop> {
+        let Some(deployment) = self.deployments.get(user) else {
+            return Vec::new();
+        };
+        let mut order: Vec<NodeId> = Vec::new();
+        for assignment in deployment.plan.assignments.iter().filter(|a| !a.is_empty()) {
+            for member in &assignment.members {
+                if !order.contains(member) {
+                    order.push(*member);
+                }
+            }
+        }
+        order
+            .into_iter()
+            .map(|id| {
+                let node = self.topology.node(id);
+                TenantHop {
+                    device: node.name.clone(),
+                    model: node.kind.model(),
+                    snippets: deployment.snippets.get(&id).cloned().unwrap_or_default(),
+                }
+            })
+            .collect()
     }
 
     /// Use fixed instead of adaptive objective weights (the Table 5 ablation).
@@ -228,6 +281,7 @@ impl Controller {
         let delta = add_user_program(&mut self.images, &base, &isolated, &plan, &pod_of);
         let steps = assign_steps(&dag, &plan);
         let mut device_programs = BTreeMap::new();
+        let mut installed: BTreeMap<NodeId, Vec<IrProgram>> = BTreeMap::new();
         for assignment in plan.assignments.iter().filter(|a| !a.is_empty()) {
             let mut snippet = IrProgram::new(request.user.clone());
             snippet.headers = isolated.headers.clone();
@@ -248,6 +302,7 @@ impl Controller {
                 if let Some(plane) = self.planes.get_mut(member) {
                     plane.install(snippet.clone());
                 }
+                installed.entry(*member).or_default().push(snippet.clone());
                 if let Some(image) = self.images.images.get(member) {
                     let kind = self.topology.node(*member).kind;
                     device_programs.insert(*member, clickinc_backend::generate(kind, image));
@@ -265,9 +320,15 @@ impl Controller {
             steps,
             delta,
             device_programs,
+            snippets: installed,
             elapsed: started.elapsed(),
         };
         self.deployments.insert(request.user.clone(), deployment);
+        self.fire(ReconfigureEvent::TenantAdded {
+            user: request.user.clone(),
+            numeric_id: user_numeric_id,
+            hops: self.tenant_hops(&request.user),
+        });
         Ok(self.deployments.get(&request.user).expect("just inserted"))
     }
 
@@ -282,9 +343,17 @@ impl Controller {
                 self.ledger.release(*member, assignment.demand);
             }
         }
+        // quiesce the emulated planes too: drop the tenant's snippets and
+        // exclusively-owned state so a later re-deploy starts clean
+        for device in deployment.snippets.keys() {
+            if let Some(plane) = self.planes.get_mut(device) {
+                plane.uninstall(user);
+            }
+        }
         let pod_of: BTreeMap<NodeId, Option<usize>> =
             self.topology.nodes().iter().map(|n| (n.id, n.pod)).collect();
         let delta = remove_user_program(&mut self.images, user, &pod_of);
+        self.fire(ReconfigureEvent::TenantRemoved { user: user.to_string() });
         Ok(delta)
     }
 
@@ -386,11 +455,30 @@ mod tests {
         let after_three = c.remaining_resource_ratio();
         assert!(after_three <= after_first);
 
+        let dq_devices = c.devices_of("dq0");
         let delta = c.remove("dq0").expect("removal succeeds");
         assert!(delta.device_count() > 0);
         assert_eq!(c.active_users().len(), 2);
         assert!(c.remaining_resource_ratio() >= after_three);
         assert!(matches!(c.remove("dq0").unwrap_err(), ControllerError::UnknownUser(_)));
+        // the emulated planes dropped the tenant's snippets and state…
+        for device in &dq_devices {
+            if let Some(plane) = c.plane(*device) {
+                assert!(!plane.installed_programs().contains(&"dq0"), "snippets quiesced");
+                assert!(
+                    plane.store().table_names().iter().all(|n| !n.starts_with("dq0_")),
+                    "tenant tables dropped"
+                );
+            }
+        }
+        // …so the same user id can deploy again from a clean slate
+        c.deploy(ServiceRequest::from_template(
+            dqacc_template("dq0", DqAccParams { depth: 2000, ways: 4 }),
+            &["pod0b"],
+            "pod2b",
+        ))
+        .expect("re-deploy after removal succeeds");
+        assert_eq!(c.active_users().len(), 3);
     }
 
     #[test]
@@ -436,6 +524,49 @@ mod tests {
             }
         }
         assert!(completed, "some device on the path completed the aggregation");
+    }
+
+    #[test]
+    fn reconfigure_hooks_see_adds_and_removals_with_hops() {
+        use std::sync::{Arc, Mutex};
+        let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        let mut c = controller();
+        c.add_reconfigure_hook(Box::new(move |event| {
+            let line = match event {
+                ReconfigureEvent::TenantAdded { user, numeric_id, hops } => {
+                    assert!(!hops.is_empty(), "a deployment always has hops");
+                    assert!(
+                        hops.iter().any(|h| !h.snippets.is_empty()),
+                        "at least one hop carries snippets"
+                    );
+                    format!("+{user}:{numeric_id}")
+                }
+                ReconfigureEvent::TenantRemoved { user } => format!("-{user}"),
+            };
+            sink.lock().unwrap().push(line);
+        }));
+        let t = kvs_template("kvs0", KvsParams { cache_depth: 1000, ..Default::default() });
+        c.deploy(ServiceRequest::from_template(t, &["pod0a"], "pod2b")).unwrap();
+        c.remove("kvs0").unwrap();
+        assert_eq!(*log.lock().unwrap(), vec!["+kvs0:1".to_string(), "-kvs0".to_string()]);
+    }
+
+    #[test]
+    fn tenant_hops_mirror_the_installed_planes() {
+        let mut c = controller();
+        let t = kvs_template("kvs0", KvsParams { cache_depth: 1000, ..Default::default() });
+        c.deploy(ServiceRequest::from_template(t, &["pod0a", "pod1a"], "pod2b")).unwrap();
+        let hops = c.tenant_hops("kvs0");
+        assert!(!hops.is_empty());
+        let with_snippets: Vec<_> = hops.iter().filter(|h| !h.snippets.is_empty()).collect();
+        assert!(!with_snippets.is_empty());
+        for hop in &with_snippets {
+            for snippet in &hop.snippets {
+                assert_eq!(snippet.name, "kvs0");
+            }
+        }
+        assert!(c.tenant_hops("missing").is_empty());
     }
 
     #[test]

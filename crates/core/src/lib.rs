@@ -34,9 +34,11 @@
 //! ```
 
 mod controller;
+pub mod reconfigure;
 mod request;
 
 pub use controller::{Controller, ControllerError, Deployment};
+pub use reconfigure::{ReconfigureEvent, ReconfigureHook, TenantHop};
 pub use request::ServiceRequest;
 
 // Re-export the subsystem crates under stable names so downstream users need a

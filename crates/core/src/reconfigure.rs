@@ -1,0 +1,52 @@
+//! Live-reconfiguration events emitted by the [`Controller`].
+//!
+//! INC as a service means tenants come and go while other tenants' traffic
+//! keeps flowing (paper §6, Fig. 14).  The controller performs the
+//! control-plane half of that — incremental synthesis, resource accounting,
+//! snippet installation — and publishes each change as a [`ReconfigureEvent`]
+//! so a serving layer (e.g. `clickinc-runtime`'s sharded traffic engine) can
+//! quiesce exactly the affected tables and swap programs without disturbing
+//! co-resident tenants.
+//!
+//! [`Controller`]: crate::Controller
+
+use clickinc_device::DeviceModel;
+use clickinc_ir::IrProgram;
+
+/// One programmable hop of a tenant's deployment: the physical device, its
+/// model (for latency accounting on replicas of the plane), and the isolated
+/// IR snippets the controller installed there.
+#[derive(Debug, Clone)]
+pub struct TenantHop {
+    /// Topology node name of the device.
+    pub device: String,
+    /// The device model.
+    pub model: DeviceModel,
+    /// The snippets installed on this device for the tenant, in install order.
+    pub snippets: Vec<IrProgram>,
+}
+
+/// A change to the set of deployed tenant programs.
+#[derive(Debug, Clone)]
+pub enum ReconfigureEvent {
+    /// A tenant's program was deployed.
+    TenantAdded {
+        /// The user id.
+        user: String,
+        /// Numeric id matched by the isolation guards; traffic must carry it.
+        numeric_id: i64,
+        /// The programmable hops of the deployment, in traffic order.
+        hops: Vec<TenantHop>,
+    },
+    /// A tenant's program was removed.
+    TenantRemoved {
+        /// The user id.
+        user: String,
+    },
+}
+
+/// Callback registered with [`Controller::add_reconfigure_hook`]; invoked
+/// after every successful deploy/remove, in registration order.
+///
+/// [`Controller::add_reconfigure_hook`]: crate::Controller::add_reconfigure_hook
+pub type ReconfigureHook = Box<dyn FnMut(&ReconfigureEvent) + Send>;

@@ -3,7 +3,7 @@
 use crate::packet::Packet;
 use crate::state::ObjectStore;
 use clickinc_device::DeviceModel;
-use clickinc_ir::{AluOp, CmpOp, Guard, IrProgram, OpCode, Operand, Value};
+use clickinc_ir::{AluOp, CmpOp, Guard, IrProgram, ObjectKind, OpCode, Operand, Value};
 use std::collections::BTreeMap;
 
 /// What happens to the packet after the device processed it.
@@ -43,14 +43,29 @@ pub struct DevicePlane {
     snippets: Vec<IrProgram>,
     /// Stateful object storage shared by all snippets on this device.
     store: ObjectStore,
+    /// Object name → declared kind, maintained across install/uninstall so the
+    /// per-packet state dispatch is a map lookup, not a snippet scan.
+    object_kinds: BTreeMap<String, ObjectKind>,
     /// Total packets processed.
     pub packets_processed: u64,
     /// Total instructions executed.
     pub instructions_executed: u64,
+    /// Per-tenant `RandInt` draw counters (user id → draws).  Keyed by tenant
+    /// so one tenant's random stream is independent of co-resident traffic —
+    /// a requirement for the runtime's shard-count invariance.
+    rand_streams: BTreeMap<i64, u64>,
     /// Temporaries exported into the packet's Param field for downstream
     /// devices (set from the synthesizer's Param analysis; empty = nothing is
     /// carried).
     pub param_exports: Vec<String>,
+}
+
+/// Execution context handed to the opcode interpreter: the mutable store, the
+/// object-kind index and the per-tenant random-draw counters (for `RandInt`).
+struct ExecCtx<'a> {
+    store: &'a mut ObjectStore,
+    kinds: &'a BTreeMap<String, ObjectKind>,
+    rand_streams: &'a mut BTreeMap<i64, u64>,
 }
 
 impl DevicePlane {
@@ -61,8 +76,10 @@ impl DevicePlane {
             model,
             snippets: Vec::new(),
             store: ObjectStore::new(),
+            object_kinds: BTreeMap::new(),
             packets_processed: 0,
             instructions_executed: 0,
+            rand_streams: BTreeMap::new(),
             param_exports: Vec::new(),
         }
     }
@@ -77,13 +94,44 @@ impl DevicePlane {
     pub fn install(&mut self, snippet: IrProgram) {
         for obj in &snippet.objects {
             self.store.declare(obj);
+            // the first declaration of a name wins, matching install order
+            self.object_kinds.entry(obj.name.clone()).or_insert_with(|| obj.kind.clone());
         }
         self.snippets.push(snippet);
+    }
+
+    /// Remove every snippet owned by `owner` (matched against the snippet's
+    /// program name) and drop the stateful objects no remaining snippet
+    /// declares.  Other tenants' snippets and state are untouched — this is
+    /// the per-tenant quiesce primitive behind live reconfiguration.
+    ///
+    /// Returns `true` if at least one snippet was removed.
+    pub fn uninstall(&mut self, owner: &str) -> bool {
+        let (removed, kept): (Vec<IrProgram>, Vec<IrProgram>) =
+            std::mem::take(&mut self.snippets).into_iter().partition(|s| s.name == owner);
+        self.snippets = kept;
+        if removed.is_empty() {
+            return false;
+        }
+        for obj in removed.iter().flat_map(|s| s.objects.iter()) {
+            let still_declared =
+                self.snippets.iter().any(|s| s.objects.iter().any(|o| o.name == obj.name));
+            if !still_declared {
+                self.store.remove_object(&obj.name);
+                self.object_kinds.remove(&obj.name);
+            }
+        }
+        true
     }
 
     /// Whether any snippet is installed.
     pub fn has_program(&self) -> bool {
         !self.snippets.is_empty()
+    }
+
+    /// Names of the installed snippets (one per install, in order).
+    pub fn installed_programs(&self) -> Vec<&str> {
+        self.snippets.iter().map(|s| s.name.as_str()).collect()
     }
 
     /// Direct (control-plane) access to the object store, used to pre-populate
@@ -105,16 +153,20 @@ impl DevicePlane {
         let mut executed = 0usize;
         let mut env: BTreeMap<String, Value> = BTreeMap::new();
 
-        let snippets = self.snippets.clone();
-        for snippet in &snippets {
+        let mut ctx = ExecCtx {
+            store: &mut self.store,
+            kinds: &self.object_kinds,
+            rand_streams: &mut self.rand_streams,
+        };
+        for snippet in &self.snippets {
             for instr in &snippet.instructions {
                 let guard_ok =
-                    instr.guard.as_ref().map(|g| self.eval_guard(g, &env, pkt)).unwrap_or(true);
+                    instr.guard.as_ref().map(|g| eval_guard(g, &env, pkt)).unwrap_or(true);
                 if !guard_ok {
                     continue;
                 }
                 executed += 1;
-                self.execute(&instr.op, &mut env, pkt, &mut action, &mut mirrored);
+                execute(&instr.op, &mut ctx, &mut env, pkt, &mut action, &mut mirrored);
             }
         }
         // export the configured temporaries into the Param field so downstream
@@ -132,206 +184,209 @@ impl DevicePlane {
         ExecOutcome { action, mirrored, latency_ns, instructions_executed: executed }
     }
 
-    fn eval_operand(&self, op: &Operand, env: &BTreeMap<String, Value>, pkt: &Packet) -> Value {
-        match op {
-            Operand::Const(v) => v.clone(),
-            Operand::Var(name) => env
-                .get(name)
-                .cloned()
-                .or_else(|| pkt.inc.param.get(name).cloned())
-                .unwrap_or(Value::None),
-            Operand::Header(field) => pkt.inc.get(field),
-            Operand::Meta(field) => match field.as_str() {
-                "inc_user" => Value::Int(pkt.inc.user),
-                "step" => Value::Int(pkt.inc.step),
-                _ => Value::None,
-            },
+    /// Process a batch of packets back to back, returning one outcome per
+    /// packet (identical to calling [`DevicePlane::process`] on each in
+    /// order).  This is the drain primitive of the runtime's shard workers —
+    /// one call per device-queue batch, keeping the batch boundary explicit
+    /// for future per-batch optimizations (e.g. hoisting snippet dispatch).
+    pub fn process_batch(&mut self, pkts: &mut [Packet]) -> Vec<ExecOutcome> {
+        pkts.iter_mut().map(|p| self.process(p)).collect()
+    }
+}
+
+fn eval_operand(op: &Operand, env: &BTreeMap<String, Value>, pkt: &Packet) -> Value {
+    match op {
+        Operand::Const(v) => v.clone(),
+        Operand::Var(name) => env
+            .get(name)
+            .cloned()
+            .or_else(|| pkt.inc.param.get(name).cloned())
+            .unwrap_or(Value::None),
+        Operand::Header(field) => pkt.inc.get(field),
+        Operand::Meta(field) => match field.as_str() {
+            "inc_user" => Value::Int(pkt.inc.user),
+            "step" => Value::Int(pkt.inc.step),
+            _ => Value::None,
+        },
+    }
+}
+
+fn eval_guard(guard: &Guard, env: &BTreeMap<String, Value>, pkt: &Packet) -> bool {
+    guard.all.iter().all(|p| {
+        let lhs = eval_operand(&p.lhs, env, pkt);
+        let rhs = eval_operand(&p.rhs, env, pkt);
+        compare(&lhs, p.op, &rhs)
+    })
+}
+
+fn execute(
+    op: &OpCode,
+    ctx: &mut ExecCtx<'_>,
+    env: &mut BTreeMap<String, Value>,
+    pkt: &mut Packet,
+    action: &mut PacketAction,
+    mirrored: &mut Vec<Packet>,
+) {
+    match op {
+        OpCode::Assign { dest, src } => {
+            let v = eval_operand(src, env, pkt);
+            env.insert(dest.clone(), v);
         }
-    }
-
-    fn eval_guard(&self, guard: &Guard, env: &BTreeMap<String, Value>, pkt: &Packet) -> bool {
-        guard.all.iter().all(|p| {
-            let lhs = self.eval_operand(&p.lhs, env, pkt);
-            let rhs = self.eval_operand(&p.rhs, env, pkt);
-            compare(&lhs, p.op, &rhs)
-        })
-    }
-
-    fn execute(
-        &mut self,
-        op: &OpCode,
-        env: &mut BTreeMap<String, Value>,
-        pkt: &mut Packet,
-        action: &mut PacketAction,
-        mirrored: &mut Vec<Packet>,
-    ) {
-        match op {
-            OpCode::Assign { dest, src } => {
-                let v = self.eval_operand(src, env, pkt);
-                env.insert(dest.clone(), v);
+        OpCode::Alu { dest, op, lhs, rhs, float } => {
+            let a = eval_operand(lhs, env, pkt);
+            let b = eval_operand(rhs, env, pkt);
+            env.insert(dest.clone(), alu(*op, &a, &b, *float));
+        }
+        OpCode::Cmp { dest, op, lhs, rhs } => {
+            let a = eval_operand(lhs, env, pkt);
+            let b = eval_operand(rhs, env, pkt);
+            env.insert(dest.clone(), Value::Bool(compare(&a, *op, &b)));
+        }
+        OpCode::Hash { dest, object, keys } => {
+            let key_values: Vec<Value> = keys.iter().map(|k| eval_operand(k, env, pkt)).collect();
+            env.insert(dest.clone(), Value::Int(ctx.store.hash(object, &key_values)));
+        }
+        OpCode::ReadState { dest, object, index } => {
+            let v = read_state(ctx, object, index, env, pkt);
+            env.insert(dest.clone(), v);
+        }
+        OpCode::WriteState { object, index, value } => {
+            let values: Vec<Value> = value.iter().map(|v| eval_operand(v, env, pkt)).collect();
+            write_state(ctx, object, index, values, env, pkt);
+        }
+        OpCode::CountState { dest, object, index, delta } => {
+            let d = eval_operand(delta, env, pkt).as_int().unwrap_or(1);
+            let result = count_state(ctx, object, index, d, env, pkt);
+            if let Some(dest) = dest {
+                env.insert(dest.clone(), Value::Int(result));
             }
-            OpCode::Alu { dest, op, lhs, rhs, float } => {
-                let a = self.eval_operand(lhs, env, pkt);
-                let b = self.eval_operand(rhs, env, pkt);
-                env.insert(dest.clone(), alu(*op, &a, &b, *float));
+        }
+        OpCode::ClearState { object } => ctx.store.clear(object),
+        OpCode::DeleteState { object, index } => {
+            let keys: Vec<Value> = index.iter().map(|i| eval_operand(i, env, pkt)).collect();
+            ctx.store.delete(object, &keys);
+        }
+        OpCode::Drop => *action = PacketAction::Drop,
+        OpCode::Forward => {
+            if *action != PacketAction::Back {
+                *action = PacketAction::Forward;
             }
-            OpCode::Cmp { dest, op, lhs, rhs } => {
-                let a = self.eval_operand(lhs, env, pkt);
-                let b = self.eval_operand(rhs, env, pkt);
-                env.insert(dest.clone(), Value::Bool(compare(&a, *op, &b)));
-            }
-            OpCode::Hash { dest, object, keys } => {
-                let key_values: Vec<Value> =
-                    keys.iter().map(|k| self.eval_operand(k, env, pkt)).collect();
-                env.insert(dest.clone(), Value::Int(self.store.hash(object, &key_values)));
-            }
-            OpCode::ReadState { dest, object, index } => {
-                let v = self.read_state(object, index, env, pkt);
-                env.insert(dest.clone(), v);
-            }
-            OpCode::WriteState { object, index, value } => {
-                let values: Vec<Value> =
-                    value.iter().map(|v| self.eval_operand(v, env, pkt)).collect();
-                self.write_state(object, index, values, env, pkt);
-            }
-            OpCode::CountState { dest, object, index, delta } => {
-                let d = self.eval_operand(delta, env, pkt).as_int().unwrap_or(1);
-                let result = self.count_state(object, index, d, env, pkt);
-                if let Some(dest) = dest {
-                    env.insert(dest.clone(), Value::Int(result));
-                }
-            }
-            OpCode::ClearState { object } => self.store.clear(object),
-            OpCode::DeleteState { object, index } => {
-                let keys: Vec<Value> =
-                    index.iter().map(|i| self.eval_operand(i, env, pkt)).collect();
-                self.store.delete(object, &keys);
-            }
-            OpCode::Drop => *action = PacketAction::Drop,
-            OpCode::Forward => {
-                if *action != PacketAction::Back {
-                    *action = PacketAction::Forward;
-                }
-            }
-            OpCode::Back { updates } => {
-                for (field, value) in updates {
-                    let v = self.eval_operand(value, env, pkt);
-                    pkt.inc.set(field, v);
-                }
-                *action = PacketAction::Back;
-            }
-            OpCode::Mirror { updates } => {
-                let mut copy = pkt.clone();
-                for (field, value) in updates {
-                    let v = self.eval_operand(value, env, pkt);
-                    copy.inc.set(field, v);
-                }
-                mirrored.push(copy);
-            }
-            OpCode::Multicast { .. } => {
-                // modelled as a mirror to the multicast engine
-                mirrored.push(pkt.clone());
-            }
-            OpCode::CopyTo { .. } => {
-                // report-to-CPU: modelled as a mirrored digest
-                mirrored.push(pkt.clone());
-            }
-            OpCode::SetHeader { field, value } => {
-                let v = self.eval_operand(value, env, pkt);
+        }
+        OpCode::Back { updates } => {
+            for (field, value) in updates {
+                let v = eval_operand(value, env, pkt);
                 pkt.inc.set(field, v);
             }
-            OpCode::Crypto { dest, input, .. } => {
-                let v = self.eval_operand(input, env, pkt).as_int().unwrap_or(0);
-                env.insert(dest.clone(), Value::Int(v ^ 0x5a5a_5a5a));
+            *action = PacketAction::Back;
+        }
+        OpCode::Mirror { updates } => {
+            let mut copy = pkt.clone();
+            for (field, value) in updates {
+                let v = eval_operand(value, env, pkt);
+                copy.inc.set(field, v);
             }
-            OpCode::RandInt { dest, bound } => {
-                let b = self.eval_operand(bound, env, pkt).as_int().unwrap_or(i64::MAX).max(1);
-                let r = (self.packets_processed as i64).wrapping_mul(6364136223846793005) % b;
-                env.insert(dest.clone(), Value::Int(r.abs()));
-            }
-            OpCode::Checksum { dest, inputs } => {
-                let sum: i64 = inputs
-                    .iter()
-                    .map(|i| self.eval_operand(i, env, pkt).as_int().unwrap_or(0))
-                    .sum();
-                env.insert(dest.clone(), Value::Int(sum & 0xffff));
-            }
-            OpCode::NoOp => {}
+            mirrored.push(copy);
+        }
+        OpCode::Multicast { .. } => {
+            // modelled as a mirror to the multicast engine
+            mirrored.push(pkt.clone());
+        }
+        OpCode::CopyTo { .. } => {
+            // report-to-CPU: modelled as a mirrored digest
+            mirrored.push(pkt.clone());
+        }
+        OpCode::SetHeader { field, value } => {
+            let v = eval_operand(value, env, pkt);
+            pkt.inc.set(field, v);
+        }
+        OpCode::Crypto { dest, input, .. } => {
+            let v = eval_operand(input, env, pkt).as_int().unwrap_or(0);
+            env.insert(dest.clone(), Value::Int(v ^ 0x5a5a_5a5a));
+        }
+        OpCode::RandInt { dest, bound } => {
+            let b = eval_operand(bound, env, pkt).as_int().unwrap_or(i64::MAX).max(1);
+            // a splitmix64 stream seeded by the tenant id and advanced one
+            // draw at a time: the sequence a tenant observes is independent
+            // of co-resident traffic and of how planes are sharded
+            let draw = ctx.rand_streams.entry(pkt.inc.user).or_insert(0);
+            *draw += 1;
+            let mut z = (pkt.inc.user as u64) ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            env.insert(dest.clone(), Value::Int((z % b as u64) as i64));
+        }
+        OpCode::Checksum { dest, inputs } => {
+            let sum: i64 =
+                inputs.iter().map(|i| eval_operand(i, env, pkt).as_int().unwrap_or(0)).sum();
+            env.insert(dest.clone(), Value::Int(sum & 0xffff));
+        }
+        OpCode::NoOp => {}
+    }
+}
+
+fn read_state(
+    ctx: &ExecCtx<'_>,
+    object: &str,
+    index: &[Operand],
+    env: &BTreeMap<String, Value>,
+    pkt: &Packet,
+) -> Value {
+    let idx: Vec<Value> = index.iter().map(|i| eval_operand(i, env, pkt)).collect();
+    match ctx.kinds.get(object) {
+        Some(ObjectKind::Table { .. }) => ctx.store.table_get(object, &idx),
+        Some(ObjectKind::Sketch { .. }) => {
+            Value::Int(ctx.store.sketch_estimate(object, idx.first().unwrap_or(&Value::None)))
+        }
+        Some(ObjectKind::Hash { .. }) => Value::Int(ctx.store.hash(object, &idx)),
+        _ => {
+            let (row, cell) = row_and_cell(&idx);
+            Value::Int(ctx.store.array_read(object, row, cell))
         }
     }
+}
 
-    fn object_kind(&self, snippet_obj: &str) -> Option<clickinc_ir::ObjectKind> {
-        for snippet in &self.snippets {
-            if let Some(decl) = snippet.object(snippet_obj) {
-                return Some(decl.kind.clone());
-            }
+fn write_state(
+    ctx: &mut ExecCtx<'_>,
+    object: &str,
+    index: &[Operand],
+    values: Vec<Value>,
+    env: &BTreeMap<String, Value>,
+    pkt: &Packet,
+) {
+    let idx: Vec<Value> = index.iter().map(|i| eval_operand(i, env, pkt)).collect();
+    match ctx.kinds.get(object) {
+        Some(ObjectKind::Table { .. }) => {
+            ctx.store.table_write(object, &idx, values);
         }
-        None
-    }
-
-    fn read_state(
-        &self,
-        object: &str,
-        index: &[Operand],
-        env: &BTreeMap<String, Value>,
-        pkt: &Packet,
-    ) -> Value {
-        let idx: Vec<Value> = index.iter().map(|i| self.eval_operand(i, env, pkt)).collect();
-        match self.object_kind(object) {
-            Some(clickinc_ir::ObjectKind::Table { .. }) => self.store.table_get(object, &idx),
-            Some(clickinc_ir::ObjectKind::Sketch { .. }) => {
-                Value::Int(self.store.sketch_estimate(object, idx.first().unwrap_or(&Value::None)))
-            }
-            Some(clickinc_ir::ObjectKind::Hash { .. }) => Value::Int(self.store.hash(object, &idx)),
-            _ => {
-                let (row, cell) = row_and_cell(&idx);
-                Value::Int(self.store.array_read(object, row, cell))
-            }
+        Some(ObjectKind::Sketch { .. }) => {
+            let delta = values.first().and_then(Value::as_int).unwrap_or(1);
+            ctx.store.sketch_count(object, idx.first().unwrap_or(&Value::None), delta);
+        }
+        _ => {
+            let (row, cell) = row_and_cell(&idx);
+            let v = values.first().and_then(Value::as_int).unwrap_or(0);
+            ctx.store.array_write(object, row, cell, v);
         }
     }
+}
 
-    fn write_state(
-        &mut self,
-        object: &str,
-        index: &[Operand],
-        values: Vec<Value>,
-        env: &BTreeMap<String, Value>,
-        pkt: &Packet,
-    ) {
-        let idx: Vec<Value> = index.iter().map(|i| self.eval_operand(i, env, pkt)).collect();
-        match self.object_kind(object) {
-            Some(clickinc_ir::ObjectKind::Table { .. }) => {
-                self.store.table_write(object, &idx, values);
-            }
-            Some(clickinc_ir::ObjectKind::Sketch { .. }) => {
-                let delta = values.first().and_then(Value::as_int).unwrap_or(1);
-                self.store.sketch_count(object, idx.first().unwrap_or(&Value::None), delta);
-            }
-            _ => {
-                let (row, cell) = row_and_cell(&idx);
-                let v = values.first().and_then(Value::as_int).unwrap_or(0);
-                self.store.array_write(object, row, cell, v);
-            }
+fn count_state(
+    ctx: &mut ExecCtx<'_>,
+    object: &str,
+    index: &[Operand],
+    delta: i64,
+    env: &BTreeMap<String, Value>,
+    pkt: &Packet,
+) -> i64 {
+    let idx: Vec<Value> = index.iter().map(|i| eval_operand(i, env, pkt)).collect();
+    match ctx.kinds.get(object) {
+        Some(ObjectKind::Sketch { .. }) => {
+            ctx.store.sketch_count(object, idx.first().unwrap_or(&Value::None), delta)
         }
-    }
-
-    fn count_state(
-        &mut self,
-        object: &str,
-        index: &[Operand],
-        delta: i64,
-        env: &BTreeMap<String, Value>,
-        pkt: &Packet,
-    ) -> i64 {
-        let idx: Vec<Value> = index.iter().map(|i| self.eval_operand(i, env, pkt)).collect();
-        match self.object_kind(object) {
-            Some(clickinc_ir::ObjectKind::Sketch { .. }) => {
-                self.store.sketch_count(object, idx.first().unwrap_or(&Value::None), delta)
-            }
-            _ => {
-                let (row, cell) = row_and_cell(&idx);
-                self.store.array_add(object, row, cell, delta)
-            }
+        _ => {
+            let (row, cell) = row_and_cell(&idx);
+            ctx.store.array_add(object, row, cell, delta)
         }
     }
 }
@@ -510,7 +565,7 @@ mod tests {
     fn dqacc_filters_duplicate_values() {
         let t = dqacc_template("dq", DqAccParams { depth: 64, ways: 4 });
         let mut plane = plane_with("dq", &t.source);
-        let mut mk = |v: i64| {
+        let mk = |v: i64| {
             let mut fields = std::collections::BTreeMap::new();
             fields.insert("value".to_string(), Value::Int(v));
             Packet::new("c", "db", 0, fields)
@@ -555,5 +610,96 @@ mod tests {
         let outcome = plane.process(&mut pkt);
         assert_eq!(outcome.action, PacketAction::Forward);
         assert!(pkt.wire_bytes() < before, "deleted fields shrink the packet");
+    }
+
+    #[test]
+    fn process_batch_matches_sequential_processing() {
+        let t = kvs_template("kvs", KvsParams { cache_depth: 128, ..Default::default() });
+        let mut seq = plane_with("kvs", &t.source);
+        let mut batched = seq.clone();
+        seq.store_mut().table_write("cache", &[Value::Int(1)], vec![Value::Int(11)]);
+        batched.store_mut().table_write("cache", &[Value::Int(1)], vec![Value::Int(11)]);
+
+        let keys = [1i64, 2, 1, 3, 1, 2];
+        let mut pkts: Vec<Packet> = keys.iter().map(|k| kvs_request("c", "s", 0, *k)).collect();
+        let expected: Vec<ExecOutcome> = keys
+            .iter()
+            .map(|k| {
+                let mut p = kvs_request("c", "s", 0, *k);
+                seq.process(&mut p)
+            })
+            .collect();
+        let got = batched.process_batch(&mut pkts);
+        assert_eq!(got, expected);
+        assert_eq!(batched.packets_processed, seq.packets_processed);
+    }
+
+    #[test]
+    fn randint_streams_are_per_tenant_and_unaffected_by_co_residents() {
+        use clickinc_ir::{Guard, Instruction, Operand, Predicate};
+        let randint_prog = |name: &str, user: i64| {
+            let guard = Guard {
+                all: vec![Predicate::new(
+                    Operand::Meta("inc_user".into()),
+                    CmpOp::Eq,
+                    Operand::int(user),
+                )],
+            };
+            let mut p = IrProgram::new(name);
+            p.instructions.push(Instruction::guarded(
+                0,
+                OpCode::RandInt { dest: format!("{name}_r"), bound: Operand::int(1_000_000) },
+                guard.clone(),
+            ));
+            p.instructions.push(Instruction::guarded(
+                1,
+                OpCode::SetHeader { field: "r".into(), value: Operand::Var(format!("{name}_r")) },
+                guard,
+            ));
+            p
+        };
+        // tenant 1 alone on a plane vs co-resident with tenant 2
+        let mut solo = DevicePlane::new("SW0", DeviceModel::tofino());
+        solo.install(randint_prog("t1", 1));
+        let mut shared = DevicePlane::new("SW0", DeviceModel::tofino());
+        shared.install(randint_prog("t1", 1));
+        shared.install(randint_prog("t2", 2));
+        let draw = |plane: &mut DevicePlane, user: i64| {
+            let mut pkt = kvs_request("c", "s", user, 1);
+            plane.process(&mut pkt);
+            pkt.inc.get("r")
+        };
+        for _ in 0..10 {
+            let alone = draw(&mut solo, 1);
+            let _ = draw(&mut shared, 2); // interleaved co-resident traffic
+            let shared_draw = draw(&mut shared, 1);
+            assert_eq!(alone, shared_draw, "tenant 1's stream must ignore tenant 2");
+            assert!(matches!(alone, Value::Int(v) if (0..1_000_000).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn uninstall_removes_only_the_owners_snippets_and_state() {
+        let kvs = kvs_template("kvs", KvsParams { cache_depth: 64, ..Default::default() });
+        let cms = count_min_sketch("mon", 3, 128);
+        let mut plane = DevicePlane::new("SW0", DeviceModel::tofino());
+        plane.install(compile_source("kvs", &kvs.source).unwrap());
+        plane.install(compile_source("mon", &cms.source).unwrap());
+        assert_eq!(plane.installed_programs(), vec!["kvs", "mon"]);
+        plane.store_mut().table_write("cache", &[Value::Int(4)], vec![Value::Int(44)]);
+        let mut pkt = kvs_request("c", "s", 0, 9);
+        plane.process(&mut pkt);
+        assert!(plane.store().sketch_estimate("mem", &Value::Int(9)) >= 1, "cms counted");
+
+        assert!(plane.uninstall("kvs"));
+        assert!(!plane.uninstall("kvs"), "second removal is a no-op");
+        assert_eq!(plane.installed_programs(), vec!["mon"]);
+        assert!(!plane.store().contains("cache"), "kvs state dropped");
+        assert!(plane.store().contains("mem"), "other tenant's state survives");
+        // the surviving snippet still executes
+        let mut pkt = kvs_request("c", "s", 0, 9);
+        let outcome = plane.process(&mut pkt);
+        assert_eq!(outcome.action, PacketAction::Forward);
+        assert!(plane.store().sketch_estimate("mem", &Value::Int(9)) >= 2);
     }
 }

@@ -24,6 +24,7 @@ pub mod interp;
 pub mod packet;
 pub mod scenario;
 pub mod state;
+pub mod zipf;
 
 pub use interp::{DevicePlane, ExecOutcome, PacketAction};
 pub use packet::{IncHeader, Packet};
@@ -31,7 +32,8 @@ pub use scenario::{
     run_aggregation_scenario, run_kvs_scenario, AggregationConfig, AggregationReport, KvsConfig,
     KvsReport, NetworkSetup,
 };
-pub use state::ObjectStore;
+pub use state::{Fnv, ObjectStore};
+pub use zipf::ZipfSampler;
 
 #[cfg(test)]
 mod proptests {

@@ -11,9 +11,11 @@
 
 use crate::interp::{DevicePlane, PacketAction};
 use crate::packet::{gradient_packet, kvs_request};
+use crate::zipf::ZipfSampler;
 use clickinc_ir::Value;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// The emulated path: a sequence of programmable hops between the traffic
@@ -74,7 +76,7 @@ impl Default for AggregationConfig {
 }
 
 /// Results of the gradient-aggregation scenario.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct AggregationReport {
     /// Aggregation goodput in Gbps (useful gradient bytes reduced per second).
     pub goodput_gbps: f64,
@@ -114,8 +116,9 @@ pub fn run_aggregation_scenario(
             let blocks = config.dims.div_ceil(config.block_size.max(1));
             for b in 0..blocks {
                 let zero_block = rng.gen_bool(config.sparsity.clamp(0.0, 1.0));
-                for d in (b * config.block_size)..((b + 1) * config.block_size).min(config.dims) {
-                    values[d] = if zero_block { 0 } else { rng.gen_range(1..100) };
+                let end = ((b + 1) * config.block_size).min(config.dims);
+                for value in &mut values[b * config.block_size..end] {
+                    *value = if zero_block { 0 } else { rng.gen_range(1..100) };
                 }
             }
             for (d, v) in values.iter().enumerate() {
@@ -287,7 +290,7 @@ impl Default for KvsConfig {
 }
 
 /// Results of the KVS scenario.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct KvsReport {
     /// Fraction of requests answered by the in-network cache.
     pub hit_ratio: f64,
@@ -330,10 +333,10 @@ pub fn run_kvs_scenario(setup: &mut NetworkSetup, config: &KvsConfig) -> KvsRepo
         }
     }
 
-    // Zipf-ish sampling: key popularity ∝ 1/(rank+1)^skew
-    let weights: Vec<f64> =
-        (0..config.keys).map(|r| 1.0 / ((r + 1) as f64).powf(config.skew)).collect();
-    let total_weight: f64 = weights.iter().sum();
+    // Zipf sampling (popularity ∝ 1/(rank+1)^skew) over a precomputed CDF:
+    // one uniform variate + binary search per request, deterministic for a
+    // fixed seed.
+    let zipf = ZipfSampler::new(config.keys, config.skew);
 
     let mut hits = 0u64;
     let mut server_requests = 0u64;
@@ -341,15 +344,7 @@ pub fn run_kvs_scenario(setup: &mut NetworkSetup, config: &KvsConfig) -> KvsRepo
     let mut replies_correct = true;
 
     for _ in 0..config.requests {
-        let mut pick = rng.gen_range(0.0..total_weight);
-        let mut key = 0usize;
-        for (rank, w) in weights.iter().enumerate() {
-            if pick < *w {
-                key = rank;
-                break;
-            }
-            pick -= w;
-        }
+        let key = zipf.sample(&mut rng);
         let mut pkt = kvs_request("client", "server", config.user, key as i64);
         let mut latency = 0.0;
         let mut answered_in_network = false;
@@ -502,6 +497,19 @@ mod tests {
         assert!(combo.aggregation_correct);
         assert!(combo.goodput_gbps >= nic.goodput_gbps);
         assert!(combo.goodput_gbps >= switch.goodput_gbps * 0.95);
+    }
+
+    #[test]
+    fn kvs_scenario_is_deterministic_for_a_fixed_seed() {
+        let t = kvs_template("kvs", KvsParams { cache_depth: 1024, ..Default::default() });
+        let ir = compile_source("kvs", &t.source).unwrap();
+        let run = || {
+            let mut plane = DevicePlane::new("ToR0", DeviceModel::tofino());
+            plane.install(ir.clone());
+            let mut setup = NetworkSetup::new(vec![plane]);
+            run_kvs_scenario(&mut setup, &KvsConfig::default())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

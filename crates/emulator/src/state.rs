@@ -224,6 +224,83 @@ impl ObjectStore {
         }
     }
 
+    /// Remove an object and its contents entirely (tenant teardown).  Returns
+    /// whether the object existed.
+    pub fn remove_object(&mut self, name: &str) -> bool {
+        self.objects.remove(name).is_some()
+    }
+
+    /// Merge another store into this one.  Objects only present in `other`
+    /// are copied over; objects present in both keep this store's contents.
+    /// Tenant isolation renames every object with the owner's prefix, so
+    /// stores partitioned by tenant have disjoint object names and this union
+    /// reconstructs exactly the state a single shared store would hold.
+    pub fn merge_from(&mut self, other: &ObjectStore) {
+        for (name, state) in &other.objects {
+            self.objects.entry(name.clone()).or_insert_with(|| state.clone());
+        }
+    }
+
+    /// A deterministic digest of the full store contents (object names,
+    /// shapes, and every live cell/entry/counter).  Two stores with equal
+    /// contents produce equal fingerprints in any process — used by the
+    /// runtime's shard-count invariance tests.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for (name, state) in &self.objects {
+            h.write_str(name);
+            match state {
+                ObjectState::Array { rows, size, cells } => {
+                    h.write_u64(1);
+                    h.write_u64(u64::from(*rows));
+                    h.write_u64(u64::from(*size));
+                    for ((r, c), v) in cells {
+                        h.write_u64(u64::from(*r));
+                        h.write_u64(u64::from(*c));
+                        h.write_u64(*v as u64);
+                    }
+                }
+                ObjectState::Seq { size, cells } => {
+                    h.write_u64(2);
+                    h.write_u64(u64::from(*size));
+                    for (c, v) in cells {
+                        h.write_u64(u64::from(*c));
+                        h.write_u64(*v as u64);
+                    }
+                }
+                ObjectState::Sketch { kind, rows, cols, counters } => {
+                    h.write_u64(3);
+                    h.write_u64(match kind {
+                        SketchKind::CountMin => 0,
+                        SketchKind::Bloom => 1,
+                    });
+                    h.write_u64(u64::from(*rows));
+                    h.write_u64(u64::from(*cols));
+                    for row in counters {
+                        for v in row {
+                            h.write_u64(*v as u64);
+                        }
+                    }
+                }
+                ObjectState::Table { entries } => {
+                    h.write_u64(4);
+                    for (k, values) in entries {
+                        h.write_u64(*k);
+                        for v in values {
+                            h.write_u64(value_key(v));
+                        }
+                    }
+                }
+                ObjectState::Hash { modulus } => {
+                    h.write_u64(5);
+                    h.write_u64(modulus.map(u64::from).unwrap_or(u64::MAX));
+                }
+                ObjectState::Crypto => h.write_u64(6),
+            }
+        }
+        h.finish()
+    }
+
     /// Clear an object entirely.
     pub fn clear(&mut self, name: &str) {
         if let Some(state) = self.objects.get_mut(name) {
@@ -239,6 +316,45 @@ impl ObjectStore {
                 _ => {}
             }
         }
+    }
+}
+
+/// FNV-1a over explicit primitives.  Kept in-tree (and shared with the
+/// runtime's tenant→shard hash) so digests are stable across platforms and
+/// processes — std's `DefaultHasher` makes no such guarantee.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// Start a hash at the FNV-1a offset basis.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mix in a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Mix in a string, length-delimited so concatenations don't collide.
+    pub fn write_str(&mut self, s: &str) {
+        for byte in s.bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.write_u64(s.len() as u64);
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -296,7 +412,7 @@ mod tests {
         let a = s.hash("h", &[Value::Int(5)]);
         let b = s.hash("h", &[Value::Int(5)]);
         assert_eq!(a, b);
-        assert!(a >= 0 && a < 100);
+        assert!((0..100).contains(&a));
         assert_ne!(s.hash("h", &[Value::Int(5)]), s.hash("h", &[Value::Int(6)]));
     }
 
@@ -318,6 +434,42 @@ mod tests {
         );
         bf.sketch_count("bf", &Value::Bytes(vec![1, 2, 3]), 1);
         assert!(bf.sketch_estimate("bf", &Value::Bytes(vec![1, 2, 3])) > 0);
+    }
+
+    #[test]
+    fn merge_and_fingerprint_reconstruct_a_shared_store() {
+        let array = ObjectKind::Array { rows: 1, size: 16, width: 32 };
+        // two tenant-partitioned stores with disjoint object names
+        let mut a = store_with("t1_a", array.clone());
+        a.array_write("t1_a", 0, 3, 7);
+        let mut b = store_with("t2_a", array.clone());
+        b.array_write("t2_a", 0, 5, 9);
+        // the shared store both tenants would have written into
+        let mut shared = ObjectStore::new();
+        shared.declare(&ObjectDecl::new("t1_a", array.clone()));
+        shared.declare(&ObjectDecl::new("t2_a", array));
+        shared.array_write("t1_a", 0, 3, 7);
+        shared.array_write("t2_a", 0, 5, 9);
+
+        let mut merged = ObjectStore::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.fingerprint(), shared.fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // fingerprints react to content changes
+        let before = merged.fingerprint();
+        merged.array_write("t1_a", 0, 3, 8);
+        assert_ne!(merged.fingerprint(), before);
+    }
+
+    #[test]
+    fn remove_object_drops_state() {
+        let mut s = store_with("a", ObjectKind::Array { rows: 1, size: 4, width: 32 });
+        s.array_write("a", 0, 1, 5);
+        assert!(s.remove_object("a"));
+        assert!(!s.remove_object("a"));
+        assert!(!s.contains("a"));
+        assert_eq!(s.array_read("a", 0, 1), 0);
     }
 
     #[test]

@@ -451,10 +451,8 @@ impl<'a> Lowerer<'a> {
                     .and_then(|s| HashAlgo::parse(&s))
                     .unwrap_or(HashAlgo::Crc16);
                 let modulus = kw.get("ceil").and_then(Lowered::const_int).map(|v| v as u32);
-                // register the key header field if one was given
-                if kw.get("key").is_some() {
-                    // the key expression was already lowered (registering headers)
-                }
+                // a `key` kwarg, if given, was already lowered above
+                // (registering its header fields); nothing further to do
                 ObjectKind::Hash { algo, modulus }
             }
             ObjectCtor::Crypto => {
@@ -547,13 +545,12 @@ impl<'a> Lowerer<'a> {
                     self.emit_with_guard(OpCode::Assign { dest: phi.clone(), src: e_op }, g_else);
                     self.env.insert(name, EnvEntry::Value(Lowered::Op(Operand::var(phi))));
                 }
-                (Some(entry), None) | (None, Some(entry)) => {
+                (Some(entry), None) | (None, Some(entry))
                     // declared in one branch only (e.g. objects or templates);
                     // keep it if it did not exist before, otherwise keep base.
-                    if base.is_none() {
+                    if base.is_none() => {
                         self.env.insert(name, entry.clone());
                     }
-                }
                 (Some(EnvEntry::Template(t)), Some(EnvEntry::Template(_))) => {
                     self.env.insert(name, EnvEntry::Template(t.clone()));
                 }

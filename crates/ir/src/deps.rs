@@ -226,14 +226,14 @@ pub fn dependency_edges(
         for v in &set.reads_vars {
             if let Some(defs) = var_defs.get(v.as_str()) {
                 // last definition strictly before this instruction
-                if let Some(&def) = defs.iter().filter(|d| **d < idx).next_back() {
+                if let Some(&def) = defs.iter().rfind(|d| **d < idx) {
                     edges.push((def, idx, DependencyKind::Data));
                 }
             }
         }
         for fld in &set.reads_fields {
             if let Some(defs) = field_defs.get(fld.as_str()) {
-                if let Some(&def) = defs.iter().filter(|d| **d < idx).next_back() {
+                if let Some(&def) = defs.iter().rfind(|d| **d < idx) {
                     edges.push((def, idx, DependencyKind::Data));
                 }
             }

@@ -178,6 +178,10 @@ pub enum Expr {
     Dict(Vec<(Expr, Expr)>),
 }
 
+/// A plain named call destructured by [`Expr::as_named_call`]:
+/// `(name, positional args, keyword args)`.
+pub type NamedCall<'a> = (&'a str, &'a [Expr], &'a [(String, Expr)]);
+
 impl Expr {
     /// Convenience constructor for names.
     pub fn name(s: impl Into<String>) -> Expr {
@@ -198,7 +202,7 @@ impl Expr {
     }
 
     /// If this is a call of a plain named function, return `(name, args, kwargs)`.
-    pub fn as_named_call(&self) -> Option<(&str, &[Expr], &[(String, Expr)])> {
+    pub fn as_named_call(&self) -> Option<NamedCall<'_>> {
         match self {
             Expr::Call { func, args, kwargs } => match func.as_ref() {
                 Expr::Name(n) => Some((n.as_str(), args, kwargs)),

@@ -16,6 +16,9 @@ pub fn parse_program(tokens: &[Token]) -> Result<Program, LangError> {
     Ok(Program { stmts })
 }
 
+/// Positional and keyword arguments of a call, as parsed.
+type CallArgs = (Vec<Expr>, Vec<(String, Expr)>);
+
 struct Parser<'a> {
     tokens: &'a [Token],
     pos: usize,
@@ -441,7 +444,7 @@ impl<'a> Parser<'a> {
         Ok(expr)
     }
 
-    fn parse_call_args(&mut self) -> Result<(Vec<Expr>, Vec<(String, Expr)>), LangError> {
+    fn parse_call_args(&mut self) -> Result<CallArgs, LangError> {
         let mut args = Vec::new();
         let mut kwargs = Vec::new();
         while !self.check(&TokenKind::RParen) {

@@ -105,7 +105,7 @@ pub fn place(
         let device = &net.client[u];
         let children = &net.client_children[u];
         let mut table: Vec<Option<Choice>> = vec![None; n + 1];
-        for k in 0..=n {
+        for (k, slot) in table.iter_mut().enumerate() {
             let mut best: Option<Choice> = None;
             // j runs from k down to 0 so the segment grows monotonically and the
             // pruned loop can stop at the first infeasible extension
@@ -146,7 +146,7 @@ pub fn place(
                     }
                 }
             }
-            table[k] = best;
+            *slot = best;
         }
         tables[u] = table;
     }
@@ -238,10 +238,11 @@ pub fn place(
         comm_cost += cuts[split_k];
     }
     let mut k = split_k;
-    for i in 0..m {
-        let choice = server_tables[i][k].as_ref().expect("feasible server choice");
+    for (i, (server_table, server_node)) in server_tables.iter().zip(net.server.iter()).enumerate()
+    {
+        let choice = server_table[k].as_ref().expect("feasible server choice");
         let mid = choice.split;
-        assignments.push(make_assignment(&net.server[i], dag, &order, k, mid, &choice.alloc));
+        assignments.push(make_assignment(server_node, dag, &order, k, mid, &choice.alloc));
         if mid < n && i + 1 < m {
             comm_cost += cuts[mid];
         }

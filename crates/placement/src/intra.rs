@@ -129,11 +129,11 @@ pub fn allocate_stages(
             })
             .unwrap_or(0);
         let mut placed = false;
-        for s in min_stage..stages {
-            let mut candidate = stage_use[s];
+        for (s, use_slot) in stage_use.iter_mut().enumerate().take(stages).skip(min_stage) {
+            let mut candidate = *use_slot;
             candidate += demand;
             if candidate.fits_within(&per_stage_budget) {
-                stage_use[s] = candidate;
+                *use_slot = candidate;
                 stage_of.insert(i, s);
                 placed = true;
                 break;

@@ -289,7 +289,7 @@ mod tests {
         let cap = DeviceModel::tofino().total_capacity();
         ledger.consume(sw, cap);
         let r = ledger.remaining_ratio(&topo);
-        assert!(r < 1.0 && r >= 0.45, "one of two devices fully used: r = {r}");
+        assert!((0.45..1.0).contains(&r), "one of two devices fully used: r = {r}");
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub fn cut_costs(program: &IrProgram, dag: &BlockDag, order: &[usize]) -> Vec<f6
     let total_bits = total_vars as f64 * bits_per_var;
 
     let mut cuts = vec![0.0; n + 1];
-    for j in 1..n {
+    for (j, cut) in cuts.iter_mut().enumerate().take(n).skip(1) {
         let mut live = BTreeSet::new();
         for d in defs.iter().take(j) {
             live.extend(d.iter().copied());
@@ -88,7 +88,7 @@ pub fn cut_costs(program: &IrProgram, dag: &BlockDag, order: &[usize]) -> Vec<f6
                 }
             }
         }
-        cuts[j] = crossing as f64 * bits_per_var / total_bits;
+        *cut = crossing as f64 * bits_per_var / total_bits;
     }
     cuts
 }
@@ -133,10 +133,8 @@ mod tests {
         b.alu("v1", AluOp::Add, Operand::var("v0"), Operand::int(2));
         b.alu("v2", AluOp::Add, Operand::var("v1"), Operand::int(3));
         let program = b.build();
-        let dag = build_block_dag(
-            &program,
-            &BlockConfig { max_block_instrs: 1, enable_merging: false, ..Default::default() },
-        );
+        let dag =
+            build_block_dag(&program, &BlockConfig { max_block_instrs: 1, enable_merging: false });
         let order = dag.blocks_by_step();
         let cuts = cut_costs(&program, &dag, &order);
         assert_eq!(cuts.len(), dag.len() + 1);
@@ -154,10 +152,8 @@ mod tests {
         b.alu("v0", AluOp::Add, Operand::hdr("a"), Operand::int(1));
         b.alu("v1", AluOp::Add, Operand::hdr("b"), Operand::int(2));
         let program = b.build();
-        let dag = build_block_dag(
-            &program,
-            &BlockConfig { max_block_instrs: 1, enable_merging: false, ..Default::default() },
-        );
+        let dag =
+            build_block_dag(&program, &BlockConfig { max_block_instrs: 1, enable_merging: false });
         let order = dag.blocks_by_step();
         let cuts = cut_costs(&program, &dag, &order);
         assert!(cuts.iter().all(|c| *c == 0.0));

@@ -1,0 +1,27 @@
+//! Wiring the controller's reconfiguration events into a running engine.
+//!
+//! The controller owns the control plane (compile → place → synthesize →
+//! install); the engine owns the serving plane.  [`attach_controller`]
+//! registers a [`ReconfigureHook`] so every `Controller::deploy` and
+//! `Controller::remove` is mirrored onto the engine's shards while traffic
+//! keeps flowing — the live add/remove of paper §6 / Fig. 14, end to end.
+//!
+//! [`ReconfigureHook`]: clickinc::ReconfigureHook
+
+use crate::engine::EngineHandle;
+use clickinc::{Controller, ReconfigureEvent};
+
+/// Mirror every future deploy/remove of `controller` onto the engine.
+///
+/// Tenants already deployed before this call are *not* replayed — attach the
+/// bridge first, then deploy, so the engine sees every tenant exactly once.
+pub fn attach_controller(controller: &mut Controller, handle: EngineHandle) {
+    controller.add_reconfigure_hook(Box::new(move |event| match event {
+        ReconfigureEvent::TenantAdded { user, hops, .. } => {
+            handle.add_tenant(user, hops.clone());
+        }
+        ReconfigureEvent::TenantRemoved { user } => {
+            handle.remove_tenant(user);
+        }
+    }));
+}

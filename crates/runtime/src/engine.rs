@@ -1,0 +1,232 @@
+//! The traffic engine: shard threads, tenant routing, and the control plane.
+//!
+//! [`TrafficEngine`] spawns one worker thread per shard and partitions
+//! tenants across them by a stable FNV hash of the tenant id.  All
+//! interaction goes through a clonable [`EngineHandle`] — inject traffic,
+//! add/remove tenants while other tenants' traffic keeps flowing, write
+//! control-plane table entries, flush, snapshot telemetry.  [`TrafficEngine::finish`]
+//! drains every shard, merges the per-shard object stores back into the
+//! network-wide view, and returns the final telemetry report.
+
+use crate::shard::{ShardFinal, ShardMsg, ShardWorker};
+use crate::telemetry::{TelemetryRegistry, TelemetryReport, TenantCounters};
+use crate::workload::Workload;
+use clickinc::TenantHop;
+use clickinc_emulator::{Fnv, ObjectStore, Packet};
+use clickinc_ir::Value;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of shard worker threads (≥ 1).
+    pub shards: usize,
+    /// Packets processed per device-queue batch.
+    pub batch_size: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { shards: 4, batch_size: 256 }
+    }
+}
+
+/// Stable tenant → shard hash, independent of process and platform (the
+/// emulator's [`Fnv`] digest modulo the shard count).
+fn shard_of(tenant: &str, shards: usize) -> usize {
+    let mut h = Fnv::new();
+    h.write_str(tenant);
+    (h.finish() % shards.max(1) as u64) as usize
+}
+
+/// Clonable, `Send` front door to a running engine.  Everything the control
+/// plane and the workload drivers need — including the controller bridge —
+/// goes through this handle.
+#[derive(Clone)]
+pub struct EngineHandle {
+    senders: Arc<Vec<Sender<ShardMsg>>>,
+    registry: Arc<TelemetryRegistry>,
+}
+
+impl EngineHandle {
+    /// Register a tenant: its traffic route and per-device snippets are
+    /// installed on the owning shard's plane replicas.  Traffic injected
+    /// after this call (the channel is FIFO) sees the program.
+    pub fn add_tenant(&self, user: &str, hops: Vec<TenantHop>) {
+        let counters = Arc::new(TenantCounters::new(hops.len()));
+        self.registry.register(user, Arc::clone(&counters));
+        let shard = shard_of(user, self.senders.len());
+        let _ = self.senders[shard].send(ShardMsg::AddTenant {
+            user: user.to_string(),
+            hops,
+            counters,
+        });
+    }
+
+    /// Remove a tenant.  The owning shard quiesces the tenant's queued
+    /// traffic first (FIFO channel), then drops only its snippets and
+    /// exclusively-owned tables; co-resident tenants keep flowing untouched.
+    pub fn remove_tenant(&self, user: &str) {
+        let shard = shard_of(user, self.senders.len());
+        let _ = self.senders[shard].send(ShardMsg::RemoveTenant { user: user.to_string() });
+    }
+
+    /// Inject a batch of `(virtual arrival ns, packet)` pairs for a tenant,
+    /// in stream order.
+    pub fn inject(&self, tenant: &Arc<str>, jobs: Vec<(u64, Packet)>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let shard = shard_of(tenant, self.senders.len());
+        let _ = self.senders[shard].send(ShardMsg::Inject { user: Arc::clone(tenant), jobs });
+    }
+
+    /// Control-plane table write on the shard replica that owns `tenant`
+    /// (e.g. pre-populating the tenant's renamed KVS cache table).
+    pub fn populate_table(
+        &self,
+        tenant: &str,
+        device: &str,
+        table: &str,
+        key: Vec<Value>,
+        value: Vec<Value>,
+    ) {
+        let shard = shard_of(tenant, self.senders.len());
+        let _ = self.senders[shard].send(ShardMsg::TableWrite {
+            device: device.to_string(),
+            table: table.to_string(),
+            key,
+            value,
+        });
+    }
+
+    /// Drain a workload into the engine: packets are pulled from the
+    /// generator, grouped per tenant into `inject_batch`-sized batches, and
+    /// sent to the owning shards in stream order.  Stops after `max_packets`
+    /// (or when the workload is exhausted) and returns how many were sent.
+    pub fn run_workload(
+        &self,
+        workload: &mut dyn Workload,
+        max_packets: usize,
+        inject_batch: usize,
+    ) -> usize {
+        let inject_batch = inject_batch.max(1);
+        let mut buffers: BTreeMap<Arc<str>, Vec<(u64, Packet)>> = BTreeMap::new();
+        let mut sent = 0usize;
+        while sent < max_packets {
+            let Some(generated) = workload.next_packet() else { break };
+            sent += 1;
+            let buffer = buffers.entry(Arc::clone(&generated.tenant)).or_default();
+            buffer.push((generated.vtime_ns, generated.packet));
+            if buffer.len() >= inject_batch {
+                let jobs = std::mem::take(buffer);
+                self.inject(&generated.tenant, jobs);
+            }
+        }
+        for (tenant, jobs) in buffers {
+            self.inject(&tenant, jobs);
+        }
+        sent
+    }
+
+    /// Barrier: returns once every shard has drained its queues.
+    pub fn flush(&self) {
+        let acks: Vec<_> = self
+            .senders
+            .iter()
+            .map(|s| {
+                let (tx, rx) = channel();
+                let _ = s.send(ShardMsg::Flush(tx));
+                rx
+            })
+            .collect();
+        for rx in acks {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Merge the per-shard counters into a per-tenant telemetry report.
+    /// Cheap and safe to call while traffic flows; exact after a flush.
+    pub fn telemetry(&self) -> TelemetryReport {
+        self.registry.snapshot()
+    }
+}
+
+/// Everything a finished run leaves behind.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Final merged telemetry.
+    pub telemetry: TelemetryReport,
+    /// Final object stores per device, merged across shards.  Tenant
+    /// isolation makes the per-shard stores disjoint, so this union equals
+    /// the store an unsharded run would produce.
+    pub stores: BTreeMap<String, ObjectStore>,
+}
+
+/// The sharded, batched traffic engine.
+pub struct TrafficEngine {
+    handle: EngineHandle,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TrafficEngine {
+    /// Spawn `config.shards` worker threads.
+    pub fn new(config: EngineConfig) -> TrafficEngine {
+        let shards = config.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = channel::<ShardMsg>();
+            let batch = config.batch_size;
+            senders.push(tx);
+            workers.push(std::thread::spawn(move || ShardWorker::run(rx, batch)));
+        }
+        TrafficEngine {
+            handle: EngineHandle {
+                senders: Arc::new(senders),
+                registry: Arc::new(TelemetryRegistry::default()),
+            },
+            workers,
+        }
+    }
+
+    /// A clonable handle for drivers, the controller bridge, and observers.
+    pub fn handle(&self) -> EngineHandle {
+        self.handle.clone()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.handle.senders.len()
+    }
+
+    /// Stop every shard, merge their final stores, and return the outcome.
+    pub fn finish(self) -> RunOutcome {
+        let finals: Vec<ShardFinal> = self
+            .handle
+            .senders
+            .iter()
+            .map(|s| {
+                let (tx, rx) = channel();
+                let _ = s.send(ShardMsg::Stop(tx));
+                rx
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .filter_map(|rx| rx.recv().ok())
+            .collect();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        let mut stores: BTreeMap<String, ObjectStore> = BTreeMap::new();
+        for shard_final in finals {
+            for (device, plane) in shard_final.planes {
+                stores.entry(device).or_default().merge_from(plane.store());
+            }
+        }
+        RunOutcome { telemetry: self.handle.telemetry(), stores }
+    }
+}

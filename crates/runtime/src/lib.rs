@@ -1,0 +1,60 @@
+//! # clickinc-runtime — serving INC programs under load
+//!
+//! The controller (`clickinc`) answers *where programs run*; this crate
+//! answers *how traffic reaches them at scale*.  It replaces the
+//! single-threaded scenario loop with a sharded, batched traffic engine:
+//!
+//! * **Sharded execution** — [`engine::TrafficEngine`] partitions tenants
+//!   across worker threads by a stable hash.  Each shard owns private
+//!   replicas of the device planes its tenants traverse and drains
+//!   per-device ingress queues in configurable batches ([`shard`]).  Tenant
+//!   isolation (renamed objects + user-id guards) makes the partition
+//!   semantically equivalent to one shared store: the union of shard stores
+//!   equals the unsharded store, and per-tenant results are invariant in the
+//!   shard count.
+//! * **Workload generation** — [`workload`] provides seeded, open-loop
+//!   generators: a Zipf-skewed KVS stream (precomputed-CDF sampler shared
+//!   with the emulator's scenario driver), sparse gradient aggregation, and
+//!   a mixed multi-tenant profile.
+//! * **Telemetry** — [`telemetry`] keeps lock-free per-shard counters merged
+//!   into per-tenant stats: goodput against the workload's virtual clock,
+//!   in-network hit ratio, p50/p99 latency from log₂ histograms, per-link
+//!   byte counts — all exportable as JSON.
+//! * **Live reconfiguration** — tenants are added and removed *while other
+//!   tenants' traffic flows*.  Control messages share the FIFO channel with
+//!   traffic, so a removal quiesces exactly the affected tenant's queued
+//!   packets, then drops only its snippets and tables.
+//!   [`bridge::attach_controller`] mirrors `Controller::deploy`/`remove`
+//!   onto a running engine automatically.
+//!
+//! ```
+//! use clickinc_runtime::{EngineConfig, TrafficEngine};
+//! use clickinc_runtime::workload::{KvsWorkload, KvsWorkloadConfig};
+//!
+//! let engine = TrafficEngine::new(EngineConfig { shards: 2, batch_size: 64 });
+//! let handle = engine.handle();
+//! handle.add_tenant("t1", Vec::new()); // no hops: pure pass-through
+//! let mut wl = KvsWorkload::new(KvsWorkloadConfig {
+//!     tenant: "t1".into(),
+//!     requests: 100,
+//!     ..Default::default()
+//! });
+//! handle.run_workload(&mut wl, 100, 32);
+//! handle.flush();
+//! let outcome = engine.finish();
+//! assert_eq!(outcome.telemetry.tenant("t1").unwrap().to_server, 100);
+//! ```
+
+pub mod bridge;
+pub mod engine;
+pub mod shard;
+pub mod telemetry;
+pub mod workload;
+
+pub use bridge::attach_controller;
+pub use engine::{EngineConfig, EngineHandle, RunOutcome, TrafficEngine};
+pub use telemetry::{TelemetryReport, TenantCounters, TenantStats};
+pub use workload::{
+    GeneratedPacket, KvsWorkload, KvsWorkloadConfig, MixedWorkload, MlAggWorkload,
+    MlAggWorkloadConfig, Workload,
+};

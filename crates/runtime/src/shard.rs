@@ -1,0 +1,239 @@
+//! Shard workers: each owns a partition of the data-plane state and drains
+//! per-device ingress queues in batches.
+//!
+//! The engine partitions tenants across shards by a stable hash of the tenant
+//! id.  A shard owns private replicas of the device planes its tenants
+//! traverse, so the packet hot path touches no shared mutable state at all —
+//! the only cross-thread traffic is the inbound message channel and the
+//! relaxed atomic telemetry counters.  Because tenant isolation renames every
+//! stateful object with the owner's prefix and guards every instruction with
+//! a user-id match, partitioning state *by tenant* is semantically identical
+//! to the single shared store a real device would hold: the union of the
+//! shard stores equals the unsharded store, which is what the shard-count
+//! invariance tests assert.
+//!
+//! Control messages (tenant add/remove, table writes, flush) travel on the
+//! same FIFO channel as traffic batches, so a reconfiguration is naturally
+//! quiesced: by the time a `RemoveTenant` is handled, every batch injected
+//! before it has fully drained, and the removal touches only the departing
+//! tenant's snippets and tables ([`DevicePlane::uninstall`]).
+
+use crate::telemetry::TenantCounters;
+use clickinc::TenantHop;
+use clickinc_emulator::{DevicePlane, Packet, PacketAction};
+use clickinc_ir::Value;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+/// A packet in flight inside a shard, with its route and accumulated clock.
+struct Job {
+    counters: Arc<TenantCounters>,
+    route: Arc<Vec<String>>,
+    hop: usize,
+    vtime_ns: u64,
+    latency_ns: f64,
+    packet: Packet,
+}
+
+/// A tenant resident on a shard.
+struct TenantState {
+    route: Arc<Vec<String>>,
+    counters: Arc<TenantCounters>,
+}
+
+/// Messages a shard worker consumes.  The channel is FIFO, which is what
+/// serializes traffic against reconfiguration.
+pub(crate) enum ShardMsg {
+    /// Install a tenant: create/extend device planes, install snippets.
+    AddTenant { user: String, hops: Vec<TenantHop>, counters: Arc<TenantCounters> },
+    /// Quiesce and remove a tenant's snippets and state.
+    RemoveTenant { user: String },
+    /// A batch of packets for one tenant, in stream order.
+    Inject { user: Arc<str>, jobs: Vec<(u64, Packet)> },
+    /// Control-plane table write (e.g. pre-populating a KVS cache).
+    TableWrite { device: String, table: String, key: Vec<Value>, value: Vec<Value> },
+    /// Barrier: acknowledge once every queued packet has drained.
+    Flush(Sender<()>),
+    /// Drain, ship the final planes back, and exit.
+    Stop(Sender<ShardFinal>),
+}
+
+/// What a shard hands back when it stops: its device-plane replicas, whose
+/// stores the engine merges into the network-wide final state.
+pub(crate) struct ShardFinal {
+    pub planes: BTreeMap<String, DevicePlane>,
+}
+
+/// The worker loop: owned by one OS thread per shard.
+pub(crate) struct ShardWorker {
+    batch_size: usize,
+    planes: BTreeMap<String, DevicePlane>,
+    tenants: BTreeMap<String, TenantState>,
+    queues: BTreeMap<String, VecDeque<Job>>,
+}
+
+impl ShardWorker {
+    pub(crate) fn run(rx: Receiver<ShardMsg>, batch_size: usize) {
+        let mut worker = ShardWorker {
+            batch_size: batch_size.max(1),
+            planes: BTreeMap::new(),
+            tenants: BTreeMap::new(),
+            queues: BTreeMap::new(),
+        };
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ShardMsg::AddTenant { user, hops, counters } => {
+                    worker.add_tenant(user, hops, counters)
+                }
+                ShardMsg::RemoveTenant { user } => worker.remove_tenant(&user),
+                ShardMsg::Inject { user, jobs } => {
+                    worker.inject(&user, jobs);
+                    worker.pump();
+                }
+                ShardMsg::TableWrite { device, table, key, value } => {
+                    if let Some(plane) = worker.planes.get_mut(&device) {
+                        plane.store_mut().table_write(&table, &key, value);
+                    }
+                }
+                ShardMsg::Flush(ack) => {
+                    worker.pump();
+                    let _ = ack.send(());
+                }
+                ShardMsg::Stop(ack) => {
+                    worker.pump();
+                    let _ = ack.send(ShardFinal { planes: std::mem::take(&mut worker.planes) });
+                    break;
+                }
+            }
+        }
+    }
+
+    fn add_tenant(&mut self, user: String, hops: Vec<TenantHop>, counters: Arc<TenantCounters>) {
+        let route: Vec<String> = hops.iter().map(|h| h.device.clone()).collect();
+        for hop in hops {
+            let plane = self
+                .planes
+                .entry(hop.device.clone())
+                .or_insert_with(|| DevicePlane::new(&hop.device, hop.model.clone()));
+            for snippet in hop.snippets {
+                plane.install(snippet);
+            }
+        }
+        self.tenants.insert(user, TenantState { route: Arc::new(route), counters });
+    }
+
+    fn remove_tenant(&mut self, user: &str) {
+        // the FIFO channel already quiesced this tenant's traffic; drop its
+        // snippets and exclusively-owned state, leaving co-resident tenants'
+        // tables untouched
+        let Some(state) = self.tenants.remove(user) else { return };
+        for device in state.route.iter() {
+            if let Some(plane) = self.planes.get_mut(device) {
+                plane.uninstall(user);
+            }
+        }
+    }
+
+    fn inject(&mut self, user: &str, jobs: Vec<(u64, Packet)>) {
+        let Some(state) = self.tenants.get(user) else {
+            // tenant unknown (never added, or already removed): drop silently —
+            // the engine only routes here between add and remove
+            return;
+        };
+        let route = Arc::clone(&state.route);
+        let counters = Arc::clone(&state.counters);
+        counters.packets.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        for (vtime_ns, packet) in jobs {
+            let job = Job {
+                counters: Arc::clone(&counters),
+                route: Arc::clone(&route),
+                hop: 0,
+                vtime_ns,
+                latency_ns: 0.0,
+                packet,
+            };
+            self.enqueue(job);
+        }
+    }
+
+    fn enqueue(&mut self, job: Job) {
+        match job.route.get(job.hop) {
+            Some(device) => {
+                self.queues.entry(device.clone()).or_default().push_back(job);
+            }
+            None => complete_at_server(job),
+        }
+    }
+
+    /// Drain every ingress queue, `batch_size` packets per device at a time,
+    /// until the shard is idle.
+    fn pump(&mut self) {
+        while let Some(device) =
+            self.queues.iter().find(|(_, q)| !q.is_empty()).map(|(d, _)| d.clone())
+        {
+            let mut batch: Vec<Job> = {
+                let queue = self.queues.get_mut(&device).expect("queue exists");
+                let take = queue.len().min(self.batch_size);
+                queue.drain(..take).collect()
+            };
+            let Some(plane) = self.planes.get_mut(&device) else {
+                // no replica for this device (snippet-less hop): traverse free
+                for mut job in batch {
+                    job.hop += 1;
+                    self.enqueue(job);
+                }
+                continue;
+            };
+            // account ingress bytes, lift the packets out, run the whole
+            // batch through the device in one call, then re-attach outcomes
+            let mut packets: Vec<Packet> = batch
+                .iter_mut()
+                .map(|job| {
+                    if let Some(link) = job.counters.link_bytes.get(job.hop) {
+                        link.fetch_add(job.packet.wire_bytes() as u64, Ordering::Relaxed);
+                    }
+                    std::mem::replace(&mut job.packet, Packet::new("", "", 0, BTreeMap::new()))
+                })
+                .collect();
+            let outcomes = plane.process_batch(&mut packets);
+            for ((mut job, packet), outcome) in batch.into_iter().zip(packets).zip(outcomes) {
+                job.packet = packet;
+                job.latency_ns += outcome.latency_ns;
+                match outcome.action {
+                    PacketAction::Forward => {
+                        job.hop += 1;
+                        self.enqueue(job);
+                    }
+                    PacketAction::Back => {
+                        job.counters.hits.fetch_add(1, Ordering::Relaxed);
+                        finish(job);
+                    }
+                    PacketAction::Drop => {
+                        job.counters.drops.fetch_add(1, Ordering::Relaxed);
+                        finish(job);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Terminal accounting shared by every outcome.
+fn finish(job: Job) {
+    let payload = job.packet.wire_bytes().saturating_sub(job.packet.base_bytes) as u64;
+    job.counters.payload_bytes.fetch_add(payload, Ordering::Relaxed);
+    job.counters.record_completion(job.latency_ns, job.vtime_ns);
+}
+
+/// The packet traversed every hop: it crosses the final link into the server.
+fn complete_at_server(job: Job) {
+    let wire = job.packet.wire_bytes() as u64;
+    job.counters.to_server.fetch_add(1, Ordering::Relaxed);
+    job.counters.server_bytes.fetch_add(wire, Ordering::Relaxed);
+    if let Some(link) = job.counters.link_bytes.get(job.route.len()) {
+        link.fetch_add(wire, Ordering::Relaxed);
+    }
+    finish(job);
+}

@@ -1,0 +1,310 @@
+//! Per-tenant telemetry: lock-free shard-side counters, merged snapshots.
+//!
+//! Every shard worker owns an [`TenantCounters`] per resident tenant and
+//! updates it with relaxed atomic adds on the packet hot path — no locks, no
+//! cross-shard cache-line sharing.  The engine's snapshot path walks a small
+//! registry (one mutex acquisition per snapshot, never per packet) and merges
+//! the per-shard counters into immutable [`TenantStats`] values that derive
+//! `serde::Serialize` for JSON export.
+//!
+//! Latency percentiles come from a 64-bucket log₂ histogram: deterministic,
+//! constant-size, and mergeable by addition.  Goodput is computed against the
+//! workload's *virtual* clock (open-loop arrival time + accumulated device
+//! latency), so identical workloads report identical goodput regardless of
+//! how many OS threads the engine happens to run on.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log₂ latency-histogram buckets (covers 1 ns … ~18 s).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Lock-free counters for one tenant on one shard.  All updates are relaxed
+/// atomics; reads may race with traffic and observe a consistent-enough
+/// snapshot (exact once the engine is flushed).
+#[derive(Debug)]
+pub struct TenantCounters {
+    /// Packets injected for the tenant.
+    pub packets: AtomicU64,
+    /// Packets that reached a terminal outcome (hit, drop or server).
+    pub completed: AtomicU64,
+    /// Packets answered in-network (a device bounced them back).
+    pub hits: AtomicU64,
+    /// Packets absorbed by a device (aggregated or filtered).
+    pub drops: AtomicU64,
+    /// Packets that traversed every hop and reached the destination server.
+    pub to_server: AtomicU64,
+    /// Wire bytes that crossed the final (server) link.
+    pub server_bytes: AtomicU64,
+    /// Application payload bytes carried by completed packets.
+    pub payload_bytes: AtomicU64,
+    /// Sum of per-packet end-to-end latency in nanoseconds.
+    pub latency_sum_ns: AtomicU64,
+    /// Virtual completion clock: max(arrival + latency) over completions.
+    pub vtime_max_ns: AtomicU64,
+    /// log₂ latency histogram.
+    pub hist: [AtomicU64; HIST_BUCKETS],
+    /// Wire bytes entering each hop (`route.len()` hops) plus the final
+    /// server link (last entry).
+    pub link_bytes: Vec<AtomicU64>,
+}
+
+impl TenantCounters {
+    /// Counters for a tenant whose route has `hops` programmable hops.
+    pub fn new(hops: usize) -> TenantCounters {
+        TenantCounters {
+            packets: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            to_server: AtomicU64::new(0),
+            server_bytes: AtomicU64::new(0),
+            payload_bytes: AtomicU64::new(0),
+            latency_sum_ns: AtomicU64::new(0),
+            vtime_max_ns: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            link_bytes: (0..=hops).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record a terminal outcome: end-to-end latency and virtual completion
+    /// time.
+    pub fn record_completion(&self, latency_ns: f64, vtime_ns: u64) {
+        let lat = latency_ns.round().max(0.0) as u64;
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_ns.fetch_add(lat, Ordering::Relaxed);
+        self.hist[bucket_of(lat)].fetch_add(1, Ordering::Relaxed);
+        self.vtime_max_ns.fetch_max(vtime_ns.saturating_add(lat), Ordering::Relaxed);
+    }
+}
+
+/// Histogram bucket for a latency in nanoseconds.
+fn bucket_of(ns: u64) -> usize {
+    (64 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Representative latency of a bucket (geometric midpoint of its range).
+fn bucket_value(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        1 => 1,
+        b => (1u64 << (b - 1)) + (1u64 << (b - 2)),
+    }
+}
+
+/// Immutable per-tenant statistics, merged across shards.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantStats {
+    /// Tenant (user) id.
+    pub tenant: String,
+    /// Packets injected.
+    pub packets: u64,
+    /// Packets that reached a terminal outcome.
+    pub completed: u64,
+    /// Packets answered in-network.
+    pub hits: u64,
+    /// Packets absorbed in-network.
+    pub drops: u64,
+    /// Packets that reached the destination server.
+    pub to_server: u64,
+    /// In-network hit ratio: `hits / completed`.
+    pub hit_ratio: f64,
+    /// Application payload bytes carried by completed packets.
+    pub payload_bytes: u64,
+    /// Wire bytes that crossed the final (server) link.
+    pub server_bytes: u64,
+    /// Payload bits per virtual nanosecond — Gbps against the workload clock.
+    pub goodput_gbps: f64,
+    /// Mean end-to-end latency in nanoseconds.
+    pub latency_mean_ns: f64,
+    /// Median latency (log-bucket resolution).
+    pub latency_p50_ns: u64,
+    /// 99th-percentile latency (log-bucket resolution).
+    pub latency_p99_ns: u64,
+    /// Wire bytes entering each hop, final server link last.
+    pub link_bytes: Vec<u64>,
+}
+
+impl TenantStats {
+    /// Merge one tenant's per-shard counters into a stats value.
+    pub fn merge(tenant: &str, parts: &[Arc<TenantCounters>]) -> TenantStats {
+        let sum = |f: &dyn Fn(&TenantCounters) -> &AtomicU64| -> u64 {
+            parts.iter().map(|c| f(c).load(Ordering::Relaxed)).sum()
+        };
+        let packets = sum(&|c| &c.packets);
+        let completed = sum(&|c| &c.completed);
+        let hits = sum(&|c| &c.hits);
+        let drops = sum(&|c| &c.drops);
+        let to_server = sum(&|c| &c.to_server);
+        let payload_bytes = sum(&|c| &c.payload_bytes);
+        let server_bytes = sum(&|c| &c.server_bytes);
+        let latency_sum = sum(&|c| &c.latency_sum_ns);
+        let vtime_max =
+            parts.iter().map(|c| c.vtime_max_ns.load(Ordering::Relaxed)).max().unwrap_or(0);
+
+        let mut hist = [0u64; HIST_BUCKETS];
+        for c in parts {
+            for (slot, bucket) in hist.iter_mut().zip(c.hist.iter()) {
+                *slot += bucket.load(Ordering::Relaxed);
+            }
+        }
+        let links = parts.iter().map(|c| c.link_bytes.len()).max().unwrap_or(0);
+        let mut link_bytes = vec![0u64; links];
+        for c in parts {
+            for (slot, link) in link_bytes.iter_mut().zip(c.link_bytes.iter()) {
+                *slot += link.load(Ordering::Relaxed);
+            }
+        }
+
+        TenantStats {
+            tenant: tenant.to_string(),
+            packets,
+            completed,
+            hits,
+            drops,
+            to_server,
+            hit_ratio: if completed == 0 { 0.0 } else { hits as f64 / completed as f64 },
+            payload_bytes,
+            server_bytes,
+            goodput_gbps: if vtime_max == 0 {
+                0.0
+            } else {
+                payload_bytes as f64 * 8.0 / vtime_max as f64
+            },
+            latency_mean_ns: if completed == 0 {
+                0.0
+            } else {
+                latency_sum as f64 / completed as f64
+            },
+            latency_p50_ns: percentile(&hist, completed, 0.50),
+            latency_p99_ns: percentile(&hist, completed, 0.99),
+            link_bytes,
+        }
+    }
+}
+
+/// Percentile over a merged histogram.
+fn percentile(hist: &[u64; HIST_BUCKETS], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (bucket, count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= target {
+            return bucket_value(bucket);
+        }
+    }
+    bucket_value(HIST_BUCKETS - 1)
+}
+
+/// A merged snapshot of every tenant the engine has ever hosted.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TelemetryReport {
+    /// Per-tenant statistics, keyed by tenant id.
+    pub tenants: BTreeMap<String, TenantStats>,
+}
+
+impl TelemetryReport {
+    /// The stats of one tenant, if it ever carried traffic.
+    pub fn tenant(&self, name: &str) -> Option<&TenantStats> {
+        self.tenants.get(name)
+    }
+
+    /// Pretty-printed JSON export.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("telemetry serializes")
+    }
+}
+
+/// The engine-side registry mapping tenants to their per-shard counters.
+/// Locked only on tenant add/remove and snapshot — never on the packet path.
+#[derive(Debug, Default)]
+pub struct TelemetryRegistry {
+    tenants: Mutex<BTreeMap<String, Vec<Arc<TenantCounters>>>>,
+}
+
+impl TelemetryRegistry {
+    /// Register a (tenant, shard) counter block.
+    pub fn register(&self, tenant: &str, counters: Arc<TenantCounters>) {
+        self.tenants.lock().unwrap().entry(tenant.to_string()).or_default().push(counters);
+    }
+
+    /// Merge every tenant's counters into a report.
+    pub fn snapshot(&self) -> TelemetryReport {
+        let tenants = self.tenants.lock().unwrap();
+        TelemetryReport {
+            tenants: tenants
+                .iter()
+                .map(|(name, parts)| (name.clone(), TenantStats::merge(name, parts)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_latency_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        for b in 2..20 {
+            let v = bucket_value(b);
+            assert_eq!(bucket_of(v), b, "midpoint of bucket {b} maps back");
+        }
+    }
+
+    #[test]
+    fn merge_sums_counters_and_computes_ratios() {
+        let a = Arc::new(TenantCounters::new(2));
+        let b = Arc::new(TenantCounters::new(2));
+        for (c, n) in [(&a, 3u64), (&b, 1u64)] {
+            for _ in 0..n {
+                c.packets.fetch_add(1, Ordering::Relaxed);
+                c.hits.fetch_add(1, Ordering::Relaxed);
+                c.payload_bytes.fetch_add(100, Ordering::Relaxed);
+                c.record_completion(500.0, 1_000);
+            }
+        }
+        let stats = TenantStats::merge("t", &[a, b]);
+        assert_eq!(stats.packets, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.hit_ratio, 1.0);
+        assert_eq!(stats.payload_bytes, 400);
+        assert_eq!(stats.latency_mean_ns, 500.0);
+        assert!(stats.latency_p50_ns >= 256 && stats.latency_p50_ns <= 1024);
+        assert!(stats.goodput_gbps > 0.0);
+    }
+
+    #[test]
+    fn report_exports_json() {
+        let registry = TelemetryRegistry::default();
+        registry.register("alpha", Arc::new(TenantCounters::new(1)));
+        let report = registry.snapshot();
+        let json = report.to_json();
+        assert!(json.contains("\"alpha\""));
+        assert!(json.contains("\"goodput_gbps\""));
+        assert_eq!(report.tenant("alpha").unwrap().packets, 0);
+        assert!(report.tenant("missing").is_none());
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q() {
+        let c = Arc::new(TenantCounters::new(0));
+        for i in 0..1000u64 {
+            c.record_completion(i as f64, 0);
+        }
+        let s = TenantStats::merge("t", &[c]);
+        assert!(s.latency_p99_ns >= s.latency_p50_ns);
+    }
+}

@@ -1,0 +1,215 @@
+//! The two load-bearing guarantees of the runtime:
+//!
+//! 1. **Shard-count invariance** — the engine is an optimization, not a
+//!    semantics change: per-tenant telemetry and the final (merged) object
+//!    stores are identical for 1, 2 and 8 shards.
+//! 2. **Zero cross-tenant disruption** — adding and removing a tenant while
+//!    other tenants' traffic flows leaves those tenants' telemetry
+//!    *bit-for-bit* identical to a run where the reconfiguration never
+//!    happened.
+
+use clickinc::TenantHop;
+use clickinc_device::DeviceModel;
+use clickinc_frontend::compile_source;
+use clickinc_ir::Value;
+use clickinc_lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggParams};
+use clickinc_runtime::workload::{
+    KvsWorkload, KvsWorkloadConfig, MixedWorkload, MlAggWorkload, MlAggWorkloadConfig, Workload,
+};
+use clickinc_runtime::{EngineConfig, TelemetryReport, TrafficEngine};
+use clickinc_synthesis::isolate_user_program;
+use std::collections::BTreeMap;
+
+/// A KVS tenant on the shared ToR: isolated program (renamed tables, user-id
+/// guards) on device `tor0`.
+fn kvs_tenant(name: &str, id: i64) -> Vec<TenantHop> {
+    let t = kvs_template(name, KvsParams { cache_depth: 1024, ..Default::default() });
+    let ir = compile_source(name, &t.source).unwrap();
+    vec![TenantHop {
+        device: "tor0".to_string(),
+        model: DeviceModel::tofino(),
+        snippets: vec![isolate_user_program(&ir, name, id)],
+    }]
+}
+
+/// An MLAgg tenant whose path crosses the shared ToR (no snippet there) and
+/// aggregates on `agg0`.
+fn mlagg_tenant(name: &str, id: i64, dims: u32, workers: u32) -> Vec<TenantHop> {
+    let t = mlagg_template(
+        name,
+        MlAggParams { dims, num_workers: workers, num_aggregators: 1024, ..Default::default() },
+    );
+    let ir = compile_source(name, &t.source).unwrap();
+    vec![
+        TenantHop { device: "tor0".to_string(), model: DeviceModel::tofino(), snippets: vec![] },
+        TenantHop {
+            device: "agg0".to_string(),
+            model: DeviceModel::tofino(),
+            snippets: vec![isolate_user_program(&ir, name, id)],
+        },
+    ]
+}
+
+fn kvs_workload(name: &str, id: i64, requests: usize, seed: u64) -> KvsWorkload {
+    KvsWorkload::new(KvsWorkloadConfig {
+        tenant: name.to_string(),
+        user_id: id,
+        keys: 500,
+        skew: 1.2,
+        requests,
+        rate_pps: 10_000_000.0,
+        seed,
+    })
+}
+
+fn populate_cache(handle: &clickinc_runtime::EngineHandle, name: &str, hot_keys: i64) {
+    for key in 0..hot_keys {
+        handle.populate_table(
+            name,
+            "tor0",
+            &format!("{name}_cache"),
+            vec![Value::Int(key)],
+            vec![Value::Int(key * 1000 + 7)],
+        );
+    }
+}
+
+fn run_mixed(shards: usize) -> (TelemetryReport, BTreeMap<String, u64>) {
+    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 16 });
+    let handle = engine.handle();
+    handle.add_tenant("alpha", kvs_tenant("alpha", 1));
+    handle.add_tenant("beta", kvs_tenant("beta", 2));
+    handle.add_tenant("gamma", mlagg_tenant("gamma", 3, 8, 4));
+    populate_cache(&handle, "alpha", 64);
+    populate_cache(&handle, "beta", 64);
+
+    let mut mixed = MixedWorkload::new(vec![
+        Box::new(kvs_workload("alpha", 1, 1200, 11)) as Box<dyn Workload>,
+        Box::new(kvs_workload("beta", 2, 1200, 22)),
+        Box::new(MlAggWorkload::new(MlAggWorkloadConfig {
+            tenant: "gamma".to_string(),
+            user_id: 3,
+            workers: 4,
+            rounds: 150,
+            dims: 8,
+            sparsity: 0.5,
+            block_size: 4,
+            rate_pps: 10_000_000.0,
+            seed: 33,
+        })),
+    ]);
+    handle.run_workload(&mut mixed, usize::MAX, 32);
+    handle.flush();
+    let outcome = engine.finish();
+    let fingerprints = outcome.stores.iter().map(|(d, s)| (d.clone(), s.fingerprint())).collect();
+    (outcome.telemetry, fingerprints)
+}
+
+#[test]
+fn per_tenant_results_are_invariant_in_the_shard_count() {
+    let (stats1, stores1) = run_mixed(1);
+    let (stats2, stores2) = run_mixed(2);
+    let (stats8, stores8) = run_mixed(8);
+
+    // the workload actually exercised every mechanism
+    let alpha = stats1.tenant("alpha").expect("alpha served");
+    assert_eq!(alpha.packets, 1200);
+    assert_eq!(alpha.completed, 1200);
+    assert!(alpha.hit_ratio > 0.3, "skewed stream hits the cache: {}", alpha.hit_ratio);
+    assert!(alpha.goodput_gbps > 0.0);
+    assert!(alpha.latency_p99_ns >= alpha.latency_p50_ns);
+    let gamma = stats1.tenant("gamma").expect("gamma served");
+    assert!(gamma.hits > 0, "completed aggregations bounce back");
+    assert!(gamma.drops > 0, "partial aggregations are absorbed");
+    assert_eq!(gamma.link_bytes.len(), 3, "two hops + server link");
+
+    // identical per-tenant aggregate counters, bit for bit
+    assert_eq!(stats1, stats2);
+    assert_eq!(stats1, stats8);
+    // identical final object stores (merged across shards)
+    assert_eq!(stores1, stores2);
+    assert_eq!(stores1, stores8);
+}
+
+/// Drive alpha and beta in three phases; in the middle phase, optionally add
+/// a third tenant (co-resident on the same shared device), run its traffic,
+/// and remove it again.
+fn run_phased(shards: usize, disrupt: bool) -> TelemetryReport {
+    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 16 });
+    let handle = engine.handle();
+    handle.add_tenant("alpha", kvs_tenant("alpha", 1));
+    handle.add_tenant("beta", kvs_tenant("beta", 2));
+    populate_cache(&handle, "alpha", 64);
+    populate_cache(&handle, "beta", 64);
+
+    let mut alpha = kvs_workload("alpha", 1, 1500, 11);
+    let mut beta = kvs_workload("beta", 2, 1500, 22);
+
+    handle.run_workload(&mut alpha, 600, 64);
+    handle.run_workload(&mut beta, 600, 64);
+
+    if disrupt {
+        // gamma's aggregation program lands on the SAME device the KVS
+        // tenants share (tor0): maximal co-residence
+        let t = mlagg_template(
+            "gamma",
+            MlAggParams { dims: 8, num_workers: 4, num_aggregators: 512, ..Default::default() },
+        );
+        let ir = compile_source("gamma", &t.source).unwrap();
+        handle.add_tenant(
+            "gamma",
+            vec![TenantHop {
+                device: "tor0".to_string(),
+                model: DeviceModel::tofino(),
+                snippets: vec![isolate_user_program(&ir, "gamma", 3)],
+            }],
+        );
+        let mut gamma = MlAggWorkload::new(MlAggWorkloadConfig {
+            tenant: "gamma".to_string(),
+            user_id: 3,
+            workers: 4,
+            rounds: 100,
+            dims: 8,
+            rate_pps: 10_000_000.0,
+            seed: 33,
+            ..Default::default()
+        });
+        handle.run_workload(&mut gamma, usize::MAX, 64);
+    }
+
+    handle.run_workload(&mut alpha, 600, 64);
+    handle.run_workload(&mut beta, 600, 64);
+
+    if disrupt {
+        handle.remove_tenant("gamma");
+    }
+
+    handle.run_workload(&mut alpha, usize::MAX, 64);
+    handle.run_workload(&mut beta, usize::MAX, 64);
+    handle.flush();
+    engine.finish().telemetry
+}
+
+#[test]
+fn live_add_and_remove_cause_zero_cross_tenant_disruption() {
+    for shards in [1usize, 2, 4] {
+        let disrupted = run_phased(shards, true);
+        let quiet = run_phased(shards, false);
+
+        // the mid-run tenant really carried traffic and completed work…
+        let gamma = disrupted.tenant("gamma").expect("gamma ran");
+        assert_eq!(gamma.packets, 400);
+        assert!(gamma.hits > 0, "aggregations completed in-network");
+
+        // …and the co-resident tenants never noticed: goodput, hit ratio,
+        // latency percentiles, per-link bytes — all bit-for-bit identical
+        for tenant in ["alpha", "beta"] {
+            assert_eq!(
+                disrupted.tenant(tenant),
+                quiet.tenant(tenant),
+                "tenant {tenant} was disturbed at {shards} shard(s)"
+            );
+        }
+        assert!(disrupted.tenant("alpha").unwrap().hit_ratio > 0.3);
+    }
+}

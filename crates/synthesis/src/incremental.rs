@@ -246,7 +246,7 @@ mod tests {
     use crate::base::base_program;
     use crate::isolation::isolate_user_program;
     use clickinc_blockdag::{build_block_dag, BlockConfig};
-    use clickinc_device::DeviceKind;
+
     use clickinc_frontend::compile_source;
     use clickinc_lang::templates::{count_min_sketch, kvs_template, KvsParams};
     use clickinc_placement::{place, PlacementConfig, PlacementNetwork, ResourceLedger};

@@ -144,7 +144,7 @@ mod tests {
         let user = user_ir("cms_0", 1);
         merge_parse_trees(&mut tree, &user, "cms_0");
         assert!(tree.len() > 3);
-        assert!(tree.states().iter().any(|s| *s == "inc_cms_0"));
+        assert!(tree.states().contains(&"inc_cms_0"));
         assert_eq!(tree.owners_of("inc_cms_0"), &["cms_0".to_string()]);
         // base states stay operator-owned
         assert!(tree.owners_of("ipv4").is_empty());
@@ -160,8 +160,8 @@ mod tests {
         let with_both = tree.len();
         tree.remove_user("a");
         assert!(tree.len() < with_both);
-        assert!(tree.states().iter().any(|s| *s == "inc_b"));
-        assert!(!tree.states().iter().any(|s| *s == "inc_a"));
+        assert!(tree.states().contains(&"inc_b"));
+        assert!(!tree.states().contains(&"inc_a"));
         // the standard stack survives even repeated removals
         tree.remove_user("b");
         assert_eq!(tree.len(), 3);

@@ -236,7 +236,7 @@ impl Topology {
     /// `k/2` Agg switches per pod, `(k/2)²` core switches, `k/2` servers per
     /// ToR, all switches of the same `kind`.
     pub fn device_equal_fat_tree(k: usize, kind: DeviceKind) -> Topology {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be an even number >= 2");
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be an even number >= 2");
         let half = k / 2;
         let mut t = Topology::new();
         // core switches

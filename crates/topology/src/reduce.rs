@@ -240,7 +240,6 @@ pub fn reduce_for_traffic(
         keys.iter().min_by_key(|(dist, _, _)| *dist).map(|k| index_of[k]).unwrap_or(0);
 
     // ---- server-side chain ----------------------------------------------------
-    let mut server_order = server_order;
     server_order.sort_by_key(|(dist, _, _)| *dist);
     let server: Vec<ReducedNode> = server_order
         .iter()

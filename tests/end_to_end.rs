@@ -104,7 +104,7 @@ fn sparse_mlagg_user_program_deploys_and_aggregates_end_to_end() {
     let d = controller
         .deploy(ServiceRequest::from_template(template, &["pod0a", "pod1a"], "pod2b"))
         .unwrap();
-    assert!(d.plan.devices_used().len() >= 1);
+    assert!(!d.plan.devices_used().is_empty());
 
     // drive the workload through the devices hosting the aggregation state, in
     // path order, and check the released aggregate

@@ -1,0 +1,96 @@
+//! End-to-end: the controller's deploy/remove events drive the runtime
+//! engine through the reconfigure bridge, and deployed programs serve
+//! traffic on the sharded planes.
+
+use clickinc::lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggParams};
+use clickinc::topology::Topology;
+use clickinc::{Controller, ServiceRequest};
+use clickinc_ir::Value;
+use clickinc_runtime::workload::{KvsWorkload, KvsWorkloadConfig};
+use clickinc_runtime::{attach_controller, EngineConfig, EngineHandle, TrafficEngine};
+
+/// Pre-populate a controller-deployed tenant's (isolation-renamed) cache on
+/// whichever device hosts it.
+fn populate_cache(controller: &Controller, handle: &EngineHandle, user: &str, hot_keys: i64) {
+    let table = format!("{user}_cache");
+    for hop in controller.tenant_hops(user) {
+        let hosts_cache = hop.snippets.iter().any(|s| s.objects.iter().any(|o| o.name == table));
+        if !hosts_cache {
+            continue;
+        }
+        for key in 0..hot_keys {
+            handle.populate_table(
+                user,
+                &hop.device,
+                &table,
+                vec![Value::Int(key)],
+                vec![Value::Int(key * 1000 + 7)],
+            );
+        }
+    }
+}
+
+#[test]
+fn controller_bridge_serves_deployed_tenants_and_survives_live_reconfiguration() {
+    let engine = TrafficEngine::new(EngineConfig { shards: 2, batch_size: 32 });
+    let handle = engine.handle();
+    let mut controller = Controller::new(Topology::emulation_topology_all_tofino());
+    attach_controller(&mut controller, engine.handle());
+
+    // two KVS tenants deploy; the bridge mirrors them onto the engine
+    for (user, srcs) in [("kvs_a", ["pod0a", "pod1a"]), ("kvs_b", ["pod0b", "pod1b"])] {
+        let t = kvs_template(user, KvsParams { cache_depth: 2000, ..Default::default() });
+        controller.deploy(ServiceRequest::from_template(t, &srcs, "pod2b")).unwrap();
+        populate_cache(&controller, &handle, user, 64);
+    }
+
+    let workload = |user: &str, id: i64, requests, seed| {
+        KvsWorkload::new(KvsWorkloadConfig {
+            tenant: user.to_string(),
+            user_id: id,
+            keys: 500,
+            skew: 1.2,
+            requests,
+            rate_pps: 1_000_000.0,
+            seed,
+        })
+    };
+    let id_a = controller.numeric_id_of("kvs_a").unwrap();
+    let id_b = controller.numeric_id_of("kvs_b").unwrap();
+    let mut wl_a = workload("kvs_a", id_a, 1000, 5);
+    let mut wl_b = workload("kvs_b", id_b, 1000, 6);
+
+    // first traffic phase
+    handle.run_workload(&mut wl_a, 500, 64);
+    handle.run_workload(&mut wl_b, 500, 64);
+
+    // a third tenant arrives mid-run and leaves again, all through the
+    // controller, while kvs_a/kvs_b keep flowing
+    let t = mlagg_template(
+        "agg_c",
+        MlAggParams { dims: 8, num_aggregators: 1024, ..Default::default() },
+    );
+    controller.deploy(ServiceRequest::from_template(t, &["pod1a", "pod1b"], "pod2a")).unwrap();
+    handle.run_workload(&mut wl_a, 250, 64);
+    handle.run_workload(&mut wl_b, 250, 64);
+    controller.remove("agg_c").unwrap();
+
+    // final phase after the removal
+    handle.run_workload(&mut wl_a, usize::MAX, 64);
+    handle.run_workload(&mut wl_b, usize::MAX, 64);
+    handle.flush();
+
+    let outcome = engine.finish();
+    for user in ["kvs_a", "kvs_b"] {
+        let stats = outcome.telemetry.tenant(user).unwrap_or_else(|| panic!("{user} served"));
+        assert_eq!(stats.packets, 1000, "{user} traffic all injected");
+        assert_eq!(stats.completed, 1000, "{user} traffic all completed");
+        assert!(stats.hit_ratio > 0.3, "{user} hot keys answered in-network: {}", stats.hit_ratio);
+        assert!(stats.goodput_gbps > 0.0);
+    }
+    // the engine really saw the transient tenant
+    assert!(outcome.telemetry.tenant("agg_c").is_some(), "bridge mirrored the deploy");
+    // and the JSON export carries every tenant
+    let json = outcome.telemetry.to_json();
+    assert!(json.contains("\"kvs_a\"") && json.contains("\"agg_c\""));
+}

@@ -31,7 +31,7 @@ fn kvs_template_deploys_end_to_end_on_the_emulation_topology() {
         .clone();
 
     assert!(!deployment.plan.devices_used().is_empty(), "placement chose at least one device");
-    assert!(deployment.program.len() > 0, "the isolated IR is non-empty");
+    assert!(!deployment.program.is_empty(), "the isolated IR is non-empty");
     assert!(!deployment.device_programs.is_empty(), "backend emitted device programs");
     assert_eq!(controller.active_users(), vec!["kvs_smoke"]);
     assert_eq!(controller.numeric_id_of("kvs_smoke"), Some(deployment.numeric_id));
