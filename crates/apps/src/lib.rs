@@ -8,13 +8,19 @@
 //!
 //! * [`fig13`] — the five network configurations of Fig. 13 (DPDK baseline,
 //!   smartNIC only, one switch, two switches, switch + smartNIC) with the
-//!   sparse-gradient workload;
+//!   sparse-gradient workload, swept by the single-threaded scenario loop
+//!   (the path-shape ablation);
+//! * [`serving`] — the same KVS/MLAgg workloads deployed through the
+//!   `ClickIncService` facade and served by the sharded traffic engine —
+//!   the default serving path;
 //! * [`multiuser`] — the six program instances and traffic endpoints of
 //!   Table 3, the seven-instance sequence of Table 5, and the
 //!   add/remove sequence of Table 6.
 
 pub mod fig13;
 pub mod multiuser;
+pub mod serving;
 
 pub use fig13::{fig13_configurations, Fig13Case};
 pub use multiuser::{table3_requests, table5_requests, table6_steps, Table6Step};
+pub use serving::{serve_fig13_workloads, ServingConfig, ServingReport};

@@ -1,0 +1,203 @@
+//! Engine-backed scenario drivers: the paper's KVS and sparse-MLAgg
+//! workloads (Figs. 7/13) deployed through the [`ClickIncService`] facade
+//! and served by the sharded traffic engine.
+//!
+//! The single-threaded scenario loop in `clickinc-emulator` remains as the
+//! path-shape ablation (it is what sweeps the five Fig. 13 device chains);
+//! *this* module is the default serving path: programs are placed by the
+//! real controller over the Fig. 11 emulation topology, committed
+//! transactionally, mirrored onto the engine's shards, and loaded with the
+//! open-loop seeded workload generators — no manual hook wiring anywhere.
+
+use clickinc::{ClickIncError, ClickIncService, ServiceRequest};
+use clickinc_emulator::kvs_backend_value;
+use clickinc_ir::Value;
+use clickinc_lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggParams};
+use clickinc_runtime::workload::{
+    KvsWorkload, KvsWorkloadConfig, MlAggWorkload, MlAggWorkloadConfig,
+};
+use clickinc_runtime::{EngineConfig, TenantStats};
+use clickinc_topology::Topology;
+use std::collections::BTreeMap;
+
+/// Sizing of the engine-served KVS + MLAgg scenario pair.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Engine shard worker threads.
+    pub shards: usize,
+    /// Packets per device-queue batch.
+    pub batch_size: usize,
+    /// KVS requests to serve.
+    pub kvs_requests: usize,
+    /// KVS key universe size.
+    pub kvs_keys: usize,
+    /// KVS Zipf skew exponent.
+    pub kvs_skew: f64,
+    /// Hot keys pre-installed in the in-network cache.
+    pub hot_keys: i64,
+    /// Gradient-aggregation rounds.
+    pub agg_rounds: usize,
+    /// Workers contributing per aggregation round.
+    pub agg_workers: usize,
+    /// Parameter-vector dimensions per gradient packet.
+    pub dims: u32,
+    /// Offered load per tenant in packets per second (virtual clock).
+    pub rate_pps: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            shards: 4,
+            batch_size: 128,
+            kvs_requests: 2000,
+            kvs_keys: 1000,
+            kvs_skew: 1.1,
+            hot_keys: 64,
+            agg_rounds: 200,
+            agg_workers: 4,
+            dims: 16,
+            rate_pps: 5_000_000.0,
+            seed: 17,
+        }
+    }
+}
+
+/// What the engine-served scenario pair leaves behind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Telemetry of the KVS tenant (`kvs_srv`).
+    pub kvs: TenantStats,
+    /// Telemetry of the MLAgg tenant (`mlagg_srv`).
+    pub mlagg: TenantStats,
+    /// Final object-store fingerprints per device, merged across shards.
+    pub store_fingerprints: BTreeMap<String, u64>,
+}
+
+/// Deploy the paper's KVS and sparse-MLAgg applications through the
+/// [`ClickIncService`] facade (one transactional batch) and serve both
+/// seeded open-loop workloads on the sharded engine.
+///
+/// Returns per-tenant telemetry and the final store fingerprints; a fixed
+/// config produces bit-identical reports regardless of the shard count.
+pub fn serve_fig13_workloads(config: &ServingConfig) -> Result<ServingReport, ClickIncError> {
+    let service = ClickIncService::with_config(
+        Topology::emulation_topology_all_tofino(),
+        EngineConfig { shards: config.shards, batch_size: config.batch_size },
+    )?;
+
+    // both applications land (or neither does): one all-or-nothing batch
+    let handles = service.deploy_all(vec![
+        ServiceRequest::builder("kvs_srv")
+            .template(kvs_template(
+                "kvs_srv",
+                KvsParams { cache_depth: 2000, ..Default::default() },
+            ))
+            .from_("pod0a")
+            .from_("pod1a")
+            .to("pod2b")
+            .build()?,
+        ServiceRequest::builder("mlagg_srv")
+            .template(mlagg_template(
+                "mlagg_srv",
+                MlAggParams {
+                    dims: config.dims,
+                    num_workers: config.agg_workers as u32,
+                    num_aggregators: 1024,
+                    is_float: false,
+                },
+            ))
+            .from_("pod0b")
+            .from_("pod1b")
+            .to("pod2a")
+            .build()?,
+    ])?;
+    let (kvs, mlagg) = (&handles[0], &handles[1]);
+
+    // pre-populate the isolation-renamed cache wherever it was placed
+    for key in 0..config.hot_keys {
+        kvs.populate_table(
+            "kvs_srv_cache",
+            vec![Value::Int(key)],
+            vec![Value::Int(kvs_backend_value(key))],
+        );
+    }
+
+    let mut kvs_wl = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: kvs.user().to_string(),
+        user_id: kvs.numeric_id(),
+        keys: config.kvs_keys,
+        skew: config.kvs_skew,
+        requests: config.kvs_requests,
+        rate_pps: config.rate_pps,
+        seed: config.seed,
+    });
+    let mut agg_wl = MlAggWorkload::new(MlAggWorkloadConfig {
+        tenant: mlagg.user().to_string(),
+        user_id: mlagg.numeric_id(),
+        workers: config.agg_workers,
+        rounds: config.agg_rounds,
+        dims: config.dims as usize,
+        sparsity: 0.5,
+        block_size: 8,
+        rate_pps: config.rate_pps,
+        seed: config.seed + 1,
+    });
+    kvs.run_workload(&mut kvs_wl, usize::MAX, config.batch_size);
+    mlagg.run_workload(&mut agg_wl, usize::MAX, config.batch_size);
+    service.flush();
+
+    let outcome = service.finish();
+    let stats = |user: &str| {
+        outcome.telemetry.tenant(user).cloned().unwrap_or_else(|| panic!("{user} was served"))
+    };
+    Ok(ServingReport {
+        kvs: stats("kvs_srv"),
+        mlagg: stats("mlagg_srv"),
+        store_fingerprints: outcome
+            .stores
+            .iter()
+            .map(|(device, store)| (device.clone(), store.fingerprint()))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(shards: usize) -> ServingConfig {
+        ServingConfig {
+            shards,
+            batch_size: 32,
+            kvs_requests: 600,
+            agg_rounds: 60,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn the_engine_serves_both_applications_end_to_end() {
+        let report = serve_fig13_workloads(&small(2)).expect("scenario serves");
+        assert_eq!(report.kvs.packets, 600);
+        assert_eq!(report.kvs.completed, 600);
+        assert!(
+            report.kvs.hit_ratio > 0.3,
+            "hot keys answered in-network: {}",
+            report.kvs.hit_ratio
+        );
+        assert!(report.mlagg.hits > 0, "completed aggregates bounce back");
+        assert!(report.mlagg.drops > 0, "partial aggregates are absorbed in-network");
+        assert!(report.kvs.goodput_gbps > 0.0 && report.mlagg.goodput_gbps > 0.0);
+        assert!(!report.store_fingerprints.is_empty());
+    }
+
+    #[test]
+    fn served_scenario_is_invariant_in_the_shard_count() {
+        let one = serve_fig13_workloads(&small(1)).expect("1 shard serves");
+        let four = serve_fig13_workloads(&small(4)).expect("4 shards serve");
+        assert_eq!(one, four, "sharding is an optimization, not a semantics change");
+    }
+}

@@ -5,38 +5,55 @@
 //! single worker; with N shards the tenants (and their state) are
 //! partitioned, so each worker scans only its own residents — the
 //! architectural win of tenant sharding, on top of thread parallelism on
-//! multi-core hosts.  Results are written to `BENCH_runtime.json` so the
-//! repo's performance trajectory accumulates across PRs.
+//! multi-core hosts.
+//!
+//! Results are *appended* to the history in `BENCH_runtime.json` so the
+//! repo's performance trajectory accumulates across PRs.  Environment
+//! knobs (for the CI bench-trend step):
+//!
+//! * `RUNTIME_BENCH_SMOKE=1` — reduced configuration (fewer rounds, 1 vs 4
+//!   shards only) suitable for a CI smoke run;
+//! * `RUNTIME_BENCH_MIN_SPEEDUP=<x>` — exit non-zero if the best N-shard
+//!   throughput regresses below `x`× the 1-shard baseline.
 
-use clickinc::TenantHop;
 use clickinc_device::DeviceModel;
 use clickinc_frontend::compile_source;
 use clickinc_lang::templates::{mlagg_template, MlAggParams};
 use clickinc_runtime::workload::{MixedWorkload, MlAggWorkload, MlAggWorkloadConfig, Workload};
-use clickinc_runtime::{EngineConfig, TrafficEngine};
+use clickinc_runtime::{EngineConfig, TenantHop, TrafficEngine};
 use clickinc_synthesis::isolate_user_program;
-use serde::Serialize;
-use std::time::Instant;
+use serde::{Deserialize, Serialize};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 const TENANTS: usize = 8;
-const ROUNDS: usize = 1500;
 const WORKERS: usize = 4;
 const DIMS: u32 = 16;
+const HISTORY_CAP: usize = 100;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct ShardResult {
     shards: usize,
     elapsed_ms: f64,
     packets_per_sec: f64,
 }
 
-#[derive(Serialize)]
-struct BenchReport {
-    bench: String,
+/// One bench invocation: a row of the accumulated history.
+#[derive(Serialize, Deserialize)]
+struct RunEntry {
+    #[serde(default)]
+    unix_time_s: u64,
+    #[serde(default)]
+    smoke: bool,
     tenants: usize,
     packets: usize,
     results: Vec<ShardResult>,
     speedup_best_vs_one_shard: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchHistory {
+    bench: String,
+    history: Vec<RunEntry>,
 }
 
 fn tenant_hops(name: &str, id: i64) -> Vec<TenantHop> {
@@ -57,7 +74,7 @@ fn tenant_hops(name: &str, id: i64) -> Vec<TenantHop> {
     }]
 }
 
-fn run_once(shards: usize) -> (f64, usize) {
+fn run_once(shards: usize, rounds: usize) -> (f64, usize) {
     let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 256 });
     let handle = engine.handle();
     let mut parts: Vec<Box<dyn Workload>> = Vec::new();
@@ -69,7 +86,7 @@ fn run_once(shards: usize) -> (f64, usize) {
             tenant: name,
             user_id: id,
             workers: WORKERS,
-            rounds: ROUNDS,
+            rounds,
             dims: DIMS as usize,
             sparsity: 0.5,
             block_size: 8,
@@ -89,14 +106,36 @@ fn run_once(shards: usize) -> (f64, usize) {
     (elapsed, sent)
 }
 
+/// Load the accumulated history, migrating a pre-history single-report file
+/// into its first entry.
+fn load_history(path: &str) -> BenchHistory {
+    let empty = || BenchHistory { bench: "runtime_throughput".to_string(), history: Vec::new() };
+    let Ok(text) = std::fs::read_to_string(path) else { return empty() };
+    if let Ok(history) = serde_json::from_str::<BenchHistory>(&text) {
+        return history;
+    }
+    // legacy layout: the file was one report, not a history
+    match serde_json::from_str::<RunEntry>(&text) {
+        Ok(entry) => BenchHistory { bench: "runtime_throughput".to_string(), history: vec![entry] },
+        Err(_) => empty(),
+    }
+}
+
 fn main() {
-    println!("== runtime_throughput: {TENANTS} co-resident MLAgg tenants, 1 vs N shards ==");
+    let smoke = std::env::var("RUNTIME_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (rounds, shard_counts): (usize, &[usize]) =
+        if smoke { (400, &[1, 4]) } else { (1500, &[1, 2, 4, 8]) };
+
+    println!(
+        "== runtime_throughput: {TENANTS} co-resident MLAgg tenants, 1 vs N shards{} ==",
+        if smoke { " (smoke)" } else { "" }
+    );
     println!("{:>8} {:>12} {:>16}", "shards", "elapsed", "packets/sec");
     let mut results = Vec::new();
-    for shards in [1usize, 2, 4, 8] {
+    for &shards in shard_counts {
         // best of two runs to shave scheduler noise
-        let (mut elapsed, mut packets) = run_once(shards);
-        let (e2, p2) = run_once(shards);
+        let (mut elapsed, mut packets) = run_once(shards, rounds);
+        let (e2, p2) = run_once(shards, rounds);
         if e2 < elapsed {
             elapsed = e2;
             packets = p2;
@@ -114,16 +153,34 @@ fn main() {
         if speedup > 1.0 { "sharding wins" } else { "REGRESSION" }
     );
 
-    let report = BenchReport {
-        bench: "runtime_throughput".to_string(),
+    // append to the accumulated history at the workspace root
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    let mut report = load_history(path);
+    report.history.push(RunEntry {
+        unix_time_s: SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0),
+        smoke,
         tenants: TENANTS,
-        packets: TENANTS * ROUNDS * WORKERS,
+        packets: TENANTS * rounds * WORKERS,
         results,
         speedup_best_vs_one_shard: speedup,
-    };
+    });
+    if report.history.len() > HISTORY_CAP {
+        let drop = report.history.len() - HISTORY_CAP;
+        report.history.drain(..drop);
+    }
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    // write at the workspace root regardless of the bench's cwd
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
     std::fs::write(path, &json).expect("BENCH_runtime.json written");
-    println!("wrote BENCH_runtime.json");
+    println!("appended run #{} to BENCH_runtime.json", report.history.len());
+
+    // optional regression gate for the CI bench-trend step
+    if let Ok(min) = std::env::var("RUNTIME_BENCH_MIN_SPEEDUP") {
+        let min: f64 = min.parse().expect("RUNTIME_BENCH_MIN_SPEEDUP is a number");
+        if speedup < min {
+            eprintln!(
+                "FAIL: speedup_best_vs_one_shard {speedup:.2} regressed below the {min:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        println!("bench-trend gate passed: {speedup:.2}x >= {min:.2}x");
+    }
 }

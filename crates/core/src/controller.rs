@@ -1,71 +1,34 @@
 //! The ClickINC controller: compile → place → synthesize → deploy, with
 //! dynamic (incremental) add/remove and multi-tenant resource accounting.
+//!
+//! Deployment is transactional and split in two phases (paper §3.2 as a
+//! service): [`Controller::plan`] is a pure dry-run — it compiles, isolates
+//! and places a request and predicts the post-commit resource ratio without
+//! touching the ledger or the data planes — and [`Controller::commit`]
+//! applies a plan atomically.  Every fallible check in `commit` runs before
+//! the first mutation, so a rejected commit leaves the ledger, the active
+//! user set and every plane's store bit-identical to before the call.
 
+use crate::error::{ClickIncError, ControllerError};
 use crate::reconfigure::{ReconfigureEvent, ReconfigureHook, TenantHop};
 use crate::request::ServiceRequest;
 use clickinc_backend::DeviceProgram;
 use clickinc_blockdag::{build_block_dag, BlockConfig, BlockDag};
 use clickinc_emulator::DevicePlane;
-use clickinc_frontend::{CompileOptions, Frontend, FrontendError};
-use clickinc_ir::IrProgram;
+use clickinc_frontend::{CompileOptions, Frontend};
+use clickinc_ir::{IrProgram, ResourceVector};
 use clickinc_placement::{
-    place, PlacementConfig, PlacementError, PlacementNetwork, PlacementPlan, ResourceLedger,
-    Weights,
+    place, PlacementConfig, PlacementNetwork, PlacementPlan, ResourceLedger, Weights,
 };
+use clickinc_runtime::EngineHandle;
 use clickinc_synthesis::incremental::DeviceImages;
 use clickinc_synthesis::{
     add_user_program, assign_steps, base_program, isolate_user_program, remove_user_program,
     DeploymentDelta, StepAssignment,
 };
 use clickinc_topology::{reduce_for_traffic, NodeId, Topology};
-use std::collections::BTreeMap;
-use std::fmt;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
-
-/// Errors surfaced by the controller.
-#[derive(Debug)]
-pub enum ControllerError {
-    /// The user id is already deployed.
-    DuplicateUser(String),
-    /// The user id is not deployed (for removal).
-    UnknownUser(String),
-    /// A named server does not exist in the topology.
-    UnknownHost(String),
-    /// Compilation failed.
-    Compile(FrontendError),
-    /// Placement failed.
-    Placement(PlacementError),
-}
-
-impl fmt::Display for ControllerError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ControllerError::DuplicateUser(u) => {
-                write!(f, "user `{u}` already has a deployed program")
-            }
-            ControllerError::UnknownUser(u) => write!(f, "user `{u}` has no deployed program"),
-            ControllerError::UnknownHost(h) => {
-                write!(f, "host `{h}` does not exist in the topology")
-            }
-            ControllerError::Compile(e) => write!(f, "compilation failed: {e}"),
-            ControllerError::Placement(e) => write!(f, "placement failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ControllerError {}
-
-impl From<FrontendError> for ControllerError {
-    fn from(e: FrontendError) -> Self {
-        ControllerError::Compile(e)
-    }
-}
-
-impl From<PlacementError> for ControllerError {
-    fn from(e: PlacementError) -> Self {
-        ControllerError::Placement(e)
-    }
-}
 
 /// Everything produced by one successful deployment.
 #[derive(Debug, Clone)]
@@ -95,6 +58,78 @@ pub struct Deployment {
     pub elapsed: Duration,
 }
 
+/// A fully solved deployment that has **not** touched the ledger or the data
+/// planes: the output of [`Controller::plan`] (a pure dry-run), consumed by
+/// [`Controller::commit`].
+///
+/// The plan records the controller epoch it was solved against; committing
+/// after any other commit or removal returns [`ClickIncError::StalePlan`]
+/// instead of installing a placement that no longer reflects reality.
+#[derive(Debug, Clone)]
+pub struct DeploymentPlan {
+    request: ServiceRequest,
+    numeric_id: i64,
+    program: IrProgram,
+    dag: BlockDag,
+    plan: PlacementPlan,
+    predicted_remaining_ratio: f64,
+    epoch: u64,
+    started: Instant,
+}
+
+impl DeploymentPlan {
+    /// The user the plan deploys.
+    pub fn user(&self) -> &str {
+        &self.request.user
+    }
+
+    /// The originating request.
+    pub fn request(&self) -> &ServiceRequest {
+        &self.request
+    }
+
+    /// Numeric id the isolation guard will match on once committed.
+    pub fn numeric_id(&self) -> i64 {
+        self.numeric_id
+    }
+
+    /// The isolated IR program the plan would install.
+    pub fn program(&self) -> &IrProgram {
+        &self.program
+    }
+
+    /// The block DAG used for placement.
+    pub fn dag(&self) -> &BlockDag {
+        &self.dag
+    }
+
+    /// The solved placement (devices, per-device snippets, gain, solve time).
+    pub fn placement(&self) -> &PlacementPlan {
+        &self.plan
+    }
+
+    /// Display names of the devices the plan would occupy.
+    pub fn devices(&self) -> Vec<String> {
+        self.plan.devices_used().into_iter().map(str::to_string).collect()
+    }
+
+    /// Total resource demand across every physical device the plan touches.
+    pub fn resource_demand(&self) -> ResourceVector {
+        let mut total = ResourceVector::default();
+        for assignment in self.plan.assignments.iter().filter(|a| !a.is_empty()) {
+            for _ in &assignment.members {
+                total += assignment.demand;
+            }
+        }
+        total
+    }
+
+    /// Network-wide remaining resource ratio *if* this plan commits.
+    pub fn predicted_remaining_ratio(&self) -> f64 {
+        self.predicted_remaining_ratio
+    }
+}
+
 /// The ClickINC controller (paper Fig. 2): owns the topology, the per-device
 /// resource ledger, the running device images, and the emulated data planes.
 pub struct Controller {
@@ -104,6 +139,9 @@ pub struct Controller {
     planes: BTreeMap<NodeId, DevicePlane>,
     deployments: BTreeMap<String, Deployment>,
     next_user_id: i64,
+    /// Bumped on every commit and removal; plans solved against an older
+    /// epoch are rejected at commit time.
+    epoch: u64,
     frontend: Frontend,
     block_config: BlockConfig,
     use_adaptive_weights: bool,
@@ -126,6 +164,7 @@ impl Controller {
             planes,
             deployments: BTreeMap::new(),
             next_user_id: 1,
+            epoch: 0,
             frontend: Frontend::new(),
             block_config: BlockConfig::default(),
             use_adaptive_weights: true,
@@ -140,6 +179,24 @@ impl Controller {
     /// sharded data planes while traffic keeps flowing.
     pub fn add_reconfigure_hook(&mut self, hook: ReconfigureHook) {
         self.hooks.push(hook);
+    }
+
+    /// Mirror every future deploy/remove onto a running traffic engine.
+    ///
+    /// This is the low-level hook wiring for ablation experiments that drive
+    /// the controller directly; [`crate::ClickIncService`] performs the same
+    /// mirroring (plus all-or-nothing batch semantics) automatically.
+    /// Tenants already deployed before this call are *not* replayed — attach
+    /// first, then deploy, so the engine sees every tenant exactly once.
+    pub fn attach_engine(&mut self, handle: EngineHandle) {
+        self.add_reconfigure_hook(Box::new(move |event| match event {
+            ReconfigureEvent::TenantAdded { user, hops, .. } => {
+                handle.add_tenant(user, hops.clone());
+            }
+            ReconfigureEvent::TenantRemoved { user } => {
+                handle.remove_tenant(user);
+            }
+        }));
     }
 
     fn fire(&mut self, event: ReconfigureEvent) {
@@ -158,10 +215,13 @@ impl Controller {
         let Some(deployment) = self.deployments.get(user) else {
             return Vec::new();
         };
+        // order-preserving dedup: the set guards membership, the vec keeps
+        // traffic order (assignments are already path-ordered)
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
         let mut order: Vec<NodeId> = Vec::new();
         for assignment in deployment.plan.assignments.iter().filter(|a| !a.is_empty()) {
             for member in &assignment.members {
-                if !order.contains(member) {
+                if seen.insert(*member) {
                     order.push(*member);
                 }
             }
@@ -221,6 +281,23 @@ impl Controller {
         self.ledger.remaining_ratio(&self.topology)
     }
 
+    /// The controller's state epoch: bumped on every commit and removal.
+    /// A [`DeploymentPlan`] is only committable at the epoch it was solved
+    /// against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fingerprints of every emulated plane's object store, keyed by device
+    /// name — the observable data-plane state.  Rollback tests compare these
+    /// before and after a failed transaction.
+    pub fn plane_fingerprints(&self) -> BTreeMap<String, u64> {
+        self.planes
+            .iter()
+            .map(|(id, plane)| (self.topology.node(*id).name.clone(), plane.store().fingerprint()))
+            .collect()
+    }
+
     /// Compile a request's source without deploying it (step ii of the
     /// workflow); exposed for the productivity experiments.
     pub fn compile(&self, request: &ServiceRequest) -> Result<IrProgram, ControllerError> {
@@ -232,28 +309,34 @@ impl Controller {
         Ok(ir)
     }
 
-    /// Deploy a program: compile, isolate, place, synthesize and install.
-    pub fn deploy(&mut self, request: ServiceRequest) -> Result<&Deployment, ControllerError> {
+    /// Solve a request without deploying it: compile, isolate and place as a
+    /// pure dry-run.  Reports the devices the program would occupy, the
+    /// resource demand, and the predicted post-commit remaining ratio — and
+    /// touches neither the ledger nor any data plane.  Feed the result to
+    /// [`Controller::commit`] to make it real.
+    pub fn plan(&self, request: &ServiceRequest) -> Result<DeploymentPlan, ControllerError> {
         let started = Instant::now();
+        request.validate()?;
         if self.deployments.contains_key(&request.user) {
-            return Err(ControllerError::DuplicateUser(request.user));
+            return Err(ClickIncError::DuplicateUser(request.user.clone()));
         }
         // resolve endpoints
         let sources: Result<Vec<NodeId>, ControllerError> = request
             .sources
             .iter()
-            .map(|s| self.topology.find(s).ok_or_else(|| ControllerError::UnknownHost(s.clone())))
+            .map(|s| self.topology.find(s).ok_or_else(|| ClickIncError::UnknownHost(s.clone())))
             .collect();
         let sources = sources?;
         let dst = self
             .topology
             .find(&request.destination)
-            .ok_or_else(|| ControllerError::UnknownHost(request.destination.clone()))?;
+            .ok_or_else(|| ClickIncError::UnknownHost(request.destination.clone()))?;
 
-        // compile + isolate
-        let ir = self.compile(&request)?;
-        let user_numeric_id = self.next_user_id;
-        let isolated = isolate_user_program(&ir, &request.user, user_numeric_id);
+        // compile + isolate (the numeric id this plan will own if committed
+        // at the current epoch)
+        let ir = self.compile(request)?;
+        let numeric_id = self.next_user_id;
+        let isolated = isolate_user_program(&ir, &request.user, numeric_id);
 
         // block DAG + reduced topology + placement
         let dag = build_block_dag(&isolated, &self.block_config);
@@ -266,6 +349,51 @@ impl Controller {
         };
         let plan =
             place(&isolated, &dag, &net, &PlacementConfig { weights, enable_pruning: true })?;
+
+        // predict the post-commit ratio on a scratch copy of the ledger
+        let mut preview = self.ledger.clone();
+        for assignment in plan.assignments.iter().filter(|a| !a.is_empty()) {
+            for member in &assignment.members {
+                preview.consume(*member, assignment.demand);
+            }
+        }
+        let predicted_remaining_ratio = preview.remaining_ratio(&self.topology);
+
+        Ok(DeploymentPlan {
+            request: request.clone(),
+            numeric_id,
+            program: isolated,
+            dag,
+            plan,
+            predicted_remaining_ratio,
+            epoch: self.epoch,
+            started,
+        })
+    }
+
+    /// Commit a [`DeploymentPlan`]: book the ledger resources, synthesize
+    /// with the base program, install the snippets on the data planes, and
+    /// fire the reconfiguration hooks.
+    ///
+    /// Atomicity: every fallible check (stale epoch, duplicate user) runs
+    /// *before* the first mutation, so an `Err` return leaves the ledger,
+    /// the active-user set and every plane bit-identical to before the call.
+    pub fn commit(&mut self, planned: DeploymentPlan) -> Result<&Deployment, ControllerError> {
+        if planned.epoch != self.epoch {
+            return Err(ClickIncError::StalePlan {
+                user: planned.request.user,
+                planned_epoch: planned.epoch,
+                current_epoch: self.epoch,
+            });
+        }
+        if self.deployments.contains_key(&planned.request.user) {
+            return Err(ClickIncError::DuplicateUser(planned.request.user));
+        }
+        debug_assert_eq!(planned.numeric_id, self.next_user_id, "epoch pins the numeric id");
+        let DeploymentPlan { request, numeric_id, program: isolated, dag, plan, started, .. } =
+            planned;
+
+        // ---- no fallible step below this line: the commit is atomic ----
 
         // book resources
         for assignment in plan.assignments.iter().filter(|a| !a.is_empty()) {
@@ -311,9 +439,10 @@ impl Controller {
         }
 
         self.next_user_id += 1;
+        self.epoch += 1;
         let deployment = Deployment {
             user: request.user.clone(),
-            numeric_id: user_numeric_id,
+            numeric_id,
             program: isolated,
             dag,
             plan,
@@ -326,10 +455,17 @@ impl Controller {
         self.deployments.insert(request.user.clone(), deployment);
         self.fire(ReconfigureEvent::TenantAdded {
             user: request.user.clone(),
-            numeric_id: user_numeric_id,
+            numeric_id,
             hops: self.tenant_hops(&request.user),
         });
         Ok(self.deployments.get(&request.user).expect("just inserted"))
+    }
+
+    /// Deploy a program in one step: [`plan`](Controller::plan) followed by
+    /// [`commit`](Controller::commit).
+    pub fn deploy(&mut self, request: ServiceRequest) -> Result<&Deployment, ControllerError> {
+        let planned = self.plan(&request)?;
+        self.commit(planned)
     }
 
     /// Remove a previously deployed program (lazy removal + resource release).
@@ -337,7 +473,7 @@ impl Controller {
         let deployment = self
             .deployments
             .remove(user)
-            .ok_or_else(|| ControllerError::UnknownUser(user.to_string()))?;
+            .ok_or_else(|| ClickIncError::UnknownUser(user.to_string()))?;
         for assignment in deployment.plan.assignments.iter().filter(|a| !a.is_empty()) {
             for member in &assignment.members {
                 self.ledger.release(*member, assignment.demand);
@@ -353,6 +489,7 @@ impl Controller {
         let pod_of: BTreeMap<NodeId, Option<usize>> =
             self.topology.nodes().iter().map(|n| (n.id, n.pod)).collect();
         let delta = remove_user_program(&mut self.images, user, &pod_of);
+        self.epoch += 1;
         self.fire(ReconfigureEvent::TenantRemoved { user: user.to_string() });
         Ok(delta)
     }

@@ -1,0 +1,117 @@
+//! The single error surface of the ClickINC service.
+//!
+//! Every fallible operation on [`ClickIncService`], [`Controller`] and the
+//! [`ServiceRequest`] builder reports a [`ClickIncError`], so callers match
+//! on one type instead of juggling per-crate enums.  The enum is
+//! `#[non_exhaustive]`: downstream matches need a wildcard arm, which lets
+//! future subsystems add variants without a breaking change.
+//!
+//! [`ClickIncService`]: crate::ClickIncService
+//! [`Controller`]: crate::Controller
+//! [`ServiceRequest`]: crate::ServiceRequest
+
+use crate::request::RequestError;
+use clickinc_frontend::FrontendError;
+use clickinc_placement::PlacementError;
+use clickinc_runtime::EngineError;
+use std::fmt;
+
+/// Everything that can go wrong between a [`ServiceRequest`] and a running
+/// tenant.
+///
+/// [`ServiceRequest`]: crate::ServiceRequest
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClickIncError {
+    /// The user id is already deployed.
+    DuplicateUser(String),
+    /// The user id is not deployed (for removal).
+    UnknownUser(String),
+    /// A named server does not exist in the topology.
+    UnknownHost(String),
+    /// The request failed structural validation (empty ids, mismatched
+    /// weights, …) before compilation was even attempted.
+    InvalidRequest(RequestError),
+    /// Compilation failed.
+    Compile(FrontendError),
+    /// Placement failed.
+    Placement(PlacementError),
+    /// A [`DeploymentPlan`] was committed after the controller state it was
+    /// solved against changed (another commit or removal happened in
+    /// between); re-plan and commit again.
+    ///
+    /// [`DeploymentPlan`]: crate::DeploymentPlan
+    StalePlan {
+        /// The user the stale plan belongs to.
+        user: String,
+        /// Controller epoch the plan was solved against.
+        planned_epoch: u64,
+        /// Controller epoch at commit time.
+        current_epoch: u64,
+    },
+    /// The serving engine rejected its configuration or failed at runtime.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ClickIncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClickIncError::DuplicateUser(u) => {
+                write!(f, "user `{u}` already has a deployed program")
+            }
+            ClickIncError::UnknownUser(u) => write!(f, "user `{u}` has no deployed program"),
+            ClickIncError::UnknownHost(h) => {
+                write!(f, "host `{h}` does not exist in the topology")
+            }
+            ClickIncError::InvalidRequest(e) => write!(f, "invalid request: {e}"),
+            ClickIncError::Compile(e) => write!(f, "compilation failed: {e}"),
+            ClickIncError::Placement(e) => write!(f, "placement failed: {e}"),
+            ClickIncError::StalePlan { user, planned_epoch, current_epoch } => write!(
+                f,
+                "plan for `{user}` is stale: solved at controller epoch {planned_epoch}, \
+                 now at {current_epoch} — re-plan and commit again"
+            ),
+            ClickIncError::Engine(e) => write!(f, "engine failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClickIncError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClickIncError::InvalidRequest(e) => Some(e),
+            ClickIncError::Compile(e) => Some(e),
+            ClickIncError::Placement(e) => Some(e),
+            ClickIncError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrontendError> for ClickIncError {
+    fn from(e: FrontendError) -> Self {
+        ClickIncError::Compile(e)
+    }
+}
+
+impl From<PlacementError> for ClickIncError {
+    fn from(e: PlacementError) -> Self {
+        ClickIncError::Placement(e)
+    }
+}
+
+impl From<RequestError> for ClickIncError {
+    fn from(e: RequestError) -> Self {
+        ClickIncError::InvalidRequest(e)
+    }
+}
+
+impl From<EngineError> for ClickIncError {
+    fn from(e: EngineError) -> Self {
+        ClickIncError::Engine(e)
+    }
+}
+
+/// Historical name of [`ClickIncError`], kept so pre-facade code that matched
+/// on `ControllerError::…` keeps compiling unchanged.
+pub type ControllerError = ClickIncError;

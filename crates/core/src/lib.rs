@@ -1,29 +1,64 @@
 //! # clickinc — In-network Computing as a Service
 //!
-//! This crate is the user-facing facade of the ClickINC reproduction: the
-//! [`Controller`] implements the four-step workflow of paper §3.2 —
+//! This crate is the user-facing facade of the ClickINC reproduction.  The
+//! [`ClickIncService`] owns the whole tenant lifecycle (paper §3.2, §6):
 //!
-//! 1. **write** a user program in the Python-style ClickINC language (or
-//!    instantiate a provider template from a configuration profile);
-//! 2. **compile** it to the platform-independent IR (`clickinc-frontend`);
-//! 3. **place** it over the (reduced) topology with the DP algorithm
-//!    (`clickinc-placement`), respecting the resources already consumed by
-//!    other tenants;
-//! 4. **deploy** it: isolate the user's state, synthesize it with the base
-//!    program on every target device, generate device-language programs
-//!    (`clickinc-backend`) and install the snippets on the emulated data plane
-//!    (`clickinc-emulator`).
+//! 1. **request** — describe a program with the fallible
+//!    [`ServiceRequest::builder`] (raw ClickINC source or a provider
+//!    template, traffic endpoints, optional per-source rates — validated at
+//!    build time);
+//! 2. **plan** — [`ClickIncService::plan`] compiles and places the request
+//!    as a *pure dry-run*: it reports devices, resource demand and the
+//!    predicted remaining resource ratio without touching the ledger or any
+//!    data plane;
+//! 3. **commit** — [`ClickIncService::commit`] books the resources,
+//!    installs the isolated snippets, and mirrors the tenant onto the
+//!    sharded serving engine atomically; [`ClickIncService::deploy_all`]
+//!    commits a batch with all-or-nothing rollback;
+//! 4. **serve** — the returned [`TenantHandle`] carries the tenant's
+//!    numeric id, its hops, live telemetry, workload injection and removal.
 //!
-//! Programs can be added and removed dynamically; the controller keeps the
-//! per-device resource ledger and the running images so that later requests are
-//! compiled incrementally (paper §6 / §7.5).
+//! ```
+//! use clickinc::{ClickIncService, ServiceRequest};
+//! use clickinc_topology::Topology;
+//!
+//! let service = ClickIncService::new(Topology::emulation_topology_all_tofino()).unwrap();
+//! let request = ServiceRequest::builder("cms_demo")
+//!     .template(clickinc_lang::templates::count_min_sketch("cms_demo", 3, 1024))
+//!     .from_("pod0a")
+//!     .to("pod2b")
+//!     .build()
+//!     .unwrap();
+//!
+//! // dry-run: where would it land, what would it cost?
+//! let plan = service.plan(&request).unwrap();
+//! assert!(!plan.devices().is_empty());
+//! assert!(plan.predicted_remaining_ratio() <= 1.0);
+//!
+//! // commit: book resources, install snippets, mirror onto the engine
+//! let tenant = service.commit(plan).unwrap();
+//! assert_eq!(tenant.user(), "cms_demo");
+//! let stats = tenant.telemetry().expect("tenant is registered");
+//! assert_eq!(stats.packets, 0); // no traffic injected yet
+//! service.finish();
+//! ```
+//!
+//! Every error — request validation, compilation, placement, stale plans,
+//! engine configuration — surfaces as the single [`ClickIncError`] enum.
+//!
+//! ## Low-level controller
+//!
+//! The [`Controller`] under the service is still public for the ablation
+//! experiments (Tables 3–6) that measure the control plane in isolation:
+//! [`Controller::deploy`]/[`Controller::remove`] drive compile → place →
+//! synthesize → install directly (and fire [`ReconfigureEvent`]s that
+//! [`Controller::attach_engine`] can mirror onto an engine by hand).
 //!
 //! ```
 //! use clickinc::{Controller, ServiceRequest};
 //! use clickinc_topology::Topology;
 //!
-//! let topo = Topology::emulation_topology_all_tofino();
-//! let mut controller = Controller::new(topo);
+//! let mut controller = Controller::new(Topology::emulation_topology_all_tofino());
 //! let request = ServiceRequest::from_template(
 //!     clickinc_lang::templates::count_min_sketch("cms_demo", 3, 1024),
 //!     &["pod0a"],
@@ -34,12 +69,16 @@
 //! ```
 
 mod controller;
+mod error;
 pub mod reconfigure;
 mod request;
+pub mod service;
 
-pub use controller::{Controller, ControllerError, Deployment};
+pub use controller::{Controller, Deployment, DeploymentPlan};
+pub use error::{ClickIncError, ControllerError};
 pub use reconfigure::{ReconfigureEvent, ReconfigureHook, TenantHop};
-pub use request::ServiceRequest;
+pub use request::{RequestError, ServiceRequest, ServiceRequestBuilder};
+pub use service::{ClickIncService, TenantHandle};
 
 // Re-export the subsystem crates under stable names so downstream users need a
 // single dependency.
@@ -51,5 +90,6 @@ pub use clickinc_frontend as frontend;
 pub use clickinc_ir as ir;
 pub use clickinc_lang as lang;
 pub use clickinc_placement as placement;
+pub use clickinc_runtime as runtime;
 pub use clickinc_synthesis as synthesis;
 pub use clickinc_topology as topology;

@@ -10,21 +10,9 @@
 //!
 //! [`Controller`]: crate::Controller
 
-use clickinc_device::DeviceModel;
-use clickinc_ir::IrProgram;
-
-/// One programmable hop of a tenant's deployment: the physical device, its
-/// model (for latency accounting on replicas of the plane), and the isolated
-/// IR snippets the controller installed there.
-#[derive(Debug, Clone)]
-pub struct TenantHop {
-    /// Topology node name of the device.
-    pub device: String,
-    /// The device model.
-    pub model: DeviceModel,
-    /// The snippets installed on this device for the tenant, in install order.
-    pub snippets: Vec<IrProgram>,
-}
+/// Re-exported from `clickinc-runtime`, where the engine's shards consume it
+/// directly; the controller produces hop lists from its placement plans.
+pub use clickinc_runtime::TenantHop;
 
 /// A change to the set of deployed tenant programs.
 #[derive(Debug, Clone)]

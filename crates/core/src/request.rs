@@ -1,7 +1,56 @@
-//! INC service requests.
+//! INC service requests and their fallible builder.
+//!
+//! [`ServiceRequest::builder`] is the preferred construction path: it
+//! validates structural problems — empty ids, missing endpoints, a weights
+//! vector whose length disagrees with the sources — at *build* time, so a
+//! malformed request never reaches the controller's compile/place pipeline.
 
 use clickinc_lang::templates::Template;
 use clickinc_lang::Profile;
+use std::fmt;
+
+/// A structural problem with a [`ServiceRequest`], caught at build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RequestError {
+    /// The user id is empty.
+    EmptyUser,
+    /// No program source was provided (or it is empty).
+    EmptySource,
+    /// No traffic source host was provided.
+    NoSources,
+    /// A traffic source host name is empty.
+    EmptyHost,
+    /// No destination host was provided (or it is empty).
+    EmptyDestination,
+    /// Per-source traffic weights were provided but their length disagrees
+    /// with the number of sources.
+    WeightsMismatch {
+        /// Number of traffic source hosts.
+        sources: usize,
+        /// Number of weights provided.
+        weights: usize,
+    },
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::EmptyUser => write!(f, "user id must not be empty"),
+            RequestError::EmptySource => write!(f, "program source must not be empty"),
+            RequestError::NoSources => write!(f, "at least one traffic source host is required"),
+            RequestError::EmptyHost => write!(f, "traffic source host names must not be empty"),
+            RequestError::EmptyDestination => write!(f, "destination host must not be empty"),
+            RequestError::WeightsMismatch { sources, weights } => write!(
+                f,
+                "{weights} traffic weight(s) for {sources} source host(s) — provide one weight \
+                 per source, or none for uniform traffic"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
 
 /// A request to deploy one INC program for one user.
 #[derive(Debug, Clone)]
@@ -22,7 +71,34 @@ pub struct ServiceRequest {
 }
 
 impl ServiceRequest {
-    /// Build a request from raw ClickINC source.
+    /// Start building a request for `user` (the fallible, validating path):
+    ///
+    /// ```
+    /// use clickinc::ServiceRequest;
+    /// let request = ServiceRequest::builder("u1")
+    ///     .source("forward()\n")
+    ///     .from_("pod0a")
+    ///     .rate_pps(1_000_000.0)
+    ///     .from_("pod1a")
+    ///     .rate_pps(500_000.0)
+    ///     .to("pod2b")
+    ///     .build()
+    ///     .expect("well-formed request");
+    /// assert_eq!(request.sources.len(), request.traffic_weights.len());
+    /// ```
+    pub fn builder(user: impl Into<String>) -> ServiceRequestBuilder {
+        ServiceRequestBuilder {
+            user: user.into(),
+            source: String::new(),
+            sources: Vec::new(),
+            destination: String::new(),
+            traffic_weights: Vec::new(),
+            profile: None,
+        }
+    }
+
+    /// Build a request from raw ClickINC source (infallible legacy path; the
+    /// controller re-validates at plan time).
     pub fn new(
         user: impl Into<String>,
         source: impl Into<String>,
@@ -48,8 +124,31 @@ impl ServiceRequest {
         ServiceRequest::new(template.name.clone(), template.source, sources, destination)
     }
 
-    /// Attach per-source traffic weights (builder style).
-    pub fn with_weights(mut self, weights: Vec<f64>) -> ServiceRequest {
+    /// Attach per-source traffic weights (deprecated builder-style shim).
+    ///
+    /// A weights vector whose length disagrees with `sources` is *not* an
+    /// error on this path: it logs a warning and truncates the vector to
+    /// empty, which keeps the exact pre-validation behavior — topology
+    /// reduction always ignored mismatched weights and shared traffic
+    /// uniformly.  New code should use [`ServiceRequest::builder`], which
+    /// rejects the mismatch at build time instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ServiceRequest::builder(..).rate_pps(..) — the builder rejects \
+                mismatched weights at build time instead of silently dropping them"
+    )]
+    pub fn with_weights(mut self, mut weights: Vec<f64>) -> ServiceRequest {
+        if !weights.is_empty() && weights.len() != self.sources.len() {
+            eprintln!(
+                "clickinc: ServiceRequest::with_weights: {} weight(s) for {} source(s) on \
+                 `{}`; ignoring the vector and sharing traffic uniformly, exactly as the \
+                 pre-validation path did (deprecated lenient shim)",
+                weights.len(),
+                self.sources.len(),
+                self.user
+            );
+            weights.clear();
+        }
         self.traffic_weights = weights;
         self
     }
@@ -59,6 +158,105 @@ impl ServiceRequest {
         self.profile = Some(profile);
         self
     }
+
+    /// Check the structural invariants the builder enforces.  The controller
+    /// calls this at plan time so requests assembled through the legacy
+    /// constructors get the same validation, just later.
+    pub fn validate(&self) -> Result<(), RequestError> {
+        if self.user.is_empty() {
+            return Err(RequestError::EmptyUser);
+        }
+        if self.source.is_empty() {
+            return Err(RequestError::EmptySource);
+        }
+        if self.sources.is_empty() {
+            return Err(RequestError::NoSources);
+        }
+        if self.sources.iter().any(String::is_empty) {
+            return Err(RequestError::EmptyHost);
+        }
+        if self.destination.is_empty() {
+            return Err(RequestError::EmptyDestination);
+        }
+        if !self.traffic_weights.is_empty() && self.traffic_weights.len() != self.sources.len() {
+            return Err(RequestError::WeightsMismatch {
+                sources: self.sources.len(),
+                weights: self.traffic_weights.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Fallible [`ServiceRequest`] builder; see [`ServiceRequest::builder`].
+#[derive(Debug, Clone)]
+pub struct ServiceRequestBuilder {
+    user: String,
+    source: String,
+    sources: Vec<String>,
+    destination: String,
+    traffic_weights: Vec<f64>,
+    profile: Option<Profile>,
+}
+
+impl ServiceRequestBuilder {
+    /// Set the raw ClickINC program source.
+    pub fn source(mut self, source: impl Into<String>) -> Self {
+        self.source = source.into();
+        self
+    }
+
+    /// Take the program source from an instantiated provider template.
+    pub fn template(mut self, template: Template) -> Self {
+        self.source = template.source;
+        self
+    }
+
+    /// Append a traffic source host (call once per client/worker server).
+    pub fn from_(mut self, host: impl Into<String>) -> Self {
+        self.sources.push(host.into());
+        self
+    }
+
+    /// Set the destination host.
+    pub fn to(mut self, host: impl Into<String>) -> Self {
+        self.destination = host.into();
+        self
+    }
+
+    /// Attach an offered rate (packets per second) to the most recently
+    /// added source host.  Either give every source a rate or none:
+    /// [`build`](ServiceRequestBuilder::build) rejects partial weighting.
+    pub fn rate_pps(mut self, rate: f64) -> Self {
+        self.traffic_weights.push(rate);
+        self
+    }
+
+    /// Replace the whole per-source weights vector at once.
+    pub fn weights(mut self, weights: Vec<f64>) -> Self {
+        self.traffic_weights = weights;
+        self
+    }
+
+    /// Attach the originating configuration profile.
+    pub fn profile(mut self, profile: Profile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Validate and produce the request.
+    pub fn build(self) -> Result<ServiceRequest, RequestError> {
+        let request = ServiceRequest {
+            user: self.user,
+            source: self.source,
+            sources: self.sources,
+            destination: self.destination,
+            traffic_weights: self.traffic_weights,
+            profile: self.profile,
+        };
+        request.validate()?;
+        Ok(request)
+    }
 }
 
 #[cfg(test)]
@@ -67,19 +265,90 @@ mod tests {
     use clickinc_lang::templates::{kvs_template, KvsParams};
 
     #[test]
-    fn request_builders() {
-        let r =
-            ServiceRequest::new("u1", "forward()\n", &["a", "b"], "c").with_weights(vec![1.0, 2.0]);
+    fn builder_validates_and_produces_requests() {
+        let r = ServiceRequest::builder("u1")
+            .source("forward()\n")
+            .from_("a")
+            .rate_pps(1.0)
+            .from_("b")
+            .rate_pps(2.0)
+            .to("c")
+            .build()
+            .expect("valid request");
         assert_eq!(r.user, "u1");
         assert_eq!(r.sources, vec!["a", "b"]);
         assert_eq!(r.traffic_weights, vec![1.0, 2.0]);
         assert!(r.profile.is_none());
 
         let t = kvs_template("kvs_0", KvsParams::default());
-        let r = ServiceRequest::from_template(t, &["pod0a"], "pod2b")
-            .with_profile(clickinc_lang::profile::example_kvs_profile());
+        let r = ServiceRequest::builder("kvs_0")
+            .template(t)
+            .from_("pod0a")
+            .to("pod2b")
+            .profile(clickinc_lang::profile::example_kvs_profile())
+            .build()
+            .expect("template request");
         assert_eq!(r.user, "kvs_0");
         assert!(r.source.contains("cache"));
         assert!(r.profile.is_some());
+    }
+
+    #[test]
+    fn builder_rejects_structural_problems() {
+        let err = |b: ServiceRequestBuilder| b.build().unwrap_err();
+        assert_eq!(
+            err(ServiceRequest::builder("").source("forward()\n").from_("a").to("b")),
+            RequestError::EmptyUser
+        );
+        assert_eq!(err(ServiceRequest::builder("u").from_("a").to("b")), RequestError::EmptySource);
+        assert_eq!(
+            err(ServiceRequest::builder("u").source("forward()\n").to("b")),
+            RequestError::NoSources
+        );
+        assert_eq!(
+            err(ServiceRequest::builder("u").source("forward()\n").from_("").to("b")),
+            RequestError::EmptyHost
+        );
+        assert_eq!(
+            err(ServiceRequest::builder("u").source("forward()\n").from_("a")),
+            RequestError::EmptyDestination
+        );
+        assert_eq!(
+            err(ServiceRequest::builder("u")
+                .source("forward()\n")
+                .from_("a")
+                .from_("b")
+                .rate_pps(5.0)
+                .to("c")),
+            RequestError::WeightsMismatch { sources: 2, weights: 1 }
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_weights_logs_and_truncates_instead_of_failing() {
+        // mismatched lengths (either direction): the vector is dropped, which
+        // is bit-identical to the old behavior — topology reduction ignored
+        // mismatched weights and shared traffic uniformly
+        let r = ServiceRequest::new("u1", "forward()\n", &["a", "b"], "c")
+            .with_weights(vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.traffic_weights, Vec::<f64>::new());
+        assert!(r.validate().is_ok(), "the shim leaves the request valid");
+        let r = ServiceRequest::new("u1", "forward()\n", &["a", "b", "c"], "d")
+            .with_weights(vec![1.0, 2.0]);
+        assert_eq!(r.traffic_weights, Vec::<f64>::new());
+        // matching lengths pass through untouched
+        let r =
+            ServiceRequest::new("u1", "forward()\n", &["a", "b"], "c").with_weights(vec![1.0, 2.0]);
+        assert_eq!(r.traffic_weights, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn legacy_constructors_validate_at_plan_time() {
+        assert_eq!(
+            ServiceRequest::new("", "forward()\n", &["a"], "b").validate(),
+            Err(RequestError::EmptyUser)
+        );
+        assert!(ServiceRequest::new("u", "forward()\n", &["a"], "b").validate().is_ok());
     }
 }

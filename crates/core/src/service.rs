@@ -1,0 +1,438 @@
+//! The unified INC-as-a-service facade: one typed surface for the whole
+//! tenant lifecycle.
+//!
+//! [`ClickIncService`] owns both halves of the system — a [`Controller`]
+//! (where programs run) and a [`TrafficEngine`] (how traffic reaches them) —
+//! and removes the hand-wired hook plumbing the two-API world needed:
+//!
+//! * [`ClickIncService::plan`] — compile + place as a **pure dry-run**:
+//!   reports devices, resource demand and the predicted remaining ratio
+//!   without touching the ledger or any plane;
+//! * [`ClickIncService::commit`] — book resources, install snippets, and
+//!   mirror the tenant's hops onto the running engine atomically.  Every
+//!   fallible check precedes the first mutation, so a rejected commit leaves
+//!   the pre-commit state bit-identical;
+//! * [`ClickIncService::deploy_all`] — batch commit with **all-or-nothing**
+//!   rollback: if any request in the batch fails to plan or commit, every
+//!   tenant already committed by the batch is removed again and the engine
+//!   never sees any of them;
+//! * [`TenantHandle`] — the per-tenant capability returned by a successful
+//!   commit: numeric id, hops, live telemetry, workload injection, cache
+//!   pre-population, and removal.
+
+use crate::controller::{Controller, DeploymentPlan};
+use crate::error::ClickIncError;
+use crate::request::ServiceRequest;
+use clickinc_ir::Value;
+use clickinc_runtime::workload::Workload;
+use clickinc_runtime::{
+    EngineConfig, EngineHandle, RunOutcome, TelemetryReport, TenantHop, TenantStats, TrafficEngine,
+};
+use clickinc_synthesis::DeploymentDelta;
+use clickinc_topology::Topology;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The single service surface for INC tenants (paper §3.2, §6): owns the
+/// controller and the sharded traffic engine, exposes transactional deploys
+/// and per-tenant handles.  See the [module docs](self) for the lifecycle.
+pub struct ClickIncService {
+    controller: Arc<Mutex<Controller>>,
+    engine: TrafficEngine,
+}
+
+impl ClickIncService {
+    /// Serve the given topology with the default engine sizing.
+    pub fn new(topology: Topology) -> Result<ClickIncService, ClickIncError> {
+        ClickIncService::with_config(topology, EngineConfig::default())
+    }
+
+    /// Serve the given topology with explicit engine sizing; rejects
+    /// degenerate configs with [`ClickIncError::Engine`].
+    pub fn with_config(
+        topology: Topology,
+        config: EngineConfig,
+    ) -> Result<ClickIncService, ClickIncError> {
+        ClickIncService::with_controller(Controller::new(topology), config)
+    }
+
+    /// Wrap an already configured controller (e.g. one built with
+    /// [`Controller::with_fixed_weights`] for the ablation experiments).
+    /// The controller must not have live deployments yet: the engine only
+    /// sees tenants committed through the service.
+    pub fn with_controller(
+        controller: Controller,
+        config: EngineConfig,
+    ) -> Result<ClickIncService, ClickIncError> {
+        let engine = TrafficEngine::try_new(config)?;
+        Ok(ClickIncService { controller: Arc::new(Mutex::new(controller)), engine })
+    }
+
+    /// Low-level access to the owned controller (the ablation escape hatch).
+    /// Deploys made directly through this guard are **not** mirrored onto
+    /// the engine; use it for inspection, or wire
+    /// [`Controller::attach_engine`] yourself.
+    pub fn controller(&self) -> MutexGuard<'_, Controller> {
+        self.controller.lock().expect("controller mutex")
+    }
+
+    /// A clonable handle to the serving engine (for custom drivers).
+    pub fn engine_handle(&self) -> EngineHandle {
+        self.engine.handle()
+    }
+
+    /// Number of engine shards serving traffic.
+    pub fn shards(&self) -> usize {
+        self.engine.shards()
+    }
+
+    /// Compile + place `request` as a pure dry-run.  The controller state is
+    /// untouched: planning never changes the remaining resource ratio, the
+    /// active user set, or any plane.
+    pub fn plan(&self, request: &ServiceRequest) -> Result<DeploymentPlan, ClickIncError> {
+        self.controller().plan(request)
+    }
+
+    /// Commit a plan: book resources, install snippets, and mirror the
+    /// tenant onto the engine.  Returns the tenant's handle.
+    ///
+    /// The controller lock is held across the engine mirroring, so
+    /// concurrent commits and removals reach the engine in controller
+    /// order — a removal can never overtake the add it revokes.
+    pub fn commit(&self, plan: DeploymentPlan) -> Result<TenantHandle, ClickIncError> {
+        let mut controller = self.controller();
+        self.commit_locked(&mut controller, plan)
+    }
+
+    /// Plan + commit in one step, under a single controller lock — a
+    /// concurrent commit between the two phases cannot turn this call into
+    /// a spurious [`ClickIncError::StalePlan`].
+    pub fn deploy(&self, request: ServiceRequest) -> Result<TenantHandle, ClickIncError> {
+        let mut controller = self.controller();
+        let plan = controller.plan(&request)?;
+        self.commit_locked(&mut controller, plan)
+    }
+
+    /// Commit + mirror with the controller lock already held.
+    fn commit_locked(
+        &self,
+        controller: &mut Controller,
+        plan: DeploymentPlan,
+    ) -> Result<TenantHandle, ClickIncError> {
+        let deployment = controller.commit(plan)?;
+        let user = deployment.user.clone();
+        let numeric_id = deployment.numeric_id;
+        let hops = controller.tenant_hops(&user);
+        self.engine.handle().add_tenant(&user, hops.clone());
+        Ok(self.handle_for(user, numeric_id, hops))
+    }
+
+    /// Deploy a batch of requests with **all-or-nothing** semantics: if any
+    /// request fails to plan or commit, every tenant this call already
+    /// committed is removed again — the ledger ratio, the active user set
+    /// and every plane's store return to their pre-call state bit-identical,
+    /// and the engine never sees any tenant of the batch.
+    pub fn deploy_all(
+        &self,
+        requests: Vec<ServiceRequest>,
+    ) -> Result<Vec<TenantHandle>, ClickIncError> {
+        let mut controller = self.controller();
+        let mut committed: Vec<(String, i64, Vec<TenantHop>)> = Vec::new();
+        for request in requests {
+            let outcome = match controller.plan(&request) {
+                Ok(plan) => controller.commit(plan).map(|d| (d.user.clone(), d.numeric_id)),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok((user, numeric_id)) => {
+                    let hops = controller.tenant_hops(&user);
+                    committed.push((user, numeric_id, hops));
+                }
+                Err(e) => {
+                    // unwind the batch in reverse commit order; removal
+                    // releases exactly what commit booked, so the rollback
+                    // restores the pre-call state bit for bit
+                    for (user, _, _) in committed.iter().rev() {
+                        let _ = controller.remove(user);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        // mirror onto the engine only once the whole batch is committed —
+        // still under the controller lock, so concurrent removals cannot
+        // reach the engine ahead of these adds
+        Ok(committed
+            .into_iter()
+            .map(|(user, numeric_id, hops)| {
+                self.engine.handle().add_tenant(&user, hops.clone());
+                self.handle_for(user, numeric_id, hops)
+            })
+            .collect())
+    }
+
+    /// Remove a tenant by user id: release its resources, uninstall its
+    /// snippets, quiesce its traffic on the engine.  (Equivalent to
+    /// [`TenantHandle::remove`] when the handle is out of reach.)
+    pub fn remove(&self, user: &str) -> Result<DeploymentDelta, ClickIncError> {
+        let controller = self.controller();
+        Self::remove_locked(controller, &self.engine.handle(), user)
+    }
+
+    /// Remove + engine quiesce with the controller lock held across both,
+    /// mirroring the ordering guarantee of [`commit`](ClickIncService::commit).
+    fn remove_locked(
+        mut controller: MutexGuard<'_, Controller>,
+        engine: &EngineHandle,
+        user: &str,
+    ) -> Result<DeploymentDelta, ClickIncError> {
+        let delta = controller.remove(user)?;
+        engine.remove_tenant(user);
+        Ok(delta)
+    }
+
+    /// Ids of the users with an active deployment.
+    pub fn active_users(&self) -> Vec<String> {
+        self.controller().active_users().iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Fraction of network-wide resources still free.
+    pub fn remaining_resource_ratio(&self) -> f64 {
+        self.controller().remaining_resource_ratio()
+    }
+
+    /// Merged per-tenant telemetry snapshot (exact after
+    /// [`flush`](ClickIncService::flush)).
+    pub fn telemetry(&self) -> TelemetryReport {
+        self.engine.handle().telemetry()
+    }
+
+    /// Barrier: returns once every engine shard has drained its queues.
+    pub fn flush(&self) {
+        self.engine.handle().flush()
+    }
+
+    /// Stop the engine, merge the per-shard stores, and return the final
+    /// telemetry and network-wide object stores.
+    pub fn finish(self) -> RunOutcome {
+        self.engine.finish()
+    }
+
+    fn handle_for(&self, user: String, numeric_id: i64, hops: Vec<TenantHop>) -> TenantHandle {
+        TenantHandle {
+            user,
+            numeric_id,
+            hops,
+            controller: Arc::clone(&self.controller),
+            engine: self.engine.handle(),
+        }
+    }
+}
+
+/// A live tenant on the service: returned by [`ClickIncService::commit`] and
+/// [`ClickIncService::deploy_all`], valid until
+/// [`remove`](TenantHandle::remove)d.
+pub struct TenantHandle {
+    user: String,
+    numeric_id: i64,
+    hops: Vec<TenantHop>,
+    controller: Arc<Mutex<Controller>>,
+    engine: EngineHandle,
+}
+
+impl TenantHandle {
+    /// The tenant's user id.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Numeric id the isolation guard matches on; traffic must carry it in
+    /// its INC header to reach the program.
+    pub fn numeric_id(&self) -> i64 {
+        self.numeric_id
+    }
+
+    /// The tenant's programmable hops in traffic order, with the installed
+    /// snippets.
+    pub fn hops(&self) -> &[TenantHop] {
+        &self.hops
+    }
+
+    /// Live telemetry snapshot for this tenant (cheap; exact after a flush).
+    pub fn telemetry(&self) -> Option<TenantStats> {
+        self.engine.telemetry().tenant(&self.user).cloned()
+    }
+
+    /// Drain a workload into the engine on this tenant's behalf; see
+    /// [`EngineHandle::run_workload`].
+    pub fn run_workload(
+        &self,
+        workload: &mut dyn Workload,
+        max_packets: usize,
+        inject_batch: usize,
+    ) -> usize {
+        self.engine.run_workload(workload, max_packets, inject_batch)
+    }
+
+    /// Control-plane table write on every hop whose snippets declare
+    /// `table` (e.g. pre-populating the tenant's isolation-renamed KVS
+    /// cache) — no manual hop inspection required.
+    pub fn populate_table(&self, table: &str, key: Vec<Value>, value: Vec<Value>) {
+        for hop in &self.hops {
+            let declares = hop.snippets.iter().any(|s| s.objects.iter().any(|o| o.name == table));
+            if declares {
+                self.engine.populate_table(
+                    &self.user,
+                    &hop.device,
+                    table,
+                    key.clone(),
+                    value.clone(),
+                );
+            }
+        }
+    }
+
+    /// Revoke the tenant: release its ledger resources, uninstall its
+    /// snippets from the controller planes, and quiesce exactly its traffic
+    /// on the engine (co-resident tenants keep flowing).
+    pub fn remove(self) -> Result<DeploymentDelta, ClickIncError> {
+        let controller = self.controller.lock().expect("controller mutex");
+        ClickIncService::remove_locked(controller, &self.engine, &self.user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clickinc_lang::templates::{count_min_sketch, kvs_template, KvsParams};
+
+    fn service() -> ClickIncService {
+        ClickIncService::with_config(
+            Topology::emulation_topology_all_tofino(),
+            EngineConfig { shards: 2, batch_size: 32 },
+        )
+        .expect("valid config")
+    }
+
+    fn kvs_request(user: &str) -> ServiceRequest {
+        ServiceRequest::builder(user)
+            .template(kvs_template(user, KvsParams { cache_depth: 1000, ..Default::default() }))
+            .from_("pod0a")
+            .to("pod2b")
+            .build()
+            .expect("valid request")
+    }
+
+    #[test]
+    fn plan_is_a_pure_dry_run() {
+        let service = service();
+        let ratio = service.remaining_resource_ratio();
+        let fingerprints = service.controller().plane_fingerprints();
+        let plan = service.plan(&kvs_request("kvs0")).expect("plans");
+        assert!(!plan.devices().is_empty());
+        assert!(plan.predicted_remaining_ratio() <= ratio);
+        assert_eq!(service.remaining_resource_ratio(), ratio, "plan books nothing");
+        assert!(service.active_users().is_empty());
+        assert_eq!(service.controller().plane_fingerprints(), fingerprints);
+        service.finish();
+    }
+
+    #[test]
+    fn commit_realizes_the_plans_prediction_and_registers_the_tenant() {
+        let service = service();
+        let plan = service.plan(&kvs_request("kvs0")).expect("plans");
+        let predicted = plan.predicted_remaining_ratio();
+        let tenant = service.commit(plan).expect("commits");
+        assert_eq!(tenant.user(), "kvs0");
+        assert_eq!(tenant.numeric_id(), 1);
+        assert!(!tenant.hops().is_empty());
+        assert_eq!(service.remaining_resource_ratio(), predicted, "dry-run was exact");
+        assert_eq!(service.active_users(), vec!["kvs0".to_string()]);
+        let stats = tenant.telemetry().expect("registered with the engine");
+        assert_eq!(stats.packets, 0);
+        service.finish();
+    }
+
+    #[test]
+    fn stale_plans_are_rejected_not_misapplied() {
+        let service = service();
+        let plan_a = service.plan(&kvs_request("a")).expect("plans");
+        let plan_b = service
+            .plan(
+                &ServiceRequest::builder("b")
+                    .template(count_min_sketch("b", 3, 512))
+                    .from_("pod0b")
+                    .to("pod2b")
+                    .build()
+                    .unwrap(),
+            )
+            .expect("plans");
+        service.commit(plan_a).expect("first commit wins");
+        let err = service.commit(plan_b).map(|_| ()).unwrap_err();
+        assert!(matches!(err, ClickIncError::StalePlan { .. }), "got {err}");
+        // replanning at the new epoch succeeds
+        let plan_b = service
+            .plan(
+                &ServiceRequest::builder("b")
+                    .template(count_min_sketch("b", 3, 512))
+                    .from_("pod0b")
+                    .to("pod2b")
+                    .build()
+                    .unwrap(),
+            )
+            .expect("replans");
+        service.commit(plan_b).expect("fresh plan commits");
+        service.finish();
+    }
+
+    #[test]
+    fn deploy_all_is_atomic() {
+        let service = service();
+        let ratio = service.remaining_resource_ratio();
+        let fingerprints = service.controller().plane_fingerprints();
+        let telemetry = service.telemetry();
+        let err = service
+            .deploy_all(vec![
+                kvs_request("good"),
+                ServiceRequest::builder("bad")
+                    .source("forward()\n")
+                    .from_("nowhere")
+                    .to("pod2b")
+                    .build()
+                    .unwrap(),
+            ])
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ClickIncError::UnknownHost(_)));
+        assert_eq!(service.remaining_resource_ratio(), ratio);
+        assert!(service.active_users().is_empty());
+        assert_eq!(service.controller().plane_fingerprints(), fingerprints);
+        assert_eq!(service.telemetry(), telemetry, "the engine never saw the batch");
+
+        // the same batch without the poison pill commits both tenants
+        let handles = service
+            .deploy_all(vec![kvs_request("good"), kvs_request("good2")])
+            .expect("valid batch commits");
+        assert_eq!(handles.len(), 2);
+        assert_eq!(service.active_users().len(), 2);
+        service.finish();
+    }
+
+    #[test]
+    fn tenant_handles_remove_cleanly() {
+        let service = service();
+        let tenant = service.deploy(kvs_request("kvs0")).expect("deploys");
+        let ratio_with = service.remaining_resource_ratio();
+        let delta = tenant.remove().expect("removes");
+        assert!(delta.device_count() > 0);
+        assert!(service.remaining_resource_ratio() >= ratio_with);
+        assert!(service.active_users().is_empty());
+        // removal by id also works for the service-level path
+        let _tenant = service.deploy(kvs_request("kvs0")).expect("re-deploys");
+        service.remove("kvs0").expect("removes by id");
+        assert!(matches!(
+            service.remove("kvs0").map(|_| ()).unwrap_err(),
+            ClickIncError::UnknownUser(_)
+        ));
+        service.finish();
+    }
+}

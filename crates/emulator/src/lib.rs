@@ -29,8 +29,8 @@ pub mod zipf;
 pub use interp::{DevicePlane, ExecOutcome, PacketAction};
 pub use packet::{IncHeader, Packet};
 pub use scenario::{
-    run_aggregation_scenario, run_kvs_scenario, AggregationConfig, AggregationReport, KvsConfig,
-    KvsReport, NetworkSetup,
+    kvs_backend_value, run_aggregation_scenario, run_kvs_scenario, AggregationConfig,
+    AggregationReport, KvsConfig, KvsReport, NetworkSetup,
 };
 pub use state::{Fnv, ObjectStore};
 pub use zipf::ZipfSampler;

@@ -302,12 +302,20 @@ pub struct KvsReport {
     pub replies_correct: bool,
 }
 
+/// The KVS backend's ground-truth value for a key.  Shared by the scenario
+/// loop, the engine-backed serving drivers and every cache pre-population
+/// helper, so "the reply carried the correct value" means the same thing on
+/// every serving path.
+pub fn kvs_backend_value(key: i64) -> i64 {
+    key * 1000 + 7
+}
+
 /// Run a skewed KVS request stream over the path.  The cache (if a device runs
 /// the KVS program) is pre-populated with the `cached_keys` hottest keys, and
-/// the backend server holds every key with value `key * 1000 + 7`.
+/// the backend server holds every key with value [`kvs_backend_value`].
 pub fn run_kvs_scenario(setup: &mut NetworkSetup, config: &KvsConfig) -> KvsReport {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let value_of = |key: i64| key * 1000 + 7;
+    let value_of = kvs_backend_value;
     // Populate the in-network cache on whichever hop hosts the KVS table.
     for hop in setup.hops.iter_mut() {
         if !hop.has_program() {

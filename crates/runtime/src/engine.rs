@@ -10,27 +10,71 @@
 
 use crate::shard::{ShardFinal, ShardMsg, ShardWorker};
 use crate::telemetry::{TelemetryRegistry, TelemetryReport, TenantCounters};
+use crate::tenant::TenantHop;
 use crate::workload::Workload;
-use clickinc::TenantHop;
 use clickinc_emulator::{Fnv, ObjectStore, Packet};
 use clickinc_ir::Value;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Runtime-side failures: today these are all configuration errors caught
+/// before any worker thread spawns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A sizing knob is below its documented minimum.
+    InvalidConfig {
+        /// The offending [`EngineConfig`] field.
+        field: &'static str,
+        /// The rejected value.
+        value: usize,
+        /// The smallest accepted value.
+        minimum: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidConfig { field, value, minimum } => {
+                write!(f, "invalid engine config: `{field}` is {value}, minimum is {minimum}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Engine sizing knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Number of shard worker threads (≥ 1).
     pub shards: usize,
-    /// Packets processed per device-queue batch.
+    /// Packets processed per device-queue batch (≥ 1).
     pub batch_size: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig { shards: 4, batch_size: 256 }
+    }
+}
+
+impl EngineConfig {
+    /// Check the sizing knobs: `shards` and `batch_size` must both be at
+    /// least 1, otherwise the worker-spawn and queue-drain paths would be
+    /// handed degenerate values.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.shards == 0 {
+            return Err(EngineError::InvalidConfig { field: "shards", value: 0, minimum: 1 });
+        }
+        if self.batch_size == 0 {
+            return Err(EngineError::InvalidConfig { field: "batch_size", value: 0, minimum: 1 });
+        }
+        Ok(())
     }
 }
 
@@ -173,7 +217,16 @@ pub struct TrafficEngine {
 }
 
 impl TrafficEngine {
-    /// Spawn `config.shards` worker threads.
+    /// Spawn `config.shards` worker threads, rejecting degenerate configs
+    /// with a typed [`EngineError`] instead of clamping.
+    pub fn try_new(config: EngineConfig) -> Result<TrafficEngine, EngineError> {
+        config.validate()?;
+        Ok(TrafficEngine::new(config))
+    }
+
+    /// Spawn `config.shards` worker threads.  `shards` and `batch_size` are
+    /// clamped to their documented minimum of 1; use
+    /// [`TrafficEngine::try_new`] to reject such configs instead.
     pub fn new(config: EngineConfig) -> TrafficEngine {
         let shards = config.shards.max(1);
         let mut senders = Vec::with_capacity(shards);

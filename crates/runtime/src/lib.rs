@@ -23,9 +23,11 @@
 //! * **Live reconfiguration** — tenants are added and removed *while other
 //!   tenants' traffic flows*.  Control messages share the FIFO channel with
 //!   traffic, so a removal quiesces exactly the affected tenant's queued
-//!   packets, then drops only its snippets and tables.
-//!   [`bridge::attach_controller`] mirrors `Controller::deploy`/`remove`
-//!   onto a running engine automatically.
+//!   packets, then drops only its snippets and tables.  The `clickinc`
+//!   crate's `ClickIncService` facade owns both a controller and an engine
+//!   and mirrors every transactional deploy/remove onto the shards
+//!   automatically; `Controller::attach_engine` is the low-level hook-based
+//!   wiring for ablation experiments.
 //!
 //! ```
 //! use clickinc_runtime::{EngineConfig, TrafficEngine};
@@ -45,15 +47,15 @@
 //! assert_eq!(outcome.telemetry.tenant("t1").unwrap().to_server, 100);
 //! ```
 
-pub mod bridge;
 pub mod engine;
 pub mod shard;
 pub mod telemetry;
+pub mod tenant;
 pub mod workload;
 
-pub use bridge::attach_controller;
-pub use engine::{EngineConfig, EngineHandle, RunOutcome, TrafficEngine};
+pub use engine::{EngineConfig, EngineError, EngineHandle, RunOutcome, TrafficEngine};
 pub use telemetry::{TelemetryReport, TenantCounters, TenantStats};
+pub use tenant::TenantHop;
 pub use workload::{
     GeneratedPacket, KvsWorkload, KvsWorkloadConfig, MixedWorkload, MlAggWorkload,
     MlAggWorkloadConfig, Workload,

@@ -19,7 +19,7 @@
 //! tenant's snippets and tables ([`DevicePlane::uninstall`]).
 
 use crate::telemetry::TenantCounters;
-use clickinc::TenantHop;
+use crate::tenant::TenantHop;
 use clickinc_emulator::{DevicePlane, Packet, PacketAction};
 use clickinc_ir::Value;
 use std::collections::{BTreeMap, VecDeque};

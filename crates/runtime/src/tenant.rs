@@ -1,0 +1,24 @@
+//! Tenant routing material shared between the control plane and the engine.
+//!
+//! A tenant's deployment, from the engine's point of view, is nothing more
+//! than an ordered list of programmable hops: which device, which model (for
+//! latency accounting on the shard's plane replicas), and which isolated IR
+//! snippets to install there.  The controller (`clickinc`) produces these
+//! from a placement plan; hand-built hop lists (as the benches and the
+//! engine-invariance tests do) work just as well.
+
+use clickinc_device::DeviceModel;
+use clickinc_ir::IrProgram;
+
+/// One programmable hop of a tenant's deployment: the physical device, its
+/// model (for latency accounting on replicas of the plane), and the isolated
+/// IR snippets installed there.
+#[derive(Debug, Clone)]
+pub struct TenantHop {
+    /// Topology node name of the device.
+    pub device: String,
+    /// The device model.
+    pub model: DeviceModel,
+    /// The snippets installed on this device for the tenant, in install order.
+    pub snippets: Vec<IrProgram>,
+}

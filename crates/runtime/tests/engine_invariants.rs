@@ -8,7 +8,6 @@
 //!    *bit-for-bit* identical to a run where the reconfiguration never
 //!    happened.
 
-use clickinc::TenantHop;
 use clickinc_device::DeviceModel;
 use clickinc_frontend::compile_source;
 use clickinc_ir::Value;
@@ -16,7 +15,7 @@ use clickinc_lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggPar
 use clickinc_runtime::workload::{
     KvsWorkload, KvsWorkloadConfig, MixedWorkload, MlAggWorkload, MlAggWorkloadConfig, Workload,
 };
-use clickinc_runtime::{EngineConfig, TelemetryReport, TrafficEngine};
+use clickinc_runtime::{EngineConfig, EngineError, TelemetryReport, TenantHop, TrafficEngine};
 use clickinc_synthesis::isolate_user_program;
 use std::collections::BTreeMap;
 
@@ -188,6 +187,34 @@ fn run_phased(shards: usize, disrupt: bool) -> TelemetryReport {
     handle.run_workload(&mut beta, usize::MAX, 64);
     handle.flush();
     engine.finish().telemetry
+}
+
+#[test]
+fn degenerate_engine_configs_are_rejected_or_clamped() {
+    // `try_new` returns a typed error for sizing knobs below the minimum…
+    let zero_shards = TrafficEngine::try_new(EngineConfig { shards: 0, batch_size: 64 });
+    assert!(matches!(
+        zero_shards.map(|_| ()).unwrap_err(),
+        EngineError::InvalidConfig { field: "shards", value: 0, minimum: 1 }
+    ));
+    let zero_batch = TrafficEngine::try_new(EngineConfig { shards: 2, batch_size: 0 });
+    assert!(matches!(
+        zero_batch.map(|_| ()).unwrap_err(),
+        EngineError::InvalidConfig { field: "batch_size", value: 0, minimum: 1 }
+    ));
+    assert!(EngineConfig::default().validate().is_ok());
+
+    // …while `new` documents clamping to 1 and still serves traffic.
+    let engine = TrafficEngine::new(EngineConfig { shards: 0, batch_size: 0 });
+    assert_eq!(engine.shards(), 1);
+    let handle = engine.handle();
+    handle.add_tenant("alpha", kvs_tenant("alpha", 1));
+    populate_cache(&handle, "alpha", 16);
+    let mut wl = kvs_workload("alpha", 1, 100, 11);
+    handle.run_workload(&mut wl, usize::MAX, 8);
+    handle.flush();
+    let outcome = engine.finish();
+    assert_eq!(outcome.telemetry.tenant("alpha").unwrap().completed, 100);
 }
 
 #[test]

@@ -1,49 +1,44 @@
 //! Live reconfiguration under traffic: two KVS tenants serve a skewed
 //! request stream on the sharded runtime engine while a third tenant's
 //! gradient-aggregation program is deployed and removed mid-run through the
-//! controller (paper §6, Fig. 14 — INC as a service).
+//! `ClickIncService` facade (paper §6, Fig. 14 — INC as a service).
 //!
 //! The same three-phase workload is run twice — once with the mid-run
 //! deploy/remove, once without — and the resident tenants' telemetry is
 //! compared: goodput, hit ratio and tail latency are bit-for-bit unaffected.
+//! Note there is no hook or bridge wiring anywhere: the service owns both
+//! the controller and the engine and mirrors every commit automatically.
 //!
 //! Run with: `cargo run --release --example live_traffic`
 
 use clickinc::lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggParams};
 use clickinc::topology::Topology;
-use clickinc::{Controller, ServiceRequest};
+use clickinc::{ClickIncService, ServiceRequest, TenantHandle};
+use clickinc_emulator::kvs_backend_value;
 use clickinc_ir::Value;
 use clickinc_runtime::workload::{
     KvsWorkload, KvsWorkloadConfig, MlAggWorkload, MlAggWorkloadConfig,
 };
-use clickinc_runtime::{
-    attach_controller, EngineConfig, EngineHandle, TelemetryReport, TrafficEngine,
-};
+use clickinc_runtime::{EngineConfig, TelemetryReport};
 
 const SHARDS: usize = 4;
 const REQUESTS: usize = 3000;
 
-fn populate_cache(controller: &Controller, handle: &EngineHandle, user: &str, hot_keys: i64) {
-    let table = format!("{user}_cache");
-    for hop in controller.tenant_hops(user) {
-        if hop.snippets.iter().any(|s| s.objects.iter().any(|o| o.name == table)) {
-            for key in 0..hot_keys {
-                handle.populate_table(
-                    user,
-                    &hop.device,
-                    &table,
-                    vec![Value::Int(key)],
-                    vec![Value::Int(key * 1000 + 7)],
-                );
-            }
-        }
+fn populate_cache(tenant: &TenantHandle, hot_keys: i64) {
+    let table = format!("{}_cache", tenant.user());
+    for key in 0..hot_keys {
+        tenant.populate_table(
+            &table,
+            vec![Value::Int(key)],
+            vec![Value::Int(kvs_backend_value(key))],
+        );
     }
 }
 
-fn kvs_stream(user: &str, id: i64, seed: u64) -> KvsWorkload {
+fn kvs_stream(tenant: &TenantHandle, seed: u64) -> KvsWorkload {
     KvsWorkload::new(KvsWorkloadConfig {
-        tenant: user.to_string(),
-        user_id: id,
+        tenant: tenant.user().to_string(),
+        user_id: tenant.numeric_id(),
         keys: 1000,
         skew: 1.1,
         requests: REQUESTS,
@@ -54,37 +49,55 @@ fn kvs_stream(user: &str, id: i64, seed: u64) -> KvsWorkload {
 
 /// Three traffic phases for the resident tenants; in the middle phase a
 /// third tenant optionally arrives, aggregates 400 gradient packets
-/// in-network, and leaves — all through `Controller::deploy`/`remove`.
+/// in-network, and leaves — all through the service facade.
 fn run(reconfigure: bool) -> TelemetryReport {
-    let engine = TrafficEngine::new(EngineConfig { shards: SHARDS, batch_size: 128 });
-    let handle = engine.handle();
-    let mut controller = Controller::new(Topology::emulation_topology_all_tofino());
-    attach_controller(&mut controller, engine.handle());
+    let service = ClickIncService::with_config(
+        Topology::emulation_topology_all_tofino(),
+        EngineConfig { shards: SHARDS, batch_size: 128 },
+    )
+    .expect("engine config is valid");
 
+    let mut residents = Vec::new();
     for (user, srcs) in [("kvs_a", ["pod0a", "pod1a"]), ("kvs_b", ["pod0b", "pod1b"])] {
         let t = kvs_template(user, KvsParams { cache_depth: 2000, ..Default::default() });
-        controller.deploy(ServiceRequest::from_template(t, &srcs, "pod2b")).unwrap();
-        populate_cache(&controller, &handle, user, 64);
+        let request = ServiceRequest::builder(user)
+            .template(t)
+            .from_(srcs[0])
+            .from_(srcs[1])
+            .to("pod2b")
+            .build()
+            .expect("well-formed request");
+        let tenant = service.deploy(request).expect("resident deploys");
+        populate_cache(&tenant, 64);
+        residents.push(tenant);
     }
-    let id_a = controller.numeric_id_of("kvs_a").unwrap();
-    let id_b = controller.numeric_id_of("kvs_b").unwrap();
-    let mut wl_a = kvs_stream("kvs_a", id_a, 5);
-    let mut wl_b = kvs_stream("kvs_b", id_b, 6);
+    let mut wl_a = kvs_stream(&residents[0], 5);
+    let mut wl_b = kvs_stream(&residents[1], 6);
 
     // phase 1: both residents flowing
-    handle.run_workload(&mut wl_a, REQUESTS / 3, 128);
-    handle.run_workload(&mut wl_b, REQUESTS / 3, 128);
+    residents[0].run_workload(&mut wl_a, REQUESTS / 3, 128);
+    residents[1].run_workload(&mut wl_b, REQUESTS / 3, 128);
 
-    if reconfigure {
+    let newcomer = if reconfigure {
         let t = mlagg_template(
             "agg_c",
             MlAggParams { dims: 16, num_aggregators: 1024, ..Default::default() },
         );
-        controller.deploy(ServiceRequest::from_template(t, &["pod1a", "pod1b"], "pod2a")).unwrap();
-        let id_c = controller.numeric_id_of("agg_c").unwrap();
+        let request = ServiceRequest::builder("agg_c")
+            .template(t)
+            .from_("pod1a")
+            .from_("pod1b")
+            .to("pod2a")
+            .build()
+            .expect("well-formed request");
+        // dry-run first: the plan predicts the post-commit resource ratio
+        let plan = service.plan(&request).expect("agg_c plans");
+        let predicted = plan.predicted_remaining_ratio();
+        let tenant = service.commit(plan).expect("agg_c commits");
+        assert_eq!(service.remaining_resource_ratio(), predicted, "plan prediction is exact");
         let mut wl_c = MlAggWorkload::new(MlAggWorkloadConfig {
             tenant: "agg_c".to_string(),
-            user_id: id_c,
+            user_id: tenant.numeric_id(),
             workers: 4,
             rounds: 100,
             dims: 16,
@@ -92,22 +105,25 @@ fn run(reconfigure: bool) -> TelemetryReport {
             seed: 7,
             ..Default::default()
         });
-        handle.run_workload(&mut wl_c, usize::MAX, 128);
-    }
+        tenant.run_workload(&mut wl_c, usize::MAX, 128);
+        Some(tenant)
+    } else {
+        None
+    };
 
     // phase 2: residents keep flowing next to (or without) the newcomer
-    handle.run_workload(&mut wl_a, REQUESTS / 3, 128);
-    handle.run_workload(&mut wl_b, REQUESTS / 3, 128);
+    residents[0].run_workload(&mut wl_a, REQUESTS / 3, 128);
+    residents[1].run_workload(&mut wl_b, REQUESTS / 3, 128);
 
-    if reconfigure {
-        controller.remove("agg_c").unwrap();
+    if let Some(tenant) = newcomer {
+        tenant.remove().expect("agg_c leaves cleanly");
     }
 
     // phase 3: after the teardown
-    handle.run_workload(&mut wl_a, usize::MAX, 128);
-    handle.run_workload(&mut wl_b, usize::MAX, 128);
-    handle.flush();
-    engine.finish().telemetry
+    residents[0].run_workload(&mut wl_a, usize::MAX, 128);
+    residents[1].run_workload(&mut wl_b, usize::MAX, 128);
+    service.flush();
+    service.finish().telemetry
 }
 
 fn main() {

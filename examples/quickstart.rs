@@ -1,10 +1,10 @@
-//! Quickstart: write a ClickINC program, deploy it with the controller, and
-//! inspect what the toolchain produced.
+//! Quickstart: write a ClickINC program, dry-run it with `plan`, commit it
+//! through the `ClickIncService`, and inspect what the toolchain produced.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use clickinc::topology::Topology;
-use clickinc::{Controller, ServiceRequest};
+use clickinc::{ClickIncService, ServiceRequest};
 
 fn main() {
     // The count-min-sketch module program of the paper's Fig. 1, written in the
@@ -21,21 +21,29 @@ forward()
     println!("=== ClickINC quickstart ===\n");
     println!("user program ({} LoC):\n{source}", clickinc::lang::lines_of_code(source));
 
-    // Manage the paper's Fig. 11 emulation topology.
+    // Serve the paper's Fig. 11 emulation topology.
     let topology = Topology::emulation_topology();
-    let mut controller = Controller::new(topology);
+    let service = ClickIncService::new(topology).expect("default engine config is valid");
 
-    // Deploy the program for traffic from pod0(a) to pod2(b).
-    let request = ServiceRequest::new("heavyhitter_0", source, &["pod0a"], "pod2b");
-    let deployment = controller.deploy(request).expect("deployment succeeds").clone();
+    // Describe the deployment with the validating builder: traffic flows
+    // from pod0(a) to pod2(b).
+    let request = ServiceRequest::builder("heavyhitter_0")
+        .source(source)
+        .from_("pod0a")
+        .to("pod2b")
+        .build()
+        .expect("well-formed request");
 
-    println!("compiled to {} IR instructions", deployment.program.len());
-    println!("grouped into {} blocks", deployment.dag.len());
+    // Plan: a pure dry-run — nothing is booked or installed yet.
+    let plan = service.plan(&request).expect("planning succeeds");
+    println!("compiled to {} IR instructions", plan.program().len());
+    println!("grouped into {} blocks", plan.dag().len());
     println!(
         "placement gain: {:.4} (solve time {:.2?})",
-        deployment.plan.gain, deployment.plan.solve_time
+        plan.placement().gain,
+        plan.placement().solve_time
     );
-    for assignment in deployment.plan.assignments.iter().filter(|a| !a.is_empty()) {
+    for assignment in plan.placement().assignments.iter().filter(|a| !a.is_empty()) {
         println!(
             "  -> {}: {} instructions in {} pipeline stages (steps {}..{})",
             assignment.device,
@@ -45,18 +53,31 @@ forward()
             assignment.step_range.1,
         );
     }
+    println!(
+        "predicted remaining resources after commit: {:.1}%",
+        plan.predicted_remaining_ratio() * 100.0
+    );
+
+    // Commit: book resources, install snippets, mirror onto the engine.
+    let tenant = service.commit(plan).expect("commit succeeds");
+    println!("\ncommitted as tenant `{}` (numeric id {})", tenant.user(), tenant.numeric_id());
+
     println!("\ngenerated device programs:");
-    for (node, program) in &deployment.device_programs {
-        println!(
-            "  {} ({}): {} lines of {}",
-            controller.topology().node(*node).name,
-            controller.topology().node(*node).kind,
-            program.lines_of_code(),
-            program.language
-        );
+    {
+        let controller = service.controller();
+        let deployment = controller.deployment("heavyhitter_0").expect("tenant is active");
+        for (node, program) in &deployment.device_programs {
+            println!(
+                "  {} ({}): {} lines of {}",
+                controller.topology().node(*node).name,
+                controller.topology().node(*node).kind,
+                program.lines_of_code(),
+                program.language
+            );
+        }
     }
     println!(
-        "\nremaining network resources: {:.1}%",
-        controller.remaining_resource_ratio() * 100.0
+        "\nremaining network resources: {:.1}% (the plan's prediction was exact)",
+        service.remaining_resource_ratio() * 100.0
     );
 }

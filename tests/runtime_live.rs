@@ -1,53 +1,57 @@
-//! End-to-end: the controller's deploy/remove events drive the runtime
-//! engine through the reconfigure bridge, and deployed programs serve
-//! traffic on the sharded planes.
+//! End-to-end: deployments committed through the `ClickIncService` facade
+//! are served by the sharded engine, survive live reconfiguration, and need
+//! no manual hook or bridge wiring anywhere.
 
 use clickinc::lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggParams};
 use clickinc::topology::Topology;
-use clickinc::{Controller, ServiceRequest};
+use clickinc::{ClickIncService, ServiceRequest, TenantHandle};
+use clickinc_emulator::kvs_backend_value;
 use clickinc_ir::Value;
 use clickinc_runtime::workload::{KvsWorkload, KvsWorkloadConfig};
-use clickinc_runtime::{attach_controller, EngineConfig, EngineHandle, TrafficEngine};
+use clickinc_runtime::EngineConfig;
 
-/// Pre-populate a controller-deployed tenant's (isolation-renamed) cache on
-/// whichever device hosts it.
-fn populate_cache(controller: &Controller, handle: &EngineHandle, user: &str, hot_keys: i64) {
-    let table = format!("{user}_cache");
-    for hop in controller.tenant_hops(user) {
-        let hosts_cache = hop.snippets.iter().any(|s| s.objects.iter().any(|o| o.name == table));
-        if !hosts_cache {
-            continue;
-        }
-        for key in 0..hot_keys {
-            handle.populate_table(
-                user,
-                &hop.device,
-                &table,
-                vec![Value::Int(key)],
-                vec![Value::Int(key * 1000 + 7)],
-            );
-        }
+/// Pre-populate a deployed tenant's (isolation-renamed) cache through its
+/// handle — the handle knows which hop hosts the table.
+fn populate_cache(tenant: &TenantHandle, hot_keys: i64) {
+    let table = format!("{}_cache", tenant.user());
+    for key in 0..hot_keys {
+        tenant.populate_table(
+            &table,
+            vec![Value::Int(key)],
+            vec![Value::Int(kvs_backend_value(key))],
+        );
     }
 }
 
 #[test]
-fn controller_bridge_serves_deployed_tenants_and_survives_live_reconfiguration() {
-    let engine = TrafficEngine::new(EngineConfig { shards: 2, batch_size: 32 });
-    let handle = engine.handle();
-    let mut controller = Controller::new(Topology::emulation_topology_all_tofino());
-    attach_controller(&mut controller, engine.handle());
+fn the_service_serves_deployed_tenants_and_survives_live_reconfiguration() {
+    let service = ClickIncService::with_config(
+        Topology::emulation_topology_all_tofino(),
+        EngineConfig { shards: 2, batch_size: 32 },
+    )
+    .expect("engine config is valid");
 
-    // two KVS tenants deploy; the bridge mirrors them onto the engine
+    // two KVS tenants deploy through the facade; the commit mirrors them
+    // onto the engine automatically
+    let mut residents = Vec::new();
     for (user, srcs) in [("kvs_a", ["pod0a", "pod1a"]), ("kvs_b", ["pod0b", "pod1b"])] {
         let t = kvs_template(user, KvsParams { cache_depth: 2000, ..Default::default() });
-        controller.deploy(ServiceRequest::from_template(t, &srcs, "pod2b")).unwrap();
-        populate_cache(&controller, &handle, user, 64);
+        let request = ServiceRequest::builder(user)
+            .template(t)
+            .from_(srcs[0])
+            .from_(srcs[1])
+            .to("pod2b")
+            .build()
+            .expect("well-formed request");
+        let tenant = service.deploy(request).expect("resident deploys");
+        populate_cache(&tenant, 64);
+        residents.push(tenant);
     }
 
-    let workload = |user: &str, id: i64, requests, seed| {
+    let workload = |tenant: &TenantHandle, requests, seed| {
         KvsWorkload::new(KvsWorkloadConfig {
-            tenant: user.to_string(),
-            user_id: id,
+            tenant: tenant.user().to_string(),
+            user_id: tenant.numeric_id(),
             keys: 500,
             skew: 1.2,
             requests,
@@ -55,32 +59,37 @@ fn controller_bridge_serves_deployed_tenants_and_survives_live_reconfiguration()
             seed,
         })
     };
-    let id_a = controller.numeric_id_of("kvs_a").unwrap();
-    let id_b = controller.numeric_id_of("kvs_b").unwrap();
-    let mut wl_a = workload("kvs_a", id_a, 1000, 5);
-    let mut wl_b = workload("kvs_b", id_b, 1000, 6);
+    let mut wl_a = workload(&residents[0], 1000, 5);
+    let mut wl_b = workload(&residents[1], 1000, 6);
 
     // first traffic phase
-    handle.run_workload(&mut wl_a, 500, 64);
-    handle.run_workload(&mut wl_b, 500, 64);
+    residents[0].run_workload(&mut wl_a, 500, 64);
+    residents[1].run_workload(&mut wl_b, 500, 64);
 
     // a third tenant arrives mid-run and leaves again, all through the
-    // controller, while kvs_a/kvs_b keep flowing
+    // service, while kvs_a/kvs_b keep flowing
     let t = mlagg_template(
         "agg_c",
         MlAggParams { dims: 8, num_aggregators: 1024, ..Default::default() },
     );
-    controller.deploy(ServiceRequest::from_template(t, &["pod1a", "pod1b"], "pod2a")).unwrap();
-    handle.run_workload(&mut wl_a, 250, 64);
-    handle.run_workload(&mut wl_b, 250, 64);
-    controller.remove("agg_c").unwrap();
+    let request = ServiceRequest::builder("agg_c")
+        .template(t)
+        .from_("pod1a")
+        .from_("pod1b")
+        .to("pod2a")
+        .build()
+        .expect("well-formed request");
+    let transient = service.deploy(request).expect("transient deploys");
+    residents[0].run_workload(&mut wl_a, 250, 64);
+    residents[1].run_workload(&mut wl_b, 250, 64);
+    transient.remove().expect("transient leaves cleanly");
 
     // final phase after the removal
-    handle.run_workload(&mut wl_a, usize::MAX, 64);
-    handle.run_workload(&mut wl_b, usize::MAX, 64);
-    handle.flush();
+    residents[0].run_workload(&mut wl_a, usize::MAX, 64);
+    residents[1].run_workload(&mut wl_b, usize::MAX, 64);
+    service.flush();
 
-    let outcome = engine.finish();
+    let outcome = service.finish();
     for user in ["kvs_a", "kvs_b"] {
         let stats = outcome.telemetry.tenant(user).unwrap_or_else(|| panic!("{user} served"));
         assert_eq!(stats.packets, 1000, "{user} traffic all injected");
@@ -89,7 +98,7 @@ fn controller_bridge_serves_deployed_tenants_and_survives_live_reconfiguration()
         assert!(stats.goodput_gbps > 0.0);
     }
     // the engine really saw the transient tenant
-    assert!(outcome.telemetry.tenant("agg_c").is_some(), "bridge mirrored the deploy");
+    assert!(outcome.telemetry.tenant("agg_c").is_some(), "the commit mirrored the deploy");
     // and the JSON export carries every tenant
     let json = outcome.telemetry.to_json();
     assert!(json.contains("\"kvs_a\"") && json.contains("\"agg_c\""));

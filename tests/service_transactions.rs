@@ -1,0 +1,301 @@
+//! Transactional guarantees of the `ClickIncService` facade:
+//!
+//! 1. **Round-trip equivalence** — `plan` → `commit` produces a deployment
+//!    bit-identical to the direct `Controller::deploy` path (numeric id,
+//!    snippets, plane fingerprints, telemetry after a fixed seeded
+//!    workload).
+//! 2. **Plan purity** — planning never changes the remaining resource
+//!    ratio, the active user set, or any plane's store fingerprint.
+//! 3. **All-or-nothing batches** — a failed `deploy_all` (unknown host,
+//!    compile error, stale plan) leaves the ledger ratio, the active users,
+//!    the engine tenants and every plane's store fingerprint bit-identical
+//!    to before the call, even when earlier requests of the batch had
+//!    already committed.
+
+use clickinc::lang::templates::{
+    count_min_sketch, dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams,
+    MlAggParams,
+};
+use clickinc::topology::Topology;
+use clickinc::{ClickIncError, ClickIncService, Controller, ServiceRequest};
+use clickinc_emulator::kvs_backend_value;
+use clickinc_ir::Value;
+use clickinc_runtime::workload::{KvsWorkload, KvsWorkloadConfig};
+use clickinc_runtime::{EngineConfig, TrafficEngine};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn engine_config() -> EngineConfig {
+    EngineConfig { shards: 2, batch_size: 32 }
+}
+
+fn kvs_request(user: &str) -> ServiceRequest {
+    ServiceRequest::builder(user)
+        .template(kvs_template(user, KvsParams { cache_depth: 2000, ..Default::default() }))
+        .from_("pod0a")
+        .from_("pod1a")
+        .to("pod2b")
+        .build()
+        .expect("well-formed request")
+}
+
+fn seeded_workload(user: &str, id: i64) -> KvsWorkload {
+    KvsWorkload::new(KvsWorkloadConfig {
+        tenant: user.to_string(),
+        user_id: id,
+        keys: 500,
+        skew: 1.2,
+        requests: 800,
+        rate_pps: 1_000_000.0,
+        seed: 9,
+    })
+}
+
+/// Everything observable a serving run leaves behind, for equivalence
+/// comparison across the two deployment paths.
+#[derive(Debug, PartialEq)]
+struct RunFingerprint {
+    numeric_id: i64,
+    snippets: Vec<clickinc::ir::IrProgram>,
+    controller_planes: BTreeMap<String, u64>,
+    engine_stores: BTreeMap<String, u64>,
+    telemetry: clickinc_runtime::TelemetryReport,
+}
+
+/// The old two-API wiring: a controller bridged onto an engine by hand.
+fn run_direct_controller_path() -> RunFingerprint {
+    let engine = TrafficEngine::new(engine_config());
+    let mut controller = Controller::new(Topology::emulation_topology_all_tofino());
+    controller.attach_engine(engine.handle());
+    let deployment = controller.deploy(kvs_request("kvs0")).expect("deploys");
+    let numeric_id = deployment.numeric_id;
+    let snippets: Vec<_> = deployment.snippets.values().flatten().cloned().collect();
+
+    let handle = engine.handle();
+    for hop in controller.tenant_hops("kvs0") {
+        if hop.snippets.iter().any(|s| s.objects.iter().any(|o| o.name == "kvs0_cache")) {
+            for key in 0..64 {
+                handle.populate_table(
+                    "kvs0",
+                    &hop.device,
+                    "kvs0_cache",
+                    vec![Value::Int(key)],
+                    vec![Value::Int(kvs_backend_value(key))],
+                );
+            }
+        }
+    }
+    let mut wl = seeded_workload("kvs0", numeric_id);
+    handle.run_workload(&mut wl, usize::MAX, 64);
+    handle.flush();
+    let outcome = engine.finish();
+    RunFingerprint {
+        numeric_id,
+        snippets,
+        controller_planes: controller.plane_fingerprints(),
+        engine_stores: outcome.stores.iter().map(|(d, s)| (d.clone(), s.fingerprint())).collect(),
+        telemetry: outcome.telemetry,
+    }
+}
+
+/// The facade path: plan → commit → handle.
+fn run_service_path() -> RunFingerprint {
+    let service =
+        ClickIncService::with_config(Topology::emulation_topology_all_tofino(), engine_config())
+            .expect("engine config is valid");
+    let plan = service.plan(&kvs_request("kvs0")).expect("plans");
+    let tenant = service.commit(plan).expect("commits");
+    let numeric_id = tenant.numeric_id();
+    let (snippets, controller_planes) = {
+        let controller = service.controller();
+        let deployment = controller.deployment("kvs0").expect("active");
+        let snippets: Vec<_> = deployment.snippets.values().flatten().cloned().collect();
+        (snippets, controller.plane_fingerprints())
+    };
+    for key in 0..64 {
+        tenant.populate_table(
+            "kvs0_cache",
+            vec![Value::Int(key)],
+            vec![Value::Int(kvs_backend_value(key))],
+        );
+    }
+    let mut wl = seeded_workload("kvs0", numeric_id);
+    tenant.run_workload(&mut wl, usize::MAX, 64);
+    service.flush();
+    let outcome = service.finish();
+    RunFingerprint {
+        numeric_id,
+        snippets,
+        controller_planes,
+        engine_stores: outcome.stores.iter().map(|(d, s)| (d.clone(), s.fingerprint())).collect(),
+        telemetry: outcome.telemetry,
+    }
+}
+
+#[test]
+fn plan_commit_round_trip_equals_the_direct_deploy_path() {
+    let direct = run_direct_controller_path();
+    let service = run_service_path();
+    assert_eq!(direct.numeric_id, service.numeric_id, "same numeric id");
+    assert_eq!(direct.snippets, service.snippets, "same installed snippets");
+    assert_eq!(direct.controller_planes, service.controller_planes, "same plane fingerprints");
+    assert_eq!(direct.engine_stores, service.engine_stores, "same engine store fingerprints");
+    assert_eq!(direct.telemetry, service.telemetry, "same telemetry for the seeded workload");
+    // the workload actually did something on both paths
+    let stats = direct.telemetry.tenant("kvs0").expect("served");
+    assert_eq!(stats.completed, 800);
+    assert!(stats.hit_ratio > 0.3);
+}
+
+/// A snapshot of every piece of observable controller/engine state the
+/// rollback guarantees protect.
+fn snapshot(service: &ClickIncService) -> (u64, Vec<String>, BTreeMap<String, u64>, String) {
+    (
+        service.remaining_resource_ratio().to_bits(),
+        service.active_users(),
+        service.controller().plane_fingerprints(),
+        service.telemetry().to_json(),
+    )
+}
+
+#[test]
+fn failed_deploy_all_rolls_back_already_committed_tenants() {
+    let service =
+        ClickIncService::with_config(Topology::emulation_topology_all_tofino(), engine_config())
+            .expect("engine config is valid");
+    // a resident tenant outside the batch must be untouched too
+    let resident = service.deploy(kvs_request("resident")).expect("resident deploys");
+    let before = snapshot(&service);
+
+    // two good requests followed by one that exceeds nothing but names an
+    // unknown host: the first two commit, then the batch unwinds
+    let err = service
+        .deploy_all(vec![
+            kvs_request("batch_a"),
+            ServiceRequest::builder("batch_b")
+                .template(dqacc_template("batch_b", DqAccParams { depth: 2000, ways: 4 }))
+                .from_("pod0b")
+                .to("pod2b")
+                .build()
+                .unwrap(),
+            ServiceRequest::builder("batch_poison")
+                .source("forward()\n")
+                .from_("mars")
+                .to("pod2b")
+                .build()
+                .unwrap(),
+        ])
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, ClickIncError::UnknownHost(h) if h == "mars"));
+    assert_eq!(snapshot(&service), before, "rollback restored every observable");
+
+    // a compile error late in the batch rolls back the same way
+    let err = service
+        .deploy_all(vec![
+            kvs_request("batch_a"),
+            ServiceRequest::builder("batch_bad_src")
+                .source("x = undefined_thing(1)\n")
+                .from_("pod0a")
+                .to("pod2b")
+                .build()
+                .unwrap(),
+        ])
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, ClickIncError::Compile(_)));
+    assert_eq!(snapshot(&service), before, "rollback restored every observable");
+
+    // the resident still serves traffic after both rollbacks
+    let mut wl = seeded_workload("resident", resident.numeric_id());
+    resident.run_workload(&mut wl, usize::MAX, 64);
+    service.flush();
+    let stats = resident.telemetry().expect("resident served");
+    assert_eq!(stats.completed, 800);
+    service.finish();
+}
+
+fn request_from_op(op: u8, index: usize) -> ServiceRequest {
+    let user = format!("u{index}");
+    match op % 6 {
+        0 => ServiceRequest::builder(&user)
+            .template(kvs_template(&user, KvsParams { cache_depth: 1000, ..Default::default() }))
+            .from_("pod0a")
+            .to("pod2b")
+            .build()
+            .unwrap(),
+        1 => ServiceRequest::builder(&user)
+            .template(mlagg_template(
+                &user,
+                MlAggParams { dims: 8, num_aggregators: 512, ..Default::default() },
+            ))
+            .from_("pod1a")
+            .to("pod2a")
+            .build()
+            .unwrap(),
+        2 => ServiceRequest::builder(&user)
+            .template(dqacc_template(&user, DqAccParams { depth: 1000, ways: 4 }))
+            .from_("pod0b")
+            .to("pod2b")
+            .build()
+            .unwrap(),
+        3 => ServiceRequest::builder(&user)
+            .template(count_min_sketch(&user, 3, 512))
+            .from_("pod1b")
+            .to("pod2b")
+            .build()
+            .unwrap(),
+        4 => ServiceRequest::builder(&user)
+            .source("forward()\n")
+            .from_("no-such-host")
+            .to("pod2b")
+            .build()
+            .unwrap(),
+        _ => ServiceRequest::builder(&user)
+            .source("x = undefined_thing(1)\n")
+            .from_("pod0a")
+            .to("pod2b")
+            .build()
+            .unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any request sequence: `plan` is pure, and a failed `deploy_all`
+    /// leaves the ledger ratio, the active users, the engine tenants and
+    /// every plane's store fingerprint bit-identical to before the call.
+    #[test]
+    fn rollback_invariants_hold_for_any_request_sequence(
+        ops in proptest::collection::vec(0u8..6, 1..4),
+    ) {
+        let service = ClickIncService::with_config(
+            Topology::emulation_topology_all_tofino(),
+            EngineConfig { shards: 1, batch_size: 16 },
+        )
+        .expect("engine config is valid");
+        let mut requests: Vec<ServiceRequest> =
+            ops.iter().enumerate().map(|(i, op)| request_from_op(*op, i)).collect();
+        // force at least one poison request so deploy_all must fail
+        if !ops.iter().any(|op| op % 6 >= 4) {
+            requests.push(request_from_op(4, requests.len()));
+        }
+
+        let before = snapshot(&service);
+
+        // planning any of the valid requests is a pure dry-run
+        for request in &requests {
+            let planned = service.plan(request);
+            if let Ok(plan) = &planned {
+                prop_assert!(plan.predicted_remaining_ratio() <= service.remaining_resource_ratio());
+            }
+            prop_assert_eq!(snapshot(&service), before);
+        }
+
+        // the poisoned batch fails and rolls back everything
+        prop_assert!(service.deploy_all(requests).map(|_| ()).is_err());
+        prop_assert_eq!(snapshot(&service), before);
+        service.finish();
+    }
+}
