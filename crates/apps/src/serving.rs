@@ -4,12 +4,13 @@
 //!
 //! The single-threaded scenario loop in `clickinc-emulator` remains as the
 //! path-shape ablation (it is what sweeps the five Fig. 13 device chains);
-//! *this* module is the default serving path: programs are placed by the
-//! real controller over the Fig. 11 emulation topology, committed
-//! transactionally, mirrored onto the engine's shards, and loaded with the
-//! open-loop seeded workload generators — no manual hook wiring anywhere.
+//! *this* module is the default serving path: programs are solved by the
+//! service's planner (the batch fans out over worker threads), admitted
+//! under a provider resource-floor policy, committed transactionally,
+//! mirrored onto the engine's shards, and loaded with the open-loop seeded
+//! workload generators — no manual hook wiring anywhere.
 
-use clickinc::{ClickIncError, ClickIncService, ServiceRequest};
+use clickinc::{ClickIncError, ClickIncService, ResourceFloor, ServiceRequest};
 use clickinc_emulator::kvs_backend_value;
 use clickinc_ir::Value;
 use clickinc_lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggParams};
@@ -45,6 +46,10 @@ pub struct ServingConfig {
     pub rate_pps: f64,
     /// Workload RNG seed.
     pub seed: u64,
+    /// Admission floor: the batch is refused (typed
+    /// [`ClickIncError::Rejected`]) if committing would push the
+    /// network-wide remaining resource ratio below this value.
+    pub admission_floor: f64,
 }
 
 impl Default for ServingConfig {
@@ -61,6 +66,7 @@ impl Default for ServingConfig {
             dims: 16,
             rate_pps: 5_000_000.0,
             seed: 17,
+            admission_floor: 0.05,
         }
     }
 }
@@ -89,7 +95,12 @@ pub fn serve_fig13_workloads(config: &ServingConfig) -> Result<ServingReport, Cl
     )?;
 
     // both applications land (or neither does): one all-or-nothing batch
-    let handles = service.deploy_all(vec![
+    // through the planner — the two solves fan out over worker threads, and
+    // every commit passes the provider's resource-floor admission policy
+    let planner = service
+        .planner()
+        .with_policy(ResourceFloor { min_remaining_ratio: config.admission_floor });
+    let handles = planner.deploy_all(vec![
         ServiceRequest::builder("kvs_srv")
             .template(kvs_template(
                 "kvs_srv",
@@ -192,6 +203,16 @@ mod tests {
         assert!(report.mlagg.drops > 0, "partial aggregates are absorbed in-network");
         assert!(report.kvs.goodput_gbps > 0.0 && report.mlagg.goodput_gbps > 0.0);
         assert!(!report.store_fingerprints.is_empty());
+    }
+
+    #[test]
+    fn an_impossible_admission_floor_rejects_the_whole_batch() {
+        let config = ServingConfig { admission_floor: 1.0, ..small(2) };
+        let err = serve_fig13_workloads(&config).map(|_| ()).unwrap_err();
+        assert!(
+            matches!(&err, ClickIncError::Rejected { policy, .. } if policy == "resource_floor"),
+            "got {err}"
+        );
     }
 
     #[test]

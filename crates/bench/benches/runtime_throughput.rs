@@ -1,27 +1,38 @@
-//! runtime_throughput — packets/sec through the sharded traffic engine.
+//! runtime_throughput — packets/sec through the sharded traffic engine,
+//! plus plans/sec through the service's parallel planner.
 //!
-//! Eight co-resident MLAgg tenants share one ToR device.  With one shard,
-//! every packet walks all eight tenants' guarded instruction streams on a
-//! single worker; with N shards the tenants (and their state) are
-//! partitioned, so each worker scans only its own residents — the
-//! architectural win of tenant sharding, on top of thread parallelism on
-//! multi-core hosts.
+//! **Serving section.**  Eight co-resident MLAgg tenants share one ToR
+//! device.  With one shard, every packet walks all eight tenants' guarded
+//! instruction streams on a single worker; with N shards the tenants (and
+//! their state) are partitioned, so each worker scans only its own
+//! residents — the architectural win of tenant sharding, on top of thread
+//! parallelism on multi-core hosts.
+//!
+//! **Planner section.**  A mixed batch of KVS/MLAgg/CMS requests is solved
+//! by `Planner::plan_all` with 1 vs N worker threads (each run against a
+//! fresh service, so the plan cache cannot shortcut the measurement), and
+//! the per-thread-count plan fingerprints are asserted bit-identical —
+//! parallel planning is an optimization, never a semantics change.
 //!
 //! Results are *appended* to the history in `BENCH_runtime.json` so the
 //! repo's performance trajectory accumulates across PRs.  Environment
 //! knobs (for the CI bench-trend step):
 //!
 //! * `RUNTIME_BENCH_SMOKE=1` — reduced configuration (fewer rounds, 1 vs 4
-//!   shards only) suitable for a CI smoke run;
+//!   shards/threads only) suitable for a CI smoke run;
 //! * `RUNTIME_BENCH_MIN_SPEEDUP=<x>` — exit non-zero if the best N-shard
 //!   throughput regresses below `x`× the 1-shard baseline.
 
+use clickinc::{ClickIncService, ServiceRequest};
 use clickinc_device::DeviceModel;
 use clickinc_frontend::compile_source;
-use clickinc_lang::templates::{mlagg_template, MlAggParams};
+use clickinc_lang::templates::{
+    count_min_sketch, kvs_template, mlagg_template, KvsParams, MlAggParams,
+};
 use clickinc_runtime::workload::{MixedWorkload, MlAggWorkload, MlAggWorkloadConfig, Workload};
 use clickinc_runtime::{EngineConfig, TenantHop, TrafficEngine};
 use clickinc_synthesis::isolate_user_program;
+use clickinc_topology::Topology;
 use serde::{Deserialize, Serialize};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -37,6 +48,13 @@ struct ShardResult {
     packets_per_sec: f64,
 }
 
+#[derive(Serialize, Deserialize)]
+struct PlannerResult {
+    threads: usize,
+    elapsed_ms: f64,
+    plans_per_sec: f64,
+}
+
 /// One bench invocation: a row of the accumulated history.
 #[derive(Serialize, Deserialize)]
 struct RunEntry {
@@ -48,6 +66,11 @@ struct RunEntry {
     packets: usize,
     results: Vec<ShardResult>,
     speedup_best_vs_one_shard: f64,
+    /// Planner-throughput section (absent in pre-planner history rows).
+    #[serde(default)]
+    planner: Vec<PlannerResult>,
+    #[serde(default)]
+    planner_speedup_best_vs_one_thread: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -106,6 +129,50 @@ fn run_once(shards: usize, rounds: usize) -> (f64, usize) {
     (elapsed, sent)
 }
 
+/// The mixed request batch the planner section solves: KVS, MLAgg and CMS
+/// tenants with distinct sources, like a provider's arrival queue.
+fn planner_requests(count: usize) -> Vec<ServiceRequest> {
+    (0..count)
+        .map(|i| {
+            let user = format!("plan{i}");
+            let builder = ServiceRequest::builder(&user);
+            let builder = match i % 3 {
+                0 => builder
+                    .template(kvs_template(
+                        &user,
+                        KvsParams { cache_depth: 1000 + 100 * i as u32, ..Default::default() },
+                    ))
+                    .from_("pod0a"),
+                1 => builder
+                    .template(mlagg_template(
+                        &user,
+                        MlAggParams { dims: DIMS, num_aggregators: 512, ..Default::default() },
+                    ))
+                    .from_("pod1a"),
+                _ => builder.template(count_min_sketch(&user, 3, 512)).from_("pod0b"),
+            };
+            builder.to("pod2b").build().expect("well-formed request")
+        })
+        .collect()
+}
+
+/// Solve the batch with `threads` planner workers against a fresh service
+/// (a fresh service per run keeps the plan cache from shortcutting the
+/// measurement).  Returns the elapsed seconds and the plan fingerprints in
+/// request order, for the cross-thread-count bit-identity assertion.
+fn plan_once(requests: &[ServiceRequest], threads: usize) -> (f64, Vec<u64>) {
+    let service = ClickIncService::new(Topology::emulation_topology_all_tofino())
+        .expect("default engine config is valid");
+    let planner = service.planner().with_threads(threads);
+    let start = Instant::now();
+    let plans = planner.plan_all(requests);
+    let elapsed = start.elapsed().as_secs_f64();
+    let fingerprints: Vec<u64> =
+        plans.into_iter().map(|p| p.expect("every request solves").fingerprint()).collect();
+    service.finish();
+    (elapsed, fingerprints)
+}
+
 /// Load the accumulated history, migrating a pre-history single-report file
 /// into its first entry.
 fn load_history(path: &str) -> BenchHistory {
@@ -153,6 +220,47 @@ fn main() {
         if speedup > 1.0 { "sharding wins" } else { "REGRESSION" }
     );
 
+    // ---- planner-throughput section -------------------------------------
+    let (batch, thread_counts): (usize, &[usize]) =
+        if smoke { (8, &[1, 4]) } else { (16, &[1, 2, 4, 8]) };
+    let requests = planner_requests(batch);
+    println!(
+        "\n== planner_throughput: {batch} mixed KVS/MLAgg/CMS requests, 1 vs N solver threads =="
+    );
+    println!("{:>8} {:>12} {:>16}", "threads", "elapsed", "plans/sec");
+    let mut planner_results = Vec::new();
+    let mut baseline_fingerprints: Option<Vec<u64>> = None;
+    for &threads in thread_counts {
+        // best of two runs to shave scheduler noise
+        let (mut elapsed, fingerprints) = plan_once(&requests, threads);
+        let (e2, f2) = plan_once(&requests, threads);
+        assert_eq!(fingerprints, f2, "planning is deterministic");
+        if e2 < elapsed {
+            elapsed = e2;
+        }
+        match &baseline_fingerprints {
+            None => baseline_fingerprints = Some(fingerprints),
+            Some(baseline) => assert_eq!(
+                baseline, &fingerprints,
+                "parallel solves are bit-identical to the 1-thread path"
+            ),
+        }
+        let pps = batch as f64 / elapsed.max(1e-9);
+        println!("{threads:>8} {:>10.1}ms {pps:>16.1}", elapsed * 1e3);
+        planner_results.push(PlannerResult {
+            threads,
+            elapsed_ms: elapsed * 1e3,
+            plans_per_sec: pps,
+        });
+    }
+    let planner_one = planner_results[0].plans_per_sec;
+    let planner_best = planner_results.iter().map(|r| r.plans_per_sec).fold(0.0f64, f64::max);
+    let planner_speedup = planner_best / planner_one.max(1e-9);
+    println!(
+        "best N-thread solve throughput is {planner_speedup:.2}x the 1-thread baseline \
+         (bit-identical plans at every thread count)"
+    );
+
     // append to the accumulated history at the workspace root
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
     let mut report = load_history(path);
@@ -163,6 +271,8 @@ fn main() {
         packets: TENANTS * rounds * WORKERS,
         results,
         speedup_best_vs_one_shard: speedup,
+        planner: planner_results,
+        planner_speedup_best_vs_one_thread: planner_speedup,
     });
     if report.history.len() > HISTORY_CAP {
         let drop = report.history.len() - HISTORY_CAP;

@@ -16,9 +16,9 @@ use clickinc_backend::DeviceProgram;
 use clickinc_blockdag::{build_block_dag, BlockConfig, BlockDag};
 use clickinc_emulator::DevicePlane;
 use clickinc_frontend::{CompileOptions, Frontend};
-use clickinc_ir::{IrProgram, ResourceVector};
+use clickinc_ir::{Fnv, IrProgram, ResourceVector};
 use clickinc_placement::{
-    place, PlacementConfig, PlacementNetwork, PlacementPlan, ResourceLedger, Weights,
+    solve, PlacementConfig, PlacementNetwork, PlacementPlan, ResourceLedger, Weights,
 };
 use clickinc_runtime::EngineHandle;
 use clickinc_synthesis::incremental::DeviceImages;
@@ -27,6 +27,7 @@ use clickinc_synthesis::{
     DeploymentDelta, StepAssignment,
 };
 use clickinc_topology::{reduce_for_traffic, NodeId, Topology};
+use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
@@ -74,7 +75,11 @@ pub struct DeploymentPlan {
     plan: PlacementPlan,
     predicted_remaining_ratio: f64,
     epoch: u64,
-    started: Instant,
+    /// Wall-clock cost of the solve itself (compile + isolate + place), a
+    /// `Duration` rather than a start `Instant` so a plan served from the
+    /// cache does not smuggle quote-to-commit idle time into
+    /// [`Deployment::elapsed`].
+    solved_in: Duration,
 }
 
 impl DeploymentPlan {
@@ -128,6 +133,71 @@ impl DeploymentPlan {
     pub fn predicted_remaining_ratio(&self) -> f64 {
         self.predicted_remaining_ratio
     }
+
+    /// The controller epoch this plan was solved against.  The plan commits
+    /// only while [`Controller::epoch`] still returns this value; any other
+    /// commit or removal in between makes it [`ClickIncError::StalePlan`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A deterministic digest of the whole solved plan: the originating
+    /// request ([`ServiceRequest::fingerprint`]), the epoch and numeric id it
+    /// is pinned to, the solved placement
+    /// ([`PlacementPlan::fingerprint`](clickinc_placement::PlacementPlan::fingerprint))
+    /// and the predicted ratio.  Two planner runs that solved the same
+    /// request against the same controller state fingerprint equal — the
+    /// bit-identity the parallel-planning tests assert.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_u64(self.request.fingerprint());
+        h.write_u64(self.epoch);
+        h.write_u64(self.numeric_id as u64);
+        h.write_u64(self.plan.fingerprint());
+        h.write_u64(self.predicted_remaining_ratio.to_bits());
+        h.finish()
+    }
+
+    /// The serializable inspection view of the plan: who, where, at what
+    /// cost, and what would remain.  Dump it with `serde_json` to audit a
+    /// dry-run before committing (see `examples/multi_tenant_incremental`).
+    pub fn summary(&self) -> PlanSummary {
+        PlanSummary {
+            user: self.request.user.clone(),
+            numeric_id: self.numeric_id,
+            devices: self.devices(),
+            demand: self
+                .resource_demand()
+                .nonzero()
+                .map(|(r, v)| (r.name().to_string(), v))
+                .collect(),
+            predicted_remaining_ratio: self.predicted_remaining_ratio,
+            epoch: self.epoch,
+            fingerprint: format!("{:016x}", self.fingerprint()),
+        }
+    }
+}
+
+/// The serializable summary of a [`DeploymentPlan`] — what a provider logs
+/// or shows a tenant before committing.  Produced by
+/// [`DeploymentPlan::summary`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PlanSummary {
+    /// The user the plan deploys.
+    pub user: String,
+    /// Numeric id the isolation guard will match on once committed.
+    pub numeric_id: i64,
+    /// Display names of the devices the plan would occupy.
+    pub devices: Vec<String>,
+    /// Non-zero resource demand, keyed by resource short name.
+    pub demand: BTreeMap<String, f64>,
+    /// Network-wide remaining resource ratio *if* this plan commits.
+    pub predicted_remaining_ratio: f64,
+    /// Controller epoch the plan was solved against.
+    pub epoch: u64,
+    /// [`DeploymentPlan::fingerprint`] as a hex string (JSON numbers cannot
+    /// carry 64 bits losslessly).
+    pub fingerprint: String,
 }
 
 /// The ClickINC controller (paper Fig. 2): owns the topology, the per-device
@@ -314,61 +384,29 @@ impl Controller {
     /// resource demand, and the predicted post-commit remaining ratio — and
     /// touches neither the ledger nor any data plane.  Feed the result to
     /// [`Controller::commit`] to make it real.
+    ///
+    /// Equivalent to `self.plan_context().solve(request)`; grab the
+    /// [`PlanContext`] directly to run many solves concurrently.
     pub fn plan(&self, request: &ServiceRequest) -> Result<DeploymentPlan, ControllerError> {
-        let started = Instant::now();
-        request.validate()?;
-        if self.deployments.contains_key(&request.user) {
-            return Err(ClickIncError::DuplicateUser(request.user.clone()));
-        }
-        // resolve endpoints
-        let sources: Result<Vec<NodeId>, ControllerError> = request
-            .sources
-            .iter()
-            .map(|s| self.topology.find(s).ok_or_else(|| ClickIncError::UnknownHost(s.clone())))
-            .collect();
-        let sources = sources?;
-        let dst = self
-            .topology
-            .find(&request.destination)
-            .ok_or_else(|| ClickIncError::UnknownHost(request.destination.clone()))?;
+        self.plan_context().solve(request)
+    }
 
-        // compile + isolate (the numeric id this plan will own if committed
-        // at the current epoch)
-        let ir = self.compile(request)?;
-        let numeric_id = self.next_user_id;
-        let isolated = isolate_user_program(&ir, &request.user, numeric_id);
-
-        // block DAG + reduced topology + placement
-        let dag = build_block_dag(&isolated, &self.block_config);
-        let reduced = reduce_for_traffic(&self.topology, &sources, dst, &request.traffic_weights);
-        let net = PlacementNetwork::from_reduced(&self.topology, &reduced, &self.ledger);
-        let weights = if self.use_adaptive_weights {
-            Weights::adaptive(self.ledger.remaining_ratio(&self.topology))
-        } else {
-            Weights::fixed()
-        };
-        let plan =
-            place(&isolated, &dag, &net, &PlacementConfig { weights, enable_pruning: true })?;
-
-        // predict the post-commit ratio on a scratch copy of the ledger
-        let mut preview = self.ledger.clone();
-        for assignment in plan.assignments.iter().filter(|a| !a.is_empty()) {
-            for member in &assignment.members {
-                preview.consume(*member, assignment.demand);
-            }
-        }
-        let predicted_remaining_ratio = preview.remaining_ratio(&self.topology);
-
-        Ok(DeploymentPlan {
-            request: request.clone(),
-            numeric_id,
-            program: isolated,
-            dag,
-            plan,
-            predicted_remaining_ratio,
+    /// The `Sync` snapshot-view of everything [`plan`](Controller::plan)
+    /// reads.  Planning is pure, so any number of threads may solve against
+    /// one context concurrently — the service's `Planner` fans its batch
+    /// solves out exactly this way.  The borrow pins the controller: no
+    /// commit or removal can slide under a live context.
+    pub fn plan_context(&self) -> PlanContext<'_> {
+        PlanContext {
+            topology: &self.topology,
+            ledger: &self.ledger,
+            deployments: &self.deployments,
+            frontend: &self.frontend,
+            block_config: &self.block_config,
+            use_adaptive_weights: self.use_adaptive_weights,
+            next_user_id: self.next_user_id,
             epoch: self.epoch,
-            started,
-        })
+        }
     }
 
     /// Commit a [`DeploymentPlan`]: book the ledger resources, synthesize
@@ -390,7 +428,8 @@ impl Controller {
             return Err(ClickIncError::DuplicateUser(planned.request.user));
         }
         debug_assert_eq!(planned.numeric_id, self.next_user_id, "epoch pins the numeric id");
-        let DeploymentPlan { request, numeric_id, program: isolated, dag, plan, started, .. } =
+        let commit_started = Instant::now();
+        let DeploymentPlan { request, numeric_id, program: isolated, dag, plan, solved_in, .. } =
             planned;
 
         // ---- no fallible step below this line: the commit is atomic ----
@@ -450,7 +489,9 @@ impl Controller {
             delta,
             device_programs,
             snippets: installed,
-            elapsed: started.elapsed(),
+            // solve cost + synthesis/install cost: pure pipeline latency,
+            // with no quote-to-commit idle time even for cached plans
+            elapsed: solved_in + commit_started.elapsed(),
         };
         self.deployments.insert(request.user.clone(), deployment);
         self.fire(ReconfigureEvent::TenantAdded {
@@ -507,6 +548,94 @@ impl Controller {
                     .collect()
             })
             .unwrap_or_default()
+    }
+}
+
+/// A `Sync` view of everything [`Controller::plan`] reads — topology,
+/// ledger, active deployments, the compiler frontend, and the epoch pins —
+/// detached from the controller's non-`Sync` machinery (the reconfiguration
+/// hooks).  Obtained from [`Controller::plan_context`]; the borrow keeps the
+/// controller locked in place, so every concurrent [`solve`](PlanContext::solve)
+/// sees one frozen state and produces plans pinned to one epoch.
+#[derive(Clone, Copy)]
+pub struct PlanContext<'a> {
+    topology: &'a Topology,
+    ledger: &'a ResourceLedger,
+    deployments: &'a BTreeMap<String, Deployment>,
+    frontend: &'a Frontend,
+    block_config: &'a BlockConfig,
+    use_adaptive_weights: bool,
+    next_user_id: i64,
+    epoch: u64,
+}
+
+impl PlanContext<'_> {
+    /// The controller epoch every plan solved by this context is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Compile, isolate and place `request` as a pure dry-run — the body of
+    /// [`Controller::plan`], safe to call from any number of threads at once.
+    pub fn solve(&self, request: &ServiceRequest) -> Result<DeploymentPlan, ControllerError> {
+        let started = Instant::now();
+        request.validate()?;
+        if self.deployments.contains_key(&request.user) {
+            return Err(ClickIncError::DuplicateUser(request.user.clone()));
+        }
+        // resolve endpoints
+        let sources: Result<Vec<NodeId>, ControllerError> = request
+            .sources
+            .iter()
+            .map(|s| self.topology.find(s).ok_or_else(|| ClickIncError::UnknownHost(s.clone())))
+            .collect();
+        let sources = sources?;
+        let dst = self
+            .topology
+            .find(&request.destination)
+            .ok_or_else(|| ClickIncError::UnknownHost(request.destination.clone()))?;
+
+        // compile + isolate (the numeric id this plan will own if committed
+        // at the current epoch)
+        let ir = self.frontend.compile_source(
+            &request.user,
+            &request.source,
+            &CompileOptions::default(),
+        )?;
+        let numeric_id = self.next_user_id;
+        let isolated = isolate_user_program(&ir, &request.user, numeric_id);
+
+        // block DAG + reduced topology + placement
+        let dag = build_block_dag(&isolated, self.block_config);
+        let reduced = reduce_for_traffic(self.topology, &sources, dst, &request.traffic_weights);
+        let net = PlacementNetwork::from_reduced(self.topology, &reduced, self.ledger);
+        let weights = if self.use_adaptive_weights {
+            Weights::adaptive(self.ledger.remaining_ratio(self.topology))
+        } else {
+            Weights::fixed()
+        };
+        let plan =
+            solve(&isolated, &dag, &net, &PlacementConfig { weights, enable_pruning: true })?;
+
+        // predict the post-commit ratio on a scratch copy of the ledger
+        let mut preview = self.ledger.clone();
+        for assignment in plan.assignments.iter().filter(|a| !a.is_empty()) {
+            for member in &assignment.members {
+                preview.consume(*member, assignment.demand);
+            }
+        }
+        let predicted_remaining_ratio = preview.remaining_ratio(self.topology);
+
+        Ok(DeploymentPlan {
+            request: request.clone(),
+            numeric_id,
+            program: isolated,
+            dag,
+            plan,
+            predicted_remaining_ratio,
+            epoch: self.epoch,
+            solved_in: started.elapsed(),
+        })
     }
 }
 
@@ -704,6 +833,26 @@ mod tests {
             }
         }
         assert!(c.tenant_hops("missing").is_empty());
+    }
+
+    #[test]
+    fn plan_context_is_sync_and_solves_exactly_like_plan() {
+        fn assert_sync<T: Sync>(_: &T) {}
+        let c = controller();
+        let ctx = c.plan_context();
+        assert_sync(&ctx); // the planner shares one context across threads
+        let t = kvs_template("kvs0", KvsParams { cache_depth: 1000, ..Default::default() });
+        let request = ServiceRequest::from_template(t, &["pod0a"], "pod2b");
+        let via_controller = c.plan(&request).expect("plans");
+        let via_context = ctx.solve(&request).expect("solves");
+        assert_eq!(via_controller.fingerprint(), via_context.fingerprint());
+        assert_eq!(via_context.epoch(), c.epoch());
+        // the summary reports the same facts the plan accessors expose
+        let summary = via_context.summary();
+        assert_eq!(summary.user, "kvs0");
+        assert_eq!(summary.devices, via_context.devices());
+        assert!(!summary.demand.is_empty());
+        assert_eq!(summary.predicted_remaining_ratio, via_context.predicted_remaining_ratio());
     }
 
     #[test]

@@ -51,6 +51,21 @@ pub enum ClickIncError {
     },
     /// The serving engine rejected its configuration or failed at runtime.
     Engine(EngineError),
+    /// An [`AdmissionPolicy`] refused to let the plan commit.  The plan was
+    /// feasible — compilation and placement succeeded — but provider policy
+    /// (a resource floor, a tenant cap, a device denylist, …) vetoed it, and
+    /// nothing was booked or installed.
+    ///
+    /// [`AdmissionPolicy`]: crate::AdmissionPolicy
+    Rejected {
+        /// The user whose plan was refused.
+        user: String,
+        /// Name of the policy that refused it (for a [`crate::PolicyChain`],
+        /// the first member that rejected).
+        policy: String,
+        /// Human-readable grounds for the refusal.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ClickIncError {
@@ -72,6 +87,9 @@ impl fmt::Display for ClickIncError {
                  now at {current_epoch} — re-plan and commit again"
             ),
             ClickIncError::Engine(e) => write!(f, "engine failure: {e}"),
+            ClickIncError::Rejected { user, policy, reason } => {
+                write!(f, "admission policy `{policy}` rejected `{user}`: {reason}")
+            }
         }
     }
 }

@@ -44,7 +44,50 @@
 //! ```
 //!
 //! Every error — request validation, compilation, placement, stale plans,
-//! engine configuration — surfaces as the single [`ClickIncError`] enum.
+//! admission refusals, engine configuration — surfaces as the single
+//! [`ClickIncError`] enum.
+//!
+//! ## The planner: batches, caching, admission control
+//!
+//! [`ClickIncService::planner`] is the provider-side surface on top of the
+//! transactional core: it solves request batches **in parallel** on worker
+//! threads (plans are pure dry-runs, so fanning the solve out is free of
+//! races and bit-identical to the sequential path), caches solved plans
+//! keyed on `(request fingerprint, controller epoch)` so a retried commit
+//! re-runs placement only when the epoch actually moved, and threads every
+//! commit through composable [`AdmissionPolicy`] rules:
+//!
+//! ```
+//! use clickinc::{ClickIncService, MaxTenants, PolicyChain, ResourceFloor, ServiceRequest};
+//! use clickinc_topology::Topology;
+//!
+//! let service = ClickIncService::new(Topology::emulation_topology_all_tofino()).unwrap();
+//! service.set_admission_policy(
+//!     PolicyChain::new()
+//!         .with(ResourceFloor { min_remaining_ratio: 0.10 })
+//!         .with(MaxTenants { max_tenants: 16 }),
+//! );
+//! let requests: Vec<ServiceRequest> = ["cms_a", "cms_b"]
+//!     .iter()
+//!     .map(|user| {
+//!         ServiceRequest::builder(*user)
+//!             .template(clickinc_lang::templates::count_min_sketch(user, 3, 512))
+//!             .from_("pod0a")
+//!             .to("pod2b")
+//!             .build()
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! // parallel solve → policy gate → all-or-nothing sequential commit
+//! let tenants = service.planner().deploy_all(requests).unwrap();
+//! assert_eq!(tenants.len(), 2);
+//! assert!(service.planner_stats().cache_misses >= 2, "both solves were fresh");
+//! service.finish();
+//! ```
+//!
+//! A policy refusal is the typed [`ClickIncError::Rejected`] and changes
+//! nothing: the gate runs before the first mutation, so the ledger, the
+//! planes and the engine stay bit-identical.
 //!
 //! ## Low-level controller
 //!
@@ -70,12 +113,19 @@
 
 mod controller;
 mod error;
+pub mod planner;
+pub mod policy;
 pub mod reconfigure;
 mod request;
 pub mod service;
 
-pub use controller::{Controller, Deployment, DeploymentPlan};
+pub use controller::{Controller, Deployment, DeploymentPlan, PlanContext, PlanSummary};
 pub use error::{ClickIncError, ControllerError};
+pub use planner::{Planner, PlannerStats};
+pub use policy::{
+    AdmissionContext, AdmissionDecision, AdmissionPolicy, DeviceDenylist, MaxTenants, PolicyChain,
+    ResourceFloor,
+};
 pub use reconfigure::{ReconfigureEvent, ReconfigureHook, TenantHop};
 pub use request::{RequestError, ServiceRequest, ServiceRequestBuilder};
 pub use service::{ClickIncService, TenantHandle};

@@ -5,6 +5,7 @@
 //! vector whose length disagrees with the sources — at *build* time, so a
 //! malformed request never reaches the controller's compile/place pipeline.
 
+use clickinc_ir::Fnv;
 use clickinc_lang::templates::Template;
 use clickinc_lang::Profile;
 use std::fmt;
@@ -124,39 +125,34 @@ impl ServiceRequest {
         ServiceRequest::new(template.name.clone(), template.source, sources, destination)
     }
 
-    /// Attach per-source traffic weights (deprecated builder-style shim).
-    ///
-    /// A weights vector whose length disagrees with `sources` is *not* an
-    /// error on this path: it logs a warning and truncates the vector to
-    /// empty, which keeps the exact pre-validation behavior — topology
-    /// reduction always ignored mismatched weights and shared traffic
-    /// uniformly.  New code should use [`ServiceRequest::builder`], which
-    /// rejects the mismatch at build time instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ServiceRequest::builder(..).rate_pps(..) — the builder rejects \
-                mismatched weights at build time instead of silently dropping them"
-    )]
-    pub fn with_weights(mut self, mut weights: Vec<f64>) -> ServiceRequest {
-        if !weights.is_empty() && weights.len() != self.sources.len() {
-            eprintln!(
-                "clickinc: ServiceRequest::with_weights: {} weight(s) for {} source(s) on \
-                 `{}`; ignoring the vector and sharing traffic uniformly, exactly as the \
-                 pre-validation path did (deprecated lenient shim)",
-                weights.len(),
-                self.sources.len(),
-                self.user
-            );
-            weights.clear();
-        }
-        self.traffic_weights = weights;
-        self
-    }
-
     /// Attach the originating profile (builder style).
     pub fn with_profile(mut self, profile: Profile) -> ServiceRequest {
         self.profile = Some(profile);
         self
+    }
+
+    /// A stable digest of everything about this request that influences
+    /// planning: the user, the program source, the traffic endpoints and the
+    /// per-source weights.  Two requests that fingerprint equal are solved to
+    /// the same plan at the same controller epoch, which is exactly why the
+    /// planner keys its plan cache on `(fingerprint, epoch)`.
+    ///
+    /// `profile` is deliberately excluded: it is reporting metadata — the
+    /// template parameters it describes are already baked into `source`.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_str(&self.user);
+        h.write_str(&self.source);
+        h.write_u64(self.sources.len() as u64);
+        for host in &self.sources {
+            h.write_str(host);
+        }
+        h.write_str(&self.destination);
+        h.write_u64(self.traffic_weights.len() as u64);
+        for w in &self.traffic_weights {
+            h.write_u64(w.to_bits());
+        }
+        h.finish()
     }
 
     /// Check the structural invariants the builder enforces.  The controller
@@ -325,22 +321,28 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_weights_logs_and_truncates_instead_of_failing() {
-        // mismatched lengths (either direction): the vector is dropped, which
-        // is bit-identical to the old behavior — topology reduction ignored
-        // mismatched weights and shared traffic uniformly
-        let r = ServiceRequest::new("u1", "forward()\n", &["a", "b"], "c")
-            .with_weights(vec![1.0, 2.0, 3.0]);
-        assert_eq!(r.traffic_weights, Vec::<f64>::new());
-        assert!(r.validate().is_ok(), "the shim leaves the request valid");
-        let r = ServiceRequest::new("u1", "forward()\n", &["a", "b", "c"], "d")
-            .with_weights(vec![1.0, 2.0]);
-        assert_eq!(r.traffic_weights, Vec::<f64>::new());
-        // matching lengths pass through untouched
-        let r =
-            ServiceRequest::new("u1", "forward()\n", &["a", "b"], "c").with_weights(vec![1.0, 2.0]);
-        assert_eq!(r.traffic_weights, vec![1.0, 2.0]);
+    fn fingerprint_tracks_the_planning_inputs_and_nothing_else() {
+        let base = || ServiceRequest::new("u1", "forward()\n", &["a", "b"], "c");
+        assert_eq!(base().fingerprint(), base().fingerprint(), "deterministic");
+        // every planning input moves the digest…
+        let mut renamed = base();
+        renamed.user = "u2".to_string();
+        assert_ne!(base().fingerprint(), renamed.fingerprint());
+        let mut edited = base();
+        edited.source = "drop()\n".to_string();
+        assert_ne!(base().fingerprint(), edited.fingerprint());
+        let mut rerouted = base();
+        rerouted.destination = "d".to_string();
+        assert_ne!(base().fingerprint(), rerouted.fingerprint());
+        let mut reweighted = base();
+        reweighted.traffic_weights = vec![1.0, 2.0];
+        assert_ne!(base().fingerprint(), reweighted.fingerprint());
+        // …while the reporting-only profile does not
+        let profiled = base().with_profile(clickinc_lang::profile::example_kvs_profile());
+        assert_eq!(base().fingerprint(), profiled.fingerprint());
+        // host-list splits don't collide (length-delimited hashing)
+        let joined = ServiceRequest::new("u1", "forward()\n", &["ab"], "c");
+        assert_ne!(base().fingerprint(), joined.fingerprint());
     }
 
     #[test]

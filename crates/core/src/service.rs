@@ -18,10 +18,16 @@
 //!   never sees any of them;
 //! * [`TenantHandle`] — the per-tenant capability returned by a successful
 //!   commit: numeric id, hops, live telemetry, workload injection, cache
-//!   pre-population, and removal.
+//!   pre-population, and removal;
+//! * [`ClickIncService::planner`] — the batch planning surface
+//!   ([`Planner`]): concurrent solving on worker threads, plan caching
+//!   keyed on `(request fingerprint, controller epoch)`, and composable
+//!   [`AdmissionPolicy`] gates threaded through every commit.
 
 use crate::controller::{Controller, DeploymentPlan};
 use crate::error::ClickIncError;
+use crate::planner::{PlanCache, Planner};
+use crate::policy::{AdmissionContext, AdmissionDecision, AdmissionPolicy, PolicyChain};
 use crate::request::ServiceRequest;
 use clickinc_ir::Value;
 use clickinc_runtime::workload::Workload;
@@ -38,6 +44,12 @@ use std::sync::{Arc, Mutex, MutexGuard};
 pub struct ClickIncService {
     controller: Arc<Mutex<Controller>>,
     engine: TrafficEngine,
+    /// Solved plans keyed on `(request fingerprint, controller epoch)`,
+    /// shared by every [`Planner`] this service hands out.
+    plan_cache: Mutex<PlanCache>,
+    /// The service-wide admission chain; empty (admit everything) by
+    /// default.  Every commit path consults it before the first mutation.
+    policy: Mutex<PolicyChain>,
 }
 
 impl ClickIncService {
@@ -64,7 +76,83 @@ impl ClickIncService {
         config: EngineConfig,
     ) -> Result<ClickIncService, ClickIncError> {
         let engine = TrafficEngine::try_new(config)?;
-        Ok(ClickIncService { controller: Arc::new(Mutex::new(controller)), engine })
+        Ok(ClickIncService {
+            controller: Arc::new(Mutex::new(controller)),
+            engine,
+            plan_cache: Mutex::new(PlanCache::new()),
+            policy: Mutex::new(PolicyChain::new()),
+        })
+    }
+
+    /// The batch planning surface: concurrent solves, plan caching, and
+    /// policy-gated commits — see [`Planner`].  Cheap to create; make one
+    /// per batch and stack batch-scoped policies on it with
+    /// [`Planner::with_policy`].
+    pub fn planner(&self) -> Planner<'_> {
+        Planner::new(self)
+    }
+
+    /// Install the service-wide admission policy, replacing the previous
+    /// one.  Every commit — [`commit`](ClickIncService::commit),
+    /// [`deploy`](ClickIncService::deploy),
+    /// [`deploy_all`](ClickIncService::deploy_all) and every [`Planner`]
+    /// path — consults it before the first mutation; a refusal surfaces as
+    /// [`ClickIncError::Rejected`] and changes nothing.  Install a
+    /// [`PolicyChain`] to compose several rules; the default (empty chain)
+    /// admits everything.
+    pub fn set_admission_policy(&self, policy: impl AdmissionPolicy + 'static) {
+        *self.policy.lock().expect("policy mutex") = PolicyChain::new().with(policy);
+    }
+
+    /// Remove the service-wide admission policy (back to admit-everything).
+    pub fn clear_admission_policy(&self) {
+        *self.policy.lock().expect("policy mutex") = PolicyChain::new();
+    }
+
+    /// The shared plan cache (crate-internal: the [`Planner`] reads through
+    /// it under the controller lock).
+    pub(crate) fn plan_cache(&self) -> MutexGuard<'_, PlanCache> {
+        self.plan_cache.lock().expect("plan cache mutex")
+    }
+
+    /// Evaluate the service-wide admission chain, then `extra` (a planner's
+    /// batch-scoped policies), against `plan` at the current controller
+    /// state.  Called with the controller lock held, *before* any mutation.
+    ///
+    /// Staleness is checked first: a plan priced against a dead ledger must
+    /// surface as [`ClickIncError::StalePlan`] (re-plan and retry — the
+    /// re-solve may well be admissible), never as a policy verdict reached
+    /// on stale numbers.
+    pub(crate) fn admission_gate(
+        &self,
+        controller: &Controller,
+        plan: &DeploymentPlan,
+        extra: Option<&PolicyChain>,
+    ) -> Result<(), ClickIncError> {
+        if plan.epoch() != controller.epoch() {
+            return Err(ClickIncError::StalePlan {
+                user: plan.user().to_string(),
+                planned_epoch: plan.epoch(),
+                current_epoch: controller.epoch(),
+            });
+        }
+        let ctx = AdmissionContext {
+            plan,
+            active_tenants: controller.active_users().len(),
+            remaining_ratio: controller.remaining_resource_ratio(),
+        };
+        let mut decision = self.policy.lock().expect("policy mutex").evaluate(&ctx);
+        if decision.is_admit() {
+            if let Some(extra) = extra {
+                decision = extra.evaluate(&ctx);
+            }
+        }
+        match decision {
+            AdmissionDecision::Admit => Ok(()),
+            AdmissionDecision::Reject { policy, reason } => {
+                Err(ClickIncError::Rejected { user: plan.user().to_string(), policy, reason })
+            }
+        }
     }
 
     /// Low-level access to the owned controller (the ablation escape hatch).
@@ -92,28 +180,33 @@ impl ClickIncService {
         self.controller().plan(request)
     }
 
-    /// Commit a plan: book resources, install snippets, and mirror the
-    /// tenant onto the engine.  Returns the tenant's handle.
+    /// Commit a plan: admission gate, book resources, install snippets, and
+    /// mirror the tenant onto the engine.  Returns the tenant's handle.
     ///
-    /// The controller lock is held across the engine mirroring, so
-    /// concurrent commits and removals reach the engine in controller
-    /// order — a removal can never overtake the add it revokes.
+    /// The installed [`AdmissionPolicy`] chain is consulted before the
+    /// first mutation — a policy refusal is [`ClickIncError::Rejected`] and
+    /// changes nothing.  The controller lock is held across the engine
+    /// mirroring, so concurrent commits and removals reach the engine in
+    /// controller order — a removal can never overtake the add it revokes.
     pub fn commit(&self, plan: DeploymentPlan) -> Result<TenantHandle, ClickIncError> {
         let mut controller = self.controller();
+        self.admission_gate(&controller, &plan, None)?;
         self.commit_locked(&mut controller, plan)
     }
 
-    /// Plan + commit in one step, under a single controller lock — a
-    /// concurrent commit between the two phases cannot turn this call into
-    /// a spurious [`ClickIncError::StalePlan`].
+    /// Plan + gate + commit in one step, under a single controller lock — a
+    /// concurrent commit between the phases cannot turn this call into a
+    /// spurious [`ClickIncError::StalePlan`].
     pub fn deploy(&self, request: ServiceRequest) -> Result<TenantHandle, ClickIncError> {
         let mut controller = self.controller();
         let plan = controller.plan(&request)?;
+        self.admission_gate(&controller, &plan, None)?;
         self.commit_locked(&mut controller, plan)
     }
 
-    /// Commit + mirror with the controller lock already held.
-    fn commit_locked(
+    /// Commit + mirror with the controller lock already held.  Admission is
+    /// the caller's concern (every public entry gates first).
+    pub(crate) fn commit_locked(
         &self,
         controller: &mut Controller,
         plan: DeploymentPlan,
@@ -127,47 +220,22 @@ impl ClickIncService {
     }
 
     /// Deploy a batch of requests with **all-or-nothing** semantics: if any
-    /// request fails to plan or commit, every tenant this call already
-    /// committed is removed again — the ledger ratio, the active user set
-    /// and every plane's store return to their pre-call state bit-identical,
-    /// and the engine never sees any tenant of the batch.
+    /// request fails to plan, is refused by the admission policy, or fails
+    /// to commit, every tenant this call already committed is removed
+    /// again — the ledger ratio, the active user set and every plane's
+    /// store return to their pre-call state bit-identical, and the engine
+    /// never sees any tenant of the batch.
+    ///
+    /// Built on the [`Planner`]: the batch is solved in parallel on worker
+    /// threads (plans are pure), then committed sequentially in request
+    /// order — bit-identical to the sequential path, just faster to
+    /// validate.  Use [`planner`](ClickIncService::planner) directly to add
+    /// batch-scoped admission policies.
     pub fn deploy_all(
         &self,
         requests: Vec<ServiceRequest>,
     ) -> Result<Vec<TenantHandle>, ClickIncError> {
-        let mut controller = self.controller();
-        let mut committed: Vec<(String, i64, Vec<TenantHop>)> = Vec::new();
-        for request in requests {
-            let outcome = match controller.plan(&request) {
-                Ok(plan) => controller.commit(plan).map(|d| (d.user.clone(), d.numeric_id)),
-                Err(e) => Err(e),
-            };
-            match outcome {
-                Ok((user, numeric_id)) => {
-                    let hops = controller.tenant_hops(&user);
-                    committed.push((user, numeric_id, hops));
-                }
-                Err(e) => {
-                    // unwind the batch in reverse commit order; removal
-                    // releases exactly what commit booked, so the rollback
-                    // restores the pre-call state bit for bit
-                    for (user, _, _) in committed.iter().rev() {
-                        let _ = controller.remove(user);
-                    }
-                    return Err(e);
-                }
-            }
-        }
-        // mirror onto the engine only once the whole batch is committed —
-        // still under the controller lock, so concurrent removals cannot
-        // reach the engine ahead of these adds
-        Ok(committed
-            .into_iter()
-            .map(|(user, numeric_id, hops)| {
-                self.engine.handle().add_tenant(&user, hops.clone());
-                self.handle_for(user, numeric_id, hops)
-            })
-            .collect())
+        self.planner().deploy_all(requests)
     }
 
     /// Remove a tenant by user id: release its resources, uninstall its
@@ -217,7 +285,12 @@ impl ClickIncService {
         self.engine.finish()
     }
 
-    fn handle_for(&self, user: String, numeric_id: i64, hops: Vec<TenantHop>) -> TenantHandle {
+    pub(crate) fn handle_for(
+        &self,
+        user: String,
+        numeric_id: i64,
+        hops: Vec<TenantHop>,
+    ) -> TenantHandle {
         TenantHandle {
             user,
             numeric_id,

@@ -319,44 +319,10 @@ impl ObjectStore {
     }
 }
 
-/// FNV-1a over explicit primitives.  Kept in-tree (and shared with the
-/// runtime's tenant→shard hash) so digests are stable across platforms and
-/// processes — std's `DefaultHasher` makes no such guarantee.
-#[derive(Debug, Clone)]
-pub struct Fnv(u64);
-
-impl Default for Fnv {
-    fn default() -> Self {
-        Fnv::new()
-    }
-}
-
-impl Fnv {
-    /// Start a hash at the FNV-1a offset basis.
-    pub fn new() -> Fnv {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    /// Mix in a little-endian `u64`.
-    pub fn write_u64(&mut self, v: u64) {
-        for byte in v.to_le_bytes() {
-            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    /// Mix in a string, length-delimited so concatenations don't collide.
-    pub fn write_str(&mut self, s: &str) {
-        for byte in s.bytes() {
-            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        self.write_u64(s.len() as u64);
-    }
-
-    /// The current digest.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
+/// Re-exported from `clickinc-ir`, where the hasher now lives so lower
+/// layers (e.g. placement-plan fingerprints) can share the exact digest the
+/// store fingerprints and the runtime's tenant→shard hash use.
+pub use clickinc_ir::Fnv;
 
 #[cfg(test)]
 mod tests {

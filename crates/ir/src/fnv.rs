@@ -1,0 +1,63 @@
+//! FNV-1a over explicit primitives.
+//!
+//! Kept in-tree so digests are stable across platforms and processes — std's
+//! `DefaultHasher` makes no such guarantee.  The hasher lives at the IR layer
+//! because every fingerprint in the system ultimately digests IR-level
+//! material: the emulator's object stores, the runtime's tenant→shard hash,
+//! the placement plans and the service requests all share this one digest.
+
+/// FNV-1a over explicit primitives; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// Start a hash at the FNV-1a offset basis.
+    pub fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mix in a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Mix in a string, length-delimited so concatenations don't collide.
+    pub fn write_str(&mut self, s: &str) {
+        for byte in s.bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.write_u64(s.len() as u64);
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_deterministic_and_length_delimited() {
+        let digest = |parts: &[&str]| {
+            let mut h = Fnv::new();
+            for p in parts {
+                h.write_str(p);
+            }
+            h.finish()
+        };
+        assert_eq!(digest(&["ab", "c"]), digest(&["ab", "c"]));
+        assert_ne!(digest(&["ab", "c"]), digest(&["a", "bc"]), "length-delimited");
+        assert_ne!(digest(&["ab"]), digest(&["ab", ""]));
+    }
+}

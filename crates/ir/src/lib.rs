@@ -17,6 +17,8 @@
 //!   functional-unit list of Table 8, plus the classifier that assigns a class to
 //!   every instruction.
 //! * [`resource`] — the generic resource-demand vector used by the device models.
+//! * [`fnv`] — the stable FNV-1a digest every fingerprint in the system
+//!   (object stores, placement plans, service requests, shard hashing) shares.
 //! * [`program`] — the [`IrProgram`] container with validation and queries.
 //! * [`deps`] — read/write-set extraction and dependency-edge computation
 //!   (including the mutual dependency of all instructions sharing a stateful
@@ -27,6 +29,7 @@ pub mod builder;
 pub mod capability;
 pub mod deps;
 pub mod error;
+pub mod fnv;
 pub mod instr;
 pub mod object;
 pub mod program;
@@ -37,6 +40,7 @@ pub use builder::ProgramBuilder;
 pub use capability::{classify_instruction, CapabilityClass, FunctionalUnit};
 pub use deps::{dependency_edges, DependencyKind, ReadWriteSet};
 pub use error::IrError;
+pub use fnv::Fnv;
 pub use instr::{AluOp, CmpOp, Guard, InstrId, Instruction, OpCode, Operand, Predicate};
 pub use object::{CryptoAlgo, HashAlgo, MatchKind, ObjectDecl, ObjectKind, SketchKind};
 pub use program::{HeaderFieldDecl, IrProgram};

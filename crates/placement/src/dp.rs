@@ -53,6 +53,16 @@ struct Choice {
 }
 
 /// Place `program` (already grouped into `dag`) onto `net`.
+///
+/// Pure and concurrency-safe: the solver borrows its inputs immutably and
+/// keeps every table it builds on its own stack, so any number of solves —
+/// for different programs, or the same one — may run concurrently on worker
+/// threads against one shared network view.  Given identical inputs the
+/// returned plan is bit-identical (modulo the wall-clock `solve_time`,
+/// which [`PlacementPlan::fingerprint`](crate::PlacementPlan::fingerprint)
+/// deliberately excludes) regardless of how many solves run next to it.
+/// Re-exported as `clickinc_placement::solve` — the name the service-layer
+/// `Planner` fans out over.
 pub fn place(
     program: &IrProgram,
     dag: &BlockDag,

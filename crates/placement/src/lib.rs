@@ -36,6 +36,7 @@ pub mod objective;
 pub mod plan;
 pub mod smt;
 
+pub use dp::place as solve;
 pub use dp::{place, PlacementConfig};
 pub use greedy::place_greedy;
 pub use intra::{allocate_stages, StageAllocation};
@@ -81,6 +82,27 @@ mod proptests {
         }
         b.forward();
         b.build()
+    }
+
+    #[test]
+    fn concurrent_solves_are_bit_identical_to_a_lone_solve() {
+        let program = random_program(12, &[7u8; 18]);
+        let dag = build_block_dag(&program, &BlockConfig::default());
+        let topo = Topology::chain(3, DeviceKind::Tofino);
+        let servers = topo.servers();
+        let reduced = clickinc_topology::reduce_for_traffic(&topo, &[servers[0]], servers[1], &[]);
+        let ledger = ResourceLedger::new();
+        let net = PlacementNetwork::from_reduced(&topo, &reduced, &ledger);
+        let config = PlacementConfig::default();
+        let lone = solve(&program, &dag, &net, &config).expect("solves").fingerprint();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| solve(&program, &dag, &net, &config).expect("solves")))
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("no panic").fingerprint(), lone);
+            }
+        });
     }
 
     proptest! {

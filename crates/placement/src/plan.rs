@@ -4,7 +4,7 @@ use crate::network::PlacementNetwork;
 use crate::objective::Weights;
 use clickinc_blockdag::{BlockDag, BlockId};
 use clickinc_device::DeviceKind;
-use clickinc_ir::{classify_instruction, IrProgram, ResourceVector};
+use clickinc_ir::{classify_instruction, Fnv, IrProgram, Resource, ResourceVector};
 use clickinc_topology::NodeId;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -166,6 +166,47 @@ impl PlacementPlan {
         }
     }
 
+    /// A deterministic digest of the *solution*: every assignment's device,
+    /// member set, block/instruction lists, stage map and resource demand,
+    /// plus the gain terms — and **not** the wall-clock solve time, so two
+    /// runs that solved the same problem fingerprint equal no matter how
+    /// fast each ran.  The service layer keys its plan cache and its
+    /// bit-identity tests on this digest.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_str(&self.program);
+        h.write_u64(self.assignments.len() as u64);
+        for a in &self.assignments {
+            h.write_str(&a.device);
+            h.write_u64(a.members.len() as u64);
+            for m in &a.members {
+                h.write_u64(m.0 as u64);
+            }
+            h.write_u64(a.blocks.len() as u64);
+            for b in &a.blocks {
+                h.write_u64(b.0 as u64);
+            }
+            h.write_u64(a.instrs.len() as u64);
+            for i in &a.instrs {
+                h.write_u64(*i as u64);
+            }
+            for (i, stage) in &a.stage_of {
+                h.write_u64(*i as u64);
+                h.write_u64(*stage as u64);
+            }
+            h.write_u64(a.stages_used as u64);
+            for r in Resource::ALL {
+                h.write_u64(a.demand[r].to_bits());
+            }
+            h.write_u64(a.step_range.0 as u64);
+            h.write_u64(a.step_range.1 as u64);
+        }
+        for term in [self.gain, self.traffic_served, self.resource_cost, self.comm_cost] {
+            h.write_u64(term.to_bits());
+        }
+        h.finish()
+    }
+
     /// Check every structural invariant of the plan against the program, DAG
     /// and network; panics with a description on violation (test helper).
     pub fn assert_valid(&self, program: &IrProgram, dag: &BlockDag, net: &PlacementNetwork) {
@@ -295,6 +336,20 @@ mod tests {
         assert!(PlacementError::UnsupportedNetwork("multi-path".into())
             .to_string()
             .contains("multi-path"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_solve_time_but_not_the_solution() {
+        let a = plan();
+        let mut b = plan();
+        b.solve_time = Duration::from_secs(1000);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "solve time is not part of the solution");
+        let mut c = plan();
+        c.assignments[0].instrs.push(99);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "the assignment content is");
+        let mut d = plan();
+        d.gain += 0.5;
+        assert_ne!(a.fingerprint(), d.fingerprint(), "so are the gain terms");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use clickinc_ir::IrProgram;
 /// One programmable hop of a tenant's deployment: the physical device, its
 /// model (for latency accounting on replicas of the plane), and the isolated
 /// IR snippets installed there.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TenantHop {
     /// Topology node name of the device.
     pub device: String,

@@ -7,17 +7,25 @@
 //! 2. **Plan purity** — planning never changes the remaining resource
 //!    ratio, the active user set, or any plane's store fingerprint.
 //! 3. **All-or-nothing batches** — a failed `deploy_all` (unknown host,
-//!    compile error, stale plan) leaves the ledger ratio, the active users,
-//!    the engine tenants and every plane's store fingerprint bit-identical
-//!    to before the call, even when earlier requests of the batch had
-//!    already committed.
+//!    compile error, stale plan, admission refusal) leaves the ledger
+//!    ratio, the active users, the engine tenants and every plane's store
+//!    fingerprint bit-identical to before the call, even when earlier
+//!    requests of the batch had already committed.
+//! 4. **Planner equivalence** — parallel planning + sequential commit of a
+//!    mixed batch is bit-identical (plane fingerprints, ledger ratio,
+//!    tenant hops, numeric ids) to the sequential plan→commit path, in any
+//!    worker-thread count; the plan cache only answers while the epoch
+//!    stands still; admission policies reject with the typed
+//!    `ClickIncError::Rejected` and change nothing.
 
 use clickinc::lang::templates::{
     count_min_sketch, dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams,
     MlAggParams,
 };
 use clickinc::topology::Topology;
-use clickinc::{ClickIncError, ClickIncService, Controller, ServiceRequest};
+use clickinc::{
+    ClickIncError, ClickIncService, Controller, ResourceFloor, ServiceRequest, TenantHop,
+};
 use clickinc_emulator::kvs_backend_value;
 use clickinc_ir::Value;
 use clickinc_runtime::workload::{KvsWorkload, KvsWorkloadConfig};
@@ -215,6 +223,212 @@ fn failed_deploy_all_rolls_back_already_committed_tenants() {
     service.finish();
 }
 
+/// A mixed batch of 8 KVS/MLAgg requests with distinct users, sources and
+/// template parameters — the acceptance workload for planner equivalence.
+fn mixed_batch() -> Vec<ServiceRequest> {
+    (0..8)
+        .map(|i| {
+            let user = format!("mix{i}");
+            if i % 2 == 0 {
+                ServiceRequest::builder(&user)
+                    .template(kvs_template(
+                        &user,
+                        KvsParams { cache_depth: 1000 + 200 * i as u32, ..Default::default() },
+                    ))
+                    .from_(if i % 4 == 0 { "pod0a" } else { "pod1a" })
+                    .to("pod2b")
+                    .build()
+                    .unwrap()
+            } else {
+                ServiceRequest::builder(&user)
+                    .template(mlagg_template(
+                        &user,
+                        MlAggParams {
+                            dims: 8 + i as u32,
+                            num_aggregators: 512,
+                            ..Default::default()
+                        },
+                    ))
+                    .from_(if i % 4 == 1 { "pod0b" } else { "pod1b" })
+                    .to("pod2a")
+                    .build()
+                    .unwrap()
+            }
+        })
+        .collect()
+}
+
+/// Everything the acceptance criterion compares: plane fingerprints, ledger
+/// ratio (as bits), and per-tenant numeric ids + hops.
+type DeploymentObservables = (BTreeMap<String, u64>, u64, BTreeMap<String, (i64, Vec<TenantHop>)>);
+
+fn deployment_observables(service: &ClickIncService) -> DeploymentObservables {
+    let controller = service.controller();
+    let tenants = controller
+        .active_users()
+        .iter()
+        .map(|user| {
+            let numeric_id = controller.numeric_id_of(user).expect("active");
+            (user.to_string(), (numeric_id, controller.tenant_hops(user)))
+        })
+        .collect();
+    (controller.plane_fingerprints(), controller.remaining_resource_ratio().to_bits(), tenants)
+}
+
+#[test]
+fn parallel_planning_plus_sequential_commit_is_bit_identical_to_the_sequential_path() {
+    let requests = mixed_batch();
+    assert!(requests.len() >= 8);
+
+    // the sequential reference: plan → commit one request at a time
+    let sequential =
+        ClickIncService::with_config(Topology::emulation_topology_all_tofino(), engine_config())
+            .expect("engine config is valid");
+    for request in &requests {
+        let plan = sequential.plan(request).expect("plans");
+        sequential.commit(plan).expect("commits");
+    }
+    let reference = deployment_observables(&sequential);
+    sequential.finish();
+
+    // the planner path, at several worker-thread counts
+    for threads in [1usize, 2, 8] {
+        let service = ClickIncService::with_config(
+            Topology::emulation_topology_all_tofino(),
+            engine_config(),
+        )
+        .expect("engine config is valid");
+        let handles = service
+            .planner()
+            .with_threads(threads)
+            .deploy_all(requests.clone())
+            .expect("the batch deploys");
+        assert_eq!(handles.len(), requests.len());
+        // handles come back in request order with the sequential numeric ids
+        for (i, handle) in handles.iter().enumerate() {
+            assert_eq!(handle.user(), format!("mix{i}"));
+            assert_eq!(handle.numeric_id(), i as i64 + 1);
+        }
+        assert_eq!(
+            deployment_observables(&service),
+            reference,
+            "{threads}-thread planner path diverged from the sequential path"
+        );
+        // cache accounting: the pre-solve misses once per member, and every
+        // member after the first misses again at commit time (its
+        // predecessor's commit moved the epoch, forcing the re-solve that
+        // bit-identity requires); the first member commits its still-fresh
+        // pre-solved plan without a lookup
+        let stats = service.planner_stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses as usize, 2 * requests.len() - 1);
+        service.finish();
+    }
+}
+
+#[test]
+fn resource_floor_rejects_the_marginal_tenant_and_admitted_tenants_keep_serving() {
+    let service =
+        ClickIncService::with_config(Topology::emulation_topology_all_tofino(), engine_config())
+            .expect("engine config is valid");
+    let planner = service.planner().with_policy(ResourceFloor { min_remaining_ratio: 0.99 });
+
+    // admit tenants one by one until the floor refuses the marginal one
+    let mut admitted = Vec::new();
+    let mut rejection = None;
+    for i in 0..16 {
+        let before = snapshot(&service);
+        match planner.deploy(kvs_request(&format!("floor{i}"))) {
+            Ok(handle) => admitted.push(handle),
+            Err(err) => {
+                assert!(
+                    matches!(
+                        &err,
+                        ClickIncError::Rejected { user, policy, .. }
+                            if user == &format!("floor{i}") && policy == "resource_floor"
+                    ),
+                    "got {err}"
+                );
+                assert_eq!(snapshot(&service), before, "a rejection changes nothing");
+                rejection = Some(err);
+                break;
+            }
+        }
+    }
+    let rejection = rejection.expect("the floor eventually rejects a marginal tenant");
+    assert!(rejection.to_string().contains("floor"));
+    assert!(!admitted.is_empty(), "tenants above the floor were admitted");
+    assert!(service.remaining_resource_ratio() >= 0.99, "the floor held");
+
+    // the admitted tenants still serve traffic on the engine
+    let first = &admitted[0];
+    let mut wl = seeded_workload(first.user(), first.numeric_id());
+    first.run_workload(&mut wl, usize::MAX, 64);
+    service.flush();
+    let stats = first.telemetry().expect("admitted tenant is live");
+    assert_eq!(stats.completed, 800, "traffic still flows for admitted tenants");
+    service.finish();
+}
+
+#[test]
+fn stale_plans_miss_the_cache_and_re_solve_while_fresh_plans_hit() {
+    let service =
+        ClickIncService::with_config(Topology::emulation_topology_all_tofino(), engine_config())
+            .expect("engine config is valid");
+    let planner = service.planner();
+
+    // plan `victim` (miss: nothing cached yet), then let an unrelated
+    // tenant move the epoch
+    let stale_plan = planner.plan(&kvs_request("victim")).expect("plans");
+    let epoch_at_solve = stale_plan.epoch();
+    service.deploy(kvs_request("unrelated")).expect("unrelated tenant deploys");
+    assert_ne!(service.controller().epoch(), epoch_at_solve, "the epoch moved");
+
+    // staleness outranks policy: even with an impossible floor installed,
+    // the stale plan surfaces as StalePlan (re-plan and retry), never as a
+    // Rejected verdict reached on dead-ledger numbers
+    let floored = service.planner().with_policy(ResourceFloor { min_remaining_ratio: 2.0 });
+    let err = floored.commit(stale_plan.clone()).map(|_| ()).unwrap_err();
+    assert!(matches!(err, ClickIncError::StalePlan { .. }), "got {err}");
+
+    // the strict commit path refuses the stale plan outright
+    let err = planner.commit(stale_plan).map(|_| ()).unwrap_err();
+    assert!(matches!(err, ClickIncError::StalePlan { .. }), "got {err}");
+
+    // the retry-friendly path must MISS the cache (epoch moved) and
+    // re-solve at the current epoch
+    let before = service.planner_stats();
+    let tenant = planner.deploy(kvs_request("victim")).expect("re-solve and commit");
+    let after = service.planner_stats();
+    assert_eq!(after.cache_hits, before.cache_hits, "no cache hit for the stale plan");
+    assert_eq!(after.cache_misses, before.cache_misses + 1, "the retry re-ran placement");
+    assert_eq!(tenant.user(), "victim");
+
+    // while the epoch stands still, plan → deploy answers from the cache
+    let before = service.planner_stats();
+    let quoted = planner.plan(&kvs_request("fresh")).expect("plans");
+    let tenant = planner.deploy(kvs_request("fresh")).expect("commits the cached plan");
+    let after = service.planner_stats();
+    assert_eq!(after.cache_hits, before.cache_hits + 1, "the deploy reused the quote's plan");
+    assert_eq!(after.cache_misses, before.cache_misses + 1, "only the quote ran placement");
+    assert_eq!(tenant.numeric_id(), quoted.numeric_id(), "same plan, same id");
+    service.finish();
+}
+
+#[test]
+fn removing_a_never_committed_user_is_unknown_user_and_changes_nothing() {
+    let service =
+        ClickIncService::with_config(Topology::emulation_topology_all_tofino(), engine_config())
+            .expect("engine config is valid");
+    // planning alone never registers the user
+    let _plan = service.plan(&kvs_request("ghost")).expect("plans");
+    let before = snapshot(&service);
+    let err = service.remove("ghost").map(|_| ()).unwrap_err();
+    assert!(matches!(err, ClickIncError::UnknownUser(u) if u == "ghost"));
+    assert_eq!(snapshot(&service), before);
+    service.finish();
+}
+
 fn request_from_op(op: u8, index: usize) -> ServiceRequest {
     let user = format!("u{index}");
     match op % 6 {
@@ -293,8 +507,40 @@ proptest! {
             prop_assert_eq!(snapshot(&service), before);
         }
 
-        // the poisoned batch fails and rolls back everything
+        // the poisoned batch fails and rolls back everything (deploy_all is
+        // planner-backed now: parallel solve, sequential commit, same
+        // rollback)
         prop_assert!(service.deploy_all(requests).map(|_| ()).is_err());
+        prop_assert_eq!(snapshot(&service), before);
+        service.finish();
+    }
+
+    /// An admission floor no plan can satisfy rejects every batch with the
+    /// typed error and leaves the ledger ratio, active users, plane
+    /// fingerprints and engine telemetry untouched — whatever the request
+    /// mix.
+    #[test]
+    fn impossible_resource_floor_rejects_and_changes_nothing(
+        ops in proptest::collection::vec(0u8..4, 1..4), // valid request kinds only
+    ) {
+        let service = ClickIncService::with_config(
+            Topology::emulation_topology_all_tofino(),
+            EngineConfig { shards: 1, batch_size: 16 },
+        )
+        .expect("engine config is valid");
+        let requests: Vec<ServiceRequest> =
+            ops.iter().enumerate().map(|(i, op)| request_from_op(*op, i)).collect();
+        let before = snapshot(&service);
+        let err = service
+            .planner()
+            .with_policy(ResourceFloor { min_remaining_ratio: 2.0 })
+            .deploy_all(requests)
+            .map(|_| ())
+            .unwrap_err();
+        prop_assert!(
+            matches!(&err, ClickIncError::Rejected { policy, .. } if policy == "resource_floor"),
+            "got {}", err
+        );
         prop_assert_eq!(snapshot(&service), before);
         service.finish();
     }
