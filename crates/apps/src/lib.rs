@@ -12,7 +12,8 @@
 //!   (the path-shape ablation);
 //! * [`serving`] — the same KVS/MLAgg workloads deployed through the
 //!   `ClickIncService` facade and served by the sharded traffic engine —
-//!   the default serving path;
+//!   the default serving path — plus the overload scenario that drives a
+//!   hot, flow-sharded tenant into the bounded ingress queues;
 //! * [`multiuser`] — the six program instances and traffic endpoints of
 //!   Table 3, the seven-instance sequence of Table 5, and the
 //!   add/remove sequence of Table 6.
@@ -23,4 +24,7 @@ pub mod serving;
 
 pub use fig13::{fig13_configurations, Fig13Case};
 pub use multiuser::{table3_requests, table5_requests, table6_steps, Table6Step};
-pub use serving::{serve_fig13_workloads, ServingConfig, ServingReport};
+pub use serving::{
+    serve_fig13_workloads, serve_overload_scenario, OverloadConfig, OverloadReport, ServingConfig,
+    ServingReport,
+};

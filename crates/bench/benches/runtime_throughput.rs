@@ -8,6 +8,15 @@
 //! residents — the architectural win of tenant sharding, on top of thread
 //! parallelism on multi-core hosts.
 //!
+//! **Flow-sharded section.**  One *hot* KVS tenant co-resident with the
+//! eight MLAgg tenants is spread across every shard by the stable flow hash
+//! of its request key (`ShardingMode::ByFlow`) — the first configuration in
+//! which a single tenant scales past one core.  The 1-shard baseline walks
+//! every co-resident's snippets for every hot packet; flow-sharding both
+//! separates the co-residents and parallelizes the hot tenant itself.  A
+//! saturation probe with a deliberately small bounded queue records the
+//! drop-tail shed rate under overload.
+//!
 //! **Planner section.**  A mixed batch of KVS/MLAgg/CMS requests is solved
 //! by `Planner::plan_all` with 1 vs N worker threads (each run against a
 //! fresh service, so the plan cache cannot shortcut the measurement), and
@@ -21,16 +30,20 @@
 //! * `RUNTIME_BENCH_SMOKE=1` — reduced configuration (fewer rounds, 1 vs 4
 //!   shards/threads only) suitable for a CI smoke run;
 //! * `RUNTIME_BENCH_MIN_SPEEDUP=<x>` — exit non-zero if the best N-shard
-//!   throughput regresses below `x`× the 1-shard baseline.
+//!   throughput (tenant-sharded *or* flow-sharded) regresses below `x`× its
+//!   1-shard baseline.
 
 use clickinc::{ClickIncService, ServiceRequest};
 use clickinc_device::DeviceModel;
 use clickinc_frontend::compile_source;
+use clickinc_ir::Value;
 use clickinc_lang::templates::{
     count_min_sketch, kvs_template, mlagg_template, KvsParams, MlAggParams,
 };
-use clickinc_runtime::workload::{MixedWorkload, MlAggWorkload, MlAggWorkloadConfig, Workload};
-use clickinc_runtime::{EngineConfig, TenantHop, TrafficEngine};
+use clickinc_runtime::workload::{
+    KvsWorkload, KvsWorkloadConfig, MixedWorkload, MlAggWorkload, MlAggWorkloadConfig, Workload,
+};
+use clickinc_runtime::{EngineConfig, OverloadPolicy, ShardingMode, TenantHop, TrafficEngine};
 use clickinc_synthesis::isolate_user_program;
 use clickinc_topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -71,6 +84,17 @@ struct RunEntry {
     planner: Vec<PlannerResult>,
     #[serde(default)]
     planner_speedup_best_vs_one_thread: f64,
+    /// Flow-sharded hot-tenant section (absent in pre-flow-sharding rows).
+    #[serde(default)]
+    flow: Vec<ShardResult>,
+    #[serde(default)]
+    flow_speedup_best_vs_one_shard: f64,
+    /// Shards the hot tenant utilized in the best flow-sharded run.
+    #[serde(default)]
+    flow_shards_utilized: usize,
+    /// Drop-tail shed fraction in the bounded-queue saturation probe.
+    #[serde(default)]
+    overload_drop_rate: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -98,7 +122,7 @@ fn tenant_hops(name: &str, id: i64) -> Vec<TenantHop> {
 }
 
 fn run_once(shards: usize, rounds: usize) -> (f64, usize) {
-    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 256 });
+    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 256, ..Default::default() });
     let handle = engine.handle();
     let mut parts: Vec<Box<dyn Workload>> = Vec::new();
     for i in 0..TENANTS {
@@ -120,13 +144,103 @@ fn run_once(shards: usize, rounds: usize) -> (f64, usize) {
     let mut mixed = MixedWorkload::new(parts);
 
     let start = Instant::now();
-    let sent = handle.run_workload(&mut mixed, usize::MAX, 256);
+    let report = handle.run_workload(&mut mixed, usize::MAX, 256);
     handle.flush();
     let elapsed = start.elapsed().as_secs_f64();
     let outcome = engine.finish();
     let completed: u64 = outcome.telemetry.tenants.values().map(|t| t.completed).sum();
-    assert_eq!(completed as usize, sent, "every packet completes");
-    (elapsed, sent)
+    assert_eq!(report.shed, 0, "ample default queues shed nothing");
+    assert_eq!(completed as usize, report.admitted, "every admitted packet completes");
+    (elapsed, report.admitted)
+}
+
+/// The flow-sharded hot tenant's hop list: an isolated KVS cache program on
+/// the shared ToR.
+fn hot_kvs_hops(name: &str, id: i64) -> Vec<TenantHop> {
+    let t = kvs_template(name, KvsParams { cache_depth: 4096, ..Default::default() });
+    let ir = compile_source(name, &t.source).expect("template compiles");
+    vec![TenantHop {
+        device: "tor0".to_string(),
+        model: DeviceModel::tofino(),
+        snippets: vec![isolate_user_program(&ir, name, id)],
+    }]
+}
+
+/// One hot KVS tenant, flow-sharded by its request key, co-resident with
+/// the eight `ByTenant` MLAgg tenants (installed but idle — they cost every
+/// hot packet a snippet scan wherever they share a shard).  Returns the
+/// elapsed seconds, the packets served, and how many shards the hot tenant
+/// utilized.
+fn run_flow_once(shards: usize, requests: usize) -> (f64, usize, usize) {
+    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 256, ..Default::default() });
+    let handle = engine.handle();
+    for i in 0..TENANTS {
+        let name = format!("tenant{i}");
+        handle.add_tenant(&name, tenant_hops(&name, i as i64 + 1));
+    }
+    handle.add_tenant_sharded(
+        "hot",
+        hot_kvs_hops("hot", 100),
+        ShardingMode::ByFlow { key_fields: vec!["key".to_string()] },
+    );
+    for key in 0..256 {
+        handle.populate_table(
+            "hot",
+            "tor0",
+            "hot_cache",
+            vec![Value::Int(key)],
+            vec![Value::Int(key * 1000 + 7)],
+        );
+    }
+    let mut wl = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: "hot".to_string(),
+        user_id: 100,
+        keys: 4096,
+        skew: 1.1,
+        requests,
+        rate_pps: 100_000_000.0,
+        seed: 99,
+    });
+    let start = Instant::now();
+    let report = handle.run_workload(&mut wl, usize::MAX, 256);
+    handle.flush();
+    let elapsed = start.elapsed().as_secs_f64();
+    let outcome = engine.finish();
+    let hot = outcome.telemetry.tenant("hot").expect("hot tenant served");
+    assert_eq!(report.shed, 0, "ample default queues shed nothing");
+    assert_eq!(hot.completed as usize, report.admitted, "every admitted packet completes");
+    let utilized = hot.per_shard_packets.iter().filter(|&&p| p > 0).count();
+    (elapsed, report.admitted, utilized)
+}
+
+/// Saturation probe: the same hot tenant against a deliberately small
+/// bounded queue under drop-tail.  Returns the shed fraction.
+fn run_overload_probe(shards: usize, requests: usize) -> f64 {
+    let engine = TrafficEngine::new(EngineConfig {
+        shards,
+        batch_size: 256,
+        queue_capacity: 512,
+        overload: OverloadPolicy::DropTail,
+    });
+    let handle = engine.handle();
+    handle.add_tenant_sharded(
+        "hot",
+        hot_kvs_hops("hot", 100),
+        ShardingMode::ByFlow { key_fields: vec!["key".to_string()] },
+    );
+    let mut wl = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: "hot".to_string(),
+        user_id: 100,
+        keys: 4096,
+        skew: 1.1,
+        requests,
+        rate_pps: 100_000_000.0,
+        seed: 99,
+    });
+    let report = handle.run_workload(&mut wl, usize::MAX, 2048);
+    handle.flush();
+    engine.finish();
+    report.shed as f64 / report.generated.max(1) as f64
 }
 
 /// The mixed request batch the planner section solves: KVS, MLAgg and CMS
@@ -220,6 +334,45 @@ fn main() {
         if speedup > 1.0 { "sharding wins" } else { "REGRESSION" }
     );
 
+    // ---- flow-sharded hot-tenant section --------------------------------
+    let flow_requests = if smoke { 20_000 } else { 60_000 };
+    println!(
+        "\n== flow_throughput: 1 hot flow-sharded KVS tenant next to {TENANTS} MLAgg tenants, \
+         1 vs N shards =="
+    );
+    println!("{:>8} {:>12} {:>16} {:>10}", "shards", "elapsed", "packets/sec", "utilized");
+    let mut flow_results = Vec::new();
+    let mut flow_shards_utilized = 0usize;
+    for &shards in shard_counts {
+        // best of two runs to shave scheduler noise
+        let (mut elapsed, mut packets, mut utilized) = run_flow_once(shards, flow_requests);
+        let (e2, p2, u2) = run_flow_once(shards, flow_requests);
+        if e2 < elapsed {
+            (elapsed, packets, utilized) = (e2, p2, u2);
+        }
+        assert!(
+            shards == 1 || utilized > 1,
+            "a flow-sharded hot tenant must utilize more than one of {shards} shards"
+        );
+        let pps = packets as f64 / elapsed.max(1e-9);
+        println!("{shards:>8} {:>10.1}ms {pps:>16.0} {utilized:>10}", elapsed * 1e3);
+        flow_results.push(ShardResult { shards, elapsed_ms: elapsed * 1e3, packets_per_sec: pps });
+        flow_shards_utilized = flow_shards_utilized.max(utilized);
+    }
+    let flow_one = flow_results[0].packets_per_sec;
+    let flow_best = flow_results.iter().map(|r| r.packets_per_sec).fold(0.0f64, f64::max);
+    let flow_speedup = flow_best / flow_one.max(1e-9);
+    println!(
+        "best N-shard hot-tenant throughput is {flow_speedup:.2}x the 1-shard baseline ({})",
+        if flow_speedup > 1.0 { "flow sharding wins" } else { "REGRESSION" }
+    );
+    let overload_drop_rate =
+        run_overload_probe(shard_counts.last().copied().unwrap_or(4), flow_requests / 4);
+    println!(
+        "saturation probe (512-deep bounded queues, drop-tail): {:.1}% shed",
+        overload_drop_rate * 100.0
+    );
+
     // ---- planner-throughput section -------------------------------------
     let (batch, thread_counts): (usize, &[usize]) =
         if smoke { (8, &[1, 4]) } else { (16, &[1, 2, 4, 8]) };
@@ -273,6 +426,10 @@ fn main() {
         speedup_best_vs_one_shard: speedup,
         planner: planner_results,
         planner_speedup_best_vs_one_thread: planner_speedup,
+        flow: flow_results,
+        flow_speedup_best_vs_one_shard: flow_speedup,
+        flow_shards_utilized,
+        overload_drop_rate,
     });
     if report.history.len() > HISTORY_CAP {
         let drop = report.history.len() - HISTORY_CAP;
@@ -282,7 +439,9 @@ fn main() {
     std::fs::write(path, &json).expect("BENCH_runtime.json written");
     println!("appended run #{} to BENCH_runtime.json", report.history.len());
 
-    // optional regression gate for the CI bench-trend step
+    // optional regression gate for the CI bench-trend step: both the
+    // tenant-sharded and the flow-sharded multi-shard configurations must
+    // beat their 1-shard baselines
     if let Ok(min) = std::env::var("RUNTIME_BENCH_MIN_SPEEDUP") {
         let min: f64 = min.parse().expect("RUNTIME_BENCH_MIN_SPEEDUP is a number");
         if speedup < min {
@@ -291,6 +450,16 @@ fn main() {
             );
             std::process::exit(1);
         }
-        println!("bench-trend gate passed: {speedup:.2}x >= {min:.2}x");
+        if flow_speedup < min {
+            eprintln!(
+                "FAIL: flow_speedup_best_vs_one_shard {flow_speedup:.2} regressed below the \
+                 {min:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bench-trend gate passed: tenant-sharded {speedup:.2}x, flow-sharded \
+             {flow_speedup:.2}x >= {min:.2}x"
+        );
     }
 }

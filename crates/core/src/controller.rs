@@ -12,6 +12,7 @@
 use crate::error::{ClickIncError, ControllerError};
 use crate::reconfigure::{ReconfigureEvent, ReconfigureHook, TenantHop};
 use crate::request::ServiceRequest;
+use crate::sharding::sharding_mode_for;
 use clickinc_backend::DeviceProgram;
 use clickinc_blockdag::{build_block_dag, BlockConfig, BlockDag};
 use clickinc_emulator::DevicePlane;
@@ -260,8 +261,8 @@ impl Controller {
     /// first, then deploy, so the engine sees every tenant exactly once.
     pub fn attach_engine(&mut self, handle: EngineHandle) {
         self.add_reconfigure_hook(Box::new(move |event| match event {
-            ReconfigureEvent::TenantAdded { user, hops, .. } => {
-                handle.add_tenant(user, hops.clone());
+            ReconfigureEvent::TenantAdded { user, hops, mode, .. } => {
+                handle.add_tenant_sharded(user, hops.clone(), mode.clone());
             }
             ReconfigureEvent::TenantRemoved { user } => {
                 handle.remove_tenant(user);
@@ -494,10 +495,13 @@ impl Controller {
             elapsed: solved_in + commit_started.elapsed(),
         };
         self.deployments.insert(request.user.clone(), deployment);
+        let hops = self.tenant_hops(&request.user);
+        let mode = sharding_mode_for(&hops);
         self.fire(ReconfigureEvent::TenantAdded {
             user: request.user.clone(),
             numeric_id,
-            hops: self.tenant_hops(&request.user),
+            hops,
+            mode,
         });
         Ok(self.deployments.get(&request.user).expect("just inserted"))
     }
@@ -800,7 +804,7 @@ mod tests {
         let mut c = controller();
         c.add_reconfigure_hook(Box::new(move |event| {
             let line = match event {
-                ReconfigureEvent::TenantAdded { user, numeric_id, hops } => {
+                ReconfigureEvent::TenantAdded { user, numeric_id, hops, .. } => {
                     assert!(!hops.is_empty(), "a deployment always has hops");
                     assert!(
                         hops.iter().any(|h| !h.snippets.is_empty()),

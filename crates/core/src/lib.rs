@@ -118,6 +118,7 @@ pub mod policy;
 pub mod reconfigure;
 mod request;
 pub mod service;
+pub mod sharding;
 
 pub use controller::{Controller, Deployment, DeploymentPlan, PlanContext, PlanSummary};
 pub use error::{ClickIncError, ControllerError};
@@ -126,9 +127,10 @@ pub use policy::{
     AdmissionContext, AdmissionDecision, AdmissionPolicy, DeviceDenylist, MaxTenants, PolicyChain,
     ResourceFloor,
 };
-pub use reconfigure::{ReconfigureEvent, ReconfigureHook, TenantHop};
+pub use reconfigure::{ReconfigureEvent, ReconfigureHook, ShardingMode, TenantHop};
 pub use request::{RequestError, ServiceRequest, ServiceRequestBuilder};
 pub use service::{ClickIncService, TenantHandle};
+pub use sharding::sharding_mode_for;
 
 // Re-export the subsystem crates under stable names so downstream users need a
 // single dependency.

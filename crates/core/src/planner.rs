@@ -283,8 +283,9 @@ impl<'a> Planner<'a> {
         Ok(committed
             .into_iter()
             .map(|(user, numeric_id, hops)| {
-                self.service.engine_handle().add_tenant(&user, hops.clone());
-                self.service.handle_for(user, numeric_id, hops)
+                let mode = crate::sharding::sharding_mode_for(&hops);
+                self.service.engine_handle().add_tenant_sharded(&user, hops.clone(), mode.clone());
+                self.service.handle_for(user, numeric_id, hops, mode)
             })
             .collect())
     }
@@ -414,7 +415,7 @@ mod tests {
     fn stale_cycles_keep_the_eviction_queue_in_lockstep_with_the_entries() {
         let service = ClickIncService::with_config(
             Topology::emulation_topology_all_tofino(),
-            EngineConfig { shards: 1, batch_size: 16 },
+            EngineConfig { shards: 1, batch_size: 16, ..Default::default() },
         )
         .expect("engine config is valid");
         let request = kvs("cycled");

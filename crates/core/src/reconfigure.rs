@@ -10,9 +10,11 @@
 //!
 //! [`Controller`]: crate::Controller
 
-/// Re-exported from `clickinc-runtime`, where the engine's shards consume it
-/// directly; the controller produces hop lists from its placement plans.
-pub use clickinc_runtime::TenantHop;
+/// Re-exported from `clickinc-runtime`, where the engine's shards consume
+/// them directly; the controller produces hop lists from its placement plans
+/// and derives the sharding mode from the deployed IR's state profile
+/// ([`crate::sharding::sharding_mode_for`]).
+pub use clickinc_runtime::{ShardingMode, TenantHop};
 
 /// A change to the set of deployed tenant programs.
 #[derive(Debug, Clone)]
@@ -25,6 +27,9 @@ pub enum ReconfigureEvent {
         numeric_id: i64,
         /// The programmable hops of the deployment, in traffic order.
         hops: Vec<TenantHop>,
+        /// How a serving engine should partition the tenant's traffic,
+        /// derived from the deployment's state profile.
+        mode: ShardingMode,
     },
     /// A tenant's program was removed.
     TenantRemoved {

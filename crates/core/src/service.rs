@@ -29,10 +29,12 @@ use crate::error::ClickIncError;
 use crate::planner::{PlanCache, Planner};
 use crate::policy::{AdmissionContext, AdmissionDecision, AdmissionPolicy, PolicyChain};
 use crate::request::ServiceRequest;
+use crate::sharding::sharding_mode_for;
 use clickinc_ir::Value;
 use clickinc_runtime::workload::Workload;
 use clickinc_runtime::{
-    EngineConfig, EngineHandle, RunOutcome, TelemetryReport, TenantHop, TenantStats, TrafficEngine,
+    EngineConfig, EngineHandle, RunOutcome, ShardingMode, TelemetryReport, TenantHop, TenantStats,
+    TrafficEngine, WorkloadReport,
 };
 use clickinc_synthesis::DeploymentDelta;
 use clickinc_topology::Topology;
@@ -205,7 +207,10 @@ impl ClickIncService {
     }
 
     /// Commit + mirror with the controller lock already held.  Admission is
-    /// the caller's concern (every public entry gates first).
+    /// the caller's concern (every public entry gates first).  The tenant's
+    /// sharding mode is derived from the committed deployment's state
+    /// profile: stateless and flow-keyed-state programs spread their flows
+    /// across every engine shard, anything else pins to one shard.
     pub(crate) fn commit_locked(
         &self,
         controller: &mut Controller,
@@ -215,8 +220,9 @@ impl ClickIncService {
         let user = deployment.user.clone();
         let numeric_id = deployment.numeric_id;
         let hops = controller.tenant_hops(&user);
-        self.engine.handle().add_tenant(&user, hops.clone());
-        Ok(self.handle_for(user, numeric_id, hops))
+        let mode = sharding_mode_for(&hops);
+        self.engine.handle().add_tenant_sharded(&user, hops.clone(), mode.clone());
+        Ok(self.handle_for(user, numeric_id, hops, mode))
     }
 
     /// Deploy a batch of requests with **all-or-nothing** semantics: if any
@@ -285,16 +291,21 @@ impl ClickIncService {
         self.engine.finish()
     }
 
+    /// Build a tenant handle around the mode the engine was actually given
+    /// (derived once per commit; never re-derived, so handle and engine
+    /// cannot disagree).
     pub(crate) fn handle_for(
         &self,
         user: String,
         numeric_id: i64,
         hops: Vec<TenantHop>,
+        mode: ShardingMode,
     ) -> TenantHandle {
         TenantHandle {
             user,
             numeric_id,
             hops,
+            mode,
             controller: Arc::clone(&self.controller),
             engine: self.engine.handle(),
         }
@@ -308,6 +319,7 @@ pub struct TenantHandle {
     user: String,
     numeric_id: i64,
     hops: Vec<TenantHop>,
+    mode: ShardingMode,
     controller: Arc<Mutex<Controller>>,
     engine: EngineHandle,
 }
@@ -330,19 +342,32 @@ impl TenantHandle {
         &self.hops
     }
 
+    /// How the engine partitions this tenant's traffic, derived from the
+    /// deployed program's state profile
+    /// ([`crate::sharding::sharding_mode_for`]): flow-sharded tenants spread
+    /// across every shard, `ByTenant` tenants pin to one.
+    pub fn sharding_mode(&self) -> &ShardingMode {
+        &self.mode
+    }
+
     /// Live telemetry snapshot for this tenant (cheap; exact after a flush).
+    /// Includes the congestion counters — `shed_packets`,
+    /// `backpressure_waits`, `queue_depth_hwm`, `per_shard_packets` — so
+    /// overload is observable per tenant.
     pub fn telemetry(&self) -> Option<TenantStats> {
         self.engine.telemetry().tenant(&self.user).cloned()
     }
 
-    /// Drain a workload into the engine on this tenant's behalf; see
-    /// [`EngineHandle::run_workload`].
+    /// Drain a workload into the engine on this tenant's behalf against the
+    /// bounded ingress queues; see [`EngineHandle::run_workload`].  The
+    /// report carries the admitted/shed split under the engine's
+    /// [`clickinc_runtime::OverloadPolicy`].
     pub fn run_workload(
         &self,
         workload: &mut dyn Workload,
         max_packets: usize,
         inject_batch: usize,
-    ) -> usize {
+    ) -> WorkloadReport {
         self.engine.run_workload(workload, max_packets, inject_batch)
     }
 
@@ -381,7 +406,7 @@ mod tests {
     fn service() -> ClickIncService {
         ClickIncService::with_config(
             Topology::emulation_topology_all_tofino(),
-            EngineConfig { shards: 2, batch_size: 32 },
+            EngineConfig { shards: 2, batch_size: 32, ..Default::default() },
         )
         .expect("valid config")
     }

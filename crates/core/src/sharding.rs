@@ -1,0 +1,388 @@
+//! State-profile analysis: choose a tenant's [`ShardingMode`] from its
+//! deployed IR.
+//!
+//! The runtime can spread a single tenant's flows across every engine shard
+//! ([`ShardingMode::ByFlow`]) — but only when that cannot tear the tenant's
+//! inter-packet state apart.  This module derives the answer from the
+//! program itself, conservatively:
+//!
+//! 1. Walk the deployment's snippets tracking, for every variable, which
+//!    packet header fields its value is derived from (constants, header
+//!    reads, ALU/compare/hash combinations, and reads of stateful objects at
+//!    already-derivable indices all stay derivable; anything else taints —
+//!    including reads of header fields the program itself rewrites, whose
+//!    runtime value no longer matches the inject-time flow hash).
+//! 2. Every access to a *stateful* object (data-plane inter-packet state,
+//!    [`clickinc_ir::ObjectKind::is_stateful`]) must index with derivable
+//!    operands; the intersection of those accesses' field sets is the
+//!    candidate flow key.  All packets that can ever share a state cell
+//!    agree on the key fields, so hashing flows by the key co-locates them
+//!    on one shard.
+//! 3. Mutations must be **commutatively mergeable**, because the engine
+//!    recombines the per-shard state partitions when it finishes and two
+//!    *different* flow keys may still collide on one cell (a hash-modulo
+//!    slot, a sketch bucket).  Counter increments (`count`) sum exactly and
+//!    Bloom sets OR exactly; register/table *overwrites* (`write` on an
+//!    Array/Seq/Table, any `del`) have no order-free merge, so they fall
+//!    back to [`ShardingMode::ByTenant`].
+//! 4. Anything else that breaks the argument — `randint` (per-tenant draw
+//!    streams), data-plane `clear` of a stateful object (a whole-object
+//!    effect), tainted or constant indices, or stateful accesses with no
+//!    common key field — also falls back to `ByTenant`, which is always
+//!    safe.
+//!
+//! A deployment with *no* stateful access at all is stateless and flow-shards
+//! by its full flow identity (source, destination, every header field).
+//!
+//! On the provider templates: the KVS cache program (read-only exact-match
+//! cache, hit counters, heavy-hitter CMS, Bloom marker — every access keyed
+//! by `hdr.key`, every mutation commutative) flow-shards on `key`; MLAgg
+//! pins to `ByTenant` because its aggregation registers are *overwritten*
+//! through a lossy hash-modulo slot — two rounds on different shards can
+//! collide on one slot, and no merge of the torn registers reproduces the
+//! shared store.
+
+use clickinc_ir::{Instruction, ObjectKind, OpCode, Operand, SketchKind};
+use clickinc_runtime::{ShardingMode, TenantHop};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a variable's value can depend on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Dep {
+    /// Derivable from the given packet header fields (possibly none — a
+    /// constant) and partition-local state.
+    Fields(BTreeSet<String>),
+    /// Not derivable from the inject-time packet alone (e.g. imported from
+    /// an upstream device's Param export, or read from a header field the
+    /// program rewrote).
+    Tainted,
+}
+
+impl Dep {
+    fn union(self, other: Dep) -> Dep {
+        match (self, other) {
+            (Dep::Fields(mut a), Dep::Fields(b)) => {
+                a.extend(b);
+                Dep::Fields(a)
+            }
+            _ => Dep::Tainted,
+        }
+    }
+}
+
+/// Per-deployment analysis state.
+struct Profile {
+    /// Variable → dependency set.  Variables never defined in the analyzed
+    /// snippets (Param imports from devices outside the hop list) read as
+    /// tainted.
+    vars: BTreeMap<String, Dep>,
+    /// Header fields rewritten by the program.  A rewritten field's runtime
+    /// value no longer matches what the inject-time flow hash saw, so
+    /// subsequent reads are tainted — a rewrite must never launder a
+    /// constant or foreign value into a flow key.
+    rewritten_headers: BTreeSet<String>,
+    /// Declared object shapes (isolation-renamed).
+    kinds: BTreeMap<String, ObjectKind>,
+    /// Per stateful access, the header fields its index derives from.
+    access_keys: Vec<BTreeSet<String>>,
+    /// Whether anything forced the safe fallback.
+    by_tenant: bool,
+}
+
+impl Profile {
+    fn operand_dep(&self, operand: &Operand) -> Dep {
+        match operand {
+            Operand::Const(_) => Dep::Fields(BTreeSet::new()),
+            Operand::Header(field) => {
+                if self.rewritten_headers.contains(field) {
+                    Dep::Tainted
+                } else {
+                    Dep::Fields(BTreeSet::from([field.clone()]))
+                }
+            }
+            // `meta.inc_user` is constant per tenant; `meta.step` advances
+            // identically for every packet at a given execution point.
+            Operand::Meta(field) if field == "inc_user" || field == "step" => {
+                Dep::Fields(BTreeSet::new())
+            }
+            Operand::Meta(_) => Dep::Tainted,
+            Operand::Var(name) => self.vars.get(name).cloned().unwrap_or(Dep::Tainted),
+        }
+    }
+
+    fn operands_dep(&self, operands: &[Operand]) -> Dep {
+        operands
+            .iter()
+            .fold(Dep::Fields(BTreeSet::new()), |acc, op| acc.union(self.operand_dep(op)))
+    }
+
+    /// Whether the named object holds inter-packet state.
+    fn is_stateful(&self, object: &str) -> bool {
+        self.kinds.get(object).is_some_and(|k| k.is_stateful())
+    }
+
+    /// Record a read/count access to `object` indexed by `index`.
+    /// Non-stateful objects (pure hashes, control-plane tables) constrain
+    /// nothing; stateful ones must have a derivable, non-constant index.
+    fn record_access(&mut self, object: &str, index: &[Operand]) -> Dep {
+        let dep = self.operands_dep(index);
+        if self.is_stateful(object) {
+            match &dep {
+                Dep::Fields(fields) if !fields.is_empty() => {
+                    self.access_keys.push(fields.clone());
+                }
+                // constant or tainted index: every packet may touch the same
+                // cell — only safe with all traffic on one shard
+                _ => self.by_tenant = true,
+            }
+        }
+        dep
+    }
+
+    fn assign(&mut self, dest: &str, dep: Dep) {
+        self.vars.insert(dest.to_string(), dep);
+    }
+}
+
+/// Derive the sharding mode for a deployment's hop list; see the
+/// [module docs](self) for the analysis.
+pub fn sharding_mode_for(hops: &[TenantHop]) -> ShardingMode {
+    let mut profile = Profile {
+        vars: BTreeMap::new(),
+        rewritten_headers: BTreeSet::new(),
+        kinds: BTreeMap::new(),
+        access_keys: Vec::new(),
+        by_tenant: false,
+    };
+    for hop in hops {
+        for snippet in &hop.snippets {
+            for object in &snippet.objects {
+                profile.kinds.entry(object.name.clone()).or_insert_with(|| object.kind.clone());
+            }
+        }
+    }
+    for hop in hops {
+        for snippet in &hop.snippets {
+            for instruction in &snippet.instructions {
+                analyze(&mut profile, instruction);
+                if profile.by_tenant {
+                    return ShardingMode::ByTenant;
+                }
+            }
+        }
+    }
+    if profile.access_keys.is_empty() {
+        // no inter-packet state at all: hash the full flow identity
+        return ShardingMode::ByFlow { key_fields: Vec::new() };
+    }
+    // the flow key must be implied by every stateful access's index: take
+    // the intersection, so packets sharing any state cell share the key
+    let mut keys = profile.access_keys.clone();
+    let mut common = keys.pop().expect("non-empty");
+    for set in keys {
+        common = common.intersection(&set).cloned().collect();
+    }
+    if common.is_empty() {
+        ShardingMode::ByTenant
+    } else {
+        ShardingMode::ByFlow { key_fields: common.into_iter().collect() }
+    }
+}
+
+fn analyze(profile: &mut Profile, instruction: &Instruction) {
+    match &instruction.op {
+        OpCode::Assign { dest, src } => {
+            let dep = profile.operand_dep(src);
+            profile.assign(dest, dep);
+        }
+        OpCode::Alu { dest, lhs, rhs, .. } | OpCode::Cmp { dest, lhs, rhs, .. } => {
+            let dep = profile.operand_dep(lhs).union(profile.operand_dep(rhs));
+            profile.assign(dest, dep);
+        }
+        OpCode::Hash { dest, keys, .. } => {
+            let dep = profile.operands_dep(keys);
+            profile.assign(dest, dep);
+        }
+        OpCode::Checksum { dest, inputs } => {
+            let dep = profile.operands_dep(inputs);
+            profile.assign(dest, dep);
+        }
+        OpCode::Crypto { dest, input, .. } => {
+            let dep = profile.operand_dep(input);
+            profile.assign(dest, dep);
+        }
+        OpCode::ReadState { dest, object, index } => {
+            let dep = profile.record_access(object, index);
+            profile.assign(dest, dep);
+        }
+        OpCode::CountState { dest, object, index, .. } => {
+            // a counter increment: commutative, sums exactly across flow
+            // partitions even when two flows collide on one cell
+            let dep = profile.record_access(object, index);
+            if let Some(dest) = dest {
+                profile.assign(dest, dep);
+            }
+        }
+        OpCode::WriteState { object, index, .. } => {
+            // overwrites are only mergeable when they are idempotent: a
+            // Bloom set ORs exactly.  Register/table overwrites have no
+            // order-free merge — two flows colliding on a hash-modulo slot
+            // from different shards would tear the cell — so they pin the
+            // tenant to one shard.
+            match profile.kinds.get(object) {
+                Some(ObjectKind::Sketch { kind: SketchKind::Bloom, .. }) => {
+                    profile.record_access(object, index);
+                }
+                Some(kind) if kind.is_stateful() => profile.by_tenant = true,
+                // control-plane-only tables are written by the data plane in
+                // no template, and replicated writes could shadow them:
+                // treat any data-plane write as disqualifying
+                Some(ObjectKind::Table { .. }) => profile.by_tenant = true,
+                _ => {}
+            }
+        }
+        OpCode::DeleteState { object, .. } => {
+            // deleting from a replicated/partitioned object resurrects or
+            // tears entries on merge
+            if profile.kinds.contains_key(object) {
+                profile.by_tenant = true;
+            }
+        }
+        OpCode::ClearState { object } => {
+            // a data-plane clear is a whole-object effect: replicas would
+            // clear only their own partition
+            if profile.is_stateful(object) {
+                profile.by_tenant = true;
+            }
+        }
+        OpCode::RandInt { .. } => {
+            // per-tenant draw streams are order-dependent across the whole
+            // tenant, not per flow
+            profile.by_tenant = true;
+        }
+        OpCode::SetHeader { field, .. } => {
+            profile.rewritten_headers.insert(field.clone());
+        }
+        OpCode::Back { updates } => {
+            // `back()` rewrites the live packet's header before bouncing it,
+            // and subsequent (guarded) instructions still execute — the same
+            // laundering hazard as SetHeader
+            for (field, _) in updates {
+                profile.rewritten_headers.insert(field.clone());
+            }
+        }
+        OpCode::Drop
+        | OpCode::Forward
+        | OpCode::Mirror { .. }
+        | OpCode::Multicast { .. }
+        | OpCode::CopyTo { .. }
+        | OpCode::NoOp => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clickinc_device::DeviceModel;
+    use clickinc_frontend::compile_source;
+    use clickinc_lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggParams};
+    use clickinc_synthesis::isolate_user_program;
+
+    fn hops_for(source: &str, user: &str) -> Vec<TenantHop> {
+        let ir = compile_source(user, source).expect("compiles");
+        vec![TenantHop {
+            device: "tor0".to_string(),
+            model: DeviceModel::tofino(),
+            snippets: vec![isolate_user_program(&ir, user, 1)],
+        }]
+    }
+
+    #[test]
+    fn kvs_flow_shards_on_the_request_key() {
+        let t = kvs_template("kvs0", KvsParams::default());
+        let mode = sharding_mode_for(&hops_for(&t.source, "kvs0"));
+        assert_eq!(mode, ShardingMode::ByFlow { key_fields: vec!["key".to_string()] });
+    }
+
+    #[test]
+    fn mlagg_register_overwrites_pin_it_to_one_shard() {
+        // the aggregation registers are overwritten through a lossy
+        // hash-modulo slot: two rounds colliding on a slot from different
+        // shards would tear the cell, so the profile must refuse ByFlow
+        let t = mlagg_template(
+            "agg0",
+            MlAggParams { dims: 4, num_workers: 2, num_aggregators: 64, is_float: false },
+        );
+        let mode = sharding_mode_for(&hops_for(&t.source, "agg0"));
+        assert_eq!(mode, ShardingMode::ByTenant);
+    }
+
+    #[test]
+    fn stateless_programs_flow_shard_on_the_full_flow_identity() {
+        let mode = sharding_mode_for(&hops_for("forward()\n", "fwd0"));
+        assert_eq!(mode, ShardingMode::ByFlow { key_fields: Vec::new() });
+    }
+
+    #[test]
+    fn snippetless_hops_are_stateless() {
+        let hops = vec![TenantHop {
+            device: "tor0".into(),
+            model: DeviceModel::tofino(),
+            snippets: vec![],
+        }];
+        assert_eq!(sharding_mode_for(&hops), ShardingMode::ByFlow { key_fields: Vec::new() });
+    }
+
+    #[test]
+    fn global_counters_pin_a_tenant_to_one_shard() {
+        // a constant-indexed counter is shared by every packet of the tenant
+        let source = "ctr = Array(row=1, size=4, w=32)\ncount(ctr, 0, 1)\nforward()\n";
+        assert_eq!(sharding_mode_for(&hops_for(source, "ctr0")), ShardingMode::ByTenant);
+    }
+
+    #[test]
+    fn header_rewrites_cannot_launder_a_constant_into_a_flow_key() {
+        // rewriting hdr.key to a constant makes every packet hit ctr[0]; the
+        // rewrite must not let the access masquerade as keyed by hdr.key
+        let source = "ctr = Array(row=1, size=64, w=32)\n\
+                      hdr.key = 0\n\
+                      count(ctr, hdr.key, 1)\n\
+                      forward()\n";
+        assert_eq!(sharding_mode_for(&hops_for(source, "rw0")), ShardingMode::ByTenant);
+    }
+
+    #[test]
+    fn back_rewrites_cannot_launder_a_constant_into_a_flow_key() {
+        // back() rewrites the live packet before bouncing it; a later
+        // (guarded) stateful access keyed by the rewritten field must not
+        // classify as flow-keyed
+        let source = "ctr = Array(row=1, size=64, w=32)\n\
+                      if hdr.op == 1:\n\
+                      \x20   back(hdr={key: 0})\n\
+                      else:\n\
+                      \x20   count(ctr, hdr.key, 1)\n\
+                      forward()\n";
+        assert_eq!(sharding_mode_for(&hops_for(source, "bk0")), ShardingMode::ByTenant);
+    }
+
+    #[test]
+    fn register_overwrites_pin_a_tenant_to_one_shard() {
+        // a keyed *overwrite* is not commutatively mergeable across shards
+        let source = "reg = Array(row=1, size=64, w=32)\n\
+                      write(reg, 0, hdr.key, hdr.seq)\n\
+                      forward()\n";
+        assert_eq!(sharding_mode_for(&hops_for(source, "wr0")), ShardingMode::ByTenant);
+    }
+
+    #[test]
+    fn disjoint_state_keys_pin_a_tenant_to_one_shard() {
+        // two stateful objects keyed by different fields: no single flow key
+        // co-locates both objects' sharers
+        let source = "a = Array(row=1, size=64, w=32)\n\
+                      b = Array(row=1, size=64, w=32)\n\
+                      count(a, hdr.key, 1)\n\
+                      count(b, hdr.seq, 1)\n\
+                      forward()\n";
+        assert_eq!(sharding_mode_for(&hops_for(source, "dj0")), ShardingMode::ByTenant);
+    }
+}

@@ -241,6 +241,49 @@ impl ObjectStore {
         }
     }
 
+    /// Merge another *shard's* store into this one, distinguishing
+    /// tenant-partitioned from flow-partitioned objects.
+    ///
+    /// Objects for which `flow_partitioned` returns `false` behave like
+    /// [`merge_from`](ObjectStore::merge_from): tenant isolation makes them
+    /// disjoint across shards, so first-copy-wins reconstructs the shared
+    /// store.  Objects reported as flow-partitioned exist on *every* shard
+    /// (the runtime replicates a flow-sharded tenant's program) and hold a
+    /// flow partition of the same logical state, so they are recombined
+    /// structurally:
+    ///
+    /// * `Array`/`Seq` cells and Count-Min rows **sum** — each packet
+    ///   incremented exactly one partition, so the sums equal the counters a
+    ///   single shared store would hold;
+    /// * Bloom rows **OR** (saturate at 1);
+    /// * `Table` entries **union**, keeping this store's value on a key
+    ///   collision.
+    ///
+    /// These rules are exact precisely when every flow-partitioned mutation
+    /// is commutative (counter adds, idempotent Bloom sets) or replicated
+    /// identically by the control plane — the contract the runtime's
+    /// state-profile analysis enforces before flow-sharding a tenant.
+    /// Register/table *overwrites* have no order-free merge and must not be
+    /// flow-partitioned.
+    pub fn merge_shard_from(
+        &mut self,
+        other: &ObjectStore,
+        flow_partitioned: impl Fn(&str) -> bool,
+    ) {
+        for (name, state) in &other.objects {
+            if !flow_partitioned(name) {
+                self.objects.entry(name.clone()).or_insert_with(|| state.clone());
+                continue;
+            }
+            match self.objects.get_mut(name) {
+                None => {
+                    self.objects.insert(name.clone(), state.clone());
+                }
+                Some(mine) => merge_flow_partition(mine, state),
+            }
+        }
+    }
+
     /// A deterministic digest of the full store contents (object names,
     /// shapes, and every live cell/entry/counter).  Two stores with equal
     /// contents produce equal fingerprints in any process — used by the
@@ -316,6 +359,44 @@ impl ObjectStore {
                 _ => {}
             }
         }
+    }
+}
+
+/// Recombine one flow partition of an object into the accumulated state;
+/// see [`ObjectStore::merge_shard_from`] for the per-kind rules.  Shape
+/// mismatches (which cannot arise from replicas of one declaration) keep the
+/// accumulated state untouched.
+fn merge_flow_partition(mine: &mut ObjectState, other: &ObjectState) {
+    match (mine, other) {
+        (ObjectState::Array { cells: a, .. }, ObjectState::Array { cells: b, .. }) => {
+            for (key, value) in b {
+                *a.entry(*key).or_insert(0) += value;
+            }
+        }
+        (ObjectState::Seq { cells: a, .. }, ObjectState::Seq { cells: b, .. }) => {
+            for (key, value) in b {
+                *a.entry(*key).or_insert(0) += value;
+            }
+        }
+        (
+            ObjectState::Sketch { kind, counters: a, .. },
+            ObjectState::Sketch { counters: b, .. },
+        ) => {
+            for (row_a, row_b) in a.iter_mut().zip(b) {
+                for (cell_a, cell_b) in row_a.iter_mut().zip(row_b) {
+                    match kind {
+                        SketchKind::CountMin => *cell_a += cell_b,
+                        SketchKind::Bloom => *cell_a = (*cell_a).max(*cell_b),
+                    }
+                }
+            }
+        }
+        (ObjectState::Table { entries: a }, ObjectState::Table { entries: b }) => {
+            for (key, value) in b {
+                a.entry(*key).or_insert_with(|| value.clone());
+            }
+        }
+        _ => {}
     }
 }
 
@@ -426,6 +507,62 @@ mod tests {
         let before = merged.fingerprint();
         merged.array_write("t1_a", 0, 3, 8);
         assert_ne!(merged.fingerprint(), before);
+    }
+
+    #[test]
+    fn shard_merge_recombines_flow_partitions_and_keeps_tenant_partitions() {
+        let array = ObjectKind::Array { rows: 1, size: 16, width: 32 };
+        let cms = ObjectKind::Sketch { kind: SketchKind::CountMin, rows: 2, cols: 8, width: 32 };
+        let bloom = ObjectKind::Sketch { kind: SketchKind::Bloom, rows: 1, cols: 8, width: 1 };
+        let table = ObjectKind::Table {
+            match_kind: clickinc_ir::MatchKind::Exact,
+            key_width: 32,
+            value_width: 32,
+            depth: 8,
+            stateful: false,
+        };
+        // two shard partitions of the same flow-sharded tenant's objects,
+        // plus a tenant-partitioned object present on one shard only
+        let mut shard0 = ObjectStore::new();
+        let mut shard1 = ObjectStore::new();
+        for s in [&mut shard0, &mut shard1] {
+            s.declare(&ObjectDecl::new("flow_hits", array.clone()));
+            s.declare(&ObjectDecl::new("flow_cms", cms.clone()));
+            s.declare(&ObjectDecl::new("flow_bf", bloom.clone()));
+            s.declare(&ObjectDecl::new("flow_cache", table.clone()));
+            // the control-plane replicated the same cache entry everywhere
+            s.table_write("flow_cache", &[Value::Int(1)], vec![Value::Int(10)]);
+        }
+        shard0.declare(&ObjectDecl::new("solo_a", array.clone()));
+        shard0.array_write("solo_a", 0, 0, 9);
+        // disjoint flow partitions, plus one colliding counter cell
+        shard0.array_add("flow_hits", 0, 1, 2);
+        shard1.array_add("flow_hits", 0, 1, 3);
+        shard1.array_add("flow_hits", 0, 5, 7);
+        shard0.sketch_count("flow_cms", &Value::Int(1), 4);
+        shard1.sketch_count("flow_cms", &Value::Int(1), 6);
+        shard0.sketch_count("flow_bf", &Value::Int(2), 1);
+        shard1.sketch_count("flow_bf", &Value::Int(2), 1);
+
+        // the single shared store every packet would have hit unsharded
+        let mut shared = ObjectStore::new();
+        shared.declare(&ObjectDecl::new("flow_hits", array.clone()));
+        shared.declare(&ObjectDecl::new("flow_cms", cms));
+        shared.declare(&ObjectDecl::new("flow_bf", bloom));
+        shared.declare(&ObjectDecl::new("flow_cache", table));
+        shared.table_write("flow_cache", &[Value::Int(1)], vec![Value::Int(10)]);
+        shared.declare(&ObjectDecl::new("solo_a", array));
+        shared.array_write("solo_a", 0, 0, 9);
+        shared.array_add("flow_hits", 0, 1, 5);
+        shared.array_add("flow_hits", 0, 5, 7);
+        shared.sketch_count("flow_cms", &Value::Int(1), 10);
+        shared.sketch_count("flow_bf", &Value::Int(2), 1);
+
+        let mut merged = ObjectStore::new();
+        let is_flow = |name: &str| name.starts_with("flow_");
+        merged.merge_shard_from(&shard0, is_flow);
+        merged.merge_shard_from(&shard1, is_flow);
+        assert_eq!(merged.fingerprint(), shared.fingerprint());
     }
 
     #[test]

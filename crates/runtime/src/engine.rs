@@ -1,23 +1,38 @@
-//! The traffic engine: shard threads, tenant routing, and the control plane.
+//! The traffic engine: shard threads, tenant/flow routing, bounded ingress
+//! queues, and the control plane.
 //!
 //! [`TrafficEngine`] spawns one worker thread per shard and partitions
-//! tenants across them by a stable FNV hash of the tenant id.  All
-//! interaction goes through a clonable [`EngineHandle`] — inject traffic,
-//! add/remove tenants while other tenants' traffic keeps flowing, write
-//! control-plane table entries, flush, snapshot telemetry.  [`TrafficEngine::finish`]
-//! drains every shard, merges the per-shard object stores back into the
-//! network-wide view, and returns the final telemetry report.
+//! traffic across them — by a stable FNV hash of the tenant id
+//! ([`ShardingMode::ByTenant`]) or of the per-packet flow key
+//! ([`ShardingMode::ByFlow`], which installs the tenant on *every* shard so
+//! one hot tenant can use every core).  All interaction goes through a
+//! clonable [`EngineHandle`] — inject traffic, add/remove tenants while
+//! other tenants' traffic keeps flowing, write control-plane table entries,
+//! flush, snapshot telemetry.
+//!
+//! Ingress is *bounded*: each shard admits at most
+//! [`EngineConfig::queue_capacity`] in-flight packets, and the configured
+//! [`OverloadPolicy`] decides what happens beyond that — shed the excess at
+//! the tail ([`OverloadPolicy::DropTail`]) or stall the injector until the
+//! shard drains, up to a credit budget
+//! ([`OverloadPolicy::Backpressure`]).  [`EngineHandle::inject`] reports
+//! admitted/shed counts so open-loop drivers observe overload instead of
+//! growing an invisible queue.  [`TrafficEngine::finish`] drains every
+//! shard, merges the per-shard object stores back into the network-wide view
+//! (additively for flow-partitioned state), and returns the final telemetry
+//! report.
 
 use crate::shard::{ShardFinal, ShardMsg, ShardWorker};
 use crate::telemetry::{TelemetryRegistry, TelemetryReport, TenantCounters};
-use crate::tenant::TenantHop;
+use crate::tenant::{ShardingMode, TenantHop};
 use crate::workload::Workload;
 use clickinc_emulator::{Fnv, ObjectStore, Packet};
 use clickinc_ir::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Runtime-side failures: today these are all configuration errors caught
@@ -48,31 +63,74 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// What a shard does when an injection would push its in-flight depth past
+/// [`EngineConfig::queue_capacity`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Shed the excess packets at the tail immediately; the sheds are
+    /// counted per tenant and reported back from [`EngineHandle::inject`].
+    #[default]
+    DropTail,
+    /// Stall the injector until the shard drains, spending one credit per
+    /// wait cycle; when the `credits` budget of one inject call is
+    /// exhausted, the remainder is shed.  This is how `run_workload`
+    /// throttles open-loop generators against a saturated shard.
+    Backpressure {
+        /// Wait cycles one inject call may spend per shard (≥ 1).
+        credits: usize,
+    },
+}
+
 /// Engine sizing knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Number of shard worker threads (≥ 1).
     pub shards: usize,
     /// Packets processed per device-queue batch (≥ 1).
     pub batch_size: usize,
+    /// Per-shard bound on in-flight packets (≥ 1).  Injections beyond it are
+    /// governed by `overload`.
+    pub queue_capacity: usize,
+    /// What happens when a shard's ingress queue is full.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { shards: 4, batch_size: 256 }
+        EngineConfig {
+            shards: 4,
+            batch_size: 256,
+            queue_capacity: 65_536,
+            overload: OverloadPolicy::DropTail,
+        }
     }
 }
 
 impl EngineConfig {
-    /// Check the sizing knobs: `shards` and `batch_size` must both be at
-    /// least 1, otherwise the worker-spawn and queue-drain paths would be
-    /// handed degenerate values.
+    /// Check the sizing knobs: `shards`, `batch_size`, `queue_capacity` and
+    /// the backpressure credit budget must all be at least 1, otherwise the
+    /// worker-spawn, queue-drain and admission paths would be handed
+    /// degenerate values.
     pub fn validate(&self) -> Result<(), EngineError> {
         if self.shards == 0 {
             return Err(EngineError::InvalidConfig { field: "shards", value: 0, minimum: 1 });
         }
         if self.batch_size == 0 {
             return Err(EngineError::InvalidConfig { field: "batch_size", value: 0, minimum: 1 });
+        }
+        if self.queue_capacity == 0 {
+            return Err(EngineError::InvalidConfig {
+                field: "queue_capacity",
+                value: 0,
+                minimum: 1,
+            });
+        }
+        if let OverloadPolicy::Backpressure { credits: 0 } = self.overload {
+            return Err(EngineError::InvalidConfig {
+                field: "overload.credits",
+                value: 0,
+                minimum: 1,
+            });
         }
         Ok(())
     }
@@ -86,50 +144,340 @@ fn shard_of(tenant: &str, shards: usize) -> usize {
     (h.finish() % shards.max(1) as u64) as usize
 }
 
+/// Mix a [`Value`] into a digest with a per-variant tag so distinct variants
+/// never collide.
+fn write_value(h: &mut Fnv, value: &Value) {
+    match value {
+        Value::Int(i) => {
+            h.write_u64(1);
+            h.write_u64(*i as u64);
+        }
+        Value::Float(f) => {
+            h.write_u64(2);
+            h.write_u64(f.to_bits());
+        }
+        Value::Bool(b) => {
+            h.write_u64(3);
+            h.write_u64(u64::from(*b));
+        }
+        Value::Bytes(bytes) => {
+            h.write_u64(4);
+            h.write_u64(bytes.len() as u64);
+            for b in bytes {
+                h.write_u64(u64::from(*b));
+            }
+        }
+        Value::None => h.write_u64(5),
+    }
+}
+
+/// Stable per-packet flow → shard hash for [`ShardingMode::ByFlow`] tenants:
+/// the named key fields' values (or the full flow identity when no fields
+/// are named), salted with the tenant id so two tenants' identical flows
+/// don't correlate.
+fn flow_shard_of(tenant: &str, packet: &Packet, key_fields: &[String], shards: usize) -> usize {
+    let mut h = Fnv::new();
+    h.write_str(tenant);
+    if key_fields.is_empty() {
+        h.write_str(&packet.src);
+        h.write_str(&packet.dst);
+        for (name, value) in &packet.inc.fields {
+            h.write_str(name);
+            write_value(&mut h, value);
+        }
+    } else {
+        for field in key_fields {
+            write_value(&mut h, &packet.inc.get(field));
+        }
+    }
+    (h.finish() % shards.max(1) as u64) as usize
+}
+
+/// Admission outcome of one [`EngineHandle::inject`] call (or one workload
+/// drive): how many packets the bounded ingress queues accepted and how many
+/// were shed under overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InjectOutcome {
+    /// Packets admitted into shard queues.
+    pub admitted: usize,
+    /// Packets refused (drop-tail overflow or backpressure credit
+    /// exhaustion), counted per tenant in the telemetry as `shed_packets`.
+    pub shed: usize,
+}
+
+impl InjectOutcome {
+    fn absorb(&mut self, other: InjectOutcome) {
+        self.admitted += other.admitted;
+        self.shed += other.shed;
+    }
+}
+
+/// What [`EngineHandle::run_workload`] hands back: generator progress plus
+/// the aggregate admission outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkloadReport {
+    /// Packets pulled from the generator.
+    pub generated: usize,
+    /// Packets the shards admitted.
+    pub admitted: usize,
+    /// Packets shed under overload.
+    pub shed: usize,
+}
+
+/// How a registered tenant's packets are routed: its sharding mode plus the
+/// per-shard counter blocks (one for `ByTenant`, one per shard for
+/// `ByFlow`).
+#[derive(Clone)]
+struct TenantRoute {
+    mode: ShardingMode,
+    /// Home shard for `ByTenant`; unused for `ByFlow`.
+    home: usize,
+    /// Counter blocks indexed like the shards they live on: `ByTenant` has a
+    /// single block (the home shard's), `ByFlow` one per shard.
+    counters: Vec<Arc<TenantCounters>>,
+}
+
+impl TenantRoute {
+    fn counters_for(&self, shard: usize) -> Option<&Arc<TenantCounters>> {
+        match self.mode {
+            ShardingMode::ByTenant => self.counters.first(),
+            ShardingMode::ByFlow { .. } => self.counters.get(shard),
+        }
+    }
+}
+
+/// State shared by every [`EngineHandle`] clone.
+struct EngineShared {
+    senders: Vec<Sender<ShardMsg>>,
+    registry: Arc<TelemetryRegistry>,
+    /// Per-shard in-flight packet gauges (incremented at admission,
+    /// decremented by the worker at terminal outcomes).
+    depths: Vec<Arc<AtomicU64>>,
+    queue_capacity: usize,
+    overload: OverloadPolicy,
+    /// Tenant → routing decision.  Locked per inject *batch*, never per
+    /// packet.
+    routes: Mutex<BTreeMap<String, TenantRoute>>,
+    /// Names of stateful objects belonging to *live* flow-sharded tenants:
+    /// their per-shard partitions are merged additively at
+    /// [`TrafficEngine::finish`] instead of first-copy-wins.  Keyed by
+    /// tenant so removal prunes exactly that tenant's (isolation-renamed,
+    /// hence unique) names.
+    flow_objects: Mutex<BTreeMap<String, Vec<String>>>,
+}
+
 /// Clonable, `Send` front door to a running engine.  Everything the control
 /// plane and the workload drivers need — including the controller bridge —
 /// goes through this handle.
 #[derive(Clone)]
 pub struct EngineHandle {
-    senders: Arc<Vec<Sender<ShardMsg>>>,
-    registry: Arc<TelemetryRegistry>,
+    shared: Arc<EngineShared>,
 }
 
 impl EngineHandle {
-    /// Register a tenant: its traffic route and per-device snippets are
-    /// installed on the owning shard's plane replicas.  Traffic injected
-    /// after this call (the channel is FIFO) sees the program.
+    /// Register a tenant with the default [`ShardingMode::ByTenant`]: its
+    /// traffic route and per-device snippets are installed on the owning
+    /// shard's plane replicas.  Traffic injected after this call (the
+    /// channel is FIFO) sees the program.
     pub fn add_tenant(&self, user: &str, hops: Vec<TenantHop>) {
-        let counters = Arc::new(TenantCounters::new(hops.len()));
-        self.registry.register(user, Arc::clone(&counters));
-        let shard = shard_of(user, self.senders.len());
-        let _ = self.senders[shard].send(ShardMsg::AddTenant {
-            user: user.to_string(),
-            hops,
-            counters,
-        });
+        self.add_tenant_sharded(user, hops, ShardingMode::ByTenant);
     }
 
-    /// Remove a tenant.  The owning shard quiesces the tenant's queued
+    /// Register a tenant with an explicit [`ShardingMode`].  `ByTenant`
+    /// installs on the single owning shard; `ByFlow` installs the program on
+    /// *every* shard (each with its own telemetry counter block) and later
+    /// spreads the tenant's packets by the stable flow hash.
+    ///
+    /// Passing `ByFlow` asserts the program's inter-packet state is safe to
+    /// partition by the key fields: every stateful access keyed by them and
+    /// every mutation commutatively mergeable (counter adds, idempotent
+    /// Bloom sets) or control-plane replicated.  The `clickinc` service
+    /// derives the mode from a conservative state-profile analysis instead
+    /// of trusting the caller.
+    pub fn add_tenant_sharded(&self, user: &str, hops: Vec<TenantHop>, mode: ShardingMode) {
+        let shards = self.shared.senders.len();
+        let route = match &mode {
+            ShardingMode::ByTenant => {
+                let counters = Arc::new(TenantCounters::new(hops.len()));
+                self.shared.registry.register(user, Arc::clone(&counters));
+                let home = shard_of(user, shards);
+                let _ = self.shared.senders[home].send(ShardMsg::AddTenant {
+                    user: user.to_string(),
+                    hops,
+                    counters: Arc::clone(&counters),
+                });
+                TenantRoute { mode, home, counters: vec![counters] }
+            }
+            ShardingMode::ByFlow { .. } => {
+                {
+                    let names: Vec<String> = hops
+                        .iter()
+                        .flat_map(|hop| hop.snippets.iter())
+                        .flat_map(|snippet| snippet.objects.iter())
+                        .map(|object| object.name.clone())
+                        .collect();
+                    let mut flow_objects = self.shared.flow_objects.lock().expect("flow objects");
+                    flow_objects.insert(user.to_string(), names);
+                }
+                let mut counters = Vec::with_capacity(shards);
+                for sender in &self.shared.senders {
+                    let block = Arc::new(TenantCounters::new(hops.len()));
+                    self.shared.registry.register(user, Arc::clone(&block));
+                    let _ = sender.send(ShardMsg::AddTenant {
+                        user: user.to_string(),
+                        hops: hops.clone(),
+                        counters: Arc::clone(&block),
+                    });
+                    counters.push(block);
+                }
+                TenantRoute { mode, home: 0, counters }
+            }
+        };
+        self.shared.routes.lock().expect("routes").insert(user.to_string(), route);
+    }
+
+    /// Remove a tenant.  Every shard hosting it quiesces the tenant's queued
     /// traffic first (FIFO channel), then drops only its snippets and
     /// exclusively-owned tables; co-resident tenants keep flowing untouched.
+    /// A flow-sharded tenant is quiesced on every shard.
     pub fn remove_tenant(&self, user: &str) {
-        let shard = shard_of(user, self.senders.len());
-        let _ = self.senders[shard].send(ShardMsg::RemoveTenant { user: user.to_string() });
+        let route = self.shared.routes.lock().expect("routes").remove(user);
+        match route.map(|r| r.mode) {
+            Some(ShardingMode::ByFlow { .. }) => {
+                // the tenant's planes (and objects) are uninstalled on every
+                // shard, so its names must stop counting as flow-partitioned
+                self.shared.flow_objects.lock().expect("flow objects").remove(user);
+                for sender in self.shared.senders.iter() {
+                    let _ = sender.send(ShardMsg::RemoveTenant { user: user.to_string() });
+                }
+            }
+            _ => {
+                let shard = shard_of(user, self.shared.senders.len());
+                let _ = self.shared.senders[shard]
+                    .send(ShardMsg::RemoveTenant { user: user.to_string() });
+            }
+        }
     }
 
     /// Inject a batch of `(virtual arrival ns, packet)` pairs for a tenant,
-    /// in stream order.
-    pub fn inject(&self, tenant: &Arc<str>, jobs: Vec<(u64, Packet)>) {
+    /// in stream order, against the bounded ingress queues.  Returns how
+    /// many packets were admitted and how many were shed under the
+    /// configured [`OverloadPolicy`]; per-flow order is preserved for
+    /// flow-sharded tenants (the partition is a stable hash, and each
+    /// shard's channel is FIFO).
+    pub fn inject(&self, tenant: &Arc<str>, jobs: Vec<(u64, Packet)>) -> InjectOutcome {
         if jobs.is_empty() {
-            return;
+            return InjectOutcome::default();
         }
-        let shard = shard_of(tenant, self.senders.len());
-        let _ = self.senders[shard].send(ShardMsg::Inject { user: Arc::clone(tenant), jobs });
+        let route = self.shared.routes.lock().expect("routes").get(tenant.as_ref()).cloned();
+        let mut outcome = InjectOutcome::default();
+        match route {
+            Some(route @ TenantRoute { mode: ShardingMode::ByTenant, .. }) => {
+                outcome.absorb(self.admit(
+                    route.home,
+                    tenant,
+                    jobs,
+                    route.counters_for(route.home),
+                ));
+            }
+            Some(route) => {
+                let key_fields = match &route.mode {
+                    ShardingMode::ByFlow { key_fields } => key_fields.clone(),
+                    ShardingMode::ByTenant => unreachable!("matched above"),
+                };
+                let shards = self.shared.senders.len();
+                let mut partitions: Vec<Vec<(u64, Packet)>> = vec![Vec::new(); shards];
+                for (vtime, packet) in jobs {
+                    let shard = flow_shard_of(tenant, &packet, &key_fields, shards);
+                    partitions[shard].push((vtime, packet));
+                }
+                for (shard, part) in partitions.into_iter().enumerate() {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    outcome.absorb(self.admit(shard, tenant, part, route.counters_for(shard)));
+                }
+            }
+            None => {
+                // unknown tenant (never added, or already removed): keep the
+                // legacy behaviour — route by tenant hash, let the shard drop
+                // silently.  Still admitted against the queue bound so a
+                // misdirected firehose cannot grow the channel unboundedly.
+                let shard = shard_of(tenant, self.shared.senders.len());
+                outcome.absorb(self.admit(shard, tenant, jobs, None));
+            }
+        }
+        outcome
     }
 
-    /// Control-plane table write on the shard replica that owns `tenant`
-    /// (e.g. pre-populating the tenant's renamed KVS cache table).
+    /// Admit as much of `jobs` as the shard's bounded queue allows, applying
+    /// the overload policy to the remainder.  Order-preserving.
+    fn admit(
+        &self,
+        shard: usize,
+        tenant: &Arc<str>,
+        mut jobs: Vec<(u64, Packet)>,
+        counters: Option<&Arc<TenantCounters>>,
+    ) -> InjectOutcome {
+        let depth = &self.shared.depths[shard];
+        let capacity = self.shared.queue_capacity;
+        let mut outcome = InjectOutcome::default();
+        let mut credits = match self.shared.overload {
+            OverloadPolicy::DropTail => 0usize,
+            OverloadPolicy::Backpressure { credits } => credits,
+        };
+        loop {
+            // reserve room below the bound atomically: concurrent handle
+            // clones race on the same gauge, and a load-then-add would let
+            // two injectors admit past `queue_capacity` together
+            let want = jobs.len();
+            let mut take = 0usize;
+            let reserved = depth.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
+                take = want.min(capacity.saturating_sub(current as usize));
+                if take == 0 {
+                    None
+                } else {
+                    Some(current + take as u64)
+                }
+            });
+            if let Ok(current) = reserved {
+                let admitted: Vec<(u64, Packet)> = jobs.drain(..take).collect();
+                if let Some(counters) = counters {
+                    counters.queue_depth_hwm.fetch_max(current + take as u64, Ordering::Relaxed);
+                }
+                let _ = self.shared.senders[shard]
+                    .send(ShardMsg::Inject { user: Arc::clone(tenant), jobs: admitted });
+                outcome.admitted += take;
+            }
+            if jobs.is_empty() {
+                break;
+            }
+            if credits == 0 {
+                // drop-tail, or a backpressured injector out of credits:
+                // shed the rest and surface it
+                if let Some(counters) = counters {
+                    counters.shed.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                }
+                outcome.shed += jobs.len();
+                break;
+            }
+            // backpressure: spend a credit waiting for the shard to drain
+            // (the flush barrier returns once everything queued ahead of it —
+            // including our own admissions — reached a terminal outcome)
+            credits -= 1;
+            if let Some(counters) = counters {
+                counters.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+            }
+            let (tx, rx) = channel();
+            let _ = self.shared.senders[shard].send(ShardMsg::Flush(tx));
+            let _ = rx.recv();
+        }
+        outcome
+    }
+
+    /// Control-plane table write on the shard replica(s) that own `tenant` —
+    /// the single home shard for a `ByTenant` tenant, every shard for a
+    /// flow-sharded tenant (whose planes are replicas).
     pub fn populate_table(
         &self,
         tenant: &str,
@@ -138,47 +486,66 @@ impl EngineHandle {
         key: Vec<Value>,
         value: Vec<Value>,
     ) {
-        let shard = shard_of(tenant, self.senders.len());
-        let _ = self.senders[shard].send(ShardMsg::TableWrite {
-            device: device.to_string(),
-            table: table.to_string(),
-            key,
-            value,
-        });
+        let by_flow = {
+            let routes = self.shared.routes.lock().expect("routes");
+            routes.get(tenant).map(|r| r.mode.is_by_flow()).unwrap_or(false)
+        };
+        let targets: Vec<usize> = if by_flow {
+            (0..self.shared.senders.len()).collect()
+        } else {
+            vec![shard_of(tenant, self.shared.senders.len())]
+        };
+        for shard in targets {
+            let _ = self.shared.senders[shard].send(ShardMsg::TableWrite {
+                device: device.to_string(),
+                table: table.to_string(),
+                key: key.clone(),
+                value: value.clone(),
+            });
+        }
     }
 
     /// Drain a workload into the engine: packets are pulled from the
     /// generator, grouped per tenant into `inject_batch`-sized batches, and
-    /// sent to the owning shards in stream order.  Stops after `max_packets`
-    /// (or when the workload is exhausted) and returns how many were sent.
+    /// sent to the owning shards in stream order against the bounded ingress
+    /// queues.  Under [`OverloadPolicy::Backpressure`] the injection itself
+    /// stalls the (open-loop) generator whenever a shard saturates, spending
+    /// credits; under [`OverloadPolicy::DropTail`] the excess is shed.
+    /// Stops after `max_packets` (or when the workload is exhausted) and
+    /// returns the generated/admitted/shed totals.
     pub fn run_workload(
         &self,
         workload: &mut dyn Workload,
         max_packets: usize,
         inject_batch: usize,
-    ) -> usize {
+    ) -> WorkloadReport {
         let inject_batch = inject_batch.max(1);
         let mut buffers: BTreeMap<Arc<str>, Vec<(u64, Packet)>> = BTreeMap::new();
-        let mut sent = 0usize;
-        while sent < max_packets {
+        let mut report = WorkloadReport::default();
+        while report.generated < max_packets {
             let Some(generated) = workload.next_packet() else { break };
-            sent += 1;
+            report.generated += 1;
             let buffer = buffers.entry(Arc::clone(&generated.tenant)).or_default();
             buffer.push((generated.vtime_ns, generated.packet));
             if buffer.len() >= inject_batch {
                 let jobs = std::mem::take(buffer);
-                self.inject(&generated.tenant, jobs);
+                let outcome = self.inject(&generated.tenant, jobs);
+                report.admitted += outcome.admitted;
+                report.shed += outcome.shed;
             }
         }
         for (tenant, jobs) in buffers {
-            self.inject(&tenant, jobs);
+            let outcome = self.inject(&tenant, jobs);
+            report.admitted += outcome.admitted;
+            report.shed += outcome.shed;
         }
-        sent
+        report
     }
 
     /// Barrier: returns once every shard has drained its queues.
     pub fn flush(&self) {
         let acks: Vec<_> = self
+            .shared
             .senders
             .iter()
             .map(|s| {
@@ -195,7 +562,7 @@ impl EngineHandle {
     /// Merge the per-shard counters into a per-tenant telemetry report.
     /// Cheap and safe to call while traffic flows; exact after a flush.
     pub fn telemetry(&self) -> TelemetryReport {
-        self.registry.snapshot()
+        self.shared.registry.snapshot()
     }
 }
 
@@ -205,8 +572,11 @@ pub struct RunOutcome {
     /// Final merged telemetry.
     pub telemetry: TelemetryReport,
     /// Final object stores per device, merged across shards.  Tenant
-    /// isolation makes the per-shard stores disjoint, so this union equals
-    /// the store an unsharded run would produce.
+    /// isolation makes per-shard stores disjoint for `ByTenant` tenants, so
+    /// their union equals the store an unsharded run would produce;
+    /// flow-sharded tenants' state partitions are merged additively
+    /// (counters sum, Bloom rows OR, table entries union), which
+    /// reconstructs the unsharded store exactly for flow-keyed state.
     pub stores: BTreeMap<String, ObjectStore>,
 }
 
@@ -224,23 +594,40 @@ impl TrafficEngine {
         Ok(TrafficEngine::new(config))
     }
 
-    /// Spawn `config.shards` worker threads.  `shards` and `batch_size` are
-    /// clamped to their documented minimum of 1; use
-    /// [`TrafficEngine::try_new`] to reject such configs instead.
+    /// Spawn `config.shards` worker threads.  `shards`, `batch_size`,
+    /// `queue_capacity` and the backpressure credits are clamped to their
+    /// documented minimum of 1; use [`TrafficEngine::try_new`] to reject
+    /// such configs instead.
     pub fn new(config: EngineConfig) -> TrafficEngine {
         let shards = config.shards.max(1);
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
+        let mut depths = Vec::with_capacity(shards);
         for _ in 0..shards {
             let (tx, rx) = channel::<ShardMsg>();
             let batch = config.batch_size;
+            let depth = Arc::new(AtomicU64::new(0));
             senders.push(tx);
-            workers.push(std::thread::spawn(move || ShardWorker::run(rx, batch)));
+            depths.push(Arc::clone(&depth));
+            workers.push(std::thread::spawn(move || ShardWorker::run(rx, batch, depth)));
         }
+        let overload = match config.overload {
+            OverloadPolicy::Backpressure { credits } => {
+                OverloadPolicy::Backpressure { credits: credits.max(1) }
+            }
+            policy => policy,
+        };
         TrafficEngine {
             handle: EngineHandle {
-                senders: Arc::new(senders),
-                registry: Arc::new(TelemetryRegistry::default()),
+                shared: Arc::new(EngineShared {
+                    senders,
+                    registry: Arc::new(TelemetryRegistry::default()),
+                    depths,
+                    queue_capacity: config.queue_capacity.max(1),
+                    overload,
+                    routes: Mutex::new(BTreeMap::new()),
+                    flow_objects: Mutex::new(BTreeMap::new()),
+                }),
             },
             workers,
         }
@@ -253,13 +640,14 @@ impl TrafficEngine {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.handle.senders.len()
+        self.handle.shared.senders.len()
     }
 
     /// Stop every shard, merge their final stores, and return the outcome.
     pub fn finish(self) -> RunOutcome {
         let finals: Vec<ShardFinal> = self
             .handle
+            .shared
             .senders
             .iter()
             .map(|s| {
@@ -274,12 +662,87 @@ impl TrafficEngine {
         for worker in self.workers {
             let _ = worker.join();
         }
+        let flow_objects: BTreeSet<String> = self
+            .handle
+            .shared
+            .flow_objects
+            .lock()
+            .expect("flow objects")
+            .values()
+            .flatten()
+            .cloned()
+            .collect();
         let mut stores: BTreeMap<String, ObjectStore> = BTreeMap::new();
         for shard_final in finals {
             for (device, plane) in shard_final.planes {
-                stores.entry(device).or_default().merge_from(plane.store());
+                stores
+                    .entry(device)
+                    .or_default()
+                    .merge_shard_from(plane.store(), |name| flow_objects.contains(name));
             }
         }
         RunOutcome { telemetry: self.handle.telemetry(), stores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_every_degenerate_knob() {
+        assert!(EngineConfig::default().validate().is_ok());
+        let reject = |config: EngineConfig, field: &str| {
+            match config.validate().unwrap_err() {
+                EngineError::InvalidConfig { field: f, value, minimum } => {
+                    assert_eq!(f, field);
+                    assert_eq!(value, 0);
+                    assert_eq!(minimum, 1);
+                }
+            };
+        };
+        reject(EngineConfig { shards: 0, ..Default::default() }, "shards");
+        reject(EngineConfig { batch_size: 0, ..Default::default() }, "batch_size");
+        reject(EngineConfig { queue_capacity: 0, ..Default::default() }, "queue_capacity");
+        reject(
+            EngineConfig {
+                overload: OverloadPolicy::Backpressure { credits: 0 },
+                ..Default::default()
+            },
+            "overload.credits",
+        );
+        // a non-zero credit budget passes
+        assert!(EngineConfig {
+            overload: OverloadPolicy::Backpressure { credits: 8 },
+            ..Default::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn flow_hash_is_stable_and_keyed() {
+        let mut fields = BTreeMap::new();
+        fields.insert("key".to_string(), Value::Int(7));
+        fields.insert("op".to_string(), Value::Int(1));
+        let a = Packet::new("client", "server", 1, fields.clone());
+        let key_fields = vec!["key".to_string()];
+        let s1 = flow_shard_of("t", &a, &key_fields, 8);
+        let s2 = flow_shard_of("t", &a, &key_fields, 8);
+        assert_eq!(s1, s2, "deterministic");
+        // a packet differing only in a non-key field lands on the same shard
+        fields.insert("op".to_string(), Value::Int(2));
+        let b = Packet::new("client", "server", 1, fields.clone());
+        assert_eq!(s1, flow_shard_of("t", &b, &key_fields, 8));
+        // with the full-flow key, it may differ; with a different key it
+        // spreads: over many keys more than one shard is hit
+        let mut shards_hit = std::collections::BTreeSet::new();
+        for key in 0..64 {
+            let mut f = BTreeMap::new();
+            f.insert("key".to_string(), Value::Int(key));
+            let p = Packet::new("client", "server", 1, f);
+            shards_hit.insert(flow_shard_of("t", &p, &key_fields, 8));
+        }
+        assert!(shards_hit.len() > 1, "keys spread across shards");
     }
 }

@@ -4,14 +4,26 @@
 //! answers *how traffic reaches them at scale*.  It replaces the
 //! single-threaded scenario loop with a sharded, batched traffic engine:
 //!
-//! * **Sharded execution** — [`engine::TrafficEngine`] partitions tenants
-//!   across worker threads by a stable hash.  Each shard owns private
-//!   replicas of the device planes its tenants traverse and drains
-//!   per-device ingress queues in configurable batches ([`shard`]).  Tenant
-//!   isolation (renamed objects + user-id guards) makes the partition
-//!   semantically equivalent to one shared store: the union of shard stores
-//!   equals the unsharded store, and per-tenant results are invariant in the
-//!   shard count.
+//! * **Sharded execution** — [`engine::TrafficEngine`] partitions traffic
+//!   across worker threads by a stable hash: of the tenant id
+//!   ([`ShardingMode::ByTenant`]) or, for stateless and flow-keyed-state
+//!   tenants, of the per-packet flow key ([`ShardingMode::ByFlow`] — the
+//!   tenant's program is replicated on every shard and a single hot tenant
+//!   scales past one core).  Each shard owns private replicas of the device
+//!   planes its residents traverse and drains per-device ingress queues
+//!   round-robin in configurable batches ([`shard`]).  Tenant isolation
+//!   (renamed objects + user-id guards) makes the partition semantically
+//!   equivalent to one shared store: the union of shard stores equals the
+//!   unsharded store, and per-tenant results are invariant in the shard
+//!   count (bit-identically for `ByTenant`, statistically — merged counter
+//!   totals, additively re-merged flow-keyed state — for `ByFlow`).
+//! * **Bounded ingress & backpressure** — each shard admits at most
+//!   [`EngineConfig::queue_capacity`] in-flight packets; the configured
+//!   [`OverloadPolicy`] either sheds the excess at the tail or stalls the
+//!   injector against a credit budget.  [`EngineHandle::inject`] returns
+//!   admitted/shed counts, and per-tenant sheds, backpressure waits and
+//!   queue-depth high-water marks surface in the telemetry — overload is
+//!   modeled and observable, never an invisible unbounded buffer.
 //! * **Workload generation** — [`workload`] provides seeded, open-loop
 //!   generators: a Zipf-skewed KVS stream (precomputed-CDF sampler shared
 //!   with the emulator's scenario driver), sparse gradient aggregation, and
@@ -30,18 +42,20 @@
 //!   wiring for ablation experiments.
 //!
 //! ```
-//! use clickinc_runtime::{EngineConfig, TrafficEngine};
+//! use clickinc_runtime::{EngineConfig, ShardingMode, TrafficEngine};
 //! use clickinc_runtime::workload::{KvsWorkload, KvsWorkloadConfig};
 //!
-//! let engine = TrafficEngine::new(EngineConfig { shards: 2, batch_size: 64 });
+//! let engine = TrafficEngine::new(EngineConfig { shards: 2, batch_size: 64, ..Default::default() });
 //! let handle = engine.handle();
-//! handle.add_tenant("t1", Vec::new()); // no hops: pure pass-through
+//! // no hops: pure pass-through; flow-sharded across both workers
+//! handle.add_tenant_sharded("t1", Vec::new(), ShardingMode::ByFlow { key_fields: Vec::new() });
 //! let mut wl = KvsWorkload::new(KvsWorkloadConfig {
 //!     tenant: "t1".into(),
 //!     requests: 100,
 //!     ..Default::default()
 //! });
-//! handle.run_workload(&mut wl, 100, 32);
+//! let report = handle.run_workload(&mut wl, 100, 32);
+//! assert_eq!((report.admitted, report.shed), (100, 0));
 //! handle.flush();
 //! let outcome = engine.finish();
 //! assert_eq!(outcome.telemetry.tenant("t1").unwrap().to_server, 100);
@@ -53,9 +67,12 @@ pub mod telemetry;
 pub mod tenant;
 pub mod workload;
 
-pub use engine::{EngineConfig, EngineError, EngineHandle, RunOutcome, TrafficEngine};
+pub use engine::{
+    EngineConfig, EngineError, EngineHandle, InjectOutcome, OverloadPolicy, RunOutcome,
+    TrafficEngine, WorkloadReport,
+};
 pub use telemetry::{TelemetryReport, TenantCounters, TenantStats};
-pub use tenant::TenantHop;
+pub use tenant::{ShardingMode, TenantHop};
 pub use workload::{
     GeneratedPacket, KvsWorkload, KvsWorkloadConfig, MixedWorkload, MlAggWorkload,
     MlAggWorkloadConfig, Workload,

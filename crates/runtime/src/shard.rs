@@ -1,29 +1,36 @@
 //! Shard workers: each owns a partition of the data-plane state and drains
 //! per-device ingress queues in batches.
 //!
-//! The engine partitions tenants across shards by a stable hash of the tenant
-//! id.  A shard owns private replicas of the device planes its tenants
-//! traverse, so the packet hot path touches no shared mutable state at all —
-//! the only cross-thread traffic is the inbound message channel and the
-//! relaxed atomic telemetry counters.  Because tenant isolation renames every
-//! stateful object with the owner's prefix and guards every instruction with
-//! a user-id match, partitioning state *by tenant* is semantically identical
-//! to the single shared store a real device would hold: the union of the
-//! shard stores equals the unsharded store, which is what the shard-count
-//! invariance tests assert.
+//! The engine partitions traffic across shards by a stable hash — of the
+//! tenant id for [`ShardingMode::ByTenant`] tenants, of the per-packet flow
+//! key for [`ShardingMode::ByFlow`] tenants (see `crate::tenant`).  A shard
+//! owns private replicas of the device planes its residents traverse, so the
+//! packet hot path touches no shared mutable state at all — the only
+//! cross-thread traffic is the inbound message channel, the relaxed atomic
+//! telemetry counters, and the shard's in-flight depth gauge the engine's
+//! admission control reads.  Tenant isolation renames every stateful object
+//! with the owner's prefix and guards every instruction with a user-id
+//! match, so partitioning state *by tenant* is semantically identical to the
+//! single shared store a real device would hold; partitioning *by flow* is
+//! identical for flow-keyed state because every packet that can touch a
+//! given state cell carries the same flow key and therefore lands on the
+//! same shard.
 //!
 //! Control messages (tenant add/remove, table writes, flush) travel on the
 //! same FIFO channel as traffic batches, so a reconfiguration is naturally
 //! quiesced: by the time a `RemoveTenant` is handled, every batch injected
 //! before it has fully drained, and the removal touches only the departing
 //! tenant's snippets and tables ([`DevicePlane::uninstall`]).
+//!
+//! [`ShardingMode::ByTenant`]: crate::tenant::ShardingMode::ByTenant
+//! [`ShardingMode::ByFlow`]: crate::tenant::ShardingMode::ByFlow
 
 use crate::telemetry::TenantCounters;
 use crate::tenant::TenantHop;
 use clickinc_emulator::{DevicePlane, Packet, PacketAction};
 use clickinc_ir::Value;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
@@ -47,10 +54,13 @@ struct TenantState {
 /// serializes traffic against reconfiguration.
 pub(crate) enum ShardMsg {
     /// Install a tenant: create/extend device planes, install snippets.
+    /// Flow-sharded tenants are installed on every shard, each with its own
+    /// counter block.
     AddTenant { user: String, hops: Vec<TenantHop>, counters: Arc<TenantCounters> },
     /// Quiesce and remove a tenant's snippets and state.
     RemoveTenant { user: String },
-    /// A batch of packets for one tenant, in stream order.
+    /// A batch of packets for one tenant, in stream order, already admitted
+    /// against the shard's bounded ingress queue.
     Inject { user: Arc<str>, jobs: Vec<(u64, Packet)> },
     /// Control-plane table write (e.g. pre-populating a KVS cache).
     TableWrite { device: String, table: String, key: Vec<Value>, value: Vec<Value> },
@@ -72,15 +82,25 @@ pub(crate) struct ShardWorker {
     planes: BTreeMap<String, DevicePlane>,
     tenants: BTreeMap<String, TenantState>,
     queues: BTreeMap<String, VecDeque<Job>>,
+    /// Devices with queued jobs, drained round-robin.  May transiently hold
+    /// a duplicate entry (skipped on pop when its queue is already empty);
+    /// batch selection stays O(1) amortized either way.
+    active: VecDeque<String>,
+    /// In-flight packet count shared with the engine's admission control:
+    /// the injector increments it per admitted packet, this worker
+    /// decrements it as packets reach a terminal outcome.
+    depth: Arc<AtomicU64>,
 }
 
 impl ShardWorker {
-    pub(crate) fn run(rx: Receiver<ShardMsg>, batch_size: usize) {
+    pub(crate) fn run(rx: Receiver<ShardMsg>, batch_size: usize, depth: Arc<AtomicU64>) {
         let mut worker = ShardWorker {
             batch_size: batch_size.max(1),
             planes: BTreeMap::new(),
             tenants: BTreeMap::new(),
             queues: BTreeMap::new(),
+            active: VecDeque::new(),
+            depth,
         };
         while let Ok(msg) = rx.recv() {
             match msg {
@@ -139,7 +159,9 @@ impl ShardWorker {
     fn inject(&mut self, user: &str, jobs: Vec<(u64, Packet)>) {
         let Some(state) = self.tenants.get(user) else {
             // tenant unknown (never added, or already removed): drop silently —
-            // the engine only routes here between add and remove
+            // the engine only routes here between add and remove.  The packets
+            // were admitted against the depth gauge, so give the credit back.
+            self.depth.fetch_sub(jobs.len() as u64, Ordering::Relaxed);
             return;
         };
         let route = Arc::clone(&state.route);
@@ -161,20 +183,28 @@ impl ShardWorker {
     fn enqueue(&mut self, job: Job) {
         match job.route.get(job.hop) {
             Some(device) => {
-                self.queues.entry(device.clone()).or_default().push_back(job);
+                let queue = self.queues.entry(device.clone()).or_default();
+                if queue.is_empty() {
+                    self.active.push_back(device.clone());
+                }
+                queue.push_back(job);
             }
-            None => complete_at_server(job),
+            None => self.complete_at_server(job),
         }
     }
 
-    /// Drain every ingress queue, `batch_size` packets per device at a time,
-    /// until the shard is idle.
+    /// Drain the ingress queues round-robin, `batch_size` packets per device
+    /// per turn, until the shard is idle.  The rotating cursor (`active`)
+    /// makes batch selection O(1) amortized — no per-round scan over every
+    /// device the shard has ever hosted.
     fn pump(&mut self) {
-        while let Some(device) =
-            self.queues.iter().find(|(_, q)| !q.is_empty()).map(|(d, _)| d.clone())
-        {
+        while let Some(device) = self.active.pop_front() {
             let mut batch: Vec<Job> = {
-                let queue = self.queues.get_mut(&device).expect("queue exists");
+                let Some(queue) = self.queues.get_mut(&device) else { continue };
+                if queue.is_empty() {
+                    // stale cursor entry (duplicate); nothing to do
+                    continue;
+                }
                 let take = queue.len().min(self.batch_size);
                 queue.drain(..take).collect()
             };
@@ -184,6 +214,7 @@ impl ShardWorker {
                     job.hop += 1;
                     self.enqueue(job);
                 }
+                self.requeue_if_backlogged(device);
                 continue;
             };
             // account ingress bytes, lift the packets out, run the whole
@@ -208,32 +239,42 @@ impl ShardWorker {
                     }
                     PacketAction::Back => {
                         job.counters.hits.fetch_add(1, Ordering::Relaxed);
-                        finish(job);
+                        self.finish(job);
                     }
                     PacketAction::Drop => {
                         job.counters.drops.fetch_add(1, Ordering::Relaxed);
-                        finish(job);
+                        self.finish(job);
                     }
                 }
             }
+            self.requeue_if_backlogged(device);
         }
     }
-}
 
-/// Terminal accounting shared by every outcome.
-fn finish(job: Job) {
-    let payload = job.packet.wire_bytes().saturating_sub(job.packet.base_bytes) as u64;
-    job.counters.payload_bytes.fetch_add(payload, Ordering::Relaxed);
-    job.counters.record_completion(job.latency_ns, job.vtime_ns);
-}
-
-/// The packet traversed every hop: it crosses the final link into the server.
-fn complete_at_server(job: Job) {
-    let wire = job.packet.wire_bytes() as u64;
-    job.counters.to_server.fetch_add(1, Ordering::Relaxed);
-    job.counters.server_bytes.fetch_add(wire, Ordering::Relaxed);
-    if let Some(link) = job.counters.link_bytes.get(job.route.len()) {
-        link.fetch_add(wire, Ordering::Relaxed);
+    /// Rotate a device with remaining backlog to the back of the cursor.
+    fn requeue_if_backlogged(&mut self, device: String) {
+        if self.queues.get(&device).is_some_and(|q| !q.is_empty()) {
+            self.active.push_back(device);
+        }
     }
-    finish(job);
+
+    /// Terminal accounting shared by every outcome.
+    fn finish(&self, job: Job) {
+        let payload = job.packet.wire_bytes().saturating_sub(job.packet.base_bytes) as u64;
+        job.counters.payload_bytes.fetch_add(payload, Ordering::Relaxed);
+        job.counters.record_completion(job.latency_ns, job.vtime_ns);
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The packet traversed every hop: it crosses the final link into the
+    /// server.
+    fn complete_at_server(&self, job: Job) {
+        let wire = job.packet.wire_bytes() as u64;
+        job.counters.to_server.fetch_add(1, Ordering::Relaxed);
+        job.counters.server_bytes.fetch_add(wire, Ordering::Relaxed);
+        if let Some(link) = job.counters.link_bytes.get(job.route.len()) {
+            link.fetch_add(wire, Ordering::Relaxed);
+        }
+        self.finish(job);
+    }
 }

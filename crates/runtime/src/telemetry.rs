@@ -49,6 +49,15 @@ pub struct TenantCounters {
     /// Wire bytes entering each hop (`route.len()` hops) plus the final
     /// server link (last entry).
     pub link_bytes: Vec<AtomicU64>,
+    /// Packets refused at ingress because the shard's bounded queue was full
+    /// (drop-tail) or the injector's backpressure credits ran out.
+    pub shed: AtomicU64,
+    /// Times an injector stalled waiting for the shard to drain
+    /// (backpressure credit cycles).
+    pub backpressure_waits: AtomicU64,
+    /// High-water mark of the owning shard's in-flight packet depth observed
+    /// by this tenant's injections.
+    pub queue_depth_hwm: AtomicU64,
 }
 
 impl TenantCounters {
@@ -66,6 +75,9 @@ impl TenantCounters {
             vtime_max_ns: AtomicU64::new(0),
             hist: std::array::from_fn(|_| AtomicU64::new(0)),
             link_bytes: (0..=hops).map(|_| AtomicU64::new(0)).collect(),
+            shed: AtomicU64::new(0),
+            backpressure_waits: AtomicU64::new(0),
+            queue_depth_hwm: AtomicU64::new(0),
         }
     }
 
@@ -95,7 +107,15 @@ fn bucket_value(bucket: usize) -> u64 {
 }
 
 /// Immutable per-tenant statistics, merged across shards.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// Equality deliberately ignores [`queue_depth_hwm`](TenantStats::queue_depth_hwm)
+/// and [`backpressure_waits`](TenantStats::backpressure_waits): both observe
+/// *wall-clock* drain timing (how far a worker thread happened to lag its
+/// injector), so they vary run to run even for a fixed seed.  Every other
+/// field — including [`shed_packets`](TenantStats::shed_packets), which is
+/// deterministic whenever the queue bound is deterministic — participates in
+/// the bit-identity the invariance tests assert.
+#[derive(Debug, Clone, Serialize)]
 pub struct TenantStats {
     /// Tenant (user) id.
     pub tenant: String,
@@ -125,6 +145,40 @@ pub struct TenantStats {
     pub latency_p99_ns: u64,
     /// Wire bytes entering each hop, final server link last.
     pub link_bytes: Vec<u64>,
+    /// Packets refused at ingress (bounded-queue drop-tail or backpressure
+    /// credit exhaustion).  Schema-stable JSON field name.
+    pub shed_packets: u64,
+    /// Injector stalls waiting for a shard to drain (backpressure cycles).
+    /// Timing-dependent; excluded from equality.
+    pub backpressure_waits: u64,
+    /// Maximum shard in-flight packet depth observed at this tenant's
+    /// injections, across shards.  Timing-dependent; excluded from equality.
+    pub queue_depth_hwm: u64,
+    /// Packets injected per counter block, in shard-registration order: one
+    /// entry for a `ByTenant` tenant, one per shard for a flow-sharded
+    /// tenant.  Non-zero entries = shards the tenant actually utilized.
+    pub per_shard_packets: Vec<u64>,
+}
+
+impl PartialEq for TenantStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.tenant == other.tenant
+            && self.packets == other.packets
+            && self.completed == other.completed
+            && self.hits == other.hits
+            && self.drops == other.drops
+            && self.to_server == other.to_server
+            && self.hit_ratio == other.hit_ratio
+            && self.payload_bytes == other.payload_bytes
+            && self.server_bytes == other.server_bytes
+            && self.goodput_gbps == other.goodput_gbps
+            && self.latency_mean_ns == other.latency_mean_ns
+            && self.latency_p50_ns == other.latency_p50_ns
+            && self.latency_p99_ns == other.latency_p99_ns
+            && self.link_bytes == other.link_bytes
+            && self.shed_packets == other.shed_packets
+            && self.per_shard_packets == other.per_shard_packets
+    }
 }
 
 impl TenantStats {
@@ -141,8 +195,14 @@ impl TenantStats {
         let payload_bytes = sum(&|c| &c.payload_bytes);
         let server_bytes = sum(&|c| &c.server_bytes);
         let latency_sum = sum(&|c| &c.latency_sum_ns);
+        let shed_packets = sum(&|c| &c.shed);
+        let backpressure_waits = sum(&|c| &c.backpressure_waits);
         let vtime_max =
             parts.iter().map(|c| c.vtime_max_ns.load(Ordering::Relaxed)).max().unwrap_or(0);
+        let queue_depth_hwm =
+            parts.iter().map(|c| c.queue_depth_hwm.load(Ordering::Relaxed)).max().unwrap_or(0);
+        let per_shard_packets: Vec<u64> =
+            parts.iter().map(|c| c.packets.load(Ordering::Relaxed)).collect();
 
         let mut hist = [0u64; HIST_BUCKETS];
         for c in parts {
@@ -181,6 +241,10 @@ impl TenantStats {
             latency_p50_ns: percentile(&hist, completed, 0.50),
             latency_p99_ns: percentile(&hist, completed, 0.99),
             link_bytes,
+            shed_packets,
+            backpressure_waits,
+            queue_depth_hwm,
+            per_shard_packets,
         }
     }
 }
@@ -289,13 +353,35 @@ mod tests {
     #[test]
     fn report_exports_json() {
         let registry = TelemetryRegistry::default();
-        registry.register("alpha", Arc::new(TenantCounters::new(1)));
+        let counters = Arc::new(TenantCounters::new(1));
+        counters.shed.fetch_add(3, Ordering::Relaxed);
+        counters.backpressure_waits.fetch_add(2, Ordering::Relaxed);
+        counters.queue_depth_hwm.fetch_max(17, Ordering::Relaxed);
+        registry.register("alpha", counters);
         let report = registry.snapshot();
         let json = report.to_json();
         assert!(json.contains("\"alpha\""));
         assert!(json.contains("\"goodput_gbps\""));
+        // congestion counters are part of the stable export schema
+        assert!(json.contains("\"shed_packets\": 3"));
+        assert!(json.contains("\"backpressure_waits\": 2"));
+        assert!(json.contains("\"queue_depth_hwm\": 17"));
+        assert!(json.contains("\"per_shard_packets\""));
         assert_eq!(report.tenant("alpha").unwrap().packets, 0);
         assert!(report.tenant("missing").is_none());
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock_observability_but_not_sheds() {
+        let mk = |hwm: u64, waits: u64, shed: u64| {
+            let c = Arc::new(TenantCounters::new(1));
+            c.queue_depth_hwm.fetch_max(hwm, Ordering::Relaxed);
+            c.backpressure_waits.fetch_add(waits, Ordering::Relaxed);
+            c.shed.fetch_add(shed, Ordering::Relaxed);
+            TenantStats::merge("t", &[c])
+        };
+        assert_eq!(mk(5, 1, 0), mk(99, 7, 0), "hwm/waits are timing noise");
+        assert_ne!(mk(5, 1, 0), mk(5, 1, 4), "shed packets are semantic");
     }
 
     #[test]

@@ -22,3 +22,38 @@ pub struct TenantHop {
     /// The snippets installed on this device for the tenant, in install order.
     pub snippets: Vec<IrProgram>,
 }
+
+/// How a tenant's traffic (and therefore its data-plane state) is
+/// partitioned across engine shards.
+///
+/// * [`ByTenant`](ShardingMode::ByTenant) pins everything on one shard picked
+///   by a stable hash of the tenant id.  This is always safe — the tenant's
+///   state lives in exactly one place — and is bit-identical in the shard
+///   count, but caps a single tenant at one worker thread.
+/// * [`ByFlow`](ShardingMode::ByFlow) installs the tenant's program on
+///   *every* shard and spreads its packets by a stable FNV hash of the flow
+///   key, so one hot tenant can use every core.  Sound only for tenants whose
+///   inter-packet state is *flow-keyed*: every stateful access must be
+///   indexed by the `key_fields` (then all packets sharing a state cell land
+///   on the same shard) or the tenant must carry no inter-packet state at
+///   all.  Merged telemetry totals match the `ByTenant` run; per-shard state
+///   partitions re-merge additively when the engine finishes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ShardingMode {
+    /// All traffic and state on one shard (hash of the tenant id).
+    #[default]
+    ByTenant,
+    /// Flows spread across every shard by a stable FNV flow hash.
+    ByFlow {
+        /// INC header fields forming the flow key.  Empty means the full
+        /// flow identity: source, destination and every application field.
+        key_fields: Vec<String>,
+    },
+}
+
+impl ShardingMode {
+    /// Whether this mode spreads a single tenant across every shard.
+    pub fn is_by_flow(&self) -> bool {
+        matches!(self, ShardingMode::ByFlow { .. })
+    }
+}

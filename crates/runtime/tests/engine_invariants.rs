@@ -15,7 +15,9 @@ use clickinc_lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggPar
 use clickinc_runtime::workload::{
     KvsWorkload, KvsWorkloadConfig, MixedWorkload, MlAggWorkload, MlAggWorkloadConfig, Workload,
 };
-use clickinc_runtime::{EngineConfig, EngineError, TelemetryReport, TenantHop, TrafficEngine};
+use clickinc_runtime::{
+    EngineConfig, EngineError, OverloadPolicy, TelemetryReport, TenantHop, TrafficEngine,
+};
 use clickinc_synthesis::isolate_user_program;
 use std::collections::BTreeMap;
 
@@ -74,7 +76,7 @@ fn populate_cache(handle: &clickinc_runtime::EngineHandle, name: &str, hot_keys:
 }
 
 fn run_mixed(shards: usize) -> (TelemetryReport, BTreeMap<String, u64>) {
-    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 16 });
+    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 16, ..Default::default() });
     let handle = engine.handle();
     handle.add_tenant("alpha", kvs_tenant("alpha", 1));
     handle.add_tenant("beta", kvs_tenant("beta", 2));
@@ -134,7 +136,7 @@ fn per_tenant_results_are_invariant_in_the_shard_count() {
 /// a third tenant (co-resident on the same shared device), run its traffic,
 /// and remove it again.
 fn run_phased(shards: usize, disrupt: bool) -> TelemetryReport {
-    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 16 });
+    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 16, ..Default::default() });
     let handle = engine.handle();
     handle.add_tenant("alpha", kvs_tenant("alpha", 1));
     handle.add_tenant("beta", kvs_tenant("beta", 2));
@@ -192,20 +194,37 @@ fn run_phased(shards: usize, disrupt: bool) -> TelemetryReport {
 #[test]
 fn degenerate_engine_configs_are_rejected_or_clamped() {
     // `try_new` returns a typed error for sizing knobs below the minimum…
-    let zero_shards = TrafficEngine::try_new(EngineConfig { shards: 0, batch_size: 64 });
+    let zero_shards =
+        TrafficEngine::try_new(EngineConfig { shards: 0, batch_size: 64, ..Default::default() });
     assert!(matches!(
         zero_shards.map(|_| ()).unwrap_err(),
         EngineError::InvalidConfig { field: "shards", value: 0, minimum: 1 }
     ));
-    let zero_batch = TrafficEngine::try_new(EngineConfig { shards: 2, batch_size: 0 });
+    let zero_batch =
+        TrafficEngine::try_new(EngineConfig { shards: 2, batch_size: 0, ..Default::default() });
     assert!(matches!(
         zero_batch.map(|_| ()).unwrap_err(),
         EngineError::InvalidConfig { field: "batch_size", value: 0, minimum: 1 }
     ));
+    let zero_queue =
+        TrafficEngine::try_new(EngineConfig { queue_capacity: 0, ..Default::default() });
+    assert!(matches!(
+        zero_queue.map(|_| ()).unwrap_err(),
+        EngineError::InvalidConfig { field: "queue_capacity", value: 0, minimum: 1 }
+    ));
+    let zero_credits = TrafficEngine::try_new(EngineConfig {
+        overload: OverloadPolicy::Backpressure { credits: 0 },
+        ..Default::default()
+    });
+    assert!(matches!(
+        zero_credits.map(|_| ()).unwrap_err(),
+        EngineError::InvalidConfig { field: "overload.credits", value: 0, minimum: 1 }
+    ));
     assert!(EngineConfig::default().validate().is_ok());
 
     // …while `new` documents clamping to 1 and still serves traffic.
-    let engine = TrafficEngine::new(EngineConfig { shards: 0, batch_size: 0 });
+    let engine =
+        TrafficEngine::new(EngineConfig { shards: 0, batch_size: 0, ..Default::default() });
     assert_eq!(engine.shards(), 1);
     let handle = engine.handle();
     handle.add_tenant("alpha", kvs_tenant("alpha", 1));

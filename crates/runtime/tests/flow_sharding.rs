@@ -1,0 +1,282 @@
+//! Flow-level sharding and bounded-ingress guarantees:
+//!
+//! 1. **Flow-sharding invariance** — a flow-sharded tenant's merged counter
+//!    totals (goodput, hit ratio, per-link bytes, every aggregate) at 1, 2
+//!    and 8 shards equal the `ByTenant` totals, and the flow-partitioned
+//!    stores re-merge to the same fingerprints — property-tested over random
+//!    workload shapes.
+//! 2. **Live add/remove** — a flow-sharded tenant quiesces on *every* shard:
+//!    its objects vanish from every replica, post-removal traffic is shed
+//!    silently, and co-resident tenants are bit-for-bit undisturbed.
+//! 3. **Bounded ingress** — drop-tail sheds exactly the overrun of the
+//!    per-shard bound; backpressure spends credits instead and sheds only
+//!    when they run out.  Both are deterministic at the injection boundary
+//!    and observable in the per-tenant telemetry.
+
+use clickinc_device::DeviceModel;
+use clickinc_frontend::compile_source;
+use clickinc_ir::Value;
+use clickinc_lang::templates::{kvs_template, KvsParams};
+use clickinc_runtime::workload::{KvsWorkload, KvsWorkloadConfig};
+use clickinc_runtime::{
+    EngineConfig, OverloadPolicy, ShardingMode, TenantHop, TenantStats, TrafficEngine,
+};
+use clickinc_synthesis::isolate_user_program;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn kvs_tenant(name: &str, id: i64, cache_depth: u32) -> Vec<TenantHop> {
+    let t = kvs_template(name, KvsParams { cache_depth, ..Default::default() });
+    let ir = compile_source(name, &t.source).unwrap();
+    vec![TenantHop {
+        device: "tor0".to_string(),
+        model: DeviceModel::tofino(),
+        snippets: vec![isolate_user_program(&ir, name, id)],
+    }]
+}
+
+fn by_key() -> ShardingMode {
+    ShardingMode::ByFlow { key_fields: vec!["key".to_string()] }
+}
+
+fn populate_cache(handle: &clickinc_runtime::EngineHandle, name: &str, hot_keys: i64) {
+    for key in 0..hot_keys {
+        handle.populate_table(
+            name,
+            "tor0",
+            &format!("{name}_cache"),
+            vec![Value::Int(key)],
+            vec![Value::Int(key * 1000 + 7)],
+        );
+    }
+}
+
+/// Run one KVS tenant to completion and return its stats plus the final
+/// store fingerprints.
+fn run_kvs(
+    shards: usize,
+    mode: ShardingMode,
+    keys: usize,
+    requests: usize,
+    hot_keys: i64,
+    seed: u64,
+) -> (TenantStats, BTreeMap<String, u64>) {
+    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 32, ..Default::default() });
+    let handle = engine.handle();
+    handle.add_tenant_sharded("hot", kvs_tenant("hot", 1, 4096), mode);
+    populate_cache(&handle, "hot", hot_keys);
+    let mut wl = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: "hot".to_string(),
+        user_id: 1,
+        keys,
+        skew: 1.1,
+        requests,
+        rate_pps: 10_000_000.0,
+        seed,
+    });
+    let report = handle.run_workload(&mut wl, usize::MAX, 48);
+    assert_eq!(report.shed, 0, "ample default queues shed nothing");
+    handle.flush();
+    let outcome = engine.finish();
+    let fingerprints = outcome.stores.iter().map(|(d, s)| (d.clone(), s.fingerprint())).collect();
+    (outcome.telemetry.tenant("hot").expect("served").clone(), fingerprints)
+}
+
+/// The cross-mode comparable view: everything except the per-counter-block
+/// vector (whose length tracks the engine sizing by design).
+fn normalized(mut stats: TenantStats) -> TenantStats {
+    stats.per_shard_packets.clear();
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The satellite invariant: the union of per-shard merged counters under
+    /// `ByFlow` at 1/2/8 shards equals the `ByTenant` totals — goodput, hit
+    /// ratio, per-link bytes and all — and the flow-partitioned stores
+    /// re-merge to the `ByTenant` fingerprints.
+    #[test]
+    fn flow_sharded_totals_equal_by_tenant_totals(
+        keys in 200usize..800,
+        requests in 100usize..400,
+        hot in 16i64..96,
+        seed in 0u64..1000,
+    ) {
+        let (baseline, stores_baseline) =
+            run_kvs(1, ShardingMode::ByTenant, keys, requests, hot, seed);
+        prop_assert_eq!(baseline.packets, requests as u64);
+        let baseline = normalized(baseline);
+        for shards in [1usize, 2, 8] {
+            let (stats, stores) = run_kvs(shards, by_key(), keys, requests, hot, seed);
+            let stats = normalized(stats);
+            prop_assert_eq!(&stats, &baseline, "ByFlow totals diverged at {} shard(s)", shards);
+            prop_assert_eq!(&stores, &stores_baseline, "stores diverged at {} shard(s)", shards);
+        }
+    }
+}
+
+#[test]
+fn a_flow_sharded_hot_tenant_actually_uses_multiple_shards() {
+    let (stats, _) = run_kvs(8, by_key(), 600, 400, 64, 11);
+    let utilized = stats.per_shard_packets.iter().filter(|&&p| p > 0).count();
+    assert_eq!(stats.per_shard_packets.len(), 8, "one counter block per shard");
+    assert!(utilized > 1, "one hot tenant spreads past one shard: {:?}", stats.per_shard_packets);
+    assert_eq!(stats.per_shard_packets.iter().sum::<u64>(), stats.packets);
+}
+
+/// Drive a co-resident `ByTenant` tenant in phases; in the middle phase
+/// optionally add a flow-sharded tenant on the same device, run its traffic,
+/// and remove it again.
+fn run_phased(disrupt: bool) -> clickinc_runtime::TelemetryReport {
+    let engine =
+        TrafficEngine::new(EngineConfig { shards: 4, batch_size: 16, ..Default::default() });
+    let handle = engine.handle();
+    handle.add_tenant("resident", kvs_tenant("resident", 1, 2048));
+    populate_cache(&handle, "resident", 64);
+    let mut resident = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: "resident".to_string(),
+        user_id: 1,
+        keys: 500,
+        skew: 1.2,
+        requests: 900,
+        rate_pps: 10_000_000.0,
+        seed: 5,
+    });
+
+    handle.run_workload(&mut resident, 300, 64);
+
+    if disrupt {
+        handle.add_tenant_sharded("burst", kvs_tenant("burst", 2, 2048), by_key());
+        populate_cache(&handle, "burst", 32);
+        let mut burst = KvsWorkload::new(KvsWorkloadConfig {
+            tenant: "burst".to_string(),
+            user_id: 2,
+            keys: 300,
+            skew: 1.1,
+            requests: 400,
+            rate_pps: 10_000_000.0,
+            seed: 6,
+        });
+        let report = handle.run_workload(&mut burst, usize::MAX, 64);
+        assert_eq!(report.admitted, 400);
+        handle.remove_tenant("burst");
+        // traffic injected after the removal is shed silently on every shard
+        let mut late = KvsWorkload::new(KvsWorkloadConfig {
+            tenant: "burst".to_string(),
+            user_id: 2,
+            keys: 300,
+            skew: 1.1,
+            requests: 100,
+            rate_pps: 10_000_000.0,
+            seed: 7,
+        });
+        handle.run_workload(&mut late, usize::MAX, 64);
+    }
+
+    handle.run_workload(&mut resident, usize::MAX, 64);
+    handle.flush();
+    let outcome = engine.finish();
+    if disrupt {
+        // the flow-sharded tenant's objects are gone from every shard replica
+        for store in outcome.stores.values() {
+            assert!(!store.contains("burst_cache"), "burst state must quiesce on every shard");
+        }
+    }
+    outcome.telemetry
+}
+
+#[test]
+fn flow_sharded_tenants_quiesce_on_every_shard_without_disturbing_residents() {
+    let disrupted = run_phased(true);
+    let quiet = run_phased(false);
+
+    let burst = disrupted.tenant("burst").expect("burst ran");
+    assert_eq!(burst.packets, 400, "pre-removal traffic was served");
+    assert!(burst.hits > 0, "the flow-sharded tenant hit its cache");
+    let utilized = burst.per_shard_packets.iter().filter(|&&p| p > 0).count();
+    assert!(utilized > 1, "burst really spread across shards");
+
+    assert_eq!(
+        disrupted.tenant("resident"),
+        quiet.tenant("resident"),
+        "the co-resident tenant never noticed the flow-sharded add/remove"
+    );
+}
+
+#[test]
+fn droptail_sheds_exactly_the_overrun_at_the_injection_boundary() {
+    let engine = TrafficEngine::new(EngineConfig {
+        shards: 1,
+        batch_size: 16,
+        queue_capacity: 10,
+        overload: OverloadPolicy::DropTail,
+    });
+    let handle = engine.handle();
+    // pass-through tenant: no hops, packets complete at the server
+    handle.add_tenant("t", Vec::new());
+    let mut wl = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: "t".to_string(),
+        user_id: 1,
+        requests: 100,
+        ..Default::default()
+    });
+    // one inject call of 100 packets against an empty 10-deep queue: the
+    // first 10 are admitted, the rest shed — deterministically
+    let report = handle.run_workload(&mut wl, usize::MAX, 100);
+    assert_eq!((report.generated, report.admitted, report.shed), (100, 10, 90));
+    handle.flush();
+    let outcome = engine.finish();
+    let stats = outcome.telemetry.tenant("t").expect("served");
+    assert_eq!(stats.packets, 10, "only admitted packets count as injected");
+    assert_eq!(stats.completed, 10);
+    assert_eq!(stats.shed_packets, 90);
+    assert_eq!(stats.to_server, 10);
+}
+
+#[test]
+fn backpressure_spends_credits_then_sheds_the_rest() {
+    let engine = TrafficEngine::new(EngineConfig {
+        shards: 1,
+        batch_size: 16,
+        queue_capacity: 10,
+        overload: OverloadPolicy::Backpressure { credits: 3 },
+    });
+    let handle = engine.handle();
+    handle.add_tenant("t", Vec::new());
+    let mut wl = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: "t".to_string(),
+        user_id: 1,
+        requests: 100,
+        ..Default::default()
+    });
+    // one inject call of 100 packets, 10 admitted per credit cycle (each
+    // wait drains the shard fully): 10 + 3×10 admitted, 60 shed
+    let report = handle.run_workload(&mut wl, usize::MAX, 100);
+    assert_eq!((report.generated, report.admitted, report.shed), (100, 40, 60));
+    handle.flush();
+    let outcome = engine.finish();
+    let stats = outcome.telemetry.tenant("t").expect("served");
+    assert_eq!(stats.packets, 40);
+    assert_eq!(stats.shed_packets, 60);
+    assert_eq!(stats.backpressure_waits, 3, "every credit was spent");
+    // a generous credit budget admits everything
+    let engine = TrafficEngine::new(EngineConfig {
+        shards: 1,
+        batch_size: 16,
+        queue_capacity: 10,
+        overload: OverloadPolicy::Backpressure { credits: 16 },
+    });
+    let handle = engine.handle();
+    handle.add_tenant("t", Vec::new());
+    let mut wl = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: "t".to_string(),
+        user_id: 1,
+        requests: 100,
+        ..Default::default()
+    });
+    let report = handle.run_workload(&mut wl, usize::MAX, 100);
+    assert_eq!((report.admitted, report.shed), (100, 0));
+    handle.flush();
+    engine.finish();
+}

@@ -53,7 +53,7 @@ fn kvs_stream(tenant: &TenantHandle, seed: u64) -> KvsWorkload {
 fn run(reconfigure: bool) -> TelemetryReport {
     let service = ClickIncService::with_config(
         Topology::emulation_topology_all_tofino(),
-        EngineConfig { shards: SHARDS, batch_size: 128 },
+        EngineConfig { shards: SHARDS, batch_size: 128, ..Default::default() },
     )
     .expect("engine config is valid");
 

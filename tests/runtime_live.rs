@@ -27,7 +27,7 @@ fn populate_cache(tenant: &TenantHandle, hot_keys: i64) {
 fn the_service_serves_deployed_tenants_and_survives_live_reconfiguration() {
     let service = ClickIncService::with_config(
         Topology::emulation_topology_all_tofino(),
-        EngineConfig { shards: 2, batch_size: 32 },
+        EngineConfig { shards: 2, batch_size: 32, ..Default::default() },
     )
     .expect("engine config is valid");
 

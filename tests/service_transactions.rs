@@ -34,7 +34,7 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn engine_config() -> EngineConfig {
-    EngineConfig { shards: 2, batch_size: 32 }
+    EngineConfig { shards: 2, batch_size: 32, ..Default::default() }
 }
 
 fn kvs_request(user: &str) -> ServiceRequest {
@@ -486,7 +486,7 @@ proptest! {
     ) {
         let service = ClickIncService::with_config(
             Topology::emulation_topology_all_tofino(),
-            EngineConfig { shards: 1, batch_size: 16 },
+            EngineConfig { shards: 1, batch_size: 16, ..Default::default() },
         )
         .expect("engine config is valid");
         let mut requests: Vec<ServiceRequest> =
@@ -525,7 +525,7 @@ proptest! {
     ) {
         let service = ClickIncService::with_config(
             Topology::emulation_topology_all_tofino(),
-            EngineConfig { shards: 1, batch_size: 16 },
+            EngineConfig { shards: 1, batch_size: 16, ..Default::default() },
         )
         .expect("engine config is valid");
         let requests: Vec<ServiceRequest> =
