@@ -314,7 +314,7 @@ mod tests {
         b.alu("sum", AluOp::Add, Operand::var("cur"), Operand::hdr("data"));
         b.write("agg", vec![Operand::var("idx")], vec![Operand::var("sum")]);
         b.forward();
-        b.build()
+        b.build().expect("test program is well-formed")
     }
 
     #[test]
@@ -337,12 +337,12 @@ mod tests {
         for i in 0..6 {
             b.alu(&format!("v{i}"), AluOp::Add, Operand::hdr("x"), Operand::int(i));
         }
-        b.build();
+        b.build().expect("test program is well-formed");
         let mut b = ProgramBuilder::new("p");
         for i in 0..6 {
             b.alu(&format!("v{i}"), AluOp::Add, Operand::hdr("x"), Operand::int(i));
         }
-        let program = b.build();
+        let program = b.build().expect("test program is well-formed");
         let dag = build_block_dag(&program, &BlockConfig::default());
         assert!(
             dag.len() < program.len(),
@@ -359,7 +359,7 @@ mod tests {
         for i in 0..20 {
             b.alu(&format!("v{i}"), AluOp::Add, Operand::hdr("x"), Operand::int(i));
         }
-        let program = b.build();
+        let program = b.build().expect("test program is well-formed");
         let cfg = BlockConfig { max_block_instrs: 4, ..Default::default() };
         let dag = build_block_dag(&program, &cfg);
         assert!(dag.blocks().iter().all(|blk| blk.len() <= 4));
@@ -382,7 +382,7 @@ mod tests {
         b.alu("a", AluOp::Add, Operand::hdr("x"), Operand::int(1));
         b.alu("bv", AluOp::Mul, Operand::var("a"), Operand::int(2));
         b.alu("c", AluOp::Add, Operand::var("bv"), Operand::int(3));
-        let program = b.build();
+        let program = b.build().expect("test program is well-formed");
         let cfg = BlockConfig { max_block_instrs: 1, ..Default::default() };
         let dag = build_block_dag(&program, &cfg);
         assert_eq!(dag.len(), 3);

@@ -69,7 +69,7 @@ mod proptests {
             last_var = Some(var);
         }
         b.forward();
-        b.build()
+        b.build().expect("generated program is well-formed")
     }
 
     proptest! {

@@ -17,7 +17,8 @@ use clickinc_backend::DeviceProgram;
 use clickinc_blockdag::{build_block_dag, BlockConfig, BlockDag};
 use clickinc_emulator::DevicePlane;
 use clickinc_frontend::{CompileOptions, Frontend};
-use clickinc_ir::{Fnv, IrProgram, ResourceVector};
+use clickinc_ir::analysis::{DeviceTarget, PlacedSnippet};
+use clickinc_ir::{DiagnosticSet, Fnv, IrProgram, PassContext, PassManager, ResourceVector};
 use clickinc_placement::{
     solve, PlacementConfig, PlacementNetwork, PlacementPlan, ResourceLedger, Weights,
 };
@@ -76,6 +77,11 @@ pub struct DeploymentPlan {
     plan: PlacementPlan,
     predicted_remaining_ratio: f64,
     epoch: u64,
+    /// Everything the static verifier pipeline reported while solving.  A
+    /// plan only exists if the set carries no error-severity finding —
+    /// [`PlanContext::solve`] turns those into [`ClickIncError::Verification`]
+    /// — so what rides here is warnings and classification infos.
+    diagnostics: DiagnosticSet,
     /// Wall-clock cost of the solve itself (compile + isolate + place), a
     /// `Duration` rather than a start `Instant` so a plan served from the
     /// cache does not smuggle quote-to-commit idle time into
@@ -112,6 +118,15 @@ impl DeploymentPlan {
     /// The solved placement (devices, per-device snippets, gain, solve time).
     pub fn placement(&self) -> &PlacementPlan {
         &self.plan
+    }
+
+    /// The verifier findings for this plan: warnings and classification
+    /// infos only, since error-severity findings abort the solve before a
+    /// plan exists.  `diagnostics().to_json()` is the CI export format; CI's
+    /// deny-warnings mode additionally refuses plans where
+    /// [`DiagnosticSet::has_warnings`] holds.
+    pub fn diagnostics(&self) -> &DiagnosticSet {
+        &self.diagnostics
     }
 
     /// Display names of the devices the plan would occupy.
@@ -392,6 +407,31 @@ impl Controller {
         self.plan_context().solve(request)
     }
 
+    /// Expert variant of [`plan`](Controller::plan): place an
+    /// **already-isolated** IR program verbatim, skipping compile and
+    /// isolation renaming (see [`PlanContext::solve_isolated`]).  The static
+    /// verifier pipeline still runs — it is the only gate on this path, and
+    /// a program that reads or writes outside its tenant's namespace is
+    /// refused as [`ClickIncError::Verification`] before a plan exists.
+    pub fn plan_isolated(
+        &self,
+        request: &ServiceRequest,
+        program: IrProgram,
+    ) -> Result<DeploymentPlan, ControllerError> {
+        self.plan_context().solve_isolated(request, program)
+    }
+
+    /// [`plan_isolated`](Controller::plan_isolated) followed by
+    /// [`commit`](Controller::commit).
+    pub fn deploy_isolated(
+        &mut self,
+        request: &ServiceRequest,
+        program: IrProgram,
+    ) -> Result<&Deployment, ControllerError> {
+        let planned = self.plan_isolated(request, program)?;
+        self.commit(planned)
+    }
+
     /// The `Sync` snapshot-view of everything [`plan`](Controller::plan)
     /// reads.  Planning is pure, so any number of threads may solve against
     /// one context concurrently — the service's `Planner` fans its batch
@@ -428,6 +468,15 @@ impl Controller {
         if self.deployments.contains_key(&planned.request.user) {
             return Err(ClickIncError::DuplicateUser(planned.request.user));
         }
+        // a DeploymentPlan can only be built by PlanContext::solve, which
+        // already refuses error-severity diagnostics; this re-check keeps the
+        // invariant local so no future construction path can bypass the gate
+        if planned.diagnostics.has_errors() {
+            return Err(ClickIncError::Verification {
+                user: planned.request.user,
+                diagnostics: planned.diagnostics,
+            });
+        }
         debug_assert_eq!(planned.numeric_id, self.next_user_id, "epoch pins the numeric id");
         let commit_started = Instant::now();
         let DeploymentPlan { request, numeric_id, program: isolated, dag, plan, solved_in, .. } =
@@ -451,21 +500,7 @@ impl Controller {
         let mut device_programs = BTreeMap::new();
         let mut installed: BTreeMap<NodeId, Vec<IrProgram>> = BTreeMap::new();
         for assignment in plan.assignments.iter().filter(|a| !a.is_empty()) {
-            let mut snippet = IrProgram::new(request.user.clone());
-            snippet.headers = isolated.headers.clone();
-            snippet.objects = isolated
-                .objects
-                .iter()
-                .filter(|o| {
-                    assignment
-                        .instrs
-                        .iter()
-                        .any(|&i| isolated.instructions[i].object() == Some(o.name.as_str()))
-                })
-                .cloned()
-                .collect();
-            snippet.instructions =
-                assignment.instrs.iter().map(|&i| isolated.instructions[i].clone()).collect();
+            let snippet = slice_snippet(&request.user, &isolated, &assignment.instrs);
             for member in &assignment.members {
                 if let Some(plane) = self.planes.get_mut(member) {
                     plane.install(snippet.clone());
@@ -587,6 +622,45 @@ impl PlanContext<'_> {
         if self.deployments.contains_key(&request.user) {
             return Err(ClickIncError::DuplicateUser(request.user.clone()));
         }
+        // compile + isolate
+        let ir = self.frontend.compile_source(
+            &request.user,
+            &request.source,
+            &CompileOptions::default(),
+        )?;
+        let isolated = isolate_user_program(&ir, &request.user, self.next_user_id);
+        self.solve_prepared(request, isolated, started)
+    }
+
+    /// Expert path: place an **already-isolated** IR program verbatim,
+    /// skipping the compile and isolation-renaming steps of
+    /// [`solve`](PlanContext::solve) (the request's `source` is ignored).
+    /// Nothing here re-establishes the namespace discipline the normal path
+    /// guarantees — the verifier pipeline is the only thing standing between
+    /// a mis-isolated program and the planes, which is exactly why it runs
+    /// on this path too and refuses error-severity findings as
+    /// [`ClickIncError::Verification`].
+    pub fn solve_isolated(
+        &self,
+        request: &ServiceRequest,
+        program: IrProgram,
+    ) -> Result<DeploymentPlan, ControllerError> {
+        let started = Instant::now();
+        request.validate()?;
+        if self.deployments.contains_key(&request.user) {
+            return Err(ClickIncError::DuplicateUser(request.user.clone()));
+        }
+        self.solve_prepared(request, program, started)
+    }
+
+    /// Everything after compile + isolate: endpoint resolution, block DAG,
+    /// placement, static verification, and the ledger preview.
+    fn solve_prepared(
+        &self,
+        request: &ServiceRequest,
+        isolated: IrProgram,
+        started: Instant,
+    ) -> Result<DeploymentPlan, ControllerError> {
         // resolve endpoints
         let sources: Result<Vec<NodeId>, ControllerError> = request
             .sources
@@ -599,15 +673,8 @@ impl PlanContext<'_> {
             .find(&request.destination)
             .ok_or_else(|| ClickIncError::UnknownHost(request.destination.clone()))?;
 
-        // compile + isolate (the numeric id this plan will own if committed
-        // at the current epoch)
-        let ir = self.frontend.compile_source(
-            &request.user,
-            &request.source,
-            &CompileOptions::default(),
-        )?;
+        // the numeric id this plan will own if committed at the current epoch
         let numeric_id = self.next_user_id;
-        let isolated = isolate_user_program(&ir, &request.user, numeric_id);
 
         // block DAG + reduced topology + placement
         let dag = build_block_dag(&isolated, self.block_config);
@@ -620,6 +687,40 @@ impl PlanContext<'_> {
         };
         let plan =
             solve(&isolated, &dag, &net, &PlacementConfig { weights, enable_pruning: true })?;
+
+        // static verification: the whole pass pipeline runs over the
+        // isolated program and its per-device slices here, before a plan
+        // even exists — so no deploy path (plan/commit/deploy, the service
+        // facade, the batch planner) can mutate a ledger or a plane with an
+        // unverified program.  Error-severity findings abort the solve; the
+        // rest ride on the plan for inspection and CI export.
+        let mut placements = Vec::new();
+        for assignment in plan.assignments.iter().filter(|a| !a.is_empty()) {
+            let snippet = slice_snippet(&request.user, &isolated, &assignment.instrs);
+            for member in &assignment.members {
+                let node = self.topology.node(*member);
+                let model = node.kind.model();
+                placements.push(PlacedSnippet {
+                    device: node.name.clone(),
+                    target: DeviceTarget {
+                        device: node.name.clone(),
+                        kind: node.kind.to_string(),
+                        supported: model.supported_classes().clone(),
+                        storage_capacity_bits: model.storage_capacity_bits(),
+                    },
+                    program: snippet.clone(),
+                });
+            }
+        }
+        let diagnostics = PassManager::with_default_passes().run(&PassContext {
+            tenant: request.user.clone(),
+            isolated: true,
+            programs: std::slice::from_ref(&isolated),
+            placements: &placements,
+        });
+        if diagnostics.has_errors() {
+            return Err(ClickIncError::Verification { user: request.user.clone(), diagnostics });
+        }
 
         // predict the post-commit ratio on a scratch copy of the ledger
         let mut preview = self.ledger.clone();
@@ -638,9 +739,30 @@ impl PlanContext<'_> {
             plan,
             predicted_remaining_ratio,
             epoch: self.epoch,
+            diagnostics,
             solved_in: started.elapsed(),
         })
     }
+}
+
+/// The per-device slice of an isolated program: an assignment's instructions
+/// plus exactly the headers and objects they reference.  Shared by
+/// [`PlanContext::solve`] (which verifies every slice against its device
+/// model) and [`Controller::commit`] (which installs the same slices on the
+/// planes), so the program the verifier approved is the program that runs.
+fn slice_snippet(user: &str, isolated: &IrProgram, instrs: &[usize]) -> IrProgram {
+    let mut snippet = IrProgram::new(user.to_string());
+    snippet.headers = isolated.headers.clone();
+    snippet.objects = isolated
+        .objects
+        .iter()
+        .filter(|o| {
+            instrs.iter().any(|&i| isolated.instructions[i].object() == Some(o.name.as_str()))
+        })
+        .cloned()
+        .collect();
+    snippet.instructions = instrs.iter().map(|&i| isolated.instructions[i].clone()).collect();
+    snippet
 }
 
 #[cfg(test)]

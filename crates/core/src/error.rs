@@ -51,6 +51,19 @@ pub enum ClickIncError {
     },
     /// The serving engine rejected its configuration or failed at runtime.
     Engine(EngineError),
+    /// The static verifier pipeline found at least one error-severity
+    /// diagnostic in the tenant's (isolation-renamed) program, so nothing was
+    /// booked or installed.  The full [`DiagnosticSet`] — including
+    /// warnings/infos that alone would not have blocked the deploy — rides
+    /// along; `diagnostics.to_json()` exports it for tooling.
+    ///
+    /// [`DiagnosticSet`]: clickinc_ir::DiagnosticSet
+    Verification {
+        /// The user whose program failed verification.
+        user: String,
+        /// Every diagnostic the pass pipeline emitted.
+        diagnostics: clickinc_ir::DiagnosticSet,
+    },
     /// An [`AdmissionPolicy`] refused to let the plan commit.  The plan was
     /// feasible — compilation and placement succeeded — but provider policy
     /// (a resource floor, a tenant cap, a device denylist, …) vetoed it, and
@@ -87,6 +100,15 @@ impl fmt::Display for ClickIncError {
                  now at {current_epoch} — re-plan and commit again"
             ),
             ClickIncError::Engine(e) => write!(f, "engine failure: {e}"),
+            ClickIncError::Verification { user, diagnostics } => {
+                use clickinc_ir::Severity;
+                let errors = diagnostics.at(Severity::Error).count();
+                write!(f, "static verification failed for `{user}`: {errors} error(s)")?;
+                for d in diagnostics.at(Severity::Error).take(3) {
+                    write!(f, "; [{}] {}", d.pass, d.message)?;
+                }
+                Ok(())
+            }
             ClickIncError::Rejected { user, policy, reason } => {
                 write!(f, "admission policy `{policy}` rejected `{user}`: {reason}")
             }

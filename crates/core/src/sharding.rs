@@ -3,36 +3,26 @@
 //!
 //! The runtime can spread a single tenant's flows across every engine shard
 //! ([`ShardingMode::ByFlow`]) — but only when that cannot tear the tenant's
-//! inter-packet state apart.  This module derives the answer from the
-//! program itself, conservatively:
+//! inter-packet state apart.  The answer comes from the shared taint engine
+//! in `clickinc_ir::analysis::taint`: [`state_profile`] walks the
+//! deployment's snippets tracking which packet header fields every value is
+//! derived from, records every stateful access's key fields, classifies
+//! every mutation as commutative or not, and notes the first reason (if any)
+//! the tenant must stay on one shard.  This module merely maps the engine's
+//! [`ShardingDecision`] onto the runtime's [`ShardingMode`]:
 //!
-//! 1. Walk the deployment's snippets tracking, for every variable, which
-//!    packet header fields its value is derived from (constants, header
-//!    reads, ALU/compare/hash combinations, and reads of stateful objects at
-//!    already-derivable indices all stay derivable; anything else taints —
-//!    including reads of header fields the program itself rewrites, whose
-//!    runtime value no longer matches the inject-time flow hash).
-//! 2. Every access to a *stateful* object (data-plane inter-packet state,
-//!    [`clickinc_ir::ObjectKind::is_stateful`]) must index with derivable
-//!    operands; the intersection of those accesses' field sets is the
-//!    candidate flow key.  All packets that can ever share a state cell
-//!    agree on the key fields, so hashing flows by the key co-locates them
-//!    on one shard.
-//! 3. Mutations must be **commutatively mergeable**, because the engine
-//!    recombines the per-shard state partitions when it finishes and two
-//!    *different* flow keys may still collide on one cell (a hash-modulo
-//!    slot, a sketch bucket).  Counter increments (`count`) sum exactly and
-//!    Bloom sets OR exactly; register/table *overwrites* (`write` on an
-//!    Array/Seq/Table, any `del`) have no order-free merge, so they fall
-//!    back to [`ShardingMode::ByTenant`].
-//! 4. Anything else that breaks the argument — `randint` (per-tenant draw
-//!    streams), data-plane `clear` of a stateful object (a whole-object
-//!    effect), tainted or constant indices, or stateful accesses with no
-//!    common key field — also falls back to `ByTenant`, which is always
-//!    safe.
+//! * [`ShardingDecision::Stateless`] — no inter-packet state at all: hash
+//!   the full flow identity ([`ShardingMode::ByFlow`] with empty key).
+//! * [`ShardingDecision::ByKey`] — every stateful access is keyed by (at
+//!   least) the common fields, and every mutation merges commutatively
+//!   (counter sums, Bloom ORs): flow-shard on those fields.
+//! * [`ShardingDecision::Pinned`] — register/table overwrites, deletes,
+//!   clears, `randint`, constant/tainted indices, or disjoint key sets:
+//!   fall back to [`ShardingMode::ByTenant`], which is always safe.
 //!
-//! A deployment with *no* stateful access at all is stateless and flow-shards
-//! by its full flow identity (source, destination, every header field).
+//! The verifier's non-commutative-mutation pass consumes the *same*
+//! [`state_profile`], so the runtime's sharding decision and the verifier's
+//! classification can never disagree.
 //!
 //! On the provider templates: the KVS cache program (read-only exact-match
 //! cache, hit counters, heavy-hitter CMS, Bloom marker — every access keyed
@@ -42,241 +32,18 @@
 //! collide on one slot, and no merge of the torn registers reproduces the
 //! shared store.
 
-use clickinc_ir::{Instruction, ObjectKind, OpCode, Operand, SketchKind};
+use clickinc_ir::analysis::taint::{state_profile, ShardingDecision};
+use clickinc_ir::IrProgram;
 use clickinc_runtime::{ShardingMode, TenantHop};
-use std::collections::{BTreeMap, BTreeSet};
-
-/// What a variable's value can depend on.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Dep {
-    /// Derivable from the given packet header fields (possibly none — a
-    /// constant) and partition-local state.
-    Fields(BTreeSet<String>),
-    /// Not derivable from the inject-time packet alone (e.g. imported from
-    /// an upstream device's Param export, or read from a header field the
-    /// program rewrote).
-    Tainted,
-}
-
-impl Dep {
-    fn union(self, other: Dep) -> Dep {
-        match (self, other) {
-            (Dep::Fields(mut a), Dep::Fields(b)) => {
-                a.extend(b);
-                Dep::Fields(a)
-            }
-            _ => Dep::Tainted,
-        }
-    }
-}
-
-/// Per-deployment analysis state.
-struct Profile {
-    /// Variable → dependency set.  Variables never defined in the analyzed
-    /// snippets (Param imports from devices outside the hop list) read as
-    /// tainted.
-    vars: BTreeMap<String, Dep>,
-    /// Header fields rewritten by the program.  A rewritten field's runtime
-    /// value no longer matches what the inject-time flow hash saw, so
-    /// subsequent reads are tainted — a rewrite must never launder a
-    /// constant or foreign value into a flow key.
-    rewritten_headers: BTreeSet<String>,
-    /// Declared object shapes (isolation-renamed).
-    kinds: BTreeMap<String, ObjectKind>,
-    /// Per stateful access, the header fields its index derives from.
-    access_keys: Vec<BTreeSet<String>>,
-    /// Whether anything forced the safe fallback.
-    by_tenant: bool,
-}
-
-impl Profile {
-    fn operand_dep(&self, operand: &Operand) -> Dep {
-        match operand {
-            Operand::Const(_) => Dep::Fields(BTreeSet::new()),
-            Operand::Header(field) => {
-                if self.rewritten_headers.contains(field) {
-                    Dep::Tainted
-                } else {
-                    Dep::Fields(BTreeSet::from([field.clone()]))
-                }
-            }
-            // `meta.inc_user` is constant per tenant; `meta.step` advances
-            // identically for every packet at a given execution point.
-            Operand::Meta(field) if field == "inc_user" || field == "step" => {
-                Dep::Fields(BTreeSet::new())
-            }
-            Operand::Meta(_) => Dep::Tainted,
-            Operand::Var(name) => self.vars.get(name).cloned().unwrap_or(Dep::Tainted),
-        }
-    }
-
-    fn operands_dep(&self, operands: &[Operand]) -> Dep {
-        operands
-            .iter()
-            .fold(Dep::Fields(BTreeSet::new()), |acc, op| acc.union(self.operand_dep(op)))
-    }
-
-    /// Whether the named object holds inter-packet state.
-    fn is_stateful(&self, object: &str) -> bool {
-        self.kinds.get(object).is_some_and(|k| k.is_stateful())
-    }
-
-    /// Record a read/count access to `object` indexed by `index`.
-    /// Non-stateful objects (pure hashes, control-plane tables) constrain
-    /// nothing; stateful ones must have a derivable, non-constant index.
-    fn record_access(&mut self, object: &str, index: &[Operand]) -> Dep {
-        let dep = self.operands_dep(index);
-        if self.is_stateful(object) {
-            match &dep {
-                Dep::Fields(fields) if !fields.is_empty() => {
-                    self.access_keys.push(fields.clone());
-                }
-                // constant or tainted index: every packet may touch the same
-                // cell — only safe with all traffic on one shard
-                _ => self.by_tenant = true,
-            }
-        }
-        dep
-    }
-
-    fn assign(&mut self, dest: &str, dep: Dep) {
-        self.vars.insert(dest.to_string(), dep);
-    }
-}
 
 /// Derive the sharding mode for a deployment's hop list; see the
 /// [module docs](self) for the analysis.
 pub fn sharding_mode_for(hops: &[TenantHop]) -> ShardingMode {
-    let mut profile = Profile {
-        vars: BTreeMap::new(),
-        rewritten_headers: BTreeSet::new(),
-        kinds: BTreeMap::new(),
-        access_keys: Vec::new(),
-        by_tenant: false,
-    };
-    for hop in hops {
-        for snippet in &hop.snippets {
-            for object in &snippet.objects {
-                profile.kinds.entry(object.name.clone()).or_insert_with(|| object.kind.clone());
-            }
-        }
-    }
-    for hop in hops {
-        for snippet in &hop.snippets {
-            for instruction in &snippet.instructions {
-                analyze(&mut profile, instruction);
-                if profile.by_tenant {
-                    return ShardingMode::ByTenant;
-                }
-            }
-        }
-    }
-    if profile.access_keys.is_empty() {
-        // no inter-packet state at all: hash the full flow identity
-        return ShardingMode::ByFlow { key_fields: Vec::new() };
-    }
-    // the flow key must be implied by every stateful access's index: take
-    // the intersection, so packets sharing any state cell share the key
-    let mut keys = profile.access_keys.clone();
-    let mut common = keys.pop().expect("non-empty");
-    for set in keys {
-        common = common.intersection(&set).cloned().collect();
-    }
-    if common.is_empty() {
-        ShardingMode::ByTenant
-    } else {
-        ShardingMode::ByFlow { key_fields: common.into_iter().collect() }
-    }
-}
-
-fn analyze(profile: &mut Profile, instruction: &Instruction) {
-    match &instruction.op {
-        OpCode::Assign { dest, src } => {
-            let dep = profile.operand_dep(src);
-            profile.assign(dest, dep);
-        }
-        OpCode::Alu { dest, lhs, rhs, .. } | OpCode::Cmp { dest, lhs, rhs, .. } => {
-            let dep = profile.operand_dep(lhs).union(profile.operand_dep(rhs));
-            profile.assign(dest, dep);
-        }
-        OpCode::Hash { dest, keys, .. } => {
-            let dep = profile.operands_dep(keys);
-            profile.assign(dest, dep);
-        }
-        OpCode::Checksum { dest, inputs } => {
-            let dep = profile.operands_dep(inputs);
-            profile.assign(dest, dep);
-        }
-        OpCode::Crypto { dest, input, .. } => {
-            let dep = profile.operand_dep(input);
-            profile.assign(dest, dep);
-        }
-        OpCode::ReadState { dest, object, index } => {
-            let dep = profile.record_access(object, index);
-            profile.assign(dest, dep);
-        }
-        OpCode::CountState { dest, object, index, .. } => {
-            // a counter increment: commutative, sums exactly across flow
-            // partitions even when two flows collide on one cell
-            let dep = profile.record_access(object, index);
-            if let Some(dest) = dest {
-                profile.assign(dest, dep);
-            }
-        }
-        OpCode::WriteState { object, index, .. } => {
-            // overwrites are only mergeable when they are idempotent: a
-            // Bloom set ORs exactly.  Register/table overwrites have no
-            // order-free merge — two flows colliding on a hash-modulo slot
-            // from different shards would tear the cell — so they pin the
-            // tenant to one shard.
-            match profile.kinds.get(object) {
-                Some(ObjectKind::Sketch { kind: SketchKind::Bloom, .. }) => {
-                    profile.record_access(object, index);
-                }
-                Some(kind) if kind.is_stateful() => profile.by_tenant = true,
-                // control-plane-only tables are written by the data plane in
-                // no template, and replicated writes could shadow them:
-                // treat any data-plane write as disqualifying
-                Some(ObjectKind::Table { .. }) => profile.by_tenant = true,
-                _ => {}
-            }
-        }
-        OpCode::DeleteState { object, .. } => {
-            // deleting from a replicated/partitioned object resurrects or
-            // tears entries on merge
-            if profile.kinds.contains_key(object) {
-                profile.by_tenant = true;
-            }
-        }
-        OpCode::ClearState { object } => {
-            // a data-plane clear is a whole-object effect: replicas would
-            // clear only their own partition
-            if profile.is_stateful(object) {
-                profile.by_tenant = true;
-            }
-        }
-        OpCode::RandInt { .. } => {
-            // per-tenant draw streams are order-dependent across the whole
-            // tenant, not per flow
-            profile.by_tenant = true;
-        }
-        OpCode::SetHeader { field, .. } => {
-            profile.rewritten_headers.insert(field.clone());
-        }
-        OpCode::Back { updates } => {
-            // `back()` rewrites the live packet's header before bouncing it,
-            // and subsequent (guarded) instructions still execute — the same
-            // laundering hazard as SetHeader
-            for (field, _) in updates {
-                profile.rewritten_headers.insert(field.clone());
-            }
-        }
-        OpCode::Drop
-        | OpCode::Forward
-        | OpCode::Mirror { .. }
-        | OpCode::Multicast { .. }
-        | OpCode::CopyTo { .. }
-        | OpCode::NoOp => {}
+    let snippets: Vec<&IrProgram> = hops.iter().flat_map(|hop| hop.snippets.iter()).collect();
+    match state_profile(&snippets).sharding_decision() {
+        ShardingDecision::Stateless => ShardingMode::ByFlow { key_fields: Vec::new() },
+        ShardingDecision::ByKey(key_fields) => ShardingMode::ByFlow { key_fields },
+        ShardingDecision::Pinned(_) => ShardingMode::ByTenant,
     }
 }
 
@@ -315,6 +82,23 @@ mod tests {
         );
         let mode = sharding_mode_for(&hops_for(&t.source, "agg0"));
         assert_eq!(mode, ShardingMode::ByTenant);
+    }
+
+    #[test]
+    fn fig13_programs_keep_their_sharding_modes() {
+        // regression lock for the port onto the shared taint engine: the
+        // fig13-scale templates must classify exactly as before — KVS
+        // flow-shards on `key`, MLAgg pins to one shard
+        let kvs = kvs_template("kvs_srv", KvsParams { cache_depth: 2000, ..Default::default() });
+        assert_eq!(
+            sharding_mode_for(&hops_for(&kvs.source, "kvs_srv")),
+            ShardingMode::ByFlow { key_fields: vec!["key".to_string()] }
+        );
+        let mlagg = mlagg_template(
+            "mlagg",
+            MlAggParams { dims: 32, num_workers: 4, num_aggregators: 4096, is_float: false },
+        );
+        assert_eq!(sharding_mode_for(&hops_for(&mlagg.source, "mlagg")), ShardingMode::ByTenant);
     }
 
     #[test]

@@ -21,11 +21,11 @@ use clickinc_ir::{
 use std::collections::BTreeSet;
 
 /// SRAM block capacity in bits (Tofino-style 128 kb blocks).
-const SRAM_BLOCK_BITS: f64 = 128.0 * 1024.0;
+pub(crate) const SRAM_BLOCK_BITS: f64 = 128.0 * 1024.0;
 /// TCAM block capacity in bits (44 b × 2048 entries).
-const TCAM_BLOCK_BITS: f64 = 44.0 * 2048.0;
+pub(crate) const TCAM_BLOCK_BITS: f64 = 44.0 * 2048.0;
 /// FPGA BRAM block capacity in bits (36 kb).
-const BRAM_BLOCK_BITS: f64 = 36.0 * 1024.0;
+pub(crate) const BRAM_BLOCK_BITS: f64 = 36.0 * 1024.0;
 
 /// Demand of a single instruction on `device`, *excluding* object memory
 /// (memory is accounted per distinct object by [`block_demand`]).
@@ -195,7 +195,7 @@ mod tests {
         b.hash("i", "h", vec![Operand::hdr("key")]);
         b.alu("x", AluOp::Add, Operand::var("c"), Operand::int(1));
         b.forward();
-        b.build()
+        b.build().expect("test program is well-formed")
     }
 
     #[test]
@@ -316,7 +316,7 @@ mod tests {
             encrypt: true,
         });
         b.falu("f", AluOp::Mul, Operand::hdr("a"), Operand::hdr("b"));
-        let p = b.build();
+        let p = b.build().expect("test program is well-formed");
         let fpga = DeviceModel::fpga_smartnic();
         let d = block_demand(&fpga, &p, &[0, 1]);
         assert!(d[Resource::Dsp] > 0.0);

@@ -44,7 +44,7 @@ mod proptests {
                     b.alu(&format!("v{i}"), AluOp::Add, Operand::hdr("x"), Operand::int(i as i64));
                 }
             }
-            let program = b.build();
+            let program = b.build().expect("generated program is well-formed");
             let dev = DeviceModel::tofino();
             let small: Vec<usize> = (0..n).collect();
             let large: Vec<usize> = (0..n + extra).collect();

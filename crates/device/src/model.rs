@@ -125,6 +125,18 @@ impl DeviceModel {
         self.per_stage.scaled(self.stages as f64)
     }
 
+    /// Total state storage the device offers, in bits: SRAM + TCAM + BRAM
+    /// blocks across all stages, each converted at its block size.  This is
+    /// the coarse bound the verifier's resource pre-check compares a
+    /// snippet's aggregate object footprint against (the placement solver
+    /// still enforces the exact per-stage constraint system).
+    pub fn storage_capacity_bits(&self) -> u64 {
+        let total = self.total_capacity();
+        (total[Resource::SramBlocks] * crate::demand::SRAM_BLOCK_BITS
+            + total[Resource::TcamBlocks] * crate::demand::TCAM_BLOCK_BITS
+            + total[Resource::Bram] * crate::demand::BRAM_BLOCK_BITS) as u64
+    }
+
     /// Whether the device can execute instructions of the given class.
     pub fn supports(&self, class: CapabilityClass) -> bool {
         self.supported.contains(&class)

@@ -77,8 +77,65 @@ impl Frontend {
     ) -> Result<IrProgram, FrontendError> {
         let mut lower = Lowerer::new(name, &self.library, opts);
         lower.lower_block(&program.stmts)?;
-        Ok(lower.finish())
+        let ir = lower.finish();
+        check_constant_indices(&ir)?;
+        Ok(ir)
     }
+}
+
+/// Lower-time mirror of the verifier's `bounds` pass: a *constant* index that
+/// falls outside its object's declared geometry can never be right, so the
+/// frontend rejects the program outright instead of letting the wrap-around
+/// surface as a verifier diagnostic (or, pre-verifier, an emulator surprise).
+/// Runtime (variable) indices are left to the emulator's modulo semantics.
+fn check_constant_indices(program: &IrProgram) -> Result<(), FrontendError> {
+    let const_int = |op: &Operand| match op {
+        Operand::Const(v) => v.as_int(),
+        _ => None,
+    };
+    for instr in &program.instructions {
+        let (object, index) = match &instr.op {
+            OpCode::ReadState { object, index, .. }
+            | OpCode::WriteState { object, index, .. }
+            | OpCode::CountState { object, index, .. }
+            | OpCode::DeleteState { object, index } => (object, index),
+            _ => continue,
+        };
+        let Some(decl) = program.object(object) else { continue };
+        let mut checks: Vec<(i64, u64, &str)> = Vec::new();
+        match &decl.kind {
+            ObjectKind::Array { rows, size, .. } => {
+                if index.len() >= 2 {
+                    if let Some(row) = const_int(&index[0]) {
+                        checks.push((row, u64::from(*rows), "row"));
+                    }
+                    if let Some(cell) = const_int(&index[1]) {
+                        checks.push((cell, u64::from(*size), "cell"));
+                    }
+                } else if let Some(cell) = index.first().and_then(const_int) {
+                    checks.push((cell, u64::from(*size), "cell"));
+                }
+            }
+            ObjectKind::Seq { size, .. } => {
+                if let Some(cell) = index.first().and_then(const_int) {
+                    checks.push((cell, u64::from(*size), "cell"));
+                }
+            }
+            _ => continue,
+        }
+        for (value, bound, what) in checks {
+            if value < 0 || value as u64 >= bound {
+                return Err(FrontendError::BadObjectUse {
+                    object: object.clone(),
+                    reason: format!(
+                        "constant {what} index {value} is out of bounds for the declared \
+                         {what} count {bound}"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// A compile-time value produced by expression lowering.
@@ -1399,6 +1456,28 @@ mod tests {
         let drop =
             ir.instructions.iter().find(|i| matches!(i.op, OpCode::Drop)).expect("drop present");
         assert_eq!(drop.guard.as_ref().unwrap().all.len(), 2, "{}", ir.dump());
+    }
+
+    #[test]
+    fn constant_out_of_bounds_index_is_rejected_at_lower_time() {
+        // cell 9 on a size-4 array would silently wrap in the emulator; the
+        // frontend must refuse the program before it can reach the service
+        let err = Frontend::new()
+            .compile_source(
+                "oob",
+                "ctr = Array(row=1, size=4, w=32)\ncount(ctr, 9, 1)\nforward()\n",
+                &CompileOptions::default(),
+            )
+            .expect_err("constant out-of-bounds index must not compile");
+        match err {
+            FrontendError::BadObjectUse { object, reason } => {
+                assert_eq!(object, "ctr");
+                assert!(reason.contains("out of bounds"), "{reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // an in-bounds constant on the same geometry stays fine
+        compile("ctr = Array(row=1, size=4, w=32)\ncount(ctr, 3, 1)\nforward()\n");
     }
 
     #[test]

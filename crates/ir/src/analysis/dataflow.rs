@@ -1,0 +1,259 @@
+//! Def-use, reaching definitions and liveness over the straight-line IR.
+//!
+//! The frontend if-converts every branch into predicated (guarded)
+//! instructions, so the CFG of an [`IrProgram`] is a single basic block and the
+//! classic dataflow problems collapse into list walks — with one twist: a
+//! *guarded* definition behaves like one arm of a φ-merge (it may or may not
+//! execute), so it never kills earlier definitions, while an unguarded
+//! definition does.
+
+use crate::deps::ReadWriteSet;
+use crate::instr::{OpCode, Operand};
+use crate::program::IrProgram;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Def-use chains of one program.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    sets: Vec<ReadWriteSet>,
+    guarded: Vec<bool>,
+    var_defs: BTreeMap<String, Vec<usize>>,
+    var_uses: BTreeMap<String, Vec<usize>>,
+}
+
+impl DefUse {
+    /// Build the def-use chains of `program`.
+    pub fn of(program: &IrProgram) -> DefUse {
+        let sets: Vec<ReadWriteSet> =
+            program.instructions.iter().map(|i| ReadWriteSet::of(i, &program.objects)).collect();
+        let guarded = program.instructions.iter().map(|i| i.guard.is_some()).collect();
+        let mut var_defs: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut var_uses: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (idx, set) in sets.iter().enumerate() {
+            if let Some(v) = &set.writes_var {
+                var_defs.entry(v.clone()).or_default().push(idx);
+            }
+            for v in &set.reads_vars {
+                var_uses.entry(v.clone()).or_default().push(idx);
+            }
+        }
+        DefUse { sets, guarded, var_defs, var_uses }
+    }
+
+    /// The read/write set of instruction `idx`.
+    pub fn set(&self, idx: usize) -> &ReadWriteSet {
+        &self.sets[idx]
+    }
+
+    /// All instructions defining `var`, in program order.
+    pub fn defs_of(&self, var: &str) -> &[usize] {
+        self.var_defs.get(var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All instructions reading `var` (operands or guards), in program order.
+    pub fn uses_of(&self, var: &str) -> &[usize] {
+        self.var_uses.get(var).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The definitions of `var` that reach instruction `at`: every definition
+    /// before `at` that is not killed by a later *unguarded* definition still
+    /// before `at`.  Guarded definitions are φ-arms and kill nothing.
+    pub fn reaching_defs(&self, var: &str, at: usize) -> Vec<usize> {
+        let defs = self.defs_of(var);
+        let last_kill = defs.iter().copied().filter(|&d| d < at && !self.guarded[d]).max();
+        defs.iter()
+            .copied()
+            .filter(|&d| d < at && last_kill.map(|k| d >= k).unwrap_or(true))
+            .collect()
+    }
+
+    /// Whether the value defined by instruction `def` is read by any later
+    /// instruction.
+    pub fn def_is_used(&self, def: usize) -> bool {
+        match &self.sets[def].writes_var {
+            Some(v) => self.uses_of(v).iter().any(|&u| u > def),
+            None => false,
+        }
+    }
+
+    /// Liveness over the value graph: an instruction is live when it is
+    /// effectful ([`is_effectful`]), an explicit packet action, or its defined
+    /// value flows (transitively) into a live instruction's operands or guard.
+    /// Dead instructions are pure computations nothing observes.
+    pub fn live_instructions(&self, program: &IrProgram) -> Vec<bool> {
+        let n = program.instructions.len();
+        let mut live = vec![false; n];
+        let mut needed: BTreeSet<String> = BTreeSet::new();
+        for idx in (0..n).rev() {
+            let instr = &program.instructions[idx];
+            let set = &self.sets[idx];
+            let is_root = is_effectful(instr)
+                || instr.op.is_packet_action()
+                || matches!(instr.op, OpCode::NoOp);
+            let feeds_live = set.writes_var.as_ref().map(|v| needed.contains(v)).unwrap_or(false);
+            if is_root || feeds_live {
+                live[idx] = true;
+                needed.extend(set.reads_vars.iter().cloned());
+            }
+        }
+        live
+    }
+}
+
+/// Whether an instruction has an effect observable outside the device: it
+/// mutates a state object, rewrites a header field, draws from the tenant's
+/// random stream, or takes a packet action other than the default `forward`.
+pub fn is_effectful(instr: &crate::instr::Instruction) -> bool {
+    match &instr.op {
+        OpCode::WriteState { .. }
+        | OpCode::CountState { .. }
+        | OpCode::ClearState { .. }
+        | OpCode::DeleteState { .. }
+        | OpCode::SetHeader { .. }
+        | OpCode::Back { .. }
+        | OpCode::Mirror { .. }
+        | OpCode::Drop
+        | OpCode::Multicast { .. }
+        | OpCode::CopyTo { .. }
+        | OpCode::RandInt { .. } => true,
+        OpCode::Forward
+        | OpCode::NoOp
+        | OpCode::Assign { .. }
+        | OpCode::Alu { .. }
+        | OpCode::Cmp { .. }
+        | OpCode::Hash { .. }
+        | OpCode::ReadState { .. }
+        | OpCode::Crypto { .. }
+        | OpCode::Checksum { .. } => false,
+    }
+}
+
+/// Header fields (strictly `hdr.*`, not metadata) read by an instruction's
+/// operands and guard, in no particular order.
+pub fn header_reads(instr: &crate::instr::Instruction) -> BTreeSet<String> {
+    let mut fields = BTreeSet::new();
+    let mut read = |op: &Operand| {
+        if let Operand::Header(f) = op {
+            fields.insert(f.clone());
+        }
+    };
+    if let Some(guard) = &instr.guard {
+        for p in &guard.all {
+            read(&p.lhs);
+            read(&p.rhs);
+        }
+    }
+    match &instr.op {
+        OpCode::Assign { src, .. } => read(src),
+        OpCode::Alu { lhs, rhs, .. } | OpCode::Cmp { lhs, rhs, .. } => {
+            read(lhs);
+            read(rhs);
+        }
+        OpCode::Hash { keys, .. } => keys.iter().for_each(&mut read),
+        OpCode::ReadState { index, .. } | OpCode::DeleteState { index, .. } => {
+            index.iter().for_each(&mut read)
+        }
+        OpCode::WriteState { index, value, .. } => {
+            index.iter().for_each(&mut read);
+            value.iter().for_each(&mut read);
+        }
+        OpCode::CountState { index, delta, .. } => {
+            index.iter().for_each(&mut read);
+            read(delta);
+        }
+        OpCode::Back { updates } | OpCode::Mirror { updates } => {
+            updates.iter().for_each(|(_, v)| read(v))
+        }
+        OpCode::Multicast { group } => read(group),
+        OpCode::CopyTo { values, .. } => values.iter().for_each(&mut read),
+        OpCode::SetHeader { value, .. } => read(value),
+        OpCode::Crypto { input, .. } => read(input),
+        OpCode::RandInt { bound, .. } => read(bound),
+        OpCode::Checksum { inputs, .. } => inputs.iter().for_each(&mut read),
+        OpCode::ClearState { .. } | OpCode::Drop | OpCode::Forward | OpCode::NoOp => {}
+    }
+    fields
+}
+
+/// Header fields an instruction writes (`hdr.field = v`, `back`/`mirror`
+/// update dictionaries).
+pub fn header_writes(instr: &crate::instr::Instruction) -> BTreeSet<String> {
+    match &instr.op {
+        OpCode::SetHeader { field, .. } => std::iter::once(field.clone()).collect(),
+        OpCode::Back { updates } | OpCode::Mirror { updates } => {
+            updates.iter().map(|(f, _)| f.clone()).collect()
+        }
+        _ => BTreeSet::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::{CmpOp, Predicate};
+
+    fn sample() -> IrProgram {
+        let mut b = ProgramBuilder::new("p");
+        b.array("acc", 1, 16, 32);
+        b.assign("x", Operand::int(1)); // 0
+        b.guarded(Predicate::new(Operand::hdr("op"), CmpOp::Eq, Operand::int(1)), |b| {
+            b.assign("y", Operand::var("x")); // 1 (guarded def of y)
+        });
+        b.guarded(Predicate::new(Operand::hdr("op"), CmpOp::Eq, Operand::int(2)), |b| {
+            b.assign("y", Operand::int(9)); // 2 (guarded def of y)
+        });
+        b.count(None, "acc", vec![Operand::var("y")], Operand::int(1)); // 3
+        b.assign("unused", Operand::var("x")); // 4
+        b.forward(); // 5
+        b.build().expect("sample builds")
+    }
+
+    #[test]
+    fn guarded_defs_merge_like_phi_arms() {
+        let p = sample();
+        let du = DefUse::of(&p);
+        assert_eq!(du.reaching_defs("y", 3), vec![1, 2], "both guarded arms reach the use");
+        assert_eq!(du.defs_of("y"), &[1, 2]);
+        assert_eq!(du.uses_of("y"), &[3]);
+    }
+
+    #[test]
+    fn unguarded_defs_kill_earlier_ones() {
+        let mut b = ProgramBuilder::new("p");
+        b.assign("a", Operand::int(1)); // 0
+        b.assign("a", Operand::int(2)); // 1 (kills 0; not SSA, but analyzable)
+        b.assign("b", Operand::var("a")); // 2
+        let p = b.build().unwrap();
+        let du = DefUse::of(&p);
+        assert_eq!(du.reaching_defs("a", 2), vec![1]);
+    }
+
+    #[test]
+    fn liveness_flows_backwards_from_effects() {
+        let p = sample();
+        let du = DefUse::of(&p);
+        let live = du.live_instructions(&p);
+        // x feeds y feeds the count; the count and the forward are roots
+        assert!(live[0] && live[1] && live[2] && live[3] && live[5]);
+        assert!(!live[4], "`unused` feeds nothing observable");
+        assert!(du.def_is_used(0));
+        assert!(!du.def_is_used(4));
+    }
+
+    #[test]
+    fn header_read_write_extraction_skips_metadata() {
+        let mut b = ProgramBuilder::new("p");
+        b.guarded(
+            Predicate::new(Operand::Meta("inc_user".into()), CmpOp::Eq, Operand::int(1)),
+            |b| {
+                b.assign("k", Operand::hdr("key"));
+                b.set_header("op", Operand::var("k"));
+            },
+        );
+        let p = b.build().unwrap();
+        assert_eq!(header_reads(&p.instructions[0]).into_iter().collect::<Vec<_>>(), vec!["key"]);
+        assert!(header_writes(&p.instructions[0]).is_empty());
+        assert_eq!(header_writes(&p.instructions[1]).into_iter().collect::<Vec<_>>(), vec!["op"]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Structured verifier diagnostics.
+//!
+//! Every verifier pass reports findings as [`Diagnostic`] values collected into
+//! a [`DiagnosticSet`]. The set is JSON-exportable (the service attaches it to
+//! deployment plans and CI archives it), and carries enough structure — pass
+//! name, tenant, snippet — for an operator to route a finding without parsing
+//! the message text.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// How severe a finding is.
+///
+/// * `Error` — the program is unsafe to install (isolation violation, store
+///   corruption); the service refuses to deploy.
+/// * `Warning` — suspicious but installable (over-capacity snippet, dead
+///   snippet); rejected only in deny-warnings mode (CI).
+/// * `Info` — a classification the passes surface for downstream consumers
+///   (e.g. which mutations are non-commutative), never a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Classification output, never a failure.
+    Info,
+    /// Suspicious but installable; fails deny-warnings mode only.
+    Warning,
+    /// Unsafe to install; the service refuses to deploy.
+    Error,
+}
+
+impl Severity {
+    /// Stable string form used in JSON exports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parse the string form back.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// The vendored derive handles structs only, so the enum (de)serializes by hand
+// as its string form.
+impl Serialize for Severity {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Severity {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => {
+                Severity::parse(s).ok_or_else(|| DeError::custom(format!("bad severity `{s}`")))
+            }
+            _ => Err(DeError::custom("expected severity string")),
+        }
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// How severe the finding is.
+    pub severity: Severity,
+    /// Name of the pass that produced it.
+    pub pass: String,
+    /// The tenant whose program was analyzed.
+    pub tenant: String,
+    /// The snippet (program or per-device slice) the finding is anchored in.
+    pub snippet: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic with the given severity.
+    pub fn new(
+        severity: Severity,
+        pass: impl Into<String>,
+        tenant: impl Into<String>,
+        snippet: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity,
+            pass: pass.into(),
+            tenant: tenant.into(),
+            snippet: snippet.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}/{}: {}",
+            self.severity, self.pass, self.tenant, self.snippet, self.message
+        )
+    }
+}
+
+/// The ordered collection of findings one pipeline run produced.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosticSet {
+    /// The findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl DiagnosticSet {
+    /// An empty set.
+    pub fn new() -> DiagnosticSet {
+        DiagnosticSet::default()
+    }
+
+    /// Append one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Append all findings of another set.
+    pub fn merge(&mut self, other: DiagnosticSet) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Iterate over the findings.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter()
+    }
+
+    /// Findings at exactly the given severity.
+    pub fn at(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.severity == severity)
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether any finding is a warning.
+    pub fn has_warnings(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Warning)
+    }
+
+    /// The most severe finding, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Pretty-printed JSON export (the CI artifact format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("diagnostic set serializes")
+    }
+
+    /// Parse a JSON export back.
+    pub fn from_json(s: &str) -> Result<DiagnosticSet, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+impl fmt::Display for DiagnosticSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiagnosticSet {
+        let mut set = DiagnosticSet::new();
+        set.push(Diagnostic::new(Severity::Info, "classify", "u0", "p", "commutative count"));
+        set.push(Diagnostic::new(Severity::Error, "isolation", "u0", "p", "foreign object"));
+        set
+    }
+
+    #[test]
+    fn severity_orders_info_below_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(sample().worst(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn error_and_warning_queries() {
+        let set = sample();
+        assert!(set.has_errors());
+        assert!(!set.has_warnings());
+        assert_eq!(set.at(Severity::Info).count(), 1);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let set = sample();
+        let json = set.to_json();
+        assert!(json.contains("\"severity\": \"error\""));
+        let back = DiagnosticSet::from_json(&json).expect("parses");
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn severity_string_forms_round_trip() {
+        for s in [Severity::Info, Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn display_is_one_line_per_finding() {
+        let text = sample().to_string();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("error [isolation]"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Static analysis over the IR: dataflow, taint, and the verifier pipeline.
+//!
+//! Three layers, each reusable on its own:
+//!
+//! * [`dataflow`] — def-use chains, reaching definitions and value-graph
+//!   liveness over the straight-line (if-converted) instruction stream.
+//! * [`taint`] — the forward taint lattice tracking which header fields every
+//!   value derives from, plus [`taint::state_profile`]: the single analysis
+//!   behind both the runtime's flow-sharding decision
+//!   (`clickinc::sharding_mode_for`) and the verifier's mutation
+//!   classification.
+//! * [`passes`] — the [`passes::PassManager`] pipeline of verifier passes
+//!   emitting structured [`diagnostics::Diagnostic`] values; the service runs
+//!   it before the first mutation of every deploy.
+
+pub mod dataflow;
+pub mod diagnostics;
+pub mod passes;
+pub mod taint;
+
+pub use dataflow::{header_reads, header_writes, is_effectful, DefUse};
+pub use diagnostics::{Diagnostic, DiagnosticSet, Severity};
+pub use passes::{
+    BoundsPass, CommutativityPass, DeadSnippetPass, DeviceTarget, IsolationPass, PassContext,
+    PassManager, PlacedSnippet, ResourceBoundPass, UninitHeaderPass, VerifierPass,
+};
+pub use taint::{
+    state_profile, MutationKind, MutationRecord, PinReason, ShardingDecision, StateProfile, Taint,
+};

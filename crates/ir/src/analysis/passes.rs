@@ -1,0 +1,595 @@
+//! The verifier pass pipeline.
+//!
+//! A [`PassManager`] runs an ordered list of [`VerifierPass`]es over a
+//! [`PassContext`] (one tenant's programs plus, when available, their per-device
+//! placements) and collects every finding into a [`DiagnosticSet`].  The service
+//! runs the default pipeline before the first mutation of any deploy, and CI
+//! re-runs it in deny-warnings mode over every example's programs.
+//!
+//! The manager is deliberately open: passes are trait objects registered in
+//! order, so optimizer passes (dead-snippet *elimination*, guard hoisting,
+//! cross-tenant table merging) can mount on the same pipeline later without a
+//! new driver.
+
+use crate::analysis::dataflow::{header_reads, header_writes, is_effectful, DefUse};
+use crate::analysis::diagnostics::{Diagnostic, DiagnosticSet, Severity};
+use crate::analysis::taint::state_profile;
+use crate::capability::CapabilityClass;
+use crate::instr::{OpCode, Operand};
+use crate::object::ObjectKind;
+use crate::program::IrProgram;
+use std::collections::BTreeSet;
+
+/// A device the verifier checks placements against, as plain data.
+///
+/// The `device` crate owns the full models; the service flattens them into this
+/// shape so the IR crate needs no device dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceTarget {
+    /// Device name (e.g. `tor0`).
+    pub device: String,
+    /// Device kind label (e.g. `tofino`), used only in messages.
+    pub kind: String,
+    /// Capability classes the device supports.
+    pub supported: BTreeSet<CapabilityClass>,
+    /// Total storage the device offers, in bits.
+    pub storage_capacity_bits: u64,
+}
+
+/// One per-device slice of a tenant's deployment.
+#[derive(Debug, Clone)]
+pub struct PlacedSnippet {
+    /// The device the slice lands on.
+    pub device: String,
+    /// The device's verifier-visible model.
+    pub target: DeviceTarget,
+    /// The instructions placed there.
+    pub program: IrProgram,
+}
+
+/// Everything a pass may inspect for one tenant.
+#[derive(Debug, Clone)]
+pub struct PassContext<'a> {
+    /// The tenant (user program id) under analysis.
+    pub tenant: String,
+    /// Whether `programs` went through isolation renaming — the isolation pass
+    /// only applies then (operator base programs own the global namespace).
+    pub isolated: bool,
+    /// The tenant's full programs, one per source snippet.
+    pub programs: &'a [IrProgram],
+    /// Per-device placement slices, when placement has run (may be empty).
+    pub placements: &'a [PlacedSnippet],
+}
+
+/// A single verifier pass.
+pub trait VerifierPass {
+    /// Stable pass name, recorded on every diagnostic it emits.
+    fn name(&self) -> &'static str;
+    /// Analyze `ctx`, appending findings to `out`.
+    fn run(&self, ctx: &PassContext<'_>, out: &mut DiagnosticSet);
+}
+
+/// Runs an ordered pipeline of verifier passes.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn VerifierPass>>,
+}
+
+impl PassManager {
+    /// An empty manager (register passes yourself).
+    pub fn new() -> PassManager {
+        PassManager::default()
+    }
+
+    /// The default verifier pipeline, in severity-first order.
+    pub fn with_default_passes() -> PassManager {
+        let mut pm = PassManager::new();
+        pm.register(Box::new(IsolationPass));
+        pm.register(Box::new(UninitHeaderPass));
+        pm.register(Box::new(BoundsPass));
+        pm.register(Box::new(ResourceBoundPass));
+        pm.register(Box::new(DeadSnippetPass));
+        pm.register(Box::new(CommutativityPass));
+        pm
+    }
+
+    /// Append a pass to the pipeline.
+    pub fn register(&mut self, pass: Box<dyn VerifierPass>) {
+        self.passes.push(pass);
+    }
+
+    /// The registered pass names, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Run every pass over `ctx` and collect the findings.
+    pub fn run(&self, ctx: &PassContext<'_>) -> DiagnosticSet {
+        let mut out = DiagnosticSet::new();
+        for pass in &self.passes {
+            pass.run(ctx, &mut out);
+        }
+        out
+    }
+}
+
+fn diag(
+    severity: Severity,
+    pass: &str,
+    ctx: &PassContext<'_>,
+    snippet: &str,
+    message: String,
+) -> Diagnostic {
+    Diagnostic::new(severity, pass, ctx.tenant.clone(), snippet, message)
+}
+
+/// Cross-tenant isolation: every object an isolated program declares or
+/// touches must live inside the tenant's isolation-renamed namespace
+/// (`{tenant}_` prefix, the contract `synthesis::isolate_user_program`
+/// establishes).  A reference outside it reads or corrupts another tenant's
+/// state.
+pub struct IsolationPass;
+
+impl IsolationPass {
+    fn is_owned(name: &str, tenant: &str) -> bool {
+        name.len() > tenant.len() + 1
+            && name.as_bytes()[tenant.len()] == b'_'
+            && name.starts_with(tenant)
+    }
+}
+
+impl VerifierPass for IsolationPass {
+    fn name(&self) -> &'static str {
+        "isolation"
+    }
+
+    fn run(&self, ctx: &PassContext<'_>, out: &mut DiagnosticSet) {
+        if !ctx.isolated {
+            return;
+        }
+        for program in ctx.programs {
+            for decl in &program.objects {
+                if !Self::is_owned(&decl.name, &ctx.tenant) {
+                    out.push(diag(
+                        Severity::Error,
+                        self.name(),
+                        ctx,
+                        &program.name,
+                        format!(
+                            "object `{}` is declared outside tenant namespace `{}_*`",
+                            decl.name, ctx.tenant
+                        ),
+                    ));
+                }
+            }
+            for instr in &program.instructions {
+                if let Some(object) = instr.object() {
+                    if !Self::is_owned(object, &ctx.tenant) {
+                        out.push(diag(
+                            Severity::Error,
+                            self.name(),
+                            ctx,
+                            &program.name,
+                            format!(
+                                "instruction {} accesses `{object}` outside tenant namespace `{}_*`",
+                                instr.id, ctx.tenant
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Uninitialized-header-read: a header field read before the program either
+/// declares it (parsed off the wire) or writes it yields whatever bytes the
+/// previous pipeline stage left behind.
+pub struct UninitHeaderPass;
+
+impl VerifierPass for UninitHeaderPass {
+    fn name(&self) -> &'static str {
+        "uninit-header"
+    }
+
+    fn run(&self, ctx: &PassContext<'_>, out: &mut DiagnosticSet) {
+        for program in ctx.programs {
+            let mut known: BTreeSet<String> =
+                program.headers.iter().map(|h| h.name.clone()).collect();
+            for instr in &program.instructions {
+                for field in header_reads(instr) {
+                    if !known.contains(&field) {
+                        out.push(diag(
+                            Severity::Error,
+                            self.name(),
+                            ctx,
+                            &program.name,
+                            format!(
+                                "instruction {} reads header field `{field}` that is neither \
+                                 declared nor written earlier",
+                                instr.id
+                            ),
+                        ));
+                    }
+                }
+                known.extend(header_writes(instr));
+            }
+        }
+    }
+}
+
+/// Constant-index bounds: the emulator (and the ASICs' register files) wrap
+/// out-of-range indices modulo the object size, so an out-of-bounds constant
+/// silently aliases another cell instead of faulting.  Negative constants are
+/// folded through `unsigned_abs` and alias too.  Only `Array` and `Seq`
+/// objects have indexed cells; sketches hash their index and tables treat it
+/// as a key.
+pub struct BoundsPass;
+
+impl BoundsPass {
+    fn const_int(op: &Operand) -> Option<i64> {
+        match op {
+            Operand::Const(v) => v.as_int(),
+            _ => None,
+        }
+    }
+
+    fn check(
+        &self,
+        ctx: &PassContext<'_>,
+        out: &mut DiagnosticSet,
+        program: &IrProgram,
+        instr: &crate::instr::Instruction,
+        object: &str,
+        index: &[Operand],
+    ) {
+        let Some(decl) = program.object(object) else { return };
+        // (bound, what) pairs checked against the constants actually used as
+        // that dimension by the emulator's row/cell decoding
+        let mut checks: Vec<(i64, u64, &str)> = Vec::new();
+        match &decl.kind {
+            ObjectKind::Array { rows, size, .. } => {
+                if index.len() >= 2 {
+                    if let Some(row) = Self::const_int(&index[0]) {
+                        checks.push((row, u64::from(*rows), "row"));
+                    }
+                    if let Some(cell) = Self::const_int(&index[1]) {
+                        checks.push((cell, u64::from(*size), "cell"));
+                    }
+                } else if let Some(cell) = index.first().and_then(Self::const_int) {
+                    checks.push((cell, u64::from(*size), "cell"));
+                }
+            }
+            ObjectKind::Seq { size, .. } => {
+                if let Some(cell) = index.first().and_then(Self::const_int) {
+                    checks.push((cell, u64::from(*size), "cell"));
+                }
+            }
+            _ => return,
+        }
+        for (value, bound, what) in checks {
+            if value < 0 {
+                out.push(diag(
+                    Severity::Error,
+                    self.name(),
+                    ctx,
+                    &program.name,
+                    format!(
+                        "instruction {} indexes `{object}` with negative {what} {value}, which \
+                         aliases {what} {} at runtime",
+                        instr.id,
+                        value.unsigned_abs() % bound.max(1)
+                    ),
+                ));
+            } else if value as u64 >= bound {
+                out.push(diag(
+                    Severity::Error,
+                    self.name(),
+                    ctx,
+                    &program.name,
+                    format!(
+                        "instruction {} indexes `{object}` at {what} {value}, past its {what} \
+                         bound {bound} (wraps to {} at runtime)",
+                        instr.id,
+                        value as u64 % bound.max(1)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+impl VerifierPass for BoundsPass {
+    fn name(&self) -> &'static str {
+        "bounds"
+    }
+
+    fn run(&self, ctx: &PassContext<'_>, out: &mut DiagnosticSet) {
+        for program in ctx.programs {
+            for instr in &program.instructions {
+                match &instr.op {
+                    OpCode::ReadState { object, index, .. }
+                    | OpCode::WriteState { object, index, .. }
+                    | OpCode::CountState { object, index, .. }
+                    | OpCode::DeleteState { object, index } => {
+                        self.check(ctx, out, program, instr, object, index);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Resource pre-check against the device models placement chose: a placed
+/// slice demanding a capability class its device lacks can never install
+/// (error), and one whose objects outgrow the device's total storage will be
+/// rejected by the device compiler later (warning — placement may still be
+/// revised).
+pub struct ResourceBoundPass;
+
+impl VerifierPass for ResourceBoundPass {
+    fn name(&self) -> &'static str {
+        "resource-bound"
+    }
+
+    fn run(&self, ctx: &PassContext<'_>, out: &mut DiagnosticSet) {
+        for placed in ctx.placements {
+            let required = placed.program.required_capabilities();
+            let missing: Vec<String> =
+                required.difference(&placed.target.supported).map(|c| c.to_string()).collect();
+            if !missing.is_empty() {
+                out.push(diag(
+                    Severity::Error,
+                    self.name(),
+                    ctx,
+                    &placed.program.name,
+                    format!(
+                        "device `{}` ({}) lacks capability class(es) {} required by the slice",
+                        placed.device,
+                        placed.target.kind,
+                        missing.join(", ")
+                    ),
+                ));
+            }
+            let demand: u64 = placed.program.objects.iter().map(|o| o.kind.storage_bits()).sum();
+            if demand > placed.target.storage_capacity_bits {
+                out.push(diag(
+                    Severity::Warning,
+                    self.name(),
+                    ctx,
+                    &placed.program.name,
+                    format!(
+                        "slice declares {demand} bits of state but device `{}` ({}) offers only \
+                         {} bits in total",
+                        placed.device, placed.target.kind, placed.target.storage_capacity_bits
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Dead-snippet detection: a program with no effectful instruction (no state
+/// mutation, header rewrite, or packet action beyond the default forward)
+/// burns pipeline stages without observable output — warning.  Individual
+/// pure computations whose values never reach an effect are reported as info
+/// (the elimination pass that will remove them mounts on this pipeline next).
+pub struct DeadSnippetPass;
+
+impl VerifierPass for DeadSnippetPass {
+    fn name(&self) -> &'static str {
+        "dead-snippet"
+    }
+
+    fn run(&self, ctx: &PassContext<'_>, out: &mut DiagnosticSet) {
+        for program in ctx.programs {
+            if !program.instructions.iter().any(is_effectful) {
+                out.push(diag(
+                    Severity::Warning,
+                    self.name(),
+                    ctx,
+                    &program.name,
+                    "snippet has no observable effect: no state mutation, header rewrite, or \
+                     non-default packet action"
+                        .to_string(),
+                ));
+                continue;
+            }
+            let du = DefUse::of(program);
+            let live = du.live_instructions(program);
+            for (idx, instr) in program.instructions.iter().enumerate() {
+                if !live[idx] {
+                    out.push(diag(
+                        Severity::Info,
+                        self.name(),
+                        ctx,
+                        &program.name,
+                        format!(
+                            "instruction {} ({}) computes a value nothing observes",
+                            instr.id,
+                            instr.op.mnemonic()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Non-commutative-mutation classification: surfaces (as info) every state
+/// mutation with no order-free merge, straight from the shared taint engine's
+/// [`state_profile`] — the same analysis the runtime uses to decide the
+/// tenant's sharding mode, so the verifier and the flow-sharder can never
+/// disagree about which mutations pin a tenant.
+pub struct CommutativityPass;
+
+impl VerifierPass for CommutativityPass {
+    fn name(&self) -> &'static str {
+        "commutativity"
+    }
+
+    fn run(&self, ctx: &PassContext<'_>, out: &mut DiagnosticSet) {
+        let programs: Vec<&IrProgram> = ctx.programs.iter().collect();
+        let profile = state_profile(&programs);
+        for m in profile.non_commutative_mutations() {
+            let target = m.object.as_deref().unwrap_or("the tenant random stream");
+            out.push(diag(
+                Severity::Info,
+                self.name(),
+                ctx,
+                &m.snippet,
+                format!(
+                    "instruction i{} performs a non-commutative `{}` mutation of {target}; the \
+                     deployment cannot be flow-sharded",
+                    m.instr,
+                    m.kind.name()
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::types::ValueType;
+
+    fn ctx<'a>(programs: &'a [IrProgram], placements: &'a [PlacedSnippet]) -> PassContext<'a> {
+        PassContext { tenant: "u0".into(), isolated: true, programs, placements }
+    }
+
+    #[test]
+    fn default_pipeline_order_is_stable() {
+        let pm = PassManager::with_default_passes();
+        assert_eq!(
+            pm.pass_names(),
+            vec![
+                "isolation",
+                "uninit-header",
+                "bounds",
+                "resource-bound",
+                "dead-snippet",
+                "commutativity"
+            ]
+        );
+    }
+
+    #[test]
+    fn isolation_pass_flags_foreign_objects_only_when_isolated() {
+        let mut b = ProgramBuilder::new("p");
+        b.header("key", ValueType::Bit(32));
+        b.array("u1_ctr", 1, 8, 32); // another tenant's namespace
+        b.count(None, "u1_ctr", vec![Operand::hdr("key")], Operand::int(1));
+        let p = [b.build().unwrap()];
+        let set = PassManager::with_default_passes().run(&ctx(&p, &[]));
+        let isolation: Vec<_> = set.iter().filter(|d| d.pass == "isolation").collect();
+        assert_eq!(isolation.len(), 2, "declaration and access both flagged: {set}");
+        assert!(set.has_errors());
+
+        let mut unisolated = ctx(&p, &[]);
+        unisolated.isolated = false;
+        let set = PassManager::with_default_passes().run(&unisolated);
+        assert_eq!(set.iter().filter(|d| d.pass == "isolation").count(), 0);
+    }
+
+    #[test]
+    fn uninit_header_read_is_an_error_and_writes_initialize() {
+        let mut b = ProgramBuilder::new("p");
+        b.array("u0_a", 1, 8, 32);
+        b.count(None, "u0_a", vec![Operand::hdr("key")], Operand::int(1)); // key undeclared
+        b.set_header("op", Operand::int(1));
+        b.assign("x", Operand::hdr("op")); // initialized by the write above
+        let p = [b.build().unwrap()];
+        let set = PassManager::with_default_passes().run(&ctx(&p, &[]));
+        let uninit: Vec<_> = set.iter().filter(|d| d.pass == "uninit-header").collect();
+        assert_eq!(uninit.len(), 1);
+        assert!(uninit[0].message.contains("`key`"));
+    }
+
+    #[test]
+    fn constant_index_bounds_cover_rows_cells_and_negatives() {
+        let mut b = ProgramBuilder::new("p");
+        b.header("key", ValueType::Bit(32));
+        b.array("u0_a", 2, 8, 32);
+        b.seq("u0_s", 4, 8);
+        b.count(None, "u0_a", vec![Operand::int(1), Operand::int(7)], Operand::int(1)); // ok
+        b.count(None, "u0_a", vec![Operand::int(2), Operand::int(0)], Operand::int(1)); // row oob
+        b.get("v", "u0_a", vec![Operand::int(8)]); // cell oob
+        b.write("u0_s", vec![Operand::int(-1)], vec![Operand::int(0)]); // negative
+        b.forward();
+        let p = [b.build().unwrap()];
+        let set = PassManager::with_default_passes().run(&ctx(&p, &[]));
+        let bounds: Vec<_> = set.iter().filter(|d| d.pass == "bounds").collect();
+        assert_eq!(bounds.len(), 3, "{set}");
+        assert!(bounds.iter().all(|d| d.severity == Severity::Error));
+        assert!(bounds[0].message.contains("row"));
+        assert!(bounds[2].message.contains("negative"));
+    }
+
+    #[test]
+    fn dead_snippet_is_a_warning_dead_value_is_info() {
+        let mut b = ProgramBuilder::new("noop");
+        b.header("key", ValueType::Bit(32));
+        b.assign("x", Operand::hdr("key"));
+        b.forward();
+        let p = [b.build().unwrap()];
+        let set = PassManager::with_default_passes().run(&ctx(&p, &[]));
+        let dead: Vec<_> = set.iter().filter(|d| d.pass == "dead-snippet").collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].severity, Severity::Warning);
+
+        let mut b = ProgramBuilder::new("p");
+        b.header("key", ValueType::Bit(32));
+        b.array("u0_a", 1, 8, 32);
+        b.assign("unused", Operand::hdr("key"));
+        b.count(None, "u0_a", vec![Operand::hdr("key")], Operand::int(1));
+        let p = [b.build().unwrap()];
+        let set = PassManager::with_default_passes().run(&ctx(&p, &[]));
+        let dead: Vec<_> = set.iter().filter(|d| d.pass == "dead-snippet").collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn resource_pass_checks_capabilities_and_capacity() {
+        let mut b = ProgramBuilder::new("p");
+        b.header("key", ValueType::Bit(32));
+        b.array("u0_a", 1, 1024, 32);
+        b.count(None, "u0_a", vec![Operand::hdr("key")], Operand::int(1));
+        let program = b.build().unwrap();
+        let starved = DeviceTarget {
+            device: "tor0".into(),
+            kind: "toy".into(),
+            supported: BTreeSet::from([CapabilityClass::Bin]), // no BSO
+            storage_capacity_bits: 1024,                       // < 32768 demanded
+        };
+        let placements =
+            [PlacedSnippet { device: "tor0".into(), target: starved, program: program.clone() }];
+        let p = [program];
+        let set = PassManager::with_default_passes().run(&ctx(&p, &placements));
+        let res: Vec<_> = set.iter().filter(|d| d.pass == "resource-bound").collect();
+        assert_eq!(res.len(), 2, "{set}");
+        assert_eq!(res[0].severity, Severity::Error);
+        assert!(res[0].message.contains("BSO"));
+        assert_eq!(res[1].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn commutativity_pass_reports_overwrites_as_info() {
+        let mut b = ProgramBuilder::new("p");
+        b.header("key", ValueType::Bit(32));
+        b.header("seq", ValueType::Bit(32));
+        b.array("u0_reg", 1, 64, 32);
+        b.write("u0_reg", vec![Operand::hdr("key")], vec![Operand::hdr("seq")]);
+        b.forward();
+        let p = [b.build().unwrap()];
+        let set = PassManager::with_default_passes().run(&ctx(&p, &[]));
+        let comm: Vec<_> = set.iter().filter(|d| d.pass == "commutativity").collect();
+        assert_eq!(comm.len(), 1);
+        assert_eq!(comm[0].severity, Severity::Info);
+        assert!(comm[0].message.contains("overwrite"));
+        assert!(!set.has_errors() && !set.has_warnings(), "classification only: {set}");
+    }
+}

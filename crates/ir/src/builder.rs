@@ -5,10 +5,12 @@
 //! this builder, which keeps instruction ids consistent and offers one-line
 //! helpers for the common operations.
 
+use crate::error::IrError;
 use crate::instr::{AluOp, CmpOp, Guard, Instruction, OpCode, Operand, Predicate};
 use crate::object::{HashAlgo, MatchKind, ObjectDecl, ObjectKind, SketchKind};
 use crate::program::{HeaderFieldDecl, IrProgram};
 use crate::types::ValueType;
+use std::collections::BTreeSet;
 
 /// Incrementally builds an [`IrProgram`].
 #[derive(Debug, Clone)]
@@ -221,8 +223,27 @@ impl ProgramBuilder {
     }
 
     /// Finish and return the program.
-    pub fn build(self) -> IrProgram {
-        self.program
+    ///
+    /// Rejects programs that would only fail later (as emulator panics or
+    /// nonsense placements): an empty instruction stream, duplicate object
+    /// declarations, and duplicate instruction ids.
+    pub fn build(self) -> Result<IrProgram, IrError> {
+        if self.program.instructions.is_empty() {
+            return Err(IrError::EmptyProgram);
+        }
+        let mut objects = BTreeSet::new();
+        for decl in &self.program.objects {
+            if !objects.insert(decl.name.as_str()) {
+                return Err(IrError::DuplicateObject { object: decl.name.clone() });
+            }
+        }
+        let mut ids = BTreeSet::new();
+        for instr in &self.program.instructions {
+            if !ids.insert(instr.id.0) {
+                return Err(IrError::DuplicateInstrId { id: instr.id.0 });
+            }
+        }
+        Ok(self.program)
     }
 }
 
@@ -236,7 +257,7 @@ mod tests {
     fn builder_assigns_sequential_ids() {
         let mut b = ProgramBuilder::new("p");
         b.assign("a", Operand::int(1)).assign("b", Operand::int(2)).forward();
-        let p = b.build();
+        let p = b.build().unwrap();
         assert_eq!(p.len(), 3);
         assert_eq!(p.instructions[0].id.0, 0);
         assert_eq!(p.instructions[2].id.0, 2);
@@ -254,7 +275,7 @@ mod tests {
             b.forward();
         });
         b.assign("z", Operand::int(3));
-        let p = b.build();
+        let p = b.build().unwrap();
         assert!(p.instructions[0].guard.is_none());
         assert_eq!(p.instructions[1].guard.as_ref().unwrap().all.len(), 1);
         assert_eq!(p.instructions[2].guard.as_ref().unwrap().all.len(), 2);
@@ -267,7 +288,7 @@ mod tests {
         let mut b = ProgramBuilder::new("kvs").owned_by("kvs_0");
         b.array("cache", 1, 8, 32);
         b.get("v", "cache", vec![Operand::int(0)]);
-        let p = b.build();
+        let p = b.build().unwrap();
         assert_eq!(p.objects[0].owner.as_deref(), Some("kvs_0"));
         assert_eq!(p.instructions[0].owners, vec!["kvs_0".to_string()]);
         assert!(p.owners().contains("kvs_0"));
@@ -283,7 +304,7 @@ mod tests {
         b.count(Some("v0"), "cms", vec![Operand::int(0), Operand::var("idx0")], Operand::int(1));
         b.assign("relt", Operand::var("v0"));
         b.forward();
-        let p = b.build();
+        let p = b.build().unwrap();
         assert_eq!(p.validate(), Ok(()));
         let caps = p.required_capabilities();
         assert!(caps.contains(&CapabilityClass::Baf));
@@ -309,7 +330,7 @@ mod tests {
         b.drop_packet();
         assert!(!b.is_empty());
         assert_eq!(b.len(), 12);
-        let p = b.build();
+        let p = b.build().unwrap();
         let mnems: Vec<&str> = p.instructions.iter().map(|i| i.op.mnemonic()).collect();
         assert_eq!(
             mnems,
@@ -328,5 +349,37 @@ mod tests {
             OpCode::Assign { src, .. } => assert_eq!(*src, Operand::Const(Value::Int(0))),
             _ => panic!("expected assign"),
         }
+    }
+
+    #[test]
+    fn empty_program_is_rejected_at_build_time() {
+        let b = ProgramBuilder::new("empty");
+        assert_eq!(b.build().unwrap_err(), IrError::EmptyProgram);
+        // declaring objects alone does not make a program
+        let mut b = ProgramBuilder::new("objects_only");
+        b.array("a", 1, 4, 32);
+        assert_eq!(b.build().unwrap_err(), IrError::EmptyProgram);
+    }
+
+    #[test]
+    fn duplicate_object_declaration_is_rejected_at_build_time() {
+        let mut b = ProgramBuilder::new("p");
+        b.array("a", 1, 4, 32);
+        b.seq("a", 8, 16);
+        b.forward();
+        assert_eq!(b.build().unwrap_err(), IrError::DuplicateObject { object: "a".into() });
+    }
+
+    #[test]
+    fn duplicate_instruction_ids_are_rejected_at_build_time() {
+        let mut b = ProgramBuilder::new("p");
+        b.forward();
+        // splice a colliding id in behind the builder's back, as a buggy
+        // snippet merge would
+        let mut p = b.build().unwrap();
+        p.instructions.push(Instruction::new(0, OpCode::Drop));
+        let mut b = ProgramBuilder::new("spliced");
+        b.program = p;
+        assert_eq!(b.build().unwrap_err(), IrError::DuplicateInstrId { id: 0 });
     }
 }

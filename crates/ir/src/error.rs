@@ -38,6 +38,11 @@ pub enum IrError {
         /// What the instruction attempted to do.
         usage: String,
     },
+    /// Two instructions share the same id (snippet merging gone wrong).
+    DuplicateInstrId {
+        /// The duplicated instruction id.
+        id: u32,
+    },
     /// The program is empty.
     EmptyProgram,
     /// Generic invariant violation with a description.
@@ -61,6 +66,9 @@ impl fmt::Display for IrError {
             }
             IrError::ObjectKindMismatch { object, usage } => {
                 write!(f, "object `{object}` cannot be used for {usage}")
+            }
+            IrError::DuplicateInstrId { id } => {
+                write!(f, "instruction id {id} assigned to more than one instruction")
             }
             IrError::EmptyProgram => write!(f, "IR program contains no instructions"),
             IrError::Invalid(msg) => write!(f, "invalid IR: {msg}"),

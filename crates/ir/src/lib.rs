@@ -24,7 +24,11 @@
 //!   (including the mutual dependency of all instructions sharing a stateful
 //!   object, paper §5.2 step 1).
 //! * [`builder`] — an ergonomic builder used by the templates, tests and examples.
+//! * [`analysis`] — dataflow (def-use, reaching definitions, liveness), the
+//!   shared forward taint lattice behind the runtime's sharding decision, and
+//!   the verifier pass pipeline with structured diagnostics.
 
+pub mod analysis;
 pub mod builder;
 pub mod capability;
 pub mod deps;
@@ -36,6 +40,9 @@ pub mod program;
 pub mod resource;
 pub mod types;
 
+pub use analysis::{
+    Diagnostic, DiagnosticSet, PassContext, PassManager, Severity, ShardingDecision, StateProfile,
+};
 pub use builder::ProgramBuilder;
 pub use capability::{classify_instruction, CapabilityClass, FunctionalUnit};
 pub use deps::{dependency_edges, DependencyKind, ReadWriteSet};

@@ -173,7 +173,7 @@ mod tests {
             b.alu(&v, AluOp::Add, lhs, Operand::int(1));
             prev = Some(v);
         }
-        b.build()
+        b.build().expect("test program is well-formed")
     }
 
     #[test]
@@ -196,7 +196,7 @@ mod tests {
         for i in 0..4 {
             b.alu(&format!("v{i}"), AluOp::Add, Operand::hdr("x"), Operand::int(i));
         }
-        let program = b.build();
+        let program = b.build().expect("test program is well-formed");
         let alloc = allocate_stages(&dev, &program, &[0, 1, 2, 3]).expect("fits");
         assert_eq!(alloc.stages_used, 1);
     }
@@ -224,7 +224,7 @@ mod tests {
         let dev = single_device(DeviceKind::Tofino);
         let mut b = ProgramBuilder::new("float");
         b.falu("f", AluOp::Mul, Operand::hdr("a"), Operand::hdr("b"));
-        let program = b.build();
+        let program = b.build().expect("test program is well-formed");
         assert!(allocate_stages(&dev, &program, &[0]).is_none(), "Tofino cannot run floats");
         let fpga = single_device(DeviceKind::FpgaSmartNic);
         assert!(allocate_stages(&fpga, &program, &[0]).is_some());
@@ -237,7 +237,7 @@ mod tests {
         // far beyond a Tofino's SRAM (hundreds of MB)
         b.array("huge", 64, 1_000_000, 128);
         b.get("v", "huge", vec![Operand::hdr("k")]);
-        let program = b.build();
+        let program = b.build().expect("test program is well-formed");
         assert!(allocate_stages(&dev, &program, &[0]).is_none());
     }
 
@@ -262,7 +262,7 @@ mod tests {
         let agg = net.server.iter().find(|d| d.bypass.is_some()).expect("bypass agg");
         let mut b = ProgramBuilder::new("float");
         b.falu("f", AluOp::Add, Operand::hdr("a"), Operand::hdr("b"));
-        let program = b.build();
+        let program = b.build().expect("test program is well-formed");
         assert!(allocate_stages(agg, &program, &[0]).is_some());
     }
 }

@@ -81,7 +81,7 @@ mod proptests {
             prev = Some(v);
         }
         b.forward();
-        b.build()
+        b.build().expect("generated program is well-formed")
     }
 
     #[test]

@@ -132,7 +132,7 @@ mod tests {
         b.alu("v0", AluOp::Add, Operand::hdr("a"), Operand::int(1));
         b.alu("v1", AluOp::Add, Operand::var("v0"), Operand::int(2));
         b.alu("v2", AluOp::Add, Operand::var("v1"), Operand::int(3));
-        let program = b.build();
+        let program = b.build().expect("test program is well-formed");
         let dag =
             build_block_dag(&program, &BlockConfig { max_block_instrs: 1, enable_merging: false });
         let order = dag.blocks_by_step();
@@ -151,7 +151,7 @@ mod tests {
         let mut b = ProgramBuilder::new("indep");
         b.alu("v0", AluOp::Add, Operand::hdr("a"), Operand::int(1));
         b.alu("v1", AluOp::Add, Operand::hdr("b"), Operand::int(2));
-        let program = b.build();
+        let program = b.build().expect("test program is well-formed");
         let dag =
             build_block_dag(&program, &BlockConfig { max_block_instrs: 1, enable_merging: false });
         let order = dag.blocks_by_step();

@@ -51,7 +51,7 @@ pub fn base_program() -> BaseProgram {
     head.guarded(Predicate::new(Operand::var("ttl_ok"), CmpOp::Eq, Operand::int(0)), |b| {
         b.drop_packet();
     });
-    let head = head.build();
+    let head = head.build().expect("base head program is well-formed");
 
     let mut tail = ProgramBuilder::new("base_tail");
     tail.table("ipv4_lpm", clickinc_ir::MatchKind::Lpm, 32, 16, 1024, false);
@@ -61,7 +61,7 @@ pub fn base_program() -> BaseProgram {
     tail.set_header("ip_ttl", Operand::var("new_ttl"));
     tail.count(None, "port_counters", vec![Operand::var("egress_port")], Operand::int(1));
     tail.forward();
-    let tail = tail.build();
+    let tail = tail.build().expect("base tail program is well-formed");
 
     BaseProgram { head, tail }
 }

@@ -1,0 +1,86 @@
+//! Run the static-verification pipeline in **deny-warnings mode** over every
+//! provider-template program the other examples deploy, and export the full
+//! diagnostic set as JSON — the CI verification step.
+//!
+//! Every `plan` already runs the verifier pipeline and refuses error-severity
+//! findings as `ClickIncError::Verification`; this example additionally
+//! treats warnings as fatal (CI keeps the template library warning-free) and
+//! prints the JSON artifact CI archives.
+//!
+//! Run with: `cargo run --example verify_programs`
+
+use clickinc::lang::templates::{
+    count_min_sketch, dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams,
+    MlAggParams,
+};
+use clickinc::topology::Topology;
+use clickinc::{ClickIncService, ServiceRequest};
+use clickinc_ir::{DiagnosticSet, Severity};
+
+fn main() {
+    let service = ClickIncService::new(Topology::emulation_topology_all_tofino())
+        .expect("default engine config is valid");
+    let programs: Vec<(&str, String)> = vec![
+        (
+            "kvs_srv",
+            kvs_template("kvs_srv", KvsParams { cache_depth: 2000, ..Default::default() }).source,
+        ),
+        (
+            "mlagg",
+            mlagg_template(
+                "mlagg",
+                MlAggParams { dims: 32, num_workers: 4, num_aggregators: 4096, is_float: false },
+            )
+            .source,
+        ),
+        ("dqacc", dqacc_template("dqacc", DqAccParams::default()).source),
+        ("cms", count_min_sketch("cms", 3, 512).source),
+    ];
+
+    println!("=== static verification (deny-warnings) ===\n");
+    let mut merged = DiagnosticSet::new();
+    let mut failed = false;
+    for (user, source) in &programs {
+        let request = ServiceRequest::builder(*user)
+            .source(source)
+            .from_("pod0a")
+            .to("pod2b")
+            .build()
+            .expect("well-formed request");
+        let diags = match service.plan(&request) {
+            Ok(plan) => plan.diagnostics().clone(),
+            Err(err) => {
+                // error-severity findings surface here as typed Verification
+                // errors; anything else is a toolchain bug worth failing on
+                println!("{user}: REFUSED — {err}");
+                failed = true;
+                continue;
+            }
+        };
+        let verdict = if diags.has_warnings() {
+            failed = true;
+            "FAIL (warnings denied)"
+        } else {
+            "ok"
+        };
+        println!(
+            "{user}: {verdict} — {} error(s), {} warning(s), {} info(s)",
+            diags.at(Severity::Error).count(),
+            diags.at(Severity::Warning).count(),
+            diags.at(Severity::Info).count(),
+        );
+        merged.merge(diags);
+    }
+
+    println!("\n--- diagnostics JSON export ({} findings) ---", merged.len());
+    let json = merged.to_json();
+    println!("{json}");
+    let parsed = DiagnosticSet::from_json(&json).expect("export round-trips");
+    assert_eq!(parsed, merged, "JSON export must round-trip losslessly");
+
+    if failed {
+        println!("\nverification FAILED");
+        std::process::exit(1);
+    }
+    println!("\nall programs verified clean");
+}

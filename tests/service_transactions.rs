@@ -68,6 +68,7 @@ struct RunFingerprint {
     controller_planes: BTreeMap<String, u64>,
     engine_stores: BTreeMap<String, u64>,
     telemetry: clickinc_runtime::TelemetryReport,
+    diagnostics_json: String,
 }
 
 /// The old two-API wiring: a controller bridged onto an engine by hand.
@@ -75,7 +76,9 @@ fn run_direct_controller_path() -> RunFingerprint {
     let engine = TrafficEngine::new(engine_config());
     let mut controller = Controller::new(Topology::emulation_topology_all_tofino());
     controller.attach_engine(engine.handle());
-    let deployment = controller.deploy(kvs_request("kvs0")).expect("deploys");
+    let planned = controller.plan(&kvs_request("kvs0")).expect("plans");
+    let diagnostics_json = planned.diagnostics().to_json();
+    let deployment = controller.commit(planned).expect("deploys");
     let numeric_id = deployment.numeric_id;
     let snippets: Vec<_> = deployment.snippets.values().flatten().cloned().collect();
 
@@ -103,6 +106,7 @@ fn run_direct_controller_path() -> RunFingerprint {
         controller_planes: controller.plane_fingerprints(),
         engine_stores: outcome.stores.iter().map(|(d, s)| (d.clone(), s.fingerprint())).collect(),
         telemetry: outcome.telemetry,
+        diagnostics_json,
     }
 }
 
@@ -112,6 +116,7 @@ fn run_service_path() -> RunFingerprint {
         ClickIncService::with_config(Topology::emulation_topology_all_tofino(), engine_config())
             .expect("engine config is valid");
     let plan = service.plan(&kvs_request("kvs0")).expect("plans");
+    let diagnostics_json = plan.diagnostics().to_json();
     let tenant = service.commit(plan).expect("commits");
     let numeric_id = tenant.numeric_id();
     let (snippets, controller_planes) = {
@@ -137,6 +142,7 @@ fn run_service_path() -> RunFingerprint {
         controller_planes,
         engine_stores: outcome.stores.iter().map(|(d, s)| (d.clone(), s.fingerprint())).collect(),
         telemetry: outcome.telemetry,
+        diagnostics_json,
     }
 }
 
@@ -149,6 +155,12 @@ fn plan_commit_round_trip_equals_the_direct_deploy_path() {
     assert_eq!(direct.controller_planes, service.controller_planes, "same plane fingerprints");
     assert_eq!(direct.engine_stores, service.engine_stores, "same engine store fingerprints");
     assert_eq!(direct.telemetry, service.telemetry, "same telemetry for the seeded workload");
+    // the verifier ran on both paths, found the same things, and its JSON
+    // export round-trips losslessly like the telemetry export does
+    assert_eq!(direct.diagnostics_json, service.diagnostics_json, "same verifier diagnostics");
+    let parsed = clickinc_ir::DiagnosticSet::from_json(&direct.diagnostics_json)
+        .expect("diagnostics JSON parses back");
+    assert_eq!(parsed.to_json(), direct.diagnostics_json, "diagnostics JSON round-trips");
     // the workload actually did something on both paths
     let stats = direct.telemetry.tenant("kvs0").expect("served");
     assert_eq!(stats.completed, 800);

@@ -1,0 +1,314 @@
+//! The static-verification pipeline, end to end:
+//!
+//! 1. **Golden fig13 diagnostics** — every provider-template program used by
+//!    the fig13-scale scenarios verifies clean (no errors, no warnings), and
+//!    the classification infos the pipeline does emit are byte-stable.
+//! 2. **Per-pass trip fixtures** — six mutated programs, each constructed to
+//!    trip exactly one verifier pass exactly once.
+//! 3. **The service gate** — a deliberately isolation-violating program is
+//!    refused as `ClickIncError::Verification` before any ledger or plane
+//!    mutation, and the diagnostics JSON export round-trips.
+//! 4. **Verification ⇒ runs clean** — proptest: any generated program the
+//!    pipeline passes executes on the emulator with every constant-indexed
+//!    count landing in exactly the addressed cell (no wrap-around aliasing),
+//!    over sampled packet traces.
+
+use clickinc::lang::templates::{
+    count_min_sketch, dqacc_template, kvs_template, mlagg_sparse_user, mlagg_template, DqAccParams,
+    KvsParams, MlAggParams,
+};
+use clickinc::topology::Topology;
+use clickinc::{ClickIncError, ClickIncService, Controller, ServiceRequest};
+use clickinc_device::DeviceModel;
+use clickinc_emulator::{DevicePlane, Packet};
+use clickinc_frontend::compile_source;
+use clickinc_ir::analysis::{DeviceTarget, PlacedSnippet};
+use clickinc_ir::{
+    DiagnosticSet, IrProgram, Operand, PassContext, PassManager, ProgramBuilder, Severity,
+    ValueType,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Run the default pipeline over one program with no placement slices.
+fn verify(tenant: &str, program: &IrProgram, isolated: bool) -> DiagnosticSet {
+    PassManager::with_default_passes().run(&PassContext {
+        tenant: tenant.to_string(),
+        isolated,
+        programs: std::slice::from_ref(program),
+        placements: &[],
+    })
+}
+
+fn request(user: &str, source: &str) -> ServiceRequest {
+    ServiceRequest::new(user, source, &["pod0a"], "pod2b")
+}
+
+// ---- 1. golden fig13 diagnostics -----------------------------------------
+
+#[test]
+fn fig13_template_programs_verify_clean_through_the_service() {
+    let service = ClickIncService::new(Topology::emulation_topology_all_tofino())
+        .expect("engine config is valid");
+    let mlagg_params =
+        MlAggParams { dims: 32, num_workers: 4, num_aggregators: 4096, is_float: false };
+    let cases: Vec<(&str, String)> = vec![
+        (
+            "kvs_srv",
+            kvs_template("kvs_srv", KvsParams { cache_depth: 2000, ..Default::default() }).source,
+        ),
+        ("mlagg", mlagg_template("mlagg", mlagg_params).source),
+        ("dqacc", dqacc_template("dqacc", DqAccParams::default()).source),
+        ("cms", count_min_sketch("cms", 3, 512).source),
+    ];
+    let mut rendered: Vec<String> = Vec::new();
+    let mut summary: BTreeMap<String, usize> = BTreeMap::new();
+    for (user, source) in &cases {
+        let plan = service.plan(&request(user, source)).expect("fig13 template plans");
+        let diags = plan.diagnostics();
+        assert!(!diags.has_errors(), "{user} must verify clean:\n{diags}");
+        assert!(!diags.has_warnings(), "{user} must carry no warnings:\n{diags}");
+        for d in diags.iter() {
+            assert_eq!(d.severity, Severity::Info);
+            *summary.entry(format!("{user}/{}", d.pass)).or_insert(0) += 1;
+            rendered.push(d.to_string());
+        }
+    }
+    // golden snapshot of the classification infos: the per-pass counts are
+    // byte-stable across runs, so any drift in the analyses diffs here
+    let golden: BTreeMap<String, usize> =
+        [("cms/dead-snippet", 2), ("dqacc/commutativity", 8), ("mlagg/commutativity", 70)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+    assert_eq!(summary, golden, "the fig13 classification set drifted:\n{}", rendered.join("\n"));
+    // and one fully-rendered line stays byte-identical
+    assert_eq!(
+        rendered[0],
+        "info [commutativity] mlagg/mlagg: instruction i8 performs a non-commutative \
+         `overwrite` mutation of mlagg_valid_t; the deployment cannot be flow-sharded"
+    );
+}
+
+#[test]
+fn fig13_plane_programs_verify_clean_without_isolation() {
+    // the fig13 scenarios install these programs on emulated planes directly
+    // (no tenant isolation), which is exactly what `isolated: false` models
+    let params = MlAggParams { dims: 32, num_workers: 4, num_aggregators: 4096, is_float: false };
+    let sparse = mlagg_sparse_user("sparse", params, 4, 8);
+    let compression: String = sparse
+        .source
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("agg(hdr)"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    for (user, source) in
+        [("mlagg", mlagg_template("mlagg", params).source), ("sparse", compression)]
+    {
+        let ir = compile_source(user, &source).expect("fig13 program compiles");
+        let diags = verify(user, &ir, false);
+        assert!(!diags.has_errors(), "{user}:\n{diags}");
+        assert!(!diags.has_warnings(), "{user}:\n{diags}");
+    }
+}
+
+// ---- 2. one fixture per pass ---------------------------------------------
+
+/// Count how many diagnostics `pass` emitted, and assert nothing else fired.
+fn only_pass(diags: &DiagnosticSet, pass: &str) -> usize {
+    for d in diags.iter() {
+        assert_eq!(d.pass, pass, "unexpected extra finding: {d}");
+    }
+    diags.iter().count()
+}
+
+#[test]
+fn isolation_fixture_trips_the_isolation_pass_once() {
+    let mut b = ProgramBuilder::new("alice");
+    b.array("mallory_secret", 1, 8, 32);
+    b.set_header("flag", Operand::int(1));
+    b.forward();
+    let program = b.build().expect("fixture builds");
+    let diags = verify("alice", &program, true);
+    assert_eq!(only_pass(&diags, "isolation"), 1, "{diags}");
+    assert_eq!(diags.worst(), Some(Severity::Error));
+}
+
+#[test]
+fn uninit_header_fixture_trips_the_uninit_header_pass_once() {
+    let mut b = ProgramBuilder::new("t");
+    b.set_header("out", Operand::hdr("ghost"));
+    b.forward();
+    let program = b.build().expect("fixture builds");
+    let diags = verify("t", &program, false);
+    assert_eq!(only_pass(&diags, "uninit-header"), 1, "{diags}");
+    assert_eq!(diags.worst(), Some(Severity::Error));
+}
+
+#[test]
+fn bounds_fixture_trips_the_bounds_pass_once() {
+    let mut b = ProgramBuilder::new("t");
+    b.array("ctr", 1, 4, 32);
+    b.count(None, "ctr", vec![Operand::int(0), Operand::int(9)], Operand::int(1));
+    b.forward();
+    let program = b.build().expect("fixture builds");
+    let diags = verify("t", &program, false);
+    assert_eq!(only_pass(&diags, "bounds"), 1, "{diags}");
+    assert_eq!(diags.worst(), Some(Severity::Error));
+}
+
+#[test]
+fn resource_bound_fixture_trips_the_resource_pass_once() {
+    // a keyed count is fine everywhere — except on a device that supports no
+    // capability class at all
+    let mut b = ProgramBuilder::new("t");
+    b.header("key", ValueType::Bit(32));
+    b.array("ctr", 1, 4, 32);
+    b.count(None, "ctr", vec![Operand::hdr("key")], Operand::int(1));
+    b.forward();
+    let program = b.build().expect("fixture builds");
+    let placements = vec![PlacedSnippet {
+        device: "crippled0".to_string(),
+        target: DeviceTarget {
+            device: "crippled0".to_string(),
+            kind: "test".to_string(),
+            supported: Default::default(),
+            storage_capacity_bits: u64::MAX,
+        },
+        program: program.clone(),
+    }];
+    let diags = PassManager::with_default_passes().run(&PassContext {
+        tenant: "t".to_string(),
+        isolated: false,
+        programs: std::slice::from_ref(&program),
+        placements: &placements,
+    });
+    assert_eq!(only_pass(&diags, "resource-bound"), 1, "{diags}");
+    assert_eq!(diags.worst(), Some(Severity::Error));
+}
+
+#[test]
+fn dead_snippet_fixture_trips_the_dead_snippet_pass_once() {
+    let mut b = ProgramBuilder::new("t");
+    b.forward();
+    let program = b.build().expect("fixture builds");
+    let diags = verify("t", &program, false);
+    assert_eq!(only_pass(&diags, "dead-snippet"), 1, "{diags}");
+    assert_eq!(diags.worst(), Some(Severity::Warning));
+}
+
+#[test]
+fn commutativity_fixture_trips_the_commutativity_pass_once() {
+    let mut b = ProgramBuilder::new("t");
+    b.header("key", ValueType::Bit(32));
+    b.header("seq", ValueType::Bit(32));
+    b.array("reg", 1, 64, 32);
+    b.write("reg", vec![Operand::int(0), Operand::hdr("key")], vec![Operand::hdr("seq")]);
+    b.forward();
+    let program = b.build().expect("fixture builds");
+    let diags = verify("t", &program, false);
+    assert_eq!(only_pass(&diags, "commutativity"), 1, "{diags}");
+    assert_eq!(diags.worst(), Some(Severity::Info));
+}
+
+// ---- 3. the service gate --------------------------------------------------
+
+#[test]
+fn isolation_violating_program_is_rejected_before_any_mutation() {
+    let mut controller = Controller::new(Topology::emulation_topology_all_tofino());
+    let planes_before = controller.plane_fingerprints();
+    let ratio_before = controller.remaining_resource_ratio();
+
+    // a pre-isolated deploy that claims tenant `alice` but counts into an
+    // object outside her namespace — placeable, compilable, and exactly what
+    // the verifier exists to refuse
+    let mut b = ProgramBuilder::new("alice");
+    b.header("key", ValueType::Bit(32));
+    b.array("mallory_secret", 1, 64, 32);
+    b.count(None, "mallory_secret", vec![Operand::hdr("key")], Operand::int(1));
+    b.forward();
+    let evil = b.build().expect("fixture builds");
+
+    let err = controller
+        .deploy_isolated(&request("alice", "forward()\n"), evil)
+        .expect_err("the verifier must refuse the deploy");
+    match err {
+        ClickIncError::Verification { user, diagnostics } => {
+            assert_eq!(user, "alice");
+            assert!(diagnostics.has_errors());
+            assert!(
+                diagnostics.at(Severity::Error).all(|d| d.pass == "isolation"),
+                "only the isolation pass should error here:\n{diagnostics}"
+            );
+            // the JSON export round-trips losslessly (the CI artifact format)
+            let back = DiagnosticSet::from_json(&diagnostics.to_json()).expect("parses");
+            assert_eq!(back, diagnostics);
+        }
+        other => panic!("expected ClickIncError::Verification, got {other:?}"),
+    }
+
+    // nothing was booked or installed
+    assert_eq!(controller.plane_fingerprints(), planes_before);
+    assert_eq!(controller.remaining_resource_ratio(), ratio_before);
+    assert!(controller.active_users().is_empty());
+
+    // the compile-and-isolate path renames the same program into the tenant's
+    // namespace, so the identical request deploys fine
+    let source = "ctr = Array(row=1, size=64, w=32)\ncount(ctr, hdr.key, 1)\nforward()\n";
+    controller.deploy(request("alice", source)).expect("the isolated path deploys");
+    assert_eq!(controller.active_users(), vec!["alice"]);
+}
+
+// ---- 4. verification ⇒ runs clean ----------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated counter program the pipeline passes runs on the
+    /// emulator with every count landing in exactly the addressed cell —
+    /// and the pipeline errors precisely when a constant index would have
+    /// wrapped at runtime.
+    #[test]
+    fn verified_programs_run_without_store_aliasing(
+        rows in 1u32..4,
+        size in 1u32..12,
+        raw_accesses in proptest::collection::vec(0u32..96, 1..6),
+        packets in 1i64..6,
+    ) {
+        // the vendored proptest has no tuple strategies: decode each access
+        // as (row, cell) from one integer in 0..6×16
+        let accesses: Vec<(u32, u32)> = raw_accesses.iter().map(|v| (v / 16, v % 16)).collect();
+        let mut b = ProgramBuilder::new("t");
+        b.array("ctr", rows, size, 32);
+        for (row, idx) in &accesses {
+            b.count(None, "ctr", vec![Operand::int(i64::from(*row)), Operand::int(i64::from(*idx))], Operand::int(1));
+        }
+        b.forward();
+        let program = b.build().expect("generated program is well-formed");
+
+        let diags = verify("t", &program, false);
+        let in_bounds = accesses.iter().all(|(r, i)| *r < rows && *i < size);
+        prop_assert_eq!(!diags.has_errors(), in_bounds, "verifier disagrees with geometry:\n{}", diags);
+
+        if !diags.has_errors() {
+            let mut plane = DevicePlane::new("dev", DeviceModel::tofino());
+            plane.install(program);
+            for _ in 0..packets {
+                let mut pkt = Packet::new("src", "dst", 1, BTreeMap::new());
+                plane.process(&mut pkt);
+            }
+            // every cell holds packets × (number of accesses addressing it):
+            // nothing wrapped, nothing aliased, nothing leaked elsewhere
+            let mut expected: BTreeMap<(u32, u32), i64> = BTreeMap::new();
+            for (r, i) in &accesses {
+                *expected.entry((*r, *i)).or_insert(0) += packets;
+            }
+            for r in 0..rows {
+                for i in 0..size {
+                    let want = expected.get(&(r, i)).copied().unwrap_or(0);
+                    prop_assert_eq!(plane.store().array_read("ctr", r, i), want);
+                }
+            }
+        }
+    }
+}
