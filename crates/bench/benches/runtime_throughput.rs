@@ -17,6 +17,14 @@
 //! saturation probe with a deliberately small bounded queue records the
 //! drop-tail shed rate under overload.
 //!
+//! Both sharding sections are pinned to `ExecMode::Interpreted` and install
+//! the raw isolated IR (no install-time optimizer) so their speedups measure
+//! sharding against the same per-packet cost model as every pre-compiler
+//! history row — guard hoisting alone already makes a co-resident scan O(1),
+//! which would flatten the very effect these sections track.  The exec-tier
+//! section (below) is what measures the compiled pipeline itself:
+//! interpreter vs register VM over identical optimized programs.
+//!
 //! **Planner section.**  A mixed batch of KVS/MLAgg/CMS requests is solved
 //! by `Planner::plan_all` with 1 vs N worker threads (each run against a
 //! fresh service, so the plan cache cannot shortcut the measurement), and
@@ -37,13 +45,16 @@ use clickinc::{ClickIncService, ServiceRequest};
 use clickinc_device::DeviceModel;
 use clickinc_frontend::compile_source;
 use clickinc_ir::Value;
+use clickinc_ir::{DiagnosticSet, Optimizer};
 use clickinc_lang::templates::{
     count_min_sketch, kvs_template, mlagg_template, KvsParams, MlAggParams,
 };
 use clickinc_runtime::workload::{
     KvsWorkload, KvsWorkloadConfig, MixedWorkload, MlAggWorkload, MlAggWorkloadConfig, Workload,
 };
-use clickinc_runtime::{EngineConfig, OverloadPolicy, ShardingMode, TenantHop, TrafficEngine};
+use clickinc_runtime::{
+    EngineConfig, ExecMode, OverloadPolicy, ShardingMode, TenantHop, TrafficEngine,
+};
 use clickinc_synthesis::isolate_user_program;
 use clickinc_topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -56,6 +67,14 @@ const HISTORY_CAP: usize = 100;
 
 #[derive(Serialize, Deserialize)]
 struct ShardResult {
+    shards: usize,
+    elapsed_ms: f64,
+    packets_per_sec: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ExecResult {
+    mode: String,
     shards: usize,
     elapsed_ms: f64,
     packets_per_sec: f64,
@@ -95,6 +114,12 @@ struct RunEntry {
     /// Drop-tail shed fraction in the bounded-queue saturation probe.
     #[serde(default)]
     overload_drop_rate: f64,
+    /// Compiled-vs-interpreted execution-tier section (absent in pre-VM
+    /// history rows).
+    #[serde(default)]
+    exec: Vec<ExecResult>,
+    #[serde(default)]
+    compile_speedup_vs_interp: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -103,7 +128,7 @@ struct BenchHistory {
     history: Vec<RunEntry>,
 }
 
-fn tenant_hops(name: &str, id: i64) -> Vec<TenantHop> {
+fn tenant_hops(name: &str, id: i64, optimized: bool) -> Vec<TenantHop> {
     let t = mlagg_template(
         name,
         MlAggParams {
@@ -114,21 +139,40 @@ fn tenant_hops(name: &str, id: i64) -> Vec<TenantHop> {
         },
     );
     let ir = compile_source(name, &t.source).expect("template compiles");
+    let isolated = isolate_user_program(&ir, name, id);
+    let snippet = if optimized { optimize(name, isolated) } else { isolated };
     vec![TenantHop {
         device: "tor0".to_string(),
         model: DeviceModel::tofino(),
-        snippets: vec![isolate_user_program(&ir, name, id)],
+        snippets: vec![snippet],
     }]
 }
 
-fn run_once(shards: usize, rounds: usize) -> (f64, usize) {
-    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 256, ..Default::default() });
+/// The controller's install-time optimization (constant folding, dead-value
+/// elimination, guard hoisting).  The exec-tier section installs optimized
+/// IR (the same IR a deploy installs); the sharding sections install the raw
+/// isolated IR — guard hoisting turns a non-matching co-resident scan into a
+/// single precondition check, which is exactly the per-packet cost those
+/// sections' history rows priced in, so optimizing there would benchmark the
+/// optimizer instead of the sharding machinery.
+fn optimize(name: &str, isolated: clickinc_ir::IrProgram) -> clickinc_ir::IrProgram {
+    let mut diags = DiagnosticSet::new();
+    Optimizer::with_default_passes().optimize(name, true, &isolated, &mut diags)
+}
+
+fn run_once(shards: usize, rounds: usize, mode: ExecMode, optimized: bool) -> (f64, usize) {
+    let engine = TrafficEngine::new(EngineConfig {
+        shards,
+        batch_size: 256,
+        exec_mode: mode,
+        ..Default::default()
+    });
     let handle = engine.handle();
     let mut parts: Vec<Box<dyn Workload>> = Vec::new();
     for i in 0..TENANTS {
         let name = format!("tenant{i}");
         let id = i as i64 + 1;
-        handle.add_tenant(&name, tenant_hops(&name, id));
+        handle.add_tenant(&name, tenant_hops(&name, id, optimized));
         parts.push(Box::new(MlAggWorkload::new(MlAggWorkloadConfig {
             tenant: name,
             user_id: id,
@@ -172,11 +216,20 @@ fn hot_kvs_hops(name: &str, id: i64) -> Vec<TenantHop> {
 /// elapsed seconds, the packets served, and how many shards the hot tenant
 /// utilized.
 fn run_flow_once(shards: usize, requests: usize) -> (f64, usize, usize) {
-    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 256, ..Default::default() });
+    // interpreter-pinned and unoptimized for the same reason as the serving
+    // section: the flow-sharding speedup is measured against the pre-compiler
+    // cost model so the BENCH_runtime.json history stays comparable across
+    // PRs (see the module docs).
+    let engine = TrafficEngine::new(EngineConfig {
+        shards,
+        batch_size: 256,
+        exec_mode: ExecMode::Interpreted,
+        ..Default::default()
+    });
     let handle = engine.handle();
     for i in 0..TENANTS {
         let name = format!("tenant{i}");
-        handle.add_tenant(&name, tenant_hops(&name, i as i64 + 1));
+        handle.add_tenant(&name, tenant_hops(&name, i as i64 + 1, false));
     }
     handle.add_tenant_sharded(
         "hot",
@@ -221,6 +274,7 @@ fn run_overload_probe(shards: usize, requests: usize) -> f64 {
         batch_size: 256,
         queue_capacity: 512,
         overload: OverloadPolicy::DropTail,
+        exec_mode: ExecMode::Interpreted,
     });
     let handle = engine.handle();
     handle.add_tenant_sharded(
@@ -288,18 +342,35 @@ fn plan_once(requests: &[ServiceRequest], threads: usize) -> (f64, Vec<u64>) {
 }
 
 /// Load the accumulated history, migrating a pre-history single-report file
-/// into its first entry.
+/// into its first entry and backfilling wall-clock timestamps the earliest
+/// rows were written without (the file's mtime is the best bound we have for
+/// them; new rows are stamped at append time).
 fn load_history(path: &str) -> BenchHistory {
     let empty = || BenchHistory { bench: "runtime_throughput".to_string(), history: Vec::new() };
     let Ok(text) = std::fs::read_to_string(path) else { return empty() };
-    if let Ok(history) = serde_json::from_str::<BenchHistory>(&text) {
-        return history;
+    let mut history = if let Ok(history) = serde_json::from_str::<BenchHistory>(&text) {
+        history
+    } else {
+        // legacy layout: the file was one report, not a history
+        match serde_json::from_str::<RunEntry>(&text) {
+            Ok(entry) => {
+                BenchHistory { bench: "runtime_throughput".to_string(), history: vec![entry] }
+            }
+            Err(_) => return empty(),
+        }
+    };
+    let mtime_s = std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    for entry in &mut history.history {
+        if entry.unix_time_s == 0 {
+            entry.unix_time_s = mtime_s;
+        }
     }
-    // legacy layout: the file was one report, not a history
-    match serde_json::from_str::<RunEntry>(&text) {
-        Ok(entry) => BenchHistory { bench: "runtime_throughput".to_string(), history: vec![entry] },
-        Err(_) => empty(),
-    }
+    history
 }
 
 fn main() {
@@ -314,9 +385,10 @@ fn main() {
     println!("{:>8} {:>12} {:>16}", "shards", "elapsed", "packets/sec");
     let mut results = Vec::new();
     for &shards in shard_counts {
-        // best of two runs to shave scheduler noise
-        let (mut elapsed, mut packets) = run_once(shards, rounds);
-        let (e2, p2) = run_once(shards, rounds);
+        // best of two runs to shave scheduler noise; interpreter-pinned and
+        // unoptimized per the cost-model note in the module docs
+        let (mut elapsed, mut packets) = run_once(shards, rounds, ExecMode::Interpreted, false);
+        let (e2, p2) = run_once(shards, rounds, ExecMode::Interpreted, false);
         if e2 < elapsed {
             elapsed = e2;
             packets = p2;
@@ -332,6 +404,47 @@ fn main() {
     println!(
         "best N-shard throughput is {speedup:.2}x the 1-shard baseline ({})",
         if speedup > 1.0 { "sharding wins" } else { "REGRESSION" }
+    );
+
+    // ---- compiled-vs-interpreted execution-tier section -----------------
+    // the same workload, same shard count, same optimized IR — the only
+    // difference is the execution tier the shard workers select.  One shard
+    // keeps scheduler noise out of the per-packet cost comparison.
+    let exec_shards = shard_counts.first().copied().unwrap_or(1);
+    println!(
+        "\n== exec_tier: interpreter vs register VM, {TENANTS} MLAgg tenants on {exec_shards} \
+         shards =="
+    );
+    println!("{:>12} {:>12} {:>16}", "mode", "elapsed", "packets/sec");
+    let mut exec_results = Vec::new();
+    for (label, mode) in [("interpreted", ExecMode::Interpreted), ("compiled", ExecMode::Compiled)]
+    {
+        // best of three runs to shave scheduler noise: the tier comparison
+        // feeds a CI gate, so its minima need to be tighter than the
+        // scaling sections'
+        let (mut elapsed, mut packets) = run_once(exec_shards, rounds, mode, true);
+        for _ in 0..2 {
+            let (e2, p2) = run_once(exec_shards, rounds, mode, true);
+            if e2 < elapsed {
+                elapsed = e2;
+                packets = p2;
+            }
+        }
+        let pps = packets as f64 / elapsed.max(1e-9);
+        println!("{label:>12} {:>10.1}ms {pps:>16.0}", elapsed * 1e3);
+        exec_results.push(ExecResult {
+            mode: label.to_string(),
+            shards: exec_shards,
+            elapsed_ms: elapsed * 1e3,
+            packets_per_sec: pps,
+        });
+    }
+    let interp_pps = exec_results[0].packets_per_sec;
+    let compiled_pps = exec_results[1].packets_per_sec;
+    let compile_speedup = compiled_pps / interp_pps.max(1e-9);
+    println!(
+        "compiled tier is {compile_speedup:.2}x the interpreter on the same shard count ({})",
+        if compile_speedup > 1.0 { "compilation wins" } else { "REGRESSION" }
     );
 
     // ---- flow-sharded hot-tenant section --------------------------------
@@ -430,6 +543,8 @@ fn main() {
         flow_speedup_best_vs_one_shard: flow_speedup,
         flow_shards_utilized,
         overload_drop_rate,
+        exec: exec_results,
+        compile_speedup_vs_interp: compile_speedup,
     });
     if report.history.len() > HISTORY_CAP {
         let drop = report.history.len() - HISTORY_CAP;
@@ -461,5 +576,18 @@ fn main() {
             "bench-trend gate passed: tenant-sharded {speedup:.2}x, flow-sharded \
              {flow_speedup:.2}x >= {min:.2}x"
         );
+    }
+    // regression gate for the compiled execution tier: the register VM must
+    // stay ahead of the interpreter on the same shard count
+    if let Ok(min) = std::env::var("RUNTIME_BENCH_MIN_COMPILE_SPEEDUP") {
+        let min: f64 = min.parse().expect("RUNTIME_BENCH_MIN_COMPILE_SPEEDUP is a number");
+        if compile_speedup < min {
+            eprintln!(
+                "FAIL: compile_speedup_vs_interp {compile_speedup:.2} regressed below the \
+                 {min:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        println!("exec-tier gate passed: compiled {compile_speedup:.2}x >= {min:.2}x interpreter");
     }
 }

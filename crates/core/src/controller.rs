@@ -18,7 +18,9 @@ use clickinc_blockdag::{build_block_dag, BlockConfig, BlockDag};
 use clickinc_emulator::DevicePlane;
 use clickinc_frontend::{CompileOptions, Frontend};
 use clickinc_ir::analysis::{DeviceTarget, PlacedSnippet};
-use clickinc_ir::{DiagnosticSet, Fnv, IrProgram, PassContext, PassManager, ResourceVector};
+use clickinc_ir::{
+    DiagnosticSet, Fnv, IrProgram, Optimizer, PassContext, PassManager, ResourceVector,
+};
 use clickinc_placement::{
     solve, PlacementConfig, PlacementNetwork, PlacementPlan, ResourceLedger, Weights,
 };
@@ -676,6 +678,22 @@ impl PlanContext<'_> {
         // the numeric id this plan will own if committed at the current epoch
         let numeric_id = self.next_user_id;
 
+        // install-time optimization over the whole isolated program, before
+        // placement slices it: constant folding, dead-value elimination, and
+        // hoisting the per-instruction isolation guard into the program
+        // precondition (an O(1) skip for co-resident tenants' traffic).  The
+        // optimizer re-verifies its own output and returns the original
+        // program on any regression, so this can only narrow, never widen,
+        // what the verifier below accepts.  Both execution tiers run the
+        // optimized IR, keeping their telemetry bit-identical.
+        let mut opt_diags = DiagnosticSet::new();
+        let isolated = Optimizer::with_default_passes().optimize(
+            &request.user,
+            true,
+            &isolated,
+            &mut opt_diags,
+        );
+
         // block DAG + reduced topology + placement
         let dag = build_block_dag(&isolated, self.block_config);
         let reduced = reduce_for_traffic(self.topology, &sources, dst, &request.traffic_weights);
@@ -712,12 +730,13 @@ impl PlanContext<'_> {
                 });
             }
         }
-        let diagnostics = PassManager::with_default_passes().run(&PassContext {
+        let mut diagnostics = PassManager::with_default_passes().run(&PassContext {
             tenant: request.user.clone(),
             isolated: true,
             programs: std::slice::from_ref(&isolated),
             placements: &placements,
         });
+        diagnostics.merge(opt_diags);
         if diagnostics.has_errors() {
             return Err(ClickIncError::Verification { user: request.user.clone(), diagnostics });
         }
@@ -753,6 +772,9 @@ impl PlanContext<'_> {
 fn slice_snippet(user: &str, isolated: &IrProgram, instrs: &[usize]) -> IrProgram {
     let mut snippet = IrProgram::new(user.to_string());
     snippet.headers = isolated.headers.clone();
+    // the hoisted isolation guard must travel with every slice — without it
+    // a slice would run on co-resident tenants' packets
+    snippet.precondition = isolated.precondition.clone();
     snippet.objects = isolated
         .objects
         .iter()

@@ -2,8 +2,10 @@
 
 use crate::packet::Packet;
 use crate::state::ObjectStore;
+use crate::vm::{self, CompiledImage, ExecMode, RegFile, VmCtx};
 use clickinc_device::DeviceModel;
-use clickinc_ir::{AluOp, CmpOp, Guard, IrProgram, ObjectKind, OpCode, Operand, Value};
+use clickinc_ir::eval::{alu, compare};
+use clickinc_ir::{Guard, IrProgram, ObjectKind, OpCode, Operand, Value};
 use std::collections::BTreeMap;
 
 /// What happens to the packet after the device processed it.
@@ -58,6 +60,13 @@ pub struct DevicePlane {
     /// devices (set from the synthesizer's Param analysis; empty = nothing is
     /// carried).
     pub param_exports: Vec<String>,
+    /// The install-time-compiled form of `snippets` (see [`crate::vm`]);
+    /// rebuilt on every install/uninstall, `None` while nothing is installed.
+    compiled: Option<CompiledImage>,
+    /// The register file backing the compiled tier.
+    regs: RegFile,
+    /// Which execution tier [`DevicePlane::process`] runs.
+    exec_mode: ExecMode,
 }
 
 /// Execution context handed to the opcode interpreter: the mutable store, the
@@ -81,7 +90,41 @@ impl DevicePlane {
             instructions_executed: 0,
             rand_streams: BTreeMap::new(),
             param_exports: Vec::new(),
+            compiled: None,
+            regs: RegFile::default(),
+            exec_mode: ExecMode::default(),
         }
+    }
+
+    /// Select the execution tier.  Both tiers execute the same installed IR
+    /// and share the store and random streams, so switching mid-stream is
+    /// seamless (and bit-identical — see `tests/compiled_vs_interp.rs`).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The currently selected execution tier.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// The compiled image, if any snippet is installed (inspection/snapshots).
+    pub fn compiled_image(&self) -> Option<&CompiledImage> {
+        self.compiled.as_ref()
+    }
+
+    /// Rebuild the compiled image from the installed snippets.  Object slots,
+    /// hash seeds/moduli and the kind dispatch are resolved here, once, so the
+    /// per-packet loop does no name lookups.
+    fn recompile(&mut self) {
+        if self.snippets.is_empty() {
+            self.compiled = None;
+            self.regs.reset(0, 0);
+            return;
+        }
+        let image = vm::compile(&self.snippets, &self.object_kinds, &self.store);
+        self.regs.reset(image.num_regs(), image.num_headers());
+        self.compiled = Some(image);
     }
 
     /// Configure which temporaries are exported into the Param field after
@@ -98,6 +141,7 @@ impl DevicePlane {
             self.object_kinds.entry(obj.name.clone()).or_insert_with(|| obj.kind.clone());
         }
         self.snippets.push(snippet);
+        self.recompile();
     }
 
     /// Remove every snippet owned by `owner` (matched against the snippet's
@@ -121,6 +165,7 @@ impl DevicePlane {
                 self.object_kinds.remove(&obj.name);
             }
         }
+        self.recompile();
         true
     }
 
@@ -145,8 +190,41 @@ impl DevicePlane {
         &self.store
     }
 
-    /// Process a packet through every installed snippet.
+    /// Process a packet through every installed snippet, on whichever
+    /// execution tier is selected.
     pub fn process(&mut self, pkt: &mut Packet) -> ExecOutcome {
+        match self.exec_mode {
+            ExecMode::Compiled => self.process_compiled(pkt),
+            ExecMode::Interpreted => self.process_interp(pkt),
+        }
+    }
+
+    /// The compiled tier: run the packet through the register VM.
+    fn process_compiled(&mut self, pkt: &mut Packet) -> ExecOutcome {
+        self.packets_processed += 1;
+        let (action, mirrored, executed) = match &self.compiled {
+            Some(image) => {
+                let mut ctx = VmCtx {
+                    store: &mut self.store,
+                    regs: &mut self.regs,
+                    rand_streams: &mut self.rand_streams,
+                };
+                let run = vm::exec(image, &mut ctx, pkt);
+                if run.action == PacketAction::Forward {
+                    vm::export_params(image, &self.regs, &self.param_exports, pkt);
+                }
+                (run.action, run.mirrored, run.executed)
+            }
+            None => (PacketAction::Forward, Vec::new(), 0),
+        };
+        self.instructions_executed += executed as u64;
+        let latency_ns =
+            self.model.base_latency_ns + self.model.per_instr_latency_ns * executed as f64;
+        ExecOutcome { action, mirrored, latency_ns, instructions_executed: executed }
+    }
+
+    /// The reference tier: walk the IR directly.
+    fn process_interp(&mut self, pkt: &mut Packet) -> ExecOutcome {
         self.packets_processed += 1;
         let mut action = PacketAction::Forward;
         let mut mirrored = Vec::new();
@@ -159,6 +237,13 @@ impl DevicePlane {
             rand_streams: &mut self.rand_streams,
         };
         for snippet in &self.snippets {
+            // the hoisted program-level guard (tenant isolation predicate)
+            // gates the whole snippet once per packet
+            if let Some(pre) = &snippet.precondition {
+                if !eval_guard(pre, &env, pkt) {
+                    continue;
+                }
+            }
             for instr in &snippet.instructions {
                 let guard_ok =
                     instr.guard.as_ref().map(|g| eval_guard(g, &env, pkt)).unwrap_or(true);
@@ -402,72 +487,6 @@ fn row_and_cell(idx: &[Value]) -> (u32, u32) {
     }
 }
 
-fn compare(a: &Value, op: CmpOp, b: &Value) -> bool {
-    match (a, b) {
-        (Value::None, Value::None) => matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge),
-        (Value::None, _) | (_, Value::None) => matches!(op, CmpOp::Ne),
-        _ => {
-            let (x, y) = (a.as_int().unwrap_or(0), b.as_int().unwrap_or(0));
-            op.eval_int(x, y)
-        }
-    }
-}
-
-fn alu(op: AluOp, a: &Value, b: &Value, float: bool) -> Value {
-    if float {
-        let (x, y) = (a.as_float().unwrap_or(0.0), b.as_float().unwrap_or(0.0));
-        let r = match op {
-            AluOp::Add => x + y,
-            AluOp::Sub => x - y,
-            AluOp::Mul => x * y,
-            AluOp::Div => {
-                if y == 0.0 {
-                    0.0
-                } else {
-                    x / y
-                }
-            }
-            AluOp::Min => x.min(y),
-            AluOp::Max => x.max(y),
-            _ => x,
-        };
-        return Value::Float(r);
-    }
-    let (x, y) = (a.as_int().unwrap_or(0), b.as_int().unwrap_or(0));
-    let r = match op {
-        AluOp::Add => x.wrapping_add(y),
-        AluOp::Sub => x.wrapping_sub(y),
-        AluOp::Mul => x.wrapping_mul(y),
-        AluOp::Div => {
-            if y == 0 {
-                0
-            } else {
-                x / y
-            }
-        }
-        AluOp::Mod => {
-            if y == 0 {
-                0
-            } else {
-                x % y
-            }
-        }
-        AluOp::And => x & y,
-        AluOp::Or => x | y,
-        AluOp::Xor => x ^ y,
-        AluOp::Shl => x.wrapping_shl(y as u32),
-        AluOp::Shr => x.wrapping_shr(y as u32),
-        AluOp::Min => x.min(y),
-        AluOp::Max => x.max(y),
-        AluOp::Slice => {
-            let hi = (y >> 8) & 0xff;
-            let lo = y & 0xff;
-            (x >> lo) & ((1 << (hi - lo + 1).clamp(1, 63)) - 1)
-        }
-    };
-    Value::Int(r)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -636,7 +655,7 @@ mod tests {
 
     #[test]
     fn randint_streams_are_per_tenant_and_unaffected_by_co_residents() {
-        use clickinc_ir::{Guard, Instruction, Operand, Predicate};
+        use clickinc_ir::{CmpOp, Guard, Instruction, Operand, Predicate};
         let randint_prog = |name: &str, user: i64| {
             let guard = Guard {
                 all: vec![Predicate::new(

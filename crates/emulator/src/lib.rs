@@ -24,6 +24,7 @@ pub mod interp;
 pub mod packet;
 pub mod scenario;
 pub mod state;
+pub mod vm;
 pub mod zipf;
 
 pub use interp::{DevicePlane, ExecOutcome, PacketAction};
@@ -33,6 +34,7 @@ pub use scenario::{
     AggregationReport, KvsConfig, KvsReport, NetworkSetup,
 };
 pub use state::{Fnv, ObjectStore};
+pub use vm::{CompiledImage, CompiledProgram, ExecMode};
 pub use zipf::ZipfSampler;
 
 #[cfg(test)]

@@ -30,7 +30,13 @@ impl IncHeader {
 
     /// Set a field.
     pub fn set(&mut self, field: &str, value: Value) {
-        self.fields.insert(field.to_string(), value);
+        // overwrite in place when the field exists — the common case on the
+        // packet hot path — so no key string is allocated per write
+        if let Some(slot) = self.fields.get_mut(field) {
+            *slot = value;
+        } else {
+            self.fields.insert(field.to_string(), value);
+        }
     }
 
     /// Number of live (non-removed) application fields.

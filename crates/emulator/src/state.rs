@@ -1,4 +1,12 @@
 //! Runtime storage for the stateful INC objects.
+//!
+//! Objects live in dense *slots*: the store keeps a name → slot index map for
+//! control-plane access, and the per-packet paths (the register VM's compiled
+//! state ops) address slots directly — a bounds-checked vector index instead
+//! of a string-keyed map probe.  Slot indices are stable for the lifetime of
+//! an object: removal tombstones the slot, and every iteration-order-sensitive
+//! operation (merging, fingerprints) walks the name map in lexicographic
+//! order, so the digest of a store is independent of its slot layout.
 
 use clickinc_ir::{ObjectDecl, ObjectKind, SketchKind, Value};
 use std::collections::BTreeMap;
@@ -27,6 +35,29 @@ fn value_key(v: &Value) -> u64 {
     }
 }
 
+fn table_key(key: &[Value]) -> u64 {
+    key.iter().fold(0u64, |acc, v| mix(acc + 1, value_key(v)))
+}
+
+/// The name-derived seed of a hash object, computable at compile time so the
+/// VM carries it as an immediate instead of re-deriving it per packet.
+pub fn hash_seed(name: &str) -> u64 {
+    name.bytes().fold(7u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)))
+}
+
+/// Hash `keys` under a precomputed seed and optional modulus — the shared
+/// digest behind [`ObjectStore::hash`] and the VM's compiled hash ops.
+pub fn hash_with_seed(seed: u64, modulus: Option<u32>, keys: &[Value]) -> i64 {
+    let mut acc = seed;
+    for k in keys {
+        acc = mix(acc, value_key(k));
+    }
+    match modulus {
+        Some(m) if m > 0 => (acc % u64::from(m)) as i64,
+        _ => (acc & 0xffff) as i64,
+    }
+}
+
 /// Runtime instance of one object.
 #[derive(Debug, Clone)]
 enum ObjectState {
@@ -41,7 +72,11 @@ enum ObjectState {
 /// The object store of one device.
 #[derive(Debug, Clone, Default)]
 pub struct ObjectStore {
-    objects: BTreeMap<String, ObjectState>,
+    /// Object name → slot index (control-plane and iteration order).
+    names: BTreeMap<String, usize>,
+    /// Dense object storage; a removed object leaves a `None` tombstone so
+    /// the surviving objects' slot indices stay valid.
+    slots: Vec<Option<ObjectState>>,
 }
 
 impl ObjectStore {
@@ -50,10 +85,21 @@ impl ObjectStore {
         ObjectStore::default()
     }
 
+    fn state(&self, name: &str) -> Option<&ObjectState> {
+        self.names.get(name).and_then(|&slot| self.slots[slot].as_ref())
+    }
+
+    fn state_mut(&mut self, name: &str) -> Option<&mut ObjectState> {
+        match self.names.get(name) {
+            Some(&slot) => self.slots[slot].as_mut(),
+            None => None,
+        }
+    }
+
     /// Declare (instantiate) an object.  Re-declaring an existing object keeps
     /// its current contents (idempotent deployment).
     pub fn declare(&mut self, decl: &ObjectDecl) {
-        if self.objects.contains_key(&decl.name) {
+        if self.names.contains_key(&decl.name) {
             return;
         }
         let state = match &decl.kind {
@@ -73,20 +119,36 @@ impl ObjectStore {
             ObjectKind::Hash { modulus, .. } => ObjectState::Hash { modulus: *modulus },
             ObjectKind::Crypto { .. } => ObjectState::Crypto,
         };
-        self.objects.insert(decl.name.clone(), state);
+        self.names.insert(decl.name.clone(), self.slots.len());
+        self.slots.push(Some(state));
     }
 
     /// Whether the object exists.
     pub fn contains(&self, name: &str) -> bool {
-        self.objects.contains_key(name)
+        self.names.contains_key(name)
+    }
+
+    /// The slot index of an object, fixed until the object is removed.  The
+    /// VM resolves every state operand to a slot at compile time.
+    pub fn slot_of(&self, name: &str) -> Option<usize> {
+        self.names.get(name).copied()
+    }
+
+    /// The declared modulus of a hash object (`None` for undeclared objects
+    /// or an unbounded hash), resolved at compile time by the VM.
+    pub fn hash_modulus(&self, name: &str) -> Option<u32> {
+        match self.state(name) {
+            Some(ObjectState::Hash { modulus }) => *modulus,
+            _ => None,
+        }
     }
 
     /// Names of all declared table objects (control-plane enumeration, e.g.
     /// to pre-populate caches whose names were rewritten by isolation).
     pub fn table_names(&self) -> Vec<String> {
-        self.objects
+        self.names
             .iter()
-            .filter(|(_, state)| matches!(state, ObjectState::Table { .. }))
+            .filter(|(_, &slot)| matches!(self.slots[slot], Some(ObjectState::Table { .. })))
             .map(|(name, _)| name.clone())
             .collect()
     }
@@ -94,7 +156,12 @@ impl ObjectStore {
     /// Read an array/sequence cell (missing cells read as 0).  Row and index
     /// wrap at the declared bounds, mirroring the hardware's address masking.
     pub fn array_read(&self, name: &str, row: u32, index: u32) -> i64 {
-        match self.objects.get(name) {
+        self.slot_of(name).map(|slot| self.array_read_slot(slot, row, index)).unwrap_or(0)
+    }
+
+    /// [`ObjectStore::array_read`] by slot index.
+    pub fn array_read_slot(&self, slot: usize, row: u32, index: u32) -> i64 {
+        match self.slots.get(slot).and_then(Option::as_ref) {
             Some(ObjectState::Array { cells, rows, size }) => {
                 cells.get(&(row % (*rows).max(1), index % (*size).max(1))).copied().unwrap_or(0)
             }
@@ -107,7 +174,14 @@ impl ObjectStore {
 
     /// Write an array/sequence cell.
     pub fn array_write(&mut self, name: &str, row: u32, index: u32, value: i64) {
-        match self.objects.get_mut(name) {
+        if let Some(slot) = self.slot_of(name) {
+            self.array_write_slot(slot, row, index, value);
+        }
+    }
+
+    /// [`ObjectStore::array_write`] by slot index.
+    pub fn array_write_slot(&mut self, slot: usize, row: u32, index: u32, value: i64) {
+        match self.slots.get_mut(slot).and_then(Option::as_mut) {
             Some(ObjectState::Array { cells, rows, size }) => {
                 cells.insert((row % (*rows).max(1), index % (*size).max(1)), value);
             }
@@ -120,33 +194,38 @@ impl ObjectStore {
 
     /// Increment an array/sequence cell and return the post-increment value.
     pub fn array_add(&mut self, name: &str, row: u32, index: u32, delta: i64) -> i64 {
-        let new = self.array_read(name, row, index) + delta;
-        self.array_write(name, row, index, new);
+        match self.slot_of(name) {
+            Some(slot) => self.array_add_slot(slot, row, index, delta),
+            None => delta,
+        }
+    }
+
+    /// [`ObjectStore::array_add`] by slot index.
+    pub fn array_add_slot(&mut self, slot: usize, row: u32, index: u32, delta: i64) -> i64 {
+        let new = self.array_read_slot(slot, row, index) + delta;
+        self.array_write_slot(slot, row, index, new);
         new
     }
 
     /// Hash a key with a declared hash object.
     pub fn hash(&self, name: &str, keys: &[Value]) -> i64 {
-        let seed = name.bytes().fold(7u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
-        let mut acc = seed;
-        for k in keys {
-            acc = mix(acc, value_key(k));
-        }
-        let modulus = match self.objects.get(name) {
-            Some(ObjectState::Hash { modulus }) => *modulus,
-            _ => None,
-        };
-        match modulus {
-            Some(m) if m > 0 => (acc % u64::from(m)) as i64,
-            _ => (acc & 0xffff) as i64,
-        }
+        hash_with_seed(hash_seed(name), self.hash_modulus(name), keys)
     }
 
     /// Count-min / Bloom update keyed by an arbitrary value; returns the new
     /// minimum estimate (CMS) or 1 (Bloom).
     pub fn sketch_count(&mut self, name: &str, key: &Value, delta: i64) -> i64 {
+        match self.slot_of(name) {
+            Some(slot) => self.sketch_count_slot(slot, key, delta),
+            None => 0,
+        }
+    }
+
+    /// [`ObjectStore::sketch_count`] by slot index.
+    pub fn sketch_count_slot(&mut self, slot: usize, key: &Value, delta: i64) -> i64 {
         let k = value_key(key);
-        if let Some(ObjectState::Sketch { kind, rows, cols, counters }) = self.objects.get_mut(name)
+        if let Some(ObjectState::Sketch { kind, rows, cols, counters }) =
+            self.slots.get_mut(slot).and_then(Option::as_mut)
         {
             let mut min = i64::MAX;
             for row in 0..*rows {
@@ -166,8 +245,15 @@ impl ObjectStore {
 
     /// Count-min estimate / Bloom membership for a key.
     pub fn sketch_estimate(&self, name: &str, key: &Value) -> i64 {
+        self.slot_of(name).map(|slot| self.sketch_estimate_slot(slot, key)).unwrap_or(0)
+    }
+
+    /// [`ObjectStore::sketch_estimate`] by slot index.
+    pub fn sketch_estimate_slot(&self, slot: usize, key: &Value) -> i64 {
         let k = value_key(key);
-        if let Some(ObjectState::Sketch { rows, cols, counters, .. }) = self.objects.get(name) {
+        if let Some(ObjectState::Sketch { rows, cols, counters, .. }) =
+            self.slots.get(slot).and_then(Option::as_ref)
+        {
             let mut min = i64::MAX;
             for row in 0..*rows {
                 let col = (mix(u64::from(row) + 1, k) % u64::from(*cols)) as usize;
@@ -185,10 +271,14 @@ impl ObjectStore {
 
     /// Look a key up in a table; `Value::None` on miss.
     pub fn table_get(&self, name: &str, key: &[Value]) -> Value {
-        let k = key.iter().fold(0u64, |acc, v| mix(acc + 1, value_key(v)));
-        match self.objects.get(name) {
+        self.slot_of(name).map(|slot| self.table_get_slot(slot, key)).unwrap_or(Value::None)
+    }
+
+    /// [`ObjectStore::table_get`] by slot index.
+    pub fn table_get_slot(&self, slot: usize, key: &[Value]) -> Value {
+        match self.slots.get(slot).and_then(Option::as_ref) {
             Some(ObjectState::Table { entries }) => entries
-                .get(&k)
+                .get(&table_key(key))
                 .map(|v| v.first().cloned().unwrap_or(Value::None))
                 .unwrap_or(Value::None),
             _ => Value::None,
@@ -198,18 +288,34 @@ impl ObjectStore {
     /// Insert / overwrite a table entry (used both by data-plane writes on
     /// devices that allow them and by the emulated control plane).
     pub fn table_write(&mut self, name: &str, key: &[Value], value: Vec<Value>) {
-        let k = key.iter().fold(0u64, |acc, v| mix(acc + 1, value_key(v)));
-        if let Some(ObjectState::Table { entries }) = self.objects.get_mut(name) {
-            entries.insert(k, value);
+        if let Some(slot) = self.slot_of(name) {
+            self.table_write_slot(slot, key, value);
+        }
+    }
+
+    /// [`ObjectStore::table_write`] by slot index.
+    pub fn table_write_slot(&mut self, slot: usize, key: &[Value], value: Vec<Value>) {
+        if let Some(ObjectState::Table { entries }) =
+            self.slots.get_mut(slot).and_then(Option::as_mut)
+        {
+            entries.insert(table_key(key), value);
+        }
+    }
+
+    /// Remove one table entry by slot index (the VM's compiled table delete).
+    pub fn table_remove_slot(&mut self, slot: usize, key: &[Value]) {
+        if let Some(ObjectState::Table { entries }) =
+            self.slots.get_mut(slot).and_then(Option::as_mut)
+        {
+            entries.remove(&table_key(key));
         }
     }
 
     /// Delete a table entry or reset an array cell.
     pub fn delete(&mut self, name: &str, key: &[Value]) {
-        match self.objects.get_mut(name) {
+        match self.state_mut(name) {
             Some(ObjectState::Table { entries }) => {
-                let k = key.iter().fold(0u64, |acc, v| mix(acc + 1, value_key(v)));
-                entries.remove(&k);
+                entries.remove(&table_key(key));
             }
             Some(ObjectState::Array { .. }) | Some(ObjectState::Seq { .. }) => {
                 let row = key.first().and_then(Value::as_int).unwrap_or(0) as u32;
@@ -225,9 +331,16 @@ impl ObjectStore {
     }
 
     /// Remove an object and its contents entirely (tenant teardown).  Returns
-    /// whether the object existed.
+    /// whether the object existed.  The slot is tombstoned, never reused, so
+    /// surviving objects keep their compiled slot indices.
     pub fn remove_object(&mut self, name: &str) -> bool {
-        self.objects.remove(name).is_some()
+        match self.names.remove(name) {
+            Some(slot) => {
+                self.slots[slot] = None;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Merge another store into this one.  Objects only present in `other`
@@ -236,8 +349,12 @@ impl ObjectStore {
     /// stores partitioned by tenant have disjoint object names and this union
     /// reconstructs exactly the state a single shared store would hold.
     pub fn merge_from(&mut self, other: &ObjectStore) {
-        for (name, state) in &other.objects {
-            self.objects.entry(name.clone()).or_insert_with(|| state.clone());
+        for (name, &slot) in &other.names {
+            let Some(state) = &other.slots[slot] else { continue };
+            if !self.names.contains_key(name) {
+                self.names.insert(name.clone(), self.slots.len());
+                self.slots.push(Some(state.clone()));
+            }
         }
     }
 
@@ -270,27 +387,33 @@ impl ObjectStore {
         other: &ObjectStore,
         flow_partitioned: impl Fn(&str) -> bool,
     ) {
-        for (name, state) in &other.objects {
-            if !flow_partitioned(name) {
-                self.objects.entry(name.clone()).or_insert_with(|| state.clone());
-                continue;
-            }
-            match self.objects.get_mut(name) {
+        for (name, &slot) in &other.names {
+            let Some(state) = &other.slots[slot] else { continue };
+            match self.names.get(name) {
                 None => {
-                    self.objects.insert(name.clone(), state.clone());
+                    self.names.insert(name.clone(), self.slots.len());
+                    self.slots.push(Some(state.clone()));
                 }
-                Some(mine) => merge_flow_partition(mine, state),
+                Some(&mine) if flow_partitioned(name) => {
+                    if let Some(mine) = self.slots[mine].as_mut() {
+                        merge_flow_partition(mine, state);
+                    }
+                }
+                Some(_) => {}
             }
         }
     }
 
     /// A deterministic digest of the full store contents (object names,
     /// shapes, and every live cell/entry/counter).  Two stores with equal
-    /// contents produce equal fingerprints in any process — used by the
-    /// runtime's shard-count invariance tests.
+    /// contents produce equal fingerprints in any process — the walk follows
+    /// the name map's lexicographic order, so the digest is independent of
+    /// slot layout.  Used by the runtime's shard-count invariance tests and
+    /// the interpreter/VM differential oracle.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv::new();
-        for (name, state) in &self.objects {
+        for (name, &slot) in &self.names {
+            let Some(state) = &self.slots[slot] else { continue };
             h.write_str(name);
             match state {
                 ObjectState::Array { rows, size, cells } => {
@@ -346,7 +469,14 @@ impl ObjectStore {
 
     /// Clear an object entirely.
     pub fn clear(&mut self, name: &str) {
-        if let Some(state) = self.objects.get_mut(name) {
+        if let Some(slot) = self.slot_of(name) {
+            self.clear_slot(slot);
+        }
+    }
+
+    /// [`ObjectStore::clear`] by slot index.
+    pub fn clear_slot(&mut self, slot: usize) {
+        if let Some(state) = self.slots.get_mut(slot).and_then(Option::as_mut) {
             match state {
                 ObjectState::Array { cells, .. } => cells.clear(),
                 ObjectState::Seq { cells, .. } => cells.clear(),
@@ -461,6 +591,11 @@ mod tests {
         assert_eq!(a, b);
         assert!((0..100).contains(&a));
         assert_ne!(s.hash("h", &[Value::Int(5)]), s.hash("h", &[Value::Int(6)]));
+        // the split seed/modulus form the VM compiles against is identical
+        assert_eq!(
+            hash_with_seed(hash_seed("h"), s.hash_modulus("h"), &[Value::Int(5)]),
+            s.hash("h", &[Value::Int(5)])
+        );
     }
 
     #[test]
@@ -585,5 +720,24 @@ mod tests {
         assert_eq!(s.array_read("a", 0, 1), 5);
         assert!(s.contains("a"));
         assert!(!s.contains("b"));
+    }
+
+    #[test]
+    fn slot_indices_survive_removal_of_other_objects() {
+        let array = ObjectKind::Array { rows: 1, size: 8, width: 32 };
+        let mut s = ObjectStore::new();
+        s.declare(&ObjectDecl::new("a", array.clone()));
+        s.declare(&ObjectDecl::new("b", array.clone()));
+        let slot_b = s.slot_of("b").unwrap();
+        s.array_write_slot(slot_b, 0, 2, 11);
+        s.remove_object("a");
+        assert_eq!(s.slot_of("b"), Some(slot_b), "tombstoning `a` must not move `b`");
+        assert_eq!(s.array_read_slot(slot_b, 0, 2), 11);
+        assert_eq!(s.slot_of("a"), None);
+        // fingerprint equals a store that never saw `a` at all
+        let mut fresh = ObjectStore::new();
+        fresh.declare(&ObjectDecl::new("b", array));
+        fresh.array_write("b", 0, 2, 11);
+        assert_eq!(s.fingerprint(), fresh.fingerprint());
     }
 }

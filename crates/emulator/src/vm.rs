@@ -1,0 +1,1128 @@
+//! The register VM: the compiled execution tier of the data plane.
+//!
+//! [`compile`] lowers a device plane's installed snippets into a
+//! [`CompiledImage`] at install time: every variable becomes a dense register
+//! index, every state object resolves to its [`ObjectStore`] slot, hash seeds
+//! and moduli become immediates, and the per-object kind dispatch the
+//! interpreter performs per packet (is this a table? a sketch?) is burned
+//! into kind-specialized opcodes.  The per-packet loop is then a match over
+//! fixed-width ops with no string lookups, no `HashMap` probes for
+//! variables, and no per-instruction tenant guard — the isolation predicate
+//! the optimizer hoists into [`IrProgram::precondition`] gates each snippet
+//! once per packet.
+//!
+//! The VM is bit-identical to the interpreter by construction: one IR
+//! instruction compiles to exactly one [`VmInstr`] (so executed-instruction
+//! telemetry matches), every operation evaluates through the same
+//! [`clickinc_ir::eval`] reference semantics and the same [`ObjectStore`]
+//! cell arithmetic, and `RandInt` advances the same per-tenant splitmix
+//! stream.  The differential proptests in `tests/compiled_vs_interp.rs` hold
+//! the two paths to equal store fingerprints, outcomes and counters on every
+//! fig13 program.
+//!
+//! Registers are *generation-stamped*: instead of clearing the register file
+//! per packet, each write records the current packet generation, and a read
+//! whose stamp is stale falls back to the packet's Param field (the
+//! interpreter's `env → param → None` chain) without any per-packet reset
+//! cost.
+
+use crate::packet::Packet;
+use crate::state::{hash_seed, hash_with_seed, ObjectStore};
+use clickinc_ir::{eval, AluOp, CmpOp, IrProgram, ObjectKind, OpCode, Operand, Value};
+use std::collections::BTreeMap;
+
+/// Which execution tier a device plane runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The register VM over install-time-compiled programs (the default).
+    Compiled,
+    /// The reference interpreter walking the IR directly.  Kept as the
+    /// differential oracle and as an escape hatch (`--features interp-only`
+    /// flips the default).
+    Interpreted,
+}
+
+impl Default for ExecMode {
+    fn default() -> ExecMode {
+        if cfg!(feature = "interp-only") {
+            ExecMode::Interpreted
+        } else {
+            ExecMode::Compiled
+        }
+    }
+}
+
+/// Slot sentinel for objects that are referenced but not declared on this
+/// plane: every slot-indexed [`ObjectStore`] accessor treats an out-of-range
+/// slot as the missing object (reads 0 / `None`, writes are no-ops), exactly
+/// like the interpreter's name lookups.
+const NO_SLOT: usize = usize::MAX;
+
+/// A compiled operand: constants and metadata are immediates, variables are
+/// register indices, header fields keep their name (the packet's header map
+/// is the interface contract with the rest of the system).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmOperand {
+    /// An immediate value.
+    Const(Value),
+    /// A register (a lowered variable).
+    Reg(u32),
+    /// A packet header field, as a dense index into the image's header-name
+    /// table.  Reads go through a generation-stamped per-packet cache, so a
+    /// field consulted by many guards costs one map probe per packet, not
+    /// one per instruction.
+    Header(u32),
+    /// `meta.inc_user`.
+    MetaUser,
+    /// `meta.step`.
+    MetaStep,
+    /// An unknown metadata field (reads `None`, like the interpreter).
+    MetaNone,
+}
+
+/// A compiled guard predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmPred {
+    lhs: VmOperand,
+    op: CmpOp,
+    rhs: VmOperand,
+}
+
+/// Compiled row/cell addressing of an array or sequence access, mirroring the
+/// interpreter's index-arity decode (0 operands → cell 0, 1 → cell, 2+ →
+/// row and cell).
+#[derive(Debug, Clone)]
+pub enum VmIndex {
+    /// No index operands.
+    None,
+    /// One operand: the cell.
+    One(VmOperand),
+    /// Two (or more) operands: row and cell.
+    Two(VmOperand, VmOperand),
+}
+
+/// A compiled operation.  State ops are kind-specialized at compile time and
+/// carry their resolved store slot.
+#[derive(Debug, Clone)]
+pub enum VmOp {
+    /// `reg = src`.
+    Assign { dest: u32, src: VmOperand },
+    /// `reg = lhs op rhs`.
+    Alu { dest: u32, op: AluOp, lhs: VmOperand, rhs: VmOperand, float: bool },
+    /// `reg = lhs cmp rhs`.
+    Cmp { dest: u32, op: CmpOp, lhs: VmOperand, rhs: VmOperand },
+    /// Hash with a precomputed seed and modulus (hash objects are immutable,
+    /// so both are compile-time constants).
+    Hash { dest: u32, seed: u64, modulus: Option<u32>, keys: Vec<VmOperand> },
+    /// Table lookup.
+    TableGet { dest: u32, slot: usize, key: Vec<VmOperand> },
+    /// Sketch estimate / Bloom membership.
+    SketchEstimate { dest: u32, slot: usize, key: VmOperand },
+    /// Array/sequence cell read.
+    ArrayRead { dest: u32, slot: usize, index: VmIndex },
+    /// Table insert/overwrite.
+    TableWrite { slot: usize, key: Vec<VmOperand>, values: Vec<VmOperand> },
+    /// Sketch update through a `write` (delta comes from the first value,
+    /// defaulting to 1).
+    SketchWrite { slot: usize, key: VmOperand, value: VmOperand },
+    /// Array/sequence cell write.
+    ArrayWrite { slot: usize, index: VmIndex, value: VmOperand },
+    /// Sketch count (the result is the new minimum estimate).
+    SketchCount { dest: Option<u32>, slot: usize, key: VmOperand, delta: VmOperand },
+    /// Array/sequence counter add (the result is the post-increment value).
+    ArrayCount { dest: Option<u32>, slot: usize, index: VmIndex, delta: VmOperand },
+    /// Clear an object.
+    Clear { slot: usize },
+    /// Remove a table entry.
+    TableDelete { slot: usize, key: Vec<VmOperand> },
+    /// Reset an array/sequence cell (the delete decode truncates indices with
+    /// an `as u32` cast, matching the interpreter's `delete`).
+    ArrayDelete { slot: usize, index: VmIndex },
+    /// Drop the packet.
+    Drop,
+    /// Forward (reasserts forward unless the packet already bounced).
+    Forward,
+    /// Rewrite headers and bounce the packet back.
+    Back { updates: Vec<(u32, VmOperand)> },
+    /// Mirror a copy with rewritten headers.
+    Mirror { updates: Vec<(u32, VmOperand)> },
+    /// Mirror a plain copy (multicast / copy-to-CPU are modelled as mirrors).
+    MirrorPlain,
+    /// Write a header field.
+    SetHeader { field: u32, value: VmOperand },
+    /// The toy crypto unit (`input ^ 0x5a5a5a5a`).
+    Crypto { dest: u32, input: VmOperand },
+    /// Draw from the tenant's deterministic random stream.
+    RandInt { dest: u32, bound: VmOperand },
+    /// Ones-style checksum (`sum & 0xffff`).
+    Checksum { dest: u32, inputs: Vec<VmOperand> },
+    /// No operation (still counts as executed, like the interpreter).
+    NoOp,
+}
+
+/// One compiled instruction: the (possibly empty) guard plus the operation.
+/// Exactly one IR instruction compiles to one `VmInstr`, keeping the
+/// executed-instruction counters bit-identical across tiers.
+#[derive(Debug, Clone)]
+pub struct VmInstr {
+    guard: Vec<VmPred>,
+    op: VmOp,
+}
+
+/// A guard block: consecutive instructions sharing a leading guard
+/// conjunction, evaluated once per packet at block entry.  The grouping is a
+/// pure compile-time transform of the straight-line stream — a block is only
+/// formed when no instruction in its body writes a register or header field
+/// the shared predicates read, so block-entry evaluation observes exactly the
+/// values per-instruction evaluation would.  A failing shared guard skips the
+/// whole body, which is telemetry-identical to the interpreter failing each
+/// instruction's full conjunction individually.
+#[derive(Debug, Clone)]
+pub struct VmBlock {
+    guard: Vec<VmPred>,
+    body: Vec<VmInstr>,
+}
+
+/// One compiled snippet: the hoisted program precondition plus the guard
+/// blocks covering the instruction stream in order.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Snippet name (the tenant program id).
+    pub name: String,
+    precondition: Vec<VmPred>,
+    blocks: Vec<VmBlock>,
+}
+
+impl CompiledProgram {
+    /// Number of compiled instructions.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.body.len()).sum()
+    }
+
+    /// Whether the snippet compiled to no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|b| b.body.is_empty())
+    }
+}
+
+/// The compiled form of every snippet installed on one device plane, sharing
+/// a single register namespace (the interpreter shares one `env` across all
+/// snippets of a packet, so variables of the same name must alias).
+#[derive(Debug, Clone, Default)]
+pub struct CompiledImage {
+    programs: Vec<CompiledProgram>,
+    /// Register index → variable name, for the Param-field fallback of reads
+    /// from never-written registers.
+    reg_names: Vec<String>,
+    /// Variable name → register, for the Param export epilogue.
+    var_regs: BTreeMap<String, u32>,
+    /// Header index → field name (cache misses and header writes resolve
+    /// the name here).
+    header_names: Vec<String>,
+}
+
+impl CompiledImage {
+    /// Number of registers the image needs.
+    pub fn num_regs(&self) -> usize {
+        self.reg_names.len()
+    }
+
+    /// Number of distinct header fields the image touches.
+    pub fn num_headers(&self) -> usize {
+        self.header_names.len()
+    }
+
+    /// The compiled snippets, in installation order.
+    pub fn programs(&self) -> &[CompiledProgram] {
+        &self.programs
+    }
+
+    /// The register assigned to a variable, if any instruction mentions it.
+    pub fn register_of(&self, var: &str) -> Option<u32> {
+        self.var_regs.get(var).copied()
+    }
+
+    /// Render the whole compiled stream in a stable textual form — the golden
+    /// snapshots of the fig13 programs pin this down, so it must only change
+    /// when the compiler's output actually changes.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for prog in &self.programs {
+            let _ = writeln!(out, "program {} ({} instr):", prog.name, prog.len());
+            if !prog.precondition.is_empty() {
+                let _ = writeln!(out, "  precondition: {}", self.preds(&prog.precondition));
+            }
+            for blk in &prog.blocks {
+                if blk.guard.is_empty() {
+                    let _ = writeln!(out, "  block:");
+                } else {
+                    let _ = writeln!(out, "  block if {}:", self.preds(&blk.guard));
+                }
+                for vi in &blk.body {
+                    if vi.guard.is_empty() {
+                        let _ = writeln!(out, "    {}", self.op_str(&vi.op));
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "    if {} -> {}",
+                            self.preds(&vi.guard),
+                            self.op_str(&vi.op)
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn opnd(&self, o: &VmOperand) -> String {
+        match o {
+            VmOperand::Const(v) => format!("{v}"),
+            VmOperand::Reg(r) => format!("r{r}:{}", self.reg_names[*r as usize]),
+            VmOperand::Header(h) => format!("hdr.{}", self.header_names[*h as usize]),
+            VmOperand::MetaUser => "meta.inc_user".into(),
+            VmOperand::MetaStep => "meta.step".into(),
+            VmOperand::MetaNone => "meta.?".into(),
+        }
+    }
+
+    fn preds(&self, ps: &[VmPred]) -> String {
+        ps.iter()
+            .map(|p| format!("{} {:?} {}", self.opnd(&p.lhs), p.op, self.opnd(&p.rhs)))
+            .collect::<Vec<_>>()
+            .join(" && ")
+    }
+
+    fn list(&self, os: &[VmOperand]) -> String {
+        os.iter().map(|o| self.opnd(o)).collect::<Vec<_>>().join(", ")
+    }
+
+    fn upd(&self, us: &[(u32, VmOperand)]) -> String {
+        us.iter()
+            .map(|(f, v)| format!("{}: {}", self.header_names[*f as usize], self.opnd(v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn idx(&self, i: &VmIndex) -> String {
+        match i {
+            VmIndex::None => "[]".into(),
+            VmIndex::One(c) => format!("[{}]", self.opnd(c)),
+            VmIndex::Two(r, c) => format!("[{}, {}]", self.opnd(r), self.opnd(c)),
+        }
+    }
+
+    fn slot(&self, s: usize) -> String {
+        if s == usize::MAX {
+            "slot:?".into()
+        } else {
+            format!("slot:{s}")
+        }
+    }
+
+    fn op_str(&self, op: &VmOp) -> String {
+        match op {
+            VmOp::Assign { dest, src } => {
+                format!("r{dest} = {}", self.opnd(src))
+            }
+            VmOp::Alu { dest, op, lhs, rhs, float } => format!(
+                "r{dest} = {} {op:?}{} {}",
+                self.opnd(lhs),
+                if *float { "f" } else { "" },
+                self.opnd(rhs)
+            ),
+            VmOp::Cmp { dest, op, lhs, rhs } => {
+                format!("r{dest} = {} {op:?} {}", self.opnd(lhs), self.opnd(rhs))
+            }
+            VmOp::Hash { dest, seed, modulus, keys } => format!(
+                "r{dest} = hash(seed={seed:#x}, mod={}, {})",
+                modulus.map_or("none".into(), |m| m.to_string()),
+                self.list(keys)
+            ),
+            VmOp::TableGet { dest, slot, key } => {
+                format!("r{dest} = table_get {} ({})", self.slot(*slot), self.list(key))
+            }
+            VmOp::SketchEstimate { dest, slot, key } => {
+                format!("r{dest} = sketch_est {} ({})", self.slot(*slot), self.opnd(key))
+            }
+            VmOp::ArrayRead { dest, slot, index } => {
+                format!("r{dest} = array_read {}{}", self.slot(*slot), self.idx(index))
+            }
+            VmOp::TableWrite { slot, key, values } => {
+                format!(
+                    "table_write {} ({}) = [{}]",
+                    self.slot(*slot),
+                    self.list(key),
+                    self.list(values)
+                )
+            }
+            VmOp::SketchWrite { slot, key, value } => {
+                format!(
+                    "sketch_write {} ({}) += {}",
+                    self.slot(*slot),
+                    self.opnd(key),
+                    self.opnd(value)
+                )
+            }
+            VmOp::ArrayWrite { slot, index, value } => {
+                format!(
+                    "array_write {}{} = {}",
+                    self.slot(*slot),
+                    self.idx(index),
+                    self.opnd(value)
+                )
+            }
+            VmOp::SketchCount { dest, slot, key, delta } => format!(
+                "{}sketch_count {} ({}) += {}",
+                dest.map_or(String::new(), |d| format!("r{d} = ")),
+                self.slot(*slot),
+                self.opnd(key),
+                self.opnd(delta)
+            ),
+            VmOp::ArrayCount { dest, slot, index, delta } => format!(
+                "{}array_count {}{} += {}",
+                dest.map_or(String::new(), |d| format!("r{d} = ")),
+                self.slot(*slot),
+                self.idx(index),
+                self.opnd(delta)
+            ),
+            VmOp::Clear { slot } => format!("clear {}", self.slot(*slot)),
+            VmOp::TableDelete { slot, key } => {
+                format!("table_delete {} ({})", self.slot(*slot), self.list(key))
+            }
+            VmOp::ArrayDelete { slot, index } => {
+                format!("array_delete {}{}", self.slot(*slot), self.idx(index))
+            }
+            VmOp::Drop => "drop".into(),
+            VmOp::Forward => "forward".into(),
+            VmOp::Back { updates } => format!("back {{{}}}", self.upd(updates)),
+            VmOp::Mirror { updates } => format!("mirror {{{}}}", self.upd(updates)),
+            VmOp::MirrorPlain => "mirror".into(),
+            VmOp::SetHeader { field, value } => {
+                format!("hdr.{} = {}", self.header_names[*field as usize], self.opnd(value))
+            }
+            VmOp::Crypto { dest, input } => format!("r{dest} = crypto({})", self.opnd(input)),
+            VmOp::RandInt { dest, bound } => format!("r{dest} = randint({})", self.opnd(bound)),
+            VmOp::Checksum { dest, inputs } => {
+                format!("r{dest} = checksum({})", self.list(inputs))
+            }
+            VmOp::NoOp => "noop".into(),
+        }
+    }
+}
+
+struct Lowerer<'a> {
+    kinds: &'a BTreeMap<String, ObjectKind>,
+    store: &'a ObjectStore,
+    reg_names: Vec<String>,
+    var_regs: BTreeMap<String, u32>,
+    header_names: Vec<String>,
+    header_ids: BTreeMap<String, u32>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn hdr(&mut self, field: &str) -> u32 {
+        if let Some(&h) = self.header_ids.get(field) {
+            return h;
+        }
+        let h = self.header_names.len() as u32;
+        self.header_names.push(field.to_string());
+        self.header_ids.insert(field.to_string(), h);
+        h
+    }
+
+    fn reg(&mut self, var: &str) -> u32 {
+        if let Some(&r) = self.var_regs.get(var) {
+            return r;
+        }
+        let r = self.reg_names.len() as u32;
+        self.reg_names.push(var.to_string());
+        self.var_regs.insert(var.to_string(), r);
+        r
+    }
+
+    fn operand(&mut self, op: &Operand) -> VmOperand {
+        match op {
+            Operand::Const(v) => VmOperand::Const(v.clone()),
+            Operand::Var(name) => VmOperand::Reg(self.reg(name)),
+            Operand::Header(field) => VmOperand::Header(self.hdr(field)),
+            Operand::Meta(field) => match field.as_str() {
+                "inc_user" => VmOperand::MetaUser,
+                "step" => VmOperand::MetaStep,
+                _ => VmOperand::MetaNone,
+            },
+        }
+    }
+
+    fn operands(&mut self, ops: &[Operand]) -> Vec<VmOperand> {
+        ops.iter().map(|o| self.operand(o)).collect()
+    }
+
+    fn index(&mut self, index: &[Operand]) -> VmIndex {
+        match index.len() {
+            0 => VmIndex::None,
+            1 => VmIndex::One(self.operand(&index[0])),
+            _ => VmIndex::Two(self.operand(&index[0]), self.operand(&index[1])),
+        }
+    }
+
+    /// First element of an operand list, or a `None` immediate — the decode
+    /// sketches and array writes apply to their key/value lists.
+    fn first_or_none(&mut self, ops: &[Operand]) -> VmOperand {
+        ops.first().map(|o| self.operand(o)).unwrap_or(VmOperand::Const(Value::None))
+    }
+
+    fn slot(&self, object: &str) -> usize {
+        self.store.slot_of(object).unwrap_or(NO_SLOT)
+    }
+
+    fn op(&mut self, op: &OpCode) -> VmOp {
+        match op {
+            OpCode::Assign { dest, src } => {
+                VmOp::Assign { dest: self.reg(dest), src: self.operand(src) }
+            }
+            OpCode::Alu { dest, op, lhs, rhs, float } => VmOp::Alu {
+                dest: self.reg(dest),
+                op: *op,
+                lhs: self.operand(lhs),
+                rhs: self.operand(rhs),
+                float: *float,
+            },
+            OpCode::Cmp { dest, op, lhs, rhs } => VmOp::Cmp {
+                dest: self.reg(dest),
+                op: *op,
+                lhs: self.operand(lhs),
+                rhs: self.operand(rhs),
+            },
+            OpCode::Hash { dest, object, keys } => VmOp::Hash {
+                dest: self.reg(dest),
+                seed: hash_seed(object),
+                modulus: self.store.hash_modulus(object),
+                keys: self.operands(keys),
+            },
+            OpCode::ReadState { dest, object, index } => match self.kinds.get(object.as_str()) {
+                Some(ObjectKind::Table { .. }) => VmOp::TableGet {
+                    dest: self.reg(dest),
+                    slot: self.slot(object),
+                    key: self.operands(index),
+                },
+                Some(ObjectKind::Sketch { .. }) => VmOp::SketchEstimate {
+                    dest: self.reg(dest),
+                    slot: self.slot(object),
+                    key: self.first_or_none(index),
+                },
+                Some(ObjectKind::Hash { .. }) => VmOp::Hash {
+                    dest: self.reg(dest),
+                    seed: hash_seed(object),
+                    modulus: self.store.hash_modulus(object),
+                    keys: self.operands(index),
+                },
+                _ => VmOp::ArrayRead {
+                    dest: self.reg(dest),
+                    slot: self.slot(object),
+                    index: self.index(index),
+                },
+            },
+            OpCode::WriteState { object, index, value } => match self.kinds.get(object.as_str()) {
+                Some(ObjectKind::Table { .. }) => VmOp::TableWrite {
+                    slot: self.slot(object),
+                    key: self.operands(index),
+                    values: self.operands(value),
+                },
+                Some(ObjectKind::Sketch { .. }) => VmOp::SketchWrite {
+                    slot: self.slot(object),
+                    key: self.first_or_none(index),
+                    value: self.first_or_none(value),
+                },
+                _ => VmOp::ArrayWrite {
+                    slot: self.slot(object),
+                    index: self.index(index),
+                    value: self.first_or_none(value),
+                },
+            },
+            OpCode::CountState { dest, object, index, delta } => {
+                let dest = dest.as_ref().map(|d| self.reg(d));
+                match self.kinds.get(object.as_str()) {
+                    Some(ObjectKind::Sketch { .. }) => VmOp::SketchCount {
+                        dest,
+                        slot: self.slot(object),
+                        key: self.first_or_none(index),
+                        delta: self.operand(delta),
+                    },
+                    _ => VmOp::ArrayCount {
+                        dest,
+                        slot: self.slot(object),
+                        index: self.index(index),
+                        delta: self.operand(delta),
+                    },
+                }
+            }
+            OpCode::ClearState { object } => VmOp::Clear { slot: self.slot(object) },
+            OpCode::DeleteState { object, index } => match self.kinds.get(object.as_str()) {
+                Some(ObjectKind::Table { .. }) => {
+                    VmOp::TableDelete { slot: self.slot(object), key: self.operands(index) }
+                }
+                Some(ObjectKind::Array { .. }) | Some(ObjectKind::Seq { .. }) => {
+                    VmOp::ArrayDelete { slot: self.slot(object), index: self.index(index) }
+                }
+                // hash/crypto/undeclared objects: the interpreter's delete is
+                // a no-op, but the instruction still executes
+                _ => VmOp::NoOp,
+            },
+            OpCode::Drop => VmOp::Drop,
+            OpCode::Forward => VmOp::Forward,
+            OpCode::Back { updates } => VmOp::Back { updates: self.updates(updates) },
+            OpCode::Mirror { updates } => VmOp::Mirror { updates: self.updates(updates) },
+            OpCode::Multicast { .. } | OpCode::CopyTo { .. } => VmOp::MirrorPlain,
+            OpCode::SetHeader { field, value } => {
+                VmOp::SetHeader { field: self.hdr(field), value: self.operand(value) }
+            }
+            OpCode::Crypto { dest, input, .. } => {
+                VmOp::Crypto { dest: self.reg(dest), input: self.operand(input) }
+            }
+            OpCode::RandInt { dest, bound } => {
+                VmOp::RandInt { dest: self.reg(dest), bound: self.operand(bound) }
+            }
+            OpCode::Checksum { dest, inputs } => {
+                VmOp::Checksum { dest: self.reg(dest), inputs: self.operands(inputs) }
+            }
+            OpCode::NoOp => VmOp::NoOp,
+        }
+    }
+
+    fn updates(&mut self, updates: &[(String, Operand)]) -> Vec<(u32, VmOperand)> {
+        updates.iter().map(|(f, v)| (self.hdr(f), self.operand(v))).collect()
+    }
+}
+
+/// Compile every installed snippet against the plane's object-kind index and
+/// store slots.  Called at install time (and re-called on uninstall), never
+/// per packet.
+pub fn compile(
+    snippets: &[IrProgram],
+    kinds: &BTreeMap<String, ObjectKind>,
+    store: &ObjectStore,
+) -> CompiledImage {
+    let mut lw = Lowerer {
+        kinds,
+        store,
+        reg_names: Vec::new(),
+        var_regs: BTreeMap::new(),
+        header_names: Vec::new(),
+        header_ids: BTreeMap::new(),
+    };
+    let mut programs = Vec::with_capacity(snippets.len());
+    for snippet in snippets {
+        let precondition = snippet
+            .precondition
+            .as_ref()
+            .map(|g| g.all.iter().map(|p| pred(&mut lw, p)).collect())
+            .unwrap_or_default();
+        let ops: Vec<VmInstr> = snippet
+            .instructions
+            .iter()
+            .map(|instr| VmInstr {
+                guard: instr
+                    .guard
+                    .as_ref()
+                    .map(|g| g.all.iter().map(|p| pred(&mut lw, p)).collect())
+                    .unwrap_or_default(),
+                op: lw.op(&instr.op),
+            })
+            .collect();
+        let blocks = form_blocks(ops);
+        programs.push(CompiledProgram { name: snippet.name.clone(), precondition, blocks });
+    }
+    CompiledImage {
+        programs,
+        reg_names: lw.reg_names,
+        var_regs: lw.var_regs,
+        header_names: lw.header_names,
+    }
+}
+
+/// Group the straight-line instruction stream into guard blocks.
+///
+/// A lowered `if`-tree repeats the branch conjunction on every instruction of
+/// the branch; hoisting the shared prefix to block level evaluates it once
+/// per packet instead of once per instruction.  Soundness: an instruction may
+/// ride in a block only while no *earlier or same* body instruction could
+/// have changed what the shared predicates read — so a block is closed
+/// immediately after any body instruction that writes a register or header
+/// field mentioned by the shared guard (that instruction itself is safe:
+/// its guard was checked before it ran, exactly as the interpreter does).
+fn form_blocks(instrs: Vec<VmInstr>) -> Vec<VmBlock> {
+    let mut blocks: Vec<VmBlock> = Vec::new();
+    let mut open = false;
+    for instr in instrs {
+        if open {
+            let blk = blocks.last_mut().expect("open implies a block exists");
+            let extends = instr.guard.len() >= blk.guard.len()
+                && instr.guard[..blk.guard.len()] == blk.guard[..]
+                // an unguarded block would swallow everything; only group
+                // instructions under a real shared conjunction (or runs of
+                // fully unguarded instructions)
+                && (blk.guard.is_empty() == instr.guard.is_empty() || !blk.guard.is_empty());
+            if extends {
+                let residual = instr.guard[blk.guard.len()..].to_vec();
+                let closes = writes_guard_operand(&instr.op, &blk.guard);
+                blk.body.push(VmInstr { guard: residual, op: instr.op });
+                if closes {
+                    open = false;
+                }
+                continue;
+            }
+        }
+        let closes = writes_guard_operand(&instr.op, &instr.guard);
+        blocks.push(VmBlock {
+            guard: instr.guard,
+            body: vec![VmInstr { guard: Vec::new(), op: instr.op }],
+        });
+        open = !closes;
+    }
+    blocks
+}
+
+/// Whether executing `op` writes a register or header field any of `preds`
+/// reads.  (Mirror updates touch only the mirrored copy; store writes never
+/// feed predicates, which read registers, headers and metadata only.)
+fn writes_guard_operand(op: &VmOp, preds: &[VmPred]) -> bool {
+    if preds.is_empty() {
+        return false;
+    }
+    let mut reg_w: Option<u32> = None;
+    let mut hdr_w: &[(u32, VmOperand)] = &[];
+    let mut hdr_one: Option<u32> = None;
+    match op {
+        VmOp::Assign { dest, .. }
+        | VmOp::Alu { dest, .. }
+        | VmOp::Cmp { dest, .. }
+        | VmOp::Hash { dest, .. }
+        | VmOp::TableGet { dest, .. }
+        | VmOp::SketchEstimate { dest, .. }
+        | VmOp::ArrayRead { dest, .. }
+        | VmOp::Crypto { dest, .. }
+        | VmOp::RandInt { dest, .. }
+        | VmOp::Checksum { dest, .. } => reg_w = Some(*dest),
+        VmOp::SketchCount { dest, .. } | VmOp::ArrayCount { dest, .. } => reg_w = *dest,
+        VmOp::SetHeader { field, .. } => hdr_one = Some(*field),
+        VmOp::Back { updates } => hdr_w = updates,
+        _ => {}
+    }
+    let touches = |o: &VmOperand| match o {
+        VmOperand::Reg(r) => reg_w == Some(*r),
+        VmOperand::Header(h) => hdr_one == Some(*h) || hdr_w.iter().any(|(f, _)| f == h),
+        _ => false,
+    };
+    preds.iter().any(|p| touches(&p.lhs) || touches(&p.rhs))
+}
+
+fn pred(lw: &mut Lowerer<'_>, p: &clickinc_ir::Predicate) -> VmPred {
+    VmPred { lhs: lw.operand(&p.lhs), op: p.op, rhs: lw.operand(&p.rhs) }
+}
+
+/// The plane-owned register file, generation-stamped so it never needs a
+/// per-packet reset.
+#[derive(Debug, Clone, Default)]
+pub struct RegFile {
+    regs: Vec<Value>,
+    gen: Vec<u64>,
+    /// Per-packet header-field cache (same generation discipline as the
+    /// registers; writes go through both the packet and the cache).
+    hdr_vals: Vec<Value>,
+    hdr_gen: Vec<u64>,
+    cur: u64,
+}
+
+impl RegFile {
+    /// Size the file for an image (called after every recompile; stamps
+    /// reset, so no stale value can leak across images).
+    pub fn reset(&mut self, num_regs: usize, num_headers: usize) {
+        self.regs.clear();
+        self.regs.resize(num_regs, Value::None);
+        self.gen.clear();
+        self.gen.resize(num_regs, 0);
+        self.hdr_vals.clear();
+        self.hdr_vals.resize(num_headers, Value::None);
+        self.hdr_gen.clear();
+        self.hdr_gen.resize(num_headers, 0);
+        self.cur = 0;
+    }
+
+    fn begin_packet(&mut self) {
+        self.cur += 1;
+    }
+
+    fn set(&mut self, reg: u32, value: Value) {
+        let r = reg as usize;
+        self.regs[r] = value;
+        self.gen[r] = self.cur;
+    }
+
+    fn get(&self, reg: u32) -> Option<&Value> {
+        let r = reg as usize;
+        if self.gen[r] == self.cur {
+            Some(&self.regs[r])
+        } else {
+            None
+        }
+    }
+}
+
+/// Everything `exec` needs alongside the image: the mutable store, the
+/// register file and the per-tenant random-draw counters.
+pub struct VmCtx<'a> {
+    /// The plane's object store.
+    pub store: &'a mut ObjectStore,
+    /// The plane's register file.
+    pub regs: &'a mut RegFile,
+    /// Per-tenant `RandInt` draw counters (shared with the interpreter, so a
+    /// mid-stream exec-mode switch continues the same sequence).
+    pub rand_streams: &'a mut BTreeMap<i64, u64>,
+}
+
+fn load(op: &VmOperand, ctx: &mut VmCtx<'_>, image: &CompiledImage, pkt: &Packet) -> Value {
+    match op {
+        VmOperand::Const(v) => v.clone(),
+        VmOperand::Reg(r) => match ctx.regs.get(*r) {
+            Some(v) => v.clone(),
+            None => {
+                pkt.inc.param.get(&image.reg_names[*r as usize]).cloned().unwrap_or(Value::None)
+            }
+        },
+        VmOperand::Header(field) => {
+            // first touch per packet probes the header map; every later read
+            // of the same field (typically a guard consulted by dozens of
+            // instructions) hits the generation-stamped cache
+            let h = *field as usize;
+            if ctx.regs.hdr_gen[h] == ctx.regs.cur {
+                ctx.regs.hdr_vals[h].clone()
+            } else {
+                let v = pkt.inc.get(&image.header_names[h]);
+                ctx.regs.hdr_vals[h] = v.clone();
+                ctx.regs.hdr_gen[h] = ctx.regs.cur;
+                v
+            }
+        }
+        VmOperand::MetaUser => Value::Int(pkt.inc.user),
+        VmOperand::MetaStep => Value::Int(pkt.inc.step),
+        VmOperand::MetaNone => Value::None,
+    }
+}
+
+fn pred_holds(p: &VmPred, ctx: &mut VmCtx<'_>, image: &CompiledImage, pkt: &Packet) -> bool {
+    let lhs = load(&p.lhs, ctx, image, pkt);
+    let rhs = load(&p.rhs, ctx, image, pkt);
+    eval::compare(&lhs, p.op, &rhs)
+}
+
+/// The interpreter's index-arity decode: row/cell from up to two operands,
+/// folding negatives through `unsigned_abs`.
+fn row_cell(
+    index: &VmIndex,
+    ctx: &mut VmCtx<'_>,
+    image: &CompiledImage,
+    pkt: &Packet,
+) -> (u32, u32) {
+    let cell = |op: &VmOperand, ctx: &mut VmCtx<'_>| {
+        load(op, ctx, image, pkt).as_int().unwrap_or(0).unsigned_abs() as u32
+    };
+    match index {
+        VmIndex::None => (0, 0),
+        VmIndex::One(c) => (0, cell(c, ctx)),
+        VmIndex::Two(r, c) => (cell(r, ctx), cell(c, ctx)),
+    }
+}
+
+/// The interpreter's *delete* decode, which truncates with an `as u32` cast
+/// instead of `unsigned_abs`.
+fn delete_cell(
+    index: &VmIndex,
+    ctx: &mut VmCtx<'_>,
+    image: &CompiledImage,
+    pkt: &Packet,
+) -> (u32, u32) {
+    let cell = |op: &VmOperand, ctx: &mut VmCtx<'_>| {
+        load(op, ctx, image, pkt).as_int().unwrap_or(0) as u32
+    };
+    match index {
+        VmIndex::None => (0, 0),
+        VmIndex::One(c) => (0, cell(c, ctx)),
+        VmIndex::Two(r, c) => {
+            let row = cell(r, ctx);
+            (row, cell(c, ctx))
+        }
+    }
+}
+
+/// Outcome accumulator threaded through one packet's execution.
+pub struct VmRun {
+    /// Resulting action (`Forward` unless a packet action changed it).
+    pub action: crate::interp::PacketAction,
+    /// Mirrored copies.
+    pub mirrored: Vec<Packet>,
+    /// Guard-passing instructions executed.
+    pub executed: usize,
+}
+
+/// Run one packet through every compiled snippet of an image.
+pub fn exec(image: &CompiledImage, ctx: &mut VmCtx<'_>, pkt: &mut Packet) -> VmRun {
+    use crate::interp::PacketAction;
+    ctx.regs.begin_packet();
+    let mut run = VmRun { action: PacketAction::Forward, mirrored: Vec::new(), executed: 0 };
+    for prog in &image.programs {
+        if !prog.precondition.iter().all(|p| pred_holds(p, ctx, image, pkt)) {
+            continue;
+        }
+        for blk in &prog.blocks {
+            // shared conjunction, checked once for the whole body (a failure
+            // here fails every body instruction's full guard)
+            if !blk.guard.iter().all(|p| pred_holds(p, ctx, image, pkt)) {
+                continue;
+            }
+            for vi in &blk.body {
+                if !vi.guard.iter().all(|p| pred_holds(p, ctx, image, pkt)) {
+                    continue;
+                }
+                run.executed += 1;
+                step(&vi.op, ctx, image, pkt, &mut run);
+            }
+        }
+    }
+    run
+}
+
+fn step(op: &VmOp, ctx: &mut VmCtx<'_>, image: &CompiledImage, pkt: &mut Packet, run: &mut VmRun) {
+    use crate::interp::PacketAction;
+    match op {
+        VmOp::Assign { dest, src } => {
+            let v = load(src, ctx, image, pkt);
+            ctx.regs.set(*dest, v);
+        }
+        VmOp::Alu { dest, op, lhs, rhs, float } => {
+            let a = load(lhs, ctx, image, pkt);
+            let b = load(rhs, ctx, image, pkt);
+            ctx.regs.set(*dest, eval::alu(*op, &a, &b, *float));
+        }
+        VmOp::Cmp { dest, op, lhs, rhs } => {
+            let a = load(lhs, ctx, image, pkt);
+            let b = load(rhs, ctx, image, pkt);
+            ctx.regs.set(*dest, Value::Bool(eval::compare(&a, *op, &b)));
+        }
+        VmOp::Hash { dest, seed, modulus, keys } => {
+            let key_values: Vec<Value> = keys.iter().map(|k| load(k, ctx, image, pkt)).collect();
+            ctx.regs.set(*dest, Value::Int(hash_with_seed(*seed, *modulus, &key_values)));
+        }
+        VmOp::TableGet { dest, slot, key } => {
+            let key_values: Vec<Value> = key.iter().map(|k| load(k, ctx, image, pkt)).collect();
+            let v = ctx.store.table_get_slot(*slot, &key_values);
+            ctx.regs.set(*dest, v);
+        }
+        VmOp::SketchEstimate { dest, slot, key } => {
+            let k = load(key, ctx, image, pkt);
+            let v = Value::Int(ctx.store.sketch_estimate_slot(*slot, &k));
+            ctx.regs.set(*dest, v);
+        }
+        VmOp::ArrayRead { dest, slot, index } => {
+            let (row, cell) = row_cell(index, ctx, image, pkt);
+            let v = Value::Int(ctx.store.array_read_slot(*slot, row, cell));
+            ctx.regs.set(*dest, v);
+        }
+        VmOp::TableWrite { slot, key, values } => {
+            let key_values: Vec<Value> = key.iter().map(|k| load(k, ctx, image, pkt)).collect();
+            let vals: Vec<Value> = values.iter().map(|v| load(v, ctx, image, pkt)).collect();
+            ctx.store.table_write_slot(*slot, &key_values, vals);
+        }
+        VmOp::SketchWrite { slot, key, value } => {
+            let k = load(key, ctx, image, pkt);
+            let delta = load(value, ctx, image, pkt).as_int().unwrap_or(1);
+            ctx.store.sketch_count_slot(*slot, &k, delta);
+        }
+        VmOp::ArrayWrite { slot, index, value } => {
+            let (row, cell) = row_cell(index, ctx, image, pkt);
+            let v = load(value, ctx, image, pkt).as_int().unwrap_or(0);
+            ctx.store.array_write_slot(*slot, row, cell, v);
+        }
+        VmOp::SketchCount { dest, slot, key, delta } => {
+            let k = load(key, ctx, image, pkt);
+            let d = load(delta, ctx, image, pkt).as_int().unwrap_or(1);
+            let result = ctx.store.sketch_count_slot(*slot, &k, d);
+            if let Some(dest) = dest {
+                ctx.regs.set(*dest, Value::Int(result));
+            }
+        }
+        VmOp::ArrayCount { dest, slot, index, delta } => {
+            let (row, cell) = row_cell(index, ctx, image, pkt);
+            let d = load(delta, ctx, image, pkt).as_int().unwrap_or(1);
+            let result = ctx.store.array_add_slot(*slot, row, cell, d);
+            if let Some(dest) = dest {
+                ctx.regs.set(*dest, Value::Int(result));
+            }
+        }
+        VmOp::Clear { slot } => ctx.store.clear_slot(*slot),
+        VmOp::TableDelete { slot, key } => {
+            let key_values: Vec<Value> = key.iter().map(|k| load(k, ctx, image, pkt)).collect();
+            ctx.store.table_remove_slot(*slot, &key_values);
+        }
+        VmOp::ArrayDelete { slot, index } => {
+            let (row, cell) = delete_cell(index, ctx, image, pkt);
+            ctx.store.array_write_slot(*slot, row, cell, 0);
+        }
+        VmOp::Drop => run.action = PacketAction::Drop,
+        VmOp::Forward => {
+            if run.action != PacketAction::Back {
+                run.action = PacketAction::Forward;
+            }
+        }
+        VmOp::Back { updates } => {
+            for (field, value) in updates {
+                let v = load(value, ctx, image, pkt);
+                set_header(*field, v, ctx, image, pkt);
+            }
+            run.action = PacketAction::Back;
+        }
+        VmOp::Mirror { updates } => {
+            // updates apply to the copy only — the live packet (and therefore
+            // the header cache) is untouched
+            let mut copy = pkt.clone();
+            for (field, value) in updates {
+                let v = load(value, ctx, image, pkt);
+                copy.inc.set(&image.header_names[*field as usize], v);
+            }
+            run.mirrored.push(copy);
+        }
+        VmOp::MirrorPlain => run.mirrored.push(pkt.clone()),
+        VmOp::SetHeader { field, value } => {
+            let v = load(value, ctx, image, pkt);
+            set_header(*field, v, ctx, image, pkt);
+        }
+        VmOp::Crypto { dest, input } => {
+            let v = load(input, ctx, image, pkt).as_int().unwrap_or(0);
+            ctx.regs.set(*dest, Value::Int(v ^ 0x5a5a_5a5a));
+        }
+        VmOp::RandInt { dest, bound } => {
+            let b = load(bound, ctx, image, pkt).as_int().unwrap_or(i64::MAX).max(1);
+            // the same splitmix64 per-tenant stream the interpreter draws from
+            let draw = ctx.rand_streams.entry(pkt.inc.user).or_insert(0);
+            *draw += 1;
+            let mut z = (pkt.inc.user as u64) ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            ctx.regs.set(*dest, Value::Int((z % b as u64) as i64));
+        }
+        VmOp::Checksum { dest, inputs } => {
+            let sum: i64 =
+                inputs.iter().map(|i| load(i, ctx, image, pkt).as_int().unwrap_or(0)).sum();
+            ctx.regs.set(*dest, Value::Int(sum & 0xffff));
+        }
+        VmOp::NoOp => {}
+    }
+}
+
+/// Header write-through: the packet is the source of truth, the cache just
+/// mirrors it so subsequent reads skip the map probe.
+fn set_header(
+    field: u32,
+    value: Value,
+    ctx: &mut VmCtx<'_>,
+    image: &CompiledImage,
+    pkt: &mut Packet,
+) {
+    let h = field as usize;
+    pkt.inc.set(&image.header_names[h], value.clone());
+    ctx.regs.hdr_vals[h] = value;
+    ctx.regs.hdr_gen[h] = ctx.regs.cur;
+}
+
+/// Export the configured Param temporaries out of the register file into the
+/// packet (the interpreter's forward-path epilogue).
+pub fn export_params(image: &CompiledImage, regs: &RegFile, exports: &[String], pkt: &mut Packet) {
+    for var in exports {
+        if let Some(&reg) = image.var_regs.get(var) {
+            if let Some(value) = regs.get(reg) {
+                pkt.inc.param.insert(var.clone(), value.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{DevicePlane, PacketAction};
+    use crate::packet::kvs_request;
+    use clickinc_device::DeviceModel;
+    use clickinc_frontend::compile_source;
+    use clickinc_ir::{Guard, Operand, Predicate, ProgramBuilder};
+    use clickinc_lang::templates::{kvs_template, KvsParams};
+
+    #[test]
+    fn both_tiers_agree_on_kvs_traffic() {
+        let t = kvs_template("kvs", KvsParams { cache_depth: 64, ..Default::default() });
+        let ir = compile_source("kvs", &t.source).unwrap();
+        let mut compiled = DevicePlane::new("SW0", DeviceModel::tofino());
+        compiled.install(ir.clone());
+        compiled.set_exec_mode(ExecMode::Compiled);
+        let mut interp = DevicePlane::new("SW0", DeviceModel::tofino());
+        interp.install(ir);
+        interp.set_exec_mode(ExecMode::Interpreted);
+        for plane in [&mut compiled, &mut interp] {
+            plane.store_mut().table_write("cache", &[Value::Int(3)], vec![Value::Int(33)]);
+        }
+        for key in [3i64, 9, 3, 17, 9, 9] {
+            let mut a = kvs_request("c", "s", 0, key);
+            let mut b = kvs_request("c", "s", 0, key);
+            let oa = compiled.process(&mut a);
+            let ob = interp.process(&mut b);
+            assert_eq!(oa, ob, "outcomes diverge on key {key}");
+            assert_eq!(a, b, "packets diverge on key {key}");
+        }
+        assert_eq!(compiled.store().fingerprint(), interp.store().fingerprint());
+        assert_eq!(compiled.instructions_executed, interp.instructions_executed);
+    }
+
+    #[test]
+    fn unset_registers_fall_back_to_the_param_field() {
+        let mut b = ProgramBuilder::new("p");
+        b.set_header("out", Operand::Var("x".into()));
+        let mut plane = DevicePlane::new("SW0", DeviceModel::tofino());
+        plane.install(b.build().unwrap());
+        plane.set_exec_mode(ExecMode::Compiled);
+        let mut pkt = kvs_request("c", "s", 0, 1);
+        pkt.inc.param.insert("x".into(), Value::Int(42));
+        plane.process(&mut pkt);
+        assert_eq!(pkt.inc.get("out"), Value::Int(42));
+        // and without the param, the register reads None
+        let mut bare = kvs_request("c", "s", 0, 1);
+        plane.process(&mut bare);
+        assert_eq!(bare.inc.get("out"), Value::None);
+    }
+
+    #[test]
+    fn preconditions_gate_whole_snippets_in_both_tiers() {
+        let mut b = ProgramBuilder::new("p");
+        b.set_header("seen", Operand::int(1));
+        let mut prog = b.build().unwrap();
+        prog.precondition = Some(Guard::single(Predicate::new(
+            Operand::Meta("inc_user".into()),
+            CmpOp::Eq,
+            Operand::int(7),
+        )));
+        for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+            let mut plane = DevicePlane::new("SW0", DeviceModel::tofino());
+            plane.install(prog.clone());
+            plane.set_exec_mode(mode);
+            let mut other = kvs_request("c", "s", 3, 1);
+            let skipped = plane.process(&mut other);
+            assert_eq!(skipped.instructions_executed, 0, "{mode:?}");
+            assert_eq!(skipped.action, PacketAction::Forward);
+            assert_eq!(other.inc.get("seen"), Value::None);
+            let mut mine = kvs_request("c", "s", 7, 1);
+            let ran = plane.process(&mut mine);
+            assert_eq!(ran.instructions_executed, 1, "{mode:?}");
+            assert_eq!(mine.inc.get("seen"), Value::Int(1));
+        }
+    }
+}

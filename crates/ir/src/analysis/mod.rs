@@ -12,14 +12,21 @@
 //! * [`passes`] — the [`passes::PassManager`] pipeline of verifier passes
 //!   emitting structured [`diagnostics::Diagnostic`] values; the service runs
 //!   it before the first mutation of every deploy.
+//! * [`opt`] — the transform tier mounted on the same diagnostics machinery:
+//!   constant folding, dead-value elimination and guard hoisting, each run
+//!   re-verified against the verifier pipeline before its output is accepted.
 
 pub mod dataflow;
 pub mod diagnostics;
+pub mod opt;
 pub mod passes;
 pub mod taint;
 
 pub use dataflow::{header_reads, header_writes, is_effectful, DefUse};
 pub use diagnostics::{Diagnostic, DiagnosticSet, Severity};
+pub use opt::{
+    ConstFoldPass, DeadValueElimPass, GuardHoistPass, Optimizer, TransformContext, TransformPass,
+};
 pub use passes::{
     BoundsPass, CommutativityPass, DeadSnippetPass, DeviceTarget, IsolationPass, PassContext,
     PassManager, PlacedSnippet, ResourceBoundPass, UninitHeaderPass, VerifierPass,

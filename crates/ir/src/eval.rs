@@ -1,0 +1,119 @@
+//! Value-level evaluation of ALU operations and comparisons.
+//!
+//! These are the *reference semantics* of the IR: the emulator's interpreter,
+//! the register VM, and the optimizer's constant folder all call the same two
+//! functions, so a folded constant is bit-identical to what either execution
+//! backend would have computed at packet time.
+
+use crate::instr::{AluOp, CmpOp};
+use crate::types::Value;
+
+/// Compare two values under the interpreter's coercion rules: `None` equals
+/// only `None` (and satisfies the non-strict orderings against it), `None`
+/// against anything else satisfies only `!=`, and everything else coerces to
+/// integers.
+pub fn compare(a: &Value, op: CmpOp, b: &Value) -> bool {
+    match (a, b) {
+        (Value::None, Value::None) => matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge),
+        (Value::None, _) | (_, Value::None) => matches!(op, CmpOp::Ne),
+        _ => {
+            let (x, y) = (a.as_int().unwrap_or(0), b.as_int().unwrap_or(0));
+            op.eval_int(x, y)
+        }
+    }
+}
+
+/// Apply an ALU operation. Integer arithmetic wraps, division and modulo by
+/// zero yield zero, and `Slice` extracts the bit range packed into `b` as
+/// `(hi << 8) | lo`. The `float` flag selects the floating-point unit, which
+/// supports the arithmetic subset and passes `a` through for the rest.
+pub fn alu(op: AluOp, a: &Value, b: &Value, float: bool) -> Value {
+    if float {
+        let (x, y) = (a.as_float().unwrap_or(0.0), b.as_float().unwrap_or(0.0));
+        let r = match op {
+            AluOp::Add => x + y,
+            AluOp::Sub => x - y,
+            AluOp::Mul => x * y,
+            AluOp::Div => {
+                if y == 0.0 {
+                    0.0
+                } else {
+                    x / y
+                }
+            }
+            AluOp::Min => x.min(y),
+            AluOp::Max => x.max(y),
+            _ => x,
+        };
+        return Value::Float(r);
+    }
+    let (x, y) = (a.as_int().unwrap_or(0), b.as_int().unwrap_or(0));
+    let r = match op {
+        AluOp::Add => x.wrapping_add(y),
+        AluOp::Sub => x.wrapping_sub(y),
+        AluOp::Mul => x.wrapping_mul(y),
+        AluOp::Div => {
+            if y == 0 {
+                0
+            } else {
+                x / y
+            }
+        }
+        AluOp::Mod => {
+            if y == 0 {
+                0
+            } else {
+                x % y
+            }
+        }
+        AluOp::And => x & y,
+        AluOp::Or => x | y,
+        AluOp::Xor => x ^ y,
+        AluOp::Shl => x.wrapping_shl(y as u32),
+        AluOp::Shr => x.wrapping_shr(y as u32),
+        AluOp::Min => x.min(y),
+        AluOp::Max => x.max(y),
+        AluOp::Slice => {
+            let hi = (y >> 8) & 0xff;
+            let lo = y & 0xff;
+            (x >> lo) & ((1 << (hi - lo + 1).clamp(1, 63)) - 1)
+        }
+    };
+    Value::Int(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_compares_like_the_interpreter() {
+        assert!(compare(&Value::None, CmpOp::Eq, &Value::None));
+        assert!(compare(&Value::None, CmpOp::Le, &Value::None));
+        assert!(!compare(&Value::None, CmpOp::Lt, &Value::None));
+        assert!(compare(&Value::None, CmpOp::Ne, &Value::Int(3)));
+        assert!(!compare(&Value::None, CmpOp::Eq, &Value::Int(3)));
+    }
+
+    #[test]
+    fn integer_division_by_zero_is_zero() {
+        assert_eq!(alu(AluOp::Div, &Value::Int(7), &Value::Int(0), false), Value::Int(0));
+        assert_eq!(alu(AluOp::Mod, &Value::Int(7), &Value::Int(0), false), Value::Int(0));
+        assert_eq!(alu(AluOp::Div, &Value::Float(7.0), &Value::Int(0), true), Value::Float(0.0));
+    }
+
+    #[test]
+    fn slice_extracts_the_packed_bit_range() {
+        // bits [11:8] of 0xabcd = 0xb; range packed as (11 << 8) | 8
+        let range = Value::Int((11 << 8) | 8);
+        assert_eq!(alu(AluOp::Slice, &Value::Int(0xabcd), &range, false), Value::Int(0xb));
+    }
+
+    #[test]
+    fn wrapping_matches_two_complement() {
+        assert_eq!(
+            alu(AluOp::Add, &Value::Int(i64::MAX), &Value::Int(1), false),
+            Value::Int(i64::MIN)
+        );
+    }
+}

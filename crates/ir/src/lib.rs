@@ -24,6 +24,8 @@
 //!   (including the mutual dependency of all instructions sharing a stateful
 //!   object, paper §5.2 step 1).
 //! * [`builder`] — an ergonomic builder used by the templates, tests and examples.
+//! * [`eval`] — the reference ALU/compare semantics shared by the emulator's
+//!   interpreter, the register VM and the optimizer's constant folder.
 //! * [`analysis`] — dataflow (def-use, reaching definitions, liveness), the
 //!   shared forward taint lattice behind the runtime's sharding decision, and
 //!   the verifier pass pipeline with structured diagnostics.
@@ -33,6 +35,7 @@ pub mod builder;
 pub mod capability;
 pub mod deps;
 pub mod error;
+pub mod eval;
 pub mod fnv;
 pub mod instr;
 pub mod object;
@@ -41,7 +44,8 @@ pub mod resource;
 pub mod types;
 
 pub use analysis::{
-    Diagnostic, DiagnosticSet, PassContext, PassManager, Severity, ShardingDecision, StateProfile,
+    Diagnostic, DiagnosticSet, Optimizer, PassContext, PassManager, Severity, ShardingDecision,
+    StateProfile, TransformPass,
 };
 pub use builder::ProgramBuilder;
 pub use capability::{classify_instruction, CapabilityClass, FunctionalUnit};

@@ -3,7 +3,7 @@
 use crate::capability::{classify_instruction, CapabilityClass};
 use crate::deps::{dependency_edges, DependencyKind, ReadWriteSet};
 use crate::error::IrError;
-use crate::instr::{Instruction, OpCode};
+use crate::instr::{Guard, Instruction, OpCode, Operand};
 use crate::object::ObjectDecl;
 use crate::types::ValueType;
 use std::collections::{BTreeMap, BTreeSet};
@@ -41,6 +41,14 @@ pub struct IrProgram {
     pub headers: Vec<HeaderFieldDecl>,
     /// The instruction stream.
     pub instructions: Vec<Instruction>,
+    /// A program-level guard evaluated once per packet before any instruction:
+    /// when it fails, the whole program is skipped for that packet.  Produced
+    /// by the optimizer's guard-hoisting pass (e.g. the tenant-isolation
+    /// `meta.inc_user == id` predicate shared by every instruction); `None`
+    /// means the program runs unconditionally.  Predicates here may only read
+    /// constants, metadata and header fields — never variables — so the guard
+    /// is well-defined before the first instruction executes.
+    pub precondition: Option<Guard>,
 }
 
 impl IrProgram {
@@ -142,6 +150,17 @@ impl IrProgram {
                 return Err(IrError::DuplicateObject { object: o.name.clone() });
             }
         }
+        if let Some(pre) = &self.precondition {
+            for p in &pre.all {
+                for op in [&p.lhs, &p.rhs] {
+                    if let Operand::Var(v) = op {
+                        // the precondition runs before instruction 0, so no
+                        // variable can possibly be defined yet
+                        return Err(IrError::UndefinedVariable { var: v.clone(), instr: 0 });
+                    }
+                }
+            }
+        }
         let mut defined: BTreeSet<&str> = BTreeSet::new();
         let mut def_counts: BTreeMap<&str, usize> = BTreeMap::new();
         let sets = self.read_write_sets();
@@ -175,6 +194,9 @@ impl IrProgram {
     pub fn dump(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("program {} ({} instrs)\n", self.name, self.len()));
+        if let Some(pre) = &self.precondition {
+            out.push_str(&format!("  precondition: {pre}\n"));
+        }
         for o in &self.objects {
             out.push_str(&format!(
                 "  object {} : {}{}\n",
@@ -361,5 +383,26 @@ mod tests {
         assert!(d.contains("program test"));
         assert!(d.contains("object agg"));
         assert!(d.contains("BSO"));
+    }
+
+    #[test]
+    fn precondition_may_read_meta_and_headers_but_not_vars() {
+        use crate::instr::{CmpOp, Guard, Predicate};
+        let mut p = sample();
+        p.precondition = Some(Guard::single(Predicate::new(
+            Operand::Meta("inc_user".into()),
+            CmpOp::Eq,
+            Operand::int(7),
+        )));
+        assert_eq!(p.validate(), Ok(()));
+        assert!(p.dump().contains("precondition: meta.inc_user == 7"));
+
+        p.precondition =
+            Some(Guard::single(Predicate::new(Operand::var("x"), CmpOp::Eq, Operand::int(1))));
+        assert_eq!(
+            p.validate(),
+            Err(IrError::UndefinedVariable { var: "x".into(), instr: 0 }),
+            "a variable can never be defined before the precondition runs"
+        );
     }
 }

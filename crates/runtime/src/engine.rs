@@ -26,7 +26,7 @@ use crate::shard::{ShardFinal, ShardMsg, ShardWorker};
 use crate::telemetry::{TelemetryRegistry, TelemetryReport, TenantCounters};
 use crate::tenant::{ShardingMode, TenantHop};
 use crate::workload::Workload;
-use clickinc_emulator::{Fnv, ObjectStore, Packet};
+use clickinc_emulator::{ExecMode, Fnv, ObjectStore, Packet};
 use clickinc_ir::Value;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -93,6 +93,11 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// What happens when a shard's ingress queue is full.
     pub overload: OverloadPolicy,
+    /// Which execution tier the shard workers' device planes run — the
+    /// compiled register VM by default, the reference interpreter as the
+    /// fallback (`--features interp-only` flips the default; both tiers are
+    /// bit-identical, so this is a performance knob, not a semantic one).
+    pub exec_mode: ExecMode,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +107,7 @@ impl Default for EngineConfig {
             batch_size: 256,
             queue_capacity: 65_536,
             overload: OverloadPolicy::DropTail,
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -607,9 +613,10 @@ impl TrafficEngine {
             let (tx, rx) = channel::<ShardMsg>();
             let batch = config.batch_size;
             let depth = Arc::new(AtomicU64::new(0));
+            let exec_mode = config.exec_mode;
             senders.push(tx);
             depths.push(Arc::clone(&depth));
-            workers.push(std::thread::spawn(move || ShardWorker::run(rx, batch, depth)));
+            workers.push(std::thread::spawn(move || ShardWorker::run(rx, batch, depth, exec_mode)));
         }
         let overload = match config.overload {
             OverloadPolicy::Backpressure { credits } => {

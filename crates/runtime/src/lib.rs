@@ -67,6 +67,7 @@ pub mod telemetry;
 pub mod tenant;
 pub mod workload;
 
+pub use clickinc_emulator::ExecMode;
 pub use engine::{
     EngineConfig, EngineError, EngineHandle, InjectOutcome, OverloadPolicy, RunOutcome,
     TrafficEngine, WorkloadReport,

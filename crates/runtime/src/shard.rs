@@ -27,7 +27,7 @@
 
 use crate::telemetry::TenantCounters;
 use crate::tenant::TenantHop;
-use clickinc_emulator::{DevicePlane, Packet, PacketAction};
+use clickinc_emulator::{DevicePlane, ExecMode, Packet, PacketAction};
 use clickinc_ir::Value;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -90,10 +90,18 @@ pub(crate) struct ShardWorker {
     /// the injector increments it per admitted packet, this worker
     /// decrements it as packets reach a terminal outcome.
     depth: Arc<AtomicU64>,
+    /// Execution tier applied to every device-plane replica this shard owns
+    /// (from [`crate::EngineConfig::exec_mode`]).
+    exec_mode: ExecMode,
 }
 
 impl ShardWorker {
-    pub(crate) fn run(rx: Receiver<ShardMsg>, batch_size: usize, depth: Arc<AtomicU64>) {
+    pub(crate) fn run(
+        rx: Receiver<ShardMsg>,
+        batch_size: usize,
+        depth: Arc<AtomicU64>,
+        exec_mode: ExecMode,
+    ) {
         let mut worker = ShardWorker {
             batch_size: batch_size.max(1),
             planes: BTreeMap::new(),
@@ -101,6 +109,7 @@ impl ShardWorker {
             queues: BTreeMap::new(),
             active: VecDeque::new(),
             depth,
+            exec_mode,
         };
         while let Ok(msg) = rx.recv() {
             match msg {
@@ -133,10 +142,12 @@ impl ShardWorker {
     fn add_tenant(&mut self, user: String, hops: Vec<TenantHop>, counters: Arc<TenantCounters>) {
         let route: Vec<String> = hops.iter().map(|h| h.device.clone()).collect();
         for hop in hops {
-            let plane = self
-                .planes
-                .entry(hop.device.clone())
-                .or_insert_with(|| DevicePlane::new(&hop.device, hop.model.clone()));
+            let exec_mode = self.exec_mode;
+            let plane = self.planes.entry(hop.device.clone()).or_insert_with(|| {
+                let mut p = DevicePlane::new(&hop.device, hop.model.clone());
+                p.set_exec_mode(exec_mode);
+                p
+            });
             for snippet in hop.snippets {
                 plane.install(snippet);
             }

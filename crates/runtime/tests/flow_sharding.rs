@@ -211,6 +211,7 @@ fn droptail_sheds_exactly_the_overrun_at_the_injection_boundary() {
         batch_size: 16,
         queue_capacity: 10,
         overload: OverloadPolicy::DropTail,
+        ..Default::default()
     });
     let handle = engine.handle();
     // pass-through tenant: no hops, packets complete at the server
@@ -241,6 +242,7 @@ fn backpressure_spends_credits_then_sheds_the_rest() {
         batch_size: 16,
         queue_capacity: 10,
         overload: OverloadPolicy::Backpressure { credits: 3 },
+        ..Default::default()
     });
     let handle = engine.handle();
     handle.add_tenant("t", Vec::new());
@@ -266,6 +268,7 @@ fn backpressure_spends_credits_then_sheds_the_rest() {
         batch_size: 16,
         queue_capacity: 10,
         overload: OverloadPolicy::Backpressure { credits: 16 },
+        ..Default::default()
     });
     let handle = engine.handle();
     handle.add_tenant("t", Vec::new());

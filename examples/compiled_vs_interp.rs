@@ -1,0 +1,182 @@
+//! Execution-tier equivalence + speedup report — the CI compiled-tier step.
+//!
+//! For every fig13 provider template, deploy the tenant's isolated, optimized
+//! program onto two identical device planes — one running the register VM
+//! (the default tier), one the reference interpreter — drive the same traffic
+//! trace through both, and:
+//!
+//! * **assert equivalence**: per-packet outcomes, rewritten packets, final
+//!   store fingerprints and telemetry counters must be bit-identical (any
+//!   divergence exits non-zero, failing the CI step);
+//! * **print the per-tenant speedup** of the compiled tier over the
+//!   interpreter on that tenant's trace.
+//!
+//! Run with: `cargo run --release --example compiled_vs_interp`
+
+use clickinc::lang::templates::{
+    count_min_sketch, dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams,
+    MlAggParams,
+};
+use clickinc::synthesis::isolate_user_program;
+use clickinc_device::DeviceModel;
+use clickinc_emulator::packet::{gradient_packet, kvs_request};
+use clickinc_emulator::{DevicePlane, ExecMode, Packet};
+use clickinc_frontend::compile_source;
+use clickinc_ir::{DiagnosticSet, IrProgram, Optimizer, Value};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Compile → isolate → optimize, exactly as the controller deploys.
+fn prepare(user: &str, numeric_id: i64, source: &str) -> IrProgram {
+    let ir = compile_source(user, source).expect("template compiles");
+    let isolated = isolate_user_program(&ir, user, numeric_id);
+    let mut diags = DiagnosticSet::new();
+    let optimized = Optimizer::with_default_passes().optimize(user, true, &isolated, &mut diags);
+    assert!(!diags.has_errors(), "{user} must optimize clean:\n{diags}");
+    optimized
+}
+
+fn field_packet(user: i64, fields: &[(&str, i64)]) -> Packet {
+    let mut map = BTreeMap::new();
+    for (k, v) in fields {
+        map.insert((*k).to_string(), Value::Int(*v));
+    }
+    Packet::new("c", "s", user, map)
+}
+
+/// Deterministic per-tenant traffic traces (no RNG: the report must be
+/// reproducible run to run).
+fn trace_for(tenant: &str, user: i64, packets: usize) -> Vec<Packet> {
+    let mut trace = Vec::with_capacity(packets);
+    match tenant {
+        "kvs_srv" => {
+            for i in 0..packets {
+                // skewed key popularity: low keys dominate
+                let key = ((i * 7 + i / 3) % 61) as i64 % if i % 4 == 0 { 5 } else { 61 };
+                trace.push(kvs_request("c", "s", user, key));
+            }
+        }
+        "mlagg" => {
+            let mut i = 0usize;
+            'outer: for seq in 0.. {
+                for worker in 0..4usize {
+                    let values: Vec<i64> = (0..8).map(|d| seq * 10 + d).collect();
+                    trace.push(gradient_packet("w", "ps", user, seq, worker, 8, &values));
+                    i += 1;
+                    if i >= packets {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        "cms" => {
+            for i in 0..packets {
+                trace.push(field_packet(user, &[("key", ((i * 13) % 97) as i64 % 11)]));
+            }
+        }
+        "dqacc" => {
+            for i in 0..packets {
+                trace.push(field_packet(user, &[("value", ((i * 5) % 83) as i64 % 17)]));
+            }
+        }
+        other => panic!("unknown tenant {other}"),
+    }
+    trace
+}
+
+/// Run one tier over a trace; returns elapsed seconds and asserts nothing —
+/// equivalence is checked by the caller against the sibling plane.
+fn drive(plane: &mut DevicePlane, trace: &[Packet]) -> (f64, Vec<Packet>) {
+    let mut out = Vec::with_capacity(trace.len());
+    let start = Instant::now();
+    for pkt in trace {
+        let mut p = pkt.clone();
+        plane.process(&mut p);
+        out.push(p);
+    }
+    (start.elapsed().as_secs_f64(), out)
+}
+
+fn main() {
+    let packets = 40_000usize;
+    let tenants: Vec<(&str, i64, IrProgram)> = vec![
+        (
+            "kvs_srv",
+            1,
+            prepare(
+                "kvs_srv",
+                1,
+                &kvs_template("kvs_srv", KvsParams { cache_depth: 512, ..Default::default() })
+                    .source,
+            ),
+        ),
+        (
+            "mlagg",
+            2,
+            prepare(
+                "mlagg",
+                2,
+                &mlagg_template(
+                    "mlagg",
+                    MlAggParams { num_aggregators: 512, num_workers: 4, dims: 8, is_float: false },
+                )
+                .source,
+            ),
+        ),
+        ("cms", 3, prepare("cms", 3, &count_min_sketch("cms", 3, 512).source)),
+        (
+            "dqacc",
+            4,
+            prepare(
+                "dqacc",
+                4,
+                &dqacc_template("dqacc", DqAccParams { depth: 256, ways: 4 }).source,
+            ),
+        ),
+    ];
+
+    println!("=== compiled execution tier vs interpreter ({packets} packets/tenant) ===\n");
+    println!("{:>10} {:>14} {:>14} {:>9}", "tenant", "interp pps", "compiled pps", "speedup");
+    let mut worst = f64::INFINITY;
+    for (name, _, program) in &tenants {
+        let mut compiled = DevicePlane::new("SW0", DeviceModel::tofino());
+        let mut interp = DevicePlane::new("SW0", DeviceModel::tofino());
+        compiled.set_exec_mode(ExecMode::Compiled);
+        interp.set_exec_mode(ExecMode::Interpreted);
+        compiled.install(program.clone());
+        interp.install(program.clone());
+        if *name == "kvs_srv" {
+            for plane in [&mut compiled, &mut interp] {
+                plane.store_mut().table_write(
+                    "kvs_srv_cache",
+                    &[Value::Int(1)],
+                    vec![Value::Int(11)],
+                );
+            }
+        }
+        let trace = trace_for(name, tenants.iter().find(|t| t.0 == *name).unwrap().1, packets);
+        // interpreter first, then the VM: identical warm-up treatment
+        let (interp_s, interp_pkts) = drive(&mut interp, &trace);
+        let (compiled_s, compiled_pkts) = drive(&mut compiled, &trace);
+
+        // equivalence: same rewritten packets, same store, same telemetry
+        assert_eq!(compiled_pkts, interp_pkts, "{name}: rewritten packets diverge");
+        assert_eq!(
+            compiled.store().fingerprint(),
+            interp.store().fingerprint(),
+            "{name}: final stores diverge"
+        );
+        assert_eq!(
+            compiled.instructions_executed, interp.instructions_executed,
+            "{name}: executed-instruction telemetry diverges"
+        );
+        assert_eq!(compiled.packets_processed, interp.packets_processed);
+
+        let ipps = packets as f64 / interp_s.max(1e-9);
+        let cpps = packets as f64 / compiled_s.max(1e-9);
+        let speedup = cpps / ipps.max(1e-9);
+        worst = worst.min(speedup);
+        println!("{name:>10} {ipps:>14.0} {cpps:>14.0} {speedup:>8.2}x");
+    }
+    println!("\nall tenants bit-identical across tiers; worst-case compiled speedup {worst:.2}x");
+}

@@ -1,0 +1,276 @@
+//! Differential validation of the compiled execution tier.
+//!
+//! The register VM is the default data-plane execution path; the interpreter
+//! stays on as the reference oracle.  This suite pins the equivalence the
+//! rest of the system relies on:
+//!
+//! 1. **fig13 programs** — all four provider templates (KVS, MLAgg, CMS,
+//!    DQAcc), isolated and optimized exactly as the controller deploys them,
+//!    co-resident on one device, run over representative traces through both
+//!    tiers: per-packet outcomes, rewritten packets, store fingerprints and
+//!    telemetry counters must be bit-identical.
+//! 2. **Golden compiled streams** — the optimizer+compiler output for each
+//!    fig13 program is pinned in `tests/golden/<name>.vm`; any codegen drift
+//!    diffs here.  Regenerate with `UPDATE_GOLDEN=1 cargo test`.
+//! 3. **Random programs** — proptest: generated verified counter/table
+//!    programs over sampled packet traces agree across tiers.
+
+use clickinc::lang::templates::{
+    count_min_sketch, dqacc_template, kvs_template, mlagg_template, DqAccParams, KvsParams,
+    MlAggParams,
+};
+use clickinc::synthesis::isolate_user_program;
+use clickinc_device::DeviceModel;
+use clickinc_emulator::packet::{gradient_packet, kvs_request};
+use clickinc_emulator::{DevicePlane, ExecMode, Packet};
+use clickinc_frontend::compile_source;
+use clickinc_ir::{
+    CmpOp, DiagnosticSet, IrProgram, MatchKind, Operand, Optimizer, PassContext, PassManager,
+    Predicate, ProgramBuilder, Value, ValueType,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Compile, isolate and optimize a tenant program exactly as the controller
+/// does at deploy time (`Controller::solve_prepared`).
+fn prepare(user: &str, numeric_id: i64, source: &str) -> IrProgram {
+    let ir = compile_source(user, source).expect("template compiles");
+    let isolated = isolate_user_program(&ir, user, numeric_id);
+    let mut diags = DiagnosticSet::new();
+    let optimized = Optimizer::with_default_passes().optimize(user, true, &isolated, &mut diags);
+    assert!(!diags.has_errors(), "{user} must optimize clean:\n{diags}");
+    optimized
+}
+
+/// The four fig13 provider templates with deploy-order numeric ids.
+fn fig13_programs() -> Vec<(&'static str, i64, IrProgram)> {
+    let mlagg = MlAggParams { num_aggregators: 64, num_workers: 4, dims: 8, is_float: false };
+    vec![
+        (
+            "kvs_srv",
+            1,
+            prepare(
+                "kvs_srv",
+                1,
+                &kvs_template("kvs_srv", KvsParams { cache_depth: 64, ..Default::default() })
+                    .source,
+            ),
+        ),
+        ("mlagg", 2, prepare("mlagg", 2, &mlagg_template("mlagg", mlagg).source)),
+        ("cms", 3, prepare("cms", 3, &count_min_sketch("cms", 3, 128).source)),
+        (
+            "dqacc",
+            4,
+            prepare(
+                "dqacc",
+                4,
+                &dqacc_template("dqacc", DqAccParams { depth: 32, ways: 4 }).source,
+            ),
+        ),
+    ]
+}
+
+/// A plane per tier with the same programs installed.
+fn plane_pair(programs: &[IrProgram]) -> (DevicePlane, DevicePlane) {
+    let mut compiled = DevicePlane::new("SW0", DeviceModel::tofino());
+    let mut interp = DevicePlane::new("SW0", DeviceModel::tofino());
+    compiled.set_exec_mode(ExecMode::Compiled);
+    interp.set_exec_mode(ExecMode::Interpreted);
+    for p in programs {
+        compiled.install(p.clone());
+        interp.install(p.clone());
+    }
+    (compiled, interp)
+}
+
+/// Drive the same trace through both tiers, asserting bit-identical behavior
+/// packet by packet and identical end state.
+fn assert_tiers_agree(compiled: &mut DevicePlane, interp: &mut DevicePlane, trace: Vec<Packet>) {
+    for (i, pkt) in trace.into_iter().enumerate() {
+        let mut a = pkt.clone();
+        let mut b = pkt;
+        let oa = compiled.process(&mut a);
+        let ob = interp.process(&mut b);
+        assert_eq!(oa, ob, "outcome diverges at packet {i}");
+        assert_eq!(a, b, "rewritten packet diverges at packet {i}");
+        assert_eq!(
+            compiled.instructions_executed, interp.instructions_executed,
+            "telemetry diverges at packet {i}"
+        );
+    }
+    assert_eq!(
+        compiled.store().fingerprint(),
+        interp.store().fingerprint(),
+        "final stores diverge"
+    );
+    assert_eq!(compiled.packets_processed, interp.packets_processed);
+}
+
+/// The gradient trace: four workers per round, duplicate contributions, plus
+/// ACKs that retire completed aggregation slots.
+fn mlagg_trace(user: i64) -> Vec<Packet> {
+    let mut trace = Vec::new();
+    for seq in 0..4i64 {
+        for worker in 0..4usize {
+            let values: Vec<i64> = (0..8).map(|d| seq * 100 + worker as i64 * 10 + d).collect();
+            trace.push(gradient_packet("w", "ps", user, seq, worker, 8, &values));
+            if worker == 1 {
+                // duplicate contribution: must be filtered by the bitmap
+                trace.push(gradient_packet("w", "ps", user, seq, worker, 8, &values));
+            }
+        }
+        // ACK retires the slot
+        let mut fields = BTreeMap::new();
+        fields.insert("op".to_string(), Value::Int(1));
+        fields.insert("seq".to_string(), Value::Int(seq));
+        trace.push(Packet::new("ps", "w", user, fields));
+    }
+    trace
+}
+
+#[test]
+fn fig13_programs_agree_across_tiers_when_co_resident() {
+    let programs = fig13_programs();
+    let (mut compiled, mut interp) =
+        plane_pair(&programs.iter().map(|(_, _, p)| p.clone()).collect::<Vec<_>>());
+    // pre-populate the KVS cache so both hit and miss paths run
+    for plane in [&mut compiled, &mut interp] {
+        plane.store_mut().table_write("kvs_srv_cache", &[Value::Int(7)], vec![Value::Int(77)]);
+    }
+    let mut trace = Vec::new();
+    // kvs tenant (id 1): hits, misses with repeats (drives the CMS over its
+    // threshold), an UPDATE and an unknown opcode
+    for key in [7i64, 3, 7, 5, 3, 3, 3, 9, 7, 3] {
+        trace.push(kvs_request("c", "s", 1, key));
+    }
+    let mut fields = BTreeMap::new();
+    fields.insert("op".to_string(), Value::Int(3));
+    fields.insert("key".to_string(), Value::Int(5));
+    fields.insert("vals".to_string(), Value::Int(55));
+    trace.push(Packet::new("c", "s", 1, fields));
+    let mut fields = BTreeMap::new();
+    fields.insert("op".to_string(), Value::Int(9));
+    trace.push(Packet::new("c", "s", 1, fields));
+    // mlagg tenant (id 2)
+    trace.extend(mlagg_trace(2));
+    // cms tenant (id 3): skewed key stream
+    for key in [1i64, 1, 2, 1, 3, 1, 2, 5, 8, 1, 1, 2] {
+        let mut fields = BTreeMap::new();
+        fields.insert("key".to_string(), Value::Int(key));
+        trace.push(Packet::new("c", "s", 3, fields));
+    }
+    // dqacc tenant (id 4): duplicate-heavy value stream
+    for value in [10i64, 11, 10, 12, 13, 11, 14, 10, 15, 16, 12, 17] {
+        let mut fields = BTreeMap::new();
+        fields.insert("value".to_string(), Value::Int(value));
+        trace.push(Packet::new("c", "s", 4, fields));
+    }
+    // a packet from a tenant nobody installed: every precondition gates it off
+    trace.push(kvs_request("c", "s", 99, 7));
+    assert_tiers_agree(&mut compiled, &mut interp, trace);
+}
+
+#[test]
+fn fig13_compiled_streams_match_their_golden_snapshots() {
+    let golden_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for (name, _, program) in fig13_programs() {
+        let mut plane = DevicePlane::new("SW0", DeviceModel::tofino());
+        plane.set_exec_mode(ExecMode::Compiled);
+        plane.install(program);
+        let dump = plane.compiled_image().expect("installed programs compile").dump();
+        let path = golden_dir.join(format!("{name}.vm"));
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(&golden_dir).expect("golden dir");
+            std::fs::write(&path, &dump).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden snapshot {} ({e}); run UPDATE_GOLDEN=1 cargo test",
+                path.display()
+            )
+        });
+        assert_eq!(
+            dump,
+            want,
+            "compiled stream for {name} drifted from {} — review the codegen change and \
+             regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any generated counter/table program the verifier passes behaves
+    /// bit-identically on both execution tiers over sampled traces.
+    #[test]
+    fn random_verified_programs_agree_across_tiers(
+        rows in 1u32..3,
+        size in 2u32..10,
+        raw_accesses in proptest::collection::vec(0u32..48, 1..5),
+        raw_trace in proptest::collection::vec(0u32..16, 1..8),
+        table_sel in 0u32..2,
+    ) {
+        // decode (row, cell) pairs from one integer, kept in bounds so the
+        // verifier accepts the program
+        let with_table = table_sel == 1;
+        let accesses: Vec<(u32, u32)> =
+            raw_accesses.iter().map(|v| ((v / 16) % rows, (v % 16) % size)).collect();
+        let mut b = ProgramBuilder::new("t");
+        b.header("key", ValueType::Bit(32));
+        b.header("op", ValueType::Bit(8));
+        b.array("ctr", rows, size, 32);
+        if with_table {
+            b.table("tab", MatchKind::Exact, 32, 32, 64, true);
+        }
+        for (row, cell) in &accesses {
+            b.count(
+                None,
+                "ctr",
+                vec![Operand::int(i64::from(*row)), Operand::int(i64::from(*cell))],
+                Operand::int(1),
+            );
+        }
+        if with_table {
+            // guarded write + unconditional read-back into a header
+            b.guarded(
+                Predicate::new(Operand::hdr("op"), CmpOp::Eq, Operand::int(1)),
+                |b| {
+                    b.write("tab", vec![Operand::hdr("key")], vec![Operand::hdr("key")]);
+                },
+            );
+            b.get("got", "tab", vec![Operand::hdr("key")]);
+            b.set_header("cached", Operand::var("got"));
+        }
+        b.forward();
+        let program = b.build().expect("generated program is well-formed");
+        let diags = PassManager::with_default_passes().run(&PassContext {
+            tenant: "t".to_string(),
+            isolated: false,
+            programs: std::slice::from_ref(&program),
+            placements: &[],
+        });
+        prop_assert!(!diags.has_errors(), "in-bounds program must verify clean:\n{}", diags);
+        let mut opt_diags = DiagnosticSet::new();
+        let optimized =
+            Optimizer::with_default_passes().optimize("t", false, &program, &mut opt_diags);
+
+        let (mut compiled, mut interp) = plane_pair(std::slice::from_ref(&optimized));
+        for (i, raw) in raw_trace.iter().enumerate() {
+            let mut fields = BTreeMap::new();
+            fields.insert("key".to_string(), Value::Int(i64::from(raw % 4)));
+            fields.insert("op".to_string(), Value::Int(i64::from(raw / 8)));
+            let pkt = Packet::new("src", "dst", 1, fields);
+            let mut a = pkt.clone();
+            let mut b_pkt = pkt;
+            let oa = compiled.process(&mut a);
+            let ob = interp.process(&mut b_pkt);
+            prop_assert_eq!(oa, ob, "outcome diverges at packet {}", i);
+            prop_assert_eq!(&a, &b_pkt, "packet diverges at packet {}", i);
+        }
+        prop_assert_eq!(compiled.store().fingerprint(), interp.store().fingerprint());
+        prop_assert_eq!(compiled.instructions_executed, interp.instructions_executed);
+    }
+}
