@@ -1,0 +1,383 @@
+//! The adaptive-serving scenario: a load shift absorbed by the
+//! telemetry-driven reconfiguration loop.
+//!
+//! A hot KVS tenant and a background MLAgg tenant are deployed with
+//! [`InitialSharding::Pinned`] — conservative placement, everyone starts on
+//! one shard — and driven through three phases:
+//!
+//! 1. **warm** — moderate load, small inject batches; the control loop
+//!    observes a baseline and acts on nothing;
+//! 2. **surge** — the hot tenant floods the bounded ingress queues with
+//!    inject batches far beyond the per-shard bound; its admit ratio
+//!    collapses while it sits on one shard;
+//! 3. **adapted** — between the phases the [`AdaptiveRuntime`] stepped: it
+//!    saw the saturation, live-resharded the hot tenant `ByTenant → ByFlow`
+//!    (its state profile admits it) and rebalanced the per-tenant ingress
+//!    budgets.  The same surge now lands on every shard and the admit ratio
+//!    recovers.
+//!
+//! The recovery is *observable* ([`AdaptiveServingReport::recovery`] — the
+//! adapted-to-surge admit-ratio quotient) and *safe*: under a policy that
+//! sheds nothing ([`OverloadPolicy::Backpressure`] with ample credits) the
+//! adaptive run's per-tenant totals and store fingerprints are bit-identical
+//! to a static run that never adapts — adaptation changes goodput, never
+//! results.
+
+use clickinc::{AdaptiveRuntime, ClickIncError, ClickIncService, InitialSharding, ServiceRequest};
+use clickinc_emulator::kvs_backend_value;
+use clickinc_ir::Value;
+use clickinc_lang::templates::{kvs_template, mlagg_template, KvsParams, MlAggParams};
+use clickinc_runtime::workload::{
+    KvsWorkload, KvsWorkloadConfig, MlAggWorkload, MlAggWorkloadConfig,
+};
+use clickinc_runtime::{
+    AdaptivePolicy, EngineConfig, OverloadPolicy, ShardingMode, TenantStats, WorkloadReport,
+};
+use clickinc_topology::Topology;
+use std::collections::BTreeMap;
+
+/// Sizing of the adaptive-serving scenario.
+#[derive(Debug, Clone)]
+pub struct AdaptiveServingConfig {
+    /// Engine shard worker threads.
+    pub shards: usize,
+    /// Packets per device-queue drain batch.
+    pub batch_size: usize,
+    /// Per-shard bound on in-flight packets.
+    pub queue_capacity: usize,
+    /// What the engine does at the bound.
+    pub overload: OverloadPolicy,
+    /// Hot-tenant requests in the warm phase (below
+    /// `policy.min_epoch_packets`, so the loop never acts on warm noise).
+    pub warm_requests: usize,
+    /// Hot-tenant requests in each of the surge and adapted phases.
+    pub surge_requests: usize,
+    /// Inject batch during the surge phases — far beyond `queue_capacity`,
+    /// so a single-shard tenant must shed (or stall) most of every batch.
+    pub surge_batch: usize,
+    /// Hot tenant's key universe.
+    pub hot_keys: usize,
+    /// Hot keys pre-installed in the in-network cache.
+    pub cached_keys: i64,
+    /// Offered hot-tenant load in packets per second (virtual clock).
+    pub rate_pps: f64,
+    /// Background gradient-aggregation rounds (spread across the phases).
+    pub background_rounds: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Whether the adaptive loop runs.  `false` is the static control: same
+    /// phases, same traffic, no reconfiguration — the baseline the adaptive
+    /// run's results must match bit-identically.
+    pub adapt: bool,
+    /// Control-loop thresholds.
+    pub policy: AdaptivePolicy,
+}
+
+impl Default for AdaptiveServingConfig {
+    fn default() -> Self {
+        AdaptiveServingConfig {
+            shards: 4,
+            batch_size: 64,
+            queue_capacity: 96,
+            overload: OverloadPolicy::DropTail,
+            warm_requests: 512,
+            surge_requests: 4096,
+            surge_batch: 1024,
+            hot_keys: 2000,
+            cached_keys: 128,
+            rate_pps: 50_000_000.0,
+            background_rounds: 60,
+            seed: 29,
+            adapt: true,
+            policy: AdaptivePolicy {
+                // the warm phase offers fewer packets than this, so only the
+                // surge epochs can trigger actions — the phase boundaries,
+                // not drain-timing noise, decide when the loop moves
+                min_epoch_packets: 1024,
+                // keep the escalation path out of this scenario: a replan
+                // redeploys from a clean slate, which is exactly the result
+                // divergence the reshard path exists to avoid
+                replan_epochs: 8,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// The admit/shed split of one phase, from the hot tenant's injection
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseStats {
+    /// Packets pulled from the generator this phase.
+    pub offered: usize,
+    /// Packets the bounded queues admitted.
+    pub admitted: usize,
+    /// Packets shed under the overload policy.
+    pub shed: usize,
+}
+
+impl PhaseStats {
+    fn from_report(report: &WorkloadReport) -> PhaseStats {
+        PhaseStats { offered: report.generated, admitted: report.admitted, shed: report.shed }
+    }
+
+    /// Fraction of offered packets the queues admitted.
+    pub fn admit_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.admitted as f64 / self.offered as f64
+    }
+}
+
+/// What the adaptive-serving scenario leaves behind.
+#[derive(Debug, Clone)]
+pub struct AdaptiveServingReport {
+    /// Hot-tenant admission during the warm phase.
+    pub warm: PhaseStats,
+    /// Hot-tenant admission during the surge, before the loop adapted.
+    pub surge: PhaseStats,
+    /// Hot-tenant admission during the identical surge after adaptation.
+    pub adapted: PhaseStats,
+    /// Every action the loop decided on, rendered, in decision order.
+    pub actions: Vec<String>,
+    /// The hot tenant's sharding mode when the surge began.
+    pub hot_mode_before: ShardingMode,
+    /// The hot tenant's sharding mode after the loop (if any) acted.
+    pub hot_mode_after: ShardingMode,
+    /// Final telemetry of the hot tenant (`hot_kvs`).
+    pub hot: TenantStats,
+    /// Final telemetry of the background tenant (`bg_agg`).
+    pub background: TenantStats,
+    /// Final object-store fingerprints per device, merged across shards.
+    pub store_fingerprints: BTreeMap<String, u64>,
+}
+
+impl AdaptiveServingReport {
+    /// Goodput recovery: the adapted phase's admit ratio over the surge
+    /// phase's.  ≈ 1 for a static run; > 1 when adaptation freed capacity.
+    pub fn recovery(&self) -> f64 {
+        let before = self.surge.admit_ratio();
+        if before == 0.0 {
+            return if self.adapted.admitted > 0 { f64::INFINITY } else { 1.0 };
+        }
+        self.adapted.admit_ratio() / before
+    }
+}
+
+/// Run the load-shift scenario; see the [module docs](self) for the phases.
+pub fn serve_adaptive_scenario(
+    config: &AdaptiveServingConfig,
+) -> Result<AdaptiveServingReport, ClickIncError> {
+    let service = ClickIncService::with_config(
+        Topology::emulation_topology_all_tofino(),
+        EngineConfig {
+            shards: config.shards,
+            batch_size: config.batch_size,
+            queue_capacity: config.queue_capacity,
+            overload: config.overload.clone(),
+            ..Default::default()
+        },
+    )?;
+    // conservative placement: everyone starts on one shard, and only the
+    // control loop — under observed saturation — spreads a tenant out
+    service.set_initial_sharding(InitialSharding::Pinned);
+    let handles = service.deploy_all(vec![
+        ServiceRequest::builder("hot_kvs")
+            .template(kvs_template(
+                "hot_kvs",
+                KvsParams { cache_depth: 2000, ..Default::default() },
+            ))
+            .from_("pod0a")
+            .from_("pod1a")
+            .to("pod2b")
+            .build()?,
+        ServiceRequest::builder("bg_agg")
+            .template(mlagg_template(
+                "bg_agg",
+                MlAggParams { dims: 16, num_workers: 4, num_aggregators: 1024, is_float: false },
+            ))
+            .from_("pod0b")
+            .from_("pod1b")
+            .to("pod2a")
+            .build()?,
+    ])?;
+    let (hot, background) = (&handles[0], &handles[1]);
+    for key in 0..config.cached_keys {
+        hot.populate_table(
+            "hot_kvs_cache",
+            vec![Value::Int(key)],
+            vec![Value::Int(kvs_backend_value(key))],
+        );
+    }
+
+    let mut adaptive = AdaptiveRuntime::new(config.policy.clone());
+    if config.adapt {
+        adaptive.track(&service, "hot_kvs");
+        adaptive.track(&service, "bg_agg");
+    }
+    let mut actions: Vec<String> = Vec::new();
+    let mut step = |adaptive: &mut AdaptiveRuntime| {
+        if !config.adapt {
+            return;
+        }
+        // exact telemetry at the epoch boundary: drain everything in flight
+        service.flush();
+        let outcome = adaptive.step(&service);
+        actions.extend(outcome.tick.actions.iter().map(|a| a.to_string()));
+    };
+
+    let mut hot_wl = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: hot.user().to_string(),
+        user_id: hot.numeric_id(),
+        keys: config.hot_keys,
+        skew: 1.1,
+        requests: config.warm_requests + 2 * config.surge_requests,
+        rate_pps: config.rate_pps,
+        seed: config.seed,
+    });
+    let mut bg_wl = MlAggWorkload::new(MlAggWorkloadConfig {
+        tenant: background.user().to_string(),
+        user_id: background.numeric_id(),
+        workers: 4,
+        rounds: config.background_rounds,
+        dims: 16,
+        sparsity: 0.5,
+        block_size: 8,
+        rate_pps: config.rate_pps / 10.0,
+        seed: config.seed + 1,
+    });
+    let bg_chunk = (config.background_rounds * 4).div_ceil(3);
+
+    // baseline epoch: the loop observes the deployed-but-idle system
+    step(&mut adaptive);
+
+    // phase 1: warm — below the policy's per-epoch packet floor
+    let warm = hot.run_workload(&mut hot_wl, config.warm_requests, 32);
+    background.run_workload(&mut bg_wl, bg_chunk, 32);
+    step(&mut adaptive);
+
+    // phase 2: surge — the flood hits a single home shard
+    let hot_mode_before =
+        service.engine_handle().sharding_mode("hot_kvs").expect("hot tenant is live");
+    let surge = hot.run_workload(&mut hot_wl, config.surge_requests, config.surge_batch);
+    background.run_workload(&mut bg_wl, bg_chunk, 32);
+    step(&mut adaptive); // <- the loop sees the saturation and acts here
+
+    // phase 3: the identical surge against the adapted configuration
+    let adapted = hot.run_workload(&mut hot_wl, usize::MAX, config.surge_batch);
+    background.run_workload(&mut bg_wl, usize::MAX, 32);
+    step(&mut adaptive);
+
+    let hot_mode_after =
+        service.engine_handle().sharding_mode("hot_kvs").expect("hot tenant is live");
+    service.flush();
+    let outcome = service.finish();
+    let stats = |user: &str| {
+        outcome.telemetry.tenant(user).cloned().unwrap_or_else(|| panic!("{user} was served"))
+    };
+    Ok(AdaptiveServingReport {
+        warm: PhaseStats::from_report(&warm),
+        surge: PhaseStats::from_report(&surge),
+        adapted: PhaseStats::from_report(&adapted),
+        actions,
+        hot_mode_before,
+        hot_mode_after,
+        hot: stats("hot_kvs"),
+        background: stats("bg_agg"),
+        store_fingerprints: outcome
+            .stores
+            .iter()
+            .map(|(device, store)| (device.clone(), store.fingerprint()))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn normalized(mut stats: TenantStats) -> TenantStats {
+        stats.per_shard_packets.clear();
+        stats
+    }
+
+    #[test]
+    fn the_loop_recovers_the_hot_tenants_admit_ratio_under_droptail() {
+        let adaptive = serve_adaptive_scenario(&AdaptiveServingConfig::default())
+            .expect("adaptive scenario serves");
+        assert_eq!(adaptive.hot_mode_before, ShardingMode::ByTenant, "pinned start");
+        assert!(
+            adaptive.hot_mode_after.is_by_flow(),
+            "the loop spread the hot tenant: {:?}",
+            adaptive.actions
+        );
+        assert!(
+            adaptive.actions.iter().any(|a| a.starts_with("reshard hot_kvs")),
+            "a reshard was decided: {:?}",
+            adaptive.actions
+        );
+        assert!(
+            adaptive.actions.iter().any(|a| a.starts_with("budget ")),
+            "ingress budgets were rebalanced: {:?}",
+            adaptive.actions
+        );
+        assert!(adaptive.surge.shed > 0, "the surge saturated the home shard");
+        let static_run =
+            serve_adaptive_scenario(&AdaptiveServingConfig { adapt: false, ..Default::default() })
+                .expect("static scenario serves");
+        assert_eq!(static_run.hot_mode_after, ShardingMode::ByTenant, "the control never moves");
+        // compare the post-adaptation phases absolutely: a resharded tenant
+        // admits through every shard's queue (structurally ~shards x the
+        // pinned bound), where the recovery *ratio* has a noisy near-zero
+        // denominator (surge admits depend on how much the workers drain
+        // mid-burst) and is only printed, never gated
+        assert!(
+            adaptive.adapted.admit_ratio() > 1.5 * static_run.adapted.admit_ratio(),
+            "adaptation recovered goodput: adapted-phase admit ratio {:.3} vs static {:.3}",
+            adaptive.adapted.admit_ratio(),
+            static_run.adapted.admit_ratio()
+        );
+        assert!(
+            adaptive.adapted.admit_ratio() > adaptive.surge.admit_ratio(),
+            "the adapted surge admits above the saturated one: {:.3} vs {:.3}",
+            adaptive.adapted.admit_ratio(),
+            adaptive.surge.admit_ratio()
+        );
+    }
+
+    #[test]
+    fn adaptation_changes_goodput_never_results_under_backpressure() {
+        // ample credits: nothing is shed, so both runs serve the identical
+        // packet stream and their results must match bit-for-bit
+        let config = AdaptiveServingConfig {
+            overload: OverloadPolicy::Backpressure { credits: 256 },
+            ..Default::default()
+        };
+        let adaptive = serve_adaptive_scenario(&config).expect("adaptive scenario serves");
+        let static_run =
+            serve_adaptive_scenario(&AdaptiveServingConfig { adapt: false, ..config.clone() })
+                .expect("static scenario serves");
+        assert_eq!(adaptive.hot.shed_packets, 0, "credits absorb the surge");
+        assert_eq!(static_run.hot.shed_packets, 0);
+        assert!(
+            adaptive.hot_mode_after.is_by_flow(),
+            "the loop really adapted mid-run: {:?}",
+            adaptive.actions
+        );
+        assert_eq!(
+            normalized(adaptive.hot.clone()),
+            normalized(static_run.hot.clone()),
+            "hot-tenant results diverged under adaptation"
+        );
+        assert_eq!(
+            normalized(adaptive.background.clone()),
+            normalized(static_run.background.clone()),
+            "background results diverged under adaptation"
+        );
+        assert_eq!(
+            adaptive.store_fingerprints, static_run.store_fingerprints,
+            "store fingerprints diverged under adaptation"
+        );
+    }
+}

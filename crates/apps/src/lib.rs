@@ -14,14 +14,22 @@
 //!   `ClickIncService` facade and served by the sharded traffic engine —
 //!   the default serving path — plus the overload scenario that drives a
 //!   hot, flow-sharded tenant into the bounded ingress queues;
+//! * [`adaptive`] — the load-shift scenario for the adaptive runtime: a
+//!   pinned hot tenant saturates its home shard, the telemetry-driven
+//!   control loop live-reshards it and rebalances ingress budgets, and the
+//!   admit ratio recovers with bit-identical results;
 //! * [`multiuser`] — the six program instances and traffic endpoints of
 //!   Table 3, the seven-instance sequence of Table 5, and the
 //!   add/remove sequence of Table 6.
 
+pub mod adaptive;
 pub mod fig13;
 pub mod multiuser;
 pub mod serving;
 
+pub use adaptive::{
+    serve_adaptive_scenario, AdaptiveServingConfig, AdaptiveServingReport, PhaseStats,
+};
 pub use fig13::{fig13_configurations, Fig13Case};
 pub use multiuser::{table3_requests, table5_requests, table6_steps, Table6Step};
 pub use serving::{

@@ -25,6 +25,14 @@
 //! section (below) is what measures the compiled pipeline itself:
 //! interpreter vs register VM over identical optimized programs.
 //!
+//! **Adaptive section.**  The same hot KVS tenant starts *pinned* to one
+//! shard against deliberately small drop-tail queues; the surge sheds most
+//! of its offered load.  One [`AdaptiveController`] step reads the epoch's
+//! congestion telemetry and live-reshards the tenant `ByTenant -> ByFlow`,
+//! after which the identical surge lands on every shard and the admit ratio
+//! recovers.  A static control run (loop off) prices the no-adaptation
+//! baseline the recovery is compared against.
+//!
 //! **Planner section.**  A mixed batch of KVS/MLAgg/CMS requests is solved
 //! by `Planner::plan_all` with 1 vs N worker threads (each run against a
 //! fresh service, so the plan cache cannot shortcut the measurement), and
@@ -39,7 +47,13 @@
 //!   shards/threads only) suitable for a CI smoke run;
 //! * `RUNTIME_BENCH_MIN_SPEEDUP=<x>` — exit non-zero if the best N-shard
 //!   throughput (tenant-sharded *or* flow-sharded) regresses below `x`× its
-//!   1-shard baseline.
+//!   1-shard baseline;
+//! * `RUNTIME_BENCH_MIN_ADAPT_RECOVERY=<x>` — exit non-zero if the adaptive
+//!   loop's post-reshard admit ratio falls below `x`× the static control's
+//!   (same traffic, loop off).  The post-phase ratios are compared
+//!   absolutely: the surge-phase denominator is noisy near zero under
+//!   drop-tail (admits depend on how much the workers drain mid-burst), so
+//!   it is reported but never gated.
 
 use clickinc::{ClickIncService, ServiceRequest};
 use clickinc_device::DeviceModel;
@@ -53,7 +67,8 @@ use clickinc_runtime::workload::{
     KvsWorkload, KvsWorkloadConfig, MixedWorkload, MlAggWorkload, MlAggWorkloadConfig, Workload,
 };
 use clickinc_runtime::{
-    EngineConfig, ExecMode, OverloadPolicy, ShardingMode, TenantHop, TrafficEngine,
+    AdaptAction, AdaptiveController, AdaptivePolicy, EngineConfig, ExecMode, OverloadPolicy,
+    ShardingMode, TenantHop, TrafficEngine, WorkloadReport,
 };
 use clickinc_synthesis::isolate_user_program;
 use clickinc_topology::Topology;
@@ -120,6 +135,15 @@ struct RunEntry {
     exec: Vec<ExecResult>,
     #[serde(default)]
     compile_speedup_vs_interp: f64,
+    /// Adaptive-runtime section (absent in pre-adaptive history rows):
+    /// the loop-on post-reshard admit ratio over the loop-off one.
+    #[serde(default)]
+    adapt_recovery: f64,
+    /// Post-phase admit ratios behind the recovery quotient.
+    #[serde(default)]
+    adapt_post_admit: f64,
+    #[serde(default)]
+    adapt_static_post_admit: f64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -295,6 +319,57 @@ fn run_overload_probe(shards: usize, requests: usize) -> f64 {
     handle.flush();
     engine.finish();
     report.shed as f64 / report.generated.max(1) as f64
+}
+
+/// Adaptive probe: the hot tenant starts pinned (`ByTenant`) against small
+/// drop-tail queues, surges, and — when `adapt` — a single
+/// [`AdaptiveController`] step reads the congestion telemetry and
+/// live-reshards it `ByTenant -> ByFlow` before the second half of the
+/// surge.  Returns the surge-epoch and post-epoch admit ratios.
+fn run_adapt_probe(shards: usize, requests: usize, adapt: bool) -> (f64, f64) {
+    let engine = TrafficEngine::new(EngineConfig {
+        shards,
+        batch_size: 64,
+        queue_capacity: 96,
+        overload: OverloadPolicy::DropTail,
+        exec_mode: ExecMode::Interpreted,
+    });
+    let handle = engine.handle();
+    handle.add_tenant_sharded("hot", hot_kvs_hops("hot", 100), ShardingMode::ByTenant);
+    let mut controller =
+        AdaptiveController::new(AdaptivePolicy { min_epoch_packets: 256, ..Default::default() });
+    controller.track(
+        "hot",
+        ShardingMode::ByTenant,
+        ShardingMode::ByFlow { key_fields: vec!["key".to_string()] },
+    );
+    let mut wl = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: "hot".to_string(),
+        user_id: 100,
+        keys: 4096,
+        skew: 1.1,
+        requests,
+        rate_pps: 100_000_000.0,
+        seed: 99,
+    });
+    if adapt {
+        controller.step(&handle); // baseline epoch: stash the telemetry snapshot
+    }
+    let surge = handle.run_workload(&mut wl, requests / 2, 2048);
+    handle.flush();
+    if adapt {
+        let tick = controller.step(&handle);
+        assert!(
+            tick.applied.iter().any(|a| matches!(a, AdaptAction::Reshard { .. })),
+            "the surge epoch's congestion telemetry must trigger a reshard, got {:?}",
+            tick.applied
+        );
+    }
+    let adapted = handle.run_workload(&mut wl, usize::MAX, 2048);
+    handle.flush();
+    engine.finish();
+    let ratio = |r: &WorkloadReport| r.admitted as f64 / r.generated.max(1) as f64;
+    (ratio(&surge), ratio(&adapted))
 }
 
 /// The mixed request batch the planner section solves: KVS, MLAgg and CMS
@@ -486,6 +561,33 @@ fn main() {
         overload_drop_rate * 100.0
     );
 
+    // ---- adaptive-runtime section ---------------------------------------
+    // the hot tenant starts pinned to one shard against 96-deep drop-tail
+    // queues; one controller step after the surge epoch reads the shed /
+    // high-water telemetry and live-reshards it across every shard
+    let adapt_shards = shard_counts.last().copied().unwrap_or(4);
+    let adapt_requests = flow_requests / 4;
+    println!(
+        "\n== adaptive: pinned hot KVS vs 96-deep drop-tail queues on {adapt_shards} shards, \
+         loop on vs off =="
+    );
+    let (surge_ratio, adapt_post_admit) = run_adapt_probe(adapt_shards, adapt_requests, true);
+    let (static_surge, adapt_static_post_admit) =
+        run_adapt_probe(adapt_shards, adapt_requests, false);
+    // recovery compares the post-phase admit ratios absolutely (loop on over
+    // loop off, identical traffic) — the surge-phase ratios are printed for
+    // context but carry drain-timing noise near zero, so nothing gates on
+    // them
+    let adapt_recovery = adapt_post_admit / adapt_static_post_admit.max(1e-9);
+    println!("{:>8} {:>14} {:>14}", "loop", "surge admit", "post admit");
+    println!("{:>8} {surge_ratio:>14.3} {adapt_post_admit:>14.3}", "on");
+    println!("{:>8} {static_surge:>14.3} {adapt_static_post_admit:>14.3}", "off");
+    println!(
+        "adaptive reshard recovers {adapt_recovery:.2}x the static control's post-surge admit \
+         ratio ({})",
+        if adapt_recovery > 1.0 { "adaptation wins" } else { "REGRESSION" }
+    );
+
     // ---- planner-throughput section -------------------------------------
     let (batch, thread_counts): (usize, &[usize]) =
         if smoke { (8, &[1, 4]) } else { (16, &[1, 2, 4, 8]) };
@@ -545,6 +647,9 @@ fn main() {
         overload_drop_rate,
         exec: exec_results,
         compile_speedup_vs_interp: compile_speedup,
+        adapt_recovery,
+        adapt_post_admit,
+        adapt_static_post_admit,
     });
     if report.history.len() > HISTORY_CAP {
         let drop = report.history.len() - HISTORY_CAP;
@@ -589,5 +694,21 @@ fn main() {
             std::process::exit(1);
         }
         println!("exec-tier gate passed: compiled {compile_speedup:.2}x >= {min:.2}x interpreter");
+    }
+    // regression gate for the adaptive loop: the loop-on post-reshard admit
+    // ratio must stay `min`x above the loop-off control's
+    if let Ok(min) = std::env::var("RUNTIME_BENCH_MIN_ADAPT_RECOVERY") {
+        let min: f64 = min.parse().expect("RUNTIME_BENCH_MIN_ADAPT_RECOVERY is a number");
+        if adapt_recovery < min {
+            eprintln!(
+                "FAIL: adapt_recovery {adapt_recovery:.2} regressed below the {min:.2}x gate \
+                 (post-surge admit {adapt_post_admit:.3} vs static {adapt_static_post_admit:.3})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "adaptive gate passed: recovery {adapt_recovery:.2}x >= {min:.2}x the static \
+             control's post-surge admit ratio"
+        );
     }
 }

@@ -40,6 +40,10 @@ use std::time::{Duration, Instant};
 pub struct Deployment {
     /// The user id.
     pub user: String,
+    /// The originating request — kept so a re-placement
+    /// ([`crate::ClickIncService::replace_tenant`]) can re-plan the tenant
+    /// through the full verification and admission chain.
+    pub request: ServiceRequest,
     /// Numeric user id matched by the isolation guard (`meta.inc_user`);
     /// traffic must carry this id in its INC header to reach the program.
     pub numeric_id: i64,
@@ -284,7 +288,20 @@ impl Controller {
             ReconfigureEvent::TenantRemoved { user } => {
                 handle.remove_tenant(user);
             }
+            ReconfigureEvent::TenantResharded { user, mode } => {
+                handle.reshard_tenant(user, mode.clone());
+            }
         }));
+    }
+
+    /// Publish that a live tenant's traffic partitioning changed (the
+    /// adaptive runtime applied a reshard on the serving engine).  Fires the
+    /// reconfiguration hooks with [`ReconfigureEvent::TenantResharded`] so
+    /// every attached engine mirrors the move; a no-op for unknown users.
+    pub fn notify_resharded(&mut self, user: &str, mode: crate::reconfigure::ShardingMode) {
+        if self.deployments.contains_key(user) {
+            self.fire(ReconfigureEvent::TenantResharded { user: user.to_string(), mode });
+        }
     }
 
     fn fire(&mut self, event: ReconfigureEvent) {
@@ -519,6 +536,7 @@ impl Controller {
         self.epoch += 1;
         let deployment = Deployment {
             user: request.user.clone(),
+            request: request.clone(),
             numeric_id,
             program: isolated,
             dag,
@@ -957,6 +975,9 @@ mod tests {
                     format!("+{user}:{numeric_id}")
                 }
                 ReconfigureEvent::TenantRemoved { user } => format!("-{user}"),
+                ReconfigureEvent::TenantResharded { user, mode } => {
+                    format!("~{user}:{}", mode.label())
+                }
             };
             sink.lock().unwrap().push(line);
         }));

@@ -111,6 +111,7 @@
 //! assert!(!deployment.plan.devices_used().is_empty());
 //! ```
 
+pub mod adaptive;
 mod controller;
 mod error;
 pub mod planner;
@@ -120,6 +121,7 @@ mod request;
 pub mod service;
 pub mod sharding;
 
+pub use adaptive::{AdaptiveOutcome, AdaptiveRuntime};
 pub use controller::{Controller, Deployment, DeploymentPlan, PlanContext, PlanSummary};
 pub use error::{ClickIncError, ControllerError};
 pub use planner::{Planner, PlannerStats};
@@ -129,7 +131,7 @@ pub use policy::{
 };
 pub use reconfigure::{ReconfigureEvent, ReconfigureHook, ShardingMode, TenantHop};
 pub use request::{RequestError, ServiceRequest, ServiceRequestBuilder};
-pub use service::{ClickIncService, TenantHandle};
+pub use service::{ClickIncService, InitialSharding, TenantHandle};
 pub use sharding::sharding_mode_for;
 
 // Re-export the subsystem crates under stable names so downstream users need a

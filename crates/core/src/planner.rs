@@ -283,7 +283,7 @@ impl<'a> Planner<'a> {
         Ok(committed
             .into_iter()
             .map(|(user, numeric_id, hops)| {
-                let mode = crate::sharding::sharding_mode_for(&hops);
+                let mode = self.service.initial_mode_for(&hops);
                 self.service.engine_handle().add_tenant_sharded(&user, hops.clone(), mode.clone());
                 self.service.handle_for(user, numeric_id, hops, mode)
             })

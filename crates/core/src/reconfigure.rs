@@ -36,6 +36,17 @@ pub enum ReconfigureEvent {
         /// The user id.
         user: String,
     },
+    /// A live tenant's traffic partitioning changed without redeploying its
+    /// program — the adaptive runtime moved it between `ByTenant` and
+    /// `ByFlow` in response to observed saturation.  The controller's
+    /// ledger, planes and deployment record are untouched; only the serving
+    /// engine's partitioning moved.
+    TenantResharded {
+        /// The user id.
+        user: String,
+        /// The sharding mode the tenant now runs under.
+        mode: ShardingMode,
+    },
 }
 
 /// Callback registered with [`Controller::add_reconfigure_hook`]; invoked

@@ -40,6 +40,21 @@ use clickinc_synthesis::DeploymentDelta;
 use clickinc_topology::Topology;
 use std::sync::{Arc, Mutex, MutexGuard};
 
+/// How [`ClickIncService::commit`] picks a freshly committed tenant's
+/// sharding mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitialSharding {
+    /// Derive the mode from the deployed program's state profile
+    /// ([`crate::sharding::sharding_mode_for`]): flow-shardable programs
+    /// spread across every shard immediately.  The default.
+    #[default]
+    Derived,
+    /// Start every tenant on one shard ([`ShardingMode::ByTenant`]) and let
+    /// the adaptive runtime spread it only under observed saturation —
+    /// conservative placement, telemetry-driven scale-out.
+    Pinned,
+}
+
 /// The single service surface for INC tenants (paper §3.2, §6): owns the
 /// controller and the sharded traffic engine, exposes transactional deploys
 /// and per-tenant handles.  See the [module docs](self) for the lifecycle.
@@ -52,6 +67,8 @@ pub struct ClickIncService {
     /// The service-wide admission chain; empty (admit everything) by
     /// default.  Every commit path consults it before the first mutation.
     policy: Mutex<PolicyChain>,
+    /// How commits choose a new tenant's sharding mode.
+    initial_sharding: Mutex<InitialSharding>,
 }
 
 impl ClickIncService {
@@ -83,7 +100,16 @@ impl ClickIncService {
             engine,
             plan_cache: Mutex::new(PlanCache::new()),
             policy: Mutex::new(PolicyChain::new()),
+            initial_sharding: Mutex::new(InitialSharding::default()),
         })
+    }
+
+    /// Choose how future commits pick a tenant's sharding mode (existing
+    /// tenants are untouched).  [`InitialSharding::Pinned`] starts every
+    /// tenant on one shard so the adaptive runtime
+    /// ([`crate::AdaptiveRuntime`]) spreads it only under observed load.
+    pub fn set_initial_sharding(&self, initial: InitialSharding) {
+        *self.initial_sharding.lock().expect("sharding mutex") = initial;
     }
 
     /// The batch planning surface: concurrent solves, plan caching, and
@@ -220,9 +246,19 @@ impl ClickIncService {
         let user = deployment.user.clone();
         let numeric_id = deployment.numeric_id;
         let hops = controller.tenant_hops(&user);
-        let mode = sharding_mode_for(&hops);
+        let mode = self.initial_mode_for(&hops);
         self.engine.handle().add_tenant_sharded(&user, hops.clone(), mode.clone());
         Ok(self.handle_for(user, numeric_id, hops, mode))
+    }
+
+    /// The sharding mode a fresh commit gives a tenant with these hops,
+    /// honoring the [`InitialSharding`] knob.  Shared by every commit path
+    /// (service and planner), so the knob cannot be bypassed.
+    pub(crate) fn initial_mode_for(&self, hops: &[TenantHop]) -> ShardingMode {
+        match *self.initial_sharding.lock().expect("sharding mutex") {
+            InitialSharding::Derived => sharding_mode_for(hops),
+            InitialSharding::Pinned => ShardingMode::ByTenant,
+        }
     }
 
     /// Deploy a batch of requests with **all-or-nothing** semantics: if any
@@ -262,6 +298,54 @@ impl ClickIncService {
         let delta = controller.remove(user)?;
         engine.remove_tenant(user);
         Ok(delta)
+    }
+
+    /// Re-place a live tenant through the full plan → verify → admission →
+    /// commit chain: remove it (releasing its resources and quiescing its
+    /// traffic), re-solve its original request against the *current* ledger
+    /// and co-residents, gate the new plan exactly like a fresh deploy, and
+    /// commit it.  This is the adaptive runtime's escalation path
+    /// ([`AdaptAction::Replan`](clickinc_runtime::AdaptAction::Replan)): a
+    /// tenant that stays saturated after resharding and budget resizing gets
+    /// a fresh placement, but only one the verifier and every admission
+    /// policy accept.
+    ///
+    /// If the re-plan fails — verification, placement, or an admission
+    /// refusal — the original deployment is restored (its own solve,
+    /// *bypassing* the admission gate: it was already admitted once, and a
+    /// failed advisory re-placement must not turn into an outage) and the
+    /// error is returned.  Telemetry counters survive the round-trip; the
+    /// tenant gets a fresh numeric id either way.
+    pub fn replace_tenant(&self, user: &str) -> Result<TenantHandle, ClickIncError> {
+        let mut controller = self.controller();
+        let request = controller
+            .deployment(user)
+            .map(|d| d.request.clone())
+            .ok_or_else(|| ClickIncError::UnknownUser(user.to_string()))?;
+        controller.remove(user)?;
+        self.engine.handle().remove_tenant(user);
+        match self.plan_gate_commit(&mut controller, &request) {
+            Ok(handle) => Ok(handle),
+            Err(err) => {
+                let plan = controller
+                    .plan(&request)
+                    .expect("restoring a just-removed deployment re-solves");
+                self.commit_locked(&mut controller, plan)
+                    .expect("restoring a just-removed deployment re-commits");
+                Err(err)
+            }
+        }
+    }
+
+    /// Plan + admission gate + commit under an already-held controller lock.
+    fn plan_gate_commit(
+        &self,
+        controller: &mut Controller,
+        request: &ServiceRequest,
+    ) -> Result<TenantHandle, ClickIncError> {
+        let plan = controller.plan(request)?;
+        self.admission_gate(controller, &plan, None)?;
+        self.commit_locked(controller, plan)
     }
 
     /// Ids of the users with an active deployment.

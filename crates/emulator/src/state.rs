@@ -404,6 +404,69 @@ impl ObjectStore {
         }
     }
 
+    /// Clone the objects selected by `keep` (declarations *and* contents)
+    /// into a fresh store.  Tenant isolation renames every object with its
+    /// owner's prefix, so a per-tenant predicate extracts exactly one
+    /// tenant's state — the extraction half of a live reshard.
+    pub fn clone_subset(&self, keep: impl Fn(&str) -> bool) -> ObjectStore {
+        let mut subset = ObjectStore::new();
+        for (name, &slot) in &self.names {
+            let Some(state) = &self.slots[slot] else { continue };
+            if keep(name) {
+                subset.names.insert(name.clone(), subset.slots.len());
+                subset.slots.push(Some(state.clone()));
+            }
+        }
+        subset
+    }
+
+    /// Deduct `copies` replicas of a baseline store from this one, for the
+    /// *additive* object kinds only (`Array`/`Seq` cells and Count-Min
+    /// counters).  Bloom rows, tables and stateless objects are untouched —
+    /// they are idempotent under replication.
+    ///
+    /// This is the reconciliation half of a live reshard to `ByFlow`: the
+    /// runtime seeds the tenant's full extracted state onto every shard (so
+    /// flow-keyed *reads* still see pre-reshard history), which means the
+    /// final additive cross-shard merge counts that baseline once per shard.
+    /// Subtracting `shards - 1` copies restores the exact state an unsharded
+    /// run would hold: each cell's owner shard accumulated `baseline + its
+    /// deltas`, the other replicas held `baseline` untouched, and
+    /// `sum - (copies)·baseline = baseline + Σdeltas`.
+    pub fn subtract_replica_baseline(&mut self, baseline: &ObjectStore, copies: u64) {
+        if copies == 0 {
+            return;
+        }
+        let copies = copies as i64;
+        for (name, &slot) in &baseline.names {
+            let Some(base) = &baseline.slots[slot] else { continue };
+            let Some(mine) = self.state_mut(name) else { continue };
+            match (mine, base) {
+                (ObjectState::Array { cells: a, .. }, ObjectState::Array { cells: b, .. }) => {
+                    for (key, value) in b {
+                        *a.entry(*key).or_insert(0) -= copies * value;
+                    }
+                }
+                (ObjectState::Seq { cells: a, .. }, ObjectState::Seq { cells: b, .. }) => {
+                    for (key, value) in b {
+                        *a.entry(*key).or_insert(0) -= copies * value;
+                    }
+                }
+                (
+                    ObjectState::Sketch { kind: SketchKind::CountMin, counters: a, .. },
+                    ObjectState::Sketch { kind: SketchKind::CountMin, counters: b, .. },
+                ) => {
+                    for (row_a, row_b) in a.iter_mut().zip(b) {
+                        for (cell_a, cell_b) in row_a.iter_mut().zip(row_b) {
+                            *cell_a -= copies * cell_b;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// A deterministic digest of the full store contents (object names,
     /// shapes, and every live cell/entry/counter).  Two stores with equal
     /// contents produce equal fingerprints in any process — the walk follows
@@ -698,6 +761,72 @@ mod tests {
         merged.merge_shard_from(&shard0, is_flow);
         merged.merge_shard_from(&shard1, is_flow);
         assert_eq!(merged.fingerprint(), shared.fingerprint());
+    }
+
+    #[test]
+    fn replicated_baseline_merge_reconciles_to_the_unsharded_store() {
+        // A tenant accumulates state unsharded, is live-resharded across two
+        // shards (each seeded with the full baseline), keeps accumulating,
+        // and the final additive merge minus one baseline copy must equal
+        // the store an unsharded run would hold.
+        let array = ObjectKind::Array { rows: 1, size: 16, width: 32 };
+        let cms = ObjectKind::Sketch { kind: SketchKind::CountMin, rows: 2, cols: 8, width: 32 };
+        let bloom = ObjectKind::Sketch { kind: SketchKind::Bloom, rows: 1, cols: 8, width: 1 };
+        let mut baseline = ObjectStore::new();
+        baseline.declare(&ObjectDecl::new("t_hits", array.clone()));
+        baseline.declare(&ObjectDecl::new("t_cms", cms.clone()));
+        baseline.declare(&ObjectDecl::new("t_bf", bloom.clone()));
+        baseline.array_add("t_hits", 0, 1, 5);
+        baseline.sketch_count("t_cms", &Value::Int(1), 3);
+        baseline.sketch_count("t_bf", &Value::Int(1), 1);
+
+        // each shard replica starts from the full baseline (clone_subset of
+        // everything), then accumulates its own flow partition
+        let mut shard0 = baseline.clone_subset(|_| true);
+        let mut shard1 = baseline.clone_subset(|_| true);
+        shard0.array_add("t_hits", 0, 1, 2); // same cell as the baseline
+        shard1.array_add("t_hits", 0, 7, 4); // fresh cell
+        shard0.sketch_count("t_cms", &Value::Int(1), 1);
+        shard1.sketch_count("t_cms", &Value::Int(2), 6);
+        shard1.sketch_count("t_bf", &Value::Int(2), 1);
+
+        // the unsharded reference: baseline plus both shards' deltas once
+        let mut shared = baseline.clone_subset(|_| true);
+        shared.array_add("t_hits", 0, 1, 2);
+        shared.array_add("t_hits", 0, 7, 4);
+        shared.sketch_count("t_cms", &Value::Int(1), 1);
+        shared.sketch_count("t_cms", &Value::Int(2), 6);
+        shared.sketch_count("t_bf", &Value::Int(2), 1);
+
+        let mut merged = ObjectStore::new();
+        merged.merge_shard_from(&shard0, |_| true);
+        merged.merge_shard_from(&shard1, |_| true);
+        merged.subtract_replica_baseline(&baseline, 1); // 2 shards → 1 extra copy
+        assert_eq!(merged.fingerprint(), shared.fingerprint());
+        assert_eq!(merged.array_read("t_hits", 0, 1), 7);
+        assert_eq!(merged.array_read("t_hits", 0, 7), 4);
+        // Bloom rows OR, so replication needs no deduction
+        assert!(merged.sketch_estimate("t_bf", &Value::Int(1)) > 0);
+        assert!(merged.sketch_estimate("t_bf", &Value::Int(2)) > 0);
+    }
+
+    #[test]
+    fn clone_subset_extracts_declarations_and_contents() {
+        let array = ObjectKind::Array { rows: 1, size: 8, width: 32 };
+        let mut s = ObjectStore::new();
+        s.declare(&ObjectDecl::new("t1_a", array.clone()));
+        s.declare(&ObjectDecl::new("t2_a", array.clone()));
+        s.array_write("t1_a", 0, 2, 9);
+        s.array_write("t2_a", 0, 2, 4);
+        let subset = s.clone_subset(|name| name.starts_with("t1_"));
+        assert!(subset.contains("t1_a"));
+        assert!(!subset.contains("t2_a"));
+        assert_eq!(subset.array_read("t1_a", 0, 2), 9);
+        // equal to a store that only ever held t1's object
+        let mut reference = ObjectStore::new();
+        reference.declare(&ObjectDecl::new("t1_a", array));
+        reference.array_write("t1_a", 0, 2, 9);
+        assert_eq!(subset.fingerprint(), reference.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Typed reconfiguration actions and the observations that justify them.
+
+use crate::tenant::ShardingMode;
+use std::fmt;
+
+/// The congestion evidence behind an [`AdaptAction`], measured over one
+/// control-loop epoch (the delta between two telemetry snapshots).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Saturation {
+    /// Packets the tenant offered this epoch (admitted + shed).
+    pub offered: u64,
+    /// Packets shed at ingress this epoch.
+    pub shed: u64,
+    /// Backpressure wait cycles this epoch (sheds' counterpart under
+    /// [`OverloadPolicy::Backpressure`](crate::OverloadPolicy::Backpressure)).
+    pub backpressure_waits: u64,
+    /// The tenant's queue-depth high-water mark (lifetime max, not a delta).
+    pub queue_depth_hwm: u64,
+    /// The per-shard queue capacity the high-water mark is measured against.
+    pub queue_capacity: u64,
+}
+
+impl Saturation {
+    /// Congestion events (sheds + backpressure waits) per offered packet.
+    pub fn congestion_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        (self.shed + self.backpressure_waits) as f64 / self.offered as f64
+    }
+
+    /// How close the observed high-water mark came to the queue bound.
+    pub fn hwm_ratio(&self) -> f64 {
+        if self.queue_capacity == 0 {
+            return 0.0;
+        }
+        self.queue_depth_hwm as f64 / self.queue_capacity as f64
+    }
+}
+
+impl fmt::Display for Saturation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "offered={} shed={} waits={} hwm={}/{}",
+            self.offered,
+            self.shed,
+            self.backpressure_waits,
+            self.queue_depth_hwm,
+            self.queue_capacity
+        )
+    }
+}
+
+/// One typed reconfiguration the control loop decided on.  `Reshard` and
+/// `ResizeBudget` are applied directly on the engine; `Replan` is routed up
+/// to the service layer so the verifier and admission chain gate it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptAction {
+    /// Live-reshard the tenant to `to` (quiesce, extract, re-merge, re-seed)
+    /// — spread a saturated flow-shardable tenant across every shard, or
+    /// consolidate an idle one back onto its home shard.
+    Reshard {
+        /// The tenant to reshard.
+        user: String,
+        /// The target sharding mode (always within the tenant's registered
+        /// eligibility).
+        to: ShardingMode,
+        /// The epoch observation that triggered the move.
+        why: Saturation,
+    },
+    /// Resize the tenant's ingress credit budget to its weighted fair share
+    /// of the engine's aggregate queue capacity.
+    ResizeBudget {
+        /// The tenant whose budget changes.
+        user: String,
+        /// The new budget (max in-flight packets across shards).
+        budget: u64,
+        /// The epoch observation that triggered the rebalance.
+        why: Saturation,
+    },
+    /// The tenant stayed saturated for `replan_epochs` despite resharding
+    /// and budget resizing: ask the service to re-place it through the full
+    /// plan/commit path.
+    Replan {
+        /// The tenant to re-place.
+        user: String,
+        /// The persistent saturation observation.
+        why: Saturation,
+    },
+}
+
+impl AdaptAction {
+    /// The tenant this action targets.
+    pub fn user(&self) -> &str {
+        match self {
+            AdaptAction::Reshard { user, .. }
+            | AdaptAction::ResizeBudget { user, .. }
+            | AdaptAction::Replan { user, .. } => user,
+        }
+    }
+}
+
+impl fmt::Display for AdaptAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaptAction::Reshard { user, to, why } => {
+                write!(f, "reshard {user} -> {} ({why})", to.label())
+            }
+            AdaptAction::ResizeBudget { user, budget, why } => {
+                write!(f, "budget {user} -> {budget} ({why})")
+            }
+            AdaptAction::Replan { user, why } => write!(f, "replan {user} ({why})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_ratios() {
+        let s = Saturation {
+            offered: 100,
+            shed: 30,
+            backpressure_waits: 10,
+            queue_depth_hwm: 90,
+            queue_capacity: 100,
+        };
+        assert!((s.congestion_ratio() - 0.4).abs() < 1e-9);
+        assert!((s.hwm_ratio() - 0.9).abs() < 1e-9);
+        assert_eq!(Saturation::default().congestion_ratio(), 0.0);
+        assert_eq!(Saturation::default().hwm_ratio(), 0.0);
+    }
+
+    #[test]
+    fn actions_render_and_name_their_tenant() {
+        let why = Saturation { offered: 10, ..Default::default() };
+        let a = AdaptAction::Reshard {
+            user: "hot".into(),
+            to: ShardingMode::ByFlow { key_fields: vec!["key".into()] },
+            why: why.clone(),
+        };
+        assert_eq!(a.user(), "hot");
+        assert!(a.to_string().contains("by_flow:key"));
+        let b = AdaptAction::ResizeBudget { user: "bg".into(), budget: 64, why: why.clone() };
+        assert!(b.to_string().contains("budget bg -> 64"));
+        let c = AdaptAction::Replan { user: "hot".into(), why };
+        assert!(c.to_string().starts_with("replan hot"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Weighted fair ingress-budget allocation.
+
+use std::collections::BTreeMap;
+
+/// Split `capacity` ingress credits across tenants proportionally to their
+/// observed `demand`, with a per-tenant `floor`.
+///
+/// Deterministic integer arithmetic: every tenant gets at least
+/// `min(floor, capacity / n)` credits (never 0), the remaining capacity is
+/// divided proportionally to demand with largest-remainder rounding, and
+/// ties break by tenant-name order.  With zero total demand the spare splits
+/// evenly.  The returned budgets sum to exactly `max(capacity, n · floor)`
+/// when `capacity ≥ n · floor`, i.e. fair shares always use the whole
+/// capacity and never overcommit it.
+pub fn fair_budgets(
+    capacity: u64,
+    floor: u64,
+    demand: &BTreeMap<String, u64>,
+) -> BTreeMap<String, u64> {
+    let n = demand.len() as u64;
+    if n == 0 {
+        return BTreeMap::new();
+    }
+    let floor = floor.max(1).min((capacity / n).max(1));
+    let spare = capacity.saturating_sub(floor * n);
+    let total_demand: u64 = demand.values().sum();
+    // integer proportional share plus largest-remainder distribution
+    let mut budgets: BTreeMap<String, u64> = BTreeMap::new();
+    let mut remainders: Vec<(u128, String)> = Vec::with_capacity(demand.len());
+    let mut assigned = 0u64;
+    for (tenant, &want) in demand {
+        let weight = if total_demand == 0 { 1 } else { want };
+        let denom = if total_demand == 0 { n as u128 } else { total_demand as u128 };
+        let exact = (spare as u128) * (weight as u128);
+        let share = (exact / denom) as u64;
+        remainders.push((exact % denom, tenant.clone()));
+        budgets.insert(tenant.clone(), floor + share);
+        assigned += share;
+    }
+    // hand the rounding leftovers to the largest remainders (name order on
+    // ties, so the allocation is a pure function of its inputs)
+    let mut leftover = spare - assigned;
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for (_, tenant) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        *budgets.get_mut(&tenant).expect("tenant inserted above") += 1;
+        leftover -= 1;
+    }
+    budgets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demands(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn shares_are_proportional_with_a_floor() {
+        let budgets = fair_budgets(1000, 50, &demands(&[("bg", 100), ("hot", 900)]));
+        assert_eq!(budgets.values().sum::<u64>(), 1000, "whole capacity used");
+        assert!(budgets["hot"] > budgets["bg"], "demand weights the split");
+        assert!(budgets["bg"] >= 50, "floor respected");
+        // 50 floor each, 900 spare split 9:1
+        assert_eq!(budgets["hot"], 50 + 810);
+        assert_eq!(budgets["bg"], 50 + 90);
+    }
+
+    #[test]
+    fn zero_demand_splits_evenly() {
+        let budgets = fair_budgets(300, 10, &demands(&[("a", 0), ("b", 0), ("c", 0)]));
+        assert_eq!(budgets["a"], 100);
+        assert_eq!(budgets["b"], 100);
+        assert_eq!(budgets["c"], 100);
+    }
+
+    #[test]
+    fn rounding_leftovers_go_to_largest_remainders_deterministically() {
+        // spare = 100 - 3 = 97; weights 1,1,1 → 32 each + 1 leftover
+        let budgets = fair_budgets(100, 1, &demands(&[("a", 5), ("b", 5), ("c", 5)]));
+        assert_eq!(budgets.values().sum::<u64>(), 100);
+        let again = fair_budgets(100, 1, &demands(&[("a", 5), ("b", 5), ("c", 5)]));
+        assert_eq!(budgets, again, "pure function of inputs");
+    }
+
+    #[test]
+    fn tight_capacity_clamps_the_floor_but_never_to_zero() {
+        let budgets = fair_budgets(4, 50, &demands(&[("a", 1), ("b", 1000)]));
+        assert!(budgets.values().all(|&b| b >= 1));
+        assert!(budgets.values().sum::<u64>() <= 4, "clamped floors keep the sum within capacity");
+        let one = fair_budgets(1, 5, &demands(&[("a", 1), ("b", 1)]));
+        assert!(one.values().all(|&b| b >= 1), "even degenerate capacity gives a credit");
+        assert!(fair_budgets(100, 10, &BTreeMap::new()).is_empty());
+    }
+}

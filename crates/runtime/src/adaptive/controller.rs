@@ -1,0 +1,415 @@
+//! The control loop: snapshot → delta → decide → apply.
+
+use crate::adaptive::actions::{AdaptAction, Saturation};
+use crate::adaptive::budget::fair_budgets;
+use crate::adaptive::policy::{AdaptivePolicy, EpochDelta};
+use crate::engine::EngineHandle;
+use crate::telemetry::TelemetryReport;
+use crate::tenant::ShardingMode;
+use std::collections::BTreeMap;
+
+/// What the controller remembers about one tracked tenant.
+#[derive(Debug, Clone)]
+struct Profile {
+    /// The most parallel mode the tenant's state profile admits (derived by
+    /// the service layer's `sharding_mode_for` analysis).  A `Reshard` never
+    /// targets anything this does not allow.
+    eligible: ShardingMode,
+    /// The mode the tenant currently runs under.
+    current: ShardingMode,
+    /// Whether the loop (not the deployer) put the tenant into `ByFlow`, so
+    /// idle reclamation only undoes the loop's own spreading.
+    resharded_by_loop: bool,
+    /// Epoch of the last reshard, for the cooldown gate.
+    last_reshard_epoch: Option<u64>,
+    /// Consecutive saturated epochs (reset whenever an epoch is calm).
+    saturated_epochs: u64,
+    /// Consecutive epochs with zero offered packets.
+    idle_epochs: u64,
+}
+
+/// What one control-loop step observed and did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveTick {
+    /// The loop epoch this tick closed (1-based; the first tick only
+    /// establishes the baseline snapshot and decides nothing).
+    pub epoch: u64,
+    /// Sequence number of the snapshot this tick observed.
+    pub snapshot_seq: u64,
+    /// Every action the policy decided on this epoch.
+    pub actions: Vec<AdaptAction>,
+    /// The subset applied directly on the engine (reshards, budget resizes).
+    pub applied: Vec<AdaptAction>,
+    /// `Replan` actions deferred to the service layer, which must route them
+    /// through plan/commit so the verifier and admission chain gate them.
+    pub replans: Vec<AdaptAction>,
+}
+
+/// The telemetry-driven reconfiguration loop.  Pure decision logic lives in
+/// [`decide`](AdaptiveController::decide); [`step`](AdaptiveController::step)
+/// wraps it with a snapshot and applies the engine-level actions.
+///
+/// The controller deliberately does not own a thread or a timer: the caller
+/// (a serving loop, a bench harness, the service facade) invokes `step` at
+/// whatever cadence fits — between workload phases, on a wall-clock tick, or
+/// after every N injected batches.  That keeps every experiment
+/// deterministic and the loop trivially testable.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    policy: AdaptivePolicy,
+    profiles: BTreeMap<String, Profile>,
+    prev: Option<TelemetryReport>,
+    epoch: u64,
+}
+
+impl AdaptiveController {
+    /// A controller with the given thresholds, tracking no tenants yet.
+    pub fn new(policy: AdaptivePolicy) -> AdaptiveController {
+        AdaptiveController { policy, profiles: BTreeMap::new(), prev: None, epoch: 0 }
+    }
+
+    /// The active thresholds.
+    pub fn policy(&self) -> &AdaptivePolicy {
+        &self.policy
+    }
+
+    /// Track a tenant: its current mode and the most parallel mode its state
+    /// profile admits.  The loop only ever reshards within `eligible` — an
+    /// ineligible tenant (`eligible == ByTenant`) is never flow-sharded, no
+    /// matter how saturated it gets.
+    pub fn track(&mut self, user: &str, current: ShardingMode, eligible: ShardingMode) {
+        self.profiles.insert(
+            user.to_string(),
+            Profile {
+                eligible,
+                current,
+                resharded_by_loop: false,
+                last_reshard_epoch: None,
+                saturated_epochs: 0,
+                idle_epochs: 0,
+            },
+        );
+    }
+
+    /// Stop tracking a tenant (removed from the engine).
+    pub fn forget(&mut self, user: &str) {
+        self.profiles.remove(user);
+    }
+
+    /// The mode the controller believes a tracked tenant currently runs
+    /// under.
+    pub fn current_mode(&self, user: &str) -> Option<&ShardingMode> {
+        self.profiles.get(user).map(|p| &p.current)
+    }
+
+    /// Record that the service re-placed (or otherwise re-deployed) a
+    /// tenant: reset its saturation history and adopt the new mode.
+    pub fn note_replaced(&mut self, user: &str, current: ShardingMode) {
+        if let Some(profile) = self.profiles.get_mut(user) {
+            profile.current = current;
+            profile.resharded_by_loop = false;
+            profile.saturated_epochs = 0;
+            profile.idle_epochs = 0;
+        }
+    }
+
+    /// Close an epoch: compute deltas against the previous snapshot and
+    /// decide on actions.  Pure — nothing is applied; the internal per-tenant
+    /// history (cooldowns, saturation streaks) *is* advanced, and `Reshard`
+    /// decisions update the profile's `current` mode optimistically (the
+    /// caller applies them or the engine rejects them as no-ops).
+    ///
+    /// `capacity` is the per-shard queue bound, `shards` the worker count and
+    /// `budgets` each tracked tenant's active ingress budget — all engine
+    /// facts [`step`](AdaptiveController::step) gathers automatically.
+    pub fn decide(
+        &mut self,
+        report: &TelemetryReport,
+        capacity: u64,
+        shards: usize,
+        budgets: &BTreeMap<String, u64>,
+    ) -> Vec<AdaptAction> {
+        self.epoch += 1;
+        let Some(prev) = self.prev.replace(report.clone()) else {
+            // first observation: baseline only
+            return Vec::new();
+        };
+        let delta = EpochDelta::between(&prev, report);
+        let mut actions = Vec::new();
+        let mut rebalance = false;
+        let mut demand: BTreeMap<String, u64> = BTreeMap::new();
+        for (user, profile) in self.profiles.iter_mut() {
+            let d = delta.tenants.get(user).cloned().unwrap_or_default();
+            demand.insert(user.clone(), d.offered());
+            if d.offered() == 0 {
+                profile.saturated_epochs = 0;
+                profile.idle_epochs += 1;
+                let reclaim = self.policy.reclaim_idle_epochs;
+                if reclaim > 0
+                    && profile.idle_epochs >= reclaim
+                    && profile.resharded_by_loop
+                    && profile.current.is_by_flow()
+                {
+                    let why = Saturation { queue_capacity: capacity, ..Default::default() };
+                    actions.push(AdaptAction::Reshard {
+                        user: user.clone(),
+                        to: ShardingMode::ByTenant,
+                        why,
+                    });
+                    profile.current = ShardingMode::ByTenant;
+                    profile.resharded_by_loop = false;
+                    profile.last_reshard_epoch = Some(self.epoch);
+                    profile.idle_epochs = 0;
+                }
+                continue;
+            }
+            profile.idle_epochs = 0;
+            if d.offered() < self.policy.min_epoch_packets {
+                continue;
+            }
+            let why = Saturation {
+                offered: d.offered(),
+                shed: d.shed,
+                backpressure_waits: d.backpressure_waits,
+                queue_depth_hwm: d.queue_depth_hwm,
+                queue_capacity: capacity,
+            };
+            let saturated = why.congestion_ratio() > self.policy.congestion_saturation
+                || why.hwm_ratio() >= self.policy.hwm_saturation;
+            if !saturated {
+                profile.saturated_epochs = 0;
+                continue;
+            }
+            profile.saturated_epochs += 1;
+            rebalance = true;
+            let cooling = profile
+                .last_reshard_epoch
+                .is_some_and(|at| self.epoch.saturating_sub(at) <= self.policy.cooldown_epochs);
+            if cooling {
+                continue;
+            }
+            // first lever: spread a flow-shardable tenant across every shard
+            if !profile.current.is_by_flow() && profile.eligible.is_by_flow() {
+                actions.push(AdaptAction::Reshard {
+                    user: user.clone(),
+                    to: profile.eligible.clone(),
+                    why,
+                });
+                profile.current = profile.eligible.clone();
+                profile.resharded_by_loop = true;
+                profile.last_reshard_epoch = Some(self.epoch);
+                profile.saturated_epochs = 0;
+                continue;
+            }
+            // out of engine-level levers: persistent saturation escalates to
+            // a re-placement through the gated service path
+            if profile.saturated_epochs >= self.policy.replan_epochs {
+                actions.push(AdaptAction::Replan { user: user.clone(), why });
+                profile.saturated_epochs = 0;
+            }
+        }
+        // second lever: rebalance every tracked tenant's ingress budget to
+        // its weighted fair share of the aggregate capacity
+        if rebalance {
+            let total = capacity.saturating_mul(shards as u64);
+            let fair = fair_budgets(total, self.policy.budget_floor, &demand);
+            for (user, budget) in fair {
+                if budgets.get(&user).copied() != Some(budget) {
+                    let d = delta.tenants.get(&user).cloned().unwrap_or_default();
+                    let why = Saturation {
+                        offered: d.offered(),
+                        shed: d.shed,
+                        backpressure_waits: d.backpressure_waits,
+                        queue_depth_hwm: d.queue_depth_hwm,
+                        queue_capacity: capacity,
+                    };
+                    actions.push(AdaptAction::ResizeBudget { user, budget, why });
+                }
+            }
+        }
+        actions
+    }
+
+    /// One full control-loop turn against a live engine: snapshot the
+    /// telemetry, decide, apply the engine-level actions (reshards and
+    /// budget resizes), and hand `Replan`s back for the service layer.
+    pub fn step(&mut self, engine: &EngineHandle) -> AdaptiveTick {
+        let report = engine.telemetry();
+        let capacity = engine.queue_capacity() as u64;
+        let shards = engine.shards();
+        let budgets: BTreeMap<String, u64> = self
+            .profiles
+            .keys()
+            .filter_map(|user| engine.tenant_budget(user).map(|b| (user.clone(), b)))
+            .collect();
+        let snapshot_seq = report.snapshot_seq;
+        let actions = self.decide(&report, capacity, shards, &budgets);
+        let mut applied = Vec::new();
+        let mut replans = Vec::new();
+        for action in &actions {
+            match action {
+                AdaptAction::Reshard { user, to, .. } => {
+                    if engine.reshard_tenant(user, to.clone()) {
+                        applied.push(action.clone());
+                    }
+                }
+                AdaptAction::ResizeBudget { user, budget, .. } => {
+                    if engine.set_tenant_budget(user, *budget) {
+                        applied.push(action.clone());
+                    }
+                }
+                AdaptAction::Replan { .. } => replans.push(action.clone()),
+            }
+        }
+        AdaptiveTick { epoch: self.epoch, snapshot_seq, actions, applied, replans }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{TelemetryRegistry, TenantCounters};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    const CAP: u64 = 100;
+    const SHARDS: usize = 4;
+
+    fn by_key() -> ShardingMode {
+        ShardingMode::ByFlow { key_fields: vec!["key".into()] }
+    }
+
+    struct Harness {
+        registry: TelemetryRegistry,
+        counters: BTreeMap<String, Arc<TenantCounters>>,
+        controller: AdaptiveController,
+        budgets: BTreeMap<String, u64>,
+    }
+
+    impl Harness {
+        fn new(policy: AdaptivePolicy, tenants: &[(&str, ShardingMode, ShardingMode)]) -> Harness {
+            let registry = TelemetryRegistry::default();
+            let mut counters = BTreeMap::new();
+            let mut controller = AdaptiveController::new(policy);
+            let mut budgets = BTreeMap::new();
+            for (user, current, eligible) in tenants {
+                let block = Arc::new(TenantCounters::new(1));
+                registry.register(user, Arc::clone(&block));
+                counters.insert(user.to_string(), block);
+                controller.track(user, current.clone(), eligible.clone());
+                budgets.insert(user.to_string(), CAP * SHARDS as u64);
+            }
+            Harness { registry, counters, controller, budgets }
+        }
+
+        fn offer(&self, user: &str, admitted: u64, shed: u64) {
+            let c = &self.counters[user];
+            c.packets.fetch_add(admitted, Ordering::Relaxed);
+            c.shed.fetch_add(shed, Ordering::Relaxed);
+        }
+
+        fn tick(&mut self) -> Vec<AdaptAction> {
+            let report = self.registry.snapshot();
+            self.controller.decide(&report, CAP, SHARDS, &self.budgets)
+        }
+    }
+
+    #[test]
+    fn saturation_reshards_an_eligible_tenant_and_rebalances_budgets() {
+        let mut h = Harness::new(
+            AdaptivePolicy::default(),
+            &[
+                ("bg", ShardingMode::ByTenant, ShardingMode::ByTenant),
+                ("hot", ShardingMode::ByTenant, by_key()),
+            ],
+        );
+        assert!(h.tick().is_empty(), "first tick is baseline only");
+        h.offer("hot", 100, 60);
+        h.offer("bg", 50, 0);
+        let actions = h.tick();
+        let reshards: Vec<_> =
+            actions.iter().filter(|a| matches!(a, AdaptAction::Reshard { .. })).collect();
+        assert_eq!(reshards.len(), 1, "exactly the hot tenant reshards: {actions:?}");
+        assert_eq!(reshards[0].user(), "hot");
+        assert!(matches!(reshards[0], AdaptAction::Reshard { to, .. } if to == &by_key()));
+        assert_eq!(h.controller.current_mode("hot"), Some(&by_key()));
+        // the fair-share pass also resized budgets away from the default
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, AdaptAction::ResizeBudget { user, .. } if user == "hot")),
+            "budget rebalance rides along: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn ineligible_tenants_are_never_flow_sharded_and_escalate_to_replan() {
+        let policy = AdaptivePolicy { replan_epochs: 2, ..Default::default() };
+        let mut h =
+            Harness::new(policy, &[("pinned", ShardingMode::ByTenant, ShardingMode::ByTenant)]);
+        h.tick();
+        let mut replans = 0;
+        for epoch in 0..4 {
+            h.offer("pinned", 100, 80);
+            let actions = h.tick();
+            assert!(
+                actions.iter().all(|a| !matches!(a, AdaptAction::Reshard { .. })),
+                "epoch {epoch}: an ineligible tenant must never reshard: {actions:?}"
+            );
+            replans += actions.iter().filter(|a| matches!(a, AdaptAction::Replan { .. })).count();
+        }
+        // saturated for 4 epochs with replan_epochs = 2 → exactly 2 escalations
+        assert_eq!(replans, 2);
+    }
+
+    #[test]
+    fn cooldown_suppresses_immediate_resharding_back() {
+        let policy = AdaptivePolicy { cooldown_epochs: 2, ..Default::default() };
+        let mut h = Harness::new(policy, &[("hot", ShardingMode::ByTenant, by_key())]);
+        h.tick();
+        h.offer("hot", 100, 60);
+        let first: Vec<_> = h.tick();
+        assert!(first.iter().any(|a| matches!(a, AdaptAction::Reshard { .. })));
+        // still saturated the very next epoch: inside the cooldown no second
+        // reshard (and no replan yet)
+        h.offer("hot", 100, 60);
+        let second = h.tick();
+        assert!(second.iter().all(|a| !matches!(a, AdaptAction::Reshard { .. })));
+    }
+
+    #[test]
+    fn calm_epochs_decide_nothing_and_idle_reclaim_consolidates() {
+        let policy = AdaptivePolicy { reclaim_idle_epochs: 2, ..Default::default() };
+        let mut h = Harness::new(policy, &[("hot", ShardingMode::ByTenant, by_key())]);
+        h.tick();
+        // calm traffic: under every threshold
+        h.offer("hot", 1000, 0);
+        assert!(h.tick().is_empty(), "no congestion, no action");
+        // saturate → reshard to ByFlow
+        h.offer("hot", 100, 60);
+        assert!(h.tick().iter().any(|a| matches!(a, AdaptAction::Reshard { .. })));
+        // two idle epochs → consolidated back to its home shard
+        assert!(h.tick().is_empty(), "first idle epoch only counts");
+        let actions = h.tick();
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, AdaptAction::Reshard { to: ShardingMode::ByTenant, .. })),
+            "idle reclaim reshards back: {actions:?}"
+        );
+        assert_eq!(h.controller.current_mode("hot"), Some(&ShardingMode::ByTenant));
+    }
+
+    #[test]
+    fn note_replaced_resets_history() {
+        let mut h =
+            Harness::new(AdaptivePolicy::default(), &[("t", ShardingMode::ByTenant, by_key())]);
+        h.tick();
+        h.offer("t", 100, 60);
+        h.tick();
+        h.controller.note_replaced("t", ShardingMode::ByTenant);
+        assert_eq!(h.controller.current_mode("t"), Some(&ShardingMode::ByTenant));
+        h.controller.forget("t");
+        assert_eq!(h.controller.current_mode("t"), None);
+    }
+}

@@ -238,9 +238,18 @@ struct TenantRoute {
     mode: ShardingMode,
     /// Home shard for `ByTenant`; unused for `ByFlow`.
     home: usize,
+    /// The tenant's hop list, kept so a live reshard can re-install the
+    /// program under the new mode.
+    hops: Vec<TenantHop>,
     /// Counter blocks indexed like the shards they live on: `ByTenant` has a
     /// single block (the home shard's), `ByFlow` one per shard.
     counters: Vec<Arc<TenantCounters>>,
+    /// Per-tenant ingress credit budget: the max packets the tenant may have
+    /// in flight across all shards.  Defaults to `shards × queue_capacity`
+    /// (the engine-wide aggregate bound, i.e. non-binding); the adaptive
+    /// runtime tightens it to a weighted fair share under contention.
+    /// Shared across route generations so a reshard preserves the budget.
+    budget: Arc<AtomicU64>,
 }
 
 impl TenantRoute {
@@ -249,6 +258,12 @@ impl TenantRoute {
             ShardingMode::ByTenant => self.counters.first(),
             ShardingMode::ByFlow { .. } => self.counters.get(shard),
         }
+    }
+
+    /// Packets of this tenant currently in flight, summed across its shard
+    /// blocks.
+    fn in_flight(&self) -> u64 {
+        self.counters.iter().map(|c| c.in_flight.load(Ordering::Relaxed)).sum()
     }
 }
 
@@ -270,6 +285,13 @@ struct EngineShared {
     /// tenant so removal prunes exactly that tenant's (isolation-renamed,
     /// hence unique) names.
     flow_objects: Mutex<BTreeMap<String, Vec<String>>>,
+    /// Per-tenant, per-device replica baselines seeded by a live reshard to
+    /// `ByFlow`: every shard received a full copy of the tenant's
+    /// pre-reshard state (so flow-keyed *reads* still see history), which
+    /// the final additive cross-shard merge counts once per shard.
+    /// [`TrafficEngine::finish`] (and the next reshard's extraction) deducts
+    /// `shards - 1` copies to restore the exact unsharded state.
+    reshard_baselines: Mutex<BTreeMap<String, BTreeMap<String, ObjectStore>>>,
 }
 
 /// Clonable, `Send` front door to a running engine.  Everything the control
@@ -302,17 +324,40 @@ impl EngineHandle {
     /// of trusting the caller.
     pub fn add_tenant_sharded(&self, user: &str, hops: Vec<TenantHop>, mode: ShardingMode) {
         let shards = self.shared.senders.len();
+        let budget =
+            Arc::new(AtomicU64::new((self.shared.queue_capacity.saturating_mul(shards)) as u64));
+        let route = self.install_route(user, hops, mode, budget);
+        self.shared.routes.lock().expect("routes").insert(user.to_string(), route);
+    }
+
+    /// The single tenant-install path shared by [`add_tenant_sharded`] and
+    /// the live-reshard path: register counter blocks, install the program
+    /// on the hosting shard(s), maintain the flow-object registry, and stamp
+    /// the telemetry metadata.  Does *not* touch the route table — callers
+    /// insert the returned route under whatever locking discipline they
+    /// need.
+    ///
+    /// [`add_tenant_sharded`]: EngineHandle::add_tenant_sharded
+    fn install_route(
+        &self,
+        user: &str,
+        hops: Vec<TenantHop>,
+        mode: ShardingMode,
+        budget: Arc<AtomicU64>,
+    ) -> TenantRoute {
+        let shards = self.shared.senders.len();
         let route = match &mode {
             ShardingMode::ByTenant => {
+                self.shared.flow_objects.lock().expect("flow objects").remove(user);
                 let counters = Arc::new(TenantCounters::new(hops.len()));
                 self.shared.registry.register(user, Arc::clone(&counters));
                 let home = shard_of(user, shards);
                 let _ = self.shared.senders[home].send(ShardMsg::AddTenant {
                     user: user.to_string(),
-                    hops,
+                    hops: hops.clone(),
                     counters: Arc::clone(&counters),
                 });
-                TenantRoute { mode, home, counters: vec![counters] }
+                TenantRoute { mode, home, hops, counters: vec![counters], budget }
             }
             ShardingMode::ByFlow { .. } => {
                 {
@@ -336,10 +381,155 @@ impl EngineHandle {
                     });
                     counters.push(block);
                 }
-                TenantRoute { mode, home: 0, counters }
+                TenantRoute { mode, home: 0, hops, counters, budget }
             }
         };
-        self.shared.routes.lock().expect("routes").insert(user.to_string(), route);
+        self.shared.registry.set_meta(
+            user,
+            route.mode.label(),
+            route.budget.load(Ordering::Relaxed),
+        );
+        route
+    }
+
+    /// Live-reshard a tenant between [`ShardingMode::ByTenant`] and
+    /// [`ShardingMode::ByFlow`] while co-resident tenants keep flowing.
+    /// Returns `false` (and does nothing) if the tenant is unknown or
+    /// already in `mode`.
+    ///
+    /// The protocol rides the FIFO control/traffic channels, so no explicit
+    /// barrier is needed:
+    ///
+    /// 1. **Quiesce + extract** — every hosting shard drains the tenant's
+    ///    queued traffic, uninstalls its snippets and ships back its
+    ///    exclusively-owned state ([`ShardMsg::ExtractTenant`]).
+    /// 2. **Reconcile** — the per-shard partials merge additively
+    ///    (`merge_shard_from`); if a previous reshard had replicated a
+    ///    baseline onto every shard, `shards − 1` copies are deducted so the
+    ///    merged store equals the exact unsharded state.
+    /// 3. **Re-install** — the same install path `add_tenant` uses puts the
+    ///    program on the new mode's shard(s) with fresh counter blocks (the
+    ///    registry keeps the old blocks, so telemetry totals stay
+    ///    continuous).
+    /// 4. **Seed** — the merged state is sent to every new hosting shard.
+    ///    For `ByFlow` that is a *full replica* per shard — flow-keyed reads
+    ///    must see pre-reshard history — and the replica baseline is
+    ///    recorded so the final merge can deduct the duplication again.
+    ///
+    /// The route lock is held for the whole protocol: injections for *this*
+    /// tenant that race the reshard wait at the lock and then route under
+    /// the new mode.  Like [`add_tenant_sharded`], this trusts the caller
+    /// that `ByFlow` is sound for the program; the `clickinc` service layer
+    /// derives eligibility from its state-profile analysis
+    /// (`sharding_mode_for`) and never flow-shards an ineligible tenant.
+    ///
+    /// [`add_tenant_sharded`]: EngineHandle::add_tenant_sharded
+    pub fn reshard_tenant(&self, user: &str, mode: ShardingMode) -> bool {
+        let mut routes = self.shared.routes.lock().expect("routes");
+        let Some(old) = routes.get(user) else { return false };
+        if old.mode == mode {
+            return false;
+        }
+        let shards = self.shared.senders.len();
+        let hops = old.hops.clone();
+        let budget = Arc::clone(&old.budget);
+        let hosting: Vec<usize> = match old.mode {
+            ShardingMode::ByTenant => vec![old.home],
+            ShardingMode::ByFlow { .. } => (0..shards).collect(),
+        };
+        // 1. quiesce + extract on every hosting shard
+        let acks: Vec<_> = hosting
+            .iter()
+            .map(|&shard| {
+                let (tx, rx) = channel();
+                let _ = self.shared.senders[shard]
+                    .send(ShardMsg::ExtractTenant { user: user.to_string(), ack: tx });
+                rx
+            })
+            .collect();
+        let mut merged: BTreeMap<String, ObjectStore> = BTreeMap::new();
+        for rx in acks {
+            let Ok(per_device) = rx.recv() else { continue };
+            for (device, store) in per_device {
+                merged.entry(device).or_default().merge_shard_from(&store, |_| true);
+            }
+        }
+        // 2. deduct the replica baseline a previous reshard seeded
+        {
+            let mut baselines = self.shared.reshard_baselines.lock().expect("baselines");
+            if let Some(prior) = baselines.remove(user) {
+                for (device, store) in merged.iter_mut() {
+                    if let Some(base) = prior.get(device) {
+                        store.subtract_replica_baseline(base, (shards - 1) as u64);
+                    }
+                }
+            }
+        }
+        // 3. re-install under the new mode (flow-object registry and
+        //    telemetry metadata update inside)
+        let route = self.install_route(user, hops, mode, budget);
+        // 4. seed the reconciled state onto the new hosting shard(s)
+        match &route.mode {
+            ShardingMode::ByFlow { .. } => {
+                for sender in &self.shared.senders {
+                    for (device, store) in &merged {
+                        let _ = sender.send(ShardMsg::SeedState {
+                            device: device.clone(),
+                            store: store.clone(),
+                        });
+                    }
+                }
+                if shards > 1 && !merged.is_empty() {
+                    self.shared
+                        .reshard_baselines
+                        .lock()
+                        .expect("baselines")
+                        .insert(user.to_string(), merged);
+                }
+            }
+            ShardingMode::ByTenant => {
+                let home = route.home;
+                for (device, store) in merged {
+                    let _ = self.shared.senders[home].send(ShardMsg::SeedState { device, store });
+                }
+            }
+        }
+        routes.insert(user.to_string(), route);
+        true
+    }
+
+    /// Resize a tenant's ingress credit budget (max in-flight packets across
+    /// shards, clamped to ≥ 1).  Takes effect on the next injection; the
+    /// telemetry metadata is updated so snapshots export the new budget.
+    /// Returns `false` for unknown tenants.
+    pub fn set_tenant_budget(&self, user: &str, budget: u64) -> bool {
+        let routes = self.shared.routes.lock().expect("routes");
+        let Some(route) = routes.get(user) else { return false };
+        route.budget.store(budget.max(1), Ordering::Relaxed);
+        self.shared.registry.set_meta(user, route.mode.label(), budget.max(1));
+        true
+    }
+
+    /// A tenant's current ingress credit budget, if registered.
+    pub fn tenant_budget(&self, user: &str) -> Option<u64> {
+        let routes = self.shared.routes.lock().expect("routes");
+        routes.get(user).map(|r| r.budget.load(Ordering::Relaxed))
+    }
+
+    /// A tenant's active sharding mode, if registered.
+    pub fn sharding_mode(&self, user: &str) -> Option<ShardingMode> {
+        let routes = self.shared.routes.lock().expect("routes");
+        routes.get(user).map(|r| r.mode.clone())
+    }
+
+    /// Number of shard worker threads.
+    pub fn shards(&self) -> usize {
+        self.shared.senders.len()
+    }
+
+    /// The per-shard bound on in-flight packets.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue_capacity
     }
 
     /// Remove a tenant.  Every shard hosting it quiesces the tenant's queued
@@ -378,15 +568,16 @@ impl EngineHandle {
         let route = self.shared.routes.lock().expect("routes").get(tenant.as_ref()).cloned();
         let mut outcome = InjectOutcome::default();
         match route {
-            Some(route @ TenantRoute { mode: ShardingMode::ByTenant, .. }) => {
+            Some(ref route @ TenantRoute { mode: ShardingMode::ByTenant, .. }) => {
                 outcome.absorb(self.admit(
                     route.home,
                     tenant,
                     jobs,
                     route.counters_for(route.home),
+                    Some(route),
                 ));
             }
-            Some(route) => {
+            Some(ref route) => {
                 let key_fields = match &route.mode {
                     ShardingMode::ByFlow { key_fields } => key_fields.clone(),
                     ShardingMode::ByTenant => unreachable!("matched above"),
@@ -401,7 +592,13 @@ impl EngineHandle {
                     if part.is_empty() {
                         continue;
                     }
-                    outcome.absorb(self.admit(shard, tenant, part, route.counters_for(shard)));
+                    outcome.absorb(self.admit(
+                        shard,
+                        tenant,
+                        part,
+                        route.counters_for(shard),
+                        Some(route),
+                    ));
                 }
             }
             None => {
@@ -410,20 +607,22 @@ impl EngineHandle {
                 // silently.  Still admitted against the queue bound so a
                 // misdirected firehose cannot grow the channel unboundedly.
                 let shard = shard_of(tenant, self.shared.senders.len());
-                outcome.absorb(self.admit(shard, tenant, jobs, None));
+                outcome.absorb(self.admit(shard, tenant, jobs, None, None));
             }
         }
         outcome
     }
 
-    /// Admit as much of `jobs` as the shard's bounded queue allows, applying
-    /// the overload policy to the remainder.  Order-preserving.
+    /// Admit as much of `jobs` as the shard's bounded queue *and* the
+    /// tenant's ingress credit budget allow, applying the overload policy to
+    /// the remainder.  Order-preserving.
     fn admit(
         &self,
         shard: usize,
         tenant: &Arc<str>,
         mut jobs: Vec<(u64, Packet)>,
         counters: Option<&Arc<TenantCounters>>,
+        route: Option<&TenantRoute>,
     ) -> InjectOutcome {
         let depth = &self.shared.depths[shard];
         let capacity = self.shared.queue_capacity;
@@ -433,10 +632,18 @@ impl EngineHandle {
             OverloadPolicy::Backpressure { credits } => credits,
         };
         loop {
+            // re-read each cycle: the budget may be resized live, and the
+            // tenant's in-flight count drains between backpressure waits
+            let tenant_room = route
+                .map(|r| {
+                    let budget = r.budget.load(Ordering::Relaxed);
+                    usize::try_from(budget.saturating_sub(r.in_flight())).unwrap_or(usize::MAX)
+                })
+                .unwrap_or(usize::MAX);
             // reserve room below the bound atomically: concurrent handle
             // clones race on the same gauge, and a load-then-add would let
             // two injectors admit past `queue_capacity` together
-            let want = jobs.len();
+            let want = jobs.len().min(tenant_room);
             let mut take = 0usize;
             let reserved = depth.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |current| {
                 take = want.min(capacity.saturating_sub(current as usize));
@@ -450,6 +657,7 @@ impl EngineHandle {
                 let admitted: Vec<(u64, Packet)> = jobs.drain(..take).collect();
                 if let Some(counters) = counters {
                     counters.queue_depth_hwm.fetch_max(current + take as u64, Ordering::Relaxed);
+                    counters.in_flight.fetch_add(take as u64, Ordering::Relaxed);
                 }
                 let _ = self.shared.senders[shard]
                     .send(ShardMsg::Inject { user: Arc::clone(tenant), jobs: admitted });
@@ -634,6 +842,7 @@ impl TrafficEngine {
                     overload,
                     routes: Mutex::new(BTreeMap::new()),
                     flow_objects: Mutex::new(BTreeMap::new()),
+                    reshard_baselines: Mutex::new(BTreeMap::new()),
                 }),
             },
             workers,
@@ -686,6 +895,20 @@ impl TrafficEngine {
                     .entry(device)
                     .or_default()
                     .merge_shard_from(plane.store(), |name| flow_objects.contains(name));
+            }
+        }
+        // a live reshard to ByFlow seeded every shard with a full copy of
+        // the tenant's pre-reshard state; the additive merge above counted
+        // that baseline once per shard, so deduct the extra copies to
+        // restore the exact unsharded state
+        let shards = self.handle.shared.senders.len();
+        let baselines =
+            std::mem::take(&mut *self.handle.shared.reshard_baselines.lock().expect("baselines"));
+        for devices in baselines.into_values() {
+            for (device, base) in devices {
+                if let Some(store) = stores.get_mut(&device) {
+                    store.subtract_replica_baseline(&base, (shards - 1) as u64);
+                }
             }
         }
         RunOutcome { telemetry: self.handle.telemetry(), stores }

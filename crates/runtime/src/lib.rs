@@ -61,12 +61,14 @@
 //! assert_eq!(outcome.telemetry.tenant("t1").unwrap().to_server, 100);
 //! ```
 
+pub mod adaptive;
 pub mod engine;
 pub mod shard;
 pub mod telemetry;
 pub mod tenant;
 pub mod workload;
 
+pub use adaptive::{AdaptAction, AdaptiveController, AdaptivePolicy, AdaptiveTick};
 pub use clickinc_emulator::ExecMode;
 pub use engine::{
     EngineConfig, EngineError, EngineHandle, InjectOutcome, OverloadPolicy, RunOutcome,

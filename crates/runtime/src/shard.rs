@@ -27,7 +27,7 @@
 
 use crate::telemetry::TenantCounters;
 use crate::tenant::TenantHop;
-use clickinc_emulator::{DevicePlane, ExecMode, Packet, PacketAction};
+use clickinc_emulator::{DevicePlane, ExecMode, ObjectStore, Packet, PacketAction};
 use clickinc_ir::Value;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +59,16 @@ pub(crate) enum ShardMsg {
     AddTenant { user: String, hops: Vec<TenantHop>, counters: Arc<TenantCounters> },
     /// Quiesce and remove a tenant's snippets and state.
     RemoveTenant { user: String },
+    /// Quiesce a tenant, remove its snippets, and ship back its
+    /// exclusively-owned state per device — the extraction half of a live
+    /// reshard.  The FIFO channel guarantees every batch injected before
+    /// this message has fully drained first.
+    ExtractTenant { user: String, ack: Sender<BTreeMap<String, ObjectStore>> },
+    /// Merge extracted state into one device replica's store — the seeding
+    /// half of a live reshard.  Ordered after the `AddTenant` that
+    /// re-installed the tenant (same FIFO channel), so the objects are
+    /// already declared; the merge is additive/idempotent per object kind.
+    SeedState { device: String, store: ObjectStore },
     /// A batch of packets for one tenant, in stream order, already admitted
     /// against the shard's bounded ingress queue.
     Inject { user: Arc<str>, jobs: Vec<(u64, Packet)> },
@@ -117,6 +127,14 @@ impl ShardWorker {
                     worker.add_tenant(user, hops, counters)
                 }
                 ShardMsg::RemoveTenant { user } => worker.remove_tenant(&user),
+                ShardMsg::ExtractTenant { user, ack } => {
+                    let _ = ack.send(worker.extract_tenant(&user));
+                }
+                ShardMsg::SeedState { device, store } => {
+                    if let Some(plane) = worker.planes.get_mut(&device) {
+                        plane.store_mut().merge_shard_from(&store, |_| true);
+                    }
+                }
                 ShardMsg::Inject { user, jobs } => {
                     worker.inject(&user, jobs);
                     worker.pump();
@@ -165,6 +183,21 @@ impl ShardWorker {
                 plane.uninstall(user);
             }
         }
+    }
+
+    /// Remove a tenant like [`ShardWorker::remove_tenant`], but extract its
+    /// exclusively-owned per-device state instead of dropping it.
+    fn extract_tenant(&mut self, user: &str) -> BTreeMap<String, ObjectStore> {
+        let mut extracted = BTreeMap::new();
+        let Some(state) = self.tenants.remove(user) else { return extracted };
+        for device in state.route.iter() {
+            if let Some(plane) = self.planes.get_mut(device) {
+                if let Some(store) = plane.uninstall_extract(user) {
+                    extracted.insert(device.clone(), store);
+                }
+            }
+        }
+        extracted
     }
 
     fn inject(&mut self, user: &str, jobs: Vec<(u64, Packet)>) {
@@ -274,6 +307,10 @@ impl ShardWorker {
         let payload = job.packet.wire_bytes().saturating_sub(job.packet.base_bytes) as u64;
         job.counters.payload_bytes.fetch_add(payload, Ordering::Relaxed);
         job.counters.record_completion(job.latency_ns, job.vtime_ns);
+        // return the tenant's ingress credit before the shard's depth so the
+        // budget admission never observes the gauges crossed
+        let inflight = &job.counters.in_flight;
+        let _ = inflight.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
         self.depth.fetch_sub(1, Ordering::Relaxed);
     }
 

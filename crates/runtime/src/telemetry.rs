@@ -58,6 +58,11 @@ pub struct TenantCounters {
     /// High-water mark of the owning shard's in-flight packet depth observed
     /// by this tenant's injections.
     pub queue_depth_hwm: AtomicU64,
+    /// Packets of this tenant currently in flight on this shard (admitted,
+    /// not yet at a terminal outcome).  Transient gauge — the engine's
+    /// per-tenant credit-budget admission sums it across the tenant's shard
+    /// blocks; it drains back to zero at every flush.
+    pub in_flight: AtomicU64,
 }
 
 impl TenantCounters {
@@ -78,6 +83,7 @@ impl TenantCounters {
             shed: AtomicU64::new(0),
             backpressure_waits: AtomicU64::new(0),
             queue_depth_hwm: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
         }
     }
 
@@ -111,8 +117,12 @@ fn bucket_value(bucket: usize) -> u64 {
 /// Equality deliberately ignores [`queue_depth_hwm`](TenantStats::queue_depth_hwm)
 /// and [`backpressure_waits`](TenantStats::backpressure_waits): both observe
 /// *wall-clock* drain timing (how far a worker thread happened to lag its
-/// injector), so they vary run to run even for a fixed seed.  Every other
-/// field — including [`shed_packets`](TenantStats::shed_packets), which is
+/// injector), so they vary run to run even for a fixed seed.  It also
+/// ignores [`sharding_mode`](TenantStats::sharding_mode) and
+/// [`queue_budget`](TenantStats::queue_budget), which describe deployment
+/// configuration rather than traffic outcomes (the adaptive-runtime identity
+/// tests compare a resharded run against a static one).  Every other field —
+/// including [`shed_packets`](TenantStats::shed_packets), which is
 /// deterministic whenever the queue bound is deterministic — participates in
 /// the bit-identity the invariance tests assert.
 #[derive(Debug, Clone, Serialize)]
@@ -156,8 +166,18 @@ pub struct TenantStats {
     pub queue_depth_hwm: u64,
     /// Packets injected per counter block, in shard-registration order: one
     /// entry for a `ByTenant` tenant, one per shard for a flow-sharded
-    /// tenant.  Non-zero entries = shards the tenant actually utilized.
+    /// tenant (a live reshard appends the new mode's blocks, so the vector
+    /// also records pre-reshard history).  Non-zero entries = counter blocks
+    /// the tenant actually utilized.
     pub per_shard_packets: Vec<u64>,
+    /// The tenant's *active* [`ShardingMode`](crate::tenant::ShardingMode)
+    /// label (`"by_tenant"`, `"by_flow"`, `"by_flow:<fields>"`) — so
+    /// operators can watch the adaptive runtime reshard.  Deployment
+    /// configuration, not a traffic outcome; excluded from equality.
+    pub sharding_mode: String,
+    /// The tenant's active ingress credit budget (max in-flight packets
+    /// across shards).  Deployment configuration; excluded from equality.
+    pub queue_budget: u64,
 }
 
 impl PartialEq for TenantStats {
@@ -245,7 +265,16 @@ impl TenantStats {
             backpressure_waits,
             queue_depth_hwm,
             per_shard_packets,
+            // stamped from the registry's tenant metadata by `snapshot`
+            sharding_mode: String::new(),
+            queue_budget: 0,
         }
+    }
+
+    /// The largest virtual completion clock across this tenant's counter
+    /// blocks (arrival + accumulated latency of the latest completion).
+    fn vtime_max(parts: &[Arc<TenantCounters>]) -> u64 {
+        parts.iter().map(|c| c.vtime_max_ns.load(Ordering::Relaxed)).max().unwrap_or(0)
     }
 }
 
@@ -266,10 +295,30 @@ fn percentile(hist: &[u64; HIST_BUCKETS], total: u64, q: f64) -> u64 {
 }
 
 /// A merged snapshot of every tenant the engine has ever hosted.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// Each snapshot is stamped with a monotonically increasing
+/// [`snapshot_seq`](TelemetryReport::snapshot_seq) and the virtual clock it
+/// observed, so a control loop computing deltas between two snapshots can
+/// order them and normalize by virtual time instead of racing wall clocks.
+/// Equality ignores `snapshot_seq` (it is provenance, not state): two
+/// snapshots of identical counters compare equal.
+#[derive(Debug, Clone, Serialize)]
 pub struct TelemetryReport {
+    /// Monotonically increasing snapshot sequence number (1-based, per
+    /// registry).
+    pub snapshot_seq: u64,
+    /// The largest virtual completion clock observed across all tenants, in
+    /// nanoseconds — the report's position on the workload's virtual
+    /// timeline.
+    pub vtime_ns: u64,
     /// Per-tenant statistics, keyed by tenant id.
     pub tenants: BTreeMap<String, TenantStats>,
+}
+
+impl PartialEq for TelemetryReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.vtime_ns == other.vtime_ns && self.tenants == other.tenants
+    }
 }
 
 impl TelemetryReport {
@@ -284,11 +333,23 @@ impl TelemetryReport {
     }
 }
 
+/// Per-tenant deployment metadata stamped onto snapshots: the active
+/// sharding-mode label and ingress credit budget.
+#[derive(Debug, Clone, Default)]
+struct TenantMeta {
+    sharding_mode: String,
+    queue_budget: u64,
+}
+
 /// The engine-side registry mapping tenants to their per-shard counters.
 /// Locked only on tenant add/remove and snapshot — never on the packet path.
 #[derive(Debug, Default)]
 pub struct TelemetryRegistry {
     tenants: Mutex<BTreeMap<String, Vec<Arc<TenantCounters>>>>,
+    meta: Mutex<BTreeMap<String, TenantMeta>>,
+    /// Snapshot sequence; `snapshot` increments it, so two snapshots taken
+    /// by racing observers still get distinct, ordered sequence numbers.
+    seq: AtomicU64,
 }
 
 impl TelemetryRegistry {
@@ -297,14 +358,37 @@ impl TelemetryRegistry {
         self.tenants.lock().unwrap().entry(tenant.to_string()).or_default().push(counters);
     }
 
-    /// Merge every tenant's counters into a report.
+    /// Record a tenant's active sharding mode and ingress budget, exported
+    /// with every subsequent snapshot.
+    pub fn set_meta(&self, tenant: &str, sharding_mode: String, queue_budget: u64) {
+        self.meta
+            .lock()
+            .unwrap()
+            .insert(tenant.to_string(), TenantMeta { sharding_mode, queue_budget });
+    }
+
+    /// Merge every tenant's counters into a report, stamped with the next
+    /// snapshot sequence number and the virtual clock it observed.
     pub fn snapshot(&self) -> TelemetryReport {
         let tenants = self.tenants.lock().unwrap();
+        let meta = self.meta.lock().unwrap();
+        let mut vtime_ns = 0u64;
+        let merged: BTreeMap<String, TenantStats> = tenants
+            .iter()
+            .map(|(name, parts)| {
+                vtime_ns = vtime_ns.max(TenantStats::vtime_max(parts));
+                let mut stats = TenantStats::merge(name, parts);
+                if let Some(m) = meta.get(name) {
+                    stats.sharding_mode = m.sharding_mode.clone();
+                    stats.queue_budget = m.queue_budget;
+                }
+                (name.clone(), stats)
+            })
+            .collect();
         TelemetryReport {
-            tenants: tenants
-                .iter()
-                .map(|(name, parts)| (name.clone(), TenantStats::merge(name, parts)))
-                .collect(),
+            snapshot_seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            vtime_ns,
+            tenants: merged,
         }
     }
 }
@@ -357,7 +441,9 @@ mod tests {
         counters.shed.fetch_add(3, Ordering::Relaxed);
         counters.backpressure_waits.fetch_add(2, Ordering::Relaxed);
         counters.queue_depth_hwm.fetch_max(17, Ordering::Relaxed);
+        counters.record_completion(100.0, 1_000);
         registry.register("alpha", counters);
+        registry.set_meta("alpha", "by_flow:key".to_string(), 512);
         let report = registry.snapshot();
         let json = report.to_json();
         assert!(json.contains("\"alpha\""));
@@ -367,8 +453,23 @@ mod tests {
         assert!(json.contains("\"backpressure_waits\": 2"));
         assert!(json.contains("\"queue_depth_hwm\": 17"));
         assert!(json.contains("\"per_shard_packets\""));
+        // adaptive-runtime observability: active mode, budget, snapshot stamp
+        assert!(json.contains("\"sharding_mode\": \"by_flow:key\""));
+        assert!(json.contains("\"queue_budget\": 512"));
+        assert!(json.contains("\"snapshot_seq\": 1"));
+        assert!(json.contains("\"vtime_ns\": 1100"));
         assert_eq!(report.tenant("alpha").unwrap().packets, 0);
         assert!(report.tenant("missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_seq_is_monotone_and_ignored_by_equality() {
+        let registry = TelemetryRegistry::default();
+        registry.register("t", Arc::new(TenantCounters::new(1)));
+        let first = registry.snapshot();
+        let second = registry.snapshot();
+        assert_eq!(first.snapshot_seq + 1, second.snapshot_seq);
+        assert_eq!(first, second, "identical counters compare equal across snapshots");
     }
 
     #[test]
@@ -382,6 +483,13 @@ mod tests {
         };
         assert_eq!(mk(5, 1, 0), mk(99, 7, 0), "hwm/waits are timing noise");
         assert_ne!(mk(5, 1, 0), mk(5, 1, 4), "shed packets are semantic");
+        // deployment configuration (mode label, budget) is not a traffic
+        // outcome: a resharded run compares equal to a static one
+        let mut a = mk(0, 0, 0);
+        let b = mk(0, 0, 0);
+        a.sharding_mode = "by_flow".to_string();
+        a.queue_budget = 64;
+        assert_eq!(a, b, "mode/budget are configuration, not outcomes");
     }
 
     #[test]

@@ -56,4 +56,14 @@ impl ShardingMode {
     pub fn is_by_flow(&self) -> bool {
         matches!(self, ShardingMode::ByFlow { .. })
     }
+
+    /// Schema-stable label for telemetry export: `"by_tenant"`, `"by_flow"`
+    /// (full flow identity) or `"by_flow:<field>+<field>"`.
+    pub fn label(&self) -> String {
+        match self {
+            ShardingMode::ByTenant => "by_tenant".to_string(),
+            ShardingMode::ByFlow { key_fields } if key_fields.is_empty() => "by_flow".to_string(),
+            ShardingMode::ByFlow { key_fields } => format!("by_flow:{}", key_fields.join("+")),
+        }
+    }
 }

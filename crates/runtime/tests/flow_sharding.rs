@@ -116,6 +116,141 @@ proptest! {
     }
 }
 
+/// Run the same KVS tenant, but live-reshard it mid-workload following
+/// `schedule`: the request stream is cut into `schedule.len() + 1` equal
+/// phases with one mode transition applied between consecutive phases.
+fn run_kvs_resharding(
+    shards: usize,
+    schedule: &[ShardingMode],
+    keys: usize,
+    requests: usize,
+    hot_keys: i64,
+    seed: u64,
+) -> (TenantStats, BTreeMap<String, u64>) {
+    let engine = TrafficEngine::new(EngineConfig { shards, batch_size: 32, ..Default::default() });
+    let handle = engine.handle();
+    handle.add_tenant("hot", kvs_tenant("hot", 1, 4096));
+    populate_cache(&handle, "hot", hot_keys);
+    let mut wl = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: "hot".to_string(),
+        user_id: 1,
+        keys,
+        skew: 1.1,
+        requests,
+        rate_pps: 10_000_000.0,
+        seed,
+    });
+    let chunk = (requests / (schedule.len() + 1)).max(1);
+    for mode in schedule {
+        let report = handle.run_workload(&mut wl, chunk, 48);
+        assert_eq!(report.shed, 0, "ample default queues shed nothing");
+        assert!(handle.reshard_tenant("hot", mode.clone()), "reshard applies live");
+    }
+    let report = handle.run_workload(&mut wl, usize::MAX, 48);
+    assert_eq!(report.shed, 0, "ample default queues shed nothing");
+    handle.flush();
+    let outcome = engine.finish();
+    let fingerprints = outcome.stores.iter().map(|(d, s)| (d.clone(), s.fingerprint())).collect();
+    (outcome.telemetry.tenant("hot").expect("served").clone(), fingerprints)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The adaptive-runtime safety invariant: live-resharding
+    /// `ByTenant → ByFlow` mid-workload — and optionally back again — yields
+    /// bit-identical per-tenant totals and store fingerprints to never
+    /// resharding at all.
+    #[test]
+    fn live_resharding_mid_workload_preserves_results_bit_identically(
+        keys in 200usize..800,
+        requests in 100usize..400,
+        hot in 16i64..96,
+        seed in 0u64..1000,
+        shard_choice in 0usize..3,
+        and_back in any::<bool>(),
+    ) {
+        let shards = [2usize, 4, 8][shard_choice];
+        let (baseline, stores_baseline) =
+            run_kvs(shards, ShardingMode::ByTenant, keys, requests, hot, seed);
+        let baseline = normalized(baseline);
+        let schedule: Vec<ShardingMode> = if and_back {
+            vec![by_key(), ShardingMode::ByTenant]
+        } else {
+            vec![by_key()]
+        };
+        let (stats, stores) = run_kvs_resharding(shards, &schedule, keys, requests, hot, seed);
+        prop_assert_eq!(
+            normalized(stats), baseline,
+            "resharded totals diverged (shards={}, and_back={})", shards, and_back
+        );
+        prop_assert_eq!(
+            &stores, &stores_baseline,
+            "resharded stores diverged (shards={}, and_back={})", shards, and_back
+        );
+    }
+}
+
+/// Run a `ByTenant` resident alongside a second tenant; in the disrupted
+/// variant the neighbour is live-resharded twice mid-run.
+fn run_resident_beside_resharding_neighbour(disrupt: bool) -> clickinc_runtime::TelemetryReport {
+    let engine =
+        TrafficEngine::new(EngineConfig { shards: 4, batch_size: 16, ..Default::default() });
+    let handle = engine.handle();
+    handle.add_tenant("resident", kvs_tenant("resident", 1, 2048));
+    populate_cache(&handle, "resident", 64);
+    handle.add_tenant("neighbour", kvs_tenant("neighbour", 2, 2048));
+    populate_cache(&handle, "neighbour", 32);
+    let mut resident = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: "resident".to_string(),
+        user_id: 1,
+        keys: 500,
+        skew: 1.2,
+        requests: 900,
+        rate_pps: 10_000_000.0,
+        seed: 5,
+    });
+    let mut neighbour = KvsWorkload::new(KvsWorkloadConfig {
+        tenant: "neighbour".to_string(),
+        user_id: 2,
+        keys: 300,
+        skew: 1.1,
+        requests: 400,
+        rate_pps: 10_000_000.0,
+        seed: 6,
+    });
+    handle.run_workload(&mut resident, 300, 64);
+    handle.run_workload(&mut neighbour, 200, 64);
+    if disrupt {
+        assert!(handle.reshard_tenant("neighbour", by_key()));
+    }
+    handle.run_workload(&mut neighbour, 100, 64);
+    handle.run_workload(&mut resident, 300, 64);
+    if disrupt {
+        assert!(handle.reshard_tenant("neighbour", ShardingMode::ByTenant));
+    }
+    handle.run_workload(&mut neighbour, usize::MAX, 64);
+    handle.run_workload(&mut resident, usize::MAX, 64);
+    handle.flush();
+    let outcome = engine.finish();
+    outcome.telemetry
+}
+
+#[test]
+fn live_resharding_leaves_co_resident_telemetry_undisturbed() {
+    let disrupted = run_resident_beside_resharding_neighbour(true);
+    let quiet = run_resident_beside_resharding_neighbour(false);
+    assert_eq!(
+        disrupted.tenant("resident"),
+        quiet.tenant("resident"),
+        "the co-resident tenant never noticed the neighbour's reshards"
+    );
+    // and the resharded tenant itself ends with the same totals either way
+    let a = normalized(disrupted.tenant("neighbour").expect("served").clone());
+    let b = normalized(quiet.tenant("neighbour").expect("served").clone());
+    assert_eq!(a, b, "resharding changed the neighbour's own results");
+}
+
 #[test]
 fn a_flow_sharded_hot_tenant_actually_uses_multiple_shards() {
     let (stats, _) = run_kvs(8, by_key(), 600, 400, 64, 11);

@@ -1,0 +1,91 @@
+//! Adaptive-runtime demo: a load shift absorbed by the telemetry-driven
+//! reconfiguration loop.
+//!
+//! A hot KVS tenant and a background MLAgg tenant deploy with pinned
+//! sharding — everyone starts on one shard.  When the hot tenant's surge
+//! saturates its home shard's bounded ingress queue, the control loop reads
+//! the congestion telemetry, live-reshards the tenant `ByTenant → ByFlow`
+//! (its state profile admits it) and rebalances the per-tenant ingress
+//! budgets; the identical surge then lands on every shard and the admit
+//! ratio recovers.  A static control run proves the adaptation changed
+//! goodput, never results: with a shed-nothing policy both runs finish with
+//! bit-identical per-tenant totals and store fingerprints.
+//!
+//! Run with: `cargo run --release --example adaptive_serving`
+
+use clickinc_apps::adaptive::{serve_adaptive_scenario, AdaptiveServingConfig, PhaseStats};
+use clickinc_runtime::OverloadPolicy;
+
+fn show(label: &str, phase: &PhaseStats) {
+    println!(
+        "  {label:<8} offered {:>5} | admitted {:>5} | shed {:>5} | admit ratio {:.3}",
+        phase.offered,
+        phase.admitted,
+        phase.shed,
+        phase.admit_ratio()
+    );
+}
+
+fn main() {
+    let base = AdaptiveServingConfig::default();
+    println!(
+        "=== Adaptive serving: pinned hot KVS vs {}-deep queues on {} shards ===\n",
+        base.queue_capacity, base.shards
+    );
+
+    let adaptive = serve_adaptive_scenario(&base).expect("adaptive scenario serves");
+    let static_run =
+        serve_adaptive_scenario(&AdaptiveServingConfig { adapt: false, ..base.clone() })
+            .expect("static scenario serves");
+
+    println!("-- adaptive run (drop-tail) --");
+    show("warm", &adaptive.warm);
+    show("surge", &adaptive.surge);
+    show("adapted", &adaptive.adapted);
+    println!(
+        "  hot tenant mode: {} -> {}",
+        adaptive.hot_mode_before.label(),
+        adaptive.hot_mode_after.label()
+    );
+    for action in &adaptive.actions {
+        println!("  action: {action}");
+    }
+    println!("  recovery: {:.2}x\n", adaptive.recovery());
+
+    println!("-- static control (same traffic, loop off) --");
+    show("warm", &static_run.warm);
+    show("surge", &static_run.surge);
+    show("adapted", &static_run.adapted);
+    println!("  recovery: {:.2}x\n", static_run.recovery());
+
+    assert!(adaptive.hot_mode_after.is_by_flow(), "the loop spread the hot tenant");
+    // the gate compares the post-adaptation phases absolutely — the recovery
+    // ratio's denominator (surge admits) is noisy near zero under drop-tail,
+    // so it's printed above but never asserted against
+    assert!(
+        adaptive.adapted.admit_ratio() > 1.5 * static_run.adapted.admit_ratio(),
+        "adaptation recovered goodput: adapted-phase admit ratio {:.3} vs static {:.3}",
+        adaptive.adapted.admit_ratio(),
+        static_run.adapted.admit_ratio()
+    );
+
+    // the safety half: under a shed-nothing policy, adapting mid-run leaves
+    // every result bit-identical to never adapting
+    let safe =
+        AdaptiveServingConfig { overload: OverloadPolicy::Backpressure { credits: 256 }, ..base };
+    let adapted = serve_adaptive_scenario(&safe).expect("backpressure adaptive run");
+    let control = serve_adaptive_scenario(&AdaptiveServingConfig { adapt: false, ..safe })
+        .expect("backpressure static run");
+    assert_eq!(adapted.store_fingerprints, control.store_fingerprints);
+    assert_eq!(
+        (adapted.hot.packets, adapted.hot.completed, adapted.hot.hits),
+        (control.hot.packets, control.hot.completed, control.hot.hits),
+    );
+    println!(
+        "backpressure cross-check: adaptive and static runs agree bit-for-bit \
+         ({} stores, hot served {})",
+        adapted.store_fingerprints.len(),
+        adapted.hot.completed
+    );
+    println!("adaptation changes goodput and latency — never results");
+}

@@ -168,13 +168,22 @@ fn plan_commit_round_trip_equals_the_direct_deploy_path() {
 }
 
 /// A snapshot of every piece of observable controller/engine state the
-/// rollback guarantees protect.
+/// rollback guarantees protect.  The telemetry export is stamped with a
+/// monotone `snapshot_seq` that advances on every observation (including
+/// this one), so the stamp line is normalized out before comparing.
 fn snapshot(service: &ClickIncService) -> (u64, Vec<String>, BTreeMap<String, u64>, String) {
+    let telemetry = service
+        .telemetry()
+        .to_json()
+        .lines()
+        .filter(|line| !line.trim_start().starts_with("\"snapshot_seq\""))
+        .collect::<Vec<_>>()
+        .join("\n");
     (
         service.remaining_resource_ratio().to_bits(),
         service.active_users(),
         service.controller().plane_fingerprints(),
-        service.telemetry().to_json(),
+        telemetry,
     )
 }
 
