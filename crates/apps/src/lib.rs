@@ -18,11 +18,17 @@
 //!   pinned hot tenant saturates its home shard, the telemetry-driven
 //!   control loop live-reshards it and rebalances ingress budgets, and the
 //!   admit ratio recovers with bit-identical results;
+//! * [`failover`] — the device-failure scenario: a victim tenant's device
+//!   dies mid-run on the virtual clock, the controller quiesces and
+//!   re-places it around the failure (or parks it `Degraded`), the restore
+//!   revives it, and a co-resident tenant on disjoint routes stays
+//!   bit-identical to a fault-free run;
 //! * [`multiuser`] — the six program instances and traffic endpoints of
 //!   Table 3, the seven-instance sequence of Table 5, and the
 //!   add/remove sequence of Table 6.
 
 pub mod adaptive;
+pub mod failover;
 pub mod fig13;
 pub mod multiuser;
 pub mod serving;
@@ -30,6 +36,7 @@ pub mod serving;
 pub use adaptive::{
     serve_adaptive_scenario, AdaptiveServingConfig, AdaptiveServingReport, PhaseStats,
 };
+pub use failover::{serve_failover_scenario, FailoverServingConfig, FailoverServingReport};
 pub use fig13::{fig13_configurations, Fig13Case};
 pub use multiuser::{table3_requests, table5_requests, table6_steps, Table6Step};
 pub use serving::{

@@ -53,9 +53,16 @@
 //!   (same traffic, loop off).  The post-phase ratios are compared
 //!   absolutely: the surge-phase denominator is noisy near zero under
 //!   drop-tail (admits depend on how much the workers drain mid-burst), so
-//!   it is reported but never gated.
+//!   it is reported but never gated;
+//! * `RUNTIME_BENCH_MIN_FAILOVER_RECOVERY=<x>` — exit non-zero if the
+//!   failover scenario's post-restore admit ratio falls below `x`× its
+//!   pre-fault baseline (backpressure admission makes both phases exact).
+//!   The co-resident blast-radius invariant — bystander stats and store
+//!   fingerprints bit-identical to a fault-free control — is asserted
+//!   unconditionally, like the planner's determinism.
 
 use clickinc::{ClickIncService, ServiceRequest};
+use clickinc_apps::failover::{serve_failover_scenario, FailoverServingConfig};
 use clickinc_device::DeviceModel;
 use clickinc_frontend::compile_source;
 use clickinc_ir::Value;
@@ -144,6 +151,17 @@ struct RunEntry {
     adapt_post_admit: f64,
     #[serde(default)]
     adapt_static_post_admit: f64,
+    /// Failover section (absent in pre-failover history rows): the victim's
+    /// post-restore admits over its pre-fault admits.
+    #[serde(default)]
+    failover_recovery: f64,
+    /// Packets the victim lost at the dead device in the fault window.
+    #[serde(default)]
+    failover_fault_lost: u64,
+    /// Whether the failover re-placed the victim immediately (vs parking it
+    /// `Degraded` until the restore).
+    #[serde(default)]
+    failover_recovered_immediately: bool,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -588,6 +606,45 @@ fn main() {
         if adapt_recovery > 1.0 { "adaptation wins" } else { "REGRESSION" }
     );
 
+    // ---- failover section ------------------------------------------------
+    // the apps failover scenario end-to-end: a victim device dies on the
+    // virtual clock mid-run, the controller quiesces and re-places the
+    // victim around it, the restore revives it — priced against a fault-free
+    // control run that also proves the blast radius
+    let failover_config = FailoverServingConfig {
+        requests_per_phase: if smoke { 1024 } else { 4096 },
+        background_rounds: if smoke { 60 } else { 120 },
+        ..Default::default()
+    };
+    println!(
+        "\n== failover: victim KVS loses a device mid-run, {} requests/phase, fault vs \
+         fault-free ==",
+        failover_config.requests_per_phase
+    );
+    let faulted = serve_failover_scenario(&failover_config).expect("failover scenario serves");
+    let clean =
+        serve_failover_scenario(&FailoverServingConfig { fail: false, ..failover_config.clone() })
+            .expect("fault-free control serves");
+    assert_eq!(faulted.bystander, clean.bystander, "co-resident stats diverged under the fault");
+    assert_eq!(
+        faulted.bystander_fingerprints(),
+        clean.bystander_fingerprints(),
+        "co-resident store fingerprints diverged under the fault"
+    );
+    let failover_recovery = faulted.recovery_ratio();
+    let failover_fault_lost = faulted.victim.fault_lost_packets;
+    let failover_recovered_immediately = faulted.recovered_immediately;
+    println!(
+        "device `{}` lost {failover_fault_lost} victim packets; failover re-placed \
+         immediately: {failover_recovered_immediately}",
+        faulted.failed_device.as_deref().unwrap_or("?")
+    );
+    println!(
+        "post-restore recovery is {failover_recovery:.2}x the pre-fault baseline ({}); \
+         co-resident bit-identical to the fault-free control",
+        if failover_recovery >= 1.0 { "service restored" } else { "REGRESSION" }
+    );
+
     // ---- planner-throughput section -------------------------------------
     let (batch, thread_counts): (usize, &[usize]) =
         if smoke { (8, &[1, 4]) } else { (16, &[1, 2, 4, 8]) };
@@ -650,6 +707,9 @@ fn main() {
         adapt_recovery,
         adapt_post_admit,
         adapt_static_post_admit,
+        failover_recovery,
+        failover_fault_lost,
+        failover_recovered_immediately,
     });
     if report.history.len() > HISTORY_CAP {
         let drop = report.history.len() - HISTORY_CAP;
@@ -709,6 +769,22 @@ fn main() {
         println!(
             "adaptive gate passed: recovery {adapt_recovery:.2}x >= {min:.2}x the static \
              control's post-surge admit ratio"
+        );
+    }
+    // regression gate for the failover path: the re-placed victim must serve
+    // its post-restore phase at `min`x its pre-fault baseline
+    if let Ok(min) = std::env::var("RUNTIME_BENCH_MIN_FAILOVER_RECOVERY") {
+        let min: f64 = min.parse().expect("RUNTIME_BENCH_MIN_FAILOVER_RECOVERY is a number");
+        if failover_recovery < min {
+            eprintln!(
+                "FAIL: failover_recovery {failover_recovery:.2} regressed below the {min:.2}x \
+                 gate ({failover_fault_lost} packets lost in the fault window)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "failover gate passed: recovery {failover_recovery:.2}x >= {min:.2}x the pre-fault \
+             baseline"
         );
     }
 }

@@ -220,6 +220,29 @@ mod tests {
     }
 
     #[test]
+    fn device_fault_losses_escalate_straight_to_replan() {
+        let service = service();
+        let tenant = service.deploy(kvs_request("kvs0")).expect("deploys");
+        let numeric_id = tenant.numeric_id();
+        let device = tenant.hops().first().expect("has hops").device.clone();
+        let mut adaptive = AdaptiveRuntime::new(AdaptivePolicy::default());
+        adaptive.track(&service, "kvs0");
+        adaptive.step(&service); // baseline epoch
+
+        // a dead device on the route loses packets: the fault telemetry must
+        // trigger a Replan immediately, without the saturation ladder
+        service.engine_handle().set_device_health(&device, clickinc_runtime::DeviceHealth::Down);
+        saturate(&service, "kvs0", numeric_id, 256);
+        let stats = service.telemetry().tenant("kvs0").cloned().expect("tracked");
+        assert!(stats.fault_lost_packets > 0, "losses recorded: {stats:?}");
+        let outcome = adaptive.step(&service);
+        assert_eq!(outcome.replaced, vec!["kvs0".to_string()], "{:?}", outcome.tick.actions);
+        assert!(service.active_users().contains(&"kvs0".to_string()));
+        service.engine_handle().set_device_health(&device, clickinc_runtime::DeviceHealth::Up);
+        service.finish();
+    }
+
+    #[test]
     fn replans_route_through_replace_tenant_and_refusals_restore() {
         let service = service();
         service.set_initial_sharding(InitialSharding::Pinned);

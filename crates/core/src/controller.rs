@@ -30,7 +30,7 @@ use clickinc_synthesis::{
     add_user_program, assign_steps, base_program, isolate_user_program, remove_user_program,
     DeploymentDelta, StepAssignment,
 };
-use clickinc_topology::{reduce_for_traffic, NodeId, Topology};
+use clickinc_topology::{reduce_for_traffic, NodeHealth, NodeId, Topology};
 use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
@@ -83,6 +83,12 @@ pub struct DeploymentPlan {
     plan: PlacementPlan,
     predicted_remaining_ratio: f64,
     epoch: u64,
+    /// Physical device names the plan occupies (deduped, sorted) — the
+    /// topology node names behind the EC labels of
+    /// [`devices`](DeploymentPlan::devices), so provider policy (a
+    /// [`DeviceDenylist`](crate::DeviceDenylist) seeded with failed devices)
+    /// can veto plans by the same names a failure reports.
+    physical_devices: Vec<String>,
     /// Everything the static verifier pipeline reported while solving.  A
     /// plan only exists if the set carries no error-severity finding —
     /// [`PlanContext::solve`] turns those into [`ClickIncError::Verification`]
@@ -138,6 +144,14 @@ impl DeploymentPlan {
     /// Display names of the devices the plan would occupy.
     pub fn devices(&self) -> Vec<String> {
         self.plan.devices_used().into_iter().map(str::to_string).collect()
+    }
+
+    /// Physical topology node names the plan occupies (deduped, sorted).
+    /// Unlike [`devices`](DeploymentPlan::devices) — which reports the
+    /// placement's display labels — these are the names [`Topology`] and the
+    /// failure paths ([`Controller::fail_device`]) speak.
+    pub fn physical_devices(&self) -> &[String] {
+        &self.physical_devices
     }
 
     /// Total resource demand across every physical device the plan touches.
@@ -594,6 +608,57 @@ impl Controller {
         Ok(delta)
     }
 
+    /// Fail a device: mark it [`NodeHealth::Down`] in the topology — every
+    /// placement solved from now on routes around it — and quiesce every
+    /// tenant whose placement occupies it through the normal
+    /// [`remove`](Controller::remove) path, so their ledger bookings are
+    /// released, their snippets uninstalled, the epoch bumped and the
+    /// reconfiguration hooks fired exactly as for a voluntary removal.
+    ///
+    /// Returns the displaced tenants' original requests (in user order) so
+    /// the caller can re-place them against the degraded topology; the
+    /// service-level [`fail_device`](crate::ClickIncService::fail_device)
+    /// drives that re-placement through the full plan → verify → admission →
+    /// commit chain.  Unknown devices are [`ClickIncError::UnknownHost`];
+    /// failing an already-down device is idempotent.
+    pub fn fail_device(&mut self, device: &str) -> Result<Vec<ServiceRequest>, ControllerError> {
+        let id = self
+            .topology
+            .find(device)
+            .ok_or_else(|| ClickIncError::UnknownHost(device.to_string()))?;
+        self.topology.set_node_health(id, NodeHealth::Down);
+        let affected: Vec<String> = self
+            .deployments
+            .keys()
+            .filter(|user| self.devices_of(user).contains(&id))
+            .cloned()
+            .collect();
+        let mut displaced = Vec::new();
+        for user in affected {
+            let request = self.deployments[&user].request.clone();
+            self.remove(&user)?;
+            displaced.push(request);
+        }
+        Ok(displaced)
+    }
+
+    /// Restore a failed device to [`NodeHealth::Up`]: placements may use it
+    /// again.  The caller re-places tenants parked by the failure
+    /// ([`crate::ClickIncService::restore_device`] does so automatically).
+    pub fn restore_device(&mut self, device: &str) -> Result<(), ControllerError> {
+        let id = self
+            .topology
+            .find(device)
+            .ok_or_else(|| ClickIncError::UnknownHost(device.to_string()))?;
+        self.topology.set_node_health(id, NodeHealth::Up);
+        Ok(())
+    }
+
+    /// Names of the devices currently marked [`NodeHealth::Down`].
+    pub fn down_devices(&self) -> Vec<String> {
+        self.topology.down_nodes()
+    }
+
     /// The physical devices hosting a user's snippets (for scenario wiring).
     pub fn devices_of(&self, user: &str) -> Vec<NodeId> {
         self.deployments
@@ -768,6 +833,7 @@ impl PlanContext<'_> {
         }
         let predicted_remaining_ratio = preview.remaining_ratio(self.topology);
 
+        let physical: BTreeSet<String> = placements.iter().map(|p| p.device.clone()).collect();
         Ok(DeploymentPlan {
             request: request.clone(),
             numeric_id,
@@ -776,6 +842,7 @@ impl PlanContext<'_> {
             plan,
             predicted_remaining_ratio,
             epoch: self.epoch,
+            physical_devices: physical.into_iter().collect(),
             diagnostics,
             solved_in: started.elapsed(),
         })
@@ -911,6 +978,32 @@ mod tests {
         ))
         .expect("re-deploy after removal succeeds");
         assert_eq!(c.active_users().len(), 3);
+    }
+
+    #[test]
+    fn failed_devices_quiesce_their_tenants_and_release_resources() {
+        let mut c = controller();
+        let t = kvs_template("kvs0", KvsParams { cache_depth: 1000, ..Default::default() });
+        c.deploy(ServiceRequest::from_template(t, &["pod0a"], "pod2b")).unwrap();
+        let device = c.topology().node(*c.devices_of("kvs0").first().unwrap()).name.clone();
+        let displaced = c.fail_device(&device).expect("known device");
+        assert_eq!(displaced.len(), 1, "the placed tenant was displaced");
+        assert_eq!(displaced[0].user, "kvs0");
+        assert!(c.active_users().is_empty());
+        assert_eq!(c.remaining_resource_ratio(), 1.0, "bookings released");
+        assert_eq!(c.down_devices(), vec![device.clone()]);
+        // a re-solve against the degraded topology avoids the failed device
+        if let Ok(plan) = c.plan(&displaced[0]) {
+            assert!(
+                !plan.physical_devices().contains(&device),
+                "replan avoids the down device: {:?}",
+                plan.physical_devices()
+            );
+        }
+        c.restore_device(&device).expect("restores");
+        assert!(c.down_devices().is_empty());
+        assert!(matches!(c.fail_device("mars").unwrap_err(), ControllerError::UnknownHost(_)));
+        assert!(matches!(c.restore_device("mars").unwrap_err(), ControllerError::UnknownHost(_)));
     }
 
     #[test]

@@ -64,6 +64,19 @@ pub enum ClickIncError {
         /// Every diagnostic the pass pipeline emitted.
         diagnostics: clickinc_ir::DiagnosticSet,
     },
+    /// A device failure left the tenant unplaceable: every re-placement
+    /// attempt after the fault failed (no feasible placement avoiding the
+    /// failed devices, or admission refused the move).  The tenant is
+    /// parked — its ledger bookings are released and it serves no traffic —
+    /// and is retried automatically when the device is restored.
+    Degraded {
+        /// The parked tenant.
+        user: String,
+        /// The failed device that displaced it.
+        device: String,
+        /// Why re-placement failed (display of the underlying error).
+        reason: String,
+    },
     /// An [`AdmissionPolicy`] refused to let the plan commit.  The plan was
     /// feasible — compilation and placement succeeded — but provider policy
     /// (a resource floor, a tenant cap, a device denylist, …) vetoed it, and
@@ -112,6 +125,11 @@ impl fmt::Display for ClickIncError {
             ClickIncError::Rejected { user, policy, reason } => {
                 write!(f, "admission policy `{policy}` rejected `{user}`: {reason}")
             }
+            ClickIncError::Degraded { user, device, reason } => write!(
+                f,
+                "tenant `{user}` is degraded: displaced by failed device `{device}` and not \
+                 re-placeable ({reason}); parked until restore"
+            ),
         }
     }
 }

@@ -131,7 +131,7 @@ pub use policy::{
 };
 pub use reconfigure::{ReconfigureEvent, ReconfigureHook, ShardingMode, TenantHop};
 pub use request::{RequestError, ServiceRequest, ServiceRequestBuilder};
-pub use service::{ClickIncService, InitialSharding, TenantHandle};
+pub use service::{ClickIncService, FailoverReport, InitialSharding, TenantHandle};
 pub use sharding::sharding_mode_for;
 
 // Re-export the subsystem crates under stable names so downstream users need a

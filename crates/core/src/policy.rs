@@ -143,8 +143,11 @@ impl AdmissionPolicy for MaxTenants {
 }
 
 /// Reject plans that touch carved-out devices (maintenance windows,
-/// devices reserved for provider infrastructure, …).  Matches the display
-/// names reported by [`DeploymentPlan::devices`].
+/// devices reserved for provider infrastructure, failed devices awaiting
+/// repair, …).  Matches both the display names reported by
+/// [`DeploymentPlan::devices`] and the physical topology node names of
+/// [`DeploymentPlan::physical_devices`], so the failover path can seed a
+/// denylist directly with the failed-device set it reports.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeviceDenylist {
     denied: BTreeSet<String>,
@@ -172,14 +175,22 @@ impl AdmissionPolicy for DeviceDenylist {
     }
 
     fn evaluate(&self, ctx: &AdmissionContext<'_>) -> AdmissionDecision {
-        let hit: Vec<String> =
-            ctx.plan.devices().into_iter().filter(|d| self.denied.contains(d)).collect();
+        let hit: BTreeSet<String> = ctx
+            .plan
+            .devices()
+            .into_iter()
+            .chain(ctx.plan.physical_devices().iter().cloned())
+            .filter(|d| self.denied.contains(d))
+            .collect();
         if hit.is_empty() {
             AdmissionDecision::Admit
         } else {
             AdmissionDecision::reject(
                 self,
-                format!("plan occupies denylisted device(s): {}", hit.join(", ")),
+                format!(
+                    "plan occupies denylisted device(s): {}",
+                    hit.into_iter().collect::<Vec<_>>().join(", ")
+                ),
             )
         }
     }
@@ -293,6 +304,18 @@ mod tests {
                 assert!(reason.contains(&first_device));
             }
             AdmissionDecision::Admit => panic!("the denylisted device must reject"),
+        }
+        // physical topology names match too — the failover path denies by
+        // the same names a device failure reports
+        let physical =
+            plan.physical_devices().first().cloned().expect("plan occupies physical devices");
+        let failed = DeviceDenylist::new([physical.clone()]);
+        match failed.evaluate(&ctx_of(&plan, 0, 1.0)) {
+            AdmissionDecision::Reject { policy, reason } => {
+                assert_eq!(policy, "device_denylist");
+                assert!(reason.contains(&physical), "got: {reason}");
+            }
+            AdmissionDecision::Admit => panic!("the physical device name must reject"),
         }
     }
 

@@ -27,17 +27,20 @@
 use crate::controller::{Controller, DeploymentPlan};
 use crate::error::ClickIncError;
 use crate::planner::{PlanCache, Planner};
-use crate::policy::{AdmissionContext, AdmissionDecision, AdmissionPolicy, PolicyChain};
+use crate::policy::{
+    AdmissionContext, AdmissionDecision, AdmissionPolicy, DeviceDenylist, PolicyChain,
+};
 use crate::request::ServiceRequest;
 use crate::sharding::sharding_mode_for;
 use clickinc_ir::Value;
 use clickinc_runtime::workload::Workload;
 use clickinc_runtime::{
-    EngineConfig, EngineHandle, RunOutcome, ShardingMode, TelemetryReport, TenantHop, TenantStats,
-    TrafficEngine, WorkloadReport,
+    DeviceHealth, EngineConfig, EngineHandle, RunOutcome, ShardingMode, TelemetryReport, TenantHop,
+    TenantStats, TrafficEngine, WorkloadReport,
 };
 use clickinc_synthesis::DeploymentDelta;
 use clickinc_topology::Topology;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// How [`ClickIncService::commit`] picks a freshly committed tenant's
@@ -69,6 +72,40 @@ pub struct ClickIncService {
     policy: Mutex<PolicyChain>,
     /// How commits choose a new tenant's sharding mode.
     initial_sharding: Mutex<InitialSharding>,
+    /// Tenants displaced by a device failure that could not be re-placed:
+    /// parked with their original requests, retried on every
+    /// [`restore_device`](ClickIncService::restore_device).
+    degraded: Mutex<BTreeMap<String, DegradedTenant>>,
+}
+
+/// A parked tenant: its original request (for the retry) and the failed
+/// device that displaced it.
+struct DegradedTenant {
+    request: ServiceRequest,
+    device: String,
+}
+
+/// What one [`ClickIncService::fail_device`] or
+/// [`restore_device`](ClickIncService::restore_device) call did to the
+/// affected tenants.
+#[derive(Debug)]
+pub struct FailoverReport {
+    /// The failed (or restored) device.
+    pub device: String,
+    /// Tenants re-placed through the full plan → verify → admission →
+    /// commit chain and serving again.
+    pub recovered: Vec<String>,
+    /// Tenants that could not be re-placed, each as the typed
+    /// [`ClickIncError::Degraded`] it is parked under.  They serve no
+    /// traffic and hold no resources until a restore retries them.
+    pub degraded: Vec<ClickIncError>,
+}
+
+impl FailoverReport {
+    /// Whether every affected tenant is serving again.
+    pub fn fully_recovered(&self) -> bool {
+        self.degraded.is_empty()
+    }
 }
 
 impl ClickIncService {
@@ -101,6 +138,7 @@ impl ClickIncService {
             plan_cache: Mutex::new(PlanCache::new()),
             policy: Mutex::new(PolicyChain::new()),
             initial_sharding: Mutex::new(InitialSharding::default()),
+            degraded: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -282,9 +320,12 @@ impl ClickIncService {
 
     /// Remove a tenant by user id: release its resources, uninstall its
     /// snippets, quiesce its traffic on the engine.  (Equivalent to
-    /// [`TenantHandle::remove`] when the handle is out of reach.)
+    /// [`TenantHandle::remove`] when the handle is out of reach.)  A parked
+    /// ([`ClickIncError::Degraded`]) tenant is un-parked too, so it will not
+    /// resurrect on the next restore.
     pub fn remove(&self, user: &str) -> Result<DeploymentDelta, ClickIncError> {
         let controller = self.controller();
+        self.degraded.lock().expect("degraded mutex").remove(user);
         Self::remove_locked(controller, &self.engine.handle(), user)
     }
 
@@ -335,6 +376,93 @@ impl ClickIncService {
                 Err(err)
             }
         }
+    }
+
+    /// Fail a device: mark it down in both the topology (future placements
+    /// route around it) and the serving engine (in-flight packets hitting it
+    /// are lost and counted as fault losses), quiesce every tenant whose
+    /// placement occupied it, and re-place each one through the full plan →
+    /// verify → admission → commit chain with a [`DeviceDenylist`] seeded
+    /// from the failed-device set.  Tenants that cannot be re-placed —
+    /// placement is infeasible on the degraded topology, or an admission
+    /// policy refuses the move — park in the typed
+    /// [`ClickIncError::Degraded`] state: they hold no resources and serve
+    /// no traffic, and every [`restore_device`](ClickIncService::restore_device)
+    /// retries them.  Co-resident tenants placed elsewhere are untouched.
+    pub fn fail_device(&self, device: &str) -> Result<FailoverReport, ClickIncError> {
+        let mut controller = self.controller();
+        let displaced = controller.fail_device(device)?;
+        let engine = self.engine.handle();
+        engine.set_device_health(device, DeviceHealth::Down);
+        for request in &displaced {
+            engine.remove_tenant(&request.user);
+        }
+        let mut recovered = Vec::new();
+        let mut degraded = Vec::new();
+        for request in displaced {
+            match self.replace_displaced(&mut controller, &request) {
+                Ok(_) => recovered.push(request.user.clone()),
+                Err(err) => degraded.push(self.park(request, device, err)),
+            }
+        }
+        Ok(FailoverReport { device: device.to_string(), recovered, degraded })
+    }
+
+    /// Restore a failed device: mark it up in the topology and the engine,
+    /// then retry every parked ([`ClickIncError::Degraded`]) tenant through
+    /// the full plan → verify → admission → commit chain.  Tenants that
+    /// still cannot be placed stay parked (and appear in the report again).
+    pub fn restore_device(&self, device: &str) -> Result<FailoverReport, ClickIncError> {
+        let mut controller = self.controller();
+        controller.restore_device(device)?;
+        self.engine.handle().set_device_health(device, DeviceHealth::Up);
+        let parked: Vec<DegradedTenant> = {
+            let mut map = self.degraded.lock().expect("degraded mutex");
+            std::mem::take(&mut *map).into_values().collect()
+        };
+        let mut recovered = Vec::new();
+        let mut degraded = Vec::new();
+        for tenant in parked {
+            match self.replace_displaced(&mut controller, &tenant.request) {
+                Ok(_) => recovered.push(tenant.request.user.clone()),
+                Err(err) => {
+                    let device = tenant.device.clone();
+                    degraded.push(self.park(tenant.request, &device, err));
+                }
+            }
+        }
+        Ok(FailoverReport { device: device.to_string(), recovered, degraded })
+    }
+
+    /// Tenants currently parked in the [`ClickIncError::Degraded`] state.
+    pub fn degraded_tenants(&self) -> Vec<String> {
+        self.degraded.lock().expect("degraded mutex").keys().cloned().collect()
+    }
+
+    /// Re-place one displaced tenant against the current (degraded)
+    /// topology: plan, gate through the service chain *plus* a
+    /// [`DeviceDenylist`] of every currently-down device, and commit.
+    fn replace_displaced(
+        &self,
+        controller: &mut Controller,
+        request: &ServiceRequest,
+    ) -> Result<TenantHandle, ClickIncError> {
+        let denylist = PolicyChain::new().with(DeviceDenylist::new(controller.down_devices()));
+        let plan = controller.plan(request)?;
+        self.admission_gate(controller, &plan, Some(&denylist))?;
+        self.commit_locked(controller, plan)
+    }
+
+    /// Park a tenant that could not be re-placed; returns the typed error
+    /// the report carries.
+    fn park(&self, request: ServiceRequest, device: &str, err: ClickIncError) -> ClickIncError {
+        let user = request.user.clone();
+        let reason = err.to_string();
+        self.degraded
+            .lock()
+            .expect("degraded mutex")
+            .insert(user.clone(), DegradedTenant { request, device: device.to_string() });
+        ClickIncError::Degraded { user, device: device.to_string(), reason }
     }
 
     /// Plan + admission gate + commit under an already-held controller lock.
@@ -596,6 +724,81 @@ mod tests {
             .expect("valid batch commits");
         assert_eq!(handles.len(), 2);
         assert_eq!(service.active_users().len(), 2);
+        service.finish();
+    }
+
+    #[test]
+    fn failed_devices_displace_and_recover_their_tenants() {
+        let service = service();
+        service.deploy(kvs_request("kvs0")).expect("deploys");
+        let device = {
+            let c = service.controller();
+            let id = *c.devices_of("kvs0").first().expect("placed somewhere");
+            c.topology().node(id).name.clone()
+        };
+        let report = service.fail_device(&device).expect("known device");
+        assert_eq!(report.device, device);
+        assert_eq!(
+            report.recovered.len() + report.degraded.len(),
+            1,
+            "the placed tenant was displaced"
+        );
+        if report.fully_recovered() {
+            // the re-placement avoided the failed device
+            let c = service.controller();
+            let failed = c.topology().find(&device).expect("exists");
+            assert!(!c.devices_of("kvs0").contains(&failed), "routed around the failure");
+            assert_eq!(c.down_devices(), vec![device.clone()]);
+        } else {
+            assert!(matches!(
+                report.degraded.first().expect("one parked"),
+                ClickIncError::Degraded { user, .. } if user == "kvs0"
+            ));
+        }
+        // restore: the device serves again and no tenant stays parked
+        let restore = service.restore_device(&device).expect("restores");
+        assert!(restore.fully_recovered(), "{:?}", restore.degraded);
+        assert!(service.degraded_tenants().is_empty());
+        assert!(service.active_users().contains(&"kvs0".to_string()));
+        assert!(service.controller().down_devices().is_empty());
+        // the round-trip left the ledger balanced
+        service.remove("kvs0").expect("removes");
+        assert_eq!(service.remaining_resource_ratio(), 1.0, "ledger balanced after round-trip");
+        service.finish();
+    }
+
+    #[test]
+    fn unplaceable_tenants_park_degraded_and_retry_on_restore() {
+        let service = service();
+        service.deploy(kvs_request("kvs0")).expect("deploys");
+        let device = {
+            let c = service.controller();
+            let id = *c.devices_of("kvs0").first().expect("placed somewhere");
+            c.topology().node(id).name.clone()
+        };
+        // a reject-everything admission policy makes every re-placement fail
+        service.set_admission_policy(crate::policy::MaxTenants { max_tenants: 0 });
+        let report = service.fail_device(&device).expect("fails");
+        assert!(report.recovered.is_empty());
+        let parked = report.degraded.first().expect("parked");
+        assert!(
+            matches!(parked, ClickIncError::Degraded { user, device: d, .. }
+                if user == "kvs0" && d == &device),
+            "got {parked}"
+        );
+        assert_eq!(service.degraded_tenants(), vec!["kvs0".to_string()]);
+        assert!(service.active_users().is_empty(), "a parked tenant holds nothing");
+        assert_eq!(service.remaining_resource_ratio(), 1.0, "bookings released");
+        // still refused on restore: stays parked
+        let restore = service.restore_device(&device).expect("restores");
+        assert!(!restore.fully_recovered());
+        assert_eq!(service.degraded_tenants(), vec!["kvs0".to_string()]);
+        // policy lifted: the next restore revives it
+        service.clear_admission_policy();
+        let restore = service.restore_device(&device).expect("restores again");
+        assert_eq!(restore.recovered, vec!["kvs0".to_string()]);
+        assert!(service.degraded_tenants().is_empty());
+        assert!(service.active_users().contains(&"kvs0".to_string()));
         service.finish();
     }
 

@@ -18,6 +18,10 @@ pub struct Saturation {
     pub queue_depth_hwm: u64,
     /// The per-shard queue capacity the high-water mark is measured against.
     pub queue_capacity: u64,
+    /// Packets lost to injected device faults this epoch — non-zero means
+    /// the saturation is a *device failure*, not ingress congestion, and the
+    /// only remedy is a replan away from the failed device.
+    pub fault_lost: u64,
 }
 
 impl Saturation {
@@ -48,7 +52,11 @@ impl fmt::Display for Saturation {
             self.backpressure_waits,
             self.queue_depth_hwm,
             self.queue_capacity
-        )
+        )?;
+        if self.fault_lost > 0 {
+            write!(f, " fault_lost={}", self.fault_lost)?;
+        }
+        Ok(())
     }
 }
 
@@ -127,9 +135,13 @@ mod tests {
             backpressure_waits: 10,
             queue_depth_hwm: 90,
             queue_capacity: 100,
+            fault_lost: 0,
         };
         assert!((s.congestion_ratio() - 0.4).abs() < 1e-9);
         assert!((s.hwm_ratio() - 0.9).abs() < 1e-9);
+        assert!(!s.to_string().contains("fault_lost"));
+        let faulted = Saturation { fault_lost: 7, ..s };
+        assert!(faulted.to_string().contains("fault_lost=7"));
         assert_eq!(Saturation::default().congestion_ratio(), 0.0);
         assert_eq!(Saturation::default().hwm_ratio(), 0.0);
     }

@@ -141,6 +141,25 @@ impl AdaptiveController {
         for (user, profile) in self.profiles.iter_mut() {
             let d = delta.tenants.get(user).cloned().unwrap_or_default();
             demand.insert(user.clone(), d.offered());
+            // device-fault trigger: packets lost at a dead or flaky device
+            // cannot be fixed by congestion levers (resharding spreads load,
+            // budgets shape ingress — neither moves the tenant off the
+            // failed device), so escalate straight to a replan, bypassing
+            // the volume gate, cooldowns and the escalation ladder
+            if self.policy.fault_replan_lost > 0 && d.fault_lost >= self.policy.fault_replan_lost {
+                let why = Saturation {
+                    offered: d.offered(),
+                    shed: d.shed,
+                    backpressure_waits: d.backpressure_waits,
+                    queue_depth_hwm: d.queue_depth_hwm,
+                    queue_capacity: capacity,
+                    fault_lost: d.fault_lost,
+                };
+                actions.push(AdaptAction::Replan { user: user.clone(), why });
+                profile.saturated_epochs = 0;
+                profile.idle_epochs = 0;
+                continue;
+            }
             if d.offered() == 0 {
                 profile.saturated_epochs = 0;
                 profile.idle_epochs += 1;
@@ -173,6 +192,7 @@ impl AdaptiveController {
                 backpressure_waits: d.backpressure_waits,
                 queue_depth_hwm: d.queue_depth_hwm,
                 queue_capacity: capacity,
+                fault_lost: d.fault_lost,
             };
             let saturated = why.congestion_ratio() > self.policy.congestion_saturation
                 || why.hwm_ratio() >= self.policy.hwm_saturation;
@@ -222,6 +242,7 @@ impl AdaptiveController {
                         backpressure_waits: d.backpressure_waits,
                         queue_depth_hwm: d.queue_depth_hwm,
                         queue_capacity: capacity,
+                        fault_lost: d.fault_lost,
                     };
                     actions.push(AdaptAction::ResizeBudget { user, budget, why });
                 }
@@ -398,6 +419,79 @@ mod tests {
             "idle reclaim reshards back: {actions:?}"
         );
         assert_eq!(h.controller.current_mode("hot"), Some(&ShardingMode::ByTenant));
+    }
+
+    #[test]
+    fn fault_losses_escalate_to_replan_immediately() {
+        let mut h = Harness::new(
+            AdaptivePolicy::default(),
+            &[
+                ("victim", ShardingMode::ByTenant, by_key()),
+                ("bystander", ShardingMode::ByTenant, ShardingMode::ByTenant),
+            ],
+        );
+        h.tick();
+        // far below min_epoch_packets and with zero congestion — the fault
+        // trigger must not care about either gate
+        h.offer("victim", 10, 0);
+        h.offer("bystander", 10, 0);
+        h.counters["victim"].note_fault_loss(5_000);
+        h.counters["victim"].note_fault_loss(6_000);
+        let actions = h.tick();
+        let replans: Vec<_> =
+            actions.iter().filter(|a| matches!(a, AdaptAction::Replan { .. })).collect();
+        assert_eq!(replans.len(), 1, "exactly the victim replans: {actions:?}");
+        assert_eq!(replans[0].user(), "victim");
+        assert!(matches!(
+            replans[0],
+            AdaptAction::Replan { why: Saturation { fault_lost: 2, .. }, .. }
+        ));
+        // the fault lever outranks resharding: no Reshard for the victim
+        assert!(actions.iter().all(|a| !matches!(a, AdaptAction::Reshard { .. })));
+        // a calm epoch later, the loop is quiet again
+        h.offer("victim", 10, 0);
+        assert!(h.tick().is_empty());
+    }
+
+    #[test]
+    fn fault_trigger_can_be_disabled() {
+        let policy = AdaptivePolicy { fault_replan_lost: 0, ..Default::default() };
+        let mut h = Harness::new(policy, &[("victim", ShardingMode::ByTenant, by_key())]);
+        h.tick();
+        h.offer("victim", 10, 0);
+        h.counters["victim"].note_fault_loss(5_000);
+        assert!(h.tick().is_empty(), "fault_replan_lost = 0 disables the trigger");
+    }
+
+    #[test]
+    fn stale_tenant_delta_is_skipped_after_removal() {
+        // a tenant removed between the snapshot and the decision: its
+        // counters still sit in the registry (telemetry keeps history), so
+        // the delta names it — but the profile is gone and the loop must not
+        // act on the stale movement
+        let mut h = Harness::new(
+            AdaptivePolicy::default(),
+            &[
+                ("gone", ShardingMode::ByTenant, by_key()),
+                ("stays", ShardingMode::ByTenant, ShardingMode::ByTenant),
+            ],
+        );
+        h.tick();
+        // both tenants saturate hard; "gone" even loses packets to a fault
+        h.offer("gone", 100, 90);
+        h.counters["gone"].note_fault_loss(1_000);
+        h.offer("stays", 1000, 0);
+        h.controller.forget("gone");
+        let actions = h.tick();
+        assert!(
+            actions.iter().all(|a| a.user() != "gone"),
+            "no action may target a removed tenant: {actions:?}"
+        );
+        // and the inverse staleness: a tracked tenant missing from the delta
+        // (snapshot raced its registration) takes the idle path, not a panic
+        h.controller.track("unregistered", ShardingMode::ByTenant, by_key());
+        let actions = h.tick();
+        assert!(actions.iter().all(|a| a.user() != "unregistered"), "{actions:?}");
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub struct AdaptivePolicy {
     /// the loop had flow-sharded is consolidated back to `ByTenant`,
     /// releasing its per-shard replicas.  `0` disables reclamation.
     pub reclaim_idle_epochs: u64,
+    /// Packets lost to a device fault in one epoch at which a
+    /// [`Replan`](crate::adaptive::AdaptAction::Replan) fires *immediately*
+    /// — fault losses mean a device on the tenant's route is dead or
+    /// dropping, which congestion levers (resharding, budgets) cannot fix,
+    /// so the escalation ladder and its cooldowns are bypassed.  `0`
+    /// disables the fault trigger.
+    pub fault_replan_lost: u64,
 }
 
 impl Default for AdaptivePolicy {
@@ -47,6 +54,7 @@ impl Default for AdaptivePolicy {
             replan_epochs: 3,
             budget_floor: 16,
             reclaim_idle_epochs: 0,
+            fault_replan_lost: 1,
         }
     }
 }
@@ -65,6 +73,8 @@ pub struct TenantDelta {
     /// Queue-depth high-water mark as of the newer snapshot (a lifetime
     /// maximum, not a delta).
     pub queue_depth_hwm: u64,
+    /// Packets lost to injected device faults this epoch.
+    pub fault_lost: u64,
 }
 
 impl TenantDelta {
@@ -108,6 +118,7 @@ impl EpochDelta {
                     shed: sub(now.shed_packets, |s| s.shed_packets),
                     backpressure_waits: sub(now.backpressure_waits, |s| s.backpressure_waits),
                     queue_depth_hwm: now.queue_depth_hwm,
+                    fault_lost: sub(now.fault_lost_packets, |s| s.fault_lost_packets),
                 };
                 (name.clone(), delta)
             })
@@ -146,6 +157,8 @@ mod tests {
         counters.backpressure_waits.fetch_add(4, Ordering::Relaxed);
         counters.queue_depth_hwm.fetch_max(33, Ordering::Relaxed);
         counters.record_completion(100.0, 2_000);
+        counters.note_fault_loss(1_500);
+        counters.note_fault_loss(1_600);
         let second = registry.snapshot();
 
         let delta = EpochDelta::between(&first, &second);
@@ -156,6 +169,7 @@ mod tests {
         assert_eq!(t.shed, 1);
         assert_eq!(t.backpressure_waits, 4);
         assert_eq!(t.completed, 1);
+        assert_eq!(t.fault_lost, 2);
         assert_eq!(t.queue_depth_hwm, 33, "hwm is the newer snapshot's maximum");
         assert_eq!(t.offered(), 6);
     }

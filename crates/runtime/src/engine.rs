@@ -22,6 +22,7 @@
 //! (additively for flow-partitioned state), and returns the final telemetry
 //! report.
 
+use crate::faults::{DeviceHealth, FaultInjector};
 use crate::shard::{ShardFinal, ShardMsg, ShardWorker};
 use crate::telemetry::{TelemetryRegistry, TelemetryReport, TenantCounters};
 use crate::tenant::{ShardingMode, TenantHop};
@@ -292,6 +293,11 @@ struct EngineShared {
     /// [`TrafficEngine::finish`] (and the next reshard's extraction) deducts
     /// `shards - 1` copies to restore the exact unsharded state.
     reshard_baselines: Mutex<BTreeMap<String, BTreeMap<String, ObjectStore>>>,
+    /// Injected device faults currently in effect (sparse: healthy devices
+    /// are absent).  The authoritative copy lives in the shard workers; this
+    /// mirror lets control loops ask which devices are down without a
+    /// shard round-trip.
+    device_health: Mutex<BTreeMap<String, DeviceHealth>>,
 }
 
 /// Clonable, `Send` front door to a running engine.  Everything the control
@@ -756,6 +762,102 @@ impl EngineHandle {
         report
     }
 
+    /// Apply a device fault (or restore) on every shard: `Down` devices lose
+    /// all traffic reaching them, `Flaky` ones drop a deterministic
+    /// fraction, `Degraded` ones scale their latency; `Up` clears the fault.
+    /// Rides the FIFO channels, so traffic injected before this call is
+    /// processed under the old health, traffic after under the new.
+    pub fn set_device_health(&self, device: &str, health: DeviceHealth) {
+        {
+            let mut map = self.shared.device_health.lock().expect("device health");
+            if health == DeviceHealth::Up {
+                map.remove(device);
+            } else {
+                map.insert(device.to_string(), health);
+            }
+        }
+        for sender in &self.shared.senders {
+            let _ = sender.send(ShardMsg::SetDeviceHealth { device: device.to_string(), health });
+        }
+    }
+
+    /// A device's currently injected health ([`DeviceHealth::Up`] when no
+    /// fault is in effect).
+    pub fn device_health(&self, device: &str) -> DeviceHealth {
+        self.shared
+            .device_health
+            .lock()
+            .expect("device health")
+            .get(device)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Names of all devices currently taken fully down by a fault.
+    pub fn down_devices(&self) -> Vec<String> {
+        self.shared
+            .device_health
+            .lock()
+            .expect("device health")
+            .iter()
+            .filter(|(_, h)| !h.is_serving())
+            .map(|(d, _)| d.clone())
+            .collect()
+    }
+
+    /// [`run_workload`](EngineHandle::run_workload) with a [`FaultInjector`]
+    /// riding the workload's virtual clock: before each generated packet,
+    /// any fault event scheduled at or before the packet's arrival time is
+    /// applied.  Buffered injections are drained and every shard flushed
+    /// first, so each event lands at a deterministic point in the packet
+    /// stream — the fault's blast radius is a pure function of (workload
+    /// seed, fault plan), independent of thread timing.  Events scheduled
+    /// beyond the last generated packet stay pending.
+    pub fn run_workload_with_faults(
+        &self,
+        workload: &mut dyn Workload,
+        max_packets: usize,
+        inject_batch: usize,
+        injector: &mut FaultInjector,
+    ) -> WorkloadReport {
+        let inject_batch = inject_batch.max(1);
+        let mut buffers: BTreeMap<Arc<str>, Vec<(u64, Packet)>> = BTreeMap::new();
+        let mut report = WorkloadReport::default();
+        while report.generated < max_packets {
+            let Some(generated) = workload.next_packet() else { break };
+            let fault_due = injector
+                .pending()
+                .first()
+                .is_some_and(|event| event.at_vtime_ns <= generated.vtime_ns);
+            if fault_due {
+                for (tenant, jobs) in std::mem::take(&mut buffers) {
+                    let outcome = self.inject(&tenant, jobs);
+                    report.admitted += outcome.admitted;
+                    report.shed += outcome.shed;
+                }
+                self.flush();
+                for event in injector.due(generated.vtime_ns) {
+                    self.set_device_health(&event.device, event.kind.health());
+                }
+            }
+            report.generated += 1;
+            let buffer = buffers.entry(Arc::clone(&generated.tenant)).or_default();
+            buffer.push((generated.vtime_ns, generated.packet));
+            if buffer.len() >= inject_batch {
+                let jobs = std::mem::take(buffer);
+                let outcome = self.inject(&generated.tenant, jobs);
+                report.admitted += outcome.admitted;
+                report.shed += outcome.shed;
+            }
+        }
+        for (tenant, jobs) in buffers {
+            let outcome = self.inject(&tenant, jobs);
+            report.admitted += outcome.admitted;
+            report.shed += outcome.shed;
+        }
+        report
+    }
+
     /// Barrier: returns once every shard has drained its queues.
     pub fn flush(&self) {
         let acks: Vec<_> = self
@@ -843,6 +945,7 @@ impl TrafficEngine {
                     routes: Mutex::new(BTreeMap::new()),
                     flow_objects: Mutex::new(BTreeMap::new()),
                     reshard_baselines: Mutex::new(BTreeMap::new()),
+                    device_health: Mutex::new(BTreeMap::new()),
                 }),
             },
             workers,

@@ -63,6 +63,7 @@
 
 pub mod adaptive;
 pub mod engine;
+pub mod faults;
 pub mod shard;
 pub mod telemetry;
 pub mod tenant;
@@ -74,6 +75,7 @@ pub use engine::{
     EngineConfig, EngineError, EngineHandle, InjectOutcome, OverloadPolicy, RunOutcome,
     TrafficEngine, WorkloadReport,
 };
+pub use faults::{DeviceHealth, FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use telemetry::{TelemetryReport, TenantCounters, TenantStats};
 pub use tenant::{ShardingMode, TenantHop};
 pub use workload::{

@@ -25,9 +25,10 @@
 //! [`ShardingMode::ByTenant`]: crate::tenant::ShardingMode::ByTenant
 //! [`ShardingMode::ByFlow`]: crate::tenant::ShardingMode::ByFlow
 
+use crate::faults::DeviceHealth;
 use crate::telemetry::TenantCounters;
 use crate::tenant::TenantHop;
-use clickinc_emulator::{DevicePlane, ExecMode, ObjectStore, Packet, PacketAction};
+use clickinc_emulator::{DevicePlane, ExecMode, Fnv, ObjectStore, Packet, PacketAction};
 use clickinc_ir::Value;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,6 +75,11 @@ pub(crate) enum ShardMsg {
     Inject { user: Arc<str>, jobs: Vec<(u64, Packet)> },
     /// Control-plane table write (e.g. pre-populating a KVS cache).
     TableWrite { device: String, table: String, key: Vec<Value>, value: Vec<Value> },
+    /// Apply an injected fault (or a restore) to one device: `Down` devices
+    /// lose every packet reaching them, `Flaky` ones drop a deterministic
+    /// fraction, `Degraded` ones scale their latency.  Ordered on the FIFO
+    /// channel like every other control message.
+    SetDeviceHealth { device: String, health: DeviceHealth },
     /// Barrier: acknowledge once every queued packet has drained.
     Flush(Sender<()>),
     /// Drain, ship the final planes back, and exit.
@@ -103,6 +109,9 @@ pub(crate) struct ShardWorker {
     /// Execution tier applied to every device-plane replica this shard owns
     /// (from [`crate::EngineConfig::exec_mode`]).
     exec_mode: ExecMode,
+    /// Injected device faults in effect (sparse: healthy devices are
+    /// absent).  Applied in `pump` before the device processes a batch.
+    device_health: BTreeMap<String, DeviceHealth>,
 }
 
 impl ShardWorker {
@@ -120,6 +129,7 @@ impl ShardWorker {
             active: VecDeque::new(),
             depth,
             exec_mode,
+            device_health: BTreeMap::new(),
         };
         while let Ok(msg) = rx.recv() {
             match msg {
@@ -142,6 +152,13 @@ impl ShardWorker {
                 ShardMsg::TableWrite { device, table, key, value } => {
                     if let Some(plane) = worker.planes.get_mut(&device) {
                         plane.store_mut().table_write(&table, &key, value);
+                    }
+                }
+                ShardMsg::SetDeviceHealth { device, health } => {
+                    if health == DeviceHealth::Up {
+                        worker.device_health.remove(&device);
+                    } else {
+                        worker.device_health.insert(device, health);
                     }
                 }
                 ShardMsg::Flush(ack) => {
@@ -252,6 +269,39 @@ impl ShardWorker {
                 let take = queue.len().min(self.batch_size);
                 queue.drain(..take).collect()
             };
+            // injected faults intercept the batch before the device runs:
+            // a dead device swallows everything reaching it, a flaky one
+            // drops a deterministic (hash-keyed, not wall-clock) fraction
+            let health = self.device_health.get(&device).copied().unwrap_or_default();
+            match health {
+                DeviceHealth::Down => {
+                    for job in batch {
+                        self.fault_lose(job);
+                    }
+                    self.requeue_if_backlogged(device);
+                    continue;
+                }
+                DeviceHealth::Flaky { drop_prob } => {
+                    let mut kept = Vec::with_capacity(batch.len());
+                    for job in batch {
+                        if Self::flaky_drops(&device, &job, drop_prob) {
+                            self.fault_lose(job);
+                        } else {
+                            kept.push(job);
+                        }
+                    }
+                    batch = kept;
+                    if batch.is_empty() {
+                        self.requeue_if_backlogged(device);
+                        continue;
+                    }
+                }
+                DeviceHealth::Up | DeviceHealth::Degraded { .. } => {}
+            }
+            let latency_scale = match health {
+                DeviceHealth::Degraded { factor } => factor.max(1.0),
+                _ => 1.0,
+            };
             let Some(plane) = self.planes.get_mut(&device) else {
                 // no replica for this device (snippet-less hop): traverse free
                 for mut job in batch {
@@ -275,7 +325,7 @@ impl ShardWorker {
             let outcomes = plane.process_batch(&mut packets);
             for ((mut job, packet), outcome) in batch.into_iter().zip(packets).zip(outcomes) {
                 job.packet = packet;
-                job.latency_ns += outcome.latency_ns;
+                job.latency_ns += outcome.latency_ns * latency_scale;
                 match outcome.action {
                     PacketAction::Forward => {
                         job.hop += 1;
@@ -302,6 +352,16 @@ impl ShardWorker {
         }
     }
 
+    /// A packet lost to an injected fault: counted as `fault_lost` (never as
+    /// an in-network drop), with the gauges returned like any terminal
+    /// outcome so admission control keeps an accurate in-flight view.
+    fn fault_lose(&self, job: Job) {
+        job.counters.note_fault_loss(job.vtime_ns);
+        let inflight = &job.counters.in_flight;
+        let _ = inflight.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Terminal accounting shared by every outcome.
     fn finish(&self, job: Job) {
         let payload = job.packet.wire_bytes().saturating_sub(job.packet.base_bytes) as u64;
@@ -312,6 +372,20 @@ impl ShardWorker {
         let inflight = &job.counters.in_flight;
         let _ = inflight.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
         self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Deterministic flaky-device drop decision: a stable hash of the device
+    /// and the packet's identity mapped to the unit interval, so the same
+    /// stream through the same fault plan loses the same packets on every
+    /// run and any shard layout.
+    fn flaky_drops(device: &str, job: &Job, drop_prob: f64) -> bool {
+        let mut h = Fnv::new();
+        h.write_str(device);
+        h.write_u64(job.vtime_ns);
+        h.write_str(&job.packet.src);
+        h.write_str(&job.packet.dst);
+        let unit = (h.finish() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < drop_prob
     }
 
     /// The packet traversed every hop: it crosses the final link into the

@@ -63,6 +63,18 @@ pub struct TenantCounters {
     /// per-tenant credit-budget admission sums it across the tenant's shard
     /// blocks; it drains back to zero at every flush.
     pub in_flight: AtomicU64,
+    /// Packets lost to an injected fault (a `Down` device swallowed them or
+    /// a `Flaky` device dropped them).  Distinct from in-network `drops`
+    /// (program semantics) and `shed` (ingress overload).
+    pub fault_lost: AtomicU64,
+    /// Virtual arrival time of the *first* packet lost to a fault
+    /// (`u64::MAX` until a fault loss occurs) — the start of the tenant's
+    /// observed fault window.
+    pub fault_first_vtime_ns: AtomicU64,
+    /// Virtual arrival time of the *first* completion this counter block
+    /// ever recorded (`u64::MAX` until one completes).  Blocks registered by
+    /// a post-fault re-placement use it to date the tenant's recovery.
+    pub vtime_first_ns: AtomicU64,
 }
 
 impl TenantCounters {
@@ -84,6 +96,9 @@ impl TenantCounters {
             backpressure_waits: AtomicU64::new(0),
             queue_depth_hwm: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            fault_lost: AtomicU64::new(0),
+            fault_first_vtime_ns: AtomicU64::new(u64::MAX),
+            vtime_first_ns: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -95,6 +110,14 @@ impl TenantCounters {
         self.latency_sum_ns.fetch_add(lat, Ordering::Relaxed);
         self.hist[bucket_of(lat)].fetch_add(1, Ordering::Relaxed);
         self.vtime_max_ns.fetch_max(vtime_ns.saturating_add(lat), Ordering::Relaxed);
+        self.vtime_first_ns.fetch_min(vtime_ns, Ordering::Relaxed);
+    }
+
+    /// Record a packet lost to an injected fault at its virtual arrival
+    /// time.
+    pub fn note_fault_loss(&self, vtime_ns: u64) {
+        self.fault_lost.fetch_add(1, Ordering::Relaxed);
+        self.fault_first_vtime_ns.fetch_min(vtime_ns, Ordering::Relaxed);
     }
 }
 
@@ -178,6 +201,22 @@ pub struct TenantStats {
     /// The tenant's active ingress credit budget (max in-flight packets
     /// across shards).  Deployment configuration; excluded from equality.
     pub queue_budget: u64,
+    /// Packets lost to injected faults (dead or flaky devices) — never
+    /// conflated with in-network `drops` or ingress `shed_packets`.  The
+    /// fault schedule rides the virtual clock, so this is deterministic and
+    /// participates in equality (co-residents of a failed device must show
+    /// exactly zero).
+    pub fault_lost_packets: u64,
+    /// Virtual arrival time of the first packet lost to a fault (0 when the
+    /// tenant never lost one).
+    pub fault_vtime_ns: u64,
+    /// Virtual arrival time of the first packet served *after* the tenant
+    /// was re-placed past its fault window (0 until recovery).  Dated from
+    /// the counter blocks the re-placement registered.
+    pub recovery_vtime_ns: u64,
+    /// Virtual-clock time from first fault loss to first post-re-placement
+    /// service — 0 while unrecovered or never faulted.
+    pub time_to_recovery_ns: u64,
 }
 
 impl PartialEq for TenantStats {
@@ -198,6 +237,10 @@ impl PartialEq for TenantStats {
             && self.link_bytes == other.link_bytes
             && self.shed_packets == other.shed_packets
             && self.per_shard_packets == other.per_shard_packets
+            && self.fault_lost_packets == other.fault_lost_packets
+            && self.fault_vtime_ns == other.fault_vtime_ns
+            && self.recovery_vtime_ns == other.recovery_vtime_ns
+            && self.time_to_recovery_ns == other.time_to_recovery_ns
     }
 }
 
@@ -223,6 +266,34 @@ impl TenantStats {
             parts.iter().map(|c| c.queue_depth_hwm.load(Ordering::Relaxed)).max().unwrap_or(0);
         let per_shard_packets: Vec<u64> =
             parts.iter().map(|c| c.packets.load(Ordering::Relaxed)).collect();
+        let fault_lost_packets = sum(&|c| &c.fault_lost);
+        let fault_vtime_raw = parts
+            .iter()
+            .map(|c| c.fault_first_vtime_ns.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(u64::MAX);
+        // recovery is dated from the counter blocks registered *after* the
+        // last block that observed a fault loss: a post-fault re-placement
+        // installs the tenant with fresh blocks, so their earliest served
+        // arrival is the moment the tenant was serving again
+        let recovery_vtime_raw = parts
+            .iter()
+            .rposition(|c| c.fault_lost.load(Ordering::Relaxed) > 0)
+            .map(|last_faulted| {
+                parts[last_faulted + 1..]
+                    .iter()
+                    .map(|c| c.vtime_first_ns.load(Ordering::Relaxed))
+                    .min()
+                    .unwrap_or(u64::MAX)
+            })
+            .unwrap_or(u64::MAX);
+        let fault_vtime_ns = if fault_vtime_raw == u64::MAX { 0 } else { fault_vtime_raw };
+        let recovery_vtime_ns = if recovery_vtime_raw == u64::MAX { 0 } else { recovery_vtime_raw };
+        let time_to_recovery_ns = if fault_vtime_raw == u64::MAX || recovery_vtime_raw == u64::MAX {
+            0
+        } else {
+            recovery_vtime_raw.saturating_sub(fault_vtime_raw)
+        };
 
         let mut hist = [0u64; HIST_BUCKETS];
         for c in parts {
@@ -268,6 +339,10 @@ impl TenantStats {
             // stamped from the registry's tenant metadata by `snapshot`
             sharding_mode: String::new(),
             queue_budget: 0,
+            fault_lost_packets,
+            fault_vtime_ns,
+            recovery_vtime_ns,
+            time_to_recovery_ns,
         }
     }
 
@@ -352,26 +427,31 @@ pub struct TelemetryRegistry {
     seq: AtomicU64,
 }
 
+/// Recover a registry guard even if a holder panicked: the maps only ever
+/// hold `Arc`s and small metadata, every mutation is a single insert/remove
+/// (no multi-step invariants to tear), so the inner data is always
+/// consistent and a panicked shard must not cascade into every observer.
+fn recover<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 impl TelemetryRegistry {
     /// Register a (tenant, shard) counter block.
     pub fn register(&self, tenant: &str, counters: Arc<TenantCounters>) {
-        self.tenants.lock().unwrap().entry(tenant.to_string()).or_default().push(counters);
+        recover(&self.tenants).entry(tenant.to_string()).or_default().push(counters);
     }
 
     /// Record a tenant's active sharding mode and ingress budget, exported
     /// with every subsequent snapshot.
     pub fn set_meta(&self, tenant: &str, sharding_mode: String, queue_budget: u64) {
-        self.meta
-            .lock()
-            .unwrap()
-            .insert(tenant.to_string(), TenantMeta { sharding_mode, queue_budget });
+        recover(&self.meta).insert(tenant.to_string(), TenantMeta { sharding_mode, queue_budget });
     }
 
     /// Merge every tenant's counters into a report, stamped with the next
     /// snapshot sequence number and the virtual clock it observed.
     pub fn snapshot(&self) -> TelemetryReport {
-        let tenants = self.tenants.lock().unwrap();
-        let meta = self.meta.lock().unwrap();
+        let tenants = recover(&self.tenants);
+        let meta = recover(&self.meta);
         let mut vtime_ns = 0u64;
         let merged: BTreeMap<String, TenantStats> = tenants
             .iter()
@@ -458,8 +538,65 @@ mod tests {
         assert!(json.contains("\"queue_budget\": 512"));
         assert!(json.contains("\"snapshot_seq\": 1"));
         assert!(json.contains("\"vtime_ns\": 1100"));
+        // recovery metrics are part of the stable export schema
+        assert!(json.contains("\"fault_lost_packets\": 0"));
+        assert!(json.contains("\"fault_vtime_ns\": 0"));
+        assert!(json.contains("\"recovery_vtime_ns\": 0"));
+        assert!(json.contains("\"time_to_recovery_ns\": 0"));
         assert_eq!(report.tenant("alpha").unwrap().packets, 0);
         assert!(report.tenant("missing").is_none());
+    }
+
+    #[test]
+    fn fault_losses_and_recovery_are_dated_across_blocks() {
+        // block 0: served before the fault, then lost packets to it
+        let before = Arc::new(TenantCounters::new(1));
+        before.record_completion(10.0, 100);
+        before.note_fault_loss(5_000);
+        before.note_fault_loss(6_000);
+        // block 1: registered by the re-placement, first serves at t=9_000
+        let after = Arc::new(TenantCounters::new(1));
+        after.record_completion(10.0, 9_000);
+        after.record_completion(10.0, 12_000);
+        let stats = TenantStats::merge("victim", &[Arc::clone(&before), after]);
+        assert_eq!(stats.fault_lost_packets, 2);
+        assert_eq!(stats.fault_vtime_ns, 5_000);
+        assert_eq!(stats.recovery_vtime_ns, 9_000);
+        assert_eq!(stats.time_to_recovery_ns, 4_000);
+        // unrecovered: the fault block is the last block
+        let unrecovered = TenantStats::merge("victim", &[before]);
+        assert_eq!(unrecovered.fault_lost_packets, 2);
+        assert_eq!(unrecovered.fault_vtime_ns, 5_000);
+        assert_eq!(unrecovered.recovery_vtime_ns, 0);
+        assert_eq!(unrecovered.time_to_recovery_ns, 0);
+        // fault metrics are semantic, not timing noise: they participate in
+        // equality so a co-resident's 0 must match the fault-free run's 0
+        let clean = TenantStats::merge("victim", &[Arc::new(TenantCounters::new(1))]);
+        assert_ne!(unrecovered, clean);
+    }
+
+    #[test]
+    fn registry_survives_a_panicked_lock_holder() {
+        let registry = Arc::new(TelemetryRegistry::default());
+        registry.register("alpha", Arc::new(TenantCounters::new(1)));
+        registry.set_meta("alpha", "by_tenant".to_string(), 64);
+        // poison both registry mutexes the way a panicking shard would
+        for _ in 0..2 {
+            let poisoner = Arc::clone(&registry);
+            let _ = std::thread::spawn(move || {
+                let _tenants = poisoner.tenants.lock().unwrap();
+                let _meta = poisoner.meta.lock().unwrap();
+                panic!("shard dies while holding the registry");
+            })
+            .join();
+        }
+        assert!(registry.tenants.lock().is_err(), "lock really is poisoned");
+        // the registry recovers the inner data instead of cascading
+        registry.register("beta", Arc::new(TenantCounters::new(1)));
+        registry.set_meta("beta", "by_flow".to_string(), 32);
+        let report = registry.snapshot();
+        assert!(report.tenant("alpha").is_some());
+        assert_eq!(report.tenant("beta").unwrap().sharding_mode, "by_flow");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The physical topology graph and its builders.
 
 use clickinc_device::DeviceKind;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Identifier of a node in the topology.
@@ -96,12 +96,30 @@ pub struct Link {
     pub gbps: f64,
 }
 
+/// Operational health of a node, as the controller believes it.  Every node
+/// starts [`NodeHealth::Up`]; the failover path marks devices `Down` so path
+/// enumeration (and therefore placement) routes around them, and `Up` again
+/// on restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeHealth {
+    /// Serving normally (the default).
+    #[default]
+    Up,
+    /// Failed: paths may not traverse this node.
+    Down,
+}
+
 /// The data-center topology.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
     adjacency: Vec<Vec<NodeId>>,
+    /// Name → id lookup maintained by `add_node` (placement resolves
+    /// endpoints by name in every solve, so `find` must not scan).
+    name_index: BTreeMap<String, NodeId>,
+    /// Sparse health overlay: only nodes that ever left `Up` appear here.
+    health: BTreeMap<usize, NodeHealth>,
 }
 
 impl Topology {
@@ -119,15 +137,11 @@ impl Topology {
         kind: DeviceKind,
     ) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node {
-            id,
-            name: name.into(),
-            tier,
-            pod,
-            kind,
-            bypass: None,
-            link_gbps: 100.0,
-        });
+        let name = name.into();
+        // first insertion wins, matching the old linear scan's first-match
+        // semantics if a builder ever reuses a name
+        self.name_index.entry(name.clone()).or_insert(id);
+        self.nodes.push(Node { id, name, tier, pod, kind, bypass: None, link_gbps: 100.0 });
         self.adjacency.push(Vec::new());
         id
     }
@@ -202,9 +216,38 @@ impl Topology {
             .collect()
     }
 
-    /// Look a node up by name.
+    /// Look a node up by name (indexed; hot in planner endpoint resolution).
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes.iter().find(|n| n.name == name).map(|n| n.id)
+        self.name_index.get(name).copied()
+    }
+
+    /// A node's operational health (every node defaults to
+    /// [`NodeHealth::Up`]).
+    pub fn node_health(&self, id: NodeId) -> NodeHealth {
+        self.health.get(&id.0).copied().unwrap_or_default()
+    }
+
+    /// Whether a node is currently serving.
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.node_health(id) == NodeHealth::Up
+    }
+
+    /// Mark a node's health.  Path enumeration skips `Down` nodes, so a
+    /// subsequent placement solve routes around them.
+    pub fn set_node_health(&mut self, id: NodeId, health: NodeHealth) {
+        match health {
+            NodeHealth::Up => {
+                self.health.remove(&id.0);
+            }
+            NodeHealth::Down => {
+                self.health.insert(id.0, health);
+            }
+        }
+    }
+
+    /// Names of all nodes currently marked [`NodeHealth::Down`].
+    pub fn down_nodes(&self) -> Vec<String> {
+        self.health.keys().map(|idx| self.nodes[*idx].name.clone()).collect()
     }
 
     /// Distinct pods present in the topology.
@@ -481,6 +524,30 @@ mod tests {
                 assert!(node.bypass.is_none());
             }
         }
+    }
+
+    #[test]
+    fn health_defaults_up_and_round_trips() {
+        let mut t = Topology::emulation_topology();
+        let agg = t.find("Agg0").unwrap();
+        assert_eq!(t.node_health(agg), NodeHealth::Up);
+        assert!(t.down_nodes().is_empty());
+        t.set_node_health(agg, NodeHealth::Down);
+        assert_eq!(t.node_health(agg), NodeHealth::Down);
+        assert!(!t.is_up(agg));
+        assert_eq!(t.down_nodes(), vec!["Agg0".to_string()]);
+        t.set_node_health(agg, NodeHealth::Up);
+        assert!(t.is_up(agg));
+        assert!(t.down_nodes().is_empty());
+    }
+
+    #[test]
+    fn find_index_matches_names_after_building() {
+        let t = Topology::device_equal_fat_tree(4, DeviceKind::Tofino);
+        for node in t.nodes() {
+            assert_eq!(t.find(&node.name), Some(node.id), "{}", node.name);
+        }
+        assert_eq!(t.find("nope"), None);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod graph;
 pub mod paths;
 pub mod reduce;
 
-pub use graph::{LinkId, Node, NodeId, Tier, Topology};
+pub use graph::{LinkId, Node, NodeHealth, NodeId, Tier, Topology};
 pub use paths::enumerate_paths;
 pub use reduce::{reduce_for_traffic, ReducedNode, ReducedTopology};
 

@@ -18,7 +18,10 @@ use crate::graph::{NodeId, Tier, Topology};
 /// fabrics and keeps the enumeration polynomial.
 pub fn enumerate_paths(topo: &Topology, src: NodeId, dst: NodeId) -> Vec<Vec<NodeId>> {
     if src == dst {
-        return vec![vec![src]];
+        return if topo.is_up(src) { vec![vec![src]] } else { Vec::new() };
+    }
+    if !topo.is_up(src) || !topo.is_up(dst) {
+        return Vec::new();
     }
     let mut result = Vec::new();
     let mut path = vec![src];
@@ -50,6 +53,11 @@ fn dfs(
     let current_level = topo.node(current).tier.level();
     for &next in topo.neighbors(current) {
         if path.contains(&next) {
+            continue;
+        }
+        // failed devices are invisible to routing: placement never lands on
+        // them and re-placement after a fault naturally avoids them
+        if !topo.is_up(next) {
             continue;
         }
         let next_level = topo.node(next).tier.level();
@@ -160,6 +168,38 @@ mod tests {
             assert!(p.iter().any(|n| t.node(*n).tier == Tier::Nic));
             assert_eq!(path_peak_tier(&t, p), Some(Tier::Core));
         }
+    }
+
+    #[test]
+    fn down_devices_are_routed_around() {
+        use crate::graph::NodeHealth;
+        let mut t = Topology::device_equal_fat_tree(4, DeviceKind::Tofino);
+        let a = t.find("pod0_s0").unwrap();
+        let b = t.find("pod0_s2").unwrap();
+        assert_eq!(enumerate_paths(&t, a, b).len(), 2, "one path per pod-local agg");
+        let agg = t.find("Agg0").unwrap();
+        t.set_node_health(agg, NodeHealth::Down);
+        let paths = enumerate_paths(&t, a, b);
+        assert_eq!(paths.len(), 1, "the failed agg's path disappears");
+        assert!(paths.iter().all(|p| !p.contains(&agg)));
+        // failing the only remaining agg leaves no path at all
+        let agg1 = t.find("Agg1").unwrap();
+        t.set_node_health(agg1, NodeHealth::Down);
+        assert!(enumerate_paths(&t, a, b).is_empty());
+        // restore brings the full ECMP set back
+        t.set_node_health(agg, NodeHealth::Up);
+        t.set_node_health(agg1, NodeHealth::Up);
+        assert_eq!(enumerate_paths(&t, a, b).len(), 2);
+    }
+
+    #[test]
+    fn down_endpoints_yield_no_paths() {
+        use crate::graph::NodeHealth;
+        let mut t = Topology::chain(2, DeviceKind::Tofino);
+        let servers = t.servers();
+        t.set_node_health(servers[0], NodeHealth::Down);
+        assert!(enumerate_paths(&t, servers[0], servers[1]).is_empty());
+        assert!(enumerate_paths(&t, servers[0], servers[0]).is_empty());
     }
 
     #[test]
