@@ -23,11 +23,16 @@
 //!   re-places it around the failure (or parks it `Degraded`), the restore
 //!   revives it, and a co-resident tenant on disjoint routes stays
 //!   bit-identical to a fault-free run;
+//! * [`churn`] — the 1000-tenant arrival/departure churn scenario: a
+//!   provider's arrival queue cycling a pool of program shapes through a
+//!   capped resident set, sustained against the serving engine — the
+//!   placement memo's and the reactive admission pipeline's showcase;
 //! * [`multiuser`] — the six program instances and traffic endpoints of
 //!   Table 3, the seven-instance sequence of Table 5, and the
 //!   add/remove sequence of Table 6.
 
 pub mod adaptive;
+pub mod churn;
 pub mod failover;
 pub mod fig13;
 pub mod multiuser;
@@ -36,6 +41,7 @@ pub mod serving;
 pub use adaptive::{
     serve_adaptive_scenario, AdaptiveServingConfig, AdaptiveServingReport, PhaseStats,
 };
+pub use churn::{run_churn_scenario, ChurnConfig, ChurnReport};
 pub use failover::{serve_failover_scenario, FailoverServingConfig, FailoverServingReport};
 pub use fig13::{fig13_configurations, Fig13Case};
 pub use multiuser::{table3_requests, table5_requests, table6_steps, Table6Step};

@@ -37,7 +37,21 @@
 //! by `Planner::plan_all` with 1 vs N worker threads (each run against a
 //! fresh service, so the plan cache cannot shortcut the measurement), and
 //! the per-thread-count plan fingerprints are asserted bit-identical —
-//! parallel planning is an optimization, never a semantics change.
+//! parallel planning is an optimization, never a semantics change.  Each
+//! row also records the per-plan *placement* solve latency (p50/p99 ms),
+//! and a second pass over the same batch on a live service prices the plan
+//! cache: every member of the re-plan must answer from cache, bit-identical
+//! to the first pass.
+//!
+//! **Warm-start / churn section.**  The incremental-placement showcase:
+//! dry-run plans over the churn scenario's shape pool price the segment
+//! memo (warm, the default) against the unmemoized cold DP (memo disabled)
+//! — co-tenant programs reusing a template pool are exactly the access
+//! pattern the memo is built for, and the warm-over-cold median-latency
+//! quotient is the gated number.  Then the full arrival/departure churn
+//! scenario runs against the serving engine: a capped resident set, the
+//! retry queue admitting refused arrivals on departures' auto-drains, and
+//! per-admission end-to-end latency percentiles.
 //!
 //! Results are *appended* to the history in `BENCH_runtime.json` so the
 //! repo's performance trajectory accumulates across PRs.  Environment
@@ -59,9 +73,13 @@
 //!   pre-fault baseline (backpressure admission makes both phases exact).
 //!   The co-resident blast-radius invariant — bystander stats and store
 //!   fingerprints bit-identical to a fault-free control — is asserted
-//!   unconditionally, like the planner's determinism.
+//!   unconditionally, like the planner's determinism;
+//! * `RUNTIME_BENCH_MIN_PLANNER_SPEEDUP=<x>` — exit non-zero if the warm
+//!   (memoized) placement solve falls below `x`× the cold unmemoized DP at
+//!   the median over the churn shape pool.
 
-use clickinc::{ClickIncService, ServiceRequest};
+use clickinc::{BatchStats, ClickIncService, ServiceRequest};
+use clickinc_apps::churn::{run_churn_scenario, ChurnConfig};
 use clickinc_apps::failover::{serve_failover_scenario, FailoverServingConfig};
 use clickinc_device::DeviceModel;
 use clickinc_frontend::compile_source;
@@ -107,6 +125,12 @@ struct PlannerResult {
     threads: usize,
     elapsed_ms: f64,
     plans_per_sec: f64,
+    /// Per-plan placement solve latency over the batch (absent in
+    /// pre-warm-start history rows).
+    #[serde(default)]
+    solve_p50_ms: f64,
+    #[serde(default)]
+    solve_p99_ms: f64,
 }
 
 /// One bench invocation: a row of the accumulated history.
@@ -162,6 +186,32 @@ struct RunEntry {
     /// `Degraded` until the restore).
     #[serde(default)]
     failover_recovered_immediately: bool,
+    /// Plan-cache counters from re-planning the planner batch on a live
+    /// service (second pass over the same epoch: every member must hit).
+    #[serde(default)]
+    planner_batch: BatchStats,
+    /// Warm-start section (absent in pre-warm-start history rows): median
+    /// per-plan placement solve with the segment memo on vs off, and their
+    /// quotient — the gated incremental-placement speedup.
+    #[serde(default)]
+    placement_warm_p50_ms: f64,
+    #[serde(default)]
+    placement_cold_p50_ms: f64,
+    #[serde(default)]
+    placement_warm_speedup: f64,
+    /// Churn section: the arrival/departure scenario against the engine.
+    #[serde(default)]
+    churn_tenants: usize,
+    #[serde(default)]
+    churn_admit_p50_ms: f64,
+    #[serde(default)]
+    churn_admit_p99_ms: f64,
+    #[serde(default)]
+    churn_admitted_from_queue: usize,
+    #[serde(default)]
+    churn_solve_cache_hit_ratio: f64,
+    #[serde(default)]
+    churn_packets_served: u64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -419,19 +469,86 @@ fn planner_requests(count: usize) -> Vec<ServiceRequest> {
 
 /// Solve the batch with `threads` planner workers against a fresh service
 /// (a fresh service per run keeps the plan cache from shortcutting the
-/// measurement).  Returns the elapsed seconds and the plan fingerprints in
-/// request order, for the cross-thread-count bit-identity assertion.
-fn plan_once(requests: &[ServiceRequest], threads: usize) -> (f64, Vec<u64>) {
+/// measurement).  Returns the elapsed seconds, the plan fingerprints in
+/// request order (for the cross-thread-count bit-identity assertion), and
+/// each plan's placement solve latency in milliseconds.
+fn plan_once(requests: &[ServiceRequest], threads: usize) -> (f64, Vec<u64>, Vec<f64>) {
     let service = ClickIncService::new(Topology::emulation_topology_all_tofino())
         .expect("default engine config is valid");
     let planner = service.planner().with_threads(threads);
     let start = Instant::now();
     let plans = planner.plan_all(requests);
     let elapsed = start.elapsed().as_secs_f64();
-    let fingerprints: Vec<u64> =
-        plans.into_iter().map(|p| p.expect("every request solves").fingerprint()).collect();
+    let mut fingerprints = Vec::with_capacity(plans.len());
+    let mut solve_ms = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let plan = plan.expect("every request solves");
+        fingerprints.push(plan.fingerprint());
+        solve_ms.push(plan.placement().solve_time.as_secs_f64() * 1e3);
+    }
     service.finish();
-    (elapsed, fingerprints)
+    (elapsed, fingerprints, solve_ms)
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One request from the churn scenario's shape pool: co-tenant programs
+/// reusing a handful of templates under fresh user names — the access
+/// pattern the segment memo is built for (same canonical shape, different
+/// tenant).
+fn pooled_request(i: usize) -> ServiceRequest {
+    const POOL: usize = 6;
+    let slot = i % POOL;
+    let user = format!("warm{i}");
+    let builder = ServiceRequest::builder(&user);
+    let builder = match slot % 3 {
+        0 => builder
+            .template(kvs_template(
+                &user,
+                KvsParams { cache_depth: 1000 + 500 * (slot as u32 / 3), ..Default::default() },
+            ))
+            .from_("pod0a"),
+        1 => builder
+            .template(mlagg_template(
+                &user,
+                MlAggParams {
+                    dims: DIMS + 8 * (slot as u32 / 3),
+                    num_aggregators: 512,
+                    ..Default::default()
+                },
+            ))
+            .from_("pod1a"),
+        _ => builder.template(count_min_sketch(&user, 3, 512 << (slot / 3))).from_("pod0b"),
+    };
+    builder.to("pod2b").build().expect("well-formed request")
+}
+
+/// Per-plan placement solve latencies (ms, ascending) for `count` dry-run
+/// plans over the churn shape pool on one live service.  `warm` keeps the
+/// segment memo on (the deploy default); cold disables it, pricing the
+/// pre-memo DP the warm-start gate is measured against.
+fn solve_latencies(count: usize, warm: bool) -> Vec<f64> {
+    let service = ClickIncService::new(Topology::emulation_topology_all_tofino())
+        .expect("default engine config is valid");
+    if !warm {
+        service.controller().set_solve_memo(false);
+    }
+    let mut ms: Vec<f64> = (0..count)
+        .map(|i| {
+            let plan = service.plan(&pooled_request(i)).expect("every pooled request solves");
+            plan.placement().solve_time.as_secs_f64() * 1e3
+        })
+        .collect();
+    service.finish();
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    ms
 }
 
 /// Load the accumulated history, migrating a pre-history single-report file
@@ -652,16 +769,20 @@ fn main() {
     println!(
         "\n== planner_throughput: {batch} mixed KVS/MLAgg/CMS requests, 1 vs N solver threads =="
     );
-    println!("{:>8} {:>12} {:>16}", "threads", "elapsed", "plans/sec");
+    println!(
+        "{:>8} {:>12} {:>16} {:>12} {:>12}",
+        "threads", "elapsed", "plans/sec", "solve p50", "solve p99"
+    );
     let mut planner_results = Vec::new();
     let mut baseline_fingerprints: Option<Vec<u64>> = None;
     for &threads in thread_counts {
         // best of two runs to shave scheduler noise
-        let (mut elapsed, fingerprints) = plan_once(&requests, threads);
-        let (e2, f2) = plan_once(&requests, threads);
+        let (mut elapsed, fingerprints, mut solve_ms) = plan_once(&requests, threads);
+        let (e2, f2, s2) = plan_once(&requests, threads);
         assert_eq!(fingerprints, f2, "planning is deterministic");
         if e2 < elapsed {
             elapsed = e2;
+            solve_ms = s2;
         }
         match &baseline_fingerprints {
             None => baseline_fingerprints = Some(fingerprints),
@@ -670,12 +791,22 @@ fn main() {
                 "parallel solves are bit-identical to the 1-thread path"
             ),
         }
+        solve_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let solve_p50_ms = percentile(&solve_ms, 0.50);
+        let solve_p99_ms = percentile(&solve_ms, 0.99);
         let pps = batch as f64 / elapsed.max(1e-9);
-        println!("{threads:>8} {:>10.1}ms {pps:>16.1}", elapsed * 1e3);
+        println!(
+            "{threads:>8} {:>10.1}ms {pps:>16.1} {:>10.3}ms {:>10.3}ms",
+            elapsed * 1e3,
+            solve_p50_ms,
+            solve_p99_ms
+        );
         planner_results.push(PlannerResult {
             threads,
             elapsed_ms: elapsed * 1e3,
             plans_per_sec: pps,
+            solve_p50_ms,
+            solve_p99_ms,
         });
     }
     let planner_one = planner_results[0].plans_per_sec;
@@ -684,6 +815,81 @@ fn main() {
     println!(
         "best N-thread solve throughput is {planner_speedup:.2}x the 1-thread baseline \
          (bit-identical plans at every thread count)"
+    );
+
+    // plan-cache counters: the same batch twice on one live service — the
+    // first pass runs placement for every member (fresh cache), the second
+    // pass must answer every member from the plan cache, bit-identical
+    let cache_service = ClickIncService::new(Topology::emulation_topology_all_tofino())
+        .expect("default engine config is valid");
+    let cache_planner = cache_service.planner();
+    let (first_plans, first_stats) = cache_planner.plan_all_with_stats(&requests);
+    let (second_plans, planner_batch) = cache_planner.plan_all_with_stats(&requests);
+    let fp = |plans: Vec<Result<clickinc::DeploymentPlan, _>>| -> Vec<u64> {
+        plans.into_iter().map(|p| p.expect("every request solves").fingerprint()).collect()
+    };
+    assert_eq!(fp(first_plans), fp(second_plans), "a cached re-plan is bit-identical");
+    assert_eq!(first_stats.cache_misses as usize, batch, "a fresh cache misses on every member");
+    assert_eq!(
+        planner_batch.cache_hits as usize, batch,
+        "a same-epoch re-plan hits on every member"
+    );
+    cache_service.finish();
+    println!(
+        "plan cache: first pass {} misses, re-plan {} hits / {} misses (bit-identical)",
+        first_stats.cache_misses, planner_batch.cache_hits, planner_batch.cache_misses
+    );
+
+    // ---- warm-start / churn section --------------------------------------
+    // dry-run plans over the churn shape pool: segment memo on (the deploy
+    // default) vs off (the unmemoized DP every solve paid before the memo)
+    let probe_count = if smoke { 36 } else { 60 };
+    println!(
+        "\n== warm_start: per-plan placement solve over the churn shape pool, memo on vs off, \
+         {probe_count} plans =="
+    );
+    let warm_lat = solve_latencies(probe_count, true);
+    let cold_lat = solve_latencies(probe_count, false);
+    let placement_warm_p50_ms = percentile(&warm_lat, 0.50);
+    let placement_cold_p50_ms = percentile(&cold_lat, 0.50);
+    let placement_warm_speedup = placement_cold_p50_ms / placement_warm_p50_ms.max(1e-9);
+    println!(
+        "warm p50 {placement_warm_p50_ms:.4} ms | cold p50 {placement_cold_p50_ms:.4} ms | \
+         memoized solve is {placement_warm_speedup:.2}x the cold DP ({})",
+        if placement_warm_speedup > 1.0 { "warm start wins" } else { "REGRESSION" }
+    );
+
+    // smoke shrinks the arrival count; serve_every shrinks with it so the
+    // direct-admission stream (a fraction of arrivals once the house fills)
+    // still triggers serving bursts
+    let churn_config = ChurnConfig {
+        tenants: if smoke { 150 } else { 1000 },
+        serve_every: if smoke { 10 } else { 50 },
+        burst_requests: if smoke { 256 } else { 512 },
+        ..Default::default()
+    };
+    println!(
+        "\n== churn: {} arrivals over a {}-resident cap, retry queue against the serving \
+         engine ==",
+        churn_config.tenants, churn_config.resident_cap
+    );
+    let churn_start = Instant::now();
+    let churn = run_churn_scenario(&churn_config).expect("churn scenario runs");
+    let churn_wall = churn_start.elapsed().as_secs_f64();
+    assert_eq!(churn.failed, 0, "every churn arrival must place");
+    assert!(churn.admitted_from_queue > 0, "the retry queue must admit waiters");
+    assert!(churn.packets_served > 0, "the engine must serve during the churn");
+    println!(
+        "admitted {} directly + {} from the retry queue; {} departures; admission p50 \
+         {:.3} ms p99 {:.3} ms; memo hit ratio {:.1}%; {} packets served; {churn_wall:.2}s \
+         wall-clock",
+        churn.admitted_directly,
+        churn.admitted_from_queue,
+        churn.departures,
+        churn.admit_p50_ms,
+        churn.admit_p99_ms,
+        churn.solve_cache_hit_ratio * 100.0,
+        churn.packets_served
     );
 
     // append to the accumulated history at the workspace root
@@ -710,6 +916,16 @@ fn main() {
         failover_recovery,
         failover_fault_lost,
         failover_recovered_immediately,
+        planner_batch,
+        placement_warm_p50_ms,
+        placement_cold_p50_ms,
+        placement_warm_speedup,
+        churn_tenants: churn_config.tenants,
+        churn_admit_p50_ms: churn.admit_p50_ms,
+        churn_admit_p99_ms: churn.admit_p99_ms,
+        churn_admitted_from_queue: churn.admitted_from_queue,
+        churn_solve_cache_hit_ratio: churn.solve_cache_hit_ratio,
+        churn_packets_served: churn.packets_served,
     });
     if report.history.len() > HISTORY_CAP {
         let drop = report.history.len() - HISTORY_CAP;
@@ -785,6 +1001,24 @@ fn main() {
         println!(
             "failover gate passed: recovery {failover_recovery:.2}x >= {min:.2}x the pre-fault \
              baseline"
+        );
+    }
+    // regression gate for the placement memo: a warm (memoized) solve over
+    // the churn shape pool must stay `min`x faster than the cold unmemoized
+    // DP at the median
+    if let Ok(min) = std::env::var("RUNTIME_BENCH_MIN_PLANNER_SPEEDUP") {
+        let min: f64 = min.parse().expect("RUNTIME_BENCH_MIN_PLANNER_SPEEDUP is a number");
+        if placement_warm_speedup < min {
+            eprintln!(
+                "FAIL: placement_warm_speedup {placement_warm_speedup:.2} regressed below the \
+                 {min:.2}x gate (warm p50 {placement_warm_p50_ms:.4} ms vs cold p50 \
+                 {placement_cold_p50_ms:.4} ms)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "warm-start gate passed: memoized solve {placement_warm_speedup:.2}x >= {min:.2}x \
+             the cold DP at the median"
         );
     }
 }

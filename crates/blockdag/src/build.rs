@@ -1,7 +1,7 @@
 //! Block DAG construction (paper §5.2, Algorithm 3).
 
 use crate::dag::{Block, BlockDag, BlockId};
-use clickinc_ir::{classify_instruction, CapabilityClass, DependencyKind, IrProgram};
+use clickinc_ir::{classify_instruction, CapabilityClass, DependencyKind, IrProgram, ReadWriteSet};
 use std::collections::BTreeSet;
 
 /// Configuration of the block construction.
@@ -92,16 +92,21 @@ pub fn build_block_dag(program: &IrProgram, config: &BlockConfig) -> BlockDag {
     let mut merged_members = members;
     let mut merged_edges: Vec<(usize, usize)> = edges.into_iter().collect();
 
+    // the per-instruction facts every merge decision and block needs, computed
+    // exactly once — the merge loop below used to recompute the whole
+    // program's read/write sets and capability classes for every block of
+    // every round, which dominated the solve pipeline on large programs
+    let class_of: Vec<CapabilityClass> =
+        program.instructions.iter().map(|i| classify_instruction(i, &program.objects)).collect();
+    let sets = program.read_write_sets();
+
     // --- step 3: Kahn partitioning + same-type merging -----------------------
     if config.enable_merging {
-        loop {
-            let (new_members, new_edges, changed) =
-                merge_round(program, &merged_members, &merged_edges, config);
+        while let Some((new_members, new_edges)) =
+            merge_round(&class_of, &merged_members, &merged_edges, config)
+        {
             merged_members = new_members;
             merged_edges = new_edges;
-            if !changed {
-                break;
-            }
         }
     }
 
@@ -109,7 +114,7 @@ pub fn build_block_dag(program: &IrProgram, config: &BlockConfig) -> BlockDag {
     let blocks: Vec<Block> = merged_members
         .iter()
         .enumerate()
-        .map(|(id, instrs)| make_block(program, id, instrs.clone()))
+        .map(|(id, instrs)| make_block(&class_of, &sets, id, instrs.clone()))
         .collect();
     let mut dag = BlockDag::new(blocks, merged_edges);
     // stamp step numbers = topological levels
@@ -127,38 +132,77 @@ pub fn build_block_dag(program: &IrProgram, config: &BlockConfig) -> BlockDag {
     dag
 }
 
-fn make_block(program: &IrProgram, id: usize, instrs: Vec<usize>) -> Block {
-    let classes: BTreeSet<CapabilityClass> = instrs
-        .iter()
-        .map(|&i| classify_instruction(&program.instructions[i], &program.objects))
-        .collect();
-    let sets = program.read_write_sets();
+fn make_block(
+    class_of: &[CapabilityClass],
+    sets: &[ReadWriteSet],
+    id: usize,
+    instrs: Vec<usize>,
+) -> Block {
+    let classes: BTreeSet<CapabilityClass> = instrs.iter().map(|&i| class_of[i]).collect();
     let stateful = instrs.iter().any(|&i| !sets[i].state_objects.is_empty());
     Block { id: BlockId(id), instrs, classes, step: 0, stateful }
 }
 
+/// Longest-path topological levels of the membership graph (leaves at 0), the
+/// same levels [`BlockDag::levels`] computes — including its degenerate
+/// all-zeros answer when the graph has a cycle.
+fn levels_of(n: usize, edges: &[(usize, usize)]) -> Vec<usize> {
+    let Some(order) = topo_order(n, edges) else { return vec![0; n] };
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        preds[b].push(a);
+    }
+    let mut level = vec![0usize; n];
+    for &b in &order {
+        for &p in &preds[b] {
+            level[b] = level[b].max(level[p] + 1);
+        }
+    }
+    level
+}
+
+/// Kahn topological order over a raw edge list; `None` on a cycle.
+fn topo_order(n: usize, edges: &[(usize, usize)]) -> Option<Vec<usize>> {
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut deg = vec![0usize; n];
+    for &(a, b) in edges {
+        succ[a].push(b);
+        deg[b] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&b| deg[b] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(b) = queue.pop() {
+        order.push(b);
+        for &s in &succ[b] {
+            deg[s] -= 1;
+            if deg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// A merge round's output: the new per-block membership and block edges.
+type MergedLayout = (Vec<Vec<usize>>, Vec<(usize, usize)>);
+
 /// One round of merging: try to merge same-type blocks within a Kahn layer and
 /// across adjacent layers, without exceeding the size budget or creating a
-/// cycle.  Returns the new membership, edges and whether anything changed.
+/// cycle.  Returns the new membership and edges, or `None` once no candidate
+/// merge is possible.
 fn merge_round(
-    program: &IrProgram,
+    class_of: &[CapabilityClass],
     members: &[Vec<usize>],
     edges: &[(usize, usize)],
     config: &BlockConfig,
-) -> (Vec<Vec<usize>>, Vec<(usize, usize)>, bool) {
+) -> Option<MergedLayout> {
     let n = members.len();
     if n <= 1 {
-        return (members.to_vec(), edges.to_vec(), false);
+        return None;
     }
-    let dag = BlockDag::new(
-        members
-            .iter()
-            .enumerate()
-            .map(|(id, instrs)| make_block(program, id, instrs.clone()))
-            .collect(),
-        edges.to_vec(),
-    );
-    let levels = dag.levels();
+    let levels = levels_of(n, edges);
+    let block_classes: Vec<BTreeSet<CapabilityClass>> =
+        members.iter().map(|instrs| instrs.iter().map(|&i| class_of[i]).collect()).collect();
 
     // candidate pairs: same layer first, then adjacent layers
     let mut candidates: Vec<(usize, usize)> = Vec::new();
@@ -172,7 +216,7 @@ fn merge_round(
             if members[a].len() + members[b].len() > config.max_block_instrs {
                 continue;
             }
-            if !classes_compatible(&dag.blocks()[a].classes, &dag.blocks()[b].classes) {
+            if !classes_compatible(&block_classes[a], &block_classes[b]) {
                 continue;
             }
             candidates.push((a, b));
@@ -185,19 +229,11 @@ fn merge_round(
     for (a, b) in candidates {
         // try the merge and keep it if the DAG stays acyclic
         let (new_members, new_edges) = apply_merge(members, edges, a, b);
-        let trial = BlockDag::new(
-            new_members
-                .iter()
-                .enumerate()
-                .map(|(id, instrs)| make_block(program, id, instrs.clone()))
-                .collect(),
-            new_edges.clone(),
-        );
-        if trial.topological_order().is_some() {
-            return (new_members, new_edges, true);
+        if topo_order(new_members.len(), &new_edges).is_some() {
+            return Some((new_members, new_edges));
         }
     }
-    (members.to_vec(), edges.to_vec(), false)
+    None
 }
 
 /// Two class sets are "non-exclusive" (mergeable) when one is a subset of the

@@ -22,7 +22,8 @@ use clickinc_ir::{
     DiagnosticSet, Fnv, IrProgram, Optimizer, PassContext, PassManager, ResourceVector,
 };
 use clickinc_placement::{
-    solve, PlacementConfig, PlacementNetwork, PlacementPlan, ResourceLedger, Weights,
+    place_with_cache, PlacementConfig, PlacementNetwork, PlacementPlan, ResourceLedger, SolveCache,
+    SolveCacheStats, Weights,
 };
 use clickinc_runtime::EngineHandle;
 use clickinc_synthesis::incremental::DeviceImages;
@@ -99,6 +100,18 @@ pub struct DeploymentPlan {
     /// cache does not smuggle quote-to-commit idle time into
     /// [`Deployment::elapsed`].
     solved_in: Duration,
+    /// Ledger version stamps of every physical device the solve *considered*
+    /// (all members of every candidate EC node, not just the devices the plan
+    /// uses) — if they all still hold, the residual capacities the solve saw
+    /// are bit-identical today.
+    ledger_stamps: Vec<(NodeId, u64)>,
+    /// [`Topology::health_version`] at solve time: equal values guarantee the
+    /// reduced topology the solve routed over is unchanged.
+    health_version: u64,
+    /// Bits of the network-wide remaining ratio the adaptive weights were
+    /// derived from (the ratio is global, so it can move even when every
+    /// candidate device's ledger held still).
+    weights_ratio_bits: u64,
 }
 
 impl DeploymentPlan {
@@ -154,6 +167,21 @@ impl DeploymentPlan {
         &self.physical_devices
     }
 
+    /// Whether the plan occupies the named physical device.  The device list
+    /// is sorted, so this is a binary search — the structural-invalidation
+    /// probe the plan cache runs for every cached plan on every ledger move.
+    pub fn touches_physical(&self, device: &str) -> bool {
+        self.physical_devices.binary_search_by(|d| d.as_str().cmp(device)).is_ok()
+    }
+
+    /// Ledger version stamps of every physical device the solve considered
+    /// (candidate devices — a superset of the occupied ones).  All stamps
+    /// still holding is the warm re-pin precondition
+    /// [`Controller::revalidate`] checks against the live ledger.
+    pub fn ledger_stamps(&self) -> &[(NodeId, u64)] {
+        &self.ledger_stamps
+    }
+
     /// Total resource demand across every physical device the plan touches.
     pub fn resource_demand(&self) -> ResourceVector {
         let mut total = ResourceVector::default();
@@ -168,6 +196,15 @@ impl DeploymentPlan {
     /// Network-wide remaining resource ratio *if* this plan commits.
     pub fn predicted_remaining_ratio(&self) -> f64 {
         self.predicted_remaining_ratio
+    }
+
+    /// Wall-clock cost of the solve that produced this plan (compile +
+    /// isolate + place).  For the placement stage alone, read
+    /// `placement().solve_time` — the runtime bench gates the warm-start
+    /// speedup on that, keeping the frontend's compile cost out of the
+    /// quotient.
+    pub fn solved_in(&self) -> Duration {
+        self.solved_in
     }
 
     /// The controller epoch this plan was solved against.  The plan commits
@@ -252,6 +289,14 @@ pub struct Controller {
     block_config: BlockConfig,
     use_adaptive_weights: bool,
     hooks: Vec<ReconfigureHook>,
+    /// Cross-solve segment memo shared by every plan this controller runs:
+    /// keys carry the exact bits of their inputs, so entries survive epoch
+    /// moves and warm solves stay bit-identical to cold ones.
+    solve_cache: SolveCache,
+    /// Whether solves consult the segment memo at all.  On by default;
+    /// turned off only to price the unmemoized baseline in the churn bench
+    /// (the memo is exact, so the flag never changes a solve's result).
+    use_solve_memo: bool,
 }
 
 impl Controller {
@@ -275,7 +320,29 @@ impl Controller {
             block_config: BlockConfig::default(),
             use_adaptive_weights: true,
             hooks: Vec::new(),
+            solve_cache: SolveCache::new(),
+            use_solve_memo: true,
         }
+    }
+
+    /// Hit/miss/occupancy counters of the cross-solve segment memo.
+    pub fn solve_cache_stats(&self) -> SolveCacheStats {
+        self.solve_cache.stats()
+    }
+
+    /// Drop every memoized segment allocation (the hit/miss counters
+    /// survive).  The benches use this to price a genuinely cold solve; it
+    /// never changes what a solve returns, only how fast it returns it.
+    pub fn clear_solve_cache(&self) {
+        self.solve_cache.clear();
+    }
+
+    /// Enable or disable the segment memo for future solves.  Off prices
+    /// the fully unmemoized dynamic program (the churn bench's cold
+    /// baseline); the memo is exact, so flipping the flag never changes a
+    /// solve's result — only its latency.
+    pub fn set_solve_memo(&mut self, enabled: bool) {
+        self.use_solve_memo = enabled;
     }
 
     /// Register a live-reconfiguration hook, called after every successful
@@ -480,7 +547,59 @@ impl Controller {
             use_adaptive_weights: self.use_adaptive_weights,
             next_user_id: self.next_user_id,
             epoch: self.epoch,
+            solve_cache: &self.solve_cache,
+            use_solve_memo: self.use_solve_memo,
         }
+    }
+
+    /// Warm re-pin: promote a plan solved at an older epoch to the current
+    /// one **iff** re-solving its request today would provably reproduce it
+    /// bit-for-bit.  The preconditions mirror everything a solve reads:
+    ///
+    /// * the user is still absent and would receive the same numeric id
+    ///   (the isolation guard is baked into the solved program);
+    /// * no node's health changed ([`Topology::health_version`]), so the
+    ///   reduced topology is identical;
+    /// * every candidate device's ledger stamp still holds, so the residual
+    ///   capacities the DP saw are identical;
+    /// * under adaptive weights, the global remaining ratio's bits are
+    ///   unchanged (it feeds the objective and can move on far-away commits).
+    ///
+    /// On success the returned plan carries the current epoch and a freshly
+    /// recomputed post-commit ratio — exactly what a cold re-solve would
+    /// produce, at the cost of a few integer compares.  `None` means the
+    /// caller must re-solve (which the segment memo still accelerates).
+    pub fn revalidate(&self, plan: &DeploymentPlan) -> Option<DeploymentPlan> {
+        if self.deployments.contains_key(&plan.request.user) {
+            return None;
+        }
+        if plan.numeric_id != self.next_user_id {
+            return None;
+        }
+        if plan.health_version != self.topology.health_version() {
+            return None;
+        }
+        if plan.ledger_stamps.iter().any(|(node, v)| self.ledger.version_of(*node) != *v) {
+            return None;
+        }
+        if self.use_adaptive_weights
+            && self.ledger.remaining_ratio(&self.topology).to_bits() != plan.weights_ratio_bits
+        {
+            return None;
+        }
+        let mut repinned = plan.clone();
+        repinned.epoch = self.epoch;
+        // the global post-commit ratio may have drifted on devices outside
+        // the candidate set; recompute it the way a cold solve would
+        let mut preview = self.ledger.clone();
+        for assignment in repinned.plan.assignments.iter().filter(|a| !a.is_empty()) {
+            for member in &assignment.members {
+                preview.consume(*member, assignment.demand);
+            }
+        }
+        repinned.predicted_remaining_ratio = preview.remaining_ratio(&self.topology);
+        repinned.weights_ratio_bits = self.ledger.remaining_ratio(&self.topology).to_bits();
+        Some(repinned)
     }
 
     /// Commit a [`DeploymentPlan`]: book the ledger resources, synthesize
@@ -626,7 +745,15 @@ impl Controller {
             .topology
             .find(device)
             .ok_or_else(|| ClickIncError::UnknownHost(device.to_string()))?;
+        let health_before = self.topology.health_version();
         self.topology.set_node_health(id, NodeHealth::Down);
+        if self.topology.health_version() != health_before {
+            // plans solved before the failure could still route through the
+            // dead device (commit checks the epoch, not health) — a health
+            // transition must therefore move the epoch even when no tenant
+            // is displaced
+            self.epoch += 1;
+        }
         let affected: Vec<String> = self
             .deployments
             .keys()
@@ -650,7 +777,14 @@ impl Controller {
             .topology
             .find(device)
             .ok_or_else(|| ClickIncError::UnknownHost(device.to_string()))?;
+        let health_before = self.topology.health_version();
         self.topology.set_node_health(id, NodeHealth::Up);
+        if self.topology.health_version() != health_before {
+            // plans solved against the degraded topology routed around this
+            // device; restoring it changes the solve inputs, so they must
+            // not commit unexamined
+            self.epoch += 1;
+        }
         Ok(())
     }
 
@@ -691,6 +825,8 @@ pub struct PlanContext<'a> {
     use_adaptive_weights: bool,
     next_user_id: i64,
     epoch: u64,
+    solve_cache: &'a SolveCache,
+    use_solve_memo: bool,
 }
 
 impl PlanContext<'_> {
@@ -777,17 +913,31 @@ impl PlanContext<'_> {
             &mut opt_diags,
         );
 
-        // block DAG + reduced topology + placement
+        // block DAG + reduced topology + placement (memo-accelerated: the
+        // segment feasibility questions repeat across tenants and epochs)
         let dag = build_block_dag(&isolated, self.block_config);
         let reduced = reduce_for_traffic(self.topology, &sources, dst, &request.traffic_weights);
         let net = PlacementNetwork::from_reduced(self.topology, &reduced, self.ledger);
+        let solve_ratio = self.ledger.remaining_ratio(self.topology);
         let weights = if self.use_adaptive_weights {
-            Weights::adaptive(self.ledger.remaining_ratio(self.topology))
+            Weights::adaptive(solve_ratio)
         } else {
             Weights::fixed()
         };
-        let plan =
-            solve(&isolated, &dag, &net, &PlacementConfig { weights, enable_pruning: true })?;
+        let plan = place_with_cache(
+            &isolated,
+            &dag,
+            &net,
+            &PlacementConfig { weights, enable_pruning: true },
+            if self.use_solve_memo { Some(self.solve_cache) } else { None },
+        )?;
+
+        // ledger stamps over every candidate device, so a later warm re-pin
+        // can prove the residual capacities this solve saw are still current
+        let candidate_nodes: BTreeSet<NodeId> =
+            net.all_devices().flat_map(|d| d.members.iter().copied()).collect();
+        let ledger_stamps: Vec<(NodeId, u64)> =
+            candidate_nodes.into_iter().map(|n| (n, self.ledger.version_of(n))).collect();
 
         // static verification: the whole pass pipeline runs over the
         // isolated program and its per-device slices here, before a plan
@@ -845,6 +995,9 @@ impl PlanContext<'_> {
             physical_devices: physical.into_iter().collect(),
             diagnostics,
             solved_in: started.elapsed(),
+            ledger_stamps,
+            health_version: self.topology.health_version(),
+            weights_ratio_bits: solve_ratio.to_bits(),
         })
     }
 }

@@ -124,14 +124,14 @@ pub mod sharding;
 pub use adaptive::{AdaptiveOutcome, AdaptiveRuntime};
 pub use controller::{Controller, Deployment, DeploymentPlan, PlanContext, PlanSummary};
 pub use error::{ClickIncError, ControllerError};
-pub use planner::{Planner, PlannerStats};
+pub use planner::{BatchStats, Planner, PlannerStats};
 pub use policy::{
-    AdmissionContext, AdmissionDecision, AdmissionPolicy, DeviceDenylist, MaxTenants, PolicyChain,
-    ResourceFloor,
+    AdmissionContext, AdmissionDecision, AdmissionPolicy, DeviceDenylist, FairShare, MaxTenants,
+    PolicyChain, PriorityAdmission, ResourceFloor,
 };
 pub use reconfigure::{ReconfigureEvent, ReconfigureHook, ShardingMode, TenantHop};
 pub use request::{RequestError, ServiceRequest, ServiceRequestBuilder};
-pub use service::{ClickIncService, FailoverReport, InitialSharding, TenantHandle};
+pub use service::{ClickIncService, FailoverReport, InitialSharding, RetryReport, TenantHandle};
 pub use sharding::sharding_mode_for;
 
 // Re-export the subsystem crates under stable names so downstream users need a

@@ -10,9 +10,13 @@
 //!   [`PlanContext`], so the results are bit-identical to solving the batch
 //!   sequentially, in any thread count, in any completion order;
 //! * **plan caching** — solved plans are cached keyed on
-//!   `(`[`ServiceRequest::fingerprint`]`, controller epoch)`.  A retried or
-//!   batched commit re-runs placement only when the epoch actually moved;
-//!   while it stands still, the cache returns the already-solved plan;
+//!   [`ServiceRequest::fingerprint`] and pinned to the controller epoch.
+//!   While the epoch stands still the cache returns the already-solved plan;
+//!   when it moves, entries are invalidated *structurally*: a plan whose
+//!   solve inputs provably did not change ([`Controller::revalidate`]) is
+//!   warm re-pinned to the new epoch instead of being dropped, and a device
+//!   failure evicts exactly the plans touching that device (the service's
+//!   failure paths call the cache's `invalidate_touching`);
 //! * **admission control** — every commit is threaded through the service's
 //!   installed [`AdmissionPolicy`] chain plus any batch-scoped policies
 //!   added with [`Planner::with_policy`], *before the first mutation*; a
@@ -48,35 +52,72 @@ struct CacheEntry {
 }
 
 /// The service-wide plan cache: `request fingerprint → (epoch, plan)`,
-/// shared by every [`Planner`] the service hands out.  A lookup hits only
-/// when the stored epoch equals the controller's current epoch — the plan is
-/// then committable as-is; any commit or removal in between moves the epoch
-/// and turns the entry into a miss (and re-solving is exactly what
-/// correctness requires, because the ledger the old plan priced no longer
-/// exists).
+/// shared by every [`Planner`] the service hands out.  A lookup hits when
+/// the stored epoch equals the controller's current epoch — the plan is then
+/// committable as-is — **or** when the epoch moved but
+/// [`Controller::revalidate`] proves nothing the solve read actually changed
+/// (no candidate device's ledger moved, no health transition, same numeric
+/// id): the entry is then re-pinned to the current epoch in place instead of
+/// being dropped.  Only plans whose inputs truly moved are evicted — the
+/// structural invalidation that lets a 1000-tenant churn workload keep its
+/// cache across unrelated epoch moves.
 pub(crate) struct PlanCache {
     entries: BTreeMap<u64, CacheEntry>,
     order: VecDeque<u64>,
     hits: u64,
     misses: u64,
+    warm_repins: u64,
+    structural_evictions: u64,
 }
 
 impl PlanCache {
     pub(crate) fn new() -> PlanCache {
-        PlanCache { entries: BTreeMap::new(), order: VecDeque::new(), hits: 0, misses: 0 }
+        PlanCache {
+            entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            warm_repins: 0,
+            structural_evictions: 0,
+        }
     }
 
-    /// A committable plan for `(fingerprint, epoch)`, if one is cached.
+    /// A committable plan for `fingerprint` at the controller's current
+    /// epoch, if one is cached or can be warm re-pinned (see the type docs).
     /// The user check guards against fingerprint collisions ever handing one
     /// tenant another tenant's plan.
-    fn lookup(&mut self, fingerprint: u64, epoch: u64, user: &str) -> Option<DeploymentPlan> {
-        match self.entries.get(&fingerprint) {
+    fn lookup(
+        &mut self,
+        controller: &Controller,
+        fingerprint: u64,
+        user: &str,
+    ) -> Option<DeploymentPlan> {
+        let epoch = controller.epoch();
+        match self.entries.get_mut(&fingerprint) {
             Some(entry) if entry.epoch == epoch && entry.plan.user() == user => {
                 self.hits += 1;
                 Some(entry.plan.clone())
             }
+            Some(entry) if entry.plan.user() == user => {
+                // the epoch moved under the entry; keep it iff a re-solve
+                // would provably reproduce it
+                match controller.revalidate(&entry.plan) {
+                    Some(repinned) => {
+                        entry.epoch = repinned.epoch();
+                        entry.plan = repinned.clone();
+                        self.hits += 1;
+                        self.warm_repins += 1;
+                        Some(repinned)
+                    }
+                    None => {
+                        self.misses += 1;
+                        self.remove(fingerprint);
+                        None
+                    }
+                }
+            }
             Some(_) => {
-                // pinned to a dead epoch (or a collision): can never hit again
+                // fingerprint collision: can never hit again
                 self.misses += 1;
                 self.remove(fingerprint);
                 None
@@ -86,6 +127,36 @@ impl PlanCache {
                 None
             }
         }
+    }
+
+    /// Structurally invalidate: drop every cached plan that occupies one of
+    /// the named physical devices (a failure or restore made those placements
+    /// unusable regardless of what `revalidate` could prove).  Plans on
+    /// disjoint devices survive.  Returns how many entries were dropped.
+    pub(crate) fn invalidate_touching(&mut self, devices: &[String]) -> usize {
+        let doomed: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| devices.iter().any(|d| entry.plan.touches_physical(d)))
+            .map(|(fp, _)| *fp)
+            .collect();
+        for fp in &doomed {
+            self.remove(*fp);
+        }
+        self.structural_evictions += doomed.len() as u64;
+        doomed.len()
+    }
+
+    /// Cached plans pinned to an epoch older than `epoch`, as
+    /// `(fingerprint, request)` pairs — the speculative re-planning
+    /// work-list.
+    fn stale_requests(&self, epoch: u64, limit: usize) -> Vec<(u64, ServiceRequest)> {
+        self.entries
+            .iter()
+            .filter(|(_, entry)| entry.epoch != epoch)
+            .take(limit)
+            .map(|(fp, entry)| (*fp, entry.plan.request().clone()))
+            .collect()
     }
 
     /// Drop an entry, keeping `order` in lockstep with `entries` — the
@@ -121,20 +192,41 @@ impl PlanCache {
             cache_hits: self.hits,
             cache_misses: self.misses,
             cached_plans: self.entries.len(),
+            warm_repins: self.warm_repins,
+            structural_evictions: self.structural_evictions,
         }
     }
 }
 
 /// Counters of the service-wide plan cache, for observability and the
 /// cache-semantics tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlannerStats {
-    /// Lookups answered from the cache (epoch unmoved since the solve).
+    /// Lookups answered from the cache (including warm re-pins).
     pub cache_hits: u64,
     /// Lookups that had to (re-)run placement.
     pub cache_misses: u64,
     /// Plans currently cached.
     pub cached_plans: usize,
+    /// Hits that crossed an epoch move via [`Controller::revalidate`]
+    /// instead of a re-solve.
+    pub warm_repins: u64,
+    /// Entries dropped by structural invalidation (device failure/restore).
+    pub structural_evictions: u64,
+}
+
+/// Per-batch planner counters: what one [`Planner::plan_all_with_stats`]
+/// call did, as opposed to the process-lifetime [`PlannerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct BatchStats {
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Batch members answered from the plan cache (incl. warm re-pins).
+    pub cache_hits: u64,
+    /// Batch members that ran placement.
+    pub cache_misses: u64,
+    /// Cache hits that crossed an epoch move via a warm re-pin.
+    pub warm_repins: u64,
 }
 
 /// The batch planning surface of a [`ClickIncService`]; see the
@@ -297,13 +389,61 @@ impl<'a> Planner<'a> {
         request: &ServiceRequest,
     ) -> Result<DeploymentPlan, ClickIncError> {
         let fingerprint = request.fingerprint();
-        let epoch = controller.epoch();
-        if let Some(plan) = self.service.plan_cache().lookup(fingerprint, epoch, &request.user) {
+        if let Some(plan) = self.service.plan_cache().lookup(controller, fingerprint, &request.user)
+        {
             return Ok(plan);
         }
         let plan = controller.plan(request)?;
         self.service.plan_cache().insert(fingerprint, &plan);
         Ok(plan)
+    }
+
+    /// [`plan_all`](Planner::plan_all) plus the per-batch cache counters —
+    /// how many members were answered from the cache, warm re-pinned, or
+    /// actually solved in *this* call (the process-lifetime counters are
+    /// [`ClickIncService::planner_stats`]).
+    pub fn plan_all_with_stats(
+        &self,
+        requests: &[ServiceRequest],
+    ) -> (Vec<Result<DeploymentPlan, ClickIncError>>, BatchStats) {
+        let controller = self.service.controller();
+        let before = self.service.plan_cache().stats();
+        let results = self.plan_all_locked(&controller, requests);
+        let after = self.service.plan_cache().stats();
+        let stats = BatchStats {
+            requests: requests.len(),
+            cache_hits: after.cache_hits - before.cache_hits,
+            cache_misses: after.cache_misses - before.cache_misses,
+            warm_repins: after.warm_repins - before.warm_repins,
+        };
+        (results, stats)
+    }
+
+    /// Speculatively re-plan up to `limit` cached-but-stale plans against the
+    /// current controller state, so the next `deploy` of those requests
+    /// commits a fresh plan straight from the cache.  Entries the warm
+    /// re-pin can rescue are re-pinned (no solve); the rest re-run placement
+    /// (memo-accelerated) and replace their cache entry; requests that no
+    /// longer solve (their user deployed meanwhile, resources vanished) are
+    /// evicted.  Returns how many entries are fresh afterwards.  Run it from
+    /// idle/background moments — it takes the same locks as `plan`.
+    pub fn replan_stale(&self, limit: usize) -> usize {
+        let controller = self.service.controller();
+        let epoch = controller.epoch();
+        let stale = self.service.plan_cache().stale_requests(epoch, limit);
+        let mut refreshed = 0usize;
+        for (fingerprint, request) in stale {
+            // lookup performs the re-pin when provable; otherwise re-solve
+            if self.service.plan_cache().lookup(&controller, fingerprint, &request.user).is_some() {
+                refreshed += 1;
+                continue;
+            }
+            if let Ok(plan) = controller.plan(&request) {
+                self.service.plan_cache().insert(fingerprint, &plan);
+                refreshed += 1;
+            }
+        }
+        refreshed
     }
 
     /// Batch solve with the controller lock held: probe the cache, fan the
@@ -316,14 +456,13 @@ impl<'a> Planner<'a> {
         controller: &Controller,
         requests: &[ServiceRequest],
     ) -> Vec<Result<DeploymentPlan, ClickIncError>> {
-        let epoch = controller.epoch();
         let mut results: Vec<Option<Result<DeploymentPlan, ClickIncError>>> =
             (0..requests.len()).map(|_| None).collect();
         let mut pending: Vec<usize> = Vec::new();
         {
             let mut cache = self.service.plan_cache();
             for (i, request) in requests.iter().enumerate() {
-                match cache.lookup(request.fingerprint(), epoch, &request.user) {
+                match cache.lookup(controller, request.fingerprint(), &request.user) {
                     Some(plan) => results[i] = Some(Ok(plan)),
                     None => pending.push(i),
                 }
@@ -423,16 +562,17 @@ mod tests {
         let mut cache = PlanCache::new();
         for round in 0..4 {
             let plan = service.plan(&request).expect("plans");
-            assert!(cache.lookup(fp, plan.epoch(), "cycled").is_none(), "absent or stale");
+            assert!(cache.lookup(&service.controller(), fp, "cycled").is_none(), "absent or stale");
             cache.insert(fp, &plan);
             assert_eq!(cache.entries.len(), 1);
             assert_eq!(cache.order.len(), 1, "round {round}: one key, one order slot");
-            assert!(cache.lookup(fp, plan.epoch(), "cycled").is_some(), "fresh plan hits");
-            // an unrelated tenant moves the epoch; the entry goes stale and
-            // the next lookup must drop it from BOTH structures
+            assert!(cache.lookup(&service.controller(), fp, "cycled").is_some(), "fresh plan hits");
+            // an unrelated tenant commits: the epoch AND the numeric id the
+            // cached plan was pinned to both move, so no warm re-pin can
+            // rescue the entry — the next lookup must drop it from BOTH
+            // structures
             service.deploy(kvs(&format!("mover{round}"))).expect("deploys");
-            let now = service.controller().epoch();
-            assert!(cache.lookup(fp, now, "cycled").is_none(), "stale misses");
+            assert!(cache.lookup(&service.controller(), fp, "cycled").is_none(), "stale misses");
             assert_eq!(cache.entries.len(), 0);
             assert_eq!(cache.order.len(), 0, "round {round}: the stale key left the queue too");
         }

@@ -142,6 +142,77 @@ impl AdmissionPolicy for MaxTenants {
     }
 }
 
+/// Cap the share of the network's *remaining* capacity a single commit may
+/// consume — the fair-share rule of a multi-tenant provider: no arrival,
+/// however legitimate, may swallow more than `max_fraction` of what is
+/// currently left for everyone.  The consumed share is measured as the drop
+/// from the pre-commit remaining ratio to the plan's predicted post-commit
+/// ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairShare {
+    /// Largest tolerated drop in the network-wide remaining resource ratio
+    /// for one commit, in `[0, 1]`.
+    pub max_fraction: f64,
+}
+
+impl AdmissionPolicy for FairShare {
+    fn name(&self) -> &str {
+        "fair_share"
+    }
+
+    fn evaluate(&self, ctx: &AdmissionContext<'_>) -> AdmissionDecision {
+        let consumed = ctx.remaining_ratio - ctx.plan.predicted_remaining_ratio();
+        if consumed > self.max_fraction {
+            AdmissionDecision::reject(
+                self,
+                format!(
+                    "plan would consume {consumed:.4} of remaining capacity, above the \
+                     {:.4} fair-share cap",
+                    self.max_fraction
+                ),
+            )
+        } else {
+            AdmissionDecision::Admit
+        }
+    }
+}
+
+/// Under resource pressure, admit only high-priority tenants.  While the
+/// network-wide remaining ratio stays at or above `pressure_threshold` every
+/// priority is welcome; once it drops below, requests whose
+/// [`priority`](crate::ServiceRequest::priority) is under `min_priority` are
+/// turned away (and, through the service retry queue, re-tried when capacity
+/// frees up).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityAdmission {
+    /// Remaining-ratio level below which the priority gate engages.
+    pub pressure_threshold: f64,
+    /// Minimum request priority admitted while the gate is engaged.
+    pub min_priority: u8,
+}
+
+impl AdmissionPolicy for PriorityAdmission {
+    fn name(&self) -> &str {
+        "priority_admission"
+    }
+
+    fn evaluate(&self, ctx: &AdmissionContext<'_>) -> AdmissionDecision {
+        let priority = ctx.plan.request().priority;
+        if ctx.remaining_ratio < self.pressure_threshold && priority < self.min_priority {
+            AdmissionDecision::reject(
+                self,
+                format!(
+                    "remaining ratio {:.4} is under the {:.4} pressure threshold and \
+                     priority {priority} is below the {} minimum",
+                    ctx.remaining_ratio, self.pressure_threshold, self.min_priority
+                ),
+            )
+        } else {
+            AdmissionDecision::Admit
+        }
+    }
+}
+
 /// Reject plans that touch carved-out devices (maintenance windows,
 /// devices reserved for provider infrastructure, failed devices awaiting
 /// repair, …).  Matches both the display names reported by
@@ -289,6 +360,46 @@ mod tests {
         let cap = MaxTenants { max_tenants: 2 };
         assert!(cap.evaluate(&ctx_of(&plan, 1, 1.0)).is_admit());
         assert!(!cap.evaluate(&ctx_of(&plan, 2, 1.0)).is_admit());
+    }
+
+    #[test]
+    fn fair_share_caps_the_per_commit_capacity_drop() {
+        let (_c, plan) = planned();
+        let consumed = 1.0 - plan.predicted_remaining_ratio();
+        assert!(consumed > 0.0, "a real plan consumes something");
+        let lenient = FairShare { max_fraction: consumed + 0.01 };
+        assert!(lenient.evaluate(&ctx_of(&plan, 0, 1.0)).is_admit());
+        let strict = FairShare { max_fraction: consumed / 2.0 };
+        match strict.evaluate(&ctx_of(&plan, 0, 1.0)) {
+            AdmissionDecision::Reject { policy, reason } => {
+                assert_eq!(policy, "fair_share");
+                assert!(reason.contains("fair-share"), "got: {reason}");
+            }
+            AdmissionDecision::Admit => panic!("the strict cap must reject"),
+        }
+    }
+
+    #[test]
+    fn priority_admission_gates_only_under_pressure() {
+        let (_c, plan) = planned(); // priority 0 request
+        let gate = PriorityAdmission { pressure_threshold: 0.5, min_priority: 3 };
+        // no pressure: every priority admitted
+        assert!(gate.evaluate(&ctx_of(&plan, 0, 0.9)).is_admit());
+        // under pressure: priority 0 < 3 rejected
+        match gate.evaluate(&ctx_of(&plan, 0, 0.2)) {
+            AdmissionDecision::Reject { policy, reason } => {
+                assert_eq!(policy, "priority_admission");
+                assert!(reason.contains("pressure"), "got: {reason}");
+            }
+            AdmissionDecision::Admit => panic!("low priority under pressure must reject"),
+        }
+        // under pressure but important enough: admitted
+        let (c, _old) = planned();
+        let t = kvs_template("vip", KvsParams { cache_depth: 1000, ..Default::default() });
+        let vip = c
+            .plan(&ServiceRequest::from_template(t, &["pod0a"], "pod2b").with_priority(5))
+            .expect("plans");
+        assert!(gate.evaluate(&ctx_of(&vip, 0, 0.2)).is_admit());
     }
 
     #[test]

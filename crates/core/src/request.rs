@@ -69,6 +69,11 @@ pub struct ServiceRequest {
     /// Optional configuration profile (used for reporting; the template
     /// parameters are already baked into `source`).
     pub profile: Option<Profile>,
+    /// Admission priority (higher = more important; default 0).  Consulted
+    /// by priority-aware admission policies and by the service retry queue's
+    /// drain order; it does not influence planning and is therefore excluded
+    /// from [`fingerprint`](ServiceRequest::fingerprint).
+    pub priority: u8,
 }
 
 impl ServiceRequest {
@@ -95,6 +100,7 @@ impl ServiceRequest {
             destination: String::new(),
             traffic_weights: Vec::new(),
             profile: None,
+            priority: 0,
         }
     }
 
@@ -113,6 +119,7 @@ impl ServiceRequest {
             destination: destination.to_string(),
             traffic_weights: Vec::new(),
             profile: None,
+            priority: 0,
         }
     }
 
@@ -131,14 +138,22 @@ impl ServiceRequest {
         self
     }
 
+    /// Set the admission priority (builder style; higher wins).
+    pub fn with_priority(mut self, priority: u8) -> ServiceRequest {
+        self.priority = priority;
+        self
+    }
+
     /// A stable digest of everything about this request that influences
     /// planning: the user, the program source, the traffic endpoints and the
     /// per-source weights.  Two requests that fingerprint equal are solved to
     /// the same plan at the same controller epoch, which is exactly why the
     /// planner keys its plan cache on `(fingerprint, epoch)`.
     ///
-    /// `profile` is deliberately excluded: it is reporting metadata — the
-    /// template parameters it describes are already baked into `source`.
+    /// `profile` and `priority` are deliberately excluded: the former is
+    /// reporting metadata — the template parameters it describes are already
+    /// baked into `source` — and the latter only orders *admission*, never
+    /// the solved plan.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv::new();
         h.write_str(&self.user);
@@ -193,6 +208,7 @@ pub struct ServiceRequestBuilder {
     destination: String,
     traffic_weights: Vec<f64>,
     profile: Option<Profile>,
+    priority: u8,
 }
 
 impl ServiceRequestBuilder {
@@ -240,6 +256,12 @@ impl ServiceRequestBuilder {
         self
     }
 
+    /// Set the admission priority (higher wins; the default is 0).
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
     /// Validate and produce the request.
     pub fn build(self) -> Result<ServiceRequest, RequestError> {
         let request = ServiceRequest {
@@ -249,6 +271,7 @@ impl ServiceRequestBuilder {
             destination: self.destination,
             traffic_weights: self.traffic_weights,
             profile: self.profile,
+            priority: self.priority,
         };
         request.validate()?;
         Ok(request)
@@ -340,6 +363,9 @@ mod tests {
         // …while the reporting-only profile does not
         let profiled = base().with_profile(clickinc_lang::profile::example_kvs_profile());
         assert_eq!(base().fingerprint(), profiled.fingerprint());
+        // …and neither does admission priority (it orders commits, not plans)
+        let prioritized = base().with_priority(9);
+        assert_eq!(base().fingerprint(), prioritized.fingerprint());
         // host-list splits don't collide (length-delimited hashing)
         let joined = ServiceRequest::new("u1", "forward()\n", &["ab"], "c");
         assert_ne!(base().fingerprint(), joined.fingerprint());

@@ -76,6 +76,58 @@ pub struct ClickIncService {
     /// parked with their original requests, retried on every
     /// [`restore_device`](ClickIncService::restore_device).
     degraded: Mutex<BTreeMap<String, DegradedTenant>>,
+    /// Requests refused by admission ([`ClickIncError::Rejected`]) and
+    /// parked by [`deploy_or_queue`](ClickIncService::deploy_or_queue):
+    /// re-tried in priority order whenever capacity frees up (tenant
+    /// removal, device restore, or an explicit
+    /// [`drain_retries`](ClickIncService::drain_retries)).
+    retry: Mutex<RetryQueue>,
+}
+
+/// The admission waiting room: requests refused by policy, ordered for
+/// retry by priority (descending) then arrival.
+#[derive(Default)]
+struct RetryQueue {
+    entries: Vec<RetryEntry>,
+    next_seq: u64,
+}
+
+struct RetryEntry {
+    seq: u64,
+    request: ServiceRequest,
+}
+
+impl RetryQueue {
+    /// Park a request; a re-submission for the same user replaces the old
+    /// entry (and takes a fresh arrival slot).
+    fn push(&mut self, request: ServiceRequest) {
+        self.entries.retain(|e| e.request.user != request.user);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(RetryEntry { seq, request });
+    }
+
+    /// Remove and return every entry, highest priority first (FIFO within a
+    /// priority level).
+    fn take_ordered(&mut self) -> Vec<RetryEntry> {
+        let mut entries = std::mem::take(&mut self.entries);
+        entries.sort_by_key(|e| (std::cmp::Reverse(e.request.priority), e.seq));
+        entries
+    }
+}
+
+/// What one [`ClickIncService::drain_retries`] pass did with the queued
+/// requests.
+pub struct RetryReport {
+    /// Handles of the requests that now passed admission and are serving.
+    pub admitted: Vec<TenantHandle>,
+    /// Requests still refused by admission — they stay queued for the next
+    /// drain.
+    pub requeued: usize,
+    /// Requests that failed for a non-admission reason (compile, placement,
+    /// duplicate user, …), with the error: these are dropped from the queue
+    /// — waiting cannot fix them.
+    pub dropped: Vec<(String, ClickIncError)>,
 }
 
 /// A parked tenant: its original request (for the retry) and the failed
@@ -139,6 +191,7 @@ impl ClickIncService {
             policy: Mutex::new(PolicyChain::new()),
             initial_sharding: Mutex::new(InitialSharding::default()),
             degraded: Mutex::new(BTreeMap::new()),
+            retry: Mutex::new(RetryQueue::default()),
         })
     }
 
@@ -299,6 +352,76 @@ impl ClickIncService {
         }
     }
 
+    /// [`deploy`](ClickIncService::deploy), but an admission refusal parks
+    /// the request in the retry queue instead of discarding it: the
+    /// [`ClickIncError::Rejected`] is still returned (the tenant is *not*
+    /// serving), and the request is re-tried — highest priority first —
+    /// whenever capacity frees up: on every service-level
+    /// [`remove`](ClickIncService::remove), every
+    /// [`restore_device`](ClickIncService::restore_device), and every
+    /// explicit [`drain_retries`](ClickIncService::drain_retries).
+    ///
+    /// Non-admission failures (compile, placement, …) are returned without
+    /// queueing: waiting cannot fix them.
+    pub fn deploy_or_queue(&self, request: ServiceRequest) -> Result<TenantHandle, ClickIncError> {
+        match self.deploy(request.clone()) {
+            Err(err @ ClickIncError::Rejected { .. }) => {
+                self.retry.lock().expect("retry mutex").push(request);
+                Err(err)
+            }
+            other => other,
+        }
+    }
+
+    /// Retry every queued request (highest priority first, FIFO within a
+    /// priority), one attempt each.  Requests that now pass admission are
+    /// committed and returned; requests still refused stay queued; requests
+    /// failing for any other reason are dropped with their error.
+    pub fn drain_retries(&self) -> RetryReport {
+        let entries = self.retry.lock().expect("retry mutex").take_ordered();
+        let mut report = RetryReport { admitted: Vec::new(), requeued: 0, dropped: Vec::new() };
+        for entry in entries {
+            let user = entry.request.user.clone();
+            match self.deploy(entry.request.clone()) {
+                Ok(handle) => report.admitted.push(handle),
+                Err(ClickIncError::Rejected { .. }) => {
+                    report.requeued += 1;
+                    // keep the original arrival slot so FIFO order survives
+                    self.retry.lock().expect("retry mutex").entries.push(entry);
+                }
+                Err(err) => report.dropped.push((user, err)),
+            }
+        }
+        report
+    }
+
+    /// Number of requests waiting in the admission retry queue.
+    pub fn retry_queue_len(&self) -> usize {
+        self.retry.lock().expect("retry mutex").entries.len()
+    }
+
+    /// Users waiting in the admission retry queue, in drain order (highest
+    /// priority first).
+    pub fn queued_users(&self) -> Vec<String> {
+        let mut entries: Vec<(u8, u64, String)> = self
+            .retry
+            .lock()
+            .expect("retry mutex")
+            .entries
+            .iter()
+            .map(|e| (e.request.priority, e.seq, e.request.user.clone()))
+            .collect();
+        entries.sort_by_key(|(priority, seq, _)| (std::cmp::Reverse(*priority), *seq));
+        entries.into_iter().map(|(_, _, user)| user).collect()
+    }
+
+    /// Speculatively re-solve up to `limit` cached-but-stale plans in the
+    /// background of a quiet moment so the next lookup hits a fresh entry —
+    /// see [`Planner::replan_stale`].  Returns the number refreshed.
+    pub fn replan_stale(&self, limit: usize) -> usize {
+        self.planner().replan_stale(limit)
+    }
+
     /// Deploy a batch of requests with **all-or-nothing** semantics: if any
     /// request fails to plan, is refused by the admission policy, or fails
     /// to commit, every tenant this call already committed is removed
@@ -323,10 +446,19 @@ impl ClickIncService {
     /// [`TenantHandle::remove`] when the handle is out of reach.)  A parked
     /// ([`ClickIncError::Degraded`]) tenant is un-parked too, so it will not
     /// resurrect on the next restore.
+    /// A successful removal frees capacity, so the admission retry queue is
+    /// drained afterwards: queued requests that now pass admission start
+    /// serving (their handles are obtainable again via the controller;
+    /// callers tracking them should use
+    /// [`drain_retries`](ClickIncService::drain_retries) directly).
     pub fn remove(&self, user: &str) -> Result<DeploymentDelta, ClickIncError> {
-        let controller = self.controller();
-        self.degraded.lock().expect("degraded mutex").remove(user);
-        Self::remove_locked(controller, &self.engine.handle(), user)
+        let delta = {
+            let controller = self.controller();
+            self.degraded.lock().expect("degraded mutex").remove(user);
+            Self::remove_locked(controller, &self.engine.handle(), user)
+        }?;
+        self.drain_retries();
+        Ok(delta)
     }
 
     /// Remove + engine quiesce with the controller lock held across both,
@@ -392,6 +524,10 @@ impl ClickIncService {
     pub fn fail_device(&self, device: &str) -> Result<FailoverReport, ClickIncError> {
         let mut controller = self.controller();
         let displaced = controller.fail_device(device)?;
+        // structural cache invalidation: drop every cached plan occupying
+        // the failed device — whatever its epoch bookkeeping says, a plan
+        // touching a Down device must never be served again
+        self.plan_cache().invalidate_touching(&[device.to_string()]);
         let engine = self.engine.handle();
         engine.set_device_health(device, DeviceHealth::Down);
         for request in &displaced {
@@ -412,6 +548,7 @@ impl ClickIncService {
     /// then retry every parked ([`ClickIncError::Degraded`]) tenant through
     /// the full plan → verify → admission → commit chain.  Tenants that
     /// still cannot be placed stay parked (and appear in the report again).
+    /// Restored capacity also drains the admission retry queue.
     pub fn restore_device(&self, device: &str) -> Result<FailoverReport, ClickIncError> {
         let mut controller = self.controller();
         controller.restore_device(device)?;
@@ -431,6 +568,8 @@ impl ClickIncService {
                 }
             }
         }
+        drop(controller);
+        self.drain_retries();
         Ok(FailoverReport { device: device.to_string(), recovered, degraded })
     }
 
@@ -659,6 +798,59 @@ mod tests {
         assert_eq!(service.active_users(), vec!["kvs0".to_string()]);
         let stats = tenant.telemetry().expect("registered with the engine");
         assert_eq!(stats.packets, 0);
+        service.finish();
+    }
+
+    fn must_fail(result: Result<TenantHandle, ClickIncError>) -> ClickIncError {
+        match result {
+            Err(err) => err,
+            Ok(handle) => panic!("expected a failure, {} was admitted", handle.user()),
+        }
+    }
+
+    #[test]
+    fn rejected_requests_queue_and_drain_in_priority_order() {
+        use crate::policy::MaxTenants;
+        let service = service();
+        service.set_admission_policy(MaxTenants { max_tenants: 1 });
+        service.deploy(kvs_request("t1")).expect("first tenant admitted");
+        // both refused by the tenant cap — parked, not discarded
+        let err = must_fail(service.deploy_or_queue(kvs_request("t2").with_priority(1)));
+        assert!(matches!(err, ClickIncError::Rejected { .. }), "got {err}");
+        let err = must_fail(service.deploy_or_queue(kvs_request("t3").with_priority(5)));
+        assert!(matches!(err, ClickIncError::Rejected { .. }), "got {err}");
+        assert_eq!(service.retry_queue_len(), 2);
+        assert_eq!(service.queued_users(), vec!["t3", "t2"], "priority order, not arrival");
+        // a removal frees the slot and auto-drains: the high-priority waiter
+        // gets it, the other stays queued
+        service.remove("t1").expect("removes");
+        assert_eq!(service.active_users(), vec!["t3".to_string()]);
+        assert_eq!(service.queued_users(), vec!["t2"]);
+        // the next removal admits the remaining waiter
+        service.remove("t3").expect("removes");
+        assert_eq!(service.active_users(), vec!["t2".to_string()]);
+        assert_eq!(service.retry_queue_len(), 0);
+        service.finish();
+    }
+
+    #[test]
+    fn unfixable_queued_requests_are_dropped_on_drain() {
+        use crate::policy::MaxTenants;
+        let service = service();
+        service.set_admission_policy(MaxTenants { max_tenants: 1 });
+        service.deploy(kvs_request("t1")).expect("first tenant admitted");
+        must_fail(service.deploy_or_queue(kvs_request("t2"))); // refused by the cap, queued
+        service.clear_admission_policy();
+        // t2 arrives again through the direct path and is admitted — the
+        // queued copy now fails for a *non-admission* reason (duplicate
+        // user), so the drain drops it with its error instead of re-queueing
+        service.deploy(kvs_request("t2")).expect("direct deploy admitted");
+        let report = service.drain_retries();
+        assert!(report.admitted.is_empty());
+        assert_eq!(report.requeued, 0);
+        assert_eq!(report.dropped.len(), 1);
+        assert_eq!(report.dropped[0].0, "t2");
+        assert_eq!(service.retry_queue_len(), 0);
         service.finish();
     }
 

@@ -21,7 +21,8 @@
 //! loop stops at the first infeasible extension.  Disabling pruning (the
 //! Fig. 14(b) ablation) evaluates every combination.
 
-use crate::intra::{allocate_stages, StageAllocation};
+use crate::intra::{allocate_stages_with, SegContext, StageAllocation};
+use crate::memo::{device_fingerprint, shape_fingerprint, SolveCache};
 use crate::network::{PlacementDevice, PlacementNetwork};
 use crate::objective::{cut_costs, Weights};
 use crate::plan::{Assignment, PlacementError, PlacementPlan};
@@ -69,6 +70,25 @@ pub fn place(
     net: &PlacementNetwork,
     config: &PlacementConfig,
 ) -> Result<PlacementPlan, PlacementError> {
+    place_with_cache(program, dag, net, config, None)
+}
+
+/// [`place`] with an optional cross-solve segment memo.
+///
+/// With `cache` supplied, segment feasibility questions are answered from the
+/// [`SolveCache`] when their exact inputs were seen before (same canonical
+/// program/DAG shape, same residual device capacities, same bounds) and the
+/// stage allocator runs only for genuinely new subproblems — a warm re-solve
+/// after one device's ledger moved recomputes only that device's segments.
+/// Memo keys carry the exact bits of every input, so the returned plan is
+/// bit-identical to a `cache`-less cold solve.
+pub fn place_with_cache(
+    program: &IrProgram,
+    dag: &BlockDag,
+    net: &PlacementNetwork,
+    config: &PlacementConfig,
+    cache: Option<&SolveCache>,
+) -> Result<PlacementPlan, PlacementError> {
     let start = Instant::now();
     if program.is_empty() || dag.is_empty() {
         return Err(PlacementError::EmptyProgram);
@@ -82,26 +102,53 @@ pub fn place(
     let cap_norm = net.total_available().total().max(1.0);
     let w = config.weights;
 
+    // hoisted per-solve facts: capability classes + data deps (SegContext),
+    // the canonical shape key, and one device key per candidate device
+    let ctx = SegContext::new(program);
+    let shape = cache.map(|_| shape_fingerprint(program, dag, &order));
+    let client_keys: Vec<u64> = net.client.iter().map(device_fingerprint).collect();
+    let server_keys: Vec<u64> = net.server.iter().map(device_fingerprint).collect();
+
     let seg_instrs = |j: usize, k: usize| -> Vec<usize> {
         let mut v: Vec<usize> =
             order[j..k].iter().flat_map(|b| dag.blocks()[*b].instrs.clone()).collect();
         v.sort_unstable();
         v
     };
-    let seg_eval = |dev: &PlacementDevice, j: usize, k: usize| -> Option<(f64, StageAllocation)> {
+    // feasibility is memoizable (pure in shape/device/bounds); the capability
+    // pre-check stays inside the compute path because a block's class set is
+    // exactly the union of its instructions' classes, so pruning on it returns
+    // None precisely when the allocator would — cache entries are identical
+    // with pruning on or off
+    let seg_alloc = |dev: &PlacementDevice, dev_key: u64, j: usize, k: usize| {
+        let compute = || {
+            if config.enable_pruning {
+                // capability pre-check: −∞ without running the stage allocator
+                for b in &order[j..k] {
+                    if !dev.supports_all(dag.blocks()[*b].classes.iter()) {
+                        return None;
+                    }
+                }
+            }
+            let instrs = seg_instrs(j, k);
+            allocate_stages_with(dev, &ctx, &instrs)
+        };
+        match (cache, shape) {
+            (Some(memo), Some(shape)) => memo.alloc_or_compute(shape, dev_key, j, k, compute),
+            _ => compute(),
+        }
+    };
+    // objective terms stay outside the memo: weights and cap_norm vary per
+    // solve while the allocation does not
+    let seg_eval = |dev: &PlacementDevice,
+                    dev_key: u64,
+                    j: usize,
+                    k: usize|
+     -> Option<(f64, StageAllocation)> {
         if j == k {
             return Some((0.0, StageAllocation::empty()));
         }
-        if config.enable_pruning {
-            // capability pre-check: −∞ without running the stage allocator
-            for b in &order[j..k] {
-                if !dev.supports_all(dag.blocks()[*b].classes.iter()) {
-                    return None;
-                }
-            }
-        }
-        let instrs = seg_instrs(j, k);
-        let alloc = allocate_stages(dev, program, &instrs)?;
+        let alloc = seg_alloc(dev, dev_key, j, k)?;
         let rnorm = alloc.demand.scaled(dev.replication() as f64).total() / cap_norm;
         Some((-w.resource * rnorm, alloc))
     };
@@ -141,7 +188,7 @@ pub fn place(
                 if !children_ok {
                     continue;
                 }
-                match seg_eval(device, j, k) {
+                match seg_eval(device, client_keys[u], j, k) {
                     Some((seg_gain, alloc)) => {
                         let gain = child_sum + seg_gain;
                         if best.as_ref().map(|b| gain > b.gain).unwrap_or(true) {
@@ -175,7 +222,7 @@ pub fn place(
                     Some(t) => t.gain,
                     None => continue,
                 };
-                match seg_eval(&net.server[i], k, mid) {
+                match seg_eval(&net.server[i], server_keys[i], k, mid) {
                     Some((seg_gain, alloc)) => {
                         // boundary between device i and i+1 sits at `mid`
                         let boundary = if mid < n { w.comm * cuts[mid] } else { 0.0 };

@@ -57,6 +57,41 @@ impl StageAllocation {
     }
 }
 
+/// Per-program facts [`allocate_stages`] re-derives on every call, hoisted so
+/// the placement DP (which evaluates thousands of segments per solve) computes
+/// them exactly once.  The answers are identical — the context is a cache of
+/// pure derivations, not a different algorithm.
+pub struct SegContext<'a> {
+    program: &'a IrProgram,
+    /// Capability class per instruction index.
+    class_of: Vec<clickinc_ir::CapabilityClass>,
+    /// Data-dependency predecessors per instruction index (program order).
+    data_preds: Vec<Vec<usize>>,
+}
+
+impl<'a> SegContext<'a> {
+    /// Precompute classes and data dependencies for `program`.
+    pub fn new(program: &'a IrProgram) -> SegContext<'a> {
+        let class_of = program
+            .instructions
+            .iter()
+            .map(|i| classify_instruction(i, &program.objects))
+            .collect();
+        let mut data_preds: Vec<Vec<usize>> = vec![Vec::new(); program.instructions.len()];
+        for (a, b, kind) in &program.dependencies() {
+            if *kind == DependencyKind::Data {
+                data_preds[*b].push(*a);
+            }
+        }
+        SegContext { program, class_of, data_preds }
+    }
+
+    /// The program the context was built from.
+    pub fn program(&self) -> &'a IrProgram {
+        self.program
+    }
+}
+
 /// Try to allocate `instrs` (indices into `program`) onto `device`.
 ///
 /// Returns `None` if the device cannot execute them (capability violation) or
@@ -66,13 +101,24 @@ pub fn allocate_stages(
     program: &IrProgram,
     instrs: &[usize],
 ) -> Option<StageAllocation> {
+    allocate_stages_with(device, &SegContext::new(program), instrs)
+}
+
+/// [`allocate_stages`] with the per-program derivations supplied by a
+/// pre-built [`SegContext`] — the form the placement DP calls in its inner
+/// loop.
+pub fn allocate_stages_with(
+    device: &PlacementDevice,
+    ctx: &SegContext<'_>,
+    instrs: &[usize],
+) -> Option<StageAllocation> {
     if instrs.is_empty() {
         return Some(StageAllocation::empty());
     }
+    let program = ctx.program;
     // capability check (constraint 3 of §5.4)
     for &i in instrs {
-        let class = classify_instruction(&program.instructions[i], &program.objects);
-        if !device.supports(class) {
+        if !device.supports(ctx.class_of[i]) {
             return None;
         }
     }
@@ -80,11 +126,12 @@ pub fn allocate_stages(
     let model = &device.model;
     let assigned: BTreeSet<usize> = instrs.iter().copied().collect();
     // dependencies restricted to the assigned set
-    let deps = program.dependencies();
     let mut preds: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for (a, b, kind) in &deps {
-        if *kind == DependencyKind::Data && assigned.contains(a) && assigned.contains(b) {
-            preds.entry(*b).or_default().push(*a);
+    for &b in instrs {
+        for &a in &ctx.data_preds[b] {
+            if assigned.contains(&a) {
+                preds.entry(b).or_default().push(a);
+            }
         }
     }
 

@@ -31,15 +31,17 @@
 pub mod dp;
 pub mod greedy;
 pub mod intra;
+pub mod memo;
 pub mod network;
 pub mod objective;
 pub mod plan;
 pub mod smt;
 
 pub use dp::place as solve;
-pub use dp::{place, PlacementConfig};
+pub use dp::{place, place_with_cache, PlacementConfig};
 pub use greedy::place_greedy;
-pub use intra::{allocate_stages, StageAllocation};
+pub use intra::{allocate_stages, allocate_stages_with, SegContext, StageAllocation};
+pub use memo::{device_fingerprint, shape_fingerprint, SolveCache, SolveCacheStats};
 pub use network::{PlacementDevice, PlacementNetwork, ResourceLedger};
 pub use objective::{cut_costs, Weights};
 pub use plan::{Assignment, PlacementError, PlacementPlan};

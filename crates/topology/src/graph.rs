@@ -120,6 +120,10 @@ pub struct Topology {
     name_index: BTreeMap<String, NodeId>,
     /// Sparse health overlay: only nodes that ever left `Up` appear here.
     health: BTreeMap<usize, NodeHealth>,
+    /// Bumped on every effective health transition; two equal values bracket
+    /// a window in which every node's health was provably unchanged (the
+    /// planner's warm re-pin checks this instead of diffing the overlay).
+    health_version: u64,
 }
 
 impl Topology {
@@ -233,16 +237,23 @@ impl Topology {
     }
 
     /// Mark a node's health.  Path enumeration skips `Down` nodes, so a
-    /// subsequent placement solve routes around them.
+    /// subsequent placement solve routes around them.  Bumps
+    /// [`health_version`](Self::health_version) only on an effective
+    /// transition, so idempotent re-marks stay invisible to warm re-pins.
     pub fn set_node_health(&mut self, id: NodeId, health: NodeHealth) {
-        match health {
-            NodeHealth::Up => {
-                self.health.remove(&id.0);
-            }
-            NodeHealth::Down => {
-                self.health.insert(id.0, health);
-            }
+        let changed = match health {
+            NodeHealth::Up => self.health.remove(&id.0).is_some(),
+            NodeHealth::Down => self.health.insert(id.0, health).is_none(),
+        };
+        if changed {
+            self.health_version += 1;
         }
+    }
+
+    /// Monotone counter of effective health transitions; equal values bracket
+    /// a window in which no node's health changed.
+    pub fn health_version(&self) -> u64 {
+        self.health_version
     }
 
     /// Names of all nodes currently marked [`NodeHealth::Down`].

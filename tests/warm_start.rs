@@ -1,0 +1,198 @@
+//! Property tests for the incremental-placement pipeline: the segment memo
+//! is a pure accelerator (a warm service plans bit-identically to a cold
+//! one solving every subproblem from scratch, whatever the arrival and
+//! departure sequence), and the plan cache's structural invalidation never
+//! serves a plan touching a device whose health moved.
+
+use clickinc::{ClickIncService, ServiceRequest};
+use clickinc_lang::templates::{
+    count_min_sketch, kvs_template, mlagg_template, KvsParams, MlAggParams,
+};
+use clickinc_placement::PlacementPlan;
+use clickinc_topology::Topology;
+use proptest::prelude::*;
+
+/// A request from the churn scenario's shape pool: six canonical shapes
+/// (KVS, MLAgg, CMS with two parameterizations each) under a fresh tenant
+/// name — co-tenant shape reuse is the memo's unit of caching.
+fn pooled_request(user: &str, slot: u8) -> ServiceRequest {
+    let slot = (slot % 6) as usize;
+    let builder = ServiceRequest::builder(user);
+    let builder = match slot % 3 {
+        0 => builder
+            .template(kvs_template(
+                user,
+                KvsParams { cache_depth: 1000 + 500 * (slot as u32 / 3), ..Default::default() },
+            ))
+            .from_("pod0a"),
+        1 => builder
+            .template(mlagg_template(
+                user,
+                MlAggParams {
+                    dims: 16 + 8 * (slot as u32 / 3),
+                    num_aggregators: 512,
+                    ..Default::default()
+                },
+            ))
+            .from_("pod1a"),
+        _ => builder.template(count_min_sketch(user, 3, 512 << (slot / 3))).from_("pod0b"),
+    };
+    builder.to("pod2b").build().expect("pooled request is well-formed")
+}
+
+/// The placement solution's observable substance: which devices, how many
+/// instructions each, and what resource demand each assignment stamps on
+/// the ledger.
+fn solution_of(plan: &PlacementPlan) -> Vec<(String, usize, String)> {
+    plan.assignments
+        .iter()
+        .filter(|a| !a.is_empty())
+        .map(|a| (a.device.clone(), a.instruction_count(), format!("{:?}", a.demand)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever epoch-move sequence (arrivals committing demand, departures
+    /// releasing it), a memoized service plans bit-identically to a cold
+    /// one with the memo disabled: same plan fingerprint, same placement
+    /// fingerprint, same per-device instruction counts and ledger demand,
+    /// same ledger stamps — and when one side cannot place, the other
+    /// fails the same way.
+    #[test]
+    fn warm_solves_are_bit_identical_to_cold(
+        ops in proptest::collection::vec(0u8..60, 4..20),
+    ) {
+        let topology = Topology::emulation_topology_all_tofino();
+        let warm = ClickIncService::new(topology.clone()).expect("warm service starts");
+        let cold = ClickIncService::new(topology).expect("cold service starts");
+        cold.controller().set_solve_memo(false);
+
+        let mut active: Vec<String> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            // each op packs a shape slot and a departure roll: a ~30%
+            // departure mix keeps both arrival and release epochs in the
+            // sequence
+            let (slot, roll) = (op % 6, op / 6);
+            let slot = &slot;
+            if roll < 3 && !active.is_empty() {
+                // departure: both sides release the same tenant, moving the
+                // epoch and the ledger in lockstep
+                let user = active.remove(*slot as usize % active.len());
+                warm.remove(&user).expect("warm removal succeeds");
+                cold.remove(&user).expect("cold removal succeeds");
+                continue;
+            }
+            let user = format!("tenant{i}");
+            match (warm.plan(&pooled_request(&user, *slot)), cold.plan(&pooled_request(&user, *slot))) {
+                (Ok(wp), Ok(cp)) => {
+                    prop_assert_eq!(wp.fingerprint(), cp.fingerprint(), "plan fingerprints diverged");
+                    prop_assert_eq!(
+                        wp.placement().fingerprint(),
+                        cp.placement().fingerprint(),
+                        "placement fingerprints diverged"
+                    );
+                    prop_assert_eq!(solution_of(wp.placement()), solution_of(cp.placement()));
+                    prop_assert_eq!(wp.ledger_stamps(), cp.ledger_stamps(), "ledger stamps diverged");
+                    // commit on both sides: the next arrival solves against
+                    // a moved epoch and a depleted ledger
+                    warm.deploy(pooled_request(&user, *slot)).expect("warm deploy after a clean plan");
+                    cold.deploy(pooled_request(&user, *slot)).expect("cold deploy after a clean plan");
+                    active.push(user);
+                }
+                (Err(we), Err(ce)) => {
+                    prop_assert_eq!(we.to_string(), ce.to_string(), "failure modes diverged");
+                }
+                (warm_result, cold_result) => {
+                    prop_assert!(
+                        false,
+                        "warm/cold feasibility diverged for {}: warm {:?}, cold {:?}",
+                        user,
+                        warm_result.map(|p| p.fingerprint()),
+                        cold_result.map(|p| p.fingerprint()),
+                    );
+                }
+            }
+        }
+
+        // the speedup is real only if the warm side consulted the memo and
+        // the cold side never touched it
+        let warm_stats = warm.controller().solve_cache_stats();
+        let cold_stats = cold.controller().solve_cache_stats();
+        prop_assert!(warm_stats.hits + warm_stats.misses > 0, "the warm side must use the memo");
+        prop_assert_eq!(cold_stats.hits + cold_stats.misses, 0, "the cold side must bypass it");
+        warm.finish();
+        cold.finish();
+    }
+
+    /// Populate the plan cache, down a device some cached plan uses, and
+    /// re-plan: structural invalidation must have evicted every plan
+    /// touching the moved device, so no served plan — cached or re-solved —
+    /// touches it.  Restoring the device converges the solutions back to
+    /// the originals.
+    #[test]
+    fn structural_invalidation_never_serves_plans_touching_a_downed_device(
+        victim_pick in 0usize..16,
+        slots in proptest::collection::vec(0u8..6, 4..10),
+    ) {
+        let service = ClickIncService::new(Topology::emulation_topology_all_tofino())
+            .expect("service starts");
+        let requests: Vec<ServiceRequest> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| pooled_request(&format!("cached{i}"), *slot))
+            .collect();
+        let planner = service.planner();
+
+        let (first, first_stats) = planner.plan_all_with_stats(&requests);
+        let first: Vec<_> = first
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .expect("every pooled request solves on the empty network");
+        prop_assert_eq!(first_stats.cache_misses as usize, requests.len());
+
+        // the victim is a physical device some cached plan actually touches
+        let mut devices: Vec<String> = first
+            .iter()
+            .flat_map(|p| p.physical_devices().iter().cloned())
+            .collect();
+        devices.sort();
+        devices.dedup();
+        let victim = devices[victim_pick % devices.len()].clone();
+
+        service.fail_device(&victim).expect("downing an idle device succeeds");
+        prop_assert!(
+            service.planner_stats().structural_evictions > 0,
+            "downing a placed-on device must evict cached plans"
+        );
+        let (replans, _) = planner.plan_all_with_stats(&requests);
+        for plan in replans.into_iter().flatten() {
+            prop_assert!(
+                !plan.touches_physical(&victim),
+                "a served plan touches the downed device {}", &victim
+            );
+            // the placement labels carry the physical name in brackets
+            // (e.g. `tor[ToR5]`): none may mention the victim
+            let bracketed = format!("[{}]", &victim);
+            prop_assert!(
+                !plan.placement().devices_used().iter().any(|d| d.contains(&bracketed))
+            );
+        }
+
+        // the restore brings the capacity back: re-planning converges to
+        // the original placement solutions
+        service.restore_device(&victim).expect("restore succeeds");
+        let (restored, _) = planner.plan_all_with_stats(&requests);
+        let restored: Vec<_> = restored
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .expect("every pooled request solves again after the restore");
+        let placement_fp =
+            |plans: &[clickinc::DeploymentPlan]| -> Vec<u64> {
+                plans.iter().map(|p| p.placement().fingerprint()).collect()
+            };
+        prop_assert_eq!(placement_fp(&first), placement_fp(&restored));
+        service.finish();
+    }
+}
